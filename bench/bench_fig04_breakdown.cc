@@ -1,0 +1,69 @@
+// Fig. 4 + Table I: proportions of time during log replication, measured
+// on the IoTDB profile and the Ratis-FileStore profile, cross-checked
+// against the Petri-net replication model of Sec. II (Fig. 3).
+//
+// Paper's observations to reproduce:
+//  * t_wait(F) is a dominant protocol-related cost in both systems;
+//  * Ratis shows a higher t_idx(L) (heavier indexing lock) and a larger
+//    t_apply(L) (I/O per request) than IoTDB.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "petri/replication_model.h"
+
+using namespace nbraft;
+
+namespace {
+
+void RunProfile(const char* name, harness::SystemProfile profile,
+                const bench::BenchMode& mode) {
+  harness::ClusterConfig config;
+  config.num_nodes = 3;
+  config.num_clients = 64;
+  config.payload_size = 4096;
+  config.protocol = raft::Protocol::kRaft;
+  config.profile = profile;
+  config.seed = 4;
+  const harness::ThroughputResult r =
+      harness::RunThroughputExperiment(config, mode.warmup(), mode.measure());
+  std::printf("\n== %s profile (Raft, 64 clients, 4 KB) ==\n", name);
+  std::printf("throughput: %.1f kop/s; mean t_wait(F): %.0f us\n",
+              r.throughput_kops, r.wait_mean_us);
+  std::printf("%s", r.breakdown.ToTable().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchMode mode = bench::ParseMode(argc, argv);
+  std::printf("Fig. 4 / Table I — proportions of time during log "
+              "replication\n");
+
+  RunProfile("IoTDB", harness::SystemProfile::kIoTDB, mode);
+  RunProfile("Ratis FileStore", harness::SystemProfile::kRatis, mode);
+
+  // Petri-net cross-check (Sec. II): same qualitative ordering from the
+  // analytical model.
+  petri::ReplicationModel::Params params;
+  params.num_clients = 256;
+  params.num_dispatchers = 256;
+  params.out_of_order_probability = 0.35;
+  petri::ReplicationModel model(params);
+  model.Run(Seconds(2));
+  std::printf("\n== Petri-net model of Fig. 3 (Raft, analytical) ==\n");
+  std::printf("throughput: %.1f kop/s; blue-loop turns: %llu\n",
+              model.ThroughputOps() / 1000.0,
+              static_cast<unsigned long long>(model.WaitLoopTurns()));
+  std::printf("%s", model.PhaseBreakdown().ToTable().c_str());
+
+  std::printf("\nTable I — notation (see metrics/breakdown.h for the "
+              "bottleneck column)\n");
+  for (int i = 0; i < metrics::kNumPhases; ++i) {
+    const auto phase = static_cast<metrics::Phase>(i);
+    std::printf("  %-12s %s\n",
+                std::string(metrics::PhaseNotation(phase)).c_str(),
+                std::string(metrics::PhaseDescription(phase)).c_str());
+  }
+  return 0;
+}

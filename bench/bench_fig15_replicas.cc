@@ -1,0 +1,45 @@
+// Fig. 15: throughput and latency vs replication number (2..9 replicas),
+// 4 KB requests.
+//
+// Paper shapes: NB-Raft's gap over Raft is largest at 2 replicas; KRaft
+// equals Raft at 2 replicas (nothing to relay); CRaft equals Raft at 2
+// replicas (cannot fragment) and may exceed NB-Raft at 9.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace nbraft;
+
+int main(int argc, char** argv) {
+  const bench::BenchMode mode = bench::ParseMode(argc, argv);
+  const std::vector<double> replicas =
+      mode.full ? std::vector<double>{2, 3, 4, 5, 6, 7, 8, 9}
+                : (mode.quick ? std::vector<double>{2, 3}
+                              : std::vector<double>{2, 3, 5, 7, 9});
+
+  const auto results = bench::RunSweep(
+      mode, replicas, bench::AllProtocols(),
+      [](double x, harness::ClusterConfig* c) {
+        c->num_nodes = static_cast<int>(x);
+        c->num_clients = 256;
+        c->payload_size = 4096;
+        c->client_think = Micros(5);
+      });
+
+  bench::PrintTable("Fig. 15(a) — varying replication number", "#replicas",
+                    replicas, bench::AllProtocols(), results,
+                    /*latency=*/false);
+  bench::PrintTable("Fig. 15(b) — varying replication number", "#replicas",
+                    replicas, bench::AllProtocols(), results,
+                    /*latency=*/true);
+
+  const double gap2 =
+      results.front()[1].throughput_kops / results.front()[0].throughput_kops;
+  const double gap_last =
+      results.back()[1].throughput_kops / results.back()[0].throughput_kops;
+  std::printf("\nNB-Raft/Raft gap: %.2fx at 2 replicas vs %.2fx at %d "
+              "(paper: largest gap at 2)\n",
+              gap2, gap_last, static_cast<int>(replicas.back()));
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Fig. 16: throughput and latency vs payload size (1..128 KB), 256
+// clients, 3 replicas.
+//
+// Paper shapes: NB-Raft wins at small payloads; CRaft overtakes NB-Raft
+// once requests are large enough to be worth splitting (>= ~32 KB in the
+// paper); NB-Raft + CRaft is best or tied everywhere.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace nbraft;
+
+int main(int argc, char** argv) {
+  const bench::BenchMode mode = bench::ParseMode(argc, argv);
+  const std::vector<double> payload_kb =
+      mode.full ? std::vector<double>{1, 2, 4, 8, 16, 32, 64, 128}
+                : (mode.quick ? std::vector<double>{4, 64}
+                              : std::vector<double>{1, 4, 16, 64, 128});
+
+  const auto results = bench::RunSweep(
+      mode, payload_kb, bench::AllProtocols(),
+      [](double x, harness::ClusterConfig* c) {
+        c->num_nodes = 3;
+        c->num_clients = 256;
+        c->payload_size = static_cast<size_t>(x) * 1024;
+        c->client_think = Micros(5);
+      });
+
+  bench::PrintTable("Fig. 16(a) — varying payload size", "payload KB",
+                    payload_kb, bench::AllProtocols(), results,
+                    /*latency=*/false);
+  bench::PrintTable("Fig. 16(b) — varying payload size", "payload KB",
+                    payload_kb, bench::AllProtocols(), results,
+                    /*latency=*/true);
+
+  // Find the NB-Raft / CRaft crossover.
+  double crossover = -1;
+  for (size_t i = 0; i < payload_kb.size(); ++i) {
+    if (results[i][2].throughput_kops > results[i][1].throughput_kops) {
+      crossover = payload_kb[i];
+      break;
+    }
+  }
+  if (crossover > 0) {
+    std::printf("\nCRaft overtakes NB-Raft at %.0f KB "
+                "(paper: around 32 KB)\n", crossover);
+  } else {
+    std::printf("\nCRaft did not overtake NB-Raft in this grid\n");
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Fig. 17: throughput and latency vs concurrency with 128 KB requests.
+//
+// Paper shapes: with large requests CRaft's splitting helps at low
+// concurrency; NB-Raft still wins at high concurrency; NB-Raft + CRaft
+// best in all settings.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace nbraft;
+
+int main(int argc, char** argv) {
+  const bench::BenchMode mode = bench::ParseMode(argc, argv);
+  const std::vector<double> clients =
+      mode.full ? std::vector<double>{1, 4, 16, 64, 256, 512, 768, 1024}
+                : (mode.quick ? std::vector<double>{16, 256}
+                              : std::vector<double>{1, 16, 64, 256, 1024});
+
+  const auto results = bench::RunSweep(
+      mode, clients, bench::AllProtocols(),
+      [](double x, harness::ClusterConfig* c) {
+        c->num_nodes = 3;
+        c->num_clients = static_cast<int>(x);
+        c->payload_size = 128 * 1024;
+        c->client_think = Micros(5);
+      });
+
+  bench::PrintTable("Fig. 17(a) — varying concurrency, 128 KB requests",
+                    "#clients", clients, bench::AllProtocols(), results,
+                    /*latency=*/false);
+  bench::PrintTable("Fig. 17(b) — varying concurrency, 128 KB requests",
+                    "#clients", clients, bench::AllProtocols(), results,
+                    /*latency=*/true);
+
+  const auto& last = results.back();
+  std::printf("\nAt %d clients / 128 KB: NB-Raft+CRaft %.1f vs CRaft %.1f "
+              "vs NB-Raft %.1f vs Raft %.1f kop/s\n",
+              static_cast<int>(clients.back()), last[3].throughput_kops,
+              last[2].throughput_kops, last[1].throughput_kops,
+              last[0].throughput_kops);
+  return 0;
+}

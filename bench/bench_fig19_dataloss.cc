@@ -1,0 +1,126 @@
+// Fig. 19: data loss when the leader and all clients are killed
+// simultaneously.
+//  (a) varying how long the system ran before the failure;
+//  (b) varying the follower (election) timeout.
+//
+// Paper shapes: the loss stabilizes once the system reaches steady state;
+// longer follower timeouts reduce the loss (the new leader keeps receiving
+// the dead leader's in-flight entries during the timeout); NB-Raft loses
+// slightly more than Raft (bounded by N_cli + w); the fractions are tiny.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace nbraft;
+
+namespace {
+
+harness::ClusterConfig LossConfig(raft::Protocol protocol, uint64_t seed) {
+  harness::ClusterConfig config;
+  config.num_nodes = 3;
+  config.num_clients = 64;
+  config.payload_size = 4096;
+  config.protocol = protocol;
+  config.seed = seed;
+  config.release_payloads = true;
+  return config;
+}
+
+struct LossPoint {
+  double x = 0;
+  uint64_t issued = 0;
+  uint64_t lost = 0;
+};
+
+void PrintLossTable(const char* title, const char* x_label,
+                    const std::vector<LossPoint>& raft,
+                    const std::vector<LossPoint>& nb) {
+  std::printf("\n%s\n", title);
+  std::printf("%-14s %20s %20s\n", x_label, "Raft loss (%)",
+              "NB-Raft loss (%)");
+  for (size_t i = 0; i < raft.size(); ++i) {
+    const auto frac = [](const LossPoint& p) {
+      return p.issued == 0
+                 ? 0.0
+                 : 100.0 * static_cast<double>(p.lost) /
+                       static_cast<double>(p.issued);
+    };
+    std::printf("%-14.1f %17.5f%%   %17.5f%%   (lost %llu/%llu vs "
+                "%llu/%llu)\n",
+                raft[i].x, frac(raft[i]), frac(nb[i]),
+                static_cast<unsigned long long>(raft[i].lost),
+                static_cast<unsigned long long>(raft[i].issued),
+                static_cast<unsigned long long>(nb[i].lost),
+                static_cast<unsigned long long>(nb[i].issued));
+  }
+}
+
+LossPoint RunPoint(raft::Protocol protocol, double x,
+                   SimDuration run_time, SimDuration follower_timeout,
+                   int seeds) {
+  LossPoint point;
+  point.x = x;
+  for (int s = 0; s < seeds; ++s) {
+    harness::ClusterConfig config =
+        LossConfig(protocol, 100 + static_cast<uint64_t>(s));
+    config.election_timeout = follower_timeout;
+    const harness::LossResult r =
+        harness::RunLossExperiment(config, run_time);
+    if (!r.new_leader_elected) continue;
+    point.issued += r.requests_issued;
+    point.lost += r.requests_issued -
+                  std::min(r.requests_survived, r.requests_issued);
+  }
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchMode mode = bench::ParseMode(argc, argv);
+  const int seeds = mode.quick ? 1 : 3;
+
+  // (a) Varying run time before the failure (scaled from the paper's
+  // 10..180 s to virtual-time budgets).
+  const std::vector<double> run_seconds =
+      mode.quick ? std::vector<double>{0.5}
+                 : std::vector<double>{0.25, 0.5, 1.0, 2.0, 4.0};
+  std::vector<LossPoint> a_raft;
+  std::vector<LossPoint> a_nb;
+  for (const double s : run_seconds) {
+    const auto run_time = static_cast<SimDuration>(s * kSecond);
+    a_raft.push_back(
+        RunPoint(raft::Protocol::kRaft, s, run_time, Millis(500), seeds));
+    a_nb.push_back(
+        RunPoint(raft::Protocol::kNbRaft, s, run_time, Millis(500), seeds));
+    std::fprintf(stderr, ".");
+  }
+  PrintLossTable("Fig. 19(a) — data loss vs run time before failure "
+                 "(follower timeout 0.5 s)",
+                 "run time (s)", a_raft, a_nb);
+
+  // (b) Varying the follower timeout (paper: 0.5 .. 2.5 s).
+  const std::vector<double> timeouts_s =
+      mode.quick ? std::vector<double>{0.5}
+                 : std::vector<double>{0.5, 1.0, 1.5, 2.0, 2.5};
+  std::vector<LossPoint> b_raft;
+  std::vector<LossPoint> b_nb;
+  for (const double t : timeouts_s) {
+    const auto timeout = static_cast<SimDuration>(t * kSecond);
+    b_raft.push_back(
+        RunPoint(raft::Protocol::kRaft, t, Seconds(1), timeout, seeds));
+    b_nb.push_back(
+        RunPoint(raft::Protocol::kNbRaft, t, Seconds(1), timeout, seeds));
+    std::fprintf(stderr, ".");
+  }
+  std::fprintf(stderr, "\n");
+  PrintLossTable("Fig. 19(b) — data loss vs follower timeout (failure "
+                 "after 1 s)",
+                 "timeout (s)", b_raft, b_nb);
+
+  std::printf("\n(paper: loss stays under 0.00003%% at 0.5 s timeout on "
+              "3-minute runs; shorter virtual runs inflate the fraction "
+              "but the ordering and bounds — loss <= N_cli + w — hold)\n");
+  return 0;
+}

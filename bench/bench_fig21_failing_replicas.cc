@@ -1,0 +1,67 @@
+// Fig. 21: throughput with 1 or 2 failing replicas in a 5-replica group.
+//
+// Paper shapes: having failing nodes resembles reducing the replica count
+// (throughput can even rise for Raft); ECRaft improves slightly over CRaft
+// after a failure (it keeps erasure coding in degraded mode); NB-Raft
+// stays ahead by reducing the waiting time of concurrent requests.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "harness/cluster.h"
+
+using namespace nbraft;
+
+namespace {
+
+double RunWithFailures(raft::Protocol protocol, int failures,
+                       const bench::BenchMode& mode) {
+  harness::ClusterConfig config;
+  config.num_nodes = 5;
+  config.num_clients = 256;
+  config.payload_size = 4096;
+  config.client_think = Micros(5);
+  config.protocol = protocol;
+  config.seed = 21;
+  config.release_payloads = true;
+
+  harness::Cluster cluster(config);
+  cluster.Start();
+  if (!cluster.AwaitLeader()) return 0.0;
+  cluster.StartClients();
+  cluster.RunFor(Millis(200));
+  // Crash `failures` non-leader replicas.
+  int killed = 0;
+  for (int i = 0; i < 5 && killed < failures; ++i) {
+    if (cluster.node(i)->role() != raft::Role::kLeader) {
+      cluster.CrashNode(i);
+      ++killed;
+    }
+  }
+  // Let the leader detect the failures and settle into degraded mode.
+  cluster.RunFor(mode.warmup() + Millis(200));
+  cluster.ResetMeasurement();
+  cluster.RunFor(mode.measure());
+  const harness::ClusterStats stats = cluster.Collect();
+  return static_cast<double>(stats.requests_completed) /
+         ToSeconds(mode.measure()) / 1000.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchMode mode = bench::ParseMode(argc, argv);
+  std::printf("Fig. 21 — failing replicas in a 5-replica setting "
+              "(256 clients, 4 KB)\n\n");
+  std::printf("%-16s %20s %20s\n", "protocol", "1 failing (kReq/s)",
+              "2 failing (kReq/s)");
+  for (raft::Protocol protocol : bench::AllProtocols()) {
+    const double one = RunWithFailures(protocol, 1, mode);
+    const double two = RunWithFailures(protocol, 2, mode);
+    std::printf("%-16s %20.2f %20.2f\n",
+                std::string(raft::ProtocolName(protocol)).c_str(), one, two);
+    std::fprintf(stderr, ".");
+  }
+  std::fprintf(stderr, "\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Fig. 22: summary of throughput in various conditions — which protocol
+// wins where, as a (concurrency x payload) matrix.
+//
+// Paper summary to reproduce: NB-Raft handles high concurrency; CRaft
+// prefers low concurrency and large payloads; NB-Raft + CRaft is best in
+// most settings.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace nbraft;
+
+int main(int argc, char** argv) {
+  const bench::BenchMode mode = bench::ParseMode(argc, argv);
+  const std::vector<int> client_grid =
+      mode.quick ? std::vector<int>{64} : std::vector<int>{16, 256, 1024};
+  const std::vector<size_t> payload_grid =
+      mode.quick ? std::vector<size_t>{4096}
+                 : std::vector<size_t>{1024, 4096, 32768, 131072};
+
+  // Compare the two headline protocols plus their combination and Raft.
+  const std::vector<raft::Protocol> protocols = {
+      raft::Protocol::kRaft, raft::Protocol::kNbRaft,
+      raft::Protocol::kCRaft, raft::Protocol::kNbCRaft};
+
+  std::printf("Fig. 22 — winner per (concurrency, payload) cell\n\n");
+  std::printf("%-12s", "clients\\KB");
+  for (size_t p : payload_grid) std::printf(" %16zu", p / 1024);
+  std::printf("\n");
+
+  for (int clients : client_grid) {
+    std::printf("%-12d", clients);
+    for (size_t payload : payload_grid) {
+      double best = -1;
+      double nb_vs_craft = 0;
+      raft::Protocol winner = raft::Protocol::kRaft;
+      double nb_kops = 0;
+      double craft_kops = 0;
+      for (raft::Protocol protocol : protocols) {
+        harness::ClusterConfig config;
+        config.num_nodes = 3;
+        config.num_clients = clients;
+        config.payload_size = payload;
+        config.client_think = Micros(5);
+        config.protocol = protocol;
+        config.seed = 22;
+        config.release_payloads = true;
+        const harness::ThroughputResult r =
+            harness::RunThroughputExperiment(config, mode.warmup(),
+                                             mode.measure());
+        if (r.throughput_kops > best) {
+          best = r.throughput_kops;
+          winner = protocol;
+        }
+        if (protocol == raft::Protocol::kNbRaft) nb_kops = r.throughput_kops;
+        if (protocol == raft::Protocol::kCRaft) {
+          craft_kops = r.throughput_kops;
+        }
+        std::fprintf(stderr, ".");
+        std::fflush(stderr);
+      }
+      nb_vs_craft = nb_kops - craft_kops;
+      char cell[64];
+      std::snprintf(cell, sizeof(cell), "%s%s",
+                    std::string(raft::ProtocolName(winner)).c_str(),
+                    nb_vs_craft >= 0 ? " (NB>C)" : " (C>NB)");
+      std::printf(" %16s", cell);
+    }
+    std::printf("\n");
+  }
+  std::fprintf(stderr, "\n");
+  std::printf("\n(paper: NB-Raft side wins at high concurrency / small "
+              "payloads, CRaft side at low concurrency / large payloads, "
+              "NB-Raft+CRaft best overall)\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Fig. 23: throughput with CPU-Turbo enabled vs disabled.
+//
+// Paper shapes: reducing CPU resources lowers every protocol's throughput,
+// but CRaft (and its derivatives) suffer disproportionately — parity
+// computation is CPU-hungry (Table II's CPU-usage column).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace nbraft;
+
+namespace {
+
+double Run(raft::Protocol protocol, double cpu_speed,
+           const bench::BenchMode& mode) {
+  harness::ClusterConfig config;
+  config.num_nodes = 3;
+  config.num_clients = 256;
+  config.payload_size = 32 * 1024;  // Large enough that coding matters.
+  config.client_think = Micros(5);
+  config.protocol = protocol;
+  config.cpu_speed = cpu_speed;
+  config.seed = 23;
+  config.release_payloads = true;
+  return harness::RunThroughputExperiment(config, mode.warmup(),
+                                          mode.measure())
+      .throughput_kops;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchMode mode = bench::ParseMode(argc, argv);
+  std::printf("Fig. 23 — throughput under different CPU conditions "
+              "(256 clients, 32 KB)\n\n");
+  std::printf("%-16s %18s %18s %12s\n", "protocol", "Turbo on (kReq/s)",
+              "Turbo off (kReq/s)", "drop");
+  for (raft::Protocol protocol : bench::AllProtocols()) {
+    const double on = Run(protocol, 1.0, mode);
+    const double off = Run(protocol, 0.55, mode);
+    std::printf("%-16s %18.2f %18.2f %11.1f%%\n",
+                std::string(raft::ProtocolName(protocol)).c_str(), on, off,
+                on > 0 ? (1.0 - off / on) * 100.0 : 0.0);
+    std::fprintf(stderr, ".");
+  }
+  std::fprintf(stderr, "\n");
+  std::printf("\n(paper: all protocols drop; CRaft variants drop most — "
+              "parity fragments need heavy computation)\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+#ifndef NBRAFT_BENCH_BENCH_UTIL_H_
+#define NBRAFT_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baselines/protocol_registry.h"
+#include "harness/experiment.h"
+#include "raft/types.h"
+
+namespace nbraft::bench {
+
+/// Shared defaults for the figure benchmarks. Every benchmark accepts
+/// `--full` for the paper's complete parameter grid (slower) and `--quick`
+/// for a smoke-test grid; the default sits in between so that running
+/// every bench binary back-to-back stays tractable on one core.
+struct BenchMode {
+  bool full = false;
+  bool quick = false;
+
+  SimDuration warmup() const { return Millis(quick ? 100 : 250); }
+  SimDuration measure() const {
+    return quick ? Millis(300) : (full ? Millis(1500) : Millis(800));
+  }
+};
+
+inline BenchMode ParseMode(int argc, char** argv) {
+  BenchMode mode;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) mode.full = true;
+    if (std::strcmp(argv[i], "--quick") == 0) mode.quick = true;
+  }
+  return mode;
+}
+
+inline const std::vector<raft::Protocol>& AllProtocols() {
+  return baselines::AllProtocols();
+}
+
+/// Prints one figure-style table: rows = x values, columns = protocols,
+/// cells = throughput (kop/s). `latency` switches the metric to the
+/// client-visible latency in ms (the unblock latency; see Sec. III-B2).
+inline void PrintTable(
+    const std::string& title, const std::string& x_label,
+    const std::vector<double>& xs,
+    const std::vector<raft::Protocol>& protocols,
+    const std::vector<std::vector<harness::ThroughputResult>>& results,
+    bool latency) {
+  std::printf("\n%s — %s\n", title.c_str(),
+              latency ? "client latency (ms)" : "throughput (kop/s)");
+  std::printf("%-12s", x_label.c_str());
+  for (raft::Protocol p : protocols) {
+    std::printf(" %14s", std::string(raft::ProtocolName(p)).c_str());
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < xs.size(); ++i) {
+    std::printf("%-12.0f", xs[i]);
+    for (size_t j = 0; j < protocols.size(); ++j) {
+      const harness::ThroughputResult& r = results[i][j];
+      std::printf(" %14.2f",
+                  latency ? r.unblock_latency_ms : r.throughput_kops);
+    }
+    std::printf("\n");
+  }
+}
+
+/// Runs a full figure sweep: for each x, configure the cluster via `setup`
+/// and run every protocol.
+template <typename SetupFn>
+std::vector<std::vector<harness::ThroughputResult>> RunSweep(
+    const BenchMode& mode, const std::vector<double>& xs,
+    const std::vector<raft::Protocol>& protocols, SetupFn setup) {
+  std::vector<std::vector<harness::ThroughputResult>> results;
+  for (const double x : xs) {
+    std::vector<harness::ThroughputResult> row;
+    for (const raft::Protocol protocol : protocols) {
+      harness::ClusterConfig config;
+      config.release_payloads = true;
+      config.seed = 1234;
+      setup(x, &config);
+      config.protocol = protocol;
+      row.push_back(harness::RunThroughputExperiment(config, mode.warmup(),
+                                                     mode.measure()));
+      std::fprintf(stderr, ".");
+      std::fflush(stderr);
+    }
+    results.push_back(std::move(row));
+  }
+  std::fprintf(stderr, "\n");
+  return results;
+}
+
+}  // namespace nbraft::bench
+
+#endif  // NBRAFT_BENCH_BENCH_UTIL_H_

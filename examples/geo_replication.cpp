@@ -1,0 +1,52 @@
+// Geo-replication (the paper's Fig. 20 deployment): a 5-node cluster
+// spread over Beijing, Guangzhou, Shanghai, Hangzhou and Chengdu, compared
+// against the same cluster in a single region, under Raft and NB-Raft.
+//
+//   ./build/examples/geo_replication
+
+#include <cstdio>
+
+#include "harness/experiment.h"
+#include "raft/types.h"
+
+using namespace nbraft;
+
+namespace {
+
+harness::ThroughputResult Run(raft::Protocol protocol, bool geo) {
+  harness::ClusterConfig config;
+  config.num_nodes = 5;
+  config.num_clients = 64;
+  config.payload_size = 1024;
+  config.protocol = protocol;
+  config.geo_distributed = geo;
+  config.cpu_speed = 0.5;  // Cloud instances, not the LAN testbed.
+  config.cpu_lanes = 8;
+  config.seed = 77;
+  return harness::RunThroughputExperiment(config, Millis(300), Seconds(2));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== geo-replication: 5 nodes, 64 clients, 1 KB requests ==\n");
+  std::printf("\n%-24s %12s %14s %12s\n", "configuration", "kReq/s",
+              "latency ms", "weak/req");
+  for (const bool geo : {false, true}) {
+    for (const raft::Protocol protocol :
+         {raft::Protocol::kRaft, raft::Protocol::kNbRaft}) {
+      const harness::ThroughputResult r = Run(protocol, geo);
+      char label[64];
+      std::snprintf(label, sizeof(label), "%s / %s",
+                    geo ? "geo (BJ,GZ,SH,HZ,CD)" : "single region",
+                    std::string(raft::ProtocolName(protocol)).c_str());
+      std::printf("%-24s %12.2f %14.2f %12.2f\n", label, r.throughput_kops,
+                  r.unblock_latency_ms, r.weak_ratio);
+    }
+  }
+  std::printf("\nGeo-distribution trades an order of magnitude of "
+              "throughput for disaster tolerance (paper Fig. 20). NB-Raft's "
+              "early return shines in-region; across regions the WAN round "
+              "trip dominates the closed loop, so the protocols converge.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+#include "baselines/protocol_registry.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace nbraft::baselines {
+
+namespace {
+
+// Table II of the paper.
+const ProtocolTraits kTraits[] = {
+    {raft::Protocol::kRaft, "Low", "Few", "Small", "High", true, "Low"},
+    {raft::Protocol::kNbRaft, "High", "Few", "Small", "Low", true, "Low"},
+    {raft::Protocol::kCRaft, "Low", "Many", "Large", "High", false, "High"},
+    {raft::Protocol::kNbCRaft, "High", "Many", "Large", "Low", false,
+     "High"},
+    {raft::Protocol::kECRaft, "Low", "Many", "Large", "High", false, "High"},
+    {raft::Protocol::kKRaft, "Low", "Few", "Small", "High", true, "Low"},
+    {raft::Protocol::kVGRaft, "Low", "Few", "Small", "High", true, "High"},
+};
+
+}  // namespace
+
+const std::vector<raft::Protocol>& AllProtocols() {
+  static const std::vector<raft::Protocol>* all =
+      new std::vector<raft::Protocol>{
+          raft::Protocol::kRaft,   raft::Protocol::kNbRaft,
+          raft::Protocol::kCRaft,  raft::Protocol::kNbCRaft,
+          raft::Protocol::kECRaft, raft::Protocol::kKRaft,
+          raft::Protocol::kVGRaft,
+      };
+  return *all;
+}
+
+const ProtocolTraits& TraitsFor(raft::Protocol protocol) {
+  for (const ProtocolTraits& t : kTraits) {
+    if (t.protocol == protocol) return t;
+  }
+  NBRAFT_CHECK(false) << "unknown protocol";
+  return kTraits[0];
+}
+
+std::string FormatTraitsTable() {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-14s %-12s %-9s %-9s %-12s %-9s %s\n",
+                "Protocol", "Concurrency", "Replicas", "ReqSize",
+                "Persistence", "FollowerRd", "CPU");
+  out += line;
+  for (raft::Protocol p : AllProtocols()) {
+    const ProtocolTraits& t = TraitsFor(p);
+    std::snprintf(line, sizeof(line), "%-14s %-12s %-9s %-9s %-12s %-9s %s\n",
+                  std::string(raft::ProtocolName(p)).c_str(),
+                  std::string(t.preferred_concurrency).c_str(),
+                  std::string(t.preferred_replicas).c_str(),
+                  std::string(t.preferred_request_size).c_str(),
+                  std::string(t.persistence).c_str(),
+                  t.follower_read ? "Yes" : "No",
+                  std::string(t.cpu_usage).c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace nbraft::baselines

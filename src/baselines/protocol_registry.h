@@ -1,0 +1,36 @@
+#ifndef NBRAFT_BASELINES_PROTOCOL_REGISTRY_H_
+#define NBRAFT_BASELINES_PROTOCOL_REGISTRY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "raft/types.h"
+
+namespace nbraft::baselines {
+
+/// Qualitative traits of each protocol — the rows of the paper's Table II
+/// ("Preferred Conditions"). `DeriveConditions` in the Table II benchmark
+/// cross-checks these against measured sweeps.
+struct ProtocolTraits {
+  raft::Protocol protocol;
+  std::string_view preferred_concurrency;  ///< "Low" / "High".
+  std::string_view preferred_replicas;     ///< "Few" / "Many".
+  std::string_view preferred_request_size; ///< "Small" / "Large".
+  std::string_view persistence;            ///< "High" / "Low".
+  bool follower_read;
+  std::string_view cpu_usage;              ///< "Low" / "High".
+};
+
+/// All protocols in the paper's evaluation order.
+const std::vector<raft::Protocol>& AllProtocols();
+
+/// Table II's row for a protocol.
+const ProtocolTraits& TraitsFor(raft::Protocol protocol);
+
+/// Renders Table II.
+std::string FormatTraitsTable();
+
+}  // namespace nbraft::baselines
+
+#endif  // NBRAFT_BASELINES_PROTOCOL_REGISTRY_H_

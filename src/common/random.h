@@ -1,0 +1,80 @@
+#ifndef NBRAFT_COMMON_RANDOM_H_
+#define NBRAFT_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace nbraft {
+
+/// Deterministic pseudo-random generator (xoshiro256** seeded via
+/// SplitMix64). Every source of randomness in the simulator flows from one
+/// seeded Rng so that whole-cluster experiments replay bit-identically.
+///
+/// Not thread-safe; the simulator is single-threaded by design.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform over the full 64-bit range.
+  uint64_t Next();
+
+  /// Uniform in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Exponentially distributed with the given mean (> 0).
+  double NextExponential(double mean);
+
+  /// Normally distributed (Box–Muller).
+  double NextGaussian(double mean, double stddev);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Derives an independent child generator; used to give each node or
+  /// client its own stream while keeping the run reproducible from one seed.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+/// Zipf-distributed ranks in [0, n) with exponent `s` >= 0 (s = 0 is
+/// uniform). Used for skewed device/series popularity in IoT workloads.
+/// Init is O(n); sampling is O(log n) via binary search over the CDF.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(uint64_t n, double s);
+
+  /// Draws a rank; rank 0 is the most popular.
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i).
+};
+
+}  // namespace nbraft
+
+#endif  // NBRAFT_COMMON_RANDOM_H_

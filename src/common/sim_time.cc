@@ -1,0 +1,28 @@
+#include "common/sim_time.h"
+
+#include <cstdio>
+
+namespace nbraft {
+
+std::string FormatDuration(SimDuration d) {
+  char buf[64];
+  const bool negative = d < 0;
+  const int64_t abs = negative ? -d : d;
+  const char* sign = negative ? "-" : "";
+  if (abs >= kSecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.3fs", sign,
+                  static_cast<double>(abs) / kSecond);
+  } else if (abs >= kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.3fms", sign,
+                  static_cast<double>(abs) / kMillisecond);
+  } else if (abs >= kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.3fus", sign,
+                  static_cast<double>(abs) / kMicrosecond);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%lldns", sign,
+                  static_cast<long long>(abs));
+  }
+  return buf;
+}
+
+}  // namespace nbraft

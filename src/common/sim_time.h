@@ -1,0 +1,41 @@
+#ifndef NBRAFT_COMMON_SIM_TIME_H_
+#define NBRAFT_COMMON_SIM_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace nbraft {
+
+/// Virtual time used throughout the simulator, in nanoseconds since the
+/// start of the run. Signed so durations and differences are natural.
+using SimTime = int64_t;
+
+/// Duration in nanoseconds.
+using SimDuration = int64_t;
+
+constexpr SimDuration kNanosecond = 1;
+constexpr SimDuration kMicrosecond = 1000 * kNanosecond;
+constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+constexpr SimDuration Nanos(int64_t n) { return n * kNanosecond; }
+constexpr SimDuration Micros(int64_t n) { return n * kMicrosecond; }
+constexpr SimDuration Millis(int64_t n) { return n * kMillisecond; }
+constexpr SimDuration Seconds(int64_t n) { return n * kSecond; }
+
+/// Converts a duration to floating-point seconds (for reporting).
+constexpr double ToSeconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Converts a duration to floating-point milliseconds (for reporting).
+constexpr double ToMillis(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+/// Renders a duration as a short human-readable string, e.g. "1.25ms".
+std::string FormatDuration(SimDuration d);
+
+}  // namespace nbraft
+
+#endif  // NBRAFT_COMMON_SIM_TIME_H_

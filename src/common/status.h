@@ -1,0 +1,112 @@
+#ifndef NBRAFT_COMMON_STATUS_H_
+#define NBRAFT_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace nbraft {
+
+/// Error categories used across the library. The library does not use C++
+/// exceptions; every fallible operation returns a `Status` or a `Result<T>`.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kAlreadyExists,
+  kCorruption,
+  kIoError,
+  kNotLeader,      ///< Request must be retried on the current leader.
+  kLeaderChanged,  ///< Leadership moved while a request was in flight.
+  kLogMismatch,    ///< Follower log does not contain the expected prefix.
+  kTimeout,
+  kUnavailable,
+  kAborted,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code` ("Ok", "NotLeader", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A cheap, copyable success-or-error value.
+///
+/// The OK status carries no allocation; error statuses carry a code and an
+/// optional message. Typical use:
+///
+///     Status s = log.Truncate(index);
+///     if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotLeader(std::string msg) {
+    return Status(StatusCode::kNotLeader, std::move(msg));
+  }
+  static Status LeaderChanged(std::string msg) {
+    return Status(StatusCode::kLeaderChanged, std::move(msg));
+  }
+  static Status LogMismatch(std::string msg) {
+    return Status(StatusCode::kLogMismatch, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsNotLeader() const { return code_ == StatusCode::kNotLeader; }
+  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  bool IsLogMismatch() const { return code_ == StatusCode::kLogMismatch; }
+
+  /// "Ok" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace nbraft
+
+#endif  // NBRAFT_COMMON_STATUS_H_

@@ -1,0 +1,44 @@
+#ifndef NBRAFT_COMMON_VARINT_H_
+#define NBRAFT_COMMON_VARINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace nbraft {
+
+/// LEB128-style variable-length integer codecs, used by the time-series
+/// encoders and the log-entry wire format.
+
+/// Appends an unsigned varint to `out`.
+void PutVarint64(std::string* out, uint64_t value);
+
+/// ZigZag-encodes a signed value then writes it as an unsigned varint.
+void PutVarintSigned64(std::string* out, int64_t value);
+
+/// Appends a fixed-width little-endian 32/64-bit value.
+void PutFixed32(std::string* out, uint32_t value);
+void PutFixed64(std::string* out, uint64_t value);
+
+/// Reads an unsigned varint from the front of `*in`, advancing it.
+/// Returns false on truncated/overlong input.
+bool GetVarint64(std::string_view* in, uint64_t* value);
+
+/// Reads a ZigZag-encoded signed varint.
+bool GetVarintSigned64(std::string_view* in, int64_t* value);
+
+/// Reads fixed-width little-endian values.
+bool GetFixed32(std::string_view* in, uint32_t* value);
+bool GetFixed64(std::string_view* in, uint64_t* value);
+
+/// ZigZag transforms (exposed for the delta encoders).
+constexpr uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+constexpr int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+}  // namespace nbraft
+
+#endif  // NBRAFT_COMMON_VARINT_H_

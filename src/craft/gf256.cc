@@ -1,0 +1,57 @@
+#include "craft/gf256.h"
+
+#include "common/logging.h"
+
+namespace nbraft::craft {
+
+struct Gf256::Tables {
+  uint8_t exp[512];  // Doubled so Mul needs no modulo.
+  uint8_t log[256];
+
+  Tables() {
+    uint16_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[i] = static_cast<uint8_t>(x);
+      log[x] = static_cast<uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= 0x11d;
+    }
+    for (int i = 255; i < 512; ++i) exp[i] = exp[i - 255];
+    log[0] = 0;  // Undefined; guarded by callers.
+  }
+};
+
+const Gf256::Tables& Gf256::GetTables() {
+  static const Tables* tables = new Tables();
+  return *tables;
+}
+
+uint8_t Gf256::Mul(uint8_t a, uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const Tables& t = GetTables();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+uint8_t Gf256::Div(uint8_t a, uint8_t b) {
+  NBRAFT_CHECK_NE(b, 0);
+  if (a == 0) return 0;
+  const Tables& t = GetTables();
+  return t.exp[t.log[a] + 255 - t.log[b]];
+}
+
+uint8_t Gf256::Inv(uint8_t a) {
+  NBRAFT_CHECK_NE(a, 0);
+  const Tables& t = GetTables();
+  return t.exp[255 - t.log[a]];
+}
+
+uint8_t Gf256::Exp(uint8_t a, int power) {
+  NBRAFT_CHECK_GE(power, 0);
+  if (power == 0) return 1;
+  if (a == 0) return 0;
+  const Tables& t = GetTables();
+  const int l = (t.log[a] * power) % 255;
+  return t.exp[l];
+}
+
+}  // namespace nbraft::craft

@@ -1,0 +1,30 @@
+#ifndef NBRAFT_CRAFT_GF256_H_
+#define NBRAFT_CRAFT_GF256_H_
+
+#include <cstdint>
+
+namespace nbraft::craft {
+
+/// Arithmetic over GF(2^8) with the AES/RS-standard reduction polynomial
+/// x^8 + x^4 + x^3 + x^2 + 1 (0x11d), via exp/log tables. This is the field
+/// under the Reed–Solomon coder CRaft fragments entries with.
+class Gf256 {
+ public:
+  static uint8_t Add(uint8_t a, uint8_t b) { return a ^ b; }
+  static uint8_t Sub(uint8_t a, uint8_t b) { return a ^ b; }
+  static uint8_t Mul(uint8_t a, uint8_t b);
+  /// Division; b must be non-zero (aborts otherwise).
+  static uint8_t Div(uint8_t a, uint8_t b);
+  /// Multiplicative inverse; a must be non-zero.
+  static uint8_t Inv(uint8_t a);
+  /// a^power (power >= 0).
+  static uint8_t Exp(uint8_t a, int power);
+
+ private:
+  struct Tables;
+  static const Tables& GetTables();
+};
+
+}  // namespace nbraft::craft
+
+#endif  // NBRAFT_CRAFT_GF256_H_

@@ -1,0 +1,167 @@
+#include "craft/reed_solomon.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "craft/gf256.h"
+
+namespace nbraft::craft {
+
+ReedSolomon::ReedSolomon(int k, int m) : k_(k), m_(m) {
+  NBRAFT_CHECK_GE(k, 1);
+  NBRAFT_CHECK_GE(m, 0);
+  NBRAFT_CHECK_LE(k + m, 255);
+  const int n = k + m;
+  // Build an n x k Vandermonde matrix, then normalize the top k x k block
+  // to the identity so the code is systematic.
+  Matrix vm = Vandermonde(n, k);
+  Matrix top(vm.begin(), vm.begin() + k);
+  auto top_inv = Invert(top);
+  NBRAFT_CHECK(top_inv.ok()) << "Vandermonde top block must be invertible";
+  encode_matrix_ = Multiply(vm, top_inv.value());
+}
+
+ReedSolomon::Matrix ReedSolomon::Vandermonde(int rows, int cols) {
+  Matrix m(rows, Row(cols));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      m[r][c] = Gf256::Exp(static_cast<uint8_t>(r + 1), c);
+    }
+  }
+  return m;
+}
+
+Result<ReedSolomon::Matrix> ReedSolomon::Invert(Matrix m) {
+  const int n = static_cast<int>(m.size());
+  Matrix inv(n, Row(n, 0));
+  for (int i = 0; i < n; ++i) inv[i][i] = 1;
+
+  for (int col = 0; col < n; ++col) {
+    // Find a pivot.
+    int pivot = -1;
+    for (int r = col; r < n; ++r) {
+      if (m[r][col] != 0) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) return Status::InvalidArgument("singular matrix");
+    std::swap(m[col], m[pivot]);
+    std::swap(inv[col], inv[pivot]);
+
+    // Scale the pivot row to 1.
+    const uint8_t scale = Gf256::Inv(m[col][col]);
+    for (int c = 0; c < n; ++c) {
+      m[col][c] = Gf256::Mul(m[col][c], scale);
+      inv[col][c] = Gf256::Mul(inv[col][c], scale);
+    }
+    // Eliminate the column elsewhere.
+    for (int r = 0; r < n; ++r) {
+      if (r == col || m[r][col] == 0) continue;
+      const uint8_t factor = m[r][col];
+      for (int c = 0; c < n; ++c) {
+        m[r][c] ^= Gf256::Mul(factor, m[col][c]);
+        inv[r][c] ^= Gf256::Mul(factor, inv[col][c]);
+      }
+    }
+  }
+  return inv;
+}
+
+ReedSolomon::Matrix ReedSolomon::Multiply(const Matrix& a, const Matrix& b) {
+  const int rows = static_cast<int>(a.size());
+  const int inner = static_cast<int>(b.size());
+  const int cols = static_cast<int>(b[0].size());
+  Matrix out(rows, Row(cols, 0));
+  for (int r = 0; r < rows; ++r) {
+    for (int i = 0; i < inner; ++i) {
+      const uint8_t av = a[r][i];
+      if (av == 0) continue;
+      for (int c = 0; c < cols; ++c) {
+        out[r][c] ^= Gf256::Mul(av, b[i][c]);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> ReedSolomon::Encode(std::string_view data) const {
+  const size_t shard_size = ShardSize(data.size());
+  const int n = total_shards();
+  std::vector<std::string> shards(n);
+
+  // Data shards: plain slices, zero-padded.
+  for (int i = 0; i < k_; ++i) {
+    const size_t offset = static_cast<size_t>(i) * shard_size;
+    std::string shard(shard_size, '\0');
+    if (offset < data.size()) {
+      const size_t take = std::min(shard_size, data.size() - offset);
+      std::memcpy(shard.data(), data.data() + offset, take);
+    }
+    shards[i] = std::move(shard);
+  }
+  // Parity shards.
+  for (int p = k_; p < n; ++p) {
+    std::string shard(shard_size, '\0');
+    for (int i = 0; i < k_; ++i) {
+      const uint8_t coeff = encode_matrix_[p][i];
+      if (coeff == 0) continue;
+      const std::string& src = shards[i];
+      for (size_t b = 0; b < shard_size; ++b) {
+        shard[b] = static_cast<char>(
+            static_cast<uint8_t>(shard[b]) ^
+            Gf256::Mul(coeff, static_cast<uint8_t>(src[b])));
+      }
+    }
+    shards[p] = std::move(shard);
+  }
+  return shards;
+}
+
+Result<std::string> ReedSolomon::Decode(
+    const std::vector<std::optional<std::string>>& shards,
+    size_t original_len) const {
+  if (static_cast<int>(shards.size()) != total_shards()) {
+    return Status::InvalidArgument("wrong shard vector size");
+  }
+  const size_t shard_size = ShardSize(original_len);
+
+  // Collect the first k present shards and their encode-matrix rows.
+  std::vector<int> rows;
+  for (int i = 0; i < total_shards() && static_cast<int>(rows.size()) < k_;
+       ++i) {
+    if (!shards[i].has_value()) continue;
+    if (shards[i]->size() != shard_size) {
+      return Status::InvalidArgument("shard size mismatch");
+    }
+    rows.push_back(i);
+  }
+  if (static_cast<int>(rows.size()) < k_) {
+    return Status::InvalidArgument("not enough shards to decode");
+  }
+
+  Matrix sub(k_, Row(k_));
+  for (int r = 0; r < k_; ++r) sub[r] = encode_matrix_[rows[r]];
+  auto inv = Invert(std::move(sub));
+  if (!inv.ok()) return inv.status();
+
+  // data_slice[j] = sum_r inv[j][r] * shard[rows[r]].
+  std::string out(static_cast<size_t>(k_) * shard_size, '\0');
+  for (int j = 0; j < k_; ++j) {
+    char* dst = out.data() + static_cast<size_t>(j) * shard_size;
+    for (int r = 0; r < k_; ++r) {
+      const uint8_t coeff = inv.value()[j][r];
+      if (coeff == 0) continue;
+      const std::string& src = *shards[rows[r]];
+      for (size_t b = 0; b < shard_size; ++b) {
+        dst[b] = static_cast<char>(
+            static_cast<uint8_t>(dst[b]) ^
+            Gf256::Mul(coeff, static_cast<uint8_t>(src[b])));
+      }
+    }
+  }
+  out.resize(original_len);
+  return out;
+}
+
+}  // namespace nbraft::craft

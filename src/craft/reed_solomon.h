@@ -1,0 +1,60 @@
+#ifndef NBRAFT_CRAFT_REED_SOLOMON_H_
+#define NBRAFT_CRAFT_REED_SOLOMON_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace nbraft::craft {
+
+/// Systematic Reed–Solomon erasure coder over GF(2^8), in the style of the
+/// coders CRaft builds on: `k` data shards and `m` parity shards such that
+/// *any* k of the n = k + m shards reconstruct the original data.
+///
+/// The encoding matrix is a Vandermonde matrix row-reduced so its top k×k
+/// block is the identity (shards 0..k-1 are plain data slices).
+class ReedSolomon {
+ public:
+  /// Requires 1 <= k, 0 <= m, k + m <= 255.
+  ReedSolomon(int k, int m);
+
+  int data_shards() const { return k_; }
+  int parity_shards() const { return m_; }
+  int total_shards() const { return k_ + m_; }
+
+  /// Splits `data` into k equal slices (zero-padded) and produces n shards,
+  /// each of size ceil(len/k). Shard i (< k) is the i-th data slice.
+  std::vector<std::string> Encode(std::string_view data) const;
+
+  /// Reconstructs the original `original_len` bytes from any >= k shards.
+  /// `shards[i]` empty/nullopt means shard i is missing. Fails with
+  /// InvalidArgument if fewer than k shards are present or sizes disagree.
+  Result<std::string> Decode(
+      const std::vector<std::optional<std::string>>& shards,
+      size_t original_len) const;
+
+  /// Size of each shard for a payload of `len` bytes.
+  size_t ShardSize(size_t len) const { return (len + k_ - 1) / k_; }
+
+ private:
+  using Row = std::vector<uint8_t>;
+  using Matrix = std::vector<Row>;
+
+  static Matrix Vandermonde(int rows, int cols);
+  /// Inverts a square matrix in GF(256); fails if singular.
+  static Result<Matrix> Invert(Matrix m);
+  static Matrix Multiply(const Matrix& a, const Matrix& b);
+
+  int k_;
+  int m_;
+  Matrix encode_matrix_;  // n x k, top k x k block = identity.
+};
+
+}  // namespace nbraft::craft
+
+#endif  // NBRAFT_CRAFT_REED_SOLOMON_H_

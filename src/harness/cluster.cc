@@ -1,0 +1,250 @@
+#include "harness/cluster.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace nbraft::harness {
+
+namespace {
+
+std::unique_ptr<tsdb::StateMachine> MakeStateMachine(SystemProfile profile) {
+  if (profile == SystemProfile::kRatis) {
+    return std::make_unique<tsdb::FileStoreStateMachine>();
+  }
+  tsdb::TsdbStateMachine::Options options;
+  return std::make_unique<tsdb::TsdbStateMachine>(options);
+}
+
+}  // namespace
+
+Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
+  NBRAFT_CHECK_GE(config_.num_nodes, 1);
+  NBRAFT_CHECK_GE(config_.num_clients, 0);
+  sim_ = std::make_unique<sim::Simulator>(config_.seed);
+  network_ = std::make_unique<net::SimNetwork>(sim_.get(), config_.network);
+
+  std::vector<net::NodeId> server_ids;
+  for (int i = 0; i < config_.num_nodes; ++i) server_ids.push_back(i);
+  if (config_.geo_distributed) {
+    NBRAFT_CHECK_LE(config_.num_nodes, 5)
+        << "geo topology models 5 regions (Fig. 20)";
+    net::ApplyGeoTopology(network_.get(), server_ids);
+  }
+
+  raft::RaftOptions options =
+      raft::OptionsForProtocol(config_.protocol, config_.window_size);
+  options.dispatchers_per_follower = config_.dispatchers < 0
+                                         ? std::max(config_.num_clients, 1)
+                                         : config_.dispatchers;
+  options.cpu_lanes = config_.cpu_lanes;
+  options.election_timeout = config_.election_timeout;
+  options.release_applied_payloads = config_.release_payloads;
+  options.snapshot_threshold = config_.snapshot_threshold;
+  options.snapshot_keep_tail = config_.snapshot_keep_tail;
+  options.wal_dir = config_.wal_dir;
+  if (config_.profile == SystemProfile::kRatis) {
+    // Ratis holds a heavier lock during indexing (paper Sec. II-F), moving
+    // queue time into t_idx.
+    options.costs.index_cost = Micros(12);
+  }
+
+  for (int i = 0; i < config_.num_nodes; ++i) {
+    std::vector<net::NodeId> peers;
+    for (int j = 0; j < config_.num_nodes; ++j) {
+      if (j != i) peers.push_back(j);
+    }
+    auto node = std::make_unique<raft::RaftNode>(
+        sim_.get(), network_.get(), i, std::move(peers), options,
+        MakeStateMachine(config_.profile));
+    if (config_.cpu_speed != 1.0) {
+      node->cpu()->set_speed_factor(config_.cpu_speed);
+    }
+    nodes_.push_back(std::move(node));
+  }
+
+  raft::RaftClient::Options client_options;
+  client_options.think_time = config_.client_think;
+  client_options.payload_size = config_.payload_size;
+  client_options.pipeline_window =
+      options.window_size > 0 ? options.window_size : 0;
+
+  for (int i = 0; i < config_.num_clients; ++i) {
+    IngestWorkload::Options wopts = config_.workload;
+    workloads_.push_back(std::make_unique<IngestWorkload>(
+        wopts, config_.seed * 1315423911ULL + static_cast<uint64_t>(i)));
+    IngestWorkload* workload = workloads_.back().get();
+    clients_.push_back(std::make_unique<raft::RaftClient>(
+        sim_.get(), network_.get(), net::kClientIdBase + i, server_ids,
+        client_options,
+        [workload](size_t target) { return workload->MakePayload(target); }));
+  }
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::Start() {
+  for (auto& node : nodes_) node->Start();
+  // Bootstrap: node 0 stands for election immediately instead of waiting a
+  // full randomized timeout.
+  sim_->After(Millis(1), [this]() { nodes_[0]->TriggerElection(); });
+}
+
+void Cluster::StartClients() {
+  for (auto& client : clients_) client->Start();
+}
+
+void Cluster::RunFor(SimDuration d) { sim_->RunUntil(sim_->Now() + d); }
+
+bool Cluster::AwaitLeader(SimDuration limit) {
+  const SimTime deadline = sim_->Now() + limit;
+  while (sim_->Now() < deadline) {
+    if (leader() != nullptr) return true;
+    sim_->RunUntil(sim_->Now() + Millis(10));
+  }
+  return leader() != nullptr;
+}
+
+void Cluster::CrashNode(int i) {
+  nodes_[static_cast<size_t>(i)]->Crash();
+}
+
+void Cluster::RestartNode(int i) {
+  nodes_[static_cast<size_t>(i)]->Restart();
+}
+
+int Cluster::CrashLeader() {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i]->crashed() && nodes_[i]->role() == raft::Role::kLeader) {
+      nodes_[i]->Crash();
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void Cluster::StopAllClients() {
+  for (auto& client : clients_) client->Stop();
+}
+
+raft::RaftNode* Cluster::leader() {
+  raft::RaftNode* best = nullptr;
+  for (auto& node : nodes_) {
+    if (node->crashed() || node->role() != raft::Role::kLeader) continue;
+    if (best == nullptr || node->current_term() > best->current_term()) {
+      best = node.get();
+    }
+  }
+  return best;
+}
+
+void Cluster::ResetMeasurement() {
+  for (auto& client : clients_) client->ResetMeasurement();
+}
+
+ClusterStats Cluster::Collect() const {
+  ClusterStats out;
+  for (const auto& client : clients_) {
+    const raft::ClientStats& cs = client->stats();
+    out.requests_issued += cs.requests_issued;
+    out.requests_completed += cs.requests_completed;
+    out.weak_accepts += cs.weak_accepts;
+    out.client_retries += cs.retries;
+    out.completion_latency.Merge(cs.completion_latency);
+    out.unblock_latency.Merge(cs.unblock_latency);
+    out.breakdown.Add(metrics::Phase::kGenClient, cs.gen_time_total);
+  }
+  for (const auto& node : nodes_) {
+    const raft::NodeStats& ns = node->stats();
+    out.follower_wait.Merge(ns.wait_hist);
+    out.breakdown.Merge(ns.breakdown);
+    out.elections += ns.elections_started;
+    out.rpc_timeouts += ns.rpc_timeouts;
+    out.window_inserts += ns.window_inserts;
+    out.degraded_entries += ns.degraded_entries;
+    if (node->role() == raft::Role::kLeader && !node->crashed()) {
+      out.entries_committed_leader = ns.entries_committed;
+    }
+  }
+  return out;
+}
+
+Status Cluster::CheckLogMatching() const {
+  for (size_t a = 0; a < nodes_.size(); ++a) {
+    for (size_t b = a + 1; b < nodes_.size(); ++b) {
+      const auto& la = nodes_[a]->log();
+      const auto& lb = nodes_[b]->log();
+      const storage::LogIndex last =
+          std::min(la.LastIndex(), lb.LastIndex());
+      const storage::LogIndex first =
+          std::max(la.FirstIndex(), lb.FirstIndex());
+      // Find the highest shared (index, term) point.
+      storage::LogIndex match = 0;
+      for (storage::LogIndex i = last; i >= first; --i) {
+        if (la.AtUnchecked(i).term == lb.AtUnchecked(i).term) {
+          match = i;
+          break;
+        }
+      }
+      // Everything at or below the match point must agree.
+      for (storage::LogIndex i = first; i <= match; ++i) {
+        const auto& ea = la.AtUnchecked(i);
+        const auto& eb = lb.AtUnchecked(i);
+        if (ea.term != eb.term || ea.request_id != eb.request_id) {
+          return Status::Corruption(
+              "log matching violated at index " + std::to_string(i) +
+              " between nodes " + std::to_string(a) + " and " +
+              std::to_string(b));
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status Cluster::CheckCommittedPrefixes() const {
+  // State Machine Safety: two nodes may only disagree above the commit
+  // point of at least one of them (an uncommitted conflicting tail on a
+  // stale follower is legal; a committed divergence is not).
+  for (size_t a = 0; a < nodes_.size(); ++a) {
+    const auto& la = nodes_[a]->log();
+    for (size_t b = a + 1; b < nodes_.size(); ++b) {
+      const auto& lb = nodes_[b]->log();
+      const storage::LogIndex upto = std::min(
+          {nodes_[a]->commit_index(), nodes_[b]->commit_index(),
+           la.LastIndex(), lb.LastIndex()});
+      for (storage::LogIndex i = std::max(la.FirstIndex(), lb.FirstIndex());
+           i <= upto; ++i) {
+        const auto& ea = la.AtUnchecked(i);
+        const auto& eb = lb.AtUnchecked(i);
+        if (ea.term != eb.term || ea.request_id != eb.request_id) {
+          return Status::Corruption(
+              "committed entries diverge at index " + std::to_string(i));
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+uint64_t Cluster::CountUniqueRequestsInLog(int node_index) const {
+  const auto& log = nodes_[static_cast<size_t>(node_index)]->log();
+  std::set<uint64_t> ids;
+  for (storage::LogIndex i = log.FirstIndex(); i <= log.LastIndex(); ++i) {
+    const auto& e = log.AtUnchecked(i);
+    if (e.client_id != net::kInvalidNode) ids.insert(e.request_id);
+  }
+  return ids.size();
+}
+
+uint64_t Cluster::TotalRequestsIssued() const {
+  uint64_t total = 0;
+  for (const auto& client : clients_) {
+    total += client->requests_issued_total();
+  }
+  return total;
+}
+
+}  // namespace nbraft::harness

@@ -1,0 +1,158 @@
+#ifndef NBRAFT_HARNESS_CLUSTER_H_
+#define NBRAFT_HARNESS_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "harness/workload.h"
+#include "metrics/breakdown.h"
+#include "metrics/histogram.h"
+#include "net/network.h"
+#include "raft/raft_client.h"
+#include "raft/raft_node.h"
+#include "raft/types.h"
+#include "sim/simulator.h"
+
+namespace nbraft::harness {
+
+/// Which state-machine/cost profile the replicas run (the two systems of
+/// the paper's Fig. 4).
+enum class SystemProfile {
+  kIoTDB,  ///< Memtable-batched time-series apply; light indexing lock.
+  kRatis,  ///< FileStore: per-request I/O apply; heavy indexing lock.
+};
+
+/// Everything needed to assemble one experiment's cluster.
+struct ClusterConfig {
+  int num_nodes = 3;           ///< Paper default replication factor.
+  int num_clients = 64;
+  raft::Protocol protocol = raft::Protocol::kRaft;
+  int window_size = 10000;     ///< Paper default for NB variants.
+  size_t payload_size = 4096;  ///< Paper default 4 KB.
+
+  /// Dispatchers per follower; -1 follows the paper ("the number of
+  /// dispatchers is the same as clients").
+  int dispatchers = -1;
+
+  int cpu_lanes = 16;
+  double cpu_speed = 1.0;      ///< Fig. 23: < 1 models disabled CPU-Turbo.
+
+  /// Snapshot/compaction threshold forwarded to every node (0 = off).
+  int64_t snapshot_threshold = 0;
+  int64_t snapshot_keep_tail = 64;
+
+  /// Real WAL durability directory forwarded to every node ("" = off).
+  std::string wal_dir;
+  SimDuration election_timeout = Millis(500);
+  SimDuration client_think = Micros(5);
+  net::NetworkConfig network;
+  bool geo_distributed = false;  ///< Fig. 20 topology (max 5 nodes).
+  SystemProfile profile = SystemProfile::kIoTDB;
+  uint64_t seed = 42;
+  IngestWorkload::Options workload;
+
+  /// Free applied payload bytes (keep on for long throughput runs).
+  bool release_payloads = true;
+};
+
+/// Aggregated run metrics.
+struct ClusterStats {
+  uint64_t requests_issued = 0;
+  uint64_t requests_completed = 0;
+  uint64_t weak_accepts = 0;
+  uint64_t client_retries = 0;
+  metrics::Histogram completion_latency;
+  metrics::Histogram unblock_latency;
+  metrics::Histogram follower_wait;  ///< t_wait(F) across followers.
+  metrics::Breakdown breakdown;      ///< Merged over all nodes + t_gen.
+  uint64_t entries_committed_leader = 0;
+  uint64_t elections = 0;
+  uint64_t rpc_timeouts = 0;
+  uint64_t window_inserts = 0;
+  uint64_t degraded_entries = 0;
+};
+
+/// An in-process cluster on the deterministic simulator: N replicas, M
+/// closed-loop clients, one network. This is the paper's testbed in
+/// miniature; every evaluation figure is produced through it.
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Starts the replicas and bootstraps node 0 as the initial leader.
+  void Start();
+
+  /// Starts every client connection (typically after Start + a grace
+  /// period so a leader exists).
+  void StartClients();
+
+  /// Advances virtual time by `d`.
+  void RunFor(SimDuration d);
+
+  /// Runs until a leader exists (or `limit` elapses). Returns success.
+  bool AwaitLeader(SimDuration limit = Seconds(10));
+
+  // ---- Failure injection (Sec. V-G / Fig. 21) ----
+  void CrashNode(int i);
+  void RestartNode(int i);
+  /// Kills the current leader; returns its index or -1.
+  int CrashLeader();
+  /// Kills every client simultaneously (the paper's loss experiment kills
+  /// leader and clients together).
+  void StopAllClients();
+
+  // ---- Introspection ----
+  sim::Simulator* sim() { return sim_.get(); }
+  net::SimNetwork* network() { return network_.get(); }
+  raft::RaftNode* node(int i) { return nodes_[static_cast<size_t>(i)].get(); }
+  raft::RaftClient* client(int i) {
+    return clients_[static_cast<size_t>(i)].get();
+  }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_clients() const { return static_cast<int>(clients_.size()); }
+  const ClusterConfig& config() const { return config_; }
+
+  /// Current leader among non-crashed nodes, or nullptr.
+  raft::RaftNode* leader();
+
+  /// Marks the start of the measurement window (resets client stats).
+  void ResetMeasurement();
+
+  /// Aggregates node + client metrics.
+  ClusterStats Collect() const;
+
+  // ---- Invariant checks (used by the integration tests) ----
+
+  /// Log Matching: if two logs share (index, term) they share everything
+  /// up to that index.
+  Status CheckLogMatching() const;
+
+  /// Committed-prefix agreement: entries at or below each node's commit
+  /// index agree across nodes that have them.
+  Status CheckCommittedPrefixes() const;
+
+  /// Counts distinct client request ids present in `node_index`'s log —
+  /// the survivor count of the paper's data-loss experiment.
+  uint64_t CountUniqueRequestsInLog(int node_index) const;
+
+  /// Total distinct requests issued across all clients.
+  uint64_t TotalRequestsIssued() const;
+
+ private:
+  ClusterConfig config_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<net::SimNetwork> network_;
+  std::vector<std::unique_ptr<raft::RaftNode>> nodes_;
+  std::vector<std::unique_ptr<raft::RaftClient>> clients_;
+  std::vector<std::unique_ptr<IngestWorkload>> workloads_;
+};
+
+}  // namespace nbraft::harness
+
+#endif  // NBRAFT_HARNESS_CLUSTER_H_

@@ -1,0 +1,43 @@
+#include "harness/workload.h"
+
+#include <cmath>
+
+namespace nbraft::harness {
+
+IngestWorkload::IngestWorkload(Options options, uint64_t seed)
+    : options_(options),
+      rng_(seed),
+      clock_ms_(options.start_timestamp_ms) {
+  if (options_.zipf_skew > 0.0) {
+    zipf_ = std::make_unique<ZipfDistribution>(options_.series_count,
+                                               options_.zipf_skew);
+  }
+}
+
+std::string IngestWorkload::MakePayload(size_t target_size) {
+  ++requests_;
+  std::vector<tsdb::Measurement> batch;
+  batch.reserve(static_cast<size_t>(options_.measurements_per_request));
+  for (int i = 0; i < options_.measurements_per_request; ++i) {
+    tsdb::Measurement m;
+    m.series_id = zipf_ != nullptr
+                      ? zipf_->Sample(&rng_)
+                      : rng_.NextBounded(options_.series_count);
+    // Mild timestamp jitter around the sampling interval, as real devices
+    // exhibit (cf. the paper's imputation discussion in Sec. IV).
+    m.point.timestamp =
+        clock_ms_ + static_cast<int64_t>(rng_.NextBounded(
+                        static_cast<uint64_t>(options_.sampling_interval_ms)));
+    m.point.value = 20.0 + 5.0 * std::sin(static_cast<double>(requests_) /
+                                          100.0) +
+                    rng_.NextGaussian(0.0, 0.25);
+    batch.push_back(m);
+  }
+  clock_ms_ += options_.sampling_interval_ms;
+
+  std::string payload;
+  tsdb::EncodeIngestBatch(batch, target_size, &payload);
+  return payload;
+}
+
+}  // namespace nbraft::harness

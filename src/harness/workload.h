@@ -1,0 +1,44 @@
+#ifndef NBRAFT_HARNESS_WORKLOAD_H_
+#define NBRAFT_HARNESS_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "tsdb/ingest_record.h"
+
+namespace nbraft::harness {
+
+/// TPCx-IoT-style ingestion workload: each request is a batch of sensor
+/// measurements for a fleet of devices/series, padded to the experiment's
+/// payload size. Timestamps advance at a fixed sampling interval with small
+/// jitter; series popularity can be skewed (Zipf) as in real IoT fleets.
+class IngestWorkload {
+ public:
+  struct Options {
+    uint64_t series_count = 1000;
+    int64_t start_timestamp_ms = 1'600'000'000'000;
+    int64_t sampling_interval_ms = 1000;  ///< ~1 Hz sensors (paper Sec. V-G).
+    double zipf_skew = 0.0;               ///< 0 = uniform series popularity.
+    int measurements_per_request = 16;
+  };
+
+  IngestWorkload(Options options, uint64_t seed);
+
+  /// Builds one request payload of at least `target_size` bytes.
+  std::string MakePayload(size_t target_size);
+
+  uint64_t requests_generated() const { return requests_; }
+
+ private:
+  Options options_;
+  nbraft::Rng rng_;
+  std::unique_ptr<ZipfDistribution> zipf_;
+  int64_t clock_ms_;
+  uint64_t requests_ = 0;
+};
+
+}  // namespace nbraft::harness
+
+#endif  // NBRAFT_HARNESS_WORKLOAD_H_

@@ -1,0 +1,103 @@
+#include "metrics/breakdown.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+namespace nbraft::metrics {
+
+std::string_view PhaseNotation(Phase phase) {
+  switch (phase) {
+    case Phase::kGenClient:
+      return "t_gen(C)";
+    case Phase::kTransClientLeader:
+      return "t_trans(CL)";
+    case Phase::kParse:
+      return "t_prs(L)";
+    case Phase::kIndex:
+      return "t_idx(L)";
+    case Phase::kQueue:
+      return "t_queue(L)";
+    case Phase::kTransLeaderFollower:
+      return "t_trans(LF)";
+    case Phase::kWaitFollower:
+      return "t_wait(F)";
+    case Phase::kAppendFollower:
+      return "t_append(F)";
+    case Phase::kAck:
+      return "t_ack(L)";
+    case Phase::kCommit:
+      return "t_commit(L)";
+    case Phase::kApply:
+      return "t_apply(L)";
+    case Phase::kNumPhases:
+      break;
+  }
+  return "?";
+}
+
+std::string_view PhaseDescription(Phase phase) {
+  switch (phase) {
+    case Phase::kGenClient:
+      return "Time to generate a request by a client";
+    case Phase::kTransClientLeader:
+      return "Time to send an entry from the client to the leader";
+    case Phase::kParse:
+      return "Time to convert a binary string into a meaningful request";
+    case Phase::kIndex:
+      return "Time to assign a term and an index to an entry by the leader";
+    case Phase::kQueue:
+      return "Time after being indexed and before being sent to a follower";
+    case Phase::kTransLeaderFollower:
+      return "Time to send an entry from the leader to a follower";
+    case Phase::kWaitFollower:
+      return "Time from receiving an entry to being appendable in a follower";
+    case Phase::kAppendFollower:
+      return "Time to append an entry in a follower";
+    case Phase::kAck:
+      return "Time to collect responses for an entry";
+    case Phase::kCommit:
+      return "Time to mark an entry as committed by the leader";
+    case Phase::kApply:
+      return "Time to execute the command in an entry";
+    case Phase::kNumPhases:
+      break;
+  }
+  return "?";
+}
+
+SimDuration Breakdown::GrandTotal() const {
+  return std::accumulate(total_.begin(), total_.end(), SimDuration{0});
+}
+
+double Breakdown::Proportion(Phase phase) const {
+  const SimDuration grand = GrandTotal();
+  if (grand == 0) return 0.0;
+  return static_cast<double>(total(phase)) / static_cast<double>(grand);
+}
+
+void Breakdown::Merge(const Breakdown& other) {
+  for (int i = 0; i < kNumPhases; ++i) total_[i] += other.total_[i];
+}
+
+std::string Breakdown::ToTable() const {
+  std::vector<int> order(kNumPhases);
+  for (int i = 0; i < kNumPhases; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [this](int a, int b) { return total_[a] > total_[b]; });
+
+  std::string out;
+  char line[160];
+  for (int i : order) {
+    const auto phase = static_cast<Phase>(i);
+    std::snprintf(line, sizeof(line), "  %-12s %6.2f%%  (%s)\n",
+                  std::string(PhaseNotation(phase)).c_str(),
+                  Proportion(phase) * 100.0,
+                  std::string(PhaseDescription(phase)).c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace nbraft::metrics

@@ -1,0 +1,71 @@
+#ifndef NBRAFT_METRICS_BREAKDOWN_H_
+#define NBRAFT_METRICS_BREAKDOWN_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/sim_time.h"
+
+namespace nbraft::metrics {
+
+/// The per-phase cost taxonomy of the paper's Section II / Table I.
+/// Each replicated entry contributes time to these phases; the Fig. 4
+/// benchmark prints their proportions.
+enum class Phase : int {
+  kGenClient = 0,   ///< t_gen(C): client generates a request.
+  kTransClientLeader,  ///< t_trans(CL): client -> leader network.
+  kParse,           ///< t_prs(L): leader parses the binary request.
+  kIndex,           ///< t_idx(L): leader assigns term/index, local append.
+  kQueue,           ///< t_queue(L): waiting in a dispatcher queue.
+  kTransLeaderFollower,  ///< t_trans(LF): leader -> follower network.
+  kWaitFollower,    ///< t_wait(F): received but not yet appendable.
+  kAppendFollower,  ///< t_append(F): follower appends the entry.
+  kAck,             ///< t_ack(L): first append -> quorum appended.
+  kCommit,          ///< t_commit(L): leader marks committed.
+  kApply,           ///< t_apply(L): state machine executes the command.
+  kNumPhases,
+};
+
+constexpr int kNumPhases = static_cast<int>(Phase::kNumPhases);
+
+/// Paper notation for a phase, e.g. "t_wait(F)".
+std::string_view PhaseNotation(Phase phase);
+
+/// Short description from Table I.
+std::string_view PhaseDescription(Phase phase);
+
+/// Accumulates total time per phase across all entries of a run.
+class Breakdown {
+ public:
+  Breakdown() { total_.fill(0); }
+
+  void Add(Phase phase, SimDuration d) {
+    if (d < 0) d = 0;
+    total_[static_cast<int>(phase)] += d;
+  }
+
+  SimDuration total(Phase phase) const {
+    return total_[static_cast<int>(phase)];
+  }
+
+  /// Sum over all phases.
+  SimDuration GrandTotal() const;
+
+  /// Fraction of the grand total spent in `phase`, in [0,1].
+  double Proportion(Phase phase) const;
+
+  void Merge(const Breakdown& other);
+  void Reset() { total_.fill(0); }
+
+  /// Multi-line table of phase proportions, largest first (Fig. 4 style).
+  std::string ToTable() const;
+
+ private:
+  std::array<SimDuration, kNumPhases> total_;
+};
+
+}  // namespace nbraft::metrics
+
+#endif  // NBRAFT_METRICS_BREAKDOWN_H_

@@ -1,0 +1,94 @@
+#include "metrics/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/sim_time.h"
+
+namespace nbraft::metrics {
+
+Histogram::Histogram() { Reset(); }
+
+void Histogram::Reset() {
+  buckets_.assign(64 * kSubBuckets, 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+int Histogram::BucketFor(int64_t value) {
+  if (value < 0) value = 0;
+  const uint64_t v = static_cast<uint64_t>(value);
+  if (v < kSubBuckets) return static_cast<int>(v);
+  const int msb = 63 - std::countl_zero(v);
+  const int shift = msb - kSubBucketBits;  // v >> shift is in [16, 31].
+  const int sub = static_cast<int>(v >> shift) - kSubBuckets;
+  return (shift + 1) * kSubBuckets + sub;
+}
+
+int64_t Histogram::BucketLowerBound(int bucket) {
+  if (bucket < kSubBuckets) return bucket;
+  const int shift = bucket / kSubBuckets - 1;
+  const int sub = bucket % kSubBuckets;
+  return (static_cast<int64_t>(kSubBuckets + sub)) << shift;
+}
+
+void Histogram::Record(int64_t value) { RecordMany(value, 1); }
+
+void Histogram::RecordMany(int64_t value, uint64_t count) {
+  if (count == 0) return;
+  if (value < 0) value = 0;
+  const int b = BucketFor(value);
+  NBRAFT_CHECK_LT(static_cast<size_t>(b), buckets_.size());
+  buckets_[b] += count;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  count_ += count;
+  sum_ += static_cast<double>(value) * static_cast<double>(count);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+int64_t Histogram::min() const { return count_ == 0 ? 0 : min_; }
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+int64_t Histogram::ValueAtQuantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target =
+      static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      return std::min(BucketLowerBound(static_cast<int>(i)), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "n=%llu mean=%s p50=%s p95=%s p99=%s max=%s",
+                static_cast<unsigned long long>(count_),
+                FormatDuration(static_cast<int64_t>(Mean())).c_str(),
+                FormatDuration(P50()).c_str(), FormatDuration(P95()).c_str(),
+                FormatDuration(P99()).c_str(),
+                FormatDuration(max()).c_str());
+  return buf;
+}
+
+}  // namespace nbraft::metrics

@@ -1,0 +1,66 @@
+#ifndef NBRAFT_METRICS_HISTOGRAM_H_
+#define NBRAFT_METRICS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nbraft::metrics {
+
+/// Log-bucketed histogram for non-negative 64-bit values (latencies in
+/// nanoseconds, sizes in bytes). Values are bucketed with ~4.3% relative
+/// error (16 sub-buckets per power of two), which is plenty for the
+/// percentile reporting the benchmarks do.
+///
+/// Records are O(1); percentile queries are O(#buckets). Not thread-safe
+/// (the simulator is single-threaded).
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one observation. Negative values are clamped to zero.
+  void Record(int64_t value);
+
+  /// Records `count` observations of the same value.
+  void RecordMany(int64_t value, uint64_t count);
+
+  /// Merges another histogram into this one.
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return count_; }
+  int64_t min() const;
+  int64_t max() const { return max_; }
+  double Mean() const;
+  double Sum() const { return sum_; }
+
+  /// Value at quantile q in [0, 1]; e.g. ValueAtQuantile(0.99) is p99.
+  /// Returns 0 for an empty histogram.
+  int64_t ValueAtQuantile(double q) const;
+
+  int64_t P50() const { return ValueAtQuantile(0.50); }
+  int64_t P95() const { return ValueAtQuantile(0.95); }
+  int64_t P99() const { return ValueAtQuantile(0.99); }
+
+  /// Resets to empty.
+  void Reset();
+
+  /// One-line summary, e.g. "n=1000 mean=1.2ms p50=1.0ms p99=4.1ms max=9ms".
+  std::string Summary() const;
+
+ private:
+  static constexpr int kSubBucketBits = 4;  // 16 sub-buckets per octave.
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+
+  static int BucketFor(int64_t value);
+  static int64_t BucketLowerBound(int bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+}  // namespace nbraft::metrics
+
+#endif  // NBRAFT_METRICS_HISTOGRAM_H_

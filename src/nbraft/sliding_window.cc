@@ -1,0 +1,69 @@
+#include "nbraft/sliding_window.h"
+
+#include "common/logging.h"
+
+namespace nbraft::raft {
+
+SlidingWindow::SlidingWindow(int capacity) : capacity_(capacity) {
+  NBRAFT_CHECK_GE(capacity, 0);
+}
+
+const storage::LogEntry& SlidingWindow::At(storage::LogIndex index) const {
+  const auto it = entries_.find(index);
+  NBRAFT_CHECK(it != entries_.end()) << "window miss at " << index;
+  return it->second;
+}
+
+void SlidingWindow::Insert(const storage::LogEntry& entry) {
+  // Predecessor continuity (Sec. III-A2a): remove a predecessor the new
+  // entry does not chain to.
+  const auto pred = entries_.find(entry.index - 1);
+  if (pred != entries_.end() && pred->second.term != entry.prev_term) {
+    entries_.erase(pred);
+  }
+  // Successor continuity: if the new entry is not the successor's previous
+  // entry, the successor and everything after it are stale (Fig. 8).
+  const auto succ = entries_.find(entry.index + 1);
+  if (succ != entries_.end() && succ->second.prev_term != entry.term) {
+    entries_.erase(succ, entries_.end());
+  }
+  entries_[entry.index] = entry;
+}
+
+std::vector<storage::LogEntry> SlidingWindow::TakeFlushablePrefix(
+    storage::LogIndex last_index, storage::Term last_term) {
+  std::vector<storage::LogEntry> out;
+  storage::LogIndex next = last_index + 1;
+  storage::Term prev_term = last_term;
+  for (auto it = entries_.find(next); it != entries_.end();
+       it = entries_.find(next)) {
+    if (it->second.prev_term != prev_term) break;
+    prev_term = it->second.term;
+    ++next;
+    out.push_back(std::move(it->second));
+    entries_.erase(it);
+  }
+  return out;
+}
+
+void SlidingWindow::OnLogReshaped(storage::LogIndex new_last,
+                                  storage::Term min_term) {
+  const storage::LogIndex window_end = new_last + capacity_;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const storage::LogEntry& e = it->second;
+    if (e.index <= new_last || e.index > window_end || e.term < min_term) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<storage::LogIndex> SlidingWindow::Indices() const {
+  std::vector<storage::LogIndex> out;
+  out.reserve(entries_.size());
+  for (const auto& [index, entry] : entries_) out.push_back(index);
+  return out;
+}
+
+}  // namespace nbraft::raft

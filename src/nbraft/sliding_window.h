@@ -1,0 +1,79 @@
+#ifndef NBRAFT_NBRAFT_SLIDING_WINDOW_H_
+#define NBRAFT_NBRAFT_SLIDING_WINDOW_H_
+
+#include <map>
+#include <vector>
+
+#include "storage/log_entry.h"
+
+namespace nbraft::raft {
+
+/// The follower-side cache of NB-Raft (paper Sec. III-A): out-of-order
+/// entries that are received but not yet appendable are held here, in a
+/// window covering indices (last_appended, last_appended + capacity].
+///
+/// Entries are keyed by absolute log index — the paper's "position j holds
+/// index i + j" with i the last appended index. The window enforces the
+/// continuity rules of Sec. III-A2a on insertion and hands back flushable
+/// prefixes (Sec. III-A2b) when the head of the window becomes continuous
+/// with the log.
+///
+/// The class is pure data structure (no I/O, no clock) so the unit tests can
+/// replay the paper's Figs. 7, 8 and 9 literally.
+class SlidingWindow {
+ public:
+  /// `capacity` is the paper's window size w; 0 degenerates to original
+  /// Raft (nothing can ever be cached).
+  explicit SlidingWindow(int capacity);
+
+  int capacity() const { return capacity_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// True if an index is currently cached.
+  bool Contains(storage::LogIndex index) const {
+    return entries_.count(index) > 0;
+  }
+
+  /// Cached entry at `index`; requires Contains(index).
+  const storage::LogEntry& At(storage::LogIndex index) const;
+
+  /// Inserts `entry` (which the caller has checked to fall inside the
+  /// window: last_appended + 1 < entry.index <= last_appended + capacity),
+  /// applying the continuity rules:
+  ///   * a predecessor at index-1 that is not the entry's previous entry
+  ///     (term != entry.prev_term) is removed;
+  ///   * a successor at index+1 for which the entry is not the previous
+  ///     entry (successor.prev_term != entry.term) is removed together with
+  ///     every entry after it.
+  /// Re-inserting an index replaces the old entry (after the same checks).
+  void Insert(const storage::LogEntry& entry);
+
+  /// Pops the continuous prefix starting at `last_index + 1` whose
+  /// prev_term chain extends (last_index, last_term); the caller appends
+  /// the returned entries to the log (the paper's "flush", Fig. 9).
+  std::vector<storage::LogEntry> TakeFlushablePrefix(
+      storage::LogIndex last_index, storage::Term last_term);
+
+  /// Reacts to the appended log changing shape after a truncation /
+  /// replacement (Sec. III-A1, Fig. 7): the window "moves leftwards".
+  /// Drops every cached entry that
+  ///   * now falls at or before the new last appended index, or
+  ///   * exceeds the new window end (new_last + capacity), or
+  ///   * has a term lower than `min_term` (stale entries from old leaders).
+  void OnLogReshaped(storage::LogIndex new_last, storage::Term min_term);
+
+  /// Removes everything (leader change cleanup).
+  void Clear() { entries_.clear(); }
+
+  /// Cached indices in ascending order (for tests and introspection).
+  std::vector<storage::LogIndex> Indices() const;
+
+ private:
+  int capacity_;
+  std::map<storage::LogIndex, storage::LogEntry> entries_;
+};
+
+}  // namespace nbraft::raft
+
+#endif  // NBRAFT_NBRAFT_SLIDING_WINDOW_H_

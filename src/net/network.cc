@@ -1,0 +1,161 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace nbraft::net {
+
+SimNetwork::SimNetwork(sim::Simulator* sim, NetworkConfig config)
+    : sim_(sim), config_(config), rng_(sim->rng()->Next()) {}
+
+void SimNetwork::RegisterEndpoint(NodeId id, MessageHandler handler) {
+  handlers_[id] = std::move(handler);
+}
+
+void SimNetwork::UnregisterEndpoint(NodeId id) { handlers_.erase(id); }
+
+uint64_t SimNetwork::PairKey(NodeId a, NodeId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint32_t>(b);
+}
+
+SimDuration SimNetwork::LatencyFor(NodeId from, NodeId to) const {
+  const auto it = pair_latency_.find(PairKey(from, to));
+  return it != pair_latency_.end() ? it->second : config_.base_latency;
+}
+
+SimDuration SimNetwork::SerializationTime(size_t bytes) const {
+  if (config_.nic_bandwidth_bps <= 0) return 0;
+  const double seconds =
+      static_cast<double>(bytes) * 8.0 / config_.nic_bandwidth_bps;
+  return static_cast<SimDuration>(seconds * static_cast<double>(kSecond));
+}
+
+bool SimNetwork::LinkBlocked(NodeId from, NodeId to) const {
+  if (isolated_nodes_.count(from) > 0 || isolated_nodes_.count(to) > 0) {
+    return true;
+  }
+  return cut_links_.count(PairKey(from, to)) > 0;
+}
+
+SimTime SimNetwork::Send(NodeId from, NodeId to, size_t bytes,
+                         std::any payload) {
+  ++messages_sent_;
+  bytes_sent_ += bytes;
+
+  if (down_nodes_.count(from) > 0 || down_nodes_.count(to) > 0 ||
+      LinkBlocked(from, to) || rng_.NextBool(config_.drop_probability)) {
+    ++messages_dropped_;
+    return -1;
+  }
+
+  const SimTime now = sim_->Now();
+  const SimDuration ser = SerializationTime(bytes);
+
+  // Egress NIC of the sender: serialization queue.
+  Nic& src = nics_[from];
+  const SimTime tx_start = std::max(src.egress_free_at, now);
+  const SimTime tx_done = tx_start + ser;
+  src.egress_free_at = tx_done;
+
+  // Propagation + scheduling jitter. Jitter varies per message, so two
+  // messages sent back-to-back can arrive in either order — the disorder
+  // the paper's t_wait(F) bottleneck stems from.
+  SimDuration jitter = 0;
+  if (config_.jitter_mean > 0) {
+    jitter = static_cast<SimDuration>(
+        rng_.NextExponential(static_cast<double>(config_.jitter_mean)));
+  }
+  const SimTime propagated = tx_done + LatencyFor(from, to) + jitter;
+
+  Message msg;
+  msg.from = from;
+  msg.to = to;
+  msg.bytes = bytes;
+  msg.sent_at = now;
+  msg.payload = std::move(payload);
+
+  // The receiver's ingress NIC slot is claimed when the packet *arrives*
+  // (not when it was sent): reordered packets are served in arrival order,
+  // and the shared inbound link saturates when many clients send at once.
+  sim_->At(propagated, [this, ser, msg = std::move(msg)]() mutable {
+    Nic& dst = nics_[msg.to];
+    const SimTime rx_start = std::max(dst.ingress_free_at, sim_->Now());
+    const SimTime rx_done = rx_start + ser;
+    dst.ingress_free_at = rx_done;
+    sim_->At(rx_done, [this, msg = std::move(msg)]() mutable {
+      if (down_nodes_.count(msg.to) > 0) {
+        ++messages_dropped_;
+        return;
+      }
+      const auto it = handlers_.find(msg.to);
+      if (it == handlers_.end()) {
+        ++messages_dropped_;
+        return;
+      }
+      ++messages_delivered_;
+      it->second(std::move(msg));
+    });
+  });
+  return propagated + ser;
+}
+
+void SimNetwork::SetPairLatency(NodeId a, NodeId b, SimDuration latency) {
+  pair_latency_[PairKey(a, b)] = latency;
+}
+
+void SimNetwork::SetNodeUp(NodeId id, bool up) {
+  if (up) {
+    down_nodes_.erase(id);
+  } else {
+    down_nodes_.insert(id);
+    // A restarting node starts with quiet NICs.
+    nics_[id] = Nic{};
+  }
+}
+
+bool SimNetwork::IsNodeUp(NodeId id) const {
+  return down_nodes_.count(id) == 0;
+}
+
+void SimNetwork::SetLinkCut(NodeId a, NodeId b, bool cut) {
+  if (cut) {
+    cut_links_.insert(PairKey(a, b));
+  } else {
+    cut_links_.erase(PairKey(a, b));
+  }
+}
+
+void SimNetwork::Isolate(NodeId id, bool isolated) {
+  if (isolated) {
+    isolated_nodes_.insert(id);
+  } else {
+    isolated_nodes_.erase(id);
+  }
+}
+
+void ApplyGeoTopology(SimNetwork* net, const std::vector<NodeId>& nodes) {
+  NBRAFT_CHECK_LE(nodes.size(), 5u);
+  // One-way latency (ms) between Beijing, Guangzhou, Shanghai, Hangzhou,
+  // Chengdu — typical inter-region figures for Chinese cloud regions.
+  static constexpr double kLatencyMs[5][5] = {
+      //        BJ    GZ    SH    HZ    CD
+      /*BJ*/ {0.3, 23.0, 13.0, 14.0, 19.0},
+      /*GZ*/ {23.0, 0.3, 15.0, 14.0, 17.0},
+      /*SH*/ {13.0, 15.0, 0.3, 3.0, 20.0},
+      /*HZ*/ {14.0, 14.0, 3.0, 0.3, 19.0},
+      /*CD*/ {19.0, 17.0, 20.0, 19.0, 0.3},
+  };
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (size_t j = i + 1; j < nodes.size(); ++j) {
+      const double ms = kLatencyMs[i][j];
+      net->SetPairLatency(nodes[i], nodes[j],
+                          static_cast<SimDuration>(ms * kMillisecond));
+    }
+  }
+}
+
+}  // namespace nbraft::net

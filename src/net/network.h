@@ -1,0 +1,136 @@
+#ifndef NBRAFT_NET_NETWORK_H_
+#define NBRAFT_NET_NETWORK_H_
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.h"
+#include "common/sim_time.h"
+#include "sim/simulator.h"
+
+namespace nbraft::net {
+
+/// Endpoint identifier. Replica nodes use small non-negative ids; client
+/// connections use ids at or above kClientIdBase.
+using NodeId = int32_t;
+constexpr NodeId kInvalidNode = -1;
+constexpr NodeId kClientIdBase = 10000;
+
+inline bool IsClientId(NodeId id) { return id >= kClientIdBase; }
+
+/// A delivered datagram. `payload` carries a protocol-defined struct
+/// (std::any keeps the network layer protocol-agnostic); `bytes` is the
+/// modelled wire size, which drives serialization/bandwidth costs.
+struct Message {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  size_t bytes = 0;
+  SimTime sent_at = 0;
+  std::any payload;
+};
+
+using MessageHandler = std::function<void(Message&&)>;
+
+/// Network model parameters. Defaults approximate the paper's LAN testbed
+/// (10 Gb/s NICs, sub-millisecond RTT with scheduling jitter).
+struct NetworkConfig {
+  /// Per-NIC bandwidth in bits per second, applied independently to each
+  /// node's egress and ingress. Shared ingress at the leader is what makes
+  /// t_trans(CL) scale as b/(w_net/N_cli) in the paper's Step 1 cost model.
+  double nic_bandwidth_bps = 10e9;
+
+  /// One-way propagation delay between any pair, unless overridden by a
+  /// per-pair entry (used for geo-distributed topologies).
+  SimDuration base_latency = Micros(120);
+
+  /// Mean of the exponential per-message scheduling/queuing jitter. Jitter
+  /// is what makes entries arrive out of order — the root cause of the
+  /// paper's t_wait(F) bottleneck.
+  SimDuration jitter_mean = Micros(160);
+
+  /// Probability a message is silently dropped (in addition to partitions
+  /// and crashed endpoints).
+  double drop_probability = 0.0;
+};
+
+/// Simulated network: point-to-point datagrams with per-NIC serialization
+/// queues, propagation latency, jitter-induced reordering, loss, node
+/// crashes and partitions. Single-threaded, driven by the Simulator.
+class SimNetwork {
+ public:
+  SimNetwork(sim::Simulator* sim, NetworkConfig config);
+
+  /// Registers the handler invoked for messages delivered to `id`.
+  /// Registering twice replaces the handler.
+  void RegisterEndpoint(NodeId id, MessageHandler handler);
+  void UnregisterEndpoint(NodeId id);
+
+  /// Queues a message. Returns the scheduled arrival time, or -1 if the
+  /// message was dropped at send time (down endpoint, partition, loss).
+  /// Delivery can still silently fail if the receiver goes down in flight.
+  SimTime Send(NodeId from, NodeId to, size_t bytes, std::any payload);
+
+  /// Symmetric one-way latency override for a pair (geo topologies).
+  void SetPairLatency(NodeId a, NodeId b, SimDuration latency);
+
+  /// Marks a node up/down. Messages to or from a down node are dropped;
+  /// in-flight messages to it are dropped at delivery time.
+  void SetNodeUp(NodeId id, bool up);
+  bool IsNodeUp(NodeId id) const;
+
+  /// Cuts / restores connectivity between two nodes (both directions).
+  void SetLinkCut(NodeId a, NodeId b, bool cut);
+
+  /// Isolates `id` from every other node without marking it down.
+  void Isolate(NodeId id, bool isolated);
+
+  const NetworkConfig& config() const { return config_; }
+  void set_drop_probability(double p) { config_.drop_probability = p; }
+
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_delivered() const { return messages_delivered_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  struct Nic {
+    SimTime egress_free_at = 0;
+    SimTime ingress_free_at = 0;
+  };
+
+  static uint64_t PairKey(NodeId a, NodeId b);
+  SimDuration LatencyFor(NodeId from, NodeId to) const;
+  SimDuration SerializationTime(size_t bytes) const;
+  bool LinkBlocked(NodeId from, NodeId to) const;
+
+  sim::Simulator* sim_;
+  NetworkConfig config_;
+  std::unordered_map<NodeId, MessageHandler> handlers_;
+  std::unordered_map<NodeId, Nic> nics_;
+  std::unordered_set<NodeId> down_nodes_;
+  std::unordered_set<NodeId> isolated_nodes_;
+  std::unordered_set<uint64_t> cut_links_;
+  std::unordered_map<uint64_t, SimDuration> pair_latency_;
+  nbraft::Rng rng_;
+
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_delivered_ = 0;
+  uint64_t messages_dropped_ = 0;
+  uint64_t bytes_sent_ = 0;
+};
+
+/// Builds the paper's Fig. 20 geo-distributed topology: one-way latencies
+/// between Beijing, Guangzhou, Shanghai, Hangzhou and Chengdu for the given
+/// node ids (in that order). Values are typical inter-region RTT/2 for
+/// Chinese cloud regions.
+void ApplyGeoTopology(SimNetwork* net, const std::vector<NodeId>& nodes);
+
+}  // namespace nbraft::net
+
+#endif  // NBRAFT_NET_NETWORK_H_

@@ -1,0 +1,176 @@
+#include "petri/replication_model.h"
+
+#include "common/logging.h"
+
+namespace nbraft::petri {
+
+ReplicationModel::ReplicationModel(Params params) : params_(params) {
+  NBRAFT_CHECK_GE(params_.num_clients, 1);
+  NBRAFT_CHECK_GE(params_.num_dispatchers, 1);
+  NBRAFT_CHECK_GE(params_.out_of_order_probability, 0.0);
+  NBRAFT_CHECK_LE(params_.out_of_order_probability, 1.0);
+  net_ = std::make_unique<PetriNet>(params_.seed);
+  PetriNet& n = *net_;
+  const bool nb = params_.window_size > 0;
+
+  // ---- Places (Fig. 3a-c) ----
+  ack_ = n.AddPlace("ACK", params_.num_clients);
+  client_request_ = n.AddPlace("Client Request");
+  request_pool_ = n.AddPlace("Server Request Pool");
+  parsed_ = n.AddPlace("Parsed Request");
+  queue_to_follower_ = n.AddPlace("Queue To Follower");
+  dispatcher_idle_ = n.AddPlace("Dispatcher Idle", params_.num_dispatchers);
+  in_flight_ = n.AddPlace("In Flight");
+  arrived_ = n.AddPlace("Pending Request");
+  ready_ = n.AddPlace("Appendable");
+  waiting_ = n.AddPlace("Waiting (blue loop)");
+  window_ = n.AddPlace("Sliding Window");
+  appended_ = n.AddPlace("Follower Log (new)");
+  acked_ = n.AddPlace("Strongly Accepted Nodes");
+  committed_ = n.AddPlace("Committed Log");
+  applied_ = n.AddPlace("Applied Log");
+  const PlaceId pending_ack = n.AddPlace("Pending Final Ack");
+
+  // ---- Step 1: client (Fig. 3a) ----
+  generate_ = n.AddTransition(
+      "Generate Request", {{ack_, 1}}, {{client_request_, 1}},
+      PetriNet::ExponentialDelay(params_.gen_delay));
+  send_request_ = n.AddTransition(
+      "Send Request", {{client_request_, 1}}, {{request_pool_, 1}},
+      PetriNet::ExponentialDelay(params_.trans_cl_delay));
+
+  // ---- Step 2: leader parse + index (Fig. 3b right) ----
+  parse_ = n.AddTransition("Parse", {{request_pool_, 1}}, {{parsed_, 1}},
+                           PetriNet::ExponentialDelay(params_.parse_delay));
+  index_ = n.AddTransition(
+      "Index Entry", {{parsed_, 1}}, {{queue_to_follower_, 1}},
+      PetriNet::ExponentialDelay(params_.index_delay));
+
+  // ---- Step 3: dispatch + deliver + append (Fig. 3c) ----
+  dispatch_ = n.AddTransition(
+      "Dispatch", {{queue_to_follower_, 1}, {dispatcher_idle_, 1}},
+      {{in_flight_, 1}},
+      PetriNet::ExponentialDelay(params_.dispatch_delay));
+  deliver_ = n.AddTransition(
+      "Send Log", {{in_flight_, 1}}, {{arrived_, 1}, {dispatcher_idle_, 1}},
+      PetriNet::ExponentialDelay(params_.trans_lf_delay));
+
+  // Appendability branch: in-order arrivals proceed; out-of-order ones
+  // either loop in the waiting place (Raft) or enter the window and return
+  // an early ACK (NB-Raft, red lines in Fig. 3).
+  classify_in_order_ = n.AddTransition(
+      "Appendable?", {{arrived_, 1}}, {{ready_, 1}, {pending_ack, 1}},
+      nullptr, 1.0 - params_.out_of_order_probability);
+  if (nb) {
+    classify_out_of_order_ = n.AddTransition(
+        "Enter Window", {{arrived_, 1}}, {{window_, 1}},
+        nullptr, params_.out_of_order_probability);
+    weak_accept_ = n.AddTransition(
+        "Early Return (WEAK_ACCEPT)", {{window_, 1}},
+        {{ack_, 1}, {waiting_, 1}}, nullptr);
+    // Window entries become appendable once their precedence flushes.
+    window_flush_ = n.AddTransition(
+        "Window Flush", {{waiting_, 1}}, {{ready_, 1}},
+        PetriNet::ExponentialDelay(params_.wait_retry_delay));
+    wait_retry_ = -1;
+  } else {
+    classify_out_of_order_ = n.AddTransition(
+        "Not Appendable", {{arrived_, 1}}, {{waiting_, 1}},
+        nullptr, params_.out_of_order_probability);
+    // The blue loop: wait, then retry classification.
+    wait_retry_ = n.AddTransition(
+        "Wait & Retry", {{waiting_, 1}}, {{arrived_, 1}},
+        PetriNet::ExponentialDelay(params_.wait_retry_delay));
+    weak_accept_ = -1;
+    window_flush_ = -1;
+  }
+
+  append_ = n.AddTransition("Append", {{ready_, 1}}, {{appended_, 1}},
+                            PetriNet::ExponentialDelay(params_.append_delay));
+
+  // ---- Step 4: ack, commit, apply (Fig. 3b left) ----
+  collect_ack_ = n.AddTransition(
+      "Collect Ack", {{appended_, 1}}, {{acked_, 1}},
+      PetriNet::ExponentialDelay(params_.ack_delay));
+  commit_ = n.AddTransition("Commit", {{acked_, 1}}, {{committed_, 1}},
+                            PetriNet::ExponentialDelay(params_.commit_delay));
+  apply_ = n.AddTransition("Apply", {{committed_, 1}}, {{applied_, 1}},
+                           PetriNet::ExponentialDelay(params_.apply_delay));
+
+  // Client unblocking: in-order requests return their ACK token when
+  // applied; weakly accepted ones already did, so their applied tokens are
+  // absorbed.
+  final_ack_ = n.AddTransition("Final Ack", {{applied_, 1}, {pending_ack, 1}},
+                               {{ack_, 1}}, nullptr, 1.0);
+  absorb_ = n.AddTransition(
+      "Absorb (already acked)", {{applied_, 1}}, {}, nullptr, 1.0,
+      [this, pending_ack]() {
+        return net_->Tokens(applied_) > net_->Tokens(pending_ack);
+      });
+
+  // Parallelism of each stage: clients generate and transmit
+  // independently; the network and the waiting loop serve every token
+  // concurrently; parsing uses the worker pool; indexing, appending
+  // (the log lock) and applying are serialized resources.
+  n.SetServers(generate_, params_.num_clients);
+  n.SetServers(send_request_, params_.num_clients);
+  n.SetServers(parse_, 16);
+  n.SetServers(dispatch_, params_.num_dispatchers);
+  n.SetServers(deliver_, PetriNet::kInfiniteServers);
+  if (wait_retry_ >= 0) {
+    n.SetServers(wait_retry_, PetriNet::kInfiniteServers);
+  }
+  if (window_flush_ >= 0) {
+    n.SetServers(window_flush_, PetriNet::kInfiniteServers);
+  }
+  n.SetServers(collect_ack_, PetriNet::kInfiniteServers);
+}
+
+void ReplicationModel::Run(SimTime horizon) { net_->Run(horizon); }
+
+uint64_t ReplicationModel::CompletedRequests() const {
+  return net_->Firings(apply_);
+}
+
+uint64_t ReplicationModel::WeakAccepts() const {
+  return weak_accept_ < 0 ? 0 : net_->Firings(weak_accept_);
+}
+
+uint64_t ReplicationModel::WaitLoopTurns() const {
+  return wait_retry_ < 0 ? 0 : net_->Firings(wait_retry_);
+}
+
+double ReplicationModel::ThroughputOps() const {
+  const double seconds = ToSeconds(net_->Now());
+  if (seconds <= 0) return 0.0;
+  return static_cast<double>(CompletedRequests()) / seconds;
+}
+
+double ReplicationModel::MeanWaiting() const {
+  const double elapsed = static_cast<double>(net_->Now());
+  if (elapsed <= 0) return 0.0;
+  return (net_->TokenTime(waiting_) + net_->TokenTime(window_)) / elapsed;
+}
+
+metrics::Breakdown ReplicationModel::PhaseBreakdown() const {
+  metrics::Breakdown out;
+  const auto add = [&](metrics::Phase phase, PlaceId place) {
+    out.Add(phase, static_cast<SimDuration>(net_->TokenTime(place)));
+  };
+  add(metrics::Phase::kGenClient, ack_);
+  add(metrics::Phase::kTransClientLeader, client_request_);
+  add(metrics::Phase::kParse, request_pool_);
+  add(metrics::Phase::kIndex, parsed_);
+  add(metrics::Phase::kQueue, queue_to_follower_);
+  add(metrics::Phase::kTransLeaderFollower, in_flight_);
+  add(metrics::Phase::kWaitFollower, waiting_);
+  out.Add(metrics::Phase::kWaitFollower,
+          static_cast<SimDuration>(net_->TokenTime(window_)));
+  add(metrics::Phase::kAppendFollower, ready_);
+  add(metrics::Phase::kAck, appended_);
+  add(metrics::Phase::kCommit, acked_);
+  add(metrics::Phase::kApply, committed_);
+  return out;
+}
+
+}  // namespace nbraft::petri

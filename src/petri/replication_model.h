@@ -1,0 +1,116 @@
+#ifndef NBRAFT_PETRI_REPLICATION_MODEL_H_
+#define NBRAFT_PETRI_REPLICATION_MODEL_H_
+
+#include <memory>
+#include <string>
+
+#include "metrics/breakdown.h"
+#include "petri/petri_net.h"
+
+namespace nbraft::petri {
+
+/// The paper's Fig. 3: Raft log replication as an extended
+/// producer-consumer Petri net — clients generate requests gated by ACK
+/// tokens, the leader parses/indexes them, dispatchers carry them to the
+/// follower, out-of-order arrivals loop in the waiting place (the blue
+/// bottleneck loop), and appended entries flow through ack/commit/apply
+/// back to the client.
+///
+/// With `window_size > 0` the red NB-Raft modification is active:
+/// out-of-order arrivals enter the window and immediately return an early
+/// ACK (WEAK_ACCEPT) to the client instead of blocking it.
+class ReplicationModel {
+ public:
+  struct Params {
+    int num_clients = 64;       ///< N_cli: initial ACK tokens.
+    int num_dispatchers = 64;   ///< N_csm: dispatcher tokens.
+    int window_size = 0;        ///< 0 = original Raft; > 0 = NB-Raft.
+    double out_of_order_probability = 0.35;  ///< P(arrival not appendable).
+
+    SimDuration gen_delay = Micros(5);        ///< t_gen(C).
+    SimDuration trans_cl_delay = Micros(300); ///< t_trans(CL).
+    SimDuration parse_delay = Micros(8);      ///< t_prs(L).
+    SimDuration index_delay = Micros(7);      ///< t_idx(L).
+    SimDuration dispatch_delay = Micros(2);   ///< Queue service.
+    SimDuration trans_lf_delay = Micros(300); ///< t_trans(LF).
+    SimDuration wait_retry_delay = Micros(120);  ///< One blue-loop turn.
+    SimDuration append_delay = Micros(16);    ///< t_append(F).
+    SimDuration ack_delay = Micros(150);      ///< t_ack(L).
+    SimDuration commit_delay = Micros(1);     ///< t_commit(L).
+    SimDuration apply_delay = Micros(4);      ///< t_apply(L).
+
+    uint64_t seed = 42;
+  };
+
+  explicit ReplicationModel(Params params);
+
+  /// Runs the net for `horizon` of virtual time.
+  void Run(SimTime horizon);
+
+  /// Requests fully processed (applied).
+  uint64_t CompletedRequests() const;
+
+  /// Early ACKs issued (NB-Raft weak accepts).
+  uint64_t WeakAccepts() const;
+
+  /// Times one blue-loop retry fired (the bottleneck the paper measures).
+  uint64_t WaitLoopTurns() const;
+
+  /// Throughput over the run, in requests per second.
+  double ThroughputOps() const;
+
+  /// Mean tokens waiting in the out-of-order place (queue length of the
+  /// bottleneck).
+  double MeanWaiting() const;
+
+  /// Phase-time proportions in the Fig. 4 taxonomy, derived from per-place
+  /// token-time integrals via Little's law.
+  metrics::Breakdown PhaseBreakdown() const;
+
+  PetriNet* net() { return net_.get(); }
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  std::unique_ptr<PetriNet> net_;
+
+  // Places.
+  PlaceId ack_;              // Client idle (holds ACK tokens).
+  PlaceId client_request_;   // Generated, transmitting to leader.
+  PlaceId request_pool_;     // At leader, awaiting parse.
+  PlaceId parsed_;           // Awaiting index.
+  PlaceId queue_to_follower_;
+  PlaceId dispatcher_idle_;
+  PlaceId in_flight_;        // Leader -> follower.
+  PlaceId arrived_;          // At follower, appendability unknown.
+  PlaceId ready_;            // Appendable.
+  PlaceId waiting_;          // Out-of-order (blue loop) — Raft only.
+  PlaceId window_;           // Sliding window cache — NB-Raft only.
+  PlaceId appended_;         // Strongly accepted at follower.
+  PlaceId acked_;            // Ack received by leader.
+  PlaceId committed_;
+  PlaceId applied_;
+
+  // Transitions.
+  TransitionId generate_;
+  TransitionId send_request_;
+  TransitionId parse_;
+  TransitionId index_;
+  TransitionId dispatch_;
+  TransitionId deliver_;
+  TransitionId classify_in_order_;
+  TransitionId classify_out_of_order_;
+  TransitionId wait_retry_;
+  TransitionId weak_accept_;   // NB-Raft early return.
+  TransitionId window_flush_;  // NB-Raft: window -> appendable.
+  TransitionId append_;
+  TransitionId collect_ack_;
+  TransitionId commit_;
+  TransitionId apply_;
+  TransitionId final_ack_;     // Returns the client's ACK token (Raft).
+  TransitionId absorb_;        // NB-Raft: applied entries already acked.
+};
+
+}  // namespace nbraft::petri
+
+#endif  // NBRAFT_PETRI_REPLICATION_MODEL_H_

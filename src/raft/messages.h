@@ -1,0 +1,146 @@
+#ifndef NBRAFT_RAFT_MESSAGES_H_
+#define NBRAFT_RAFT_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "raft/types.h"
+#include "storage/log_entry.h"
+
+namespace nbraft::raft {
+
+/// AppendEntries RPC. The replication pipeline sends exactly one entry per
+/// RPC (each dispatcher is a synchronous RPC lane, as in the paper's
+/// Fig. 3); heartbeats are empty RPCs that also carry the commit index.
+struct AppendEntriesRequest {
+  storage::Term term = 0;
+  net::NodeId leader = net::kInvalidNode;
+  uint64_t rpc_id = 0;  ///< Correlates the response with its dispatcher.
+
+  bool is_heartbeat = false;
+  storage::LogEntry entry;  ///< Valid when !is_heartbeat.
+  storage::LogIndex leader_commit = 0;
+  /// Term of the leader's entry at leader_commit: lets a follower verify
+  /// its log matches before advancing its commit index off a heartbeat.
+  storage::Term commit_term = 0;
+
+  /// KRaft: nodes this receiver must forward the request to.
+  std::vector<net::NodeId> relay_to;
+
+  /// VGRaft: request carries a digest + signature the receiver verifies.
+  bool signed_payload = false;
+
+  /// Modelled wire size.
+  size_t WireSize() const {
+    return (is_heartbeat ? 0 : entry.WireSize()) + 64 +
+           relay_to.size() * 4 + (signed_payload ? 96 : 0);
+  }
+};
+
+/// Response to AppendEntries, covering all the paper's reply kinds.
+///
+///  * kStrongAccept: `last_index`/`last_term` name the follower's last
+///    appended entry — the leader marks every tuple <= last_index strong
+///    (Sec. III-B3b) and detects leader change via last_term
+///    (Sec. III-B3a).
+///  * kWeakAccept: `entry_index` names the cached entry (Sec. III-B2).
+///  * kLogMismatch: `last_index` is the follower's last appended index, a
+///    resend hint.
+struct AppendEntriesResponse {
+  storage::Term term = 0;
+  net::NodeId from = net::kInvalidNode;
+  uint64_t rpc_id = 0;
+  AcceptState state = AcceptState::kStrongAccept;
+  storage::LogIndex entry_index = 0;  ///< Index the RPC carried (0 for hb).
+  storage::LogIndex last_index = 0;
+  storage::Term last_term = 0;
+  bool is_heartbeat = false;
+
+  size_t WireSize() const { return 64; }
+};
+
+struct RequestVoteRequest {
+  storage::Term term = 0;
+  net::NodeId candidate = net::kInvalidNode;
+  storage::LogIndex last_log_index = 0;
+  storage::Term last_log_term = 0;
+
+  size_t WireSize() const { return 64; }
+};
+
+struct RequestVoteResponse {
+  storage::Term term = 0;
+  net::NodeId from = net::kInvalidNode;
+  bool granted = false;
+
+  size_t WireSize() const { return 48; }
+};
+
+/// Leader -> lagging follower: full state-machine snapshot replacing the
+/// follower's log prefix (sent when the entries a follower needs were
+/// already compacted away).
+struct InstallSnapshotRequest {
+  storage::Term term = 0;
+  net::NodeId leader = net::kInvalidNode;
+  uint64_t rpc_id = 0;
+  storage::LogIndex last_included_index = 0;
+  storage::Term last_included_term = 0;
+  std::string data;  ///< StateMachine::Snapshot() bytes.
+
+  size_t WireSize() const { return data.size() + 96; }
+};
+
+struct InstallSnapshotResponse {
+  storage::Term term = 0;
+  net::NodeId from = net::kInvalidNode;
+  uint64_t rpc_id = 0;
+  bool installed = false;
+  storage::LogIndex last_index = 0;  ///< Follower log end after install.
+
+  size_t WireSize() const { return 64; }
+};
+
+/// A client write request (one IoT ingestion batch).
+struct ClientRequest {
+  net::NodeId client = net::kInvalidNode;
+  uint64_t request_id = 0;
+  std::string payload;
+
+  size_t WireSize() const { return payload.size() + 48; }
+};
+
+/// Leader -> client reply (Sec. III-C): WEAK_ACCEPT unblocks the client's
+/// next request; STRONG_ACCEPT confirms commit of everything up to `index`.
+struct ClientResponse {
+  AcceptState state = AcceptState::kStrongAccept;
+  uint64_t request_id = 0;
+  storage::LogIndex index = 0;
+  storage::Term term = 0;
+  net::NodeId leader_hint = net::kInvalidNode;
+
+  size_t WireSize() const { return 64; }
+};
+
+/// Follower-read query (supported by Raft/NB-Raft, not by CRaft variants —
+/// Table II): returns how many points a series holds on that replica.
+struct ReadRequest {
+  net::NodeId client = net::kInvalidNode;
+  uint64_t request_id = 0;
+  uint64_t series_id = 0;
+
+  size_t WireSize() const { return 48; }
+};
+
+struct ReadResponse {
+  uint64_t request_id = 0;
+  bool supported = true;  ///< False on erasure-coded replicas.
+  uint64_t point_count = 0;
+
+  size_t WireSize() const { return 48; }
+};
+
+}  // namespace nbraft::raft
+
+#endif  // NBRAFT_RAFT_MESSAGES_H_

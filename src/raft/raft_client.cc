@@ -1,0 +1,229 @@
+#include "raft/raft_client.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace nbraft::raft {
+
+RaftClient::RaftClient(sim::Simulator* sim, net::SimNetwork* network,
+                       net::NodeId id, std::vector<net::NodeId> servers,
+                       Options options, PayloadFn payload_fn)
+    : sim_(sim),
+      network_(network),
+      id_(id),
+      servers_(std::move(servers)),
+      options_(options),
+      payload_fn_(std::move(payload_fn)) {
+  NBRAFT_CHECK(!servers_.empty());
+  NBRAFT_CHECK(net::IsClientId(id));
+  leader_guess_ = servers_[0];
+}
+
+void RaftClient::Start() {
+  NBRAFT_CHECK(!started_);
+  started_ = true;
+  network_->RegisterEndpoint(
+      id_, [this](net::Message&& msg) { HandleMessage(std::move(msg)); });
+  ScheduleNextRequest();
+}
+
+void RaftClient::Stop() {
+  stopped_ = true;
+  sim_->Cancel(timeout_event_);
+  timeout_event_ = sim::kInvalidEventId;
+  network_->SetNodeUp(id_, false);
+}
+
+void RaftClient::ResetMeasurement() {
+  stats_ = ClientStats{};
+}
+
+void RaftClient::HandleMessage(net::Message&& msg) {
+  if (stopped_) return;
+  if (auto* resp = std::any_cast<ClientResponse>(&msg.payload)) {
+    HandleResponse(*resp);
+  }
+}
+
+void RaftClient::ScheduleNextRequest() {
+  if (stopped_ || has_inflight_ || generate_scheduled_) return;
+  if (static_cast<int>(op_list_.size()) > options_.pipeline_window) return;
+  if (options_.max_requests != 0 && retry_queue_.empty() &&
+      next_seq_ >= options_.max_requests) {
+    return;
+  }
+  generate_scheduled_ = true;
+  sim_->After(options_.think_time, [this]() {
+    generate_scheduled_ = false;
+    if (stopped_ || has_inflight_) return;
+    stats_.gen_time_total += options_.think_time;
+
+    PendingRequest req;
+    bool is_retry = false;
+    if (!retry_queue_.empty()) {
+      req = std::move(retry_queue_.front());
+      retry_queue_.pop_front();
+      req.index = 0;
+      req.term = 0;
+      is_retry = true;
+    } else {
+      req.request_id =
+          (static_cast<uint64_t>(id_) << 32) | static_cast<uint64_t>(
+                                                   ++next_seq_);
+      req.payload = payload_fn_(options_.payload_size);
+      req.measured = true;
+      ++stats_.requests_issued;
+    }
+    req.issued_at = sim_->Now();
+    IssueRequest(std::move(req), is_retry);
+  });
+}
+
+void RaftClient::IssueRequest(PendingRequest req, bool is_retry) {
+  (void)is_retry;
+  ClientRequest wire;
+  wire.client = id_;
+  wire.request_id = req.request_id;
+  wire.payload = req.payload;
+  inflight_ = std::move(req);
+  has_inflight_ = true;
+  const size_t bytes = wire.WireSize();
+  network_->Send(id_, leader_guess_, bytes, std::move(wire));
+  ArmTimeout();
+}
+
+void RaftClient::ArmTimeout() {
+  sim_->Cancel(timeout_event_);
+  timeout_event_ = sim_->After(options_.request_timeout, [this]() {
+    if (stopped_ || !has_inflight_) return;
+    ++stats_.timeouts;
+    RotateLeaderGuess();
+    // Re-send the same request (same id: at-least-once).
+    ClientRequest wire;
+    wire.client = id_;
+    wire.request_id = inflight_.request_id;
+    wire.payload = inflight_.payload;
+    const size_t bytes = wire.WireSize();
+    network_->Send(id_, leader_guess_, bytes, std::move(wire));
+    ArmTimeout();
+  });
+}
+
+void RaftClient::RotateLeaderGuess() {
+  auto it = std::find(servers_.begin(), servers_.end(), leader_guess_);
+  if (it == servers_.end() || ++it == servers_.end()) it = servers_.begin();
+  leader_guess_ = *it;
+}
+
+void RaftClient::RetryAll(const char* reason) {
+  if (op_list_.empty()) return;
+  NBRAFT_LOG(Debug) << "client " << id_ << " retries " << op_list_.size()
+                    << " weakly accepted requests (" << reason << ")";
+  stats_.retries += op_list_.size();
+  // Preserve order: older requests retry first.
+  while (!op_list_.empty()) {
+    retry_queue_.push_back(std::move(op_list_.front()));
+    op_list_.pop_front();
+  }
+}
+
+void RaftClient::HandleResponse(const ClientResponse& resp) {
+  switch (resp.state) {
+    case AcceptState::kWeakAccept: {
+      if (!has_inflight_ || resp.request_id != inflight_.request_id) {
+        return;  // Stale (e.g. the strong accept already arrived).
+      }
+      // Sec. III-C1: a newer term means earlier WEAK_ACCEPTs may be lost.
+      if (resp.term > list_term_) {
+        RetryAll("newer term on weak accept");
+        list_term_ = resp.term;
+      }
+      sim_->Cancel(timeout_event_);
+      timeout_event_ = sim::kInvalidEventId;
+      ++stats_.weak_accepts;
+      if (inflight_.measured) {
+        stats_.unblock_latency.Record(sim_->Now() - inflight_.issued_at);
+      }
+      inflight_.index = resp.index;
+      inflight_.term = resp.term;
+      op_list_.push_back(std::move(inflight_));
+      has_inflight_ = false;
+      ScheduleNextRequest();  // The early unblock of Fig. 1(b).
+      break;
+    }
+
+    case AcceptState::kStrongAccept: {
+      if (resp.term > list_term_) {
+        RetryAll("newer term on strong accept");
+        list_term_ = resp.term;
+      }
+      // Sec. III-C2: everything with index <= resp.index is committed.
+      while (!op_list_.empty() && op_list_.front().index != 0 &&
+             op_list_.front().index <= resp.index) {
+        const PendingRequest& done = op_list_.front();
+        ++stats_.requests_completed;
+        if (done.measured) {
+          stats_.completion_latency.Record(sim_->Now() - done.issued_at);
+        }
+        op_list_.pop_front();
+      }
+      if (has_inflight_ && resp.request_id == inflight_.request_id) {
+        sim_->Cancel(timeout_event_);
+        timeout_event_ = sim::kInvalidEventId;
+        ++stats_.requests_completed;
+        if (inflight_.measured) {
+          stats_.completion_latency.Record(sim_->Now() - inflight_.issued_at);
+          stats_.unblock_latency.Record(sim_->Now() - inflight_.issued_at);
+        }
+        has_inflight_ = false;
+      }
+      ScheduleNextRequest();
+      break;
+    }
+
+    case AcceptState::kLeaderChanged: {
+      ++stats_.leader_changes_seen;
+      if (resp.leader_hint != net::kInvalidNode) {
+        leader_guess_ = resp.leader_hint;
+      } else {
+        RotateLeaderGuess();
+      }
+      if (resp.term > list_term_) list_term_ = resp.term;
+      RetryAll("leader changed");
+      if (has_inflight_) {
+        sim_->Cancel(timeout_event_);
+        timeout_event_ = sim::kInvalidEventId;
+        retry_queue_.push_front(std::move(inflight_));
+        has_inflight_ = false;
+      }
+      ScheduleNextRequest();
+      break;
+    }
+
+    case AcceptState::kNotLeader: {
+      if (!has_inflight_ || resp.request_id != inflight_.request_id) return;
+      if (resp.leader_hint != net::kInvalidNode &&
+          resp.leader_hint != leader_guess_) {
+        leader_guess_ = resp.leader_hint;
+      } else {
+        RotateLeaderGuess();
+      }
+      // Re-send promptly to the new guess.
+      ClientRequest wire;
+      wire.client = id_;
+      wire.request_id = inflight_.request_id;
+      wire.payload = inflight_.payload;
+      const size_t bytes = wire.WireSize();
+      network_->Send(id_, leader_guess_, bytes, std::move(wire));
+      ArmTimeout();
+      break;
+    }
+
+    case AcceptState::kLogMismatch:
+      break;  // Never client-facing.
+  }
+}
+
+}  // namespace nbraft::raft

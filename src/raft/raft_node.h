@@ -1,0 +1,288 @@
+#ifndef NBRAFT_RAFT_RAFT_NODE_H_
+#define NBRAFT_RAFT_RAFT_NODE_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "craft/reed_solomon.h"
+#include "metrics/breakdown.h"
+#include "metrics/histogram.h"
+#include "nbraft/sliding_window.h"
+#include "nbraft/vote_list.h"
+#include "net/network.h"
+#include "raft/messages.h"
+#include "raft/types.h"
+#include "sim/cpu_executor.h"
+#include "sim/simulator.h"
+#include "storage/durable_log.h"
+#include "storage/raft_log.h"
+#include "tsdb/state_machine.h"
+
+namespace nbraft::raft {
+
+/// Per-node metrics the harness aggregates after a run.
+struct NodeStats {
+  metrics::Breakdown breakdown;
+  metrics::Histogram wait_hist;       ///< t_wait(F) per delayed entry.
+  metrics::Histogram append_latency;  ///< Receive -> appended, per entry.
+  uint64_t entries_appended = 0;
+  uint64_t entries_committed = 0;
+  uint64_t entries_applied = 0;
+  uint64_t weak_accepts_sent = 0;
+  uint64_t strong_accepts_sent = 0;
+  uint64_t mismatches_sent = 0;
+  uint64_t window_inserts = 0;
+  uint64_t window_overflows = 0;  ///< diff > w arrivals (held, blocking).
+  uint64_t elections_started = 0;
+  uint64_t times_elected = 0;
+  uint64_t rpc_timeouts = 0;
+  uint64_t degraded_entries = 0;  ///< CRaft/ECRaft degraded-mode entries.
+  uint64_t snapshots_taken = 0;
+  uint64_t snapshots_sent = 0;
+  uint64_t snapshots_installed = 0;
+};
+
+/// One consensus replica. A single class implements Raft, NB-Raft, CRaft,
+/// ECRaft, KRaft and VGRaft via `RaftOptions` (original Raft is exactly
+/// window_size = 0 with every flag off).
+///
+/// The node is entirely event-driven on the deterministic simulator: the
+/// network delivers typed messages, CPU work is charged to per-node
+/// executors, and timers drive elections and heartbeats.
+class RaftNode {
+ public:
+  RaftNode(sim::Simulator* sim, net::SimNetwork* network, net::NodeId id,
+           std::vector<net::NodeId> peers, RaftOptions options,
+           std::unique_ptr<tsdb::StateMachine> state_machine);
+  ~RaftNode();
+
+  RaftNode(const RaftNode&) = delete;
+  RaftNode& operator=(const RaftNode&) = delete;
+
+  /// Registers the network endpoint and arms the election timer.
+  void Start();
+
+  /// Crash-stops the node: drops volatile state (role, window, vote list,
+  /// pending RPCs), keeps the durable state (log, term, vote).
+  void Crash();
+
+  /// Restarts a crashed node as a follower.
+  void Restart();
+
+  /// Forces an immediate election (tests / harness bootstrap).
+  void TriggerElection();
+
+  // ---- Introspection ----
+  net::NodeId id() const { return id_; }
+  Role role() const { return role_; }
+  bool crashed() const { return crashed_; }
+  storage::Term current_term() const { return current_term_; }
+  net::NodeId leader_hint() const { return leader_; }
+  const storage::RaftLog& log() const { return log_; }
+  storage::LogIndex commit_index() const { return commit_index_; }
+  storage::LogIndex applied_index() const { return applied_index_; }
+  const SlidingWindow& window() const { return window_; }
+  const VoteList& vote_list() const { return vote_list_; }
+  const RaftOptions& options() const { return options_; }
+  const tsdb::StateMachine& state_machine() const { return *state_machine_; }
+  tsdb::StateMachine* mutable_state_machine() { return state_machine_.get(); }
+  NodeStats& stats() { return stats_; }
+  const NodeStats& stats() const { return stats_; }
+  sim::CpuExecutor* cpu() { return cpu_.get(); }
+
+  int cluster_size() const { return static_cast<int>(peers_.size()) + 1; }
+  int quorum() const { return cluster_size() / 2 + 1; }
+
+ private:
+  struct QueuedEntry {
+    storage::LogIndex index = 0;
+    SimTime enqueued_at = 0;
+  };
+
+  /// Leader-side replication state for one follower connection.
+  struct PeerState {
+    std::deque<QueuedEntry> queue;
+    std::set<storage::LogIndex> queued;     ///< Mirrors `queue` for dedup.
+    std::set<storage::LogIndex> in_flight;  ///< Indices on the wire.
+    int busy_dispatchers = 0;
+    bool snapshot_in_flight = false;
+    storage::LogIndex mismatch_probe = -1;  ///< Backtracking cursor.
+    /// Highest index ever enqueued for this peer; heartbeat catch-up only
+    /// fills in above it (the pipeline below is in flight or completed —
+    /// losses there are the RPC timeout's job, not catch-up's).
+    storage::LogIndex max_enqueued = 0;
+    SimTime last_response_at = 0;           ///< Liveness estimate.
+    /// Stagnation detection: last log end the follower reported and when
+    /// it last advanced. A follower stuck below the commit index (e.g.
+    /// weakly accepted entries wiped with its window) gets a forced
+    /// re-send.
+    storage::LogIndex last_reported = -1;
+    SimTime last_advance_at = 0;
+  };
+
+  /// An in-flight AppendEntries or InstallSnapshot RPC.
+  struct OutstandingRpc {
+    net::NodeId peer = net::kInvalidNode;
+    storage::LogIndex index = 0;
+    bool is_snapshot = false;
+    sim::EventId timeout_event = sim::kInvalidEventId;
+  };
+
+  /// A received entry the follower cannot yet place (diff > max(w, 1)):
+  /// the RPC stays open — this is the paper's blue waiting loop.
+  struct HeldEntry {
+    AppendEntriesRequest request;
+    SimTime received_at = 0;
+  };
+
+  /// Per-index timestamps for the Fig. 4 breakdown.
+  struct EntryTiming {
+    SimTime indexed_at = 0;
+    SimTime first_strong_at = 0;
+  };
+
+  // ---- Message plumbing ----
+  void HandleMessage(net::Message&& msg);
+  void SendTo(net::NodeId to, size_t bytes, std::any payload);
+
+  // ---- Client request path (leader) ----
+  void HandleClientRequest(ClientRequest req, SimTime received_at,
+                           SimTime sent_at);
+  void IndexAndReplicate(ClientRequest req);
+  void ReplicateEntry(const storage::LogEntry& entry);
+  void EnqueueForPeer(net::NodeId peer, storage::LogIndex index);
+  void TryDispatch(net::NodeId peer);
+  void SendAppendRpc(net::NodeId peer, storage::LogIndex index);
+  void OnRpcTimeout(uint64_t rpc_id);
+
+  // ---- Follower append path ----
+  void HandleAppendEntries(AppendEntriesRequest req, SimTime received_at);
+  /// Decides what to do with an arriving entry: duplicate ack, truncate &
+  /// replace, direct append (+ window flush), window caching, or holding
+  /// it in the waiting loop.
+  void ProcessEntry(const AppendEntriesRequest& req, SimTime received_at,
+                    bool from_held_queue);
+  void AppendAndFlush(const AppendEntriesRequest& req, SimTime received_at,
+                      bool truncate_first);
+  void RespondAppend(const AppendEntriesRequest& req, AcceptState state,
+                     storage::LogIndex last_index, storage::Term last_term);
+  void RecheckHeldEntries();
+  /// Advances the follower commit index to min(leader_commit,
+  /// verified_up_to), where `verified_up_to` bounds the prefix known to
+  /// match the leader's log (never advance over an unverified tail).
+  void AdvanceFollowerCommit(storage::LogIndex leader_commit,
+                             storage::LogIndex verified_up_to);
+
+  // ---- Leader response path ----
+  void HandleAppendResponse(AppendEntriesResponse resp);
+  void CommitIndices(const std::vector<storage::LogIndex>& indices);
+  void ApplyReadyEntries();
+  void MaybeCatchUpPeer(net::NodeId peer, storage::LogIndex follower_last);
+
+  // ---- Elections ----
+  void ArmElectionTimer();
+  void StartElection();
+  void HandleRequestVote(RequestVoteRequest req);
+  void HandleVoteResponse(RequestVoteResponse resp);
+  void BecomeLeader();
+  void StepDown(storage::Term term, net::NodeId leader);
+  void BroadcastHeartbeat();
+
+  // ---- Snapshots ----
+  /// Compacts the log once enough applied entries accumulated.
+  void MaybeTakeSnapshot();
+  void SendInstallSnapshot(net::NodeId peer);
+  void HandleInstallSnapshot(InstallSnapshotRequest req);
+  void HandleInstallSnapshotResponse(const InstallSnapshotResponse& resp);
+
+  // ---- Reads ----
+  void HandleReadRequest(ReadRequest req);
+
+  // ---- Durability (real WAL; active when options.wal_dir is set) ----
+  void PersistEntry(const storage::LogEntry& entry);
+  void PersistTruncate(storage::LogIndex from_index);
+  void PersistHardState();
+  std::string WalPath() const;
+  /// Replays the WAL into log/term/vote (no-op without wal_dir).
+  void RecoverFromWal();
+
+  // ---- Helpers ----
+  int AliveNodes() const;
+  int RequiredStrong(bool fragmented, int k) const;
+  int EffectiveKBucket() const;
+  bool IsPeerAlive(net::NodeId peer) const;
+  SimDuration FollowerAppendCost(const storage::LogEntry& entry) const;
+  void NoteLeaderContact(storage::Term term, net::NodeId leader);
+
+  sim::Simulator* sim_;
+  net::SimNetwork* network_;
+  const net::NodeId id_;
+  std::vector<net::NodeId> peers_;
+  RaftOptions options_;
+  std::unique_ptr<tsdb::StateMachine> state_machine_;
+  nbraft::Rng rng_;
+
+  // Modelled CPU resources.
+  std::unique_ptr<sim::CpuExecutor> cpu_;         ///< General worker pool.
+  std::unique_ptr<sim::CpuExecutor> index_lane_;  ///< Serial indexing lock.
+  std::unique_ptr<sim::CpuExecutor> apply_lane_;  ///< Ordered apply.
+  std::unique_ptr<sim::CpuExecutor> log_lock_lane_;  ///< Follower log lock.
+
+  // ---- Durable state ----
+  storage::Term current_term_ = 0;
+  net::NodeId voted_for_ = net::kInvalidNode;
+  storage::RaftLog log_;
+
+  // ---- Volatile state ----
+  bool started_ = false;
+  bool crashed_ = false;
+  Role role_ = Role::kFollower;
+  net::NodeId leader_ = net::kInvalidNode;
+  storage::LogIndex commit_index_ = 0;
+  storage::LogIndex applied_index_ = 0;
+  storage::LogIndex apply_scheduled_up_to_ = 0;
+
+  SlidingWindow window_;
+  /// Held (blocked) arrivals ordered by entry index, so a log advance only
+  /// touches the entries it actually unblocks.
+  std::multimap<storage::LogIndex, HeldEntry> held_entries_;
+  bool in_recheck_ = false;
+  /// Receive time of window-cached entries, for t_wait(F) accounting.
+  std::unordered_map<storage::LogIndex, SimTime> recv_time_;
+  /// Bumped on restart so stale scheduled callbacks become no-ops.
+  uint64_t epoch_ = 0;
+
+  // Leader state.
+  VoteList vote_list_;
+  std::map<net::NodeId, PeerState> peer_state_;
+  std::unordered_map<uint64_t, OutstandingRpc> outstanding_rpcs_;
+  std::unordered_map<storage::LogIndex, std::vector<std::string>>
+      fragment_cache_;
+  std::unordered_map<storage::LogIndex, int> fragment_required_;
+  std::map<storage::LogIndex, EntryTiming> entry_timing_;
+  std::set<net::NodeId> votes_received_;
+  uint64_t next_rpc_id_ = 1;
+  int last_alive_seen_ = -1;
+
+  /// Real write-ahead log (nullptr in modelled-durability mode).
+  std::unique_ptr<storage::DurableLog> durable_;
+
+  // Latest snapshot (durable): state bytes and the log position it covers.
+  std::string snapshot_data_;
+  storage::LogIndex snapshot_index_ = 0;
+  storage::Term snapshot_term_ = 0;
+
+  sim::EventId election_timer_ = sim::kInvalidEventId;
+  sim::EventId heartbeat_timer_ = sim::kInvalidEventId;
+
+  NodeStats stats_;
+};
+
+}  // namespace nbraft::raft
+
+#endif  // NBRAFT_RAFT_RAFT_NODE_H_

@@ -1,0 +1,82 @@
+#include "raft/types.h"
+
+namespace nbraft::raft {
+
+std::string_view RoleName(Role role) {
+  switch (role) {
+    case Role::kFollower:
+      return "follower";
+    case Role::kCandidate:
+      return "candidate";
+    case Role::kLeader:
+      return "leader";
+  }
+  return "?";
+}
+
+std::string_view AcceptStateName(AcceptState state) {
+  switch (state) {
+    case AcceptState::kStrongAccept:
+      return "STRONG_ACCEPT";
+    case AcceptState::kWeakAccept:
+      return "WEAK_ACCEPT";
+    case AcceptState::kLogMismatch:
+      return "LOG_MISMATCH";
+    case AcceptState::kLeaderChanged:
+      return "LEADER_CHANGED";
+    case AcceptState::kNotLeader:
+      return "NOT_LEADER";
+  }
+  return "?";
+}
+
+std::string_view ProtocolName(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kRaft:
+      return "Raft";
+    case Protocol::kNbRaft:
+      return "NB-Raft";
+    case Protocol::kCRaft:
+      return "CRaft";
+    case Protocol::kNbCRaft:
+      return "NB-Raft+CRaft";
+    case Protocol::kECRaft:
+      return "ECRaft";
+    case Protocol::kKRaft:
+      return "KRaft";
+    case Protocol::kVGRaft:
+      return "VGRaft";
+  }
+  return "?";
+}
+
+RaftOptions OptionsForProtocol(Protocol protocol, int window_size) {
+  RaftOptions options;
+  switch (protocol) {
+    case Protocol::kRaft:
+      break;
+    case Protocol::kNbRaft:
+      options.window_size = window_size;
+      break;
+    case Protocol::kCRaft:
+      options.erasure = true;
+      break;
+    case Protocol::kNbCRaft:
+      options.window_size = window_size;
+      options.erasure = true;
+      break;
+    case Protocol::kECRaft:
+      options.erasure = true;
+      options.ecraft = true;
+      break;
+    case Protocol::kKRaft:
+      options.kbucket_size = -1;  // Resolved to ceil((N-1)/2) by the node.
+      break;
+    case Protocol::kVGRaft:
+      options.verify_group = true;
+      break;
+  }
+  return options;
+}
+
+}  // namespace nbraft::raft

@@ -1,0 +1,159 @@
+#ifndef NBRAFT_RAFT_TYPES_H_
+#define NBRAFT_RAFT_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/sim_time.h"
+
+namespace nbraft::raft {
+
+/// Raft role of a node.
+enum class Role { kFollower, kCandidate, kLeader };
+
+std::string_view RoleName(Role role);
+
+/// Reply states of NB-Raft (paper Fig. 5). The original Raft only ever
+/// produces kStrongAccept / kLogMismatch.
+enum class AcceptState : uint8_t {
+  kStrongAccept,   ///< Entry (and its whole prefix) appended durably.
+  kWeakAccept,     ///< Entry received and cached in the sliding window.
+  kLogMismatch,    ///< Prefix missing or conflicting; resend earlier entries.
+  kLeaderChanged,  ///< A newer term exists; retry with the new leader.
+  kNotLeader,      ///< This node is not the leader (client-facing).
+};
+
+std::string_view AcceptStateName(AcceptState state);
+
+/// The protocols compared in the paper's evaluation.
+enum class Protocol {
+  kRaft,         ///< Original Raft (NB-Raft with w = 0).
+  kNbRaft,       ///< Non-Blocking Raft (this paper).
+  kCRaft,        ///< Erasure-coded Raft [FAST'20].
+  kNbCRaft,      ///< NB-Raft + CRaft combination.
+  kECRaft,       ///< CRaft with erasure-coded degraded mode [ICPADS'21].
+  kKRaft,        ///< K-Bucket relay Raft [ICPADS'19].
+  kVGRaft,       ///< Verification-group byzantine-resistant Raft [ICCT'21].
+};
+
+std::string_view ProtocolName(Protocol protocol);
+
+/// Modelled CPU costs of protocol work. The defaults are calibrated to a
+/// contemporary server core (paper testbed: Xeon Platinum 8260); the
+/// benchmark harness never needs to change them except for the Ratis
+/// profile (heavier indexing lock) and CPU experiments (speed factor).
+struct CostModel {
+  // Leader path.
+  SimDuration index_cost = Micros(3);  ///< t_idx per entry, on the serial
+                                       ///< indexing lane (models the lock).
+  SimDuration leader_append_per_kib = Micros(1);  ///< Local log append.
+  SimDuration commit_cost = Micros(1);            ///< t_commit bookkeeping.
+
+  // Follower path. Appends serialize on the follower's log lock (the
+  // paper's Fig. 3: the blue waiting loop "is controlled by Follower's
+  // Log, which is accessed by multiple appenders").
+  SimDuration follower_append_base = Micros(8);
+  SimDuration follower_append_per_kib = Micros(2);
+  SimDuration recheck_cost = Nanos(100);  ///< One turn of the waiting loop.
+  /// Serialize / restore cost of snapshot state, per KiB.
+  SimDuration snapshot_cost_per_kib = Micros(2);
+  /// Cost, per blocked (held) entry, that every append pays on the log
+  /// lock: each append wakes all waiting appender threads so they can
+  /// re-check appendability. This is how original Raft's blocking burns
+  /// follower capacity as concurrency grows; NB-Raft's window keeps the
+  /// held set empty and skips the cost.
+  SimDuration held_wakeup_cost = Nanos(600);
+  /// Lock cost of caching one entry in the sliding window.
+  SimDuration window_insert_cost = Nanos(500);
+
+  // Erasure coding (CRaft / ECRaft): cost per KiB of original payload.
+  SimDuration encode_cost_per_kib = Micros(10);
+  SimDuration decode_cost_per_kib = Micros(10);
+
+  // Verification (VGRaft).
+  SimDuration hash_cost_per_kib = Micros(3);
+  SimDuration sign_cost = Micros(70);
+  SimDuration verify_cost = Micros(90);
+  SimDuration group_select_cost = Micros(25);
+  /// Serialized admission of a verified entry into consensus (charged on
+  /// the log-handling lane; dominates VGRaft's throughput ceiling).
+  SimDuration verify_admission_cost = Micros(18);
+
+  /// Per-task scheduling overhead charged per concurrently outstanding CPU
+  /// task (context switching / cache pressure), saturating at
+  /// max_switch_overhead. This is what bends the throughput curve downward
+  /// past ~512 clients in Figs. 14/17/18.
+  SimDuration context_switch_cost = Nanos(120);
+  SimDuration lock_switch_cost = Nanos(300);
+  SimDuration max_switch_overhead = Micros(3);
+};
+
+/// Per-node protocol configuration. A single RaftNode implements every
+/// variant; the flags compose (NB-Raft + CRaft = window_size > 0 plus
+/// erasure = true), and all-flags-off with window_size = 0 is original Raft.
+struct RaftOptions {
+  /// NB-Raft sliding-window size w; 0 reproduces original Raft exactly
+  /// (paper Sec. III, contribution 3). The paper's default is 10000.
+  int window_size = 0;
+
+  /// Dispatchers per follower (N_csm): concurrent in-flight AppendEntries
+  /// RPCs per follower connection. The evaluation sets this equal to the
+  /// number of clients "to avoid long queues".
+  int dispatchers_per_follower = 16;
+
+  /// CPU cores modelled per node (paper testbed: large SMP boxes; what
+  /// matters is the ratio of cores to concurrent requests).
+  int cpu_lanes = 16;
+
+  /// Log compaction: once more than this many applied entries sit in the
+  /// log, snapshot the state machine and compact the prefix (0 disables).
+  /// Lagging followers whose next entry was compacted away receive an
+  /// InstallSnapshot instead.
+  int64_t snapshot_threshold = 0;
+  /// Applied entries kept behind the snapshot point so slightly-lagging
+  /// followers can still catch up from the log.
+  int64_t snapshot_keep_tail = 64;
+
+  /// Base follower (election) timeout; the concrete timeout is drawn
+  /// uniformly from [election_timeout, 2 * election_timeout).
+  SimDuration election_timeout = Millis(500);
+
+  SimDuration heartbeat_interval = Millis(50);
+
+  /// Dispatcher RPC timeout before an entry is re-sent.
+  SimDuration rpc_timeout = Millis(400);
+
+  // ---- Variant flags ----
+  bool erasure = false;      ///< CRaft: replicate RS fragments.
+  /// Run the actual Reed–Solomon coder on every entry (tests/examples).
+  /// Benchmarks leave this off: fragment sizes and CPU costs are modelled,
+  /// the coder itself is exercised by its own unit tests and microbench.
+  bool real_erasure_coding = false;
+  bool ecraft = false;       ///< ECRaft: erasure-coded degraded mode too.
+  int kbucket_size = 0;      ///< KRaft: relay bucket size; 0 = off.
+  bool verify_group = false; ///< VGRaft: per-entry hash + signature.
+
+  /// Drop applied entries' payload bytes to bound memory in long benchmark
+  /// runs (metadata and modelled sizes are kept). Disable in tests that
+  /// inspect payloads.
+  bool release_applied_payloads = false;
+
+  /// When non-empty, the node keeps a REAL write-ahead log under this
+  /// directory: a crash drops all in-memory state and a restart recovers
+  /// the log, term and vote from the file (the durable-log assumption of
+  /// the paper's Sec. IV made concrete). Incompatible with
+  /// snapshot_threshold (compaction is not persisted).
+  std::string wal_dir;
+
+  CostModel costs;
+};
+
+/// Canonical options for a protocol as configured in the paper's
+/// experiments (`window_size` defaults to the paper's 10000 for the
+/// non-blocking variants).
+RaftOptions OptionsForProtocol(Protocol protocol, int window_size = 10000);
+
+}  // namespace nbraft::raft
+
+#endif  // NBRAFT_RAFT_TYPES_H_

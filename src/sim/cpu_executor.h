@@ -1,0 +1,84 @@
+#ifndef NBRAFT_SIM_CPU_EXECUTOR_H_
+#define NBRAFT_SIM_CPU_EXECUTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "sim/simulator.h"
+
+namespace nbraft::sim {
+
+/// Models a node's CPU as `lanes` identical cores. Submitting work picks the
+/// lane that frees up earliest; when all lanes are busy the task queues,
+/// which is exactly how the paper's high-concurrency throughput collapse
+/// arises (Figs. 14, 17, 18: throughput drops past ~512 clients as requests
+/// contend for cores).
+///
+/// `speed_factor` scales effective execution cost; the Fig. 23 CPU-Turbo
+/// experiment lowers it to model disabled turbo, and the Fig. 20 cloud
+/// experiment uses weaker instances.
+class CpuExecutor {
+ public:
+  /// `lanes` must be >= 1.
+  CpuExecutor(Simulator* sim, int lanes, std::string name);
+
+  /// Schedules `fn` to run after `cost` of CPU time on the first free lane.
+  /// Returns the completion time. `cost` is divided by speed_factor().
+  SimTime Submit(SimDuration cost, EventFn fn);
+
+  /// CPU time consumed without a completion callback (e.g. bookkeeping that
+  /// delays later work on the same executor).
+  SimTime Consume(SimDuration cost) {
+    return Submit(cost, [] {});
+  }
+
+  /// Earliest time a new zero-cost task would start executing.
+  SimTime EarliestStart() const;
+
+  int lanes() const { return static_cast<int>(free_at_.size()); }
+
+  double speed_factor() const { return speed_factor_; }
+  void set_speed_factor(double f);
+
+  /// Per-task scheduling overhead charged once per concurrently
+  /// outstanding task at submission time (context switches, cache
+  /// pressure), saturating at `max_overhead` so contention degrades
+  /// throughput without a death spiral. This is what bends the throughput
+  /// curve downward past ~512 clients in Figs. 14/17/18.
+  void set_switch_cost(SimDuration cost, SimDuration max_overhead) {
+    switch_cost_ = cost;
+    max_switch_overhead_ = max_overhead;
+  }
+  SimDuration switch_cost() const { return switch_cost_; }
+
+  /// Tasks submitted but not yet completed.
+  int outstanding() const { return outstanding_; }
+
+  /// Total CPU-busy time accumulated across lanes (for utilization stats).
+  SimDuration busy_time() const { return busy_time_; }
+
+  /// Sum over submissions of (start - submit) — aggregate queueing delay.
+  SimDuration queue_time() const { return queue_time_; }
+
+  uint64_t tasks_submitted() const { return tasks_; }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  Simulator* sim_;
+  std::string name_;
+  std::vector<SimTime> free_at_;
+  double speed_factor_ = 1.0;
+  SimDuration switch_cost_ = 0;
+  SimDuration max_switch_overhead_ = 0;
+  int outstanding_ = 0;
+  SimDuration busy_time_ = 0;
+  SimDuration queue_time_ = 0;
+  uint64_t tasks_ = 0;
+};
+
+}  // namespace nbraft::sim
+
+#endif  // NBRAFT_SIM_CPU_EXECUTOR_H_

@@ -1,0 +1,62 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace nbraft::sim {
+
+Simulator::Simulator(uint64_t seed) : rng_(seed) {}
+
+EventId Simulator::At(SimTime when, EventFn fn) {
+  if (when < now_) when = now_;
+  const EventId id = next_seq_++;
+  heap_.push(HeapItem{when, id, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId Simulator::After(SimDuration delay, EventFn fn) {
+  if (delay < 0) delay = 0;
+  return At(now_ + delay, std::move(fn));
+}
+
+void Simulator::Cancel(EventId id) { callbacks_.erase(id); }
+
+bool Simulator::Step() {
+  while (!heap_.empty()) {
+    const HeapItem item = heap_.top();
+    heap_.pop();
+    auto it = callbacks_.find(item.id);
+    if (it == callbacks_.end()) continue;  // Cancelled.
+    NBRAFT_CHECK_GE(item.when, now_);
+    now_ = item.when;
+    EventFn fn = std::move(it->second);
+    callbacks_.erase(it);
+    ++events_processed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::Run(uint64_t max_events) {
+  for (uint64_t i = 0; i < max_events; ++i) {
+    if (!Step()) return;
+  }
+}
+
+void Simulator::RunUntil(SimTime t) {
+  while (!heap_.empty()) {
+    // Skip cancelled heads so heap_.top().when is a live event time.
+    if (callbacks_.find(heap_.top().id) == callbacks_.end()) {
+      heap_.pop();
+      continue;
+    }
+    if (heap_.top().when > t) break;
+    Step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace nbraft::sim

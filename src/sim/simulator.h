@@ -1,0 +1,85 @@
+#ifndef NBRAFT_SIM_SIMULATOR_H_
+#define NBRAFT_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/sim_time.h"
+
+namespace nbraft::sim {
+
+/// Handle for a scheduled event; used to cancel timers (e.g. election
+/// timeouts that are reset by heartbeats).
+using EventId = uint64_t;
+constexpr EventId kInvalidEventId = 0;
+
+using EventFn = std::function<void()>;
+
+/// Deterministic single-threaded discrete-event simulator.
+///
+/// All cluster activity — network delivery, CPU completion, protocol timers,
+/// client think time — is expressed as events on one queue ordered by
+/// (virtual time, insertion sequence). Runs with the same seed replay
+/// bit-identically, which the integration tests rely on.
+class Simulator {
+ public:
+  explicit Simulator(uint64_t seed);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` at absolute virtual time `when` (clamped to >= Now()).
+  EventId At(SimTime when, EventFn fn);
+
+  /// Schedules `fn` after `delay` (clamped to >= 0).
+  EventId After(SimDuration delay, EventFn fn);
+
+  /// Cancels a scheduled event. Cancelling an already-fired or invalid id
+  /// is a no-op.
+  void Cancel(EventId id);
+
+  /// Runs one event; returns false when the queue is empty.
+  bool Step();
+
+  /// Runs events until the queue is empty or `max_events` fired.
+  void Run(uint64_t max_events = UINT64_MAX);
+
+  /// Runs all events scheduled at times <= `t`, then advances Now() to `t`.
+  void RunUntil(SimTime t);
+
+  /// Root deterministic random stream for this run.
+  nbraft::Rng* rng() { return &rng_; }
+
+  uint64_t events_processed() const { return events_processed_; }
+  size_t pending_events() const { return callbacks_.size(); }
+
+ private:
+  struct HeapItem {
+    SimTime when;
+    uint64_t seq;
+    EventId id;
+    bool operator>(const HeapItem& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 1;
+  uint64_t events_processed_ = 0;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<HeapItem>>
+      heap_;
+  std::unordered_map<EventId, EventFn> callbacks_;
+  nbraft::Rng rng_;
+};
+
+}  // namespace nbraft::sim
+
+#endif  // NBRAFT_SIM_SIMULATOR_H_

@@ -1,0 +1,66 @@
+#include "storage/durable_log.h"
+
+#include "common/logging.h"
+
+namespace nbraft::storage {
+
+Status DurableLog::Open(const std::string& path) { return wal_.Open(path); }
+
+Status DurableLog::Close() { return wal_.Close(); }
+
+Status DurableLog::AppendEntry(const LogEntry& entry) {
+  NBRAFT_CHECK_GE(entry.index, 1) << "marker indices are reserved";
+  Status s = wal_.Append(entry);
+  if (!s.ok()) return s;
+  return wal_.Sync();
+}
+
+Status DurableLog::AppendTruncate(LogIndex from_index) {
+  LogEntry marker;
+  marker.index = kTruncateMarker;
+  marker.term = from_index;  // Payload slot for the truncation point.
+  Status s = wal_.Append(marker);
+  if (!s.ok()) return s;
+  return wal_.Sync();
+}
+
+Status DurableLog::AppendHardState(const HardState& state) {
+  LogEntry marker;
+  marker.index = kHardStateMarker;
+  marker.term = state.term;
+  marker.client_id = state.voted_for;
+  Status s = wal_.Append(marker);
+  if (!s.ok()) return s;
+  return wal_.Sync();
+}
+
+Result<DurableLog::RecoveredState> DurableLog::Recover(
+    const std::string& path) {
+  RecoveredState out;
+  size_t torn = 0;
+  Status replayed = Wal::Replay(
+      path,
+      [&out](LogEntry entry) {
+        ++out.records;
+        if (entry.index == kTruncateMarker) {
+          // Truncations in the stream always refer to live suffixes.
+          const LogIndex from = entry.term;
+          if (from <= out.log.LastIndex()) {
+            NBRAFT_CHECK(out.log.TruncateSuffix(from).ok());
+          }
+          return;
+        }
+        if (entry.index == kHardStateMarker) {
+          out.hard_state.term = entry.term;
+          out.hard_state.voted_for = entry.client_id;
+          return;
+        }
+        out.log.Append(std::move(entry));
+      },
+      &torn);
+  if (!replayed.ok()) return replayed;
+  out.truncated_tail_bytes = torn;
+  return out;
+}
+
+}  // namespace nbraft::storage

@@ -1,0 +1,69 @@
+#ifndef NBRAFT_STORAGE_DURABLE_LOG_H_
+#define NBRAFT_STORAGE_DURABLE_LOG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "net/network.h"
+#include "storage/raft_log.h"
+#include "storage/wal.h"
+
+namespace nbraft::storage {
+
+/// The durable face of a Raft replica: a typed write-ahead log holding the
+/// three things Raft requires to survive a crash — the entry log (with
+/// truncations), the current term, and the vote. Recovery folds the record
+/// stream back into a RaftLog + hard state.
+///
+/// Record stream format (each record framed by the Wal entry codec):
+///   * append:   the LogEntry itself;
+///   * truncate: a marker entry (sentinel index scheme) naming the first
+///     removed index;
+///   * hard state: a marker entry carrying (term, voted_for).
+class DurableLog {
+ public:
+  struct HardState {
+    Term term = 0;
+    net::NodeId voted_for = net::kInvalidNode;
+  };
+
+  struct RecoveredState {
+    RaftLog log;
+    HardState hard_state;
+    size_t records = 0;
+    size_t truncated_tail_bytes = 0;  ///< Torn tail dropped, if any.
+  };
+
+  DurableLog() = default;
+
+  /// Opens (creating if needed) the node's WAL file.
+  Status Open(const std::string& path);
+  Status Close();
+  bool is_open() const { return wal_.is_open(); }
+
+  /// Durably records an appended entry.
+  Status AppendEntry(const LogEntry& entry);
+
+  /// Durably records a suffix truncation starting at `from_index`.
+  Status AppendTruncate(LogIndex from_index);
+
+  /// Durably records a term/vote change.
+  Status AppendHardState(const HardState& state);
+
+  /// Folds `path`'s record stream into a recovered log + hard state.
+  /// Tolerates a torn final record (crash mid-write).
+  static Result<RecoveredState> Recover(const std::string& path);
+
+ private:
+  // Marker entries use impossible indices to distinguish record kinds:
+  // real entries always have index >= 1.
+  static constexpr LogIndex kTruncateMarker = -1;
+  static constexpr LogIndex kHardStateMarker = -2;
+
+  Wal wal_;
+};
+
+}  // namespace nbraft::storage
+
+#endif  // NBRAFT_STORAGE_DURABLE_LOG_H_

@@ -1,0 +1,94 @@
+#include "storage/raft_log.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace nbraft::storage {
+
+Term RaftLog::LastTerm() const {
+  return entries_.empty() ? compacted_term_ : entries_.back().term;
+}
+
+Result<Term> RaftLog::TermAt(LogIndex index) const {
+  if (index == first_index_ - 1) return compacted_term_;
+  if (index < first_index_ - 1 || index > LastIndex()) {
+    return Status::OutOfRange("TermAt(" + std::to_string(index) + ")");
+  }
+  return entries_[static_cast<size_t>(index - first_index_)].term;
+}
+
+Result<LogEntry> RaftLog::At(LogIndex index) const {
+  if (index < first_index_ || index > LastIndex()) {
+    return Status::OutOfRange("At(" + std::to_string(index) + ")");
+  }
+  return entries_[static_cast<size_t>(index - first_index_)];
+}
+
+const LogEntry& RaftLog::AtUnchecked(LogIndex index) const {
+  NBRAFT_CHECK_GE(index, first_index_);
+  NBRAFT_CHECK_LE(index, LastIndex());
+  return entries_[static_cast<size_t>(index - first_index_)];
+}
+
+void RaftLog::Append(LogEntry entry) {
+  NBRAFT_CHECK_EQ(entry.index, LastIndex() + 1)
+      << "log must stay continuous: appending " << entry.ToString()
+      << " after last index " << LastIndex();
+  NBRAFT_CHECK_GE(entry.term, LastTerm())
+      << "terms are non-decreasing: " << entry.ToString();
+  NBRAFT_CHECK_EQ(entry.prev_term, LastTerm())
+      << "prev_term must match predecessor: " << entry.ToString()
+      << " after term " << LastTerm();
+  payload_bytes_ += entry.payload.size();
+  entries_.push_back(std::move(entry));
+}
+
+Status RaftLog::TruncateSuffix(LogIndex from_index) {
+  if (from_index > LastIndex()) return Status::Ok();
+  if (from_index < first_index_) {
+    return Status::OutOfRange("cannot truncate into compacted prefix");
+  }
+  while (LastIndex() >= from_index) {
+    payload_bytes_ -= entries_.back().payload.size();
+    entries_.pop_back();
+  }
+  return Status::Ok();
+}
+
+Status RaftLog::CompactPrefix(LogIndex upto) {
+  if (upto < first_index_) return Status::Ok();
+  if (upto > LastIndex()) {
+    return Status::OutOfRange("compacting beyond last index");
+  }
+  const auto term = TermAt(upto);
+  while (first_index_ <= upto) {
+    payload_bytes_ -= entries_.front().payload.size();
+    entries_.pop_front();
+    ++first_index_;
+  }
+  compacted_term_ = term.value();
+  return Status::Ok();
+}
+
+void RaftLog::ResetToSnapshot(LogIndex index, Term term) {
+  entries_.clear();
+  payload_bytes_ = 0;
+  first_index_ = index + 1;
+  compacted_term_ = term;
+}
+
+void RaftLog::ReleasePayloadAt(LogIndex index) {
+  if (index < first_index_ || index > LastIndex()) return;
+  LogEntry& e = entries_[static_cast<size_t>(index - first_index_)];
+  payload_bytes_ -= e.payload.size();
+  e.ReleasePayload();
+}
+
+bool RaftLog::Matches(LogIndex index, Term term) const {
+  if (index == 0) return term == 0;
+  const auto t = TermAt(index);
+  return t.ok() && t.value() == term;
+}
+
+}  // namespace nbraft::storage

@@ -1,0 +1,87 @@
+#include "storage/wal.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace nbraft::storage {
+
+Wal::~Wal() {
+  if (file_ != nullptr) Close();
+}
+
+Status Wal::Open(const std::string& path) {
+  if (file_ != nullptr) return Status::Internal("WAL already open");
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  path_ = path;
+  return Status::Ok();
+}
+
+Status Wal::Append(const LogEntry& entry) {
+  if (file_ == nullptr) return Status::Internal("WAL not open");
+  std::string buf;
+  entry.EncodeTo(&buf);
+  if (std::fwrite(buf.data(), 1, buf.size(), file_) != buf.size()) {
+    return Status::IoError("write " + path_ + ": " + std::strerror(errno));
+  }
+  ++appended_;
+  return Status::Ok();
+}
+
+Status Wal::Sync() {
+  if (file_ == nullptr) return Status::Internal("WAL not open");
+  if (std::fflush(file_) != 0) {
+    return Status::IoError("flush " + path_ + ": " + std::strerror(errno));
+  }
+  if (::fsync(fileno(file_)) != 0) {
+    return Status::IoError("fsync " + path_ + ": " + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status Wal::Close() {
+  if (file_ == nullptr) return Status::Ok();
+  Status s = Sync();
+  std::fclose(file_);
+  file_ = nullptr;
+  return s;
+}
+
+Status Wal::Replay(const std::string& path,
+                   const std::function<void(LogEntry)>& fn,
+                   size_t* truncated_tail_bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  std::string data;
+  char chunk[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    data.append(chunk, n);
+  }
+  std::fclose(f);
+
+  std::string_view in(data);
+  while (!in.empty()) {
+    std::string_view checkpoint = in;
+    auto entry = LogEntry::DecodeFrom(&in);
+    if (!entry.ok()) {
+      // Torn tail from a crash mid-append: report and stop.
+      if (truncated_tail_bytes != nullptr) {
+        *truncated_tail_bytes = checkpoint.size();
+      }
+      return Status::Ok();
+    }
+    fn(std::move(entry).value());
+  }
+  if (truncated_tail_bytes != nullptr) *truncated_tail_bytes = 0;
+  return Status::Ok();
+}
+
+}  // namespace nbraft::storage

@@ -1,0 +1,56 @@
+#include "tsdb/bitstream.h"
+
+#include "common/logging.h"
+
+namespace nbraft::tsdb {
+
+void BitWriter::Write(uint64_t value, int bits) {
+  NBRAFT_CHECK_GE(bits, 0);
+  NBRAFT_CHECK_LE(bits, 64);
+  for (int i = bits - 1; i >= 0; --i) {
+    const uint8_t bit = static_cast<uint8_t>((value >> i) & 1);
+    current_ = static_cast<uint8_t>((current_ << 1) | bit);
+    ++filled_;
+    ++bit_count_;
+    if (filled_ == 8) {
+      out_->push_back(static_cast<char>(current_));
+      current_ = 0;
+      filled_ = 0;
+    }
+  }
+}
+
+void BitWriter::Finish() {
+  if (filled_ > 0) {
+    current_ = static_cast<uint8_t>(current_ << (8 - filled_));
+    out_->push_back(static_cast<char>(current_));
+    current_ = 0;
+    filled_ = 0;
+  }
+}
+
+bool BitReader::Read(uint64_t* value, int bits) {
+  NBRAFT_CHECK_GE(bits, 0);
+  NBRAFT_CHECK_LE(bits, 64);
+  if (pos_ + static_cast<size_t>(bits) > data_.size() * 8) return false;
+  uint64_t v = 0;
+  for (int i = 0; i < bits; ++i) {
+    const size_t byte = pos_ >> 3;
+    const int offset = 7 - static_cast<int>(pos_ & 7);
+    const uint8_t bit =
+        static_cast<uint8_t>((static_cast<uint8_t>(data_[byte]) >> offset) & 1);
+    v = (v << 1) | bit;
+    ++pos_;
+  }
+  *value = v;
+  return true;
+}
+
+bool BitReader::ReadBit(bool* bit) {
+  uint64_t v = 0;
+  if (!Read(&v, 1)) return false;
+  *bit = v != 0;
+  return true;
+}
+
+}  // namespace nbraft::tsdb

@@ -1,0 +1,55 @@
+#ifndef NBRAFT_TSDB_BITSTREAM_H_
+#define NBRAFT_TSDB_BITSTREAM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace nbraft::tsdb {
+
+/// MSB-first bit writer backing the time-series encoders.
+class BitWriter {
+ public:
+  explicit BitWriter(std::string* out) : out_(out) {}
+
+  /// Writes the low `bits` bits of `value`, most significant first.
+  /// `bits` must be in [0, 64].
+  void Write(uint64_t value, int bits);
+
+  void WriteBit(bool bit) { Write(bit ? 1 : 0, 1); }
+
+  /// Pads the final partial byte with zeros. Must be called exactly once,
+  /// after the last Write.
+  void Finish();
+
+  /// Bits written so far (excluding padding).
+  size_t bit_count() const { return bit_count_; }
+
+ private:
+  std::string* out_;
+  uint8_t current_ = 0;
+  int filled_ = 0;  // Bits used in current_.
+  size_t bit_count_ = 0;
+};
+
+/// MSB-first bit reader.
+class BitReader {
+ public:
+  explicit BitReader(std::string_view data) : data_(data) {}
+
+  /// Reads `bits` bits into the low bits of the result. Returns false on
+  /// exhausted input. `bits` must be in [0, 64].
+  bool Read(uint64_t* value, int bits);
+
+  bool ReadBit(bool* bit);
+
+  size_t bits_consumed() const { return pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;  // Bit position.
+};
+
+}  // namespace nbraft::tsdb
+
+#endif  // NBRAFT_TSDB_BITSTREAM_H_

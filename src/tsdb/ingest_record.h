@@ -1,0 +1,41 @@
+#ifndef NBRAFT_TSDB_INGEST_RECORD_H_
+#define NBRAFT_TSDB_INGEST_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "tsdb/encoding.h"
+
+namespace nbraft::tsdb {
+
+/// One sample destined for one series.
+struct Measurement {
+  uint64_t series_id = 0;
+  Point point;
+
+  friend bool operator==(const Measurement& a, const Measurement& b) {
+    return a.series_id == b.series_id && a.point == b.point;
+  }
+};
+
+/// Binary ingestion batch — the command format clients replicate through
+/// the consensus log (the TPCx-IoT-style workload of the evaluation).
+/// Layout: varint count, then (varint series_id, signed-varint timestamp,
+/// fixed64 value bits) per measurement, then arbitrary padding that brings
+/// the record to the workload's requested payload size (parsers ignore it).
+///
+/// Appends the record to `out`. If `target_size` > 0 the record is padded
+/// to exactly max(natural size, target_size) bytes.
+void EncodeIngestBatch(const std::vector<Measurement>& batch,
+                       size_t target_size, std::string* out);
+
+/// Parses an ingestion batch (ignoring padding).
+Result<std::vector<Measurement>> ParseIngestBatch(std::string_view data);
+
+}  // namespace nbraft::tsdb
+
+#endif  // NBRAFT_TSDB_INGEST_RECORD_H_

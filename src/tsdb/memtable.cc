@@ -1,0 +1,47 @@
+#include "tsdb/memtable.h"
+
+#include <algorithm>
+
+namespace nbraft::tsdb {
+
+void Memtable::Insert(uint64_t series_id, Point point) {
+  series_[series_id].push_back(point);
+  ++point_count_;
+}
+
+std::vector<Point> Memtable::Scan(uint64_t series_id) const {
+  const auto it = series_.find(series_id);
+  if (it == series_.end()) return {};
+  std::vector<Point> out = it->second;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Point& a, const Point& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  return out;
+}
+
+std::vector<std::pair<uint64_t, Point>> Memtable::AllPoints() const {
+  std::vector<std::pair<uint64_t, Point>> out;
+  out.reserve(point_count_);
+  for (const auto& [id, points] : series_) {
+    for (const Point& p : points) out.emplace_back(id, p);
+  }
+  return out;
+}
+
+std::vector<Chunk> Memtable::FlushAll() {
+  std::vector<Chunk> chunks;
+  chunks.reserve(series_.size());
+  for (auto& [id, points] : series_) {
+    std::stable_sort(points.begin(), points.end(),
+                     [](const Point& a, const Point& b) {
+                       return a.timestamp < b.timestamp;
+                     });
+    chunks.push_back(BuildChunk(id, points));
+  }
+  series_.clear();
+  point_count_ = 0;
+  return chunks;
+}
+
+}  // namespace nbraft::tsdb

@@ -1,0 +1,50 @@
+#ifndef NBRAFT_TSDB_MEMTABLE_H_
+#define NBRAFT_TSDB_MEMTABLE_H_
+
+#include <cstdint>
+#include <utility>
+#include <map>
+#include <vector>
+
+#include "tsdb/encoding.h"
+
+namespace nbraft::tsdb {
+
+/// In-memory write buffer: per-series sorted point lists. Like IoTDB's
+/// memtable, it absorbs random-ish arrivals cheaply and produces ordered,
+/// encodable runs at flush.
+class Memtable {
+ public:
+  /// Inserts one point. Out-of-order timestamps within a series are
+  /// tolerated (common with IoT sources) and sorted at flush.
+  void Insert(uint64_t series_id, Point point);
+
+  size_t point_count() const { return point_count_; }
+  size_t series_count() const { return series_.size(); }
+
+  /// Approximate resident bytes (16B per point + per-series overhead).
+  size_t ApproximateBytes() const {
+    return point_count_ * sizeof(Point) + series_.size() * 64;
+  }
+
+  /// Points currently buffered for a series (sorted copy).
+  std::vector<Point> Scan(uint64_t series_id) const;
+
+  /// Every buffered (series, point) pair in series order, insertion order
+  /// within a series (snapshot serialization).
+  std::vector<std::pair<uint64_t, Point>> AllPoints() const;
+
+  /// Encodes every series into a chunk (sorted by timestamp, then clears
+  /// the table). Returns chunks ordered by series id.
+  std::vector<Chunk> FlushAll();
+
+  bool Empty() const { return point_count_ == 0; }
+
+ private:
+  std::map<uint64_t, std::vector<Point>> series_;
+  size_t point_count_ = 0;
+};
+
+}  // namespace nbraft::tsdb
+
+#endif  // NBRAFT_TSDB_MEMTABLE_H_

@@ -1,0 +1,71 @@
+#include "baselines/protocol_registry.h"
+
+#include <gtest/gtest.h>
+
+namespace nbraft::baselines {
+namespace {
+
+TEST(ProtocolRegistryTest, AllSevenProtocolsListed) {
+  EXPECT_EQ(AllProtocols().size(), 7u);
+}
+
+TEST(ProtocolRegistryTest, TraitsMatchPaperTable2) {
+  // Spot-check the claims of the paper's Table II.
+  const ProtocolTraits& nb = TraitsFor(raft::Protocol::kNbRaft);
+  EXPECT_EQ(nb.preferred_concurrency, "High");
+  EXPECT_EQ(nb.persistence, "Low");
+  EXPECT_TRUE(nb.follower_read);
+  EXPECT_EQ(nb.cpu_usage, "Low");
+
+  const ProtocolTraits& craft = TraitsFor(raft::Protocol::kCRaft);
+  EXPECT_EQ(craft.preferred_request_size, "Large");
+  EXPECT_FALSE(craft.follower_read);
+  EXPECT_EQ(craft.cpu_usage, "High");
+
+  const ProtocolTraits& raft = TraitsFor(raft::Protocol::kRaft);
+  EXPECT_EQ(raft.preferred_concurrency, "Low");
+  EXPECT_EQ(raft.persistence, "High");
+  EXPECT_TRUE(raft.follower_read);
+}
+
+TEST(ProtocolRegistryTest, CombinationInheritsBothDownsides) {
+  const ProtocolTraits& combo = TraitsFor(raft::Protocol::kNbCRaft);
+  EXPECT_EQ(combo.preferred_concurrency, "High");  // From NB-Raft.
+  EXPECT_EQ(combo.preferred_request_size, "Large");  // From CRaft.
+  EXPECT_EQ(combo.persistence, "Low");               // From NB-Raft.
+  EXPECT_FALSE(combo.follower_read);                 // From CRaft.
+}
+
+TEST(ProtocolRegistryTest, TableRendersEveryProtocol) {
+  const std::string table = FormatTraitsTable();
+  for (raft::Protocol p : AllProtocols()) {
+    EXPECT_NE(table.find(std::string(raft::ProtocolName(p))),
+              std::string::npos)
+        << raft::ProtocolName(p);
+  }
+}
+
+TEST(ProtocolRegistryTest, ProtocolNamesAreStable) {
+  EXPECT_EQ(raft::ProtocolName(raft::Protocol::kRaft), "Raft");
+  EXPECT_EQ(raft::ProtocolName(raft::Protocol::kNbRaft), "NB-Raft");
+  EXPECT_EQ(raft::ProtocolName(raft::Protocol::kNbCRaft), "NB-Raft+CRaft");
+  EXPECT_EQ(raft::ProtocolName(raft::Protocol::kVGRaft), "VGRaft");
+}
+
+TEST(ProtocolRegistryTest, OptionsForProtocolConfiguresFlags) {
+  using raft::OptionsForProtocol;
+  using raft::Protocol;
+  EXPECT_EQ(OptionsForProtocol(Protocol::kRaft).window_size, 0);
+  EXPECT_EQ(OptionsForProtocol(Protocol::kNbRaft).window_size, 10000);
+  EXPECT_TRUE(OptionsForProtocol(Protocol::kCRaft).erasure);
+  EXPECT_FALSE(OptionsForProtocol(Protocol::kCRaft).ecraft);
+  EXPECT_TRUE(OptionsForProtocol(Protocol::kECRaft).ecraft);
+  EXPECT_NE(OptionsForProtocol(Protocol::kKRaft).kbucket_size, 0);
+  EXPECT_TRUE(OptionsForProtocol(Protocol::kVGRaft).verify_group);
+  const auto combo = OptionsForProtocol(Protocol::kNbCRaft);
+  EXPECT_GT(combo.window_size, 0);
+  EXPECT_TRUE(combo.erasure);
+}
+
+}  // namespace
+}  // namespace nbraft::baselines

@@ -1,0 +1,48 @@
+#include "common/sim_time.h"
+
+#include <gtest/gtest.h>
+
+#include "raft/types.h"
+
+namespace nbraft {
+namespace {
+
+TEST(SimTimeTest, UnitConversions) {
+  EXPECT_EQ(Micros(1), 1000 * Nanos(1));
+  EXPECT_EQ(Millis(1), 1000 * Micros(1));
+  EXPECT_EQ(Seconds(1), 1000 * Millis(1));
+  EXPECT_EQ(Seconds(2) + Millis(500), 2'500'000'000);
+}
+
+TEST(SimTimeTest, ToSecondsAndMillis) {
+  EXPECT_DOUBLE_EQ(ToSeconds(Millis(1500)), 1.5);
+  EXPECT_DOUBLE_EQ(ToMillis(Micros(2500)), 2.5);
+  EXPECT_DOUBLE_EQ(ToSeconds(0), 0.0);
+}
+
+TEST(SimTimeTest, FormatDurationPicksUnit) {
+  EXPECT_EQ(FormatDuration(Nanos(15)), "15ns");
+  EXPECT_EQ(FormatDuration(Micros(2)), "2.000us");
+  EXPECT_EQ(FormatDuration(Millis(3) + Micros(250)), "3.250ms");
+  EXPECT_EQ(FormatDuration(Seconds(1) + Millis(500)), "1.500s");
+}
+
+TEST(SimTimeTest, FormatNegativeDurations) {
+  EXPECT_EQ(FormatDuration(-Millis(2)), "-2.000ms");
+  EXPECT_EQ(FormatDuration(-Nanos(5)), "-5ns");
+}
+
+TEST(ProtocolNamesTest, RoleAndStateNames) {
+  using namespace raft;
+  EXPECT_EQ(RoleName(Role::kFollower), "follower");
+  EXPECT_EQ(RoleName(Role::kCandidate), "candidate");
+  EXPECT_EQ(RoleName(Role::kLeader), "leader");
+  EXPECT_EQ(AcceptStateName(AcceptState::kStrongAccept), "STRONG_ACCEPT");
+  EXPECT_EQ(AcceptStateName(AcceptState::kWeakAccept), "WEAK_ACCEPT");
+  EXPECT_EQ(AcceptStateName(AcceptState::kLogMismatch), "LOG_MISMATCH");
+  EXPECT_EQ(AcceptStateName(AcceptState::kLeaderChanged), "LEADER_CHANGED");
+  EXPECT_EQ(AcceptStateName(AcceptState::kNotLeader), "NOT_LEADER");
+}
+
+}  // namespace
+}  // namespace nbraft

@@ -1,0 +1,96 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace nbraft {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "Ok");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::NotLeader("x").code(), StatusCode::kNotLeader);
+  EXPECT_EQ(Status::LeaderChanged("x").code(), StatusCode::kLeaderChanged);
+  EXPECT_EQ(Status::LogMismatch("x").code(), StatusCode::kLogMismatch);
+  EXPECT_EQ(Status::Timeout("x").code(), StatusCode::kTimeout);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::Aborted("x").code(), StatusCode::kAborted);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  Status s = Status::NotLeader("try node 2");
+  EXPECT_EQ(s.ToString(), "NotLeader: try node 2");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(StatusTest, PredicatesMatchCodes) {
+  EXPECT_TRUE(Status::NotFound("").IsNotFound());
+  EXPECT_TRUE(Status::NotLeader("").IsNotLeader());
+  EXPECT_TRUE(Status::Timeout("").IsTimeout());
+  EXPECT_TRUE(Status::LogMismatch("").IsLogMismatch());
+  EXPECT_FALSE(Status::Ok().IsNotFound());
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Timeout("a"));
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "Ok");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kLogMismatch), "LogMismatch");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kLeaderChanged), "LeaderChanged");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  ASSERT_TRUE(r.ok());
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(ResultDeathTest, ValueOnErrorAborts) {
+  Result<int> r = Status::Internal("boom");
+  EXPECT_DEATH((void)r.value(), "Result::value");
+}
+
+TEST(ResultDeathTest, OkStatusRejected) {
+  EXPECT_DEATH((Result<int>(Status::Ok())), "OK status");
+}
+
+}  // namespace
+}  // namespace nbraft

@@ -1,0 +1,142 @@
+#include "common/varint.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "common/random.h"
+
+namespace nbraft {
+namespace {
+
+class VarintRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VarintRoundTripTest, Unsigned) {
+  std::string buf;
+  PutVarint64(&buf, GetParam());
+  std::string_view in(buf);
+  uint64_t out = 0;
+  ASSERT_TRUE(GetVarint64(&in, &out));
+  EXPECT_EQ(out, GetParam());
+  EXPECT_TRUE(in.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, VarintRoundTripTest,
+    ::testing::Values(0, 1, 127, 128, 129, 255, 256, 16383, 16384,
+                      (1ull << 32) - 1, 1ull << 32, (1ull << 56) + 123,
+                      std::numeric_limits<uint64_t>::max()));
+
+class SignedVarintTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(SignedVarintTest, RoundTrip) {
+  std::string buf;
+  PutVarintSigned64(&buf, GetParam());
+  std::string_view in(buf);
+  int64_t out = 0;
+  ASSERT_TRUE(GetVarintSigned64(&in, &out));
+  EXPECT_EQ(out, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, SignedVarintTest,
+    ::testing::Values(0, 1, -1, 63, -64, 64, -65, 1'000'000, -1'000'000,
+                      std::numeric_limits<int64_t>::max(),
+                      std::numeric_limits<int64_t>::min()));
+
+TEST(VarintTest, SmallValuesAreShort) {
+  std::string buf;
+  PutVarint64(&buf, 5);
+  EXPECT_EQ(buf.size(), 1u);
+  buf.clear();
+  PutVarint64(&buf, 300);
+  EXPECT_EQ(buf.size(), 2u);
+}
+
+TEST(VarintTest, ZigZagMapsSmallMagnitudesToSmallCodes) {
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+  EXPECT_EQ(ZigZagEncode(-2), 3u);
+  for (int64_t v : {0ll, 1ll, -1ll, 123456ll, -987654ll}) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+  }
+}
+
+TEST(VarintTest, TruncatedInputFails) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 42);
+  for (size_t keep = 0; keep + 1 < buf.size(); ++keep) {
+    std::string_view in(buf.data(), keep);
+    uint64_t out = 0;
+    EXPECT_FALSE(GetVarint64(&in, &out)) << "kept " << keep;
+  }
+}
+
+TEST(VarintTest, OverlongInputFails) {
+  // 11 continuation bytes exceed a 64-bit value.
+  std::string buf(11, '\x80');
+  std::string_view in(buf);
+  uint64_t out = 0;
+  EXPECT_FALSE(GetVarint64(&in, &out));
+}
+
+TEST(VarintTest, SequentialDecodingAdvances) {
+  std::string buf;
+  PutVarint64(&buf, 10);
+  PutVarint64(&buf, 2000);
+  PutVarint64(&buf, 300000);
+  std::string_view in(buf);
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint64_t c = 0;
+  ASSERT_TRUE(GetVarint64(&in, &a));
+  ASSERT_TRUE(GetVarint64(&in, &b));
+  ASSERT_TRUE(GetVarint64(&in, &c));
+  EXPECT_EQ(a, 10u);
+  EXPECT_EQ(b, 2000u);
+  EXPECT_EQ(c, 300000u);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(FixedTest, RoundTrip32And64) {
+  std::string buf;
+  PutFixed32(&buf, 0xdeadbeef);
+  PutFixed64(&buf, 0x0123456789abcdefull);
+  EXPECT_EQ(buf.size(), 12u);
+  std::string_view in(buf);
+  uint32_t v32 = 0;
+  uint64_t v64 = 0;
+  ASSERT_TRUE(GetFixed32(&in, &v32));
+  ASSERT_TRUE(GetFixed64(&in, &v64));
+  EXPECT_EQ(v32, 0xdeadbeefu);
+  EXPECT_EQ(v64, 0x0123456789abcdefull);
+}
+
+TEST(FixedTest, TruncatedFails) {
+  std::string buf;
+  PutFixed32(&buf, 1);
+  std::string_view in(buf.data(), 3);
+  uint32_t v = 0;
+  EXPECT_FALSE(GetFixed32(&in, &v));
+  std::string_view in64(buf);
+  uint64_t v64 = 0;
+  EXPECT_FALSE(GetFixed64(&in64, &v64));
+}
+
+TEST(VarintTest, RandomizedRoundTripProperty) {
+  Rng rng(77);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t value = rng.Next() >> rng.NextBounded(64);
+    std::string buf;
+    PutVarint64(&buf, value);
+    std::string_view in(buf);
+    uint64_t out = 0;
+    ASSERT_TRUE(GetVarint64(&in, &out));
+    ASSERT_EQ(out, value);
+  }
+}
+
+}  // namespace
+}  // namespace nbraft

@@ -1,0 +1,118 @@
+#include "craft/gf256.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace nbraft::craft {
+namespace {
+
+TEST(Gf256Test, AdditionIsXor) {
+  EXPECT_EQ(Gf256::Add(0x57, 0x83), 0x57 ^ 0x83);
+  EXPECT_EQ(Gf256::Sub(0x57, 0x83), 0x57 ^ 0x83);
+  EXPECT_EQ(Gf256::Add(5, 5), 0);
+}
+
+TEST(Gf256Test, MultiplicationIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(Gf256::Mul(static_cast<uint8_t>(a), 1), a);
+    EXPECT_EQ(Gf256::Mul(1, static_cast<uint8_t>(a)), a);
+    EXPECT_EQ(Gf256::Mul(static_cast<uint8_t>(a), 0), 0);
+  }
+}
+
+// Reference carry-less multiplication with reduction by x^8+x^4+x^3+x^2+1.
+uint8_t SlowMul(uint8_t a, uint8_t b) {
+  uint8_t result = 0;
+  while (b != 0) {
+    if (b & 1) result ^= a;
+    const bool carry = (a & 0x80) != 0;
+    a = static_cast<uint8_t>(a << 1);
+    if (carry) a ^= 0x1d;  // Low byte of 0x11d.
+    b >>= 1;
+  }
+  return result;
+}
+
+TEST(Gf256Test, TableMulMatchesReferenceForAllPairs) {
+  for (int a = 0; a < 256; a += 3) {
+    for (int b = 0; b < 256; b += 5) {
+      EXPECT_EQ(Gf256::Mul(static_cast<uint8_t>(a), static_cast<uint8_t>(b)),
+                SlowMul(static_cast<uint8_t>(a), static_cast<uint8_t>(b)))
+          << a << " * " << b;
+    }
+  }
+}
+
+TEST(Gf256Test, MultiplicationCommutative) {
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const uint8_t a = static_cast<uint8_t>(rng.Next());
+    const uint8_t b = static_cast<uint8_t>(rng.Next());
+    EXPECT_EQ(Gf256::Mul(a, b), Gf256::Mul(b, a));
+  }
+}
+
+TEST(Gf256Test, MultiplicationAssociative) {
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const uint8_t a = static_cast<uint8_t>(rng.Next());
+    const uint8_t b = static_cast<uint8_t>(rng.Next());
+    const uint8_t c = static_cast<uint8_t>(rng.Next());
+    EXPECT_EQ(Gf256::Mul(Gf256::Mul(a, b), c),
+              Gf256::Mul(a, Gf256::Mul(b, c)));
+  }
+}
+
+TEST(Gf256Test, DistributesOverAddition) {
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const uint8_t a = static_cast<uint8_t>(rng.Next());
+    const uint8_t b = static_cast<uint8_t>(rng.Next());
+    const uint8_t c = static_cast<uint8_t>(rng.Next());
+    EXPECT_EQ(Gf256::Mul(a, Gf256::Add(b, c)),
+              Gf256::Add(Gf256::Mul(a, b), Gf256::Mul(a, c)));
+  }
+}
+
+TEST(Gf256Test, EveryNonZeroElementHasInverse) {
+  for (int a = 1; a < 256; ++a) {
+    const uint8_t inv = Gf256::Inv(static_cast<uint8_t>(a));
+    EXPECT_EQ(Gf256::Mul(static_cast<uint8_t>(a), inv), 1)
+        << "a = " << a;
+  }
+}
+
+TEST(Gf256Test, DivisionInvertsMultiplication) {
+  Rng rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    const uint8_t a = static_cast<uint8_t>(rng.Next());
+    uint8_t b = static_cast<uint8_t>(rng.Next());
+    if (b == 0) b = 1;
+    EXPECT_EQ(Gf256::Div(Gf256::Mul(a, b), b), a);
+  }
+}
+
+TEST(Gf256Test, ExpMatchesRepeatedMultiplication) {
+  for (int base = 1; base < 256; base += 17) {
+    uint8_t acc = 1;
+    for (int p = 0; p < 10; ++p) {
+      EXPECT_EQ(Gf256::Exp(static_cast<uint8_t>(base), p), acc)
+          << "base " << base << " power " << p;
+      acc = Gf256::Mul(acc, static_cast<uint8_t>(base));
+    }
+  }
+}
+
+TEST(Gf256Test, ExpOfZero) {
+  EXPECT_EQ(Gf256::Exp(0, 0), 1);
+  EXPECT_EQ(Gf256::Exp(0, 5), 0);
+}
+
+TEST(Gf256DeathTest, DivisionByZeroAborts) {
+  EXPECT_DEATH((void)Gf256::Div(5, 0), "");
+  EXPECT_DEATH((void)Gf256::Inv(0), "");
+}
+
+}  // namespace
+}  // namespace nbraft::craft

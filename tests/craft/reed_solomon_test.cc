@@ -1,0 +1,161 @@
+#include "craft/reed_solomon.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/random.h"
+
+namespace nbraft::craft {
+namespace {
+
+std::string RandomData(Rng* rng, size_t len) {
+  std::string out(len, '\0');
+  for (char& c : out) c = static_cast<char>(rng->Next());
+  return out;
+}
+
+TEST(ReedSolomonTest, BasicRoundTripAllShards) {
+  ReedSolomon rs(2, 1);
+  const std::string data = "hello, erasure-coded raft!";
+  auto shards = rs.Encode(data);
+  ASSERT_EQ(shards.size(), 3u);
+  std::vector<std::optional<std::string>> in(shards.begin(), shards.end());
+  auto decoded = rs.Decode(in, data.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), data);
+}
+
+TEST(ReedSolomonTest, SystematicDataShardsArePlainSlices) {
+  ReedSolomon rs(2, 2);
+  const std::string data = "abcdefgh";  // Shard size 4.
+  auto shards = rs.Encode(data);
+  EXPECT_EQ(shards[0], "abcd");
+  EXPECT_EQ(shards[1], "efgh");
+}
+
+TEST(ReedSolomonTest, ShardSizeRoundsUp) {
+  ReedSolomon rs(3, 2);
+  EXPECT_EQ(rs.ShardSize(10), 4u);
+  EXPECT_EQ(rs.ShardSize(9), 3u);
+  EXPECT_EQ(rs.ShardSize(0), 0u);
+}
+
+// The CRaft property: ANY k of the n shards reconstruct the entry.
+class RsAnySubsetTest
+    : public ::testing::TestWithParam<std::tuple<int, int, size_t>> {};
+
+TEST_P(RsAnySubsetTest, AnyKOfNReconstructs) {
+  const auto [k, m, len] = GetParam();
+  ReedSolomon rs(k, m);
+  Rng rng(static_cast<uint64_t>(k * 1000 + m * 100) + len);
+  const std::string data = RandomData(&rng, len);
+  const auto shards = rs.Encode(data);
+  const int n = k + m;
+
+  // Enumerate all subsets of size k (n is small in these cases).
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    if (__builtin_popcount(mask) != k) continue;
+    std::vector<std::optional<std::string>> subset(
+        static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1u << i)) subset[static_cast<size_t>(i)] = shards[i];
+    }
+    auto decoded = rs.Decode(subset, data.size());
+    ASSERT_TRUE(decoded.ok()) << "mask " << mask;
+    ASSERT_EQ(decoded.value(), data) << "mask " << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, RsAnySubsetTest,
+    ::testing::Values(std::make_tuple(2, 1, 100),    // 3-replica CRaft.
+                      std::make_tuple(2, 1, 4096),   // Paper default size.
+                      std::make_tuple(3, 2, 1000),   // 5-replica CRaft.
+                      std::make_tuple(4, 3, 257),    // 7 replicas, odd len.
+                      std::make_tuple(5, 4, 64),     // 9 replicas.
+                      std::make_tuple(1, 2, 50),     // Degenerate k=1.
+                      std::make_tuple(2, 0, 33)));   // No parity.
+
+TEST(ReedSolomonTest, ExtraShardsBeyondKAreFine) {
+  ReedSolomon rs(3, 2);
+  Rng rng(5);
+  const std::string data = RandomData(&rng, 500);
+  auto shards = rs.Encode(data);
+  std::vector<std::optional<std::string>> all(shards.begin(), shards.end());
+  auto decoded = rs.Decode(all, data.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), data);
+}
+
+TEST(ReedSolomonTest, TooFewShardsFails) {
+  ReedSolomon rs(3, 2);
+  Rng rng(6);
+  const std::string data = RandomData(&rng, 100);
+  auto shards = rs.Encode(data);
+  std::vector<std::optional<std::string>> two(5);
+  two[0] = shards[0];
+  two[4] = shards[4];
+  EXPECT_FALSE(rs.Decode(two, data.size()).ok());
+}
+
+TEST(ReedSolomonTest, WrongShardVectorSizeFails) {
+  ReedSolomon rs(2, 1);
+  std::vector<std::optional<std::string>> wrong(2);
+  EXPECT_FALSE(rs.Decode(wrong, 10).ok());
+}
+
+TEST(ReedSolomonTest, MismatchedShardSizeFails) {
+  ReedSolomon rs(2, 1);
+  auto shards = rs.Encode("0123456789");
+  std::vector<std::optional<std::string>> in(shards.begin(), shards.end());
+  (*in[1]) += "extra";
+  EXPECT_FALSE(rs.Decode(in, 10).ok());
+}
+
+TEST(ReedSolomonTest, EmptyPayload) {
+  ReedSolomon rs(2, 1);
+  auto shards = rs.Encode("");
+  for (const auto& s : shards) EXPECT_TRUE(s.empty());
+  std::vector<std::optional<std::string>> in(shards.begin(), shards.end());
+  auto decoded = rs.Decode(in, 0);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(ReedSolomonTest, PaddedLengthsRestoreExactBytes) {
+  ReedSolomon rs(3, 1);
+  for (size_t len = 1; len <= 20; ++len) {
+    Rng rng(len);
+    const std::string data = RandomData(&rng, len);
+    auto shards = rs.Encode(data);
+    std::vector<std::optional<std::string>> in(shards.begin(), shards.end());
+    in[0].reset();  // Drop one data shard: force real decoding.
+    auto decoded = rs.Decode(in, len);
+    ASSERT_TRUE(decoded.ok()) << "len " << len;
+    ASSERT_EQ(decoded.value(), data) << "len " << len;
+  }
+}
+
+TEST(ReedSolomonTest, RandomizedErasurePatterns) {
+  Rng rng(99);
+  for (int round = 0; round < 30; ++round) {
+    const int k = 2 + static_cast<int>(rng.NextBounded(4));
+    const int m = 1 + static_cast<int>(rng.NextBounded(3));
+    ReedSolomon rs(k, m);
+    const std::string data = RandomData(&rng, 1 + rng.NextBounded(2000));
+    auto shards = rs.Encode(data);
+    // Erase exactly m random shards.
+    std::vector<int> order(static_cast<size_t>(k + m));
+    for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+    rng.Shuffle(&order);
+    std::vector<std::optional<std::string>> in(shards.begin(), shards.end());
+    for (int i = 0; i < m; ++i) in[static_cast<size_t>(order[i])].reset();
+    auto decoded = rs.Decode(in, data.size());
+    ASSERT_TRUE(decoded.ok());
+    ASSERT_EQ(decoded.value(), data);
+  }
+}
+
+}  // namespace
+}  // namespace nbraft::craft

@@ -1,0 +1,199 @@
+// Randomized fault-schedule integration tests: the Raft safety properties
+// must hold under leader crashes, restarts, and partitions, for every
+// protocol variant and across seeds.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "harness/cluster.h"
+#include "tests/raft/test_cluster.h"
+
+namespace nbraft::harness {
+namespace {
+
+using raft::Protocol;
+using raft_test::SmallConfig;
+
+void ExpectSafety(Cluster* cluster, const char* where) {
+  const Status matching = cluster->CheckLogMatching();
+  EXPECT_TRUE(matching.ok()) << where << ": " << matching.ToString();
+  const Status prefixes = cluster->CheckCommittedPrefixes();
+  EXPECT_TRUE(prefixes.ok()) << where << ": " << prefixes.ToString();
+}
+
+class FaultScheduleTest
+    : public ::testing::TestWithParam<std::tuple<Protocol, uint64_t>> {};
+
+TEST_P(FaultScheduleTest, SafetyHoldsUnderCrashRestartSchedule) {
+  const auto [protocol, seed] = GetParam();
+  ClusterConfig config = SmallConfig(protocol, 3, 4, seed);
+  Cluster cluster(config);
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  cluster.StartClients();
+
+  nbraft::Rng rng(seed * 31 + 7);
+  for (int round = 0; round < 8; ++round) {
+    cluster.RunFor(Millis(300));
+    ExpectSafety(&cluster, "mid-run");
+    switch (rng.NextBounded(4)) {
+      case 0: {  // Crash the leader.
+        cluster.CrashLeader();
+        break;
+      }
+      case 1: {  // Crash a random follower.
+        const int victim = static_cast<int>(rng.NextBounded(3));
+        if (!cluster.node(victim)->crashed() &&
+            cluster.node(victim)->role() != raft::Role::kLeader) {
+          cluster.CrashNode(victim);
+        }
+        break;
+      }
+      case 2: {  // Restart everyone who is down.
+        for (int i = 0; i < 3; ++i) {
+          if (cluster.node(i)->crashed()) cluster.RestartNode(i);
+        }
+        break;
+      }
+      case 3:  // Quiet round.
+        break;
+    }
+  }
+  // Heal and drain.
+  for (int i = 0; i < 3; ++i) {
+    if (cluster.node(i)->crashed()) cluster.RestartNode(i);
+  }
+  cluster.StopAllClients();
+  cluster.RunFor(Seconds(3));
+  ExpectSafety(&cluster, "after heal");
+
+  // Progress: something committed despite the faults.
+  raft::RaftNode* leader = cluster.leader();
+  ASSERT_NE(leader, nullptr);
+  EXPECT_GT(leader->commit_index(), 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, FaultScheduleTest,
+    ::testing::Combine(::testing::Values(Protocol::kRaft, Protocol::kNbRaft,
+                                         Protocol::kNbCRaft),
+                       ::testing::Values(1u, 2u, 3u, 4u)),
+    [](const ::testing::TestParamInfo<std::tuple<Protocol, uint64_t>>&
+           info) {
+      std::string name(raft::ProtocolName(std::get<0>(info.param)));
+      for (char& c : name) {
+        if (c == '-' || c == '+') c = '_';
+      }
+      return name + "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(PartitionTest, IsolatedLeaderStepsDownAndRejoins) {
+  ClusterConfig config = SmallConfig(Protocol::kNbRaft, 3, 4, 17);
+  Cluster cluster(config);
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  cluster.StartClients();
+  cluster.RunFor(Millis(300));
+
+  raft::RaftNode* old_leader = cluster.leader();
+  const net::NodeId isolated = old_leader->id();
+  cluster.network()->Isolate(isolated, true);
+  cluster.RunFor(Seconds(3));
+
+  // A new leader emerges on the majority side.
+  raft::RaftNode* new_leader = cluster.leader();
+  ASSERT_NE(new_leader, nullptr);
+  EXPECT_NE(new_leader->id(), isolated);
+
+  // Heal: the old leader must adopt the new term and converge.
+  cluster.network()->Isolate(isolated, false);
+  cluster.StopAllClients();
+  cluster.RunFor(Seconds(3));
+  EXPECT_EQ(old_leader->role(), raft::Role::kFollower);
+  EXPECT_EQ(old_leader->current_term(), new_leader->current_term());
+  ExpectSafety(&cluster, "after partition heal");
+}
+
+TEST(PartitionTest, MinoritySideMakesNoProgress) {
+  ClusterConfig config = SmallConfig(Protocol::kRaft, 5, 4, 19);
+  Cluster cluster(config);
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  cluster.StartClients();
+  cluster.RunFor(Millis(300));
+
+  // Cut nodes {3, 4} off from {0, 1, 2}.
+  for (int a : {0, 1, 2}) {
+    for (int b : {3, 4}) {
+      cluster.network()->SetLinkCut(a, b, true);
+    }
+  }
+  cluster.RunFor(Seconds(2));
+  const storage::LogIndex minority_commit =
+      std::max(cluster.node(3)->commit_index(),
+               cluster.node(4)->commit_index());
+  cluster.RunFor(Seconds(1));
+  EXPECT_LE(std::max(cluster.node(3)->commit_index(),
+                     cluster.node(4)->commit_index()),
+            minority_commit + 1)
+      << "the minority partition must not advance commits";
+
+  for (int a : {0, 1, 2}) {
+    for (int b : {3, 4}) {
+      cluster.network()->SetLinkCut(a, b, false);
+    }
+  }
+  cluster.StopAllClients();
+  cluster.RunFor(Seconds(3));
+  ExpectSafety(&cluster, "after partition");
+}
+
+TEST(LossyNetworkTest, ProgressDespiteMessageLoss) {
+  ClusterConfig config = SmallConfig(Protocol::kNbRaft, 3, 4, 23);
+  config.network.drop_probability = 0.02;
+  Cluster cluster(config);
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader(Seconds(20)));
+  cluster.StartClients();
+  cluster.RunFor(Seconds(2));
+  const ClusterStats stats = cluster.Collect();
+  EXPECT_GT(stats.requests_completed, 20u);
+  ExpectSafety(&cluster, "lossy network");
+}
+
+TEST(CrashRestartTest, RestartedNodeCatchesUp) {
+  ClusterConfig config = SmallConfig(Protocol::kRaft, 3, 4, 29);
+  Cluster cluster(config);
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  cluster.StartClients();
+  cluster.RunFor(Millis(300));
+
+  int victim = -1;
+  for (int i = 0; i < 3; ++i) {
+    if (cluster.node(i)->role() != raft::Role::kLeader) {
+      victim = i;
+      break;
+    }
+  }
+  ASSERT_GE(victim, 0);
+  cluster.CrashNode(victim);
+  cluster.RunFor(Seconds(1));
+  const storage::LogIndex at_restart =
+      cluster.node(victim)->log().LastIndex();
+  cluster.RestartNode(victim);
+  cluster.StopAllClients();
+  cluster.RunFor(Seconds(3));
+
+  raft::RaftNode* leader = cluster.leader();
+  ASSERT_NE(leader, nullptr);
+  EXPECT_GT(cluster.node(victim)->log().LastIndex(), at_restart)
+      << "restarted node must receive the entries it missed";
+  EXPECT_GE(cluster.node(victim)->log().LastIndex(),
+            leader->commit_index());
+  ExpectSafety(&cluster, "after catch-up");
+}
+
+}  // namespace
+}  // namespace nbraft::harness

@@ -1,0 +1,93 @@
+#include "harness/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tsdb/ingest_record.h"
+
+namespace nbraft::harness {
+namespace {
+
+TEST(WorkloadTest, PayloadMeetsTargetSize) {
+  IngestWorkload workload({}, 1);
+  for (size_t target : {256u, 1024u, 4096u, 65536u}) {
+    const std::string payload = workload.MakePayload(target);
+    EXPECT_EQ(payload.size(), target);
+  }
+}
+
+TEST(WorkloadTest, PayloadParsesAsIngestBatch) {
+  IngestWorkload::Options options;
+  options.measurements_per_request = 8;
+  IngestWorkload workload(options, 2);
+  const std::string payload = workload.MakePayload(1024);
+  auto batch = tsdb::ParseIngestBatch(payload);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->size(), 8u);
+}
+
+TEST(WorkloadTest, SeriesIdsWithinFleet) {
+  IngestWorkload::Options options;
+  options.series_count = 10;
+  options.measurements_per_request = 32;
+  IngestWorkload workload(options, 3);
+  for (int i = 0; i < 20; ++i) {
+    auto batch = tsdb::ParseIngestBatch(workload.MakePayload(2048));
+    ASSERT_TRUE(batch.ok());
+    for (const auto& m : *batch) EXPECT_LT(m.series_id, 10u);
+  }
+}
+
+TEST(WorkloadTest, TimestampsAdvance) {
+  IngestWorkload workload({}, 4);
+  auto first = tsdb::ParseIngestBatch(workload.MakePayload(512));
+  for (int i = 0; i < 50; ++i) workload.MakePayload(512);
+  auto later = tsdb::ParseIngestBatch(workload.MakePayload(512));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(later.ok());
+  EXPECT_GT((*later)[0].point.timestamp, (*first)[0].point.timestamp);
+}
+
+TEST(WorkloadTest, DeterministicPerSeed) {
+  IngestWorkload a({}, 7);
+  IngestWorkload b({}, 7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.MakePayload(1024), b.MakePayload(1024));
+  }
+  IngestWorkload c({}, 8);
+  EXPECT_NE(a.MakePayload(1024), c.MakePayload(1024));
+}
+
+TEST(WorkloadTest, ZipfSkewConcentratesSeries) {
+  IngestWorkload::Options options;
+  options.series_count = 100;
+  options.zipf_skew = 1.2;
+  options.measurements_per_request = 64;
+  IngestWorkload workload(options, 9);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 50; ++i) {
+    auto batch = tsdb::ParseIngestBatch(workload.MakePayload(4096));
+    ASSERT_TRUE(batch.ok());
+    for (const auto& m : *batch) ++counts[m.series_id];
+  }
+  // The most popular series dominates under skew.
+  int max_count = 0;
+  int total = 0;
+  for (const auto& [id, c] : counts) {
+    max_count = std::max(max_count, c);
+    total += c;
+  }
+  EXPECT_GT(max_count, total / 20);
+}
+
+TEST(WorkloadTest, CountsRequests) {
+  IngestWorkload workload({}, 10);
+  EXPECT_EQ(workload.requests_generated(), 0u);
+  workload.MakePayload(100);
+  workload.MakePayload(100);
+  EXPECT_EQ(workload.requests_generated(), 2u);
+}
+
+}  // namespace
+}  // namespace nbraft::harness

@@ -1,0 +1,94 @@
+#include "metrics/breakdown.h"
+
+#include <gtest/gtest.h>
+
+namespace nbraft::metrics {
+namespace {
+
+TEST(BreakdownTest, StartsEmpty) {
+  Breakdown b;
+  EXPECT_EQ(b.GrandTotal(), 0);
+  EXPECT_EQ(b.Proportion(Phase::kWaitFollower), 0.0);
+}
+
+TEST(BreakdownTest, AddAccumulates) {
+  Breakdown b;
+  b.Add(Phase::kWaitFollower, Micros(100));
+  b.Add(Phase::kWaitFollower, Micros(50));
+  b.Add(Phase::kApply, Micros(50));
+  EXPECT_EQ(b.total(Phase::kWaitFollower), Micros(150));
+  EXPECT_EQ(b.GrandTotal(), Micros(200));
+  EXPECT_NEAR(b.Proportion(Phase::kWaitFollower), 0.75, 1e-9);
+  EXPECT_NEAR(b.Proportion(Phase::kApply), 0.25, 1e-9);
+}
+
+TEST(BreakdownTest, NegativeDurationsClamped) {
+  Breakdown b;
+  b.Add(Phase::kParse, -5);
+  EXPECT_EQ(b.total(Phase::kParse), 0);
+}
+
+TEST(BreakdownTest, MergeSumsAllPhases) {
+  Breakdown a;
+  Breakdown b;
+  a.Add(Phase::kIndex, Micros(10));
+  b.Add(Phase::kIndex, Micros(5));
+  b.Add(Phase::kCommit, Micros(1));
+  a.Merge(b);
+  EXPECT_EQ(a.total(Phase::kIndex), Micros(15));
+  EXPECT_EQ(a.total(Phase::kCommit), Micros(1));
+}
+
+TEST(BreakdownTest, ResetClears) {
+  Breakdown b;
+  b.Add(Phase::kAck, Micros(7));
+  b.Reset();
+  EXPECT_EQ(b.GrandTotal(), 0);
+}
+
+TEST(BreakdownTest, ProportionsSumToOne) {
+  Breakdown b;
+  for (int i = 0; i < kNumPhases; ++i) {
+    b.Add(static_cast<Phase>(i), Micros(i + 1));
+  }
+  double sum = 0;
+  for (int i = 0; i < kNumPhases; ++i) {
+    sum += b.Proportion(static_cast<Phase>(i));
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(BreakdownTest, NotationMatchesPaperTableOne) {
+  EXPECT_EQ(PhaseNotation(Phase::kGenClient), "t_gen(C)");
+  EXPECT_EQ(PhaseNotation(Phase::kTransClientLeader), "t_trans(CL)");
+  EXPECT_EQ(PhaseNotation(Phase::kParse), "t_prs(L)");
+  EXPECT_EQ(PhaseNotation(Phase::kIndex), "t_idx(L)");
+  EXPECT_EQ(PhaseNotation(Phase::kQueue), "t_queue(L)");
+  EXPECT_EQ(PhaseNotation(Phase::kTransLeaderFollower), "t_trans(LF)");
+  EXPECT_EQ(PhaseNotation(Phase::kWaitFollower), "t_wait(F)");
+  EXPECT_EQ(PhaseNotation(Phase::kAppendFollower), "t_append(F)");
+  EXPECT_EQ(PhaseNotation(Phase::kAck), "t_ack(L)");
+  EXPECT_EQ(PhaseNotation(Phase::kCommit), "t_commit(L)");
+  EXPECT_EQ(PhaseNotation(Phase::kApply), "t_apply(L)");
+}
+
+TEST(BreakdownTest, DescriptionsNonEmpty) {
+  for (int i = 0; i < kNumPhases; ++i) {
+    EXPECT_FALSE(PhaseDescription(static_cast<Phase>(i)).empty());
+  }
+}
+
+TEST(BreakdownTest, TableSortsLargestFirst) {
+  Breakdown b;
+  b.Add(Phase::kWaitFollower, Micros(900));
+  b.Add(Phase::kParse, Micros(100));
+  const std::string table = b.ToTable();
+  const size_t wait_pos = table.find("t_wait(F)");
+  const size_t parse_pos = table.find("t_prs(L)");
+  ASSERT_NE(wait_pos, std::string::npos);
+  ASSERT_NE(parse_pos, std::string::npos);
+  EXPECT_LT(wait_pos, parse_pos);
+}
+
+}  // namespace
+}  // namespace nbraft::metrics

@@ -1,0 +1,134 @@
+#include "metrics/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace nbraft::metrics {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1000);
+  EXPECT_EQ(h.max(), 1000);
+  EXPECT_EQ(h.Mean(), 1000.0);
+  EXPECT_NEAR(h.P50(), 1000, 64);
+}
+
+TEST(HistogramTest, ExactSmallValues) {
+  Histogram h;
+  for (int i = 0; i < 16; ++i) h.Record(i);
+  // Values below 16 land in exact unit buckets.
+  EXPECT_EQ(h.ValueAtQuantile(0.0), 0);
+  EXPECT_EQ(h.max(), 15);
+  EXPECT_EQ(h.count(), 16u);
+}
+
+TEST(HistogramTest, NegativeClampedToZero) {
+  Histogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(HistogramTest, QuantilesOrdered) {
+  Histogram h;
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    h.Record(static_cast<int64_t>(rng.NextBounded(1'000'000)));
+  }
+  EXPECT_LE(h.ValueAtQuantile(0.10), h.ValueAtQuantile(0.50));
+  EXPECT_LE(h.ValueAtQuantile(0.50), h.ValueAtQuantile(0.95));
+  EXPECT_LE(h.ValueAtQuantile(0.95), h.ValueAtQuantile(0.999));
+  EXPECT_LE(h.ValueAtQuantile(0.999), h.max());
+}
+
+TEST(HistogramTest, RelativeErrorBounded) {
+  Histogram h;
+  const int64_t value = 123456789;
+  h.Record(value);
+  const int64_t p50 = h.P50();
+  // 16 sub-buckets per octave => <= ~6.25% low-side error.
+  EXPECT_LE(p50, value);
+  EXPECT_GE(static_cast<double>(p50), value * 0.93);
+}
+
+TEST(HistogramTest, UniformQuantilesApproximate) {
+  Histogram h;
+  for (int64_t v = 1; v <= 100000; ++v) h.Record(v);
+  EXPECT_NEAR(static_cast<double>(h.P50()), 50000.0, 50000.0 * 0.08);
+  EXPECT_NEAR(static_cast<double>(h.P99()), 99000.0, 99000.0 * 0.08);
+  EXPECT_NEAR(h.Mean(), 50000.5, 1.0);
+}
+
+TEST(HistogramTest, RecordManyEquivalentToLoop) {
+  Histogram a;
+  Histogram b;
+  a.RecordMany(777, 500);
+  for (int i = 0; i < 500; ++i) b.Record(777);
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.P50(), b.P50());
+  EXPECT_EQ(a.Mean(), b.Mean());
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a;
+  Histogram b;
+  a.Record(10);
+  a.Record(20);
+  b.Record(30);
+  b.Record(40);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 40);
+  EXPECT_NEAR(a.Mean(), 25.0, 0.001);
+}
+
+TEST(HistogramTest, MergeWithEmptyIsNoop) {
+  Histogram a;
+  a.Record(5);
+  Histogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.min(), 5);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(123);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  Histogram h;
+  h.Record(1000000);
+  EXPECT_NE(h.Summary().find("n=1"), std::string::npos);
+}
+
+TEST(HistogramTest, LargeValues) {
+  Histogram h;
+  const int64_t big = int64_t{1} << 60;
+  h.Record(big);
+  EXPECT_EQ(h.max(), big);
+  EXPECT_LE(h.P99(), big);
+  EXPECT_GE(static_cast<double>(h.P99()), static_cast<double>(big) * 0.9);
+}
+
+}  // namespace
+}  // namespace nbraft::metrics

@@ -1,0 +1,176 @@
+#include "nbraft/sliding_window.h"
+
+#include <gtest/gtest.h>
+
+namespace nbraft::raft {
+namespace {
+
+using storage::LogEntry;
+using storage::MakeEntry;
+
+TEST(SlidingWindowTest, StartsEmpty) {
+  SlidingWindow w(6);
+  EXPECT_EQ(w.capacity(), 6);
+  EXPECT_TRUE(w.empty());
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_FALSE(w.Contains(8));
+}
+
+TEST(SlidingWindowTest, InsertAndLookup) {
+  SlidingWindow w(6);
+  w.Insert(MakeEntry(9, 4, 4));
+  ASSERT_TRUE(w.Contains(9));
+  EXPECT_EQ(w.At(9).term, 4);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(SlidingWindowTest, ReinsertReplaces) {
+  SlidingWindow w(6);
+  w.Insert(MakeEntry(9, 4, 4));
+  w.Insert(MakeEntry(9, 5, 4));
+  EXPECT_EQ(w.size(), 1u);
+  EXPECT_EQ(w.At(9).term, 5);
+}
+
+// Paper Fig. 8: inserting Entry (11,7,6) removes the mismatched
+// predecessor (10,5,4) and the mismatched successor (12,5,5) together with
+// everything after it (13,5,5).
+TEST(SlidingWindowTest, PaperFig8ContinuityPruning) {
+  SlidingWindow w(6);
+  w.Insert(MakeEntry(10, 5, 4));
+  w.Insert(MakeEntry(12, 5, 5));
+  w.Insert(MakeEntry(13, 5, 5));
+  ASSERT_EQ(w.size(), 3u);
+
+  w.Insert(MakeEntry(11, 7, 6));
+
+  EXPECT_FALSE(w.Contains(10)) << "predecessor (10,5,4) must be removed";
+  EXPECT_FALSE(w.Contains(12)) << "successor (12,5,5) must be removed";
+  EXPECT_FALSE(w.Contains(13)) << "entries after the successor go too";
+  ASSERT_TRUE(w.Contains(11));
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(SlidingWindowTest, MatchingNeighborsSurviveInsert) {
+  SlidingWindow w(6);
+  w.Insert(MakeEntry(10, 5, 5));
+  w.Insert(MakeEntry(12, 5, 5));
+  w.Insert(MakeEntry(11, 5, 5));  // Chains with both neighbors.
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_TRUE(w.Contains(10));
+  EXPECT_TRUE(w.Contains(11));
+  EXPECT_TRUE(w.Contains(12));
+}
+
+// Paper Fig. 9: after appending Entry (8,5,4), the continuous window
+// prefix (9,5,5), (10,6,5) flushes into the log; STRONG_ACCEPT reports
+// (10, 6).
+TEST(SlidingWindowTest, PaperFig9FlushablePrefix) {
+  SlidingWindow w(6);
+  w.Insert(MakeEntry(9, 5, 5));
+  w.Insert(MakeEntry(10, 6, 5));
+
+  // Caller appended (8,5,4): the log tail is now (index 8, term 5).
+  const auto flushed = w.TakeFlushablePrefix(8, 5);
+  ASSERT_EQ(flushed.size(), 2u);
+  EXPECT_EQ(flushed[0].ToString(), "(9,5,5)");
+  EXPECT_EQ(flushed[1].ToString(), "(10,6,5)");
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(SlidingWindowTest, FlushStopsAtGap) {
+  SlidingWindow w(10);
+  w.Insert(MakeEntry(9, 5, 5));
+  w.Insert(MakeEntry(11, 5, 5));  // Gap at 10.
+  const auto flushed = w.TakeFlushablePrefix(8, 5);
+  ASSERT_EQ(flushed.size(), 1u);
+  EXPECT_EQ(flushed[0].index, 9);
+  EXPECT_TRUE(w.Contains(11));
+}
+
+TEST(SlidingWindowTest, FlushStopsAtTermMismatch) {
+  SlidingWindow w(10);
+  w.Insert(MakeEntry(9, 5, 4));  // prev_term 4 but log tail term is 5.
+  const auto flushed = w.TakeFlushablePrefix(8, 5);
+  EXPECT_TRUE(flushed.empty());
+  EXPECT_TRUE(w.Contains(9));
+}
+
+TEST(SlidingWindowTest, FlushNothingWhenHeadMissing) {
+  SlidingWindow w(10);
+  w.Insert(MakeEntry(12, 5, 5));
+  EXPECT_TRUE(w.TakeFlushablePrefix(8, 5).empty());
+}
+
+// Paper Fig. 7: after the log is truncated by Entry (6,5,4), the window
+// moves left: (9,4,4) is removed for its lower term, (13,5,5) for
+// exceeding the window end (6 + 6 = 12).
+TEST(SlidingWindowTest, PaperFig7WindowMovesLeft) {
+  SlidingWindow w(6);
+  w.Insert(MakeEntry(9, 4, 4));
+  w.Insert(MakeEntry(13, 5, 5));
+
+  w.OnLogReshaped(/*new_last=*/6, /*min_term=*/5);
+
+  EXPECT_FALSE(w.Contains(9)) << "(9,4,4): term below the new entry's 5";
+  EXPECT_FALSE(w.Contains(13)) << "(13,5,5): beyond window end 12";
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(SlidingWindowTest, ReshapeKeepsValidEntries) {
+  SlidingWindow w(6);
+  w.Insert(MakeEntry(9, 5, 5));
+  w.Insert(MakeEntry(12, 5, 5));
+  w.OnLogReshaped(6, 5);
+  EXPECT_TRUE(w.Contains(9));
+  EXPECT_TRUE(w.Contains(12));
+}
+
+TEST(SlidingWindowTest, ReshapeDropsEntriesBelowNewLast) {
+  SlidingWindow w(6);
+  w.Insert(MakeEntry(9, 5, 5));
+  w.OnLogReshaped(/*new_last=*/9, /*min_term=*/5);
+  EXPECT_FALSE(w.Contains(9)) << "index 9 is now in the appended region";
+}
+
+TEST(SlidingWindowTest, ClearEmpties) {
+  SlidingWindow w(6);
+  w.Insert(MakeEntry(9, 5, 5));
+  w.Clear();
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(SlidingWindowTest, IndicesAscending) {
+  SlidingWindow w(20);
+  w.Insert(MakeEntry(15, 5, 5));
+  w.Insert(MakeEntry(10, 5, 5));
+  w.Insert(MakeEntry(12, 5, 5));
+  EXPECT_EQ(w.Indices(),
+            (std::vector<storage::LogIndex>{10, 12, 15}));
+}
+
+TEST(SlidingWindowTest, ZeroCapacityDegeneratesToRaft) {
+  SlidingWindow w(0);
+  EXPECT_EQ(w.capacity(), 0);
+  // OnLogReshaped with zero capacity drops everything above last.
+  w.Insert(MakeEntry(5, 1, 1));
+  w.OnLogReshaped(4, 1);
+  EXPECT_FALSE(w.Contains(5));
+}
+
+TEST(SlidingWindowTest, SuccessorChainPrunedOnlyFromBreakPoint) {
+  SlidingWindow w(20);
+  w.Insert(MakeEntry(12, 5, 5));
+  w.Insert(MakeEntry(13, 5, 5));
+  w.Insert(MakeEntry(15, 6, 6));
+  // Insert 11 with term 4: successor 12 expects prev_term 5 != 4, so 12
+  // and everything after (13, 15) are removed.
+  w.Insert(MakeEntry(11, 4, 4));
+  EXPECT_TRUE(w.Contains(11));
+  EXPECT_FALSE(w.Contains(12));
+  EXPECT_FALSE(w.Contains(13));
+  EXPECT_FALSE(w.Contains(15));
+}
+
+}  // namespace
+}  // namespace nbraft::raft

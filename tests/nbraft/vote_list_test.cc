@@ -1,0 +1,185 @@
+#include "nbraft/vote_list.h"
+
+#include <gtest/gtest.h>
+
+namespace nbraft::raft {
+namespace {
+
+constexpr net::NodeId kLeader = 0;
+constexpr int kQuorum3 = 2;  // 3-node cluster.
+
+TEST(VoteListTest, AddTupleRegistersLeaderAsStrong) {
+  VoteList vl;
+  vl.AddTuple(5, 2, kLeader, kQuorum3);
+  ASSERT_TRUE(vl.Contains(5));
+  const auto* t = vl.Find(5);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->term, 2);
+  EXPECT_EQ(t->strong.count(kLeader), 1u);
+  EXPECT_TRUE(t->weak.empty());
+  EXPECT_EQ(vl.size(), 1u);
+}
+
+// Paper Fig. 10: Node2's WEAK_ACCEPT for entry 7 joins the leader's strong
+// self-vote; weak ∪ strong reaches the 3-replica majority and the client
+// is notified.
+TEST(VoteListTest, PaperFig10WeakUnionStrongReachesMajority) {
+  VoteList vl;
+  vl.AddTuple(7, 2, /*leader=*/1, kQuorum3);
+  EXPECT_TRUE(vl.AddWeak(7, /*node=*/2))
+      << "leader(strong) + node2(weak) = majority of 3";
+}
+
+TEST(VoteListTest, WeakNotifiedOnlyOnce) {
+  VoteList vl;
+  vl.AddTuple(7, 2, 1, kQuorum3);
+  EXPECT_TRUE(vl.AddWeak(7, 2));
+  EXPECT_FALSE(vl.AddWeak(7, 3)) << "client already notified";
+}
+
+TEST(VoteListTest, WeakBelowQuorumDoesNotNotify) {
+  VoteList vl;
+  vl.AddTuple(7, 2, 1, /*required=*/3);  // 5-node majority.
+  EXPECT_FALSE(vl.AddWeak(7, 2));
+  EXPECT_TRUE(vl.AddWeak(7, 3));
+}
+
+TEST(VoteListTest, WeakForUnknownIndexIgnored) {
+  VoteList vl;
+  EXPECT_FALSE(vl.AddWeak(99, 2));
+}
+
+TEST(VoteListTest, DuplicateWeakFromSameNodeNotDoubleCounted) {
+  VoteList vl;
+  vl.AddTuple(7, 2, 1, /*required=*/3);
+  EXPECT_FALSE(vl.AddWeak(7, 2));
+  EXPECT_FALSE(vl.AddWeak(7, 2)) << "same node again";
+}
+
+TEST(VoteListTest, NodeInBothWeakAndStrongCountedOnce) {
+  VoteList vl;
+  vl.AddTuple(7, 2, 1, /*required=*/3);
+  vl.AddStrongUpTo(7, 2, /*current_term=*/2);  // Node 2 strong.
+  EXPECT_FALSE(vl.AddWeak(7, 2)) << "weak from a node already strong";
+}
+
+// Paper Fig. 12: a STRONG_ACCEPT with lastIndex = 5 marks node 2 strong on
+// every tuple with index <= 5.
+TEST(VoteListTest, PaperFig12StrongCoversPrefix) {
+  VoteList vl;
+  for (storage::LogIndex i = 3; i <= 7; ++i) vl.AddTuple(i, 2, 1, kQuorum3);
+  const auto committed = vl.AddStrongUpTo(5, 2, /*current_term=*/2);
+  EXPECT_EQ(committed, (std::vector<storage::LogIndex>{3, 4, 5}));
+  EXPECT_FALSE(vl.Contains(5)) << "committed tuples are removed";
+  EXPECT_TRUE(vl.Contains(6));
+  EXPECT_TRUE(vl.Contains(7));
+}
+
+TEST(VoteListTest, CommitRequiresQuorum) {
+  VoteList vl;
+  vl.AddTuple(1, 1, 0, /*required=*/3);  // 5-node cluster.
+  EXPECT_TRUE(vl.AddStrongUpTo(1, 1, 1).empty());
+  const auto committed = vl.AddStrongUpTo(1, 2, 1);
+  EXPECT_EQ(committed, (std::vector<storage::LogIndex>{1}));
+}
+
+TEST(VoteListTest, PerTupleRequiredCounts) {
+  VoteList vl;
+  // A CRaft fragment tuple needing all 3 nodes next to a plain one.
+  vl.AddTuple(1, 1, 0, /*required=*/3);
+  vl.AddTuple(2, 1, 0, /*required=*/2);
+  vl.AddStrongUpTo(2, 1, 1);
+  // Node 1 strong: tuple 2 has quorum (0,1) but tuple 1 needs 3 — nothing
+  // commits because commits are ordered.
+  EXPECT_TRUE(vl.Contains(1));
+  EXPECT_TRUE(vl.Contains(2));
+  const auto committed = vl.AddStrongUpTo(2, 2, 1);
+  EXPECT_EQ(committed, (std::vector<storage::LogIndex>{1, 2}));
+}
+
+TEST(VoteListTest, OldTermTupleCommitsOnlyTransitively) {
+  VoteList vl;
+  vl.AddTuple(1, 1, 0, kQuorum3);  // Old term.
+  vl.AddTuple(2, 2, 0, kQuorum3);  // Current term.
+  // Quorum on the old-term tuple alone must not commit it (Raft §5.4.2).
+  EXPECT_TRUE(vl.AddStrongUpTo(1, 1, /*current_term=*/2).empty());
+  EXPECT_TRUE(vl.Contains(1));
+  // Quorum on the current-term tuple commits both.
+  const auto committed = vl.AddStrongUpTo(2, 1, 2);
+  EXPECT_EQ(committed, (std::vector<storage::LogIndex>{1, 2}));
+}
+
+TEST(VoteListTest, CommitsAreOrderedAcrossCalls) {
+  VoteList vl;
+  vl.AddTuple(1, 1, 0, kQuorum3);
+  vl.AddTuple(2, 1, 0, kQuorum3);
+  vl.AddTuple(3, 1, 0, kQuorum3);
+  auto c1 = vl.AddStrongUpTo(3, 1, 1);
+  EXPECT_EQ(c1, (std::vector<storage::LogIndex>{1, 2, 3}));
+  EXPECT_TRUE(vl.empty());
+}
+
+// Paper Fig. 11: a reply with a higher term means leadership changed and
+// the VoteList is cleaned.
+TEST(VoteListTest, PaperFig11ClearOnLeaderChange) {
+  VoteList vl;
+  vl.AddTuple(7, 2, 1, kQuorum3);
+  vl.AddTuple(8, 2, 1, kQuorum3);
+  vl.Clear();
+  EXPECT_TRUE(vl.empty());
+  EXPECT_FALSE(vl.Contains(7));
+}
+
+TEST(VoteListTest, RemoveFrontDropsWithoutCommit) {
+  VoteList vl;
+  vl.AddTuple(4, 1, 0, kQuorum3);
+  vl.AddTuple(5, 1, 0, kQuorum3);
+  EXPECT_EQ(vl.FrontIndex(), 4);
+  vl.RemoveFront();
+  EXPECT_EQ(vl.FrontIndex(), 5);
+  vl.RemoveFront();
+  EXPECT_EQ(vl.FrontIndex(), -1);
+  vl.RemoveFront();  // No-op on empty.
+}
+
+TEST(VoteListTest, ForEachVisitsInOrderAndAllowsMutation) {
+  VoteList vl;
+  vl.AddTuple(3, 1, 0, 5);
+  vl.AddTuple(4, 1, 0, 5);
+  std::vector<storage::LogIndex> visited;
+  vl.ForEach([&](storage::LogIndex index, VoteList::Tuple* t) {
+    visited.push_back(index);
+    t->required = 1;  // Lower the requirement (degraded-mode transition).
+  });
+  EXPECT_EQ(visited, (std::vector<storage::LogIndex>{3, 4}));
+  // Leader-only strong votes now satisfy the lowered requirement.
+  const auto committed = vl.CollectCommittable(/*current_term=*/1);
+  EXPECT_EQ(committed, (std::vector<storage::LogIndex>{3, 4}));
+  EXPECT_TRUE(vl.empty());
+}
+
+TEST(VoteListTest, CollectCommittableWithoutSatisfiedTuplesIsEmpty) {
+  VoteList vl;
+  vl.AddTuple(1, 1, 0, 3);
+  EXPECT_TRUE(vl.CollectCommittable(1).empty());
+  EXPECT_TRUE(vl.Contains(1));
+}
+
+TEST(VoteListTest, CollectCommittableRespectsTermRule) {
+  VoteList vl;
+  vl.AddTuple(1, 1, 0, 1);  // Old-term tuple, requirement already met.
+  EXPECT_TRUE(vl.CollectCommittable(/*current_term=*/2).empty())
+      << "an old-term tuple alone must not commit";
+  EXPECT_EQ(vl.CollectCommittable(/*current_term=*/1),
+            (std::vector<storage::LogIndex>{1}));
+}
+
+TEST(VoteListTest, StrongForFutureIndexIgnored) {
+  VoteList vl;
+  vl.AddTuple(10, 1, 0, kQuorum3);
+  EXPECT_TRUE(vl.AddStrongUpTo(5, 1, 1).empty());
+  EXPECT_EQ(vl.Find(10)->strong.size(), 1u);
+}
+
+}  // namespace
+}  // namespace nbraft::raft

@@ -1,0 +1,221 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace nbraft::net {
+namespace {
+
+struct Delivery {
+  NodeId from;
+  SimTime at;
+  int tag;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkConfig QuietConfig() {
+    NetworkConfig config;
+    config.jitter_mean = 0;  // Deterministic latency for exact assertions.
+    config.base_latency = Millis(1);
+    config.nic_bandwidth_bps = 8e9;  // 1 byte / ns.
+    return config;
+  }
+};
+
+TEST_F(NetworkTest, DeliversWithLatencyAndSerialization) {
+  sim::Simulator sim(1);
+  SimNetwork net(&sim, QuietConfig());
+  std::vector<Delivery> got;
+  net.RegisterEndpoint(2, [&](Message&& m) {
+    got.push_back({m.from, sim.Now(), std::any_cast<int>(m.payload)});
+  });
+  net.Send(1, 2, 1000, 7);
+  sim.Run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].from, 1);
+  EXPECT_EQ(got[0].tag, 7);
+  // 1000 B at 1 B/ns = 1us egress + 1ms latency + 1us ingress.
+  EXPECT_EQ(got[0].at, Millis(1) + Micros(2));
+}
+
+TEST_F(NetworkTest, EgressSerializesBackToBackSends) {
+  sim::Simulator sim(1);
+  SimNetwork net(&sim, QuietConfig());
+  std::vector<SimTime> at;
+  net.RegisterEndpoint(2, [&](Message&&) { at.push_back(sim.Now()); });
+  net.Send(1, 2, 1000, 0);
+  net.Send(1, 2, 1000, 1);
+  sim.Run();
+  ASSERT_EQ(at.size(), 2u);
+  // Second message's egress starts after the first finishes.
+  EXPECT_EQ(at[1] - at[0], Micros(1));
+}
+
+TEST_F(NetworkTest, JitterReordersMessages) {
+  NetworkConfig config;
+  config.base_latency = Micros(100);
+  config.jitter_mean = Micros(200);
+  config.nic_bandwidth_bps = 10e9;
+  sim::Simulator sim(7);
+  SimNetwork net(&sim, config);
+  std::vector<int> order;
+  net.RegisterEndpoint(2, [&](Message&& m) {
+    order.push_back(std::any_cast<int>(m.payload));
+  });
+  for (int i = 0; i < 200; ++i) net.Send(1, 2, 100, i);
+  sim.Run();
+  ASSERT_EQ(order.size(), 200u);
+  int inversions = 0;
+  for (size_t i = 1; i < order.size(); ++i) {
+    if (order[i] < order[i - 1]) ++inversions;
+  }
+  EXPECT_GT(inversions, 10) << "jitter should reorder some messages";
+}
+
+TEST_F(NetworkTest, UnregisteredEndpointDrops) {
+  sim::Simulator sim(1);
+  SimNetwork net(&sim, QuietConfig());
+  net.Send(1, 2, 100, 0);
+  sim.Run();
+  EXPECT_EQ(net.messages_delivered(), 0u);
+  EXPECT_EQ(net.messages_dropped(), 1u);
+}
+
+TEST_F(NetworkTest, DownSenderAndReceiverDrop) {
+  sim::Simulator sim(1);
+  SimNetwork net(&sim, QuietConfig());
+  int got = 0;
+  net.RegisterEndpoint(2, [&](Message&&) { ++got; });
+  net.SetNodeUp(1, false);
+  EXPECT_EQ(net.Send(1, 2, 100, 0), -1);
+  net.SetNodeUp(1, true);
+  net.SetNodeUp(2, false);
+  EXPECT_EQ(net.Send(1, 2, 100, 0), -1);
+  sim.Run();
+  EXPECT_EQ(got, 0);
+}
+
+TEST_F(NetworkTest, CrashInFlightDropsAtDelivery) {
+  sim::Simulator sim(1);
+  SimNetwork net(&sim, QuietConfig());
+  int got = 0;
+  net.RegisterEndpoint(2, [&](Message&&) { ++got; });
+  net.Send(1, 2, 100, 0);
+  sim.After(Micros(10), [&] { net.SetNodeUp(2, false); });
+  sim.Run();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(net.messages_dropped(), 1u);
+}
+
+TEST_F(NetworkTest, RestartedNodeReceivesAgain) {
+  sim::Simulator sim(1);
+  SimNetwork net(&sim, QuietConfig());
+  int got = 0;
+  net.RegisterEndpoint(2, [&](Message&&) { ++got; });
+  net.SetNodeUp(2, false);
+  net.SetNodeUp(2, true);
+  net.Send(1, 2, 100, 0);
+  sim.Run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(NetworkTest, LinkCutBlocksBothDirections) {
+  sim::Simulator sim(1);
+  SimNetwork net(&sim, QuietConfig());
+  int got = 0;
+  net.RegisterEndpoint(1, [&](Message&&) { ++got; });
+  net.RegisterEndpoint(2, [&](Message&&) { ++got; });
+  net.SetLinkCut(1, 2, true);
+  EXPECT_EQ(net.Send(1, 2, 10, 0), -1);
+  EXPECT_EQ(net.Send(2, 1, 10, 0), -1);
+  net.SetLinkCut(1, 2, false);
+  net.Send(1, 2, 10, 0);
+  sim.Run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(NetworkTest, IsolationBlocksAllTraffic) {
+  sim::Simulator sim(1);
+  SimNetwork net(&sim, QuietConfig());
+  int got = 0;
+  net.RegisterEndpoint(2, [&](Message&&) { ++got; });
+  net.RegisterEndpoint(3, [&](Message&&) { ++got; });
+  net.Isolate(1, true);
+  EXPECT_EQ(net.Send(1, 2, 10, 0), -1);
+  EXPECT_EQ(net.Send(3, 1, 10, 0), -1);
+  net.Send(3, 2, 10, 0);  // Unrelated pair unaffected.
+  net.Isolate(1, false);
+  net.Send(1, 2, 10, 0);
+  sim.Run();
+  EXPECT_EQ(got, 2);
+}
+
+TEST_F(NetworkTest, DropProbabilityOneDropsEverything) {
+  NetworkConfig config = QuietConfig();
+  config.drop_probability = 1.0;
+  sim::Simulator sim(1);
+  SimNetwork net(&sim, config);
+  int got = 0;
+  net.RegisterEndpoint(2, [&](Message&&) { ++got; });
+  for (int i = 0; i < 50; ++i) net.Send(1, 2, 10, i);
+  sim.Run();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(net.messages_dropped(), 50u);
+}
+
+TEST_F(NetworkTest, PairLatencyOverride) {
+  sim::Simulator sim(1);
+  SimNetwork net(&sim, QuietConfig());
+  SimTime arrival = 0;
+  net.RegisterEndpoint(2, [&](Message&&) { arrival = sim.Now(); });
+  net.SetPairLatency(1, 2, Millis(13));
+  net.Send(1, 2, 1000, 0);
+  sim.Run();
+  EXPECT_EQ(arrival, Millis(13) + Micros(2));
+}
+
+TEST_F(NetworkTest, GeoTopologySetsCrossRegionLatencies) {
+  sim::Simulator sim(1);
+  SimNetwork net(&sim, QuietConfig());
+  ApplyGeoTopology(&net, {0, 1, 2, 3, 4});
+  SimTime arrival = 0;
+  net.RegisterEndpoint(1, [&](Message&&) { arrival = sim.Now(); });
+  net.Send(0, 1, 1000, 0);  // Beijing -> Guangzhou, 23 ms.
+  sim.Run();
+  EXPECT_GT(arrival, Millis(22));
+  EXPECT_LT(arrival, Millis(25));
+}
+
+TEST_F(NetworkTest, StatsCountBytes) {
+  sim::Simulator sim(1);
+  SimNetwork net(&sim, QuietConfig());
+  net.RegisterEndpoint(2, [](Message&&) {});
+  net.Send(1, 2, 1234, 0);
+  sim.Run();
+  EXPECT_EQ(net.bytes_sent(), 1234u);
+  EXPECT_EQ(net.messages_sent(), 1u);
+  EXPECT_EQ(net.messages_delivered(), 1u);
+}
+
+TEST_F(NetworkTest, SentAtRecordsSendTime) {
+  sim::Simulator sim(1);
+  SimNetwork net(&sim, QuietConfig());
+  SimTime sent_at = -1;
+  net.RegisterEndpoint(2, [&](Message&& m) { sent_at = m.sent_at; });
+  sim.At(Millis(5), [&] { net.Send(1, 2, 10, 0); });
+  sim.Run();
+  EXPECT_EQ(sent_at, Millis(5));
+}
+
+TEST(NetworkIdTest, ClientIdPredicate) {
+  EXPECT_FALSE(IsClientId(0));
+  EXPECT_FALSE(IsClientId(9999));
+  EXPECT_TRUE(IsClientId(kClientIdBase));
+  EXPECT_TRUE(IsClientId(kClientIdBase + 500));
+}
+
+}  // namespace
+}  // namespace nbraft::net

@@ -1,0 +1,95 @@
+// Multi-server transition semantics: k servers serve up to k enabled
+// tokens concurrently (the network and dispatcher stages of the Fig. 3
+// model), while a single-server transition serializes (the follower's log
+// lock).
+
+#include <gtest/gtest.h>
+
+#include "petri/petri_net.h"
+
+namespace nbraft::petri {
+namespace {
+
+TEST(MultiServerTest, SingleServerSerializesService) {
+  PetriNet net(1);
+  const PlaceId in = net.AddPlace("in", 4);
+  const PlaceId out = net.AddPlace("out");
+  net.AddTransition("serve", {{in, 1}}, {{out, 1}},
+                    PetriNet::FixedDelay(Millis(10)));
+  net.Run(Millis(25));
+  // 10ms each, one at a time: two completions by t=25ms.
+  EXPECT_EQ(net.Tokens(out), 2);
+}
+
+TEST(MultiServerTest, FourServersServeFourAtOnce) {
+  PetriNet net(1);
+  const PlaceId in = net.AddPlace("in", 4);
+  const PlaceId out = net.AddPlace("out");
+  const TransitionId t = net.AddTransition(
+      "serve", {{in, 1}}, {{out, 1}}, PetriNet::FixedDelay(Millis(10)));
+  net.SetServers(t, 4);
+  net.Run(Millis(15));
+  EXPECT_EQ(net.Tokens(out), 4) << "all four served in parallel";
+}
+
+TEST(MultiServerTest, ServersBoundConcurrencyNotThroughput) {
+  PetriNet net(1);
+  const PlaceId in = net.AddPlace("in", 8);
+  const PlaceId out = net.AddPlace("out");
+  const TransitionId t = net.AddTransition(
+      "serve", {{in, 1}}, {{out, 1}}, PetriNet::FixedDelay(Millis(10)));
+  net.SetServers(t, 2);
+  net.Run(Millis(45));
+  // 2 at a time, 10ms per batch: 8 done after 40ms.
+  EXPECT_EQ(net.Tokens(out), 8);
+}
+
+TEST(MultiServerTest, InfiniteServersDrainEverythingInOneServiceTime) {
+  PetriNet net(1);
+  const PlaceId in = net.AddPlace("in", 100);
+  const PlaceId out = net.AddPlace("out");
+  const TransitionId t = net.AddTransition(
+      "serve", {{in, 1}}, {{out, 1}}, PetriNet::FixedDelay(Millis(10)));
+  net.SetServers(t, PetriNet::kInfiniteServers);
+  net.Run(Millis(12));
+  EXPECT_EQ(net.Tokens(out), 100);
+}
+
+TEST(MultiServerTest, CompetingTransitionsShareTokensSafely) {
+  // Two multi-server transitions racing for the same tokens: conservation
+  // must hold even when pending firings outnumber the tokens left.
+  PetriNet net(3);
+  const PlaceId in = net.AddPlace("in", 10);
+  const PlaceId a = net.AddPlace("a");
+  const PlaceId b = net.AddPlace("b");
+  const TransitionId ta = net.AddTransition(
+      "ta", {{in, 1}}, {{a, 1}}, PetriNet::ExponentialDelay(Millis(1)));
+  const TransitionId tb = net.AddTransition(
+      "tb", {{in, 1}}, {{b, 1}}, PetriNet::ExponentialDelay(Millis(1)));
+  net.SetServers(ta, 8);
+  net.SetServers(tb, 8);
+  net.Run(Seconds(1));
+  EXPECT_EQ(net.Tokens(in), 0);
+  EXPECT_EQ(net.Tokens(a) + net.Tokens(b), 10);
+  EXPECT_EQ(net.Firings(ta) + net.Firings(tb), 10u);
+}
+
+TEST(MultiServerTest, ServerTokenPatternStillWorks) {
+  // Limiting concurrency with explicit resource tokens (dispatcher idle
+  // tokens in the replication model) composes with multi-server settings.
+  PetriNet net(1);
+  const PlaceId in = net.AddPlace("in", 6);
+  const PlaceId workers = net.AddPlace("workers", 2);
+  const PlaceId out = net.AddPlace("out");
+  const TransitionId t = net.AddTransition(
+      "serve", {{in, 1}, {workers, 1}}, {{out, 1}, {workers, 1}},
+      PetriNet::FixedDelay(Millis(10)));
+  net.SetServers(t, PetriNet::kInfiniteServers);
+  net.Run(Millis(35));
+  // Two worker tokens bound concurrency to 2: 6 jobs need 30 ms.
+  EXPECT_EQ(net.Tokens(out), 6);
+  EXPECT_EQ(net.Tokens(workers), 2);
+}
+
+}  // namespace
+}  // namespace nbraft::petri

@@ -1,0 +1,162 @@
+#include "petri/petri_net.h"
+
+#include <gtest/gtest.h>
+
+namespace nbraft::petri {
+namespace {
+
+TEST(PetriNetTest, InitialMarking) {
+  PetriNet net(1);
+  const PlaceId p = net.AddPlace("p", 3);
+  EXPECT_EQ(net.Tokens(p), 3);
+  EXPECT_EQ(net.PlaceName(p), "p");
+  EXPECT_EQ(net.num_places(), 1);
+}
+
+TEST(PetriNetTest, TimedTransitionMovesToken) {
+  PetriNet net(1);
+  const PlaceId a = net.AddPlace("a", 1);
+  const PlaceId b = net.AddPlace("b");
+  const TransitionId t = net.AddTransition(
+      "move", {{a, 1}}, {{b, 1}}, PetriNet::FixedDelay(Millis(5)));
+  EXPECT_TRUE(net.IsEnabled(t));
+  net.Run(Seconds(1));
+  EXPECT_EQ(net.Tokens(a), 0);
+  EXPECT_EQ(net.Tokens(b), 1);
+  EXPECT_EQ(net.Firings(t), 1u);
+  EXPECT_FALSE(net.IsEnabled(t));
+}
+
+TEST(PetriNetTest, DisabledWithoutTokens) {
+  PetriNet net(1);
+  const PlaceId a = net.AddPlace("a", 0);
+  const PlaceId b = net.AddPlace("b");
+  const TransitionId t = net.AddTransition(
+      "move", {{a, 1}}, {{b, 1}}, PetriNet::FixedDelay(Millis(1)));
+  net.Run(Seconds(1));
+  EXPECT_EQ(net.Firings(t), 0u);
+}
+
+TEST(PetriNetTest, ArcWeights) {
+  PetriNet net(1);
+  const PlaceId a = net.AddPlace("a", 3);
+  const PlaceId b = net.AddPlace("b");
+  const TransitionId t = net.AddTransition(
+      "pair", {{a, 2}}, {{b, 1}}, PetriNet::FixedDelay(Millis(1)));
+  net.Run(Seconds(1));
+  // Only one firing possible: 3 tokens allow one consumption of 2.
+  EXPECT_EQ(net.Firings(t), 1u);
+  EXPECT_EQ(net.Tokens(a), 1);
+  EXPECT_EQ(net.Tokens(b), 1);
+}
+
+TEST(PetriNetTest, GuardBlocksFiring) {
+  PetriNet net(1);
+  const PlaceId a = net.AddPlace("a", 1);
+  const PlaceId b = net.AddPlace("b");
+  bool open = false;
+  const TransitionId t = net.AddTransition(
+      "gated", {{a, 1}}, {{b, 1}}, PetriNet::FixedDelay(Millis(1)), 1.0,
+      [&open] { return open; });
+  net.Run(Millis(10));
+  EXPECT_EQ(net.Firings(t), 0u);
+  open = true;
+  net.Run(Millis(20));
+  EXPECT_EQ(net.Firings(t), 1u);
+}
+
+TEST(PetriNetTest, TokenConservationInCycle) {
+  PetriNet net(1);
+  const PlaceId a = net.AddPlace("a", 5);
+  const PlaceId b = net.AddPlace("b");
+  net.AddTransition("ab", {{a, 1}}, {{b, 1}},
+                    PetriNet::FixedDelay(Millis(1)));
+  net.AddTransition("ba", {{b, 1}}, {{a, 1}},
+                    PetriNet::FixedDelay(Millis(1)));
+  net.Run(Seconds(1));
+  EXPECT_EQ(net.Tokens(a) + net.Tokens(b), 5);
+}
+
+TEST(PetriNetTest, ImmediateTransitionFiresBeforeTimed) {
+  PetriNet net(1);
+  const PlaceId a = net.AddPlace("a", 1);
+  const PlaceId fast = net.AddPlace("fast");
+  const PlaceId slow = net.AddPlace("slow");
+  net.AddTransition("imm", {{a, 1}}, {{fast, 1}}, nullptr);
+  net.AddTransition("timed", {{a, 1}}, {{slow, 1}},
+                    PetriNet::FixedDelay(Millis(1)));
+  net.Run(Seconds(1));
+  EXPECT_EQ(net.Tokens(fast), 1);
+  EXPECT_EQ(net.Tokens(slow), 0);
+}
+
+TEST(PetriNetTest, WeightedImmediateBranchingApproximatesProbability) {
+  PetriNet net(7);
+  const PlaceId src = net.AddPlace("src", 10000);
+  const PlaceId left = net.AddPlace("left");
+  const PlaceId right = net.AddPlace("right");
+  net.AddTransition("l", {{src, 1}}, {{left, 1}}, nullptr, 0.3);
+  net.AddTransition("r", {{src, 1}}, {{right, 1}}, nullptr, 0.7);
+  net.Run(Seconds(1));
+  EXPECT_EQ(net.Tokens(left) + net.Tokens(right), 10000);
+  EXPECT_NEAR(net.Tokens(left), 3000, 200);
+}
+
+TEST(PetriNetTest, ProducerConsumerThroughputMatchesBottleneck) {
+  PetriNet net(3);
+  const PlaceId idle = net.AddPlace("idle", 1);
+  const PlaceId queue = net.AddPlace("queue");
+  const PlaceId done = net.AddPlace("done");
+  // Producer: 1 item per 1ms (closed loop via idle token).
+  net.AddTransition("produce", {{idle, 1}}, {{queue, 1}, {idle, 1}},
+                    PetriNet::FixedDelay(Millis(1)));
+  // Consumer: 2ms service — the bottleneck.
+  net.AddTransition("consume", {{queue, 1}}, {{done, 1}},
+                    PetriNet::FixedDelay(Millis(2)));
+  net.Run(Seconds(1));
+  EXPECT_NEAR(net.Tokens(done), 500, 5);
+  // Queue grows at ~500 items/s.
+  EXPECT_NEAR(net.Tokens(queue), 500, 10);
+}
+
+TEST(PetriNetTest, TokenTimeIntegralMatchesConstantMarking) {
+  PetriNet net(1);
+  const PlaceId p = net.AddPlace("p", 2);
+  net.Run(Seconds(1));
+  EXPECT_DOUBLE_EQ(net.TokenTime(p), 2.0 * kSecond);
+}
+
+TEST(PetriNetTest, TokenTimeTracksTransit) {
+  PetriNet net(1);
+  const PlaceId a = net.AddPlace("a", 1);
+  const PlaceId b = net.AddPlace("b");
+  net.AddTransition("move", {{a, 1}}, {{b, 1}},
+                    PetriNet::FixedDelay(Millis(250)));
+  net.Run(Seconds(1));
+  EXPECT_NEAR(net.TokenTime(a), 0.25 * kSecond, 1.0);
+  EXPECT_NEAR(net.TokenTime(b), 0.75 * kSecond, 1.0);
+}
+
+TEST(PetriNetTest, ExponentialDelayHasRequestedMean) {
+  PetriNet net(11);
+  const PlaceId idle = net.AddPlace("idle", 1);
+  const PlaceId done = net.AddPlace("done");
+  net.AddTransition("tick", {{idle, 1}}, {{idle, 1}, {done, 1}},
+                    PetriNet::ExponentialDelay(Millis(2)));
+  net.Run(Seconds(10));
+  EXPECT_NEAR(net.Tokens(done), 5000, 400);
+}
+
+TEST(PetriNetTest, QuiescenceStopsEarly) {
+  PetriNet net(1);
+  const PlaceId a = net.AddPlace("a", 1);
+  const PlaceId b = net.AddPlace("b");
+  net.AddTransition("move", {{a, 1}}, {{b, 1}},
+                    PetriNet::FixedDelay(Millis(1)));
+  net.Run(Seconds(100));
+  EXPECT_EQ(net.Now(), Seconds(100));  // Time advances to the horizon.
+  EXPECT_EQ(net.Tokens(b), 1);
+}
+
+}  // namespace
+}  // namespace nbraft::petri

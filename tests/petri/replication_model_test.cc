@@ -1,0 +1,125 @@
+#include "petri/replication_model.h"
+
+#include <gtest/gtest.h>
+
+namespace nbraft::petri {
+namespace {
+
+ReplicationModel::Params BaseParams() {
+  ReplicationModel::Params p;
+  p.num_clients = 32;
+  p.num_dispatchers = 32;
+  p.out_of_order_probability = 0.35;
+  p.seed = 5;
+  return p;
+}
+
+TEST(ReplicationModelTest, RaftModelProcessesRequests) {
+  ReplicationModel model(BaseParams());
+  model.Run(Seconds(2));
+  EXPECT_GT(model.CompletedRequests(), 1000u);
+  EXPECT_EQ(model.WeakAccepts(), 0u);
+  EXPECT_GT(model.WaitLoopTurns(), 0u) << "the blue loop must be exercised";
+}
+
+TEST(ReplicationModelTest, NbRaftIssuesWeakAccepts) {
+  ReplicationModel::Params p = BaseParams();
+  p.window_size = 10000;
+  ReplicationModel model(p);
+  model.Run(Seconds(2));
+  EXPECT_GT(model.CompletedRequests(), 1000u);
+  EXPECT_GT(model.WeakAccepts(), 100u);
+  EXPECT_EQ(model.WaitLoopTurns(), 0u) << "NB-Raft removes the blue loop";
+}
+
+TEST(ReplicationModelTest, NbRaftOutperformsRaft) {
+  ReplicationModel raft(BaseParams());
+  raft.Run(Seconds(2));
+
+  ReplicationModel::Params p = BaseParams();
+  p.window_size = 10000;
+  ReplicationModel nb(p);
+  nb.Run(Seconds(2));
+
+  EXPECT_GT(nb.ThroughputOps(), raft.ThroughputOps() * 1.05)
+      << "the early return must increase throughput";
+}
+
+TEST(ReplicationModelTest, ZeroDisorderEqualizesProtocols) {
+  ReplicationModel::Params p = BaseParams();
+  p.out_of_order_probability = 0.0;
+  ReplicationModel raft(p);
+  raft.Run(Seconds(2));
+  p.window_size = 10000;
+  ReplicationModel nb(p);
+  nb.Run(Seconds(2));
+  // Without disorder there is nothing to unblock.
+  EXPECT_EQ(nb.WeakAccepts(), 0u);
+  EXPECT_NEAR(static_cast<double>(nb.CompletedRequests()),
+              static_cast<double>(raft.CompletedRequests()),
+              static_cast<double>(raft.CompletedRequests()) * 0.1);
+}
+
+TEST(ReplicationModelTest, MoreDisorderMoreWaiting) {
+  ReplicationModel::Params low = BaseParams();
+  low.out_of_order_probability = 0.1;
+  ReplicationModel a(low);
+  a.Run(Seconds(2));
+
+  ReplicationModel::Params high = BaseParams();
+  high.out_of_order_probability = 0.6;
+  ReplicationModel b(high);
+  b.Run(Seconds(2));
+
+  EXPECT_GT(b.MeanWaiting(), a.MeanWaiting());
+  EXPECT_LT(b.ThroughputOps(), a.ThroughputOps());
+}
+
+TEST(ReplicationModelTest, BreakdownCoversAllPhasesAndWaitIsVisible) {
+  ReplicationModel model(BaseParams());
+  model.Run(Seconds(2));
+  const metrics::Breakdown bd = model.PhaseBreakdown();
+  EXPECT_GT(bd.GrandTotal(), 0);
+  // The waiting phase must register (the paper's identified bottleneck).
+  EXPECT_GT(bd.Proportion(metrics::Phase::kWaitFollower), 0.01);
+  // Network transfer phases dominate in the model's parameterization.
+  EXPECT_GT(bd.Proportion(metrics::Phase::kTransClientLeader), 0.0);
+  EXPECT_GT(bd.Proportion(metrics::Phase::kTransLeaderFollower), 0.0);
+}
+
+TEST(ReplicationModelTest, ClientTokensConserved) {
+  ReplicationModel::Params p = BaseParams();
+  p.window_size = 10000;
+  ReplicationModel model(p);
+  model.Run(Seconds(1));
+  // ACK tokens in flight + idle can never exceed the client count by the
+  // construction of the net; the throughput is finite and positive.
+  EXPECT_LE(model.net()->Tokens(0), p.num_clients);
+  EXPECT_GT(model.ThroughputOps(), 0.0);
+}
+
+TEST(ReplicationModelTest, DispatcherLimitThrottles) {
+  ReplicationModel::Params few = BaseParams();
+  few.num_dispatchers = 1;
+  ReplicationModel a(few);
+  a.Run(Seconds(1));
+
+  ReplicationModel::Params many = BaseParams();
+  many.num_dispatchers = 64;
+  ReplicationModel b(many);
+  b.Run(Seconds(1));
+
+  EXPECT_GT(b.CompletedRequests(), a.CompletedRequests());
+}
+
+TEST(ReplicationModelTest, DeterministicAcrossRuns) {
+  ReplicationModel a(BaseParams());
+  a.Run(Seconds(1));
+  ReplicationModel b(BaseParams());
+  b.Run(Seconds(1));
+  EXPECT_EQ(a.CompletedRequests(), b.CompletedRequests());
+  EXPECT_EQ(a.WaitLoopTurns(), b.WaitLoopTurns());
+}
+
+}  // namespace
+}  // namespace nbraft::petri

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "harness/cluster.h"
+#include "tests/raft/test_cluster.h"
+
+namespace nbraft::raft {
+namespace {
+
+using harness::Cluster;
+using harness::ClusterConfig;
+using raft_test::SmallConfig;
+
+// ---- KRaft ----
+
+TEST(KRaftTest, AllFollowersReceiveEntriesViaRelay) {
+  Cluster cluster(SmallConfig(Protocol::kKRaft, 5, 4));
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  cluster.StartClients();
+  cluster.RunFor(Seconds(1));
+  cluster.StopAllClients();
+  cluster.RunFor(Seconds(1));
+
+  RaftNode* leader = cluster.leader();
+  ASSERT_NE(leader, nullptr);
+  EXPECT_GT(leader->commit_index(), 20);
+  for (int i = 0; i < 5; ++i) {
+    RaftNode* n = cluster.node(i);
+    EXPECT_GE(n->log().LastIndex(), leader->commit_index() - 5)
+        << "node " << i << " must receive entries through the bucket";
+  }
+  EXPECT_TRUE(cluster.CheckLogMatching().ok());
+}
+
+TEST(KRaftTest, CommitsRequireQuorumAcrossRelayedNodes) {
+  Cluster cluster(SmallConfig(Protocol::kKRaft, 5, 4));
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  cluster.StartClients();
+  cluster.RunFor(Seconds(1));
+  const harness::ClusterStats stats = cluster.Collect();
+  EXPECT_GT(stats.requests_completed, 50u);
+  EXPECT_TRUE(cluster.CheckCommittedPrefixes().ok());
+}
+
+TEST(KRaftTest, TwoReplicasBehaveLikeRaft) {
+  // Paper Fig. 15: with only one follower KRaft has nothing to relay.
+  Cluster cluster(SmallConfig(Protocol::kKRaft, 2, 2));
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  cluster.StartClients();
+  cluster.RunFor(Seconds(1));
+  EXPECT_GT(cluster.Collect().requests_completed, 20u);
+}
+
+TEST(KRaftTest, HigherLatencyThanRaftForRelayedNodes) {
+  // KRaft's relay adds a hop: completion latency should not beat Raft's.
+  ClusterConfig raft_config = SmallConfig(Protocol::kRaft, 5, 8, 3);
+  ClusterConfig kraft_config = SmallConfig(Protocol::kKRaft, 5, 8, 3);
+
+  auto run = [](const ClusterConfig& config) {
+    Cluster cluster(config);
+    cluster.Start();
+    EXPECT_TRUE(cluster.AwaitLeader());
+    cluster.StartClients();
+    cluster.RunFor(Seconds(1));
+    return cluster.Collect().completion_latency.Mean();
+  };
+  EXPECT_GE(run(kraft_config), run(raft_config) * 0.95)
+      << "relay should not reduce latency";
+}
+
+// ---- VGRaft ----
+
+TEST(VGRaftTest, CommitsWithVerificationEnabled) {
+  Cluster cluster(SmallConfig(Protocol::kVGRaft, 3, 4));
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  cluster.StartClients();
+  cluster.RunFor(Seconds(1));
+  const harness::ClusterStats stats = cluster.Collect();
+  EXPECT_GT(stats.requests_completed, 50u);
+  EXPECT_TRUE(cluster.CheckLogMatching().ok());
+}
+
+TEST(VGRaftTest, SlowerThanRaftDueToCrypto) {
+  auto throughput = [](Protocol protocol) {
+    ClusterConfig config = SmallConfig(protocol, 3, 32, 9);
+    config.client_think = Micros(5);
+    Cluster cluster(config);
+    cluster.Start();
+    EXPECT_TRUE(cluster.AwaitLeader());
+    cluster.StartClients();
+    cluster.RunFor(Seconds(1));
+    return cluster.Collect().requests_completed;
+  };
+  const uint64_t raft = throughput(Protocol::kRaft);
+  const uint64_t vgraft = throughput(Protocol::kVGRaft);
+  EXPECT_LT(vgraft, raft) << "hash+sign overhead must cost throughput";
+}
+
+// ---- Cross-protocol ordering (paper Figs. 14-16 core claims) ----
+
+TEST(ProtocolOrderingTest, NbRaftBeatsRaftAtHighConcurrency) {
+  auto throughput = [](Protocol protocol) {
+    ClusterConfig config = SmallConfig(protocol, 3, 64, 21);
+    config.client_think = Micros(5);
+    config.payload_size = 4096;
+    Cluster cluster(config);
+    cluster.Start();
+    EXPECT_TRUE(cluster.AwaitLeader());
+    cluster.StartClients();
+    cluster.RunFor(Seconds(1));
+    return cluster.Collect().requests_completed;
+  };
+  const uint64_t raft = throughput(Protocol::kRaft);
+  const uint64_t nb = throughput(Protocol::kNbRaft);
+  EXPECT_GT(static_cast<double>(nb), static_cast<double>(raft) * 1.1)
+      << "paper: ~30% improvement at high concurrency";
+}
+
+TEST(ProtocolOrderingTest, CRaftBeatsNbRaftOnLargePayloads) {
+  auto throughput = [](Protocol protocol) {
+    ClusterConfig config = SmallConfig(protocol, 3, 32, 23);
+    config.client_think = Micros(5);
+    config.payload_size = 64 * 1024;
+    config.release_payloads = true;
+    Cluster cluster(config);
+    cluster.Start();
+    EXPECT_TRUE(cluster.AwaitLeader());
+    cluster.StartClients();
+    cluster.RunFor(Seconds(1));
+    return cluster.Collect().requests_completed;
+  };
+  const uint64_t nb = throughput(Protocol::kNbRaft);
+  const uint64_t craft = throughput(Protocol::kCRaft);
+  EXPECT_GT(craft, nb) << "paper Fig. 16: CRaft wins at large payloads";
+}
+
+}  // namespace
+}  // namespace nbraft::raft

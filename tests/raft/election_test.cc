@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "harness/cluster.h"
+#include "tests/raft/test_cluster.h"
+
+namespace nbraft::raft {
+namespace {
+
+using harness::Cluster;
+using raft_test::SmallConfig;
+
+TEST(ElectionTest, BootstrapElectsExactlyOneLeader) {
+  Cluster cluster(SmallConfig(Protocol::kRaft, 3, 0));
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  int leaders = 0;
+  for (int i = 0; i < 3; ++i) {
+    if (cluster.node(i)->role() == Role::kLeader) ++leaders;
+  }
+  EXPECT_EQ(leaders, 1);
+}
+
+TEST(ElectionTest, SingleNodeClusterElectsItself) {
+  Cluster cluster(SmallConfig(Protocol::kRaft, 1, 0));
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  EXPECT_EQ(cluster.node(0)->role(), Role::kLeader);
+}
+
+TEST(ElectionTest, FollowersLearnLeaderViaHeartbeats) {
+  Cluster cluster(SmallConfig(Protocol::kRaft, 3, 0));
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  cluster.RunFor(Millis(200));
+  const net::NodeId leader_id = cluster.leader()->id();
+  for (int i = 0; i < 3; ++i) {
+    if (cluster.node(i)->id() == leader_id) continue;
+    EXPECT_EQ(cluster.node(i)->role(), Role::kFollower);
+    EXPECT_EQ(cluster.node(i)->leader_hint(), leader_id);
+  }
+}
+
+TEST(ElectionTest, NewLeaderAfterLeaderCrash) {
+  Cluster cluster(SmallConfig(Protocol::kRaft, 3, 0));
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  const storage::Term old_term = cluster.leader()->current_term();
+  const int dead = cluster.CrashLeader();
+  ASSERT_GE(dead, 0);
+  ASSERT_TRUE(cluster.AwaitLeader(Seconds(5)));
+  RaftNode* new_leader = cluster.leader();
+  EXPECT_NE(new_leader->id(), dead);
+  EXPECT_GT(new_leader->current_term(), old_term);
+}
+
+TEST(ElectionTest, NoQuorumNoLeader) {
+  Cluster cluster(SmallConfig(Protocol::kRaft, 3, 0));
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  // Kill two of three: the survivor must never become leader.
+  cluster.CrashLeader();
+  for (int i = 0; i < 3; ++i) {
+    if (!cluster.node(i)->crashed() &&
+        cluster.node(i)->role() != Role::kLeader) {
+      cluster.CrashNode(i);
+      break;
+    }
+  }
+  cluster.RunFor(Seconds(4));
+  EXPECT_EQ(cluster.leader(), nullptr);
+}
+
+TEST(ElectionTest, RestartedMajorityRecoversLeadership) {
+  Cluster cluster(SmallConfig(Protocol::kRaft, 3, 0));
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  const int dead = cluster.CrashLeader();
+  // Kill one more: no quorum.
+  int second = -1;
+  for (int i = 0; i < 3; ++i) {
+    if (!cluster.node(i)->crashed()) {
+      second = i;
+      cluster.CrashNode(i);
+      break;
+    }
+  }
+  cluster.RunFor(Seconds(2));
+  EXPECT_EQ(cluster.leader(), nullptr);
+  cluster.RestartNode(second);
+  ASSERT_TRUE(cluster.AwaitLeader(Seconds(5)));
+  EXPECT_NE(cluster.leader()->id(), dead);
+}
+
+TEST(ElectionTest, ElectionSafetyAcrossSeeds) {
+  // Property: at most one leader per term, under repeated leader crashes.
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    Cluster cluster(SmallConfig(Protocol::kRaft, 5, 0, seed));
+    cluster.Start();
+    std::map<storage::Term, std::set<net::NodeId>> leaders_by_term;
+    for (int round = 0; round < 6; ++round) {
+      cluster.RunFor(Millis(400));
+      for (int i = 0; i < cluster.num_nodes(); ++i) {
+        RaftNode* n = cluster.node(i);
+        if (!n->crashed() && n->role() == Role::kLeader) {
+          leaders_by_term[n->current_term()].insert(n->id());
+        }
+      }
+      if (round == 2 && cluster.leader() != nullptr) {
+        const int dead = cluster.CrashLeader();
+        (void)dead;
+      }
+      if (round == 4) {
+        for (int i = 0; i < cluster.num_nodes(); ++i) {
+          if (cluster.node(i)->crashed()) cluster.RestartNode(i);
+        }
+      }
+    }
+    for (const auto& [term, ids] : leaders_by_term) {
+      EXPECT_LE(ids.size(), 1u)
+          << "two leaders in term " << term << " (seed " << seed << ")";
+    }
+  }
+}
+
+TEST(ElectionTest, TermsIncreaseMonotonically) {
+  Cluster cluster(SmallConfig(Protocol::kRaft, 3, 0));
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  storage::Term last = cluster.leader()->current_term();
+  for (int round = 0; round < 3; ++round) {
+    cluster.CrashLeader();
+    ASSERT_TRUE(cluster.AwaitLeader(Seconds(5)));
+    const storage::Term now = cluster.leader()->current_term();
+    EXPECT_GT(now, last);
+    last = now;
+    // Restart everything so the next round has a full cluster.
+    for (int i = 0; i < 3; ++i) {
+      if (cluster.node(i)->crashed()) cluster.RestartNode(i);
+    }
+    cluster.RunFor(Millis(300));
+  }
+}
+
+TEST(ElectionTest, LeaderAppendsNoOpOnElection) {
+  Cluster cluster(SmallConfig(Protocol::kRaft, 3, 0));
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  cluster.RunFor(Millis(300));
+  RaftNode* leader = cluster.leader();
+  EXPECT_GE(leader->log().LastIndex(), 1);
+  EXPECT_GE(leader->commit_index(), 1) << "no-op must commit via quorum";
+}
+
+}  // namespace
+}  // namespace nbraft::raft

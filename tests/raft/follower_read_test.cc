@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "harness/cluster.h"
+#include "raft/messages.h"
+#include "tests/raft/test_cluster.h"
+
+namespace nbraft::raft {
+namespace {
+
+using harness::Cluster;
+using raft_test::SmallConfig;
+
+/// Sends a ReadRequest from a bare client endpoint to `server` and returns
+/// the response (runs the simulation until it arrives).
+ReadResponse ReadFrom(Cluster* cluster, net::NodeId server,
+                      uint64_t series_id) {
+  const net::NodeId reader = net::kClientIdBase + 999;
+  ReadResponse out;
+  bool got = false;
+  cluster->network()->RegisterEndpoint(reader, [&](net::Message&& m) {
+    out = std::any_cast<ReadResponse>(m.payload);
+    got = true;
+  });
+  ReadRequest req;
+  req.client = reader;
+  req.request_id = 1;
+  req.series_id = series_id;
+  cluster->network()->Send(reader, server, req.WireSize(), req);
+  for (int i = 0; i < 100 && !got; ++i) cluster->RunFor(Millis(10));
+  EXPECT_TRUE(got);
+  cluster->network()->UnregisterEndpoint(reader);
+  return out;
+}
+
+TEST(FollowerReadTest, RaftFollowersServeReads) {
+  harness::ClusterConfig config = SmallConfig(Protocol::kRaft, 3, 2);
+  config.workload.series_count = 3;
+  Cluster cluster(config);
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  cluster.StartClients();
+  cluster.RunFor(Seconds(1));
+  cluster.StopAllClients();
+  cluster.RunFor(Millis(500));
+
+  RaftNode* leader = cluster.leader();
+  for (int i = 0; i < 3; ++i) {
+    RaftNode* n = cluster.node(i);
+    if (n == leader) continue;
+    const ReadResponse resp = ReadFrom(&cluster, n->id(), 0);
+    EXPECT_TRUE(resp.supported) << "Raft supports follower read (Table II)";
+    EXPECT_EQ(resp.point_count, n->state_machine().PointCount(0));
+    EXPECT_GT(resp.point_count, 0u);
+  }
+}
+
+TEST(FollowerReadTest, NbRaftFollowersServeReads) {
+  harness::ClusterConfig config = SmallConfig(Protocol::kNbRaft, 3, 2);
+  config.workload.series_count = 3;
+  Cluster cluster(config);
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  cluster.StartClients();
+  cluster.RunFor(Seconds(1));
+  RaftNode* leader = cluster.leader();
+  for (int i = 0; i < 3; ++i) {
+    if (cluster.node(i) == leader) continue;
+    EXPECT_TRUE(ReadFrom(&cluster, cluster.node(i)->id(), 0).supported);
+  }
+}
+
+TEST(FollowerReadTest, CRaftFollowersCannotServeReads) {
+  // Table II: "follower read is not supported in CRaft" — replicas hold
+  // fragments, not data.
+  harness::ClusterConfig config = SmallConfig(Protocol::kCRaft, 3, 2);
+  config.workload.series_count = 3;
+  Cluster cluster(config);
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  cluster.StartClients();
+  cluster.RunFor(Seconds(1));
+  RaftNode* leader = cluster.leader();
+  for (int i = 0; i < 3; ++i) {
+    RaftNode* n = cluster.node(i);
+    if (n == leader) continue;
+    EXPECT_FALSE(ReadFrom(&cluster, n->id(), 0).supported);
+  }
+}
+
+TEST(FollowerReadTest, CRaftLeaderStillServesReads) {
+  harness::ClusterConfig config = SmallConfig(Protocol::kCRaft, 3, 2);
+  config.workload.series_count = 3;
+  Cluster cluster(config);
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  cluster.StartClients();
+  cluster.RunFor(Seconds(1));
+  const ReadResponse resp =
+      ReadFrom(&cluster, cluster.leader()->id(), 0);
+  EXPECT_TRUE(resp.supported);
+  EXPECT_GT(resp.point_count, 0u);
+}
+
+TEST(FollowerReadTest, UnknownSeriesReturnsZero) {
+  Cluster cluster(SmallConfig(Protocol::kRaft, 3, 2));
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  cluster.RunFor(Millis(200));
+  const ReadResponse resp =
+      ReadFrom(&cluster, cluster.leader()->id(), 987654);
+  EXPECT_TRUE(resp.supported);
+  EXPECT_EQ(resp.point_count, 0u);
+}
+
+}  // namespace
+}  // namespace nbraft::raft

@@ -1,0 +1,106 @@
+// Paper Sec. III, contribution (3): "the original Raft protocol is indeed
+// a special case of our NB-Raft with window size zero". These tests verify
+// the claim behaviourally: an NB-Raft cluster configured with w = 0 makes
+// exactly the decisions of the Raft cluster — identical committed log,
+// identical client results, no weak accepts ever — across seeds.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "harness/cluster.h"
+#include "tests/raft/test_cluster.h"
+
+namespace nbraft::raft {
+namespace {
+
+using harness::Cluster;
+using harness::ClusterConfig;
+using raft_test::SmallConfig;
+
+struct RunDigest {
+  std::vector<std::pair<storage::LogIndex, uint64_t>> committed;  // request.
+  uint64_t completed = 0;
+  uint64_t weak_accepts = 0;
+};
+
+RunDigest RunCluster(const ClusterConfig& config) {
+  Cluster cluster(config);
+  cluster.Start();
+  EXPECT_TRUE(cluster.AwaitLeader());
+  cluster.StartClients();
+  cluster.RunFor(Seconds(1));
+  cluster.StopAllClients();
+  cluster.RunFor(Millis(500));
+
+  RunDigest digest;
+  RaftNode* leader = cluster.leader();
+  EXPECT_NE(leader, nullptr);
+  const auto& log = leader->log();
+  for (storage::LogIndex i = log.FirstIndex();
+       i <= leader->commit_index() && i <= log.LastIndex(); ++i) {
+    digest.committed.emplace_back(i, log.AtUnchecked(i).request_id);
+  }
+  const harness::ClusterStats stats = cluster.Collect();
+  digest.completed = stats.requests_completed;
+  digest.weak_accepts = stats.weak_accepts;
+  return digest;
+}
+
+class EquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EquivalenceTest, WindowZeroReproducesRaftExactly) {
+  ClusterConfig raft_config = SmallConfig(Protocol::kRaft, 3, 8,
+                                          GetParam());
+  ClusterConfig nb0_config = SmallConfig(Protocol::kNbRaft, 3, 8,
+                                         GetParam());
+  nb0_config.window_size = 0;  // NB-Raft with w = 0.
+
+  const RunDigest raft = RunCluster(raft_config);
+  const RunDigest nb0 = RunCluster(nb0_config);
+
+  EXPECT_EQ(nb0.weak_accepts, 0u) << "w = 0 can never cache an entry";
+  EXPECT_EQ(nb0.committed, raft.committed)
+      << "identical committed sequence required";
+  EXPECT_EQ(nb0.completed, raft.completed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EquivalenceTest,
+                         ::testing::Values(1, 7, 13, 42, 99));
+
+TEST(EquivalenceTest, WindowZeroBehavesLikeRaftUnderLeaderCrash) {
+  for (uint64_t seed : {3u, 11u}) {
+    ClusterConfig config = SmallConfig(Protocol::kNbRaft, 3, 4, seed);
+    config.window_size = 0;
+    Cluster cluster(config);
+    cluster.Start();
+    ASSERT_TRUE(cluster.AwaitLeader());
+    cluster.StartClients();
+    cluster.RunFor(Millis(400));
+    cluster.CrashLeader();
+    ASSERT_TRUE(cluster.AwaitLeader(Seconds(5)));
+    cluster.RunFor(Millis(500));
+    EXPECT_TRUE(cluster.CheckLogMatching().ok());
+    EXPECT_TRUE(cluster.CheckCommittedPrefixes().ok());
+    EXPECT_EQ(cluster.Collect().weak_accepts, 0u);
+  }
+}
+
+TEST(EquivalenceTest, GrowingWindowMonotonicallyEnablesCaching) {
+  // w = 0 gives no weak accepts; a large window gives many; a mid-size
+  // window sits in between.
+  uint64_t weak_at[3];
+  const int windows[3] = {0, 4, 10000};
+  for (int i = 0; i < 3; ++i) {
+    ClusterConfig config = SmallConfig(Protocol::kNbRaft, 3, 16, 5);
+    config.window_size = windows[i];
+    config.client_think = Micros(5);
+    weak_at[i] = RunCluster(config).weak_accepts;
+  }
+  EXPECT_EQ(weak_at[0], 0u);
+  EXPECT_GT(weak_at[2], weak_at[0]);
+  EXPECT_GE(weak_at[2], weak_at[1]);
+}
+
+}  // namespace
+}  // namespace nbraft::raft

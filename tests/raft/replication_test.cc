@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "harness/cluster.h"
+#include "tests/raft/test_cluster.h"
+
+namespace nbraft::raft {
+namespace {
+
+using harness::Cluster;
+using raft_test::SmallConfig;
+
+class ReplicationTest : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(ReplicationTest, ClientsCompleteRequestsAndLogsMatch) {
+  Cluster cluster(SmallConfig(GetParam(), 3, 4));
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  cluster.StartClients();
+  cluster.RunFor(Seconds(1));
+
+  const harness::ClusterStats stats = cluster.Collect();
+  EXPECT_GT(stats.requests_completed, 100u)
+      << ProtocolName(GetParam());
+  EXPECT_TRUE(cluster.CheckLogMatching().ok());
+  EXPECT_TRUE(cluster.CheckCommittedPrefixes().ok());
+}
+
+TEST_P(ReplicationTest, CommitNeverExceedsAppendAnywhere) {
+  Cluster cluster(SmallConfig(GetParam(), 3, 4));
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  cluster.StartClients();
+  for (int round = 0; round < 5; ++round) {
+    cluster.RunFor(Millis(200));
+    for (int i = 0; i < cluster.num_nodes(); ++i) {
+      RaftNode* n = cluster.node(i);
+      EXPECT_LE(n->commit_index(), n->log().LastIndex());
+      EXPECT_LE(n->applied_index(), n->commit_index());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, ReplicationTest,
+    ::testing::Values(Protocol::kRaft, Protocol::kNbRaft, Protocol::kCRaft,
+                      Protocol::kNbCRaft, Protocol::kECRaft, Protocol::kKRaft,
+                      Protocol::kVGRaft),
+    [](const ::testing::TestParamInfo<Protocol>& info) {
+      std::string name(ProtocolName(info.param));
+      for (char& c : name) {
+        if (c == '-' || c == '+') c = '_';
+      }
+      return name;
+    });
+
+TEST(ReplicationDetailTest, FollowersConvergeToLeaderLog) {
+  Cluster cluster(SmallConfig(Protocol::kRaft, 3, 4));
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  cluster.StartClients();
+  cluster.RunFor(Seconds(1));
+  cluster.StopAllClients();
+  cluster.RunFor(Seconds(1));  // Drain.
+
+  RaftNode* leader = cluster.leader();
+  ASSERT_NE(leader, nullptr);
+  for (int i = 0; i < 3; ++i) {
+    RaftNode* n = cluster.node(i);
+    EXPECT_EQ(n->log().LastIndex(), leader->log().LastIndex())
+        << "node " << i << " lags";
+    EXPECT_EQ(n->commit_index(), leader->commit_index());
+  }
+}
+
+TEST(ReplicationDetailTest, StateMachinesApplyIdenticalData) {
+  harness::ClusterConfig config = SmallConfig(Protocol::kRaft, 3, 2);
+  config.workload.series_count = 5;
+  Cluster cluster(config);
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  cluster.StartClients();
+  cluster.RunFor(Seconds(1));
+  cluster.StopAllClients();
+  cluster.RunFor(Seconds(1));
+
+  const auto& leader_sm = static_cast<const tsdb::TsdbStateMachine&>(
+      cluster.leader()->state_machine());
+  EXPECT_GT(leader_sm.ingested_points(), 0u);
+  for (int i = 0; i < 3; ++i) {
+    const auto& sm = static_cast<const tsdb::TsdbStateMachine&>(
+        cluster.node(i)->state_machine());
+    EXPECT_EQ(sm.ingested_points(), leader_sm.ingested_points())
+        << "node " << i;
+    for (uint64_t series = 0; series < 5; ++series) {
+      EXPECT_EQ(sm.PointCount(series), leader_sm.PointCount(series))
+          << "node " << i << " series " << series;
+    }
+  }
+}
+
+TEST(ReplicationDetailTest, EntriesCarryClientAndRequestIds) {
+  Cluster cluster(SmallConfig(Protocol::kRaft, 3, 2));
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  cluster.StartClients();
+  cluster.RunFor(Millis(500));
+  const auto& log = cluster.leader()->log();
+  int client_entries = 0;
+  for (storage::LogIndex i = log.FirstIndex(); i <= log.LastIndex(); ++i) {
+    const auto& e = log.AtUnchecked(i);
+    if (e.client_id != net::kInvalidNode) {
+      ++client_entries;
+      EXPECT_TRUE(net::IsClientId(e.client_id));
+      EXPECT_NE(e.request_id, 0u);
+      EXPECT_FALSE(e.payload.empty());
+    }
+  }
+  EXPECT_GT(client_entries, 10);
+}
+
+TEST(ReplicationDetailTest, NbRaftUsesWindowAndWeakAccepts) {
+  harness::ClusterConfig config = SmallConfig(Protocol::kNbRaft, 3, 16);
+  config.client_think = Micros(5);
+  Cluster cluster(config);
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  cluster.StartClients();
+  cluster.RunFor(Seconds(1));
+  const harness::ClusterStats stats = cluster.Collect();
+  EXPECT_GT(stats.weak_accepts, 50u);
+  EXPECT_GT(stats.window_inserts, 50u);
+}
+
+TEST(ReplicationDetailTest, PlainRaftNeverWeakAccepts) {
+  harness::ClusterConfig config = SmallConfig(Protocol::kRaft, 3, 16);
+  config.client_think = Micros(5);
+  Cluster cluster(config);
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  cluster.StartClients();
+  cluster.RunFor(Seconds(1));
+  const harness::ClusterStats stats = cluster.Collect();
+  EXPECT_EQ(stats.weak_accepts, 0u);
+  EXPECT_EQ(stats.window_inserts, 0u);
+}
+
+TEST(ReplicationDetailTest, TwoNodeClusterCommits) {
+  Cluster cluster(SmallConfig(Protocol::kNbRaft, 2, 2));
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  cluster.StartClients();
+  cluster.RunFor(Seconds(1));
+  EXPECT_GT(cluster.Collect().requests_completed, 50u);
+  EXPECT_TRUE(cluster.CheckLogMatching().ok());
+}
+
+TEST(ReplicationDetailTest, SingleNodeClusterCommitsAlone) {
+  Cluster cluster(SmallConfig(Protocol::kRaft, 1, 2));
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  cluster.StartClients();
+  cluster.RunFor(Seconds(1));
+  EXPECT_GT(cluster.Collect().requests_completed, 50u);
+  RaftNode* leader = cluster.leader();
+  EXPECT_EQ(leader->commit_index(), leader->log().LastIndex());
+}
+
+TEST(ReplicationDetailTest, FollowerWaitTimeObserved) {
+  harness::ClusterConfig config = SmallConfig(Protocol::kRaft, 3, 32);
+  config.client_think = Micros(5);
+  Cluster cluster(config);
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  cluster.StartClients();
+  cluster.RunFor(Seconds(1));
+  const harness::ClusterStats stats = cluster.Collect();
+  // Out-of-order arrivals must produce measurable t_wait(F).
+  EXPECT_GT(stats.follower_wait.count(), 100u);
+  EXPECT_GT(stats.follower_wait.max(), 0);
+}
+
+}  // namespace
+}  // namespace nbraft::raft

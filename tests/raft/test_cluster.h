@@ -1,0 +1,29 @@
+#ifndef NBRAFT_TESTS_RAFT_TEST_CLUSTER_H_
+#define NBRAFT_TESTS_RAFT_TEST_CLUSTER_H_
+
+#include "harness/cluster.h"
+#include "raft/types.h"
+
+namespace nbraft::raft_test {
+
+/// A small, fast cluster configuration for protocol tests: tiny payloads,
+/// few clients, payloads kept (tests inspect them).
+inline harness::ClusterConfig SmallConfig(
+    raft::Protocol protocol = raft::Protocol::kRaft, int nodes = 3,
+    int clients = 4, uint64_t seed = 42) {
+  harness::ClusterConfig config;
+  config.num_nodes = nodes;
+  config.num_clients = clients;
+  config.protocol = protocol;
+  config.payload_size = 512;
+  config.client_think = Micros(50);
+  config.election_timeout = Millis(300);
+  config.seed = seed;
+  config.release_payloads = false;
+  config.workload.series_count = 50;
+  return config;
+}
+
+}  // namespace nbraft::raft_test
+
+#endif  // NBRAFT_TESTS_RAFT_TEST_CLUSTER_H_

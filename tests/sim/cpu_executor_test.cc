@@ -1,0 +1,146 @@
+#include "sim/cpu_executor.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nbraft::sim {
+namespace {
+
+TEST(CpuExecutorTest, SingleLaneSerializes) {
+  Simulator sim(1);
+  CpuExecutor cpu(&sim, 1, "test");
+  std::vector<SimTime> done;
+  cpu.Submit(Micros(10), [&] { done.push_back(sim.Now()); });
+  cpu.Submit(Micros(10), [&] { done.push_back(sim.Now()); });
+  sim.Run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], Micros(10));
+  EXPECT_EQ(done[1], Micros(20));
+}
+
+TEST(CpuExecutorTest, MultipleLanesRunInParallel) {
+  Simulator sim(1);
+  CpuExecutor cpu(&sim, 4, "test");
+  std::vector<SimTime> done;
+  for (int i = 0; i < 4; ++i) {
+    cpu.Submit(Micros(10), [&] { done.push_back(sim.Now()); });
+  }
+  sim.Run();
+  ASSERT_EQ(done.size(), 4u);
+  for (SimTime t : done) EXPECT_EQ(t, Micros(10));
+}
+
+TEST(CpuExecutorTest, FifthTaskQueuesBehindFourLanes) {
+  Simulator sim(1);
+  CpuExecutor cpu(&sim, 4, "test");
+  SimTime fifth_done = 0;
+  for (int i = 0; i < 4; ++i) cpu.Submit(Micros(10), [] {});
+  cpu.Submit(Micros(10), [&] { fifth_done = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(fifth_done, Micros(20));
+  EXPECT_EQ(cpu.queue_time(), Micros(10));
+}
+
+TEST(CpuExecutorTest, ZeroAndNegativeCosts) {
+  Simulator sim(1);
+  CpuExecutor cpu(&sim, 1, "test");
+  SimTime t1 = -1;
+  SimTime t2 = -1;
+  cpu.Submit(0, [&] { t1 = sim.Now(); });
+  cpu.Submit(-100, [&] { t2 = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(t1, 0);
+  EXPECT_EQ(t2, 0);
+}
+
+TEST(CpuExecutorTest, SpeedFactorScalesCost) {
+  Simulator sim(1);
+  CpuExecutor cpu(&sim, 1, "test");
+  cpu.set_speed_factor(2.0);  // Twice as fast.
+  SimTime done = 0;
+  cpu.Submit(Micros(10), [&] { done = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(done, Micros(5));
+}
+
+TEST(CpuExecutorTest, SlowFactorScalesUp) {
+  Simulator sim(1);
+  CpuExecutor cpu(&sim, 1, "test");
+  cpu.set_speed_factor(0.5);  // CPU-Turbo disabled.
+  SimTime done = 0;
+  cpu.Submit(Micros(10), [&] { done = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(done, Micros(20));
+}
+
+TEST(CpuExecutorTest, BusyTimeAccumulates) {
+  Simulator sim(1);
+  CpuExecutor cpu(&sim, 2, "test");
+  cpu.Submit(Micros(3), [] {});
+  cpu.Submit(Micros(4), [] {});
+  sim.Run();
+  EXPECT_EQ(cpu.busy_time(), Micros(7));
+  EXPECT_EQ(cpu.tasks_submitted(), 2u);
+}
+
+TEST(CpuExecutorTest, OutstandingTracksInFlight) {
+  Simulator sim(1);
+  CpuExecutor cpu(&sim, 2, "test");
+  cpu.Submit(Micros(10), [] {});
+  cpu.Submit(Micros(20), [] {});
+  EXPECT_EQ(cpu.outstanding(), 2);
+  sim.RunUntil(Micros(15));
+  EXPECT_EQ(cpu.outstanding(), 1);
+  sim.Run();
+  EXPECT_EQ(cpu.outstanding(), 0);
+}
+
+TEST(CpuExecutorTest, SwitchCostAddsContentionOverhead) {
+  Simulator sim(1);
+  CpuExecutor cpu(&sim, 1, "test");
+  cpu.set_switch_cost(Micros(1), Micros(100));
+  SimTime first = 0;
+  SimTime second = 0;
+  cpu.Submit(Micros(10), [&] { first = sim.Now(); });   // No backlog.
+  cpu.Submit(Micros(10), [&] { second = sim.Now(); });  // 1 outstanding.
+  sim.Run();
+  EXPECT_EQ(first, Micros(10));
+  // Second task pays log2(1 + 1) * 1us = 1us of contention.
+  EXPECT_EQ(second, Micros(21));
+}
+
+TEST(CpuExecutorTest, SwitchCostSaturatesAtCap) {
+  Simulator sim(1);
+  CpuExecutor cpu(&sim, 1, "test");
+  cpu.set_switch_cost(Micros(10), Micros(5));
+  for (int i = 0; i < 200; ++i) cpu.Submit(Micros(1), [] {});
+  SimTime last = 0;
+  cpu.Submit(Micros(1), [&] { last = sim.Now(); });
+  sim.Run();
+  // Each task pays at most 1us base + 5us cap.
+  EXPECT_LE(last, Micros(201 * 6));
+}
+
+TEST(CpuExecutorTest, EarliestStartReflectsBusyLanes) {
+  Simulator sim(1);
+  CpuExecutor cpu(&sim, 2, "test");
+  EXPECT_EQ(cpu.EarliestStart(), 0);
+  cpu.Submit(Micros(10), [] {});
+  EXPECT_EQ(cpu.EarliestStart(), 0);  // Second lane free.
+  cpu.Submit(Micros(20), [] {});
+  EXPECT_EQ(cpu.EarliestStart(), Micros(10));
+}
+
+TEST(CpuExecutorTest, ConsumeDelaysLaterWork) {
+  Simulator sim(1);
+  CpuExecutor cpu(&sim, 1, "test");
+  cpu.Consume(Micros(50));
+  SimTime done = 0;
+  cpu.Submit(Micros(1), [&] { done = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(done, Micros(51));
+}
+
+}  // namespace
+}  // namespace nbraft::sim

@@ -1,0 +1,152 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nbraft::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim(1);
+  EXPECT_EQ(sim.Now(), 0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim(1);
+  std::vector<int> order;
+  sim.At(Millis(30), [&] { order.push_back(3); });
+  sim.At(Millis(10), [&] { order.push_back(1); });
+  sim.At(Millis(20), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), Millis(30));
+}
+
+TEST(SimulatorTest, TiesBreakByInsertionOrder) {
+  Simulator sim(1);
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.At(Millis(5), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulatorTest, AfterSchedulesRelative) {
+  Simulator sim(1);
+  sim.At(Millis(10), [&] {
+    sim.After(Millis(5), [&] { EXPECT_EQ(sim.Now(), Millis(15)); });
+  });
+  sim.Run();
+  EXPECT_EQ(sim.Now(), Millis(15));
+}
+
+TEST(SimulatorTest, PastTimesClampToNow) {
+  Simulator sim(1);
+  sim.At(Millis(10), [&] {
+    sim.At(Millis(1), [&] { EXPECT_EQ(sim.Now(), Millis(10)); });
+  });
+  sim.Run();
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToZero) {
+  Simulator sim(1);
+  bool fired = false;
+  sim.After(-100, [&] { fired = true; });
+  sim.Run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.Now(), 0);
+}
+
+TEST(SimulatorTest, CancelPreventsFiring) {
+  Simulator sim(1);
+  bool fired = false;
+  const EventId id = sim.At(Millis(1), [&] { fired = true; });
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelUnknownIdIsNoop) {
+  Simulator sim(1);
+  sim.Cancel(9999);
+  sim.Cancel(kInvalidEventId);
+  EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+TEST(SimulatorTest, CancelFromInsideEvent) {
+  Simulator sim(1);
+  bool fired = false;
+  const EventId victim = sim.At(Millis(2), [&] { fired = true; });
+  sim.At(Millis(1), [&] { sim.Cancel(victim); });
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim(1);
+  std::vector<int> fired;
+  sim.At(Millis(10), [&] { fired.push_back(10); });
+  sim.At(Millis(20), [&] { fired.push_back(20); });
+  sim.At(Millis(30), [&] { fired.push_back(30); });
+  sim.RunUntil(Millis(20));
+  EXPECT_EQ(fired, (std::vector<int>{10, 20}));
+  EXPECT_EQ(sim.Now(), Millis(20));
+  sim.RunUntil(Millis(100));
+  EXPECT_EQ(fired, (std::vector<int>{10, 20, 30}));
+  EXPECT_EQ(sim.Now(), Millis(100));
+}
+
+TEST(SimulatorTest, RunUntilAdvancesTimeWithoutEvents) {
+  Simulator sim(1);
+  sim.RunUntil(Seconds(5));
+  EXPECT_EQ(sim.Now(), Seconds(5));
+}
+
+TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
+  Simulator sim(1);
+  EXPECT_FALSE(sim.Step());
+  sim.At(0, [] {});
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, RunWithEventLimit) {
+  Simulator sim(1);
+  int count = 0;
+  for (int i = 0; i < 10; ++i) sim.At(i, [&] { ++count; });
+  sim.Run(3);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim(1);
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.After(Micros(1), chain);
+  };
+  sim.After(0, chain);
+  sim.Run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.Now(), Micros(99));
+}
+
+TEST(SimulatorTest, RngIsDeterministicPerSeed) {
+  Simulator a(42);
+  Simulator b(42);
+  EXPECT_EQ(a.rng()->Next(), b.rng()->Next());
+}
+
+TEST(SimulatorTest, ProcessedCountsFiredEventsOnly) {
+  Simulator sim(1);
+  const EventId id = sim.At(1, [] {});
+  sim.At(2, [] {});
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_EQ(sim.events_processed(), 1u);
+}
+
+}  // namespace
+}  // namespace nbraft::sim

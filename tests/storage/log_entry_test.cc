@@ -1,0 +1,137 @@
+#include "storage/log_entry.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace nbraft::storage {
+namespace {
+
+LogEntry SampleEntry() {
+  LogEntry e;
+  e.index = 42;
+  e.term = 7;
+  e.prev_term = 6;
+  e.client_id = net::kClientIdBase + 3;
+  e.request_id = 0xdeadbeefcafeULL;
+  e.payload = "ingest-batch-payload";
+  return e;
+}
+
+TEST(LogEntryTest, EncodeDecodeRoundTrip) {
+  const LogEntry e = SampleEntry();
+  std::string buf;
+  e.EncodeTo(&buf);
+  std::string_view in(buf);
+  auto decoded = LogEntry::DecodeFrom(&in);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value(), e);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(LogEntryTest, FragmentFieldsRoundTrip) {
+  LogEntry e = SampleEntry();
+  e.frag_shard = 2;
+  e.frag_k = 3;
+  e.full_size = 4096;
+  std::string buf;
+  e.EncodeTo(&buf);
+  std::string_view in(buf);
+  auto decoded = LogEntry::DecodeFrom(&in);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->IsFragment());
+  EXPECT_EQ(decoded->frag_shard, 2);
+  EXPECT_EQ(decoded->frag_k, 3u);
+  EXPECT_EQ(decoded->full_size, 4096u);
+}
+
+TEST(LogEntryTest, MultipleEntriesDecodeSequentially) {
+  std::string buf;
+  for (int i = 1; i <= 5; ++i) {
+    LogEntry e = MakeEntry(i, 1, i == 1 ? 0 : 1, "p" + std::to_string(i));
+    e.EncodeTo(&buf);
+  }
+  std::string_view in(buf);
+  for (int i = 1; i <= 5; ++i) {
+    auto decoded = LogEntry::DecodeFrom(&in);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->index, i);
+    EXPECT_EQ(decoded->payload, "p" + std::to_string(i));
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(LogEntryTest, CorruptionDetectedByCrc) {
+  const LogEntry e = SampleEntry();
+  std::string buf;
+  e.EncodeTo(&buf);
+  // Flip one bit anywhere in the record body (skip the length prefix so
+  // the framing still parses).
+  for (size_t pos = 2; pos < buf.size(); pos += 5) {
+    std::string corrupted = buf;
+    corrupted[pos] = static_cast<char>(corrupted[pos] ^ 0x40);
+    std::string_view in(corrupted);
+    auto decoded = LogEntry::DecodeFrom(&in);
+    EXPECT_FALSE(decoded.ok()) << "flip at " << pos;
+  }
+}
+
+TEST(LogEntryTest, TruncatedInputFails) {
+  const LogEntry e = SampleEntry();
+  std::string buf;
+  e.EncodeTo(&buf);
+  for (size_t keep = 0; keep < buf.size(); keep += 3) {
+    std::string_view in(buf.data(), keep);
+    auto decoded = LogEntry::DecodeFrom(&in);
+    EXPECT_FALSE(decoded.ok()) << "kept " << keep;
+  }
+}
+
+TEST(LogEntryTest, EmptyPayloadAllowed) {
+  LogEntry e = MakeEntry(1, 1, 0);
+  std::string buf;
+  e.EncodeTo(&buf);
+  std::string_view in(buf);
+  auto decoded = LogEntry::DecodeFrom(&in);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->payload.empty());
+}
+
+TEST(LogEntryTest, WireSizeIncludesOverhead) {
+  LogEntry e = MakeEntry(1, 1, 0, std::string(1000, 'x'));
+  EXPECT_EQ(e.WireSize(), 1000 + LogEntry::kHeaderOverhead);
+}
+
+TEST(LogEntryTest, ReleasePayloadKeepsModelledSize) {
+  LogEntry e = MakeEntry(1, 1, 0, std::string(2048, 'x'));
+  const size_t before = e.WireSize();
+  e.ReleasePayload();
+  EXPECT_TRUE(e.payload.empty());
+  EXPECT_EQ(e.WireSize(), before);
+}
+
+TEST(LogEntryTest, ToStringIsPaperTriple) {
+  EXPECT_EQ(MakeEntry(11, 7, 6).ToString(), "(11,7,6)");
+}
+
+TEST(LogEntryTest, RandomizedRoundTripProperty) {
+  Rng rng(13);
+  for (int i = 0; i < 300; ++i) {
+    LogEntry e;
+    e.index = static_cast<LogIndex>(rng.NextBounded(1u << 30));
+    e.term = static_cast<Term>(rng.NextBounded(1000));
+    e.prev_term = e.term - static_cast<Term>(rng.NextBounded(2));
+    e.client_id = static_cast<net::NodeId>(rng.NextBounded(100000));
+    e.request_id = rng.Next();
+    e.payload.assign(rng.NextBounded(500), static_cast<char>(rng.Next()));
+    std::string buf;
+    e.EncodeTo(&buf);
+    std::string_view in(buf);
+    auto decoded = LogEntry::DecodeFrom(&in);
+    ASSERT_TRUE(decoded.ok());
+    ASSERT_EQ(decoded.value(), e);
+  }
+}
+
+}  // namespace
+}  // namespace nbraft::storage

@@ -1,0 +1,168 @@
+#include "storage/raft_log.h"
+
+#include <gtest/gtest.h>
+
+namespace nbraft::storage {
+namespace {
+
+RaftLog LogWithEntries(int n, Term term = 1) {
+  RaftLog log;
+  for (int i = 1; i <= n; ++i) {
+    log.Append(MakeEntry(i, term, i == 1 ? 0 : term));
+  }
+  return log;
+}
+
+TEST(RaftLogTest, EmptyLog) {
+  RaftLog log;
+  EXPECT_EQ(log.LastIndex(), 0);
+  EXPECT_EQ(log.LastTerm(), 0);
+  EXPECT_EQ(log.FirstIndex(), 1);
+  EXPECT_TRUE(log.Empty());
+  EXPECT_TRUE(log.Matches(0, 0));
+  EXPECT_FALSE(log.Matches(1, 1));
+}
+
+TEST(RaftLogTest, SentinelTermAtZero) {
+  RaftLog log;
+  auto t = log.TermAt(0);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value(), 0);
+}
+
+TEST(RaftLogTest, AppendAdvances) {
+  RaftLog log = LogWithEntries(3);
+  EXPECT_EQ(log.LastIndex(), 3);
+  EXPECT_EQ(log.LastTerm(), 1);
+  EXPECT_EQ(log.Size(), 3);
+  EXPECT_EQ(log.AtUnchecked(2).index, 2);
+}
+
+TEST(RaftLogTest, TermTransitions) {
+  RaftLog log = LogWithEntries(2, 1);
+  log.Append(MakeEntry(3, 2, 1));
+  log.Append(MakeEntry(4, 2, 2));
+  EXPECT_EQ(log.TermAt(2).value(), 1);
+  EXPECT_EQ(log.TermAt(3).value(), 2);
+  EXPECT_EQ(log.LastTerm(), 2);
+}
+
+TEST(RaftLogTest, OutOfRangeLookups) {
+  RaftLog log = LogWithEntries(3);
+  EXPECT_FALSE(log.At(0).ok());
+  EXPECT_FALSE(log.At(4).ok());
+  EXPECT_FALSE(log.TermAt(5).ok());
+  EXPECT_TRUE(log.At(3).ok());
+}
+
+TEST(RaftLogTest, TruncateSuffixRemovesTail) {
+  RaftLog log = LogWithEntries(5);
+  ASSERT_TRUE(log.TruncateSuffix(3).ok());
+  EXPECT_EQ(log.LastIndex(), 2);
+  EXPECT_EQ(log.Size(), 2);
+  // Re-append over the truncated range.
+  log.Append(MakeEntry(3, 2, 1));
+  EXPECT_EQ(log.LastTerm(), 2);
+}
+
+TEST(RaftLogTest, TruncateBeyondEndIsNoop) {
+  RaftLog log = LogWithEntries(3);
+  ASSERT_TRUE(log.TruncateSuffix(10).ok());
+  EXPECT_EQ(log.LastIndex(), 3);
+}
+
+TEST(RaftLogTest, TruncateWholeLog) {
+  RaftLog log = LogWithEntries(3);
+  ASSERT_TRUE(log.TruncateSuffix(1).ok());
+  EXPECT_TRUE(log.Empty());
+  EXPECT_EQ(log.LastIndex(), 0);
+  EXPECT_EQ(log.LastTerm(), 0);
+}
+
+TEST(RaftLogTest, CompactPrefixKeepsBoundaryTerm) {
+  RaftLog log = LogWithEntries(10, 3);
+  ASSERT_TRUE(log.CompactPrefix(6).ok());
+  EXPECT_EQ(log.FirstIndex(), 7);
+  EXPECT_EQ(log.LastIndex(), 10);
+  EXPECT_FALSE(log.At(6).ok());
+  // Boundary term survives compaction for consistency checks.
+  EXPECT_EQ(log.TermAt(6).value(), 3);
+  EXPECT_TRUE(log.Matches(6, 3));
+  EXPECT_FALSE(log.Matches(6, 2));
+}
+
+TEST(RaftLogTest, CompactEverything) {
+  RaftLog log = LogWithEntries(4, 2);
+  ASSERT_TRUE(log.CompactPrefix(4).ok());
+  EXPECT_TRUE(log.Empty());
+  EXPECT_EQ(log.LastIndex(), 4);
+  EXPECT_EQ(log.LastTerm(), 2);
+  // Appending continues after the compacted prefix.
+  log.Append(MakeEntry(5, 2, 2));
+  EXPECT_EQ(log.LastIndex(), 5);
+}
+
+TEST(RaftLogTest, CompactBeyondEndFails) {
+  RaftLog log = LogWithEntries(3);
+  EXPECT_FALSE(log.CompactPrefix(7).ok());
+}
+
+TEST(RaftLogTest, TruncateIntoCompactedPrefixFails) {
+  RaftLog log = LogWithEntries(5);
+  ASSERT_TRUE(log.CompactPrefix(3).ok());
+  EXPECT_FALSE(log.TruncateSuffix(2).ok());
+}
+
+TEST(RaftLogTest, MatchesChecksIndexAndTerm) {
+  RaftLog log = LogWithEntries(3, 4);
+  EXPECT_TRUE(log.Matches(2, 4));
+  EXPECT_FALSE(log.Matches(2, 3));
+  EXPECT_FALSE(log.Matches(9, 4));
+}
+
+TEST(RaftLogTest, PayloadBytesTracked) {
+  RaftLog log;
+  log.Append(MakeEntry(1, 1, 0, std::string(100, 'a')));
+  log.Append(MakeEntry(2, 1, 1, std::string(50, 'b')));
+  EXPECT_EQ(log.PayloadBytes(), 150u);
+  ASSERT_TRUE(log.TruncateSuffix(2).ok());
+  EXPECT_EQ(log.PayloadBytes(), 100u);
+  log.ReleasePayloadAt(1);
+  EXPECT_EQ(log.PayloadBytes(), 0u);
+  // Released entry keeps its modelled wire size.
+  EXPECT_EQ(log.AtUnchecked(1).WireSize(), 100 + LogEntry::kHeaderOverhead);
+}
+
+TEST(RaftLogTest, ResetToSnapshotRestartsAfterThePoint) {
+  RaftLog log = LogWithEntries(5, 2);
+  log.ResetToSnapshot(/*index=*/100, /*term=*/7);
+  EXPECT_TRUE(log.Empty());
+  EXPECT_EQ(log.FirstIndex(), 101);
+  EXPECT_EQ(log.LastIndex(), 100);
+  EXPECT_EQ(log.LastTerm(), 7);
+  EXPECT_TRUE(log.Matches(100, 7));
+  EXPECT_EQ(log.PayloadBytes(), 0u);
+  // Appends continue right after the snapshot point.
+  log.Append(MakeEntry(101, 7, 7));
+  EXPECT_EQ(log.LastIndex(), 101);
+}
+
+TEST(RaftLogDeathTest, NonContiguousAppendAborts) {
+  RaftLog log = LogWithEntries(2);
+  EXPECT_DEATH(log.Append(MakeEntry(5, 1, 1)), "continuous");
+}
+
+TEST(RaftLogDeathTest, DecreasingTermAborts) {
+  RaftLog log;
+  log.Append(MakeEntry(1, 5, 0));
+  EXPECT_DEATH(log.Append(MakeEntry(2, 4, 5)), "non-decreasing");
+}
+
+TEST(RaftLogDeathTest, WrongPrevTermAborts) {
+  RaftLog log;
+  log.Append(MakeEntry(1, 5, 0));
+  EXPECT_DEATH(log.Append(MakeEntry(2, 6, 4)), "prev_term");
+}
+
+}  // namespace
+}  // namespace nbraft::storage

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "storage/log_entry.h"
+#include "tsdb/ingest_record.h"
+#include "tsdb/state_machine.h"
+
+namespace nbraft::tsdb {
+namespace {
+
+storage::LogEntry IngestEntry(const std::vector<Measurement>& batch) {
+  static storage::LogIndex next = 1;
+  storage::LogEntry e;
+  e.index = next++;
+  e.term = 1;
+  EncodeIngestBatch(batch, 0, &e.payload);
+  return e;
+}
+
+TEST(AggregateRangeTest, EmptySeries) {
+  TsdbStateMachine sm;
+  auto agg = sm.AggregateRange(1, 0, 1000);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->count, 0u);
+  EXPECT_EQ(agg->Mean(), 0.0);
+}
+
+TEST(AggregateRangeTest, FullRangeOverMemtable) {
+  TsdbStateMachine sm;
+  sm.Apply(IngestEntry({{1, {100, 2.0}}, {1, {200, 4.0}}, {1, {300, 6.0}}}));
+  auto agg = sm.AggregateRange(1, 0, 1000);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->count, 3u);
+  EXPECT_EQ(agg->min, 2.0);
+  EXPECT_EQ(agg->max, 6.0);
+  EXPECT_EQ(agg->sum, 12.0);
+  EXPECT_EQ(agg->Mean(), 4.0);
+}
+
+TEST(AggregateRangeTest, BoundsAreInclusive) {
+  TsdbStateMachine sm;
+  sm.Apply(IngestEntry({{1, {100, 1.0}}, {1, {200, 2.0}}, {1, {300, 3.0}}}));
+  auto agg = sm.AggregateRange(1, 100, 200);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->count, 2u);
+  EXPECT_EQ(agg->sum, 3.0);
+}
+
+TEST(AggregateRangeTest, SpansChunksAndMemtable) {
+  TsdbStateMachine::Options options;
+  options.flush_threshold_points = 2;
+  TsdbStateMachine sm(options);
+  sm.Apply(IngestEntry({{1, {100, 10.0}}, {1, {200, 20.0}}}));  // Flushed.
+  sm.Apply(IngestEntry({{1, {300, 30.0}}}));                    // Buffered.
+  auto agg = sm.AggregateRange(1, 0, 1000);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->count, 3u);
+  EXPECT_EQ(agg->min, 10.0);
+  EXPECT_EQ(agg->max, 30.0);
+  EXPECT_EQ(agg->Mean(), 20.0);
+}
+
+TEST(AggregateRangeTest, ChunkPruningStillCorrect) {
+  TsdbStateMachine::Options options;
+  options.flush_threshold_points = 2;
+  TsdbStateMachine sm(options);
+  // Two chunks with disjoint time ranges.
+  sm.Apply(IngestEntry({{1, {100, 1.0}}, {1, {110, 2.0}}}));
+  sm.Apply(IngestEntry({{1, {5000, 50.0}}, {1, {5010, 60.0}}}));
+  // Query overlapping only the second chunk.
+  auto agg = sm.AggregateRange(1, 4000, 6000);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->count, 2u);
+  EXPECT_EQ(agg->min, 50.0);
+  EXPECT_EQ(agg->max, 60.0);
+}
+
+TEST(AggregateRangeTest, SeriesAreIsolated) {
+  TsdbStateMachine sm;
+  sm.Apply(IngestEntry({{1, {100, 1.0}}, {2, {100, 99.0}}}));
+  auto agg = sm.AggregateRange(1, 0, 1000);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->count, 1u);
+  EXPECT_EQ(agg->max, 1.0);
+}
+
+TEST(AggregateRangeTest, NegativeValuesAndRange) {
+  TsdbStateMachine sm;
+  sm.Apply(IngestEntry({{1, {-50, -3.5}}, {1, {0, 0.0}}, {1, {50, 3.5}}}));
+  auto agg = sm.AggregateRange(1, -100, 0);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->count, 2u);
+  EXPECT_EQ(agg->min, -3.5);
+  EXPECT_EQ(agg->max, 0.0);
+}
+
+}  // namespace
+}  // namespace nbraft::tsdb

@@ -1,0 +1,105 @@
+#include "tsdb/ingest_record.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace nbraft::tsdb {
+namespace {
+
+std::vector<Measurement> SampleBatch() {
+  return {
+      {1, {1000, 20.5}},
+      {2, {1001, -3.25}},
+      {1, {2000, 20.6}},
+  };
+}
+
+TEST(IngestRecordTest, RoundTrip) {
+  std::string buf;
+  EncodeIngestBatch(SampleBatch(), 0, &buf);
+  auto parsed = ParseIngestBatch(buf);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value(), SampleBatch());
+}
+
+TEST(IngestRecordTest, PaddingToTargetSize) {
+  std::string buf;
+  EncodeIngestBatch(SampleBatch(), 4096, &buf);
+  EXPECT_EQ(buf.size(), 4096u);
+  auto parsed = ParseIngestBatch(buf);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), SampleBatch());
+}
+
+TEST(IngestRecordTest, TargetSmallerThanNaturalKeepsNatural) {
+  std::string buf;
+  EncodeIngestBatch(SampleBatch(), 1, &buf);
+  auto parsed = ParseIngestBatch(buf);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 3u);
+}
+
+TEST(IngestRecordTest, EmptyBatch) {
+  std::string buf;
+  EncodeIngestBatch({}, 64, &buf);
+  EXPECT_EQ(buf.size(), 64u);
+  auto parsed = ParseIngestBatch(buf);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(IngestRecordTest, AppendsToExistingBuffer) {
+  std::string buf = "prefix";
+  EncodeIngestBatch(SampleBatch(), 0, &buf);
+  EXPECT_EQ(buf.substr(0, 6), "prefix");
+  auto parsed = ParseIngestBatch(std::string_view(buf).substr(6));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 3u);
+}
+
+TEST(IngestRecordTest, TruncatedFails) {
+  std::string buf;
+  EncodeIngestBatch(SampleBatch(), 0, &buf);
+  for (size_t keep = 0; keep + 10 < buf.size(); keep += 7) {
+    auto parsed = ParseIngestBatch(std::string_view(buf).substr(0, keep));
+    EXPECT_FALSE(parsed.ok()) << "kept " << keep;
+  }
+}
+
+TEST(IngestRecordTest, ImplausibleCountRejected) {
+  // A count claiming more measurements than bytes available.
+  std::string buf;
+  buf.push_back('\x7f');  // count = 127, no data.
+  auto parsed = ParseIngestBatch(buf);
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(IngestRecordTest, GarbageRejectedOrEmpty) {
+  auto parsed = ParseIngestBatch("");
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(IngestRecordTest, RandomizedRoundTrip) {
+  Rng rng(21);
+  for (int round = 0; round < 100; ++round) {
+    std::vector<Measurement> batch;
+    const size_t n = rng.NextBounded(40);
+    for (size_t i = 0; i < n; ++i) {
+      Measurement m;
+      m.series_id = rng.Next() >> rng.NextBounded(60);
+      m.point.timestamp = rng.NextInRange(-1'000'000, 2'000'000'000);
+      m.point.value = rng.NextGaussian(0, 1e4);
+      batch.push_back(m);
+    }
+    std::string buf;
+    const size_t target = rng.NextBounded(2048);
+    EncodeIngestBatch(batch, target, &buf);
+    auto parsed = ParseIngestBatch(buf);
+    ASSERT_TRUE(parsed.ok());
+    ASSERT_EQ(parsed.value(), batch);
+  }
+}
+
+}  // namespace
+}  // namespace nbraft::tsdb

@@ -1,0 +1,84 @@
+#include "tsdb/memtable.h"
+
+#include <gtest/gtest.h>
+
+namespace nbraft::tsdb {
+namespace {
+
+TEST(MemtableTest, StartsEmpty) {
+  Memtable mt;
+  EXPECT_TRUE(mt.Empty());
+  EXPECT_EQ(mt.point_count(), 0u);
+  EXPECT_EQ(mt.series_count(), 0u);
+  EXPECT_TRUE(mt.Scan(1).empty());
+}
+
+TEST(MemtableTest, InsertAndScan) {
+  Memtable mt;
+  mt.Insert(1, {100, 1.0});
+  mt.Insert(1, {200, 2.0});
+  mt.Insert(2, {100, 9.0});
+  EXPECT_EQ(mt.point_count(), 3u);
+  EXPECT_EQ(mt.series_count(), 2u);
+  const auto points = mt.Scan(1);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].timestamp, 100);
+  EXPECT_EQ(points[1].timestamp, 200);
+}
+
+TEST(MemtableTest, ScanSortsOutOfOrderInserts) {
+  Memtable mt;
+  mt.Insert(1, {300, 3.0});
+  mt.Insert(1, {100, 1.0});
+  mt.Insert(1, {200, 2.0});
+  const auto points = mt.Scan(1);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].timestamp, 100);
+  EXPECT_EQ(points[1].timestamp, 200);
+  EXPECT_EQ(points[2].timestamp, 300);
+}
+
+TEST(MemtableTest, DuplicateTimestampsPreservedStably) {
+  Memtable mt;
+  mt.Insert(1, {100, 1.0});
+  mt.Insert(1, {100, 2.0});
+  const auto points = mt.Scan(1);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].value, 1.0);
+  EXPECT_EQ(points[1].value, 2.0);
+}
+
+TEST(MemtableTest, FlushProducesSortedChunksAndClears) {
+  Memtable mt;
+  mt.Insert(2, {50, 5.0});
+  mt.Insert(1, {300, 3.0});
+  mt.Insert(1, {100, 1.0});
+  const auto chunks = mt.FlushAll();
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(chunks[0].series_id, 1u);
+  EXPECT_EQ(chunks[1].series_id, 2u);
+  EXPECT_EQ(chunks[0].point_count, 2u);
+  EXPECT_EQ(chunks[0].min_timestamp, 100);
+  EXPECT_EQ(chunks[0].max_timestamp, 300);
+  EXPECT_TRUE(mt.Empty());
+
+  auto decoded = chunks[0].Decode();
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ((*decoded)[0].timestamp, 100);
+  EXPECT_EQ((*decoded)[1].timestamp, 300);
+}
+
+TEST(MemtableTest, FlushEmptyYieldsNothing) {
+  Memtable mt;
+  EXPECT_TRUE(mt.FlushAll().empty());
+}
+
+TEST(MemtableTest, ApproximateBytesGrows) {
+  Memtable mt;
+  const size_t before = mt.ApproximateBytes();
+  for (int i = 0; i < 100; ++i) mt.Insert(1, {i, 0.0});
+  EXPECT_GT(mt.ApproximateBytes(), before + 100 * sizeof(Point) - 1);
+}
+
+}  // namespace
+}  // namespace nbraft::tsdb
