@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_jitter.dir/bench_ablation_jitter.cc.o"
+  "CMakeFiles/bench_ablation_jitter.dir/bench_ablation_jitter.cc.o.d"
+  "bench_ablation_jitter"
+  "bench_ablation_jitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

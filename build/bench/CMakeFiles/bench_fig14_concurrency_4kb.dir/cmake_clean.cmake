@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_concurrency_4kb.dir/bench_fig14_concurrency_4kb.cc.o"
+  "CMakeFiles/bench_fig14_concurrency_4kb.dir/bench_fig14_concurrency_4kb.cc.o.d"
+  "bench_fig14_concurrency_4kb"
+  "bench_fig14_concurrency_4kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_concurrency_4kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig14_concurrency_4kb.
+# This may be replaced when dependencies are built.

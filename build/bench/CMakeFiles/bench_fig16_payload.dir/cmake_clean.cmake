@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_payload.dir/bench_fig16_payload.cc.o"
+  "CMakeFiles/bench_fig16_payload.dir/bench_fig16_payload.cc.o.d"
+  "bench_fig16_payload"
+  "bench_fig16_payload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_payload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_concurrency_128kb.dir/bench_fig17_concurrency_128kb.cc.o"
+  "CMakeFiles/bench_fig17_concurrency_128kb.dir/bench_fig17_concurrency_128kb.cc.o.d"
+  "bench_fig17_concurrency_128kb"
+  "bench_fig17_concurrency_128kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_concurrency_128kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_dispatchers.dir/bench_fig18_dispatchers.cc.o"
+  "CMakeFiles/bench_fig18_dispatchers.dir/bench_fig18_dispatchers.cc.o.d"
+  "bench_fig18_dispatchers"
+  "bench_fig18_dispatchers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_dispatchers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

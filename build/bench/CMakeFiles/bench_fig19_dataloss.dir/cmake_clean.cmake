@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_dataloss.dir/bench_fig19_dataloss.cc.o"
+  "CMakeFiles/bench_fig19_dataloss.dir/bench_fig19_dataloss.cc.o.d"
+  "bench_fig19_dataloss"
+  "bench_fig19_dataloss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_dataloss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_failing_replicas.dir/bench_fig21_failing_replicas.cc.o"
+  "CMakeFiles/bench_fig21_failing_replicas.dir/bench_fig21_failing_replicas.cc.o.d"
+  "bench_fig21_failing_replicas"
+  "bench_fig21_failing_replicas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_failing_replicas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

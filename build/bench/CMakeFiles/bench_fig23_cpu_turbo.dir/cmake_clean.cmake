@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig23_cpu_turbo.dir/bench_fig23_cpu_turbo.cc.o"
+  "CMakeFiles/bench_fig23_cpu_turbo.dir/bench_fig23_cpu_turbo.cc.o.d"
+  "bench_fig23_cpu_turbo"
+  "bench_fig23_cpu_turbo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23_cpu_turbo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig23_cpu_turbo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iot_fleet_ingestion.dir/iot_fleet_ingestion.cpp.o"
+  "CMakeFiles/iot_fleet_ingestion.dir/iot_fleet_ingestion.cpp.o.d"
+  "iot_fleet_ingestion"
+  "iot_fleet_ingestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iot_fleet_ingestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

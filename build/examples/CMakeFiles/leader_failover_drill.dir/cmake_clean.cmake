@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leader_failover_drill.dir/leader_failover_drill.cpp.o"
+  "CMakeFiles/leader_failover_drill.dir/leader_failover_drill.cpp.o.d"
+  "leader_failover_drill"
+  "leader_failover_drill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leader_failover_drill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/nbraft_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/nbraft_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/raft/CMakeFiles/nbraft_raft.dir/DependInfo.cmake"
+  "/root/repo/build/src/craft/CMakeFiles/nbraft_craft.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/nbraft_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/nbraft/CMakeFiles/nbraft_nb.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsdb/CMakeFiles/nbraft_tsdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/nbraft_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nbraft_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nbraft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nbraft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("metrics")
+subdirs("sim")
+subdirs("net")
+subdirs("storage")
+subdirs("tsdb")
+subdirs("nbraft")
+subdirs("craft")
+subdirs("raft")
+subdirs("baselines")
+subdirs("petri")
+subdirs("harness")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbraft_baselines.dir/protocol_registry.cc.o"
+  "CMakeFiles/nbraft_baselines.dir/protocol_registry.cc.o.d"
+  "libnbraft_baselines.a"
+  "libnbraft_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbraft_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

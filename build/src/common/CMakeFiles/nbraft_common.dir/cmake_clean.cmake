@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbraft_common.dir/hash.cc.o"
+  "CMakeFiles/nbraft_common.dir/hash.cc.o.d"
+  "CMakeFiles/nbraft_common.dir/logging.cc.o"
+  "CMakeFiles/nbraft_common.dir/logging.cc.o.d"
+  "CMakeFiles/nbraft_common.dir/random.cc.o"
+  "CMakeFiles/nbraft_common.dir/random.cc.o.d"
+  "CMakeFiles/nbraft_common.dir/sim_time.cc.o"
+  "CMakeFiles/nbraft_common.dir/sim_time.cc.o.d"
+  "CMakeFiles/nbraft_common.dir/status.cc.o"
+  "CMakeFiles/nbraft_common.dir/status.cc.o.d"
+  "CMakeFiles/nbraft_common.dir/varint.cc.o"
+  "CMakeFiles/nbraft_common.dir/varint.cc.o.d"
+  "libnbraft_common.a"
+  "libnbraft_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbraft_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

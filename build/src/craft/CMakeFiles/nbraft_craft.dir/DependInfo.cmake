@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/craft/gf256.cc" "src/craft/CMakeFiles/nbraft_craft.dir/gf256.cc.o" "gcc" "src/craft/CMakeFiles/nbraft_craft.dir/gf256.cc.o.d"
+  "/root/repo/src/craft/reed_solomon.cc" "src/craft/CMakeFiles/nbraft_craft.dir/reed_solomon.cc.o" "gcc" "src/craft/CMakeFiles/nbraft_craft.dir/reed_solomon.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nbraft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbraft_craft.dir/gf256.cc.o"
+  "CMakeFiles/nbraft_craft.dir/gf256.cc.o.d"
+  "CMakeFiles/nbraft_craft.dir/reed_solomon.cc.o"
+  "CMakeFiles/nbraft_craft.dir/reed_solomon.cc.o.d"
+  "libnbraft_craft.a"
+  "libnbraft_craft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbraft_craft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbraft_harness.dir/cluster.cc.o"
+  "CMakeFiles/nbraft_harness.dir/cluster.cc.o.d"
+  "CMakeFiles/nbraft_harness.dir/experiment.cc.o"
+  "CMakeFiles/nbraft_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/nbraft_harness.dir/workload.cc.o"
+  "CMakeFiles/nbraft_harness.dir/workload.cc.o.d"
+  "libnbraft_harness.a"
+  "libnbraft_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbraft_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

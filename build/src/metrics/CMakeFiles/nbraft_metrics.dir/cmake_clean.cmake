@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbraft_metrics.dir/breakdown.cc.o"
+  "CMakeFiles/nbraft_metrics.dir/breakdown.cc.o.d"
+  "CMakeFiles/nbraft_metrics.dir/histogram.cc.o"
+  "CMakeFiles/nbraft_metrics.dir/histogram.cc.o.d"
+  "libnbraft_metrics.a"
+  "libnbraft_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbraft_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

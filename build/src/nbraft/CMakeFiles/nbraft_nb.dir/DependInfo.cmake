@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nbraft/sliding_window.cc" "src/nbraft/CMakeFiles/nbraft_nb.dir/sliding_window.cc.o" "gcc" "src/nbraft/CMakeFiles/nbraft_nb.dir/sliding_window.cc.o.d"
+  "/root/repo/src/nbraft/vote_list.cc" "src/nbraft/CMakeFiles/nbraft_nb.dir/vote_list.cc.o" "gcc" "src/nbraft/CMakeFiles/nbraft_nb.dir/vote_list.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nbraft_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/nbraft_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nbraft_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nbraft_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbraft_nb.dir/sliding_window.cc.o"
+  "CMakeFiles/nbraft_nb.dir/sliding_window.cc.o.d"
+  "CMakeFiles/nbraft_nb.dir/vote_list.cc.o"
+  "CMakeFiles/nbraft_nb.dir/vote_list.cc.o.d"
+  "libnbraft_nb.a"
+  "libnbraft_nb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbraft_nb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

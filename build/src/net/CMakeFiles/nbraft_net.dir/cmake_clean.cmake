@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbraft_net.dir/network.cc.o"
+  "CMakeFiles/nbraft_net.dir/network.cc.o.d"
+  "libnbraft_net.a"
+  "libnbraft_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbraft_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/petri/petri_net.cc" "src/petri/CMakeFiles/nbraft_petri.dir/petri_net.cc.o" "gcc" "src/petri/CMakeFiles/nbraft_petri.dir/petri_net.cc.o.d"
+  "/root/repo/src/petri/replication_model.cc" "src/petri/CMakeFiles/nbraft_petri.dir/replication_model.cc.o" "gcc" "src/petri/CMakeFiles/nbraft_petri.dir/replication_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nbraft_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/nbraft_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbraft_petri.dir/petri_net.cc.o"
+  "CMakeFiles/nbraft_petri.dir/petri_net.cc.o.d"
+  "CMakeFiles/nbraft_petri.dir/replication_model.cc.o"
+  "CMakeFiles/nbraft_petri.dir/replication_model.cc.o.d"
+  "libnbraft_petri.a"
+  "libnbraft_petri.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbraft_petri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/raft/raft_client.cc" "src/raft/CMakeFiles/nbraft_raft.dir/raft_client.cc.o" "gcc" "src/raft/CMakeFiles/nbraft_raft.dir/raft_client.cc.o.d"
+  "/root/repo/src/raft/raft_node.cc" "src/raft/CMakeFiles/nbraft_raft.dir/raft_node.cc.o" "gcc" "src/raft/CMakeFiles/nbraft_raft.dir/raft_node.cc.o.d"
+  "/root/repo/src/raft/types.cc" "src/raft/CMakeFiles/nbraft_raft.dir/types.cc.o" "gcc" "src/raft/CMakeFiles/nbraft_raft.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nbraft_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/craft/CMakeFiles/nbraft_craft.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/nbraft_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/nbraft/CMakeFiles/nbraft_nb.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nbraft_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nbraft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/nbraft_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsdb/CMakeFiles/nbraft_tsdb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

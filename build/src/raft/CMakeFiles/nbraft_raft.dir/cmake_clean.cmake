@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbraft_raft.dir/raft_client.cc.o"
+  "CMakeFiles/nbraft_raft.dir/raft_client.cc.o.d"
+  "CMakeFiles/nbraft_raft.dir/raft_node.cc.o"
+  "CMakeFiles/nbraft_raft.dir/raft_node.cc.o.d"
+  "CMakeFiles/nbraft_raft.dir/types.cc.o"
+  "CMakeFiles/nbraft_raft.dir/types.cc.o.d"
+  "libnbraft_raft.a"
+  "libnbraft_raft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbraft_raft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

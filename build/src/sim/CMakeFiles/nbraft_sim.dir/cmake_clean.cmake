@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbraft_sim.dir/cpu_executor.cc.o"
+  "CMakeFiles/nbraft_sim.dir/cpu_executor.cc.o.d"
+  "CMakeFiles/nbraft_sim.dir/simulator.cc.o"
+  "CMakeFiles/nbraft_sim.dir/simulator.cc.o.d"
+  "libnbraft_sim.a"
+  "libnbraft_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbraft_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnbraft_sim.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/durable_log.cc" "src/storage/CMakeFiles/nbraft_storage.dir/durable_log.cc.o" "gcc" "src/storage/CMakeFiles/nbraft_storage.dir/durable_log.cc.o.d"
+  "/root/repo/src/storage/log_entry.cc" "src/storage/CMakeFiles/nbraft_storage.dir/log_entry.cc.o" "gcc" "src/storage/CMakeFiles/nbraft_storage.dir/log_entry.cc.o.d"
+  "/root/repo/src/storage/raft_log.cc" "src/storage/CMakeFiles/nbraft_storage.dir/raft_log.cc.o" "gcc" "src/storage/CMakeFiles/nbraft_storage.dir/raft_log.cc.o.d"
+  "/root/repo/src/storage/wal.cc" "src/storage/CMakeFiles/nbraft_storage.dir/wal.cc.o" "gcc" "src/storage/CMakeFiles/nbraft_storage.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nbraft_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nbraft_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nbraft_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

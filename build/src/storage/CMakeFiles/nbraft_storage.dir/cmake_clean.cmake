@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbraft_storage.dir/durable_log.cc.o"
+  "CMakeFiles/nbraft_storage.dir/durable_log.cc.o.d"
+  "CMakeFiles/nbraft_storage.dir/log_entry.cc.o"
+  "CMakeFiles/nbraft_storage.dir/log_entry.cc.o.d"
+  "CMakeFiles/nbraft_storage.dir/raft_log.cc.o"
+  "CMakeFiles/nbraft_storage.dir/raft_log.cc.o.d"
+  "CMakeFiles/nbraft_storage.dir/wal.cc.o"
+  "CMakeFiles/nbraft_storage.dir/wal.cc.o.d"
+  "libnbraft_storage.a"
+  "libnbraft_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbraft_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tsdb/bitstream.cc" "src/tsdb/CMakeFiles/nbraft_tsdb.dir/bitstream.cc.o" "gcc" "src/tsdb/CMakeFiles/nbraft_tsdb.dir/bitstream.cc.o.d"
+  "/root/repo/src/tsdb/encoding.cc" "src/tsdb/CMakeFiles/nbraft_tsdb.dir/encoding.cc.o" "gcc" "src/tsdb/CMakeFiles/nbraft_tsdb.dir/encoding.cc.o.d"
+  "/root/repo/src/tsdb/ingest_record.cc" "src/tsdb/CMakeFiles/nbraft_tsdb.dir/ingest_record.cc.o" "gcc" "src/tsdb/CMakeFiles/nbraft_tsdb.dir/ingest_record.cc.o.d"
+  "/root/repo/src/tsdb/memtable.cc" "src/tsdb/CMakeFiles/nbraft_tsdb.dir/memtable.cc.o" "gcc" "src/tsdb/CMakeFiles/nbraft_tsdb.dir/memtable.cc.o.d"
+  "/root/repo/src/tsdb/state_machine.cc" "src/tsdb/CMakeFiles/nbraft_tsdb.dir/state_machine.cc.o" "gcc" "src/tsdb/CMakeFiles/nbraft_tsdb.dir/state_machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nbraft_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/nbraft_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nbraft_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nbraft_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

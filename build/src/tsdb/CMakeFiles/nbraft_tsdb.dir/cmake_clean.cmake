@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbraft_tsdb.dir/bitstream.cc.o"
+  "CMakeFiles/nbraft_tsdb.dir/bitstream.cc.o.d"
+  "CMakeFiles/nbraft_tsdb.dir/encoding.cc.o"
+  "CMakeFiles/nbraft_tsdb.dir/encoding.cc.o.d"
+  "CMakeFiles/nbraft_tsdb.dir/ingest_record.cc.o"
+  "CMakeFiles/nbraft_tsdb.dir/ingest_record.cc.o.d"
+  "CMakeFiles/nbraft_tsdb.dir/memtable.cc.o"
+  "CMakeFiles/nbraft_tsdb.dir/memtable.cc.o.d"
+  "CMakeFiles/nbraft_tsdb.dir/state_machine.cc.o"
+  "CMakeFiles/nbraft_tsdb.dir/state_machine.cc.o.d"
+  "libnbraft_tsdb.a"
+  "libnbraft_tsdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbraft_tsdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

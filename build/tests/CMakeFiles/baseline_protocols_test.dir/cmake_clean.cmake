@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_protocols_test.dir/raft/baseline_protocols_test.cc.o"
+  "CMakeFiles/baseline_protocols_test.dir/raft/baseline_protocols_test.cc.o.d"
+  "baseline_protocols_test"
+  "baseline_protocols_test.pdb"
+  "baseline_protocols_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_protocols_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

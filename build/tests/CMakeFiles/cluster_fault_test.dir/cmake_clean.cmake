@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_fault_test.dir/harness/cluster_fault_test.cc.o"
+  "CMakeFiles/cluster_fault_test.dir/harness/cluster_fault_test.cc.o.d"
+  "cluster_fault_test"
+  "cluster_fault_test.pdb"
+  "cluster_fault_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_executor_test.dir/sim/cpu_executor_test.cc.o"
+  "CMakeFiles/cpu_executor_test.dir/sim/cpu_executor_test.cc.o.d"
+  "cpu_executor_test"
+  "cpu_executor_test.pdb"
+  "cpu_executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

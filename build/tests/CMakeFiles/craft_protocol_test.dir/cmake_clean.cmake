@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/craft_protocol_test.dir/raft/craft_protocol_test.cc.o"
+  "CMakeFiles/craft_protocol_test.dir/raft/craft_protocol_test.cc.o.d"
+  "craft_protocol_test"
+  "craft_protocol_test.pdb"
+  "craft_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/craft_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

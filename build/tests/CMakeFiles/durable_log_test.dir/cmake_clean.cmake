@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durable_log_test.dir/storage/durable_log_test.cc.o"
+  "CMakeFiles/durable_log_test.dir/storage/durable_log_test.cc.o.d"
+  "durable_log_test"
+  "durable_log_test.pdb"
+  "durable_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durable_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

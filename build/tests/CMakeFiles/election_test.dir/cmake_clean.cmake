@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/election_test.dir/raft/election_test.cc.o"
+  "CMakeFiles/election_test.dir/raft/election_test.cc.o.d"
+  "election_test"
+  "election_test.pdb"
+  "election_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/election_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/follower_read_test.dir/raft/follower_read_test.cc.o"
+  "CMakeFiles/follower_read_test.dir/raft/follower_read_test.cc.o.d"
+  "follower_read_test"
+  "follower_read_test.pdb"
+  "follower_read_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/follower_read_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

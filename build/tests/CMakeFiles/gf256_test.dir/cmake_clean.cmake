@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf256_test.dir/craft/gf256_test.cc.o"
+  "CMakeFiles/gf256_test.dir/craft/gf256_test.cc.o.d"
+  "gf256_test"
+  "gf256_test.pdb"
+  "gf256_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf256_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

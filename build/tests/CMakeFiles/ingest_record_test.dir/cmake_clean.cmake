@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ingest_record_test.dir/tsdb/ingest_record_test.cc.o"
+  "CMakeFiles/ingest_record_test.dir/tsdb/ingest_record_test.cc.o.d"
+  "ingest_record_test"
+  "ingest_record_test.pdb"
+  "ingest_record_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ingest_record_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_entry_test.dir/storage/log_entry_test.cc.o"
+  "CMakeFiles/log_entry_test.dir/storage/log_entry_test.cc.o.d"
+  "log_entry_test"
+  "log_entry_test.pdb"
+  "log_entry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_entry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

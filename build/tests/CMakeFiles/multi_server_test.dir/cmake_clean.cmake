@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_server_test.dir/petri/multi_server_test.cc.o"
+  "CMakeFiles/multi_server_test.dir/petri/multi_server_test.cc.o.d"
+  "multi_server_test"
+  "multi_server_test.pdb"
+  "multi_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

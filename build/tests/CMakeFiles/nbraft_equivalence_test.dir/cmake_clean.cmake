@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbraft_equivalence_test.dir/raft/nbraft_equivalence_test.cc.o"
+  "CMakeFiles/nbraft_equivalence_test.dir/raft/nbraft_equivalence_test.cc.o.d"
+  "nbraft_equivalence_test"
+  "nbraft_equivalence_test.pdb"
+  "nbraft_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbraft_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

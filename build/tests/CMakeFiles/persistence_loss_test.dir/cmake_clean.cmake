@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistence_loss_test.dir/harness/persistence_loss_test.cc.o"
+  "CMakeFiles/persistence_loss_test.dir/harness/persistence_loss_test.cc.o.d"
+  "persistence_loss_test"
+  "persistence_loss_test.pdb"
+  "persistence_loss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistence_loss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

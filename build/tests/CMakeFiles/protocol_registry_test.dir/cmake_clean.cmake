@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_registry_test.dir/baselines/protocol_registry_test.cc.o"
+  "CMakeFiles/protocol_registry_test.dir/baselines/protocol_registry_test.cc.o.d"
+  "protocol_registry_test"
+  "protocol_registry_test.pdb"
+  "protocol_registry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

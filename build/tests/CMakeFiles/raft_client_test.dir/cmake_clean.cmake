@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raft_client_test.dir/raft/raft_client_test.cc.o"
+  "CMakeFiles/raft_client_test.dir/raft/raft_client_test.cc.o.d"
+  "raft_client_test"
+  "raft_client_test.pdb"
+  "raft_client_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raft_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

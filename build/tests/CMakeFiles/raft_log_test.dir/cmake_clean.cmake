@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raft_log_test.dir/storage/raft_log_test.cc.o"
+  "CMakeFiles/raft_log_test.dir/storage/raft_log_test.cc.o.d"
+  "raft_log_test"
+  "raft_log_test.pdb"
+  "raft_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raft_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

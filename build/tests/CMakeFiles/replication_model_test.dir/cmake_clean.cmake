@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replication_model_test.dir/petri/replication_model_test.cc.o"
+  "CMakeFiles/replication_model_test.dir/petri/replication_model_test.cc.o.d"
+  "replication_model_test"
+  "replication_model_test.pdb"
+  "replication_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replication_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/varint_test.dir/common/varint_test.cc.o"
+  "CMakeFiles/varint_test.dir/common/varint_test.cc.o.d"
+  "varint_test"
+  "varint_test.pdb"
+  "varint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/varint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vote_list_test.dir/nbraft/vote_list_test.cc.o"
+  "CMakeFiles/vote_list_test.dir/nbraft/vote_list_test.cc.o.d"
+  "vote_list_test"
+  "vote_list_test.pdb"
+  "vote_list_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vote_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
