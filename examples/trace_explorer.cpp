@@ -1,0 +1,160 @@
+// Per-entry lifecycle tracing, side by side for Raft and NB-Raft: runs
+// both protocols with the tracer + telemetry sampler attached, exports
+// Chrome trace_event JSON (open in chrome://tracing or
+// https://ui.perfetto.dev) plus a JSONL dump, and then validates the
+// traces themselves:
+//
+//   1. per-phase span totals agree with the end-of-run Breakdown the
+//      cluster collects from its nodes and clients (within 1%), and
+//   2. at least one entry's spans cover the full Table I lifecycle,
+//      t_gen(C) through t_apply(L).
+//
+// Exits non-zero if either check fails, so it doubles as an acceptance
+// test for the observability layer.
+//
+//   ./build/examples/trace_explorer [output_dir]
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+
+#include "harness/cluster.h"
+#include "metrics/breakdown.h"
+#include "obs/tracer.h"
+#include "raft/types.h"
+
+using namespace nbraft;
+
+namespace {
+
+struct TraceReport {
+  bool parity_ok = true;
+  bool coverage_ok = false;
+  int covered_entries = 0;  ///< Entries whose spans span all 11 phases.
+};
+
+// Joins client-keyed spans (request_id) with replication-keyed spans
+// (log index) through the leader's "indexed" instant and counts entries
+// whose union covers every phase.
+int CountFullyCoveredEntries(const obs::Tracer& tracer) {
+  std::map<uint64_t, std::set<int>> by_request;
+  std::map<int64_t, std::set<int>> by_index;
+  for (const obs::SpanEvent& s : tracer.spans()) {
+    const int phase = static_cast<int>(s.phase);
+    if (s.request_id != 0) by_request[s.request_id].insert(phase);
+    if (s.index != 0) by_index[s.index].insert(phase);
+  }
+  int covered = 0;
+  for (const obs::InstantEvent& e : tracer.instants()) {
+    if (std::string_view(e.name) != "indexed") continue;
+    // arg0 = log index, arg1 = request id.
+    std::set<int> phases;
+    if (auto it = by_request.find(static_cast<uint64_t>(e.arg1));
+        it != by_request.end()) {
+      phases = it->second;
+    }
+    if (auto it = by_index.find(e.arg0); it != by_index.end()) {
+      phases.insert(it->second.begin(), it->second.end());
+    }
+    if (static_cast<int>(phases.size()) == metrics::kNumPhases) ++covered;
+  }
+  return covered;
+}
+
+TraceReport Explore(raft::Protocol protocol, const std::string& out_dir) {
+  const std::string tag(raft::ProtocolName(protocol));
+  harness::ClusterConfig config;
+  config.num_nodes = 3;
+  config.num_clients = 8;
+  config.protocol = protocol;
+  config.payload_size = 1024;
+  config.client_think = Micros(50);
+  config.seed = 4242;
+  config.trace_path = out_dir + "/" + tag + ".trace.json";
+  config.trace_jsonl_path = out_dir + "/" + tag + ".trace.jsonl";
+  config.sample_interval = Millis(1);
+
+  harness::Cluster cluster(config);
+  cluster.Start();
+  if (!cluster.AwaitLeader()) {
+    std::fprintf(stderr, "%s: no leader elected\n", tag.c_str());
+    return TraceReport{.parity_ok = false};
+  }
+  cluster.StartClients();
+  cluster.RunFor(Millis(400));
+  cluster.StopAllClients();
+  cluster.RunFor(Millis(300));
+
+  const Status written = cluster.WriteTraces();
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s: %s\n", tag.c_str(),
+                 written.ToString().c_str());
+    return TraceReport{.parity_ok = false};
+  }
+
+  const obs::Tracer& tracer = *cluster.tracer();
+  const harness::ClusterStats stats = cluster.Collect();
+
+  std::printf("== %s ==\n", tag.c_str());
+  std::printf("  wrote %s (%zu spans, %zu instants, %zu samples)\n",
+              config.trace_path.c_str(), tracer.span_count(),
+              tracer.instant_count(), cluster.sampler()->samples().size());
+  if (tracer.spans_dropped() != 0) {
+    std::printf("  (ring evicted %llu spans; totals below remain exact)\n",
+                static_cast<unsigned long long>(tracer.spans_dropped()));
+  }
+  std::printf("  committed=%llu completed=%llu\n",
+              static_cast<unsigned long long>(stats.entries_committed_leader),
+              static_cast<unsigned long long>(stats.requests_completed));
+
+  // Check 1: the trace's per-phase totals reproduce the collected
+  // breakdown within 1%.
+  TraceReport report;
+  const metrics::Breakdown& traced = tracer.SpanBreakdown();
+  std::printf("  %-12s %14s %14s\n", "phase", "trace total", "breakdown");
+  for (int i = 0; i < metrics::kNumPhases; ++i) {
+    const auto phase = static_cast<metrics::Phase>(i);
+    const double a = static_cast<double>(traced.total(phase));
+    const double b = static_cast<double>(stats.breakdown.total(phase));
+    const double denom = std::max(b, 1.0);
+    const bool ok = std::fabs(a - b) / denom <= 0.01;
+    if (!ok) report.parity_ok = false;
+    std::printf("  %-12s %14.0f %14.0f%s\n",
+                std::string(metrics::PhaseNotation(phase)).c_str(), a, b,
+                ok ? "" : "  <-- MISMATCH");
+  }
+
+  // Check 2: at least one entry is traced across the entire lifecycle.
+  report.covered_entries = CountFullyCoveredEntries(tracer);
+  report.coverage_ok = report.covered_entries > 0;
+  std::printf("  entries covering all %d phases: %d\n\n", metrics::kNumPhases,
+              report.covered_entries);
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? argv[1] : ".";
+  bool ok = true;
+  for (const raft::Protocol protocol :
+       {raft::Protocol::kRaft, raft::Protocol::kNbRaft}) {
+    const TraceReport report = Explore(protocol, out_dir);
+    if (!report.parity_ok) {
+      std::fprintf(stderr, "FAIL: trace/breakdown totals diverge >1%%\n");
+      ok = false;
+    }
+    if (!report.coverage_ok) {
+      std::fprintf(stderr,
+                   "FAIL: no entry traced across the full lifecycle\n");
+      ok = false;
+    }
+  }
+  if (ok) {
+    std::printf("all trace checks passed; load the .trace.json files in "
+                "https://ui.perfetto.dev to explore.\n");
+  }
+  return ok ? 0 : 1;
+}

@@ -1,12 +1,16 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
+#include <string>
+#include <utility>
+
+#include "common/sim_time.h"
 
 namespace nbraft {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -30,18 +34,60 @@ const char* Basename(const char* file) {
   const char* slash = std::strrchr(file, '/');
   return slash != nullptr ? slash + 1 : file;
 }
+
+std::atomic<int> g_level{static_cast<int>(
+    ParseLogLevel(std::getenv("NBRAFT_LOG_LEVEL"), LogLevel::kWarn))};
+
+// Logging is used from the single-threaded simulator; a plain global is
+// enough for the clock hook.
+LogClock g_clock;
+
+int64_t WallNanosSinceFirstMessage() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
 }  // namespace
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
 
 void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
+LogLevel ParseLogLevel(const char* text, LogLevel fallback) {
+  if (text == nullptr || *text == '\0') return fallback;
+  if (text[0] >= '0' && text[0] <= '5' && text[1] == '\0') {
+    return static_cast<LogLevel>(text[0] - '0');
+  }
+  std::string lower;
+  for (const char* p = text; *p != '\0'; ++p) {
+    lower.push_back(static_cast<char>(
+        *p >= 'A' && *p <= 'Z' ? *p - 'A' + 'a' : *p));
+  }
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "fatal") return LogLevel::kFatal;
+  return fallback;
+}
+
+void SetLogClock(LogClock clock) { g_clock = std::move(clock); }
+
+void ClearLogClock() { g_clock = nullptr; }
+
+bool HasLogClock() { return static_cast<bool>(g_clock); }
+
 namespace internal_logging {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
-          << "] ";
+  const int64_t stamp =
+      g_clock ? g_clock() : WallNanosSinceFirstMessage();
+  stream_ << "[" << LevelName(level) << " " << FormatDuration(stamp) << " "
+          << Basename(file) << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {

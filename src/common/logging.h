@@ -1,7 +1,9 @@
 #ifndef NBRAFT_COMMON_LOGGING_H_
 #define NBRAFT_COMMON_LOGGING_H_
 
+#include <cstdint>
 #include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string_view>
@@ -21,9 +23,24 @@ enum class LogLevel : int {
 };
 
 /// Process-wide minimum level; messages below it are discarded.
-/// Defaults to kWarn so tests and benches stay quiet.
+/// Defaults to kWarn so tests and benches stay quiet; the NBRAFT_LOG_LEVEL
+/// environment variable (name like "debug"/"INFO" or integer 0-5) overrides
+/// the default at startup.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+/// Parses "trace"/"debug"/"info"/"warn"/"error"/"fatal" (any case) or an
+/// integer 0-5. Returns `fallback` on anything else (including nullptr).
+LogLevel ParseLogLevel(const char* text, LogLevel fallback);
+
+/// Clock used to timestamp log messages, returning nanoseconds. The harness
+/// installs the simulator's virtual clock so log output lines up with trace
+/// timestamps; without one, messages are stamped with wall time since the
+/// first message.
+using LogClock = std::function<int64_t()>;
+void SetLogClock(LogClock clock);
+void ClearLogClock();
+bool HasLogClock();
 
 namespace internal_logging {
 

@@ -23,6 +23,9 @@ std::unique_ptr<tsdb::StateMachine> MakeStateMachine(SystemProfile profile) {
 Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   NBRAFT_CHECK_GE(config_.num_nodes, 1);
   NBRAFT_CHECK_GE(config_.num_clients, 0);
+  if (!config_.trace_path.empty() || !config_.trace_jsonl_path.empty()) {
+    config_.trace = true;
+  }
   sim_ = std::make_unique<sim::Simulator>(config_.seed);
   network_ = std::make_unique<net::SimNetwork>(sim_.get(), config_.network);
 
@@ -81,12 +84,101 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
         client_options,
         [workload](size_t target) { return workload->MakePayload(target); }));
   }
+
+  SetupObservability();
 }
 
-Cluster::~Cluster() = default;
+Cluster::~Cluster() {
+  if (owns_log_clock_) ClearLogClock();
+}
+
+void Cluster::SetupObservability() {
+  // Log stamps follow virtual time for the duration of this cluster, so
+  // NBRAFT_LOG output can be lined up with trace timestamps.
+  if (!HasLogClock()) {
+    SetLogClock([sim = sim_.get()]() { return sim->Now(); });
+    owns_log_clock_ = true;
+  }
+
+  if (!config_.trace && config_.sample_interval <= 0) return;
+  registry_ = std::make_unique<obs::Registry>();
+
+  if (config_.trace) {
+    obs::Tracer::Options topts;
+    topts.span_capacity = config_.trace_span_capacity;
+    topts.instant_capacity = config_.trace_instant_capacity;
+    tracer_ = std::make_unique<obs::Tracer>(sim_.get(), topts);
+    network_->set_tracer(tracer_.get());
+    for (auto& node : nodes_) node->set_tracer(tracer_.get());
+    for (auto& client : clients_) client->set_tracer(tracer_.get());
+  }
+
+  if (config_.sample_interval > 0) {
+    registry_->AddSource("window_occupancy", [this]() {
+      size_t total = 0;
+      for (const auto& node : nodes_) total += node->window().size();
+      return static_cast<double>(total);
+    });
+    registry_->AddSource("commit_index", [this]() {
+      storage::LogIndex max_commit = 0;
+      for (const auto& node : nodes_) {
+        max_commit = std::max(max_commit, node->commit_index());
+      }
+      return static_cast<double>(max_commit);
+    });
+    registry_->AddSource("apply_lag", [this]() {
+      int64_t lag = 0;
+      for (const auto& node : nodes_) {
+        lag += node->commit_index() - node->applied_index();
+      }
+      return static_cast<double>(lag);
+    });
+    registry_->AddSource("dispatcher_queue_depth", [this]() {
+      size_t total = 0;
+      for (const auto& node : nodes_) total += node->DispatcherQueueDepth();
+      return static_cast<double>(total);
+    });
+    registry_->AddSource("inflight_rpcs", [this]() {
+      size_t total = 0;
+      for (const auto& node : nodes_) total += node->OutstandingRpcCount();
+      return static_cast<double>(total);
+    });
+    registry_->AddSource("nic_bytes_sent", [this]() {
+      return static_cast<double>(network_->bytes_sent());
+    });
+    sampler_ = std::make_unique<obs::Sampler>(sim_.get(), registry_.get(),
+                                              config_.sample_interval);
+  }
+}
+
+std::string Cluster::EndpointName(int32_t id) const {
+  if (id >= net::kClientIdBase) {
+    return "client " + std::to_string(id - net::kClientIdBase);
+  }
+  return "node " + std::to_string(id);
+}
+
+Status Cluster::WriteTraces() const {
+  if (tracer_ == nullptr) return Status::Ok();
+  obs::ExportInputs inputs;
+  inputs.tracer = tracer_.get();
+  inputs.registry = registry_.get();
+  inputs.sampler = sampler_.get();
+  inputs.endpoint_name = [this](int32_t id) { return EndpointName(id); };
+  if (!config_.trace_path.empty()) {
+    Status s = obs::WriteChromeTrace(config_.trace_path, inputs);
+    if (!s.ok()) return s;
+  }
+  if (!config_.trace_jsonl_path.empty()) {
+    Status s = obs::WriteJsonl(config_.trace_jsonl_path, inputs);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
 
 void Cluster::Start() {
   for (auto& node : nodes_) node->Start();
+  if (sampler_ != nullptr) sampler_->Start();
   // Bootstrap: node 0 stands for election immediately instead of waiting a
   // full randomized timeout.
   sim_->After(Millis(1), [this]() { nodes_[0]->TriggerElection(); });

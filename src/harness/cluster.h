@@ -10,6 +10,9 @@
 #include "metrics/breakdown.h"
 #include "metrics/histogram.h"
 #include "net/network.h"
+#include "obs/exporter.h"
+#include "obs/registry.h"
+#include "obs/tracer.h"
 #include "raft/raft_client.h"
 #include "raft/raft_node.h"
 #include "raft/types.h"
@@ -55,6 +58,27 @@ struct ClusterConfig {
 
   /// Free applied payload bytes (keep on for long throughput runs).
   bool release_payloads = true;
+
+  // ---- Observability ----
+
+  /// Enables the per-entry lifecycle tracer (implied by a non-empty
+  /// trace path). Off by default: untraced runs pay a single null check.
+  bool trace = false;
+
+  /// Where WriteTraces() puts the Chrome trace_event JSON ("" = skip).
+  /// Open it in chrome://tracing or https://ui.perfetto.dev.
+  std::string trace_path;
+
+  /// Where WriteTraces() puts the flat JSONL dump ("" = skip).
+  std::string trace_jsonl_path;
+
+  /// Telemetry sampling period for window occupancy / commit lag / queue
+  /// depth / in-flight RPCs / NIC bytes (0 = sampler off).
+  SimDuration sample_interval = 0;
+
+  /// Ring-buffer capacities for the tracer.
+  size_t trace_span_capacity = 1 << 20;
+  size_t trace_instant_capacity = 1 << 18;
 };
 
 /// Aggregated run metrics.
@@ -124,6 +148,17 @@ class Cluster {
   /// Marks the start of the measurement window (resets client stats).
   void ResetMeasurement();
 
+  // ---- Observability ----
+
+  /// Lifecycle tracer (nullptr unless ClusterConfig enabled tracing).
+  obs::Tracer* tracer() { return tracer_.get(); }
+  obs::Registry* registry() { return registry_.get(); }
+  obs::Sampler* sampler() { return sampler_.get(); }
+
+  /// Writes the Chrome trace_event JSON and/or JSONL dump to the paths in
+  /// the config. No-op Ok when tracing is off or both paths are empty.
+  Status WriteTraces() const;
+
   /// Aggregates node + client metrics.
   ClusterStats Collect() const;
 
@@ -145,12 +180,20 @@ class Cluster {
   uint64_t TotalRequestsIssued() const;
 
  private:
+  void SetupObservability();
+  std::string EndpointName(int32_t id) const;
+
   ClusterConfig config_;
   std::unique_ptr<sim::Simulator> sim_;
   std::unique_ptr<net::SimNetwork> network_;
   std::vector<std::unique_ptr<raft::RaftNode>> nodes_;
   std::vector<std::unique_ptr<raft::RaftClient>> clients_;
   std::vector<std::unique_ptr<IngestWorkload>> workloads_;
+
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::Registry> registry_;
+  std::unique_ptr<obs::Sampler> sampler_;
+  bool owns_log_clock_ = false;
 };
 
 }  // namespace nbraft::harness

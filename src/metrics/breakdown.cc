@@ -100,4 +100,20 @@ std::string Breakdown::ToTable() const {
   return out;
 }
 
+std::string Breakdown::ToJson() const {
+  std::string out = "{";
+  char item[96];
+  for (int i = 0; i < kNumPhases; ++i) {
+    const auto phase = static_cast<Phase>(i);
+    std::snprintf(item, sizeof(item), "\"%s\":%lld,",
+                  std::string(PhaseNotation(phase)).c_str(),
+                  static_cast<long long>(total(phase)));
+    out += item;
+  }
+  std::snprintf(item, sizeof(item), "\"grand_total\":%lld}",
+                static_cast<long long>(GrandTotal()));
+  out += item;
+  return out;
+}
+
 }  // namespace nbraft::metrics

@@ -62,6 +62,11 @@ class Breakdown {
   /// Multi-line table of phase proportions, largest first (Fig. 4 style).
   std::string ToTable() const;
 
+  /// JSON object keyed by paper notation, values in nanoseconds, e.g.
+  /// {"t_gen(C)":1234,...,"grand_total":56789}. Zero phases included so the
+  /// key set is stable across runs.
+  std::string ToJson() const;
+
  private:
   std::array<SimDuration, kNumPhases> total_;
 };

@@ -91,4 +91,17 @@ std::string Histogram::Summary() const {
   return buf;
 }
 
+std::string Histogram::ToJson() const {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"count\":%llu,\"min\":%lld,\"max\":%lld,\"mean\":%.1f,"
+      "\"p50\":%lld,\"p95\":%lld,\"p99\":%lld}",
+      static_cast<unsigned long long>(count_),
+      static_cast<long long>(min()), static_cast<long long>(max_), Mean(),
+      static_cast<long long>(P50()), static_cast<long long>(P95()),
+      static_cast<long long>(P99()));
+  return buf;
+}
+
 }  // namespace nbraft::metrics

@@ -47,6 +47,11 @@ class Histogram {
   /// One-line summary, e.g. "n=1000 mean=1.2ms p50=1.0ms p99=4.1ms max=9ms".
   std::string Summary() const;
 
+  /// Compact JSON object: {"count":...,"min":...,"max":...,"mean":...,
+  /// "p50":...,"p95":...,"p99":...}. Durations stay in raw nanoseconds so
+  /// downstream tooling doesn't have to parse unit suffixes.
+  std::string ToJson() const;
+
  private:
   static constexpr int kSubBucketBits = 4;  // 16 sub-buckets per octave.
   static constexpr int kSubBuckets = 1 << kSubBucketBits;

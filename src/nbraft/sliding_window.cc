@@ -20,14 +20,23 @@ void SlidingWindow::Insert(const storage::LogEntry& entry) {
   const auto pred = entries_.find(entry.index - 1);
   if (pred != entries_.end() && pred->second.term != entry.prev_term) {
     entries_.erase(pred);
+    if (observer_ != nullptr) {
+      observer_->OnEvict(entry.index - 1, entries_.size());
+    }
   }
   // Successor continuity: if the new entry is not the successor's previous
   // entry, the successor and everything after it are stale (Fig. 8).
   const auto succ = entries_.find(entry.index + 1);
   if (succ != entries_.end() && succ->second.prev_term != entry.term) {
     entries_.erase(succ, entries_.end());
+    if (observer_ != nullptr) {
+      observer_->OnEvict(entry.index + 1, entries_.size());
+    }
   }
   entries_[entry.index] = entry;
+  if (observer_ != nullptr) {
+    observer_->OnInsert(entry.index, entries_.size());
+  }
 }
 
 std::vector<storage::LogEntry> SlidingWindow::TakeFlushablePrefix(
@@ -43,6 +52,9 @@ std::vector<storage::LogEntry> SlidingWindow::TakeFlushablePrefix(
     out.push_back(std::move(it->second));
     entries_.erase(it);
   }
+  if (observer_ != nullptr && !out.empty()) {
+    observer_->OnFlush(last_index + 1, out.size(), entries_.size());
+  }
   return out;
 }
 
@@ -52,7 +64,9 @@ void SlidingWindow::OnLogReshaped(storage::LogIndex new_last,
   for (auto it = entries_.begin(); it != entries_.end();) {
     const storage::LogEntry& e = it->second;
     if (e.index <= new_last || e.index > window_end || e.term < min_term) {
+      const storage::LogIndex evicted = e.index;
       it = entries_.erase(it);
+      if (observer_ != nullptr) observer_->OnEvict(evicted, entries_.size());
     } else {
       ++it;
     }

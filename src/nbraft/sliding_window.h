@@ -22,9 +22,25 @@ namespace nbraft::raft {
 /// replay the paper's Figs. 7, 8 and 9 literally.
 class SlidingWindow {
  public:
+  /// Observability hook: the tracing layer subscribes to the window's
+  /// state transitions (insert / continuity eviction / flush) without the
+  /// window needing a clock or a tracer of its own. Callbacks fire after
+  /// the mutation, with the resulting occupancy.
+  class Observer {
+   public:
+    virtual ~Observer() = default;
+    virtual void OnInsert(storage::LogIndex index, size_t occupancy) = 0;
+    virtual void OnEvict(storage::LogIndex index, size_t occupancy) = 0;
+    virtual void OnFlush(storage::LogIndex first, size_t count,
+                         size_t occupancy) = 0;
+  };
+
   /// `capacity` is the paper's window size w; 0 degenerates to original
   /// Raft (nothing can ever be cached).
   explicit SlidingWindow(int capacity);
+
+  /// nullptr detaches. The window does not own the observer.
+  void set_observer(Observer* observer) { observer_ = observer; }
 
   int capacity() const { return capacity_; }
   size_t size() const { return entries_.size(); }
@@ -72,6 +88,7 @@ class SlidingWindow {
  private:
   int capacity_;
   std::map<storage::LogIndex, storage::LogEntry> entries_;
+  Observer* observer_ = nullptr;
 };
 
 }  // namespace nbraft::raft

@@ -49,7 +49,14 @@ SimTime SimNetwork::Send(NodeId from, NodeId to, size_t bytes,
   if (down_nodes_.count(from) > 0 || down_nodes_.count(to) > 0 ||
       LinkBlocked(from, to) || rng_.NextBool(config_.drop_probability)) {
     ++messages_dropped_;
+    if (tracer_ != nullptr) {
+      tracer_->RecordInstant("net_drop", from, to,
+                             static_cast<int64_t>(bytes));
+    }
     return -1;
+  }
+  if (tracer_ != nullptr) {
+    tracer_->RecordInstant("net_send", from, to, static_cast<int64_t>(bytes));
   }
 
   const SimTime now = sim_->Now();
@@ -89,14 +96,26 @@ SimTime SimNetwork::Send(NodeId from, NodeId to, size_t bytes,
     sim_->At(rx_done, [this, msg = std::move(msg)]() mutable {
       if (down_nodes_.count(msg.to) > 0) {
         ++messages_dropped_;
+        if (tracer_ != nullptr) {
+          tracer_->RecordInstant("net_drop", msg.to, msg.from,
+                                 static_cast<int64_t>(msg.bytes));
+        }
         return;
       }
       const auto it = handlers_.find(msg.to);
       if (it == handlers_.end()) {
         ++messages_dropped_;
+        if (tracer_ != nullptr) {
+          tracer_->RecordInstant("net_drop", msg.to, msg.from,
+                                 static_cast<int64_t>(msg.bytes));
+        }
         return;
       }
       ++messages_delivered_;
+      if (tracer_ != nullptr) {
+        tracer_->RecordInstant("net_recv", msg.to, msg.from,
+                               static_cast<int64_t>(msg.bytes));
+      }
       it->second(std::move(msg));
     });
   });

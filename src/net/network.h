@@ -12,6 +12,7 @@
 
 #include "common/random.h"
 #include "common/sim_time.h"
+#include "obs/tracer.h"
 #include "sim/simulator.h"
 
 namespace nbraft::net {
@@ -93,6 +94,12 @@ class SimNetwork {
   const NetworkConfig& config() const { return config_; }
   void set_drop_probability(double p) { config_.drop_probability = p; }
 
+  /// Attaches the lifecycle tracer (nullptr = off, the default). Emits
+  /// `net_send` / `net_recv` (arg0 = peer, arg1 = bytes) and `net_drop`
+  /// instants. Purely observational: delivery order and timing are
+  /// unaffected.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t messages_delivered() const { return messages_delivered_; }
   uint64_t messages_dropped() const { return messages_dropped_; }
@@ -118,6 +125,7 @@ class SimNetwork {
   std::unordered_set<uint64_t> cut_links_;
   std::unordered_map<uint64_t, SimDuration> pair_latency_;
   nbraft::Rng rng_;
+  obs::Tracer* tracer_ = nullptr;
 
   uint64_t messages_sent_ = 0;
   uint64_t messages_delivered_ = 0;

@@ -1,0 +1,186 @@
+#include "obs/exporter.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <utility>
+
+namespace nbraft::obs {
+
+namespace {
+
+constexpr int kInstantTid = 99;  ///< Shared track for point events per pid.
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+double ToTraceUs(SimTime t) { return static_cast<double>(t) / 1000.0; }
+
+std::string DefaultEndpointName(int32_t id) {
+  return "endpoint " + std::to_string(id);
+}
+
+std::function<std::string(int32_t)> Namer(const ExportInputs& inputs) {
+  return inputs.endpoint_name ? inputs.endpoint_name : DefaultEndpointName;
+}
+
+}  // namespace
+
+Status WriteChromeTrace(const std::string& path,
+                        const ExportInputs& inputs) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (f == nullptr) {
+    return Status::IoError("cannot open trace file " + path);
+  }
+  const auto name_of = Namer(inputs);
+
+  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", f.get());
+  bool first = true;
+  const auto sep = [&first, &f]() {
+    if (!first) std::fputs(",\n", f.get());
+    first = false;
+  };
+
+  std::set<int32_t> pids;
+  std::set<std::pair<int32_t, int>> phase_tracks;
+  if (inputs.tracer != nullptr) {
+    for (const SpanEvent& s : inputs.tracer->spans()) {
+      pids.insert(s.node);
+      phase_tracks.emplace(s.node, static_cast<int>(s.phase));
+      sep();
+      std::fprintf(
+          f.get(),
+          "{\"name\":\"%s\",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":%.3f,"
+          "\"dur\":%.3f,\"pid\":%d,\"tid\":%d,\"args\":{\"term\":%" PRId64
+          ",\"index\":%" PRId64 ",\"request_id\":%" PRIu64 "}}",
+          std::string(metrics::PhaseNotation(s.phase)).c_str(),
+          ToTraceUs(s.start), ToTraceUs(s.end - s.start), s.node,
+          static_cast<int>(s.phase), s.term, s.index, s.request_id);
+    }
+    for (const InstantEvent& e : inputs.tracer->instants()) {
+      pids.insert(e.node);
+      sep();
+      std::fprintf(f.get(),
+                   "{\"name\":\"%s\",\"cat\":\"event\",\"ph\":\"i\","
+                   "\"s\":\"p\",\"ts\":%.3f,\"pid\":%d,\"tid\":%d,"
+                   "\"args\":{\"arg0\":%" PRId64 ",\"arg1\":%" PRId64 "}}",
+                   e.name, ToTraceUs(e.at), e.node, kInstantTid, e.arg0,
+                   e.arg1);
+    }
+  }
+
+  if (inputs.sampler != nullptr) {
+    const auto& names = inputs.sampler->series_names();
+    for (const Sampler::Sample& sample : inputs.sampler->samples()) {
+      for (size_t i = 0; i < names.size() && i < sample.values.size(); ++i) {
+        sep();
+        std::fprintf(f.get(),
+                     "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":0,"
+                     "\"args\":{\"value\":%.6g}}",
+                     names[i].c_str(), ToTraceUs(sample.at),
+                     sample.values[i]);
+      }
+    }
+  }
+
+  // Metadata: human-readable process and track names.
+  for (const int32_t pid : pids) {
+    sep();
+    std::fprintf(f.get(),
+                 "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                 "\"args\":{\"name\":\"%s\"}}",
+                 pid, name_of(pid).c_str());
+    sep();
+    std::fprintf(f.get(),
+                 "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,"
+                 "\"tid\":%d,\"args\":{\"name\":\"events\"}}",
+                 pid, kInstantTid);
+  }
+  for (const auto& [pid, phase] : phase_tracks) {
+    sep();
+    std::fprintf(
+        f.get(),
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,"
+        "\"args\":{\"name\":\"%s\"}}",
+        pid, phase,
+        std::string(metrics::PhaseNotation(static_cast<metrics::Phase>(phase)))
+            .c_str());
+  }
+
+  std::fputs("\n]}\n", f.get());
+  if (std::ferror(f.get()) != 0) {
+    return Status::IoError("write failed for " + path);
+  }
+  return Status::Ok();
+}
+
+Status WriteJsonl(const std::string& path, const ExportInputs& inputs) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (f == nullptr) {
+    return Status::IoError("cannot open trace file " + path);
+  }
+
+  if (inputs.tracer != nullptr) {
+    const Tracer& t = *inputs.tracer;
+    std::fprintf(f.get(),
+                 "{\"type\":\"meta\",\"spans_recorded\":%" PRIu64
+                 ",\"spans_dropped\":%" PRIu64 ",\"instants_recorded\":%" PRIu64
+                 ",\"instants_dropped\":%" PRIu64 "}\n",
+                 t.spans_recorded(), t.spans_dropped(), t.instants_recorded(),
+                 t.instants_dropped());
+    for (const SpanEvent& s : t.spans()) {
+      std::fprintf(f.get(),
+                   "{\"type\":\"span\",\"phase\":\"%s\",\"node\":%d,"
+                   "\"term\":%" PRId64 ",\"index\":%" PRId64
+                   ",\"request_id\":%" PRIu64 ",\"start_ns\":%" PRId64
+                   ",\"end_ns\":%" PRId64 "}\n",
+                   std::string(metrics::PhaseNotation(s.phase)).c_str(),
+                   s.node, s.term, s.index, s.request_id, s.start, s.end);
+    }
+    for (const InstantEvent& e : t.instants()) {
+      std::fprintf(f.get(),
+                   "{\"type\":\"instant\",\"name\":\"%s\",\"node\":%d,"
+                   "\"at_ns\":%" PRId64 ",\"arg0\":%" PRId64
+                   ",\"arg1\":%" PRId64 "}\n",
+                   e.name, e.node, e.at, e.arg0, e.arg1);
+    }
+  }
+
+  if (inputs.sampler != nullptr) {
+    const auto& names = inputs.sampler->series_names();
+    for (const Sampler::Sample& sample : inputs.sampler->samples()) {
+      for (size_t i = 0; i < names.size() && i < sample.values.size(); ++i) {
+        std::fprintf(f.get(),
+                     "{\"type\":\"sample\",\"series\":\"%s\",\"at_ns\":%" PRId64
+                     ",\"value\":%.6g}\n",
+                     names[i].c_str(), sample.at, sample.values[i]);
+      }
+    }
+  }
+
+  if (inputs.registry != nullptr) {
+    for (const auto& [name, value] : inputs.registry->CounterValues()) {
+      std::fprintf(f.get(),
+                   "{\"type\":\"counter\",\"name\":\"%s\",\"value\":%" PRId64
+                   "}\n",
+                   name.c_str(), value);
+    }
+    for (const auto& [name, value] : inputs.registry->GaugeValues()) {
+      std::fprintf(f.get(),
+                   "{\"type\":\"gauge\",\"name\":\"%s\",\"value\":%.6g}\n",
+                   name.c_str(), value);
+    }
+  }
+
+  if (std::ferror(f.get()) != 0) {
+    return Status::IoError("write failed for " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace nbraft::obs

@@ -1,0 +1,37 @@
+#ifndef NBRAFT_OBS_EXPORTER_H_
+#define NBRAFT_OBS_EXPORTER_H_
+
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "obs/registry.h"
+#include "obs/tracer.h"
+
+namespace nbraft::obs {
+
+/// What to export. Any member may be nullptr; the exporters skip it.
+struct ExportInputs {
+  const Tracer* tracer = nullptr;
+  const Registry* registry = nullptr;
+  const Sampler* sampler = nullptr;
+
+  /// Maps an endpoint id to a display name ("node 2", "client 17"). The
+  /// default labels everything "endpoint N".
+  std::function<std::string(int32_t)> endpoint_name;
+};
+
+/// Writes a Chrome `trace_event` JSON file loadable in chrome://tracing or
+/// https://ui.perfetto.dev. Spans become "X" (complete) events — one track
+/// per (endpoint, phase) — instants become "i" events, and sampler series
+/// become "C" counter tracks. Virtual-time nanoseconds map to trace
+/// microseconds.
+Status WriteChromeTrace(const std::string& path, const ExportInputs& inputs);
+
+/// Writes a flat JSONL dump (one JSON object per line, `type` field keyed)
+/// for scripts: spans, instants, samples, counters, gauges.
+Status WriteJsonl(const std::string& path, const ExportInputs& inputs);
+
+}  // namespace nbraft::obs
+
+#endif  // NBRAFT_OBS_EXPORTER_H_

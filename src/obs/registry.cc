@@ -1,0 +1,85 @@
+#include "obs/registry.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace nbraft::obs {
+
+Counter* Registry::GetCounter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return &it->second;
+  return &counters_.emplace(std::string(name), Counter{}).first->second;
+}
+
+Gauge* Registry::GetGauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return &it->second;
+  return &gauges_.emplace(std::string(name), Gauge{}).first->second;
+}
+
+void Registry::AddSource(std::string name, std::function<double()> read) {
+  NBRAFT_CHECK(read != nullptr);
+  sources_.push_back(Source{std::move(name), std::move(read)});
+}
+
+std::vector<std::pair<std::string, int64_t>> Registry::CounterValues() const {
+  std::vector<std::pair<std::string, int64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter.value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> Registry::GaugeValues() const {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.emplace_back(name, gauge.value());
+  }
+  return out;
+}
+
+Sampler::Sampler(sim::Simulator* sim, Registry* registry,
+                 SimDuration interval)
+    : sim_(sim), registry_(registry), interval_(interval) {
+  NBRAFT_CHECK(sim != nullptr);
+  NBRAFT_CHECK(registry != nullptr);
+  NBRAFT_CHECK_GT(interval, 0);
+}
+
+Sampler::~Sampler() { Stop(); }
+
+void Sampler::Start() {
+  if (running_) return;
+  running_ = true;
+  names_.clear();
+  names_.reserve(registry_->sources().size());
+  for (const auto& source : registry_->sources()) {
+    names_.push_back(source.name);
+  }
+  Tick();
+}
+
+void Sampler::Stop() {
+  running_ = false;
+  sim_->Cancel(tick_event_);
+  tick_event_ = sim::kInvalidEventId;
+}
+
+void Sampler::Tick() {
+  if (!running_) return;
+  Sample sample;
+  sample.at = sim_->Now();
+  sample.values.reserve(names_.size());
+  // Only the sources frozen at Start() are read, even if more were added
+  // since — keeps every Sample parallel to series_names().
+  for (size_t i = 0; i < names_.size(); ++i) {
+    sample.values.push_back(registry_->sources()[i].read());
+  }
+  samples_.push_back(std::move(sample));
+  tick_event_ = sim_->After(interval_, [this]() { Tick(); });
+}
+
+}  // namespace nbraft::obs

@@ -1,0 +1,115 @@
+#ifndef NBRAFT_OBS_REGISTRY_H_
+#define NBRAFT_OBS_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "sim/simulator.h"
+
+namespace nbraft::obs {
+
+/// Monotonic named counter. Obtained from a Registry; pointers stay valid
+/// for the registry's lifetime.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) { value_ += delta; }
+  void Set(int64_t value) { value_ = value; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+/// Last-write-wins named gauge.
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Live telemetry registry: named counters and gauges created on demand,
+/// plus pull-style sample sources the Sampler reads on its virtual-time
+/// tick (window occupancy, commit lag, queue depths, NIC bytes, ...).
+/// Single-threaded, like everything driven by the simulator.
+class Registry {
+ public:
+  struct Source {
+    std::string name;
+    std::function<double()> read;
+  };
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Create-on-demand lookup; the returned pointer is stable.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+
+  /// Registers a pull source sampled by the Sampler. Sources are read in
+  /// registration order (deterministic).
+  void AddSource(std::string name, std::function<double()> read);
+
+  const std::vector<Source>& sources() const { return sources_; }
+
+  /// Name-sorted snapshots, for the exporters.
+  std::vector<std::pair<std::string, int64_t>> CounterValues() const;
+  std::vector<std::pair<std::string, double>> GaugeValues() const;
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::vector<Source> sources_;
+};
+
+/// Periodically snapshots every Registry source on the simulator's virtual
+/// clock. The sample stream is what the exporters turn into Chrome-trace
+/// counter tracks (window occupancy over time, queue depth over time, ...).
+///
+/// The sampler only *reads* cluster state — scheduling its tick events must
+/// not perturb a run (the trace-parity test pins this down).
+class Sampler {
+ public:
+  struct Sample {
+    SimTime at = 0;
+    std::vector<double> values;  ///< Parallel to series_names().
+  };
+
+  Sampler(sim::Simulator* sim, Registry* registry, SimDuration interval);
+  ~Sampler();
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Takes an immediate sample and schedules the periodic tick. The source
+  /// list is frozen at Start().
+  void Start();
+  void Stop();
+
+  SimDuration interval() const { return interval_; }
+  const std::vector<std::string>& series_names() const { return names_; }
+  const std::vector<Sample>& samples() const { return samples_; }
+
+ private:
+  void Tick();
+
+  sim::Simulator* sim_;
+  Registry* registry_;
+  SimDuration interval_;
+  bool running_ = false;
+  sim::EventId tick_event_ = sim::kInvalidEventId;
+  std::vector<std::string> names_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace nbraft::obs
+
+#endif  // NBRAFT_OBS_REGISTRY_H_

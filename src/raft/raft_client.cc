@@ -77,6 +77,12 @@ void RaftClient::ScheduleNextRequest() {
       ++stats_.requests_issued;
     }
     req.issued_at = sim_->Now();
+    if (tracer_ != nullptr) {
+      // The generation span matches the t_gen(C) charge recorded above.
+      tracer_->RecordSpan(metrics::Phase::kGenClient, id_, /*term=*/0,
+                          /*index=*/0, req.request_id,
+                          sim_->Now() - options_.think_time, sim_->Now());
+    }
     IssueRequest(std::move(req), is_retry);
   });
 }
@@ -122,6 +128,10 @@ void RaftClient::RetryAll(const char* reason) {
   NBRAFT_LOG(Debug) << "client " << id_ << " retries " << op_list_.size()
                     << " weakly accepted requests (" << reason << ")";
   stats_.retries += op_list_.size();
+  if (tracer_ != nullptr) {
+    tracer_->RecordInstant("client_retry_all", id_,
+                           static_cast<int64_t>(op_list_.size()));
+  }
   // Preserve order: older requests retry first.
   while (!op_list_.empty()) {
     retry_queue_.push_back(std::move(op_list_.front()));
@@ -143,6 +153,10 @@ void RaftClient::HandleResponse(const ClientResponse& resp) {
       sim_->Cancel(timeout_event_);
       timeout_event_ = sim::kInvalidEventId;
       ++stats_.weak_accepts;
+      if (tracer_ != nullptr) {
+        tracer_->RecordInstant("client_weak_accept", id_, resp.index,
+                               static_cast<int64_t>(resp.request_id));
+      }
       if (inflight_.measured) {
         stats_.unblock_latency.Record(sim_->Now() - inflight_.issued_at);
       }
@@ -158,6 +172,10 @@ void RaftClient::HandleResponse(const ClientResponse& resp) {
       if (resp.term > list_term_) {
         RetryAll("newer term on strong accept");
         list_term_ = resp.term;
+      }
+      if (tracer_ != nullptr) {
+        tracer_->RecordInstant("client_strong_accept", id_, resp.index,
+                               static_cast<int64_t>(resp.request_id));
       }
       // Sec. III-C2: everything with index <= resp.index is committed.
       while (!op_list_.empty() && op_list_.front().index != 0 &&

@@ -9,6 +9,7 @@
 
 #include "metrics/histogram.h"
 #include "net/network.h"
+#include "obs/tracer.h"
 #include "raft/messages.h"
 #include "raft/types.h"
 #include "sim/simulator.h"
@@ -82,6 +83,10 @@ class RaftClient {
   uint64_t requests_issued_total() const { return next_seq_; }
   bool stopped() const { return stopped_; }
 
+  /// Attaches the lifecycle tracer (nullptr = off, the default): t_gen(C)
+  /// spans per request plus WEAK/STRONG-accept and retry instants.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct PendingRequest {
     uint64_t request_id = 0;
@@ -116,6 +121,8 @@ class RaftClient {
   PendingRequest inflight_;
   std::deque<PendingRequest> op_list_;
   std::deque<PendingRequest> retry_queue_;
+
+  obs::Tracer* tracer_ = nullptr;
 
   uint64_t next_seq_ = 0;
   bool started_ = false;

@@ -126,6 +126,53 @@ void RaftNode::TriggerElection() {
 }
 
 // ---------------------------------------------------------------------------
+// Observability
+// ---------------------------------------------------------------------------
+
+void RaftNode::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  window_.set_observer(tracer != nullptr ? &window_trace_adapter_ : nullptr);
+}
+
+void RaftNode::TracePhase(metrics::Phase phase, SimTime start, SimTime end,
+                          int64_t term, int64_t index, uint64_t request_id) {
+  stats_.breakdown.Add(phase, end - start);
+  if (tracer_ != nullptr) {
+    tracer_->RecordSpan(phase, id_, term, index, request_id, start, end);
+  }
+}
+
+int64_t RaftNode::TraceTermAt(storage::LogIndex index) const {
+  if (tracer_ == nullptr) return 0;
+  return log_.TermAt(index).value_or(0);
+}
+
+void RaftNode::WindowTraceAdapter::OnInsert(storage::LogIndex index,
+                                            size_t occupancy) {
+  node_->tracer_->RecordInstant("window_insert", node_->id_, index,
+                                static_cast<int64_t>(occupancy));
+}
+
+void RaftNode::WindowTraceAdapter::OnEvict(storage::LogIndex index,
+                                           size_t occupancy) {
+  node_->tracer_->RecordInstant("window_evict", node_->id_, index,
+                                static_cast<int64_t>(occupancy));
+}
+
+void RaftNode::WindowTraceAdapter::OnFlush(storage::LogIndex first,
+                                           size_t count, size_t occupancy) {
+  node_->tracer_->RecordInstant("window_flush", node_->id_, first,
+                                static_cast<int64_t>(count));
+  (void)occupancy;
+}
+
+size_t RaftNode::DispatcherQueueDepth() const {
+  size_t depth = 0;
+  for (const auto& [peer, ps] : peer_state_) depth += ps.queue.size();
+  return depth;
+}
+
+// ---------------------------------------------------------------------------
 // Message plumbing
 // ---------------------------------------------------------------------------
 
@@ -134,8 +181,9 @@ void RaftNode::HandleMessage(net::Message&& msg) {
   const SimTime received_at = sim_->Now();
   if (auto* ae = std::any_cast<AppendEntriesRequest>(&msg.payload)) {
     if (!ae->is_heartbeat) {
-      stats_.breakdown.Add(metrics::Phase::kTransLeaderFollower,
-                           received_at - msg.sent_at);
+      TracePhase(metrics::Phase::kTransLeaderFollower, msg.sent_at,
+                 received_at, ae->entry.term, ae->entry.index,
+                 ae->entry.request_id);
     }
     HandleAppendEntries(std::move(*ae), received_at);
   } else if (auto* aer =
@@ -177,8 +225,8 @@ void RaftNode::HandleClientRequest(ClientRequest req, SimTime received_at,
     SendTo(req.client, resp.WireSize(), resp);
     return;
   }
-  stats_.breakdown.Add(metrics::Phase::kTransClientLeader,
-                       received_at - sent_at);
+  TracePhase(metrics::Phase::kTransClientLeader, sent_at, received_at,
+             /*term=*/0, /*index=*/0, req.request_id);
 
   // Step 2 of the paper: parse, then index on the serialized indexing lane
   // (the lock Ratis holds longer than IoTDB).
@@ -190,8 +238,8 @@ void RaftNode::HandleClientRequest(ClientRequest req, SimTime received_at,
       [this, epoch, parse_submitted, req = std::move(req)]() mutable {
         if (crashed_ || epoch != epoch_) return;
         const SimTime parse_done = sim_->Now();
-        stats_.breakdown.Add(metrics::Phase::kParse,
-                             parse_done - parse_submitted);
+        TracePhase(metrics::Phase::kParse, parse_submitted, parse_done,
+                   /*term=*/0, /*index=*/0, req.request_id);
         SimDuration index_cost =
             options_.costs.index_cost +
             PerKib(options_.costs.leader_append_per_kib, req.payload.size());
@@ -199,8 +247,8 @@ void RaftNode::HandleClientRequest(ClientRequest req, SimTime received_at,
             index_cost,
             [this, epoch, parse_done, req = std::move(req)]() mutable {
               if (crashed_ || epoch != epoch_) return;
-              stats_.breakdown.Add(metrics::Phase::kIndex,
-                                   sim_->Now() - parse_done);
+              TracePhase(metrics::Phase::kIndex, parse_done, sim_->Now(),
+                         /*term=*/0, /*index=*/0, req.request_id);
               if (role_ != Role::kLeader) {
                 ClientResponse resp;
                 resp.state = AcceptState::kNotLeader;
@@ -227,6 +275,12 @@ void RaftNode::IndexAndReplicate(ClientRequest req) {
   PersistEntry(entry);
   ++stats_.entries_appended;
   entry_timing_[entry.index].indexed_at = sim_->Now();
+  if (tracer_ != nullptr) {
+    // Joins the request-keyed client/parse spans with the (term, index)
+    // keyed replication spans.
+    tracer_->RecordInstant("indexed", id_, entry.index,
+                           static_cast<int64_t>(entry.request_id));
+  }
 
   // Decide the replication shape (plain / fragmented / degraded).
   const int n = cluster_size();
@@ -341,7 +395,8 @@ void RaftNode::TryDispatch(net::NodeId peer) {
       SendInstallSnapshot(peer);
       continue;
     }
-    stats_.breakdown.Add(metrics::Phase::kQueue, sim_->Now() - qe.enqueued_at);
+    TracePhase(metrics::Phase::kQueue, qe.enqueued_at, sim_->Now(),
+               TraceTermAt(qe.index), qe.index);
     ++ps.busy_dispatchers;
     ps.in_flight.insert(qe.index);
     SendAppendRpc(peer, qe.index);
@@ -587,7 +642,8 @@ void RaftNode::AppendAndFlush(const AppendEntriesRequest& req,
 
   const SimDuration wait = sim_->Now() - received_at;
   stats_.wait_hist.Record(wait);
-  stats_.breakdown.Add(metrics::Phase::kWaitFollower, wait);
+  TracePhase(metrics::Phase::kWaitFollower, received_at, sim_->Now(),
+             entry.term, entry.index, entry.request_id);
 
   SimDuration cost = FollowerAppendCost(entry);
   PersistEntry(entry);
@@ -607,7 +663,8 @@ void RaftNode::AppendAndFlush(const AppendEntriesRequest& req,
     if (rt != recv_time_.end()) {
       const SimDuration w = sim_->Now() - rt->second;
       stats_.wait_hist.Record(w);
-      stats_.breakdown.Add(metrics::Phase::kWaitFollower, w);
+      TracePhase(metrics::Phase::kWaitFollower, rt->second, sim_->Now(),
+                 e.term, e.index, e.request_id);
       recv_time_.erase(rt);
     }
     cost += FollowerAppendCost(e);
@@ -640,9 +697,12 @@ void RaftNode::AppendAndFlush(const AppendEntriesRequest& req,
   log_lock_lane_->Submit(cost, [this, epoch, req, new_last, new_last_term,
                                 submit_time, cost]() {
     if (crashed_ || epoch != epoch_) return;
-    stats_.breakdown.Add(metrics::Phase::kAppendFollower, cost);
-    stats_.breakdown.Add(metrics::Phase::kWaitFollower,
-                         sim_->Now() - submit_time - cost);
+    TracePhase(metrics::Phase::kAppendFollower, sim_->Now() - cost,
+               sim_->Now(), req.entry.term, req.entry.index,
+               req.entry.request_id);
+    TracePhase(metrics::Phase::kWaitFollower, submit_time,
+               sim_->Now() - cost, req.entry.term, req.entry.index,
+               req.entry.request_id);
     ++stats_.strong_accepts_sent;
     RespondAppend(req, AcceptState::kStrongAccept, new_last, new_last_term);
   });
@@ -814,13 +874,15 @@ void RaftNode::CommitIndices(const std::vector<storage::LogIndex>& indices) {
     stats_.entries_committed += static_cast<uint64_t>(index - commit_index_);
     commit_index_ = index;
     cpu_->Consume(options_.costs.commit_cost);
-    stats_.breakdown.Add(metrics::Phase::kCommit, options_.costs.commit_cost);
+    const int64_t trace_term = TraceTermAt(index);
+    TracePhase(metrics::Phase::kCommit, sim_->Now(),
+               sim_->Now() + options_.costs.commit_cost, trace_term, index);
 
     const auto timing = entry_timing_.find(index);
     if (timing != entry_timing_.end()) {
       if (timing->second.first_strong_at != 0) {
-        stats_.breakdown.Add(metrics::Phase::kAck,
-                             sim_->Now() - timing->second.first_strong_at);
+        TracePhase(metrics::Phase::kAck, timing->second.first_strong_at,
+                   sim_->Now(), trace_term, index);
       }
       entry_timing_.erase(timing);
     }
@@ -856,7 +918,8 @@ void RaftNode::ApplyReadyEntries() {
       if (crashed_ || epoch != epoch_) return;
       applied_index_ = std::max(applied_index_, index);
       ++stats_.entries_applied;
-      stats_.breakdown.Add(metrics::Phase::kApply, cost);
+      TracePhase(metrics::Phase::kApply, sim_->Now() - cost, sim_->Now(),
+                 term, index, request_id);
       if (role_ == Role::kLeader && client != net::kInvalidNode) {
         ClientResponse cresp;
         cresp.state = AcceptState::kStrongAccept;
@@ -936,6 +999,9 @@ void RaftNode::StartElection() {
   ++stats_.elections_started;
   NBRAFT_LOG(Info) << "node " << id_ << " starts election, term "
                    << current_term_;
+  if (tracer_ != nullptr) {
+    tracer_->RecordInstant("election_start", id_, current_term_);
+  }
 
   if (static_cast<int>(votes_received_.size()) >= quorum()) {
     BecomeLeader();
@@ -998,6 +1064,9 @@ void RaftNode::BecomeLeader() {
   ++stats_.times_elected;
   NBRAFT_LOG(Info) << "node " << id_ << " elected leader, term "
                    << current_term_;
+  if (tracer_ != nullptr) {
+    tracer_->RecordInstant("leader_elected", id_, current_term_);
+  }
   sim_->Cancel(election_timer_);
   election_timer_ = sim::kInvalidEventId;
 

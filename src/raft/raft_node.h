@@ -15,6 +15,7 @@
 #include "nbraft/sliding_window.h"
 #include "nbraft/vote_list.h"
 #include "net/network.h"
+#include "obs/tracer.h"
 #include "raft/messages.h"
 #include "raft/types.h"
 #include "sim/cpu_executor.h"
@@ -94,6 +95,16 @@ class RaftNode {
   NodeStats& stats() { return stats_; }
   const NodeStats& stats() const { return stats_; }
   sim::CpuExecutor* cpu() { return cpu_.get(); }
+
+  /// Attaches the lifecycle tracer (nullptr = off, the default). Every
+  /// phase the node adds to its `Breakdown` is mirrored as a span, and the
+  /// sliding window's insert/evict/flush transitions become instants.
+  void set_tracer(obs::Tracer* tracer);
+
+  /// Entries sitting in dispatcher queues across all peers (telemetry).
+  size_t DispatcherQueueDepth() const;
+  /// AppendEntries / InstallSnapshot RPCs currently on the wire.
+  size_t OutstandingRpcCount() const { return outstanding_rpcs_.size(); }
 
   int cluster_size() const { return static_cast<int>(peers_.size()) + 1; }
   int quorum() const { return cluster_size() / 2 + 1; }
@@ -211,6 +222,32 @@ class RaftNode {
   /// Replays the WAL into log/term/vote (no-op without wal_dir).
   void RecoverFromWal();
 
+  // ---- Observability ----
+
+  /// Forwards window transitions to the tracer (detached when untraced, so
+  /// the window keeps its zero-overhead fast path).
+  class WindowTraceAdapter : public SlidingWindow::Observer {
+   public:
+    explicit WindowTraceAdapter(RaftNode* node) : node_(node) {}
+    void OnInsert(storage::LogIndex index, size_t occupancy) override;
+    void OnEvict(storage::LogIndex index, size_t occupancy) override;
+    void OnFlush(storage::LogIndex first, size_t count,
+                 size_t occupancy) override;
+
+   private:
+    RaftNode* node_;
+  };
+
+  /// Accounts `end - start` to the Fig. 4 breakdown and, when traced,
+  /// records the matching lifecycle span. Keeping both writes in one place
+  /// is what makes the trace/Breakdown parity check exact.
+  void TracePhase(metrics::Phase phase, SimTime start, SimTime end,
+                  int64_t term, int64_t index, uint64_t request_id = 0);
+
+  /// Term of the local entry at `index`, for span keys; only paid when the
+  /// tracer is attached.
+  int64_t TraceTermAt(storage::LogIndex index) const;
+
   // ---- Helpers ----
   int AliveNodes() const;
   int RequiredStrong(bool fragmented, int k) const;
@@ -279,6 +316,9 @@ class RaftNode {
 
   sim::EventId election_timer_ = sim::kInvalidEventId;
   sim::EventId heartbeat_timer_ = sim::kInvalidEventId;
+
+  obs::Tracer* tracer_ = nullptr;
+  WindowTraceAdapter window_trace_adapter_{this};
 
   NodeStats stats_;
 };

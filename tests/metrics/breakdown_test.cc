@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace nbraft::metrics {
 namespace {
 
@@ -9,6 +11,17 @@ TEST(BreakdownTest, StartsEmpty) {
   Breakdown b;
   EXPECT_EQ(b.GrandTotal(), 0);
   EXPECT_EQ(b.Proportion(Phase::kWaitFollower), 0.0);
+}
+
+TEST(BreakdownTest, EmptyProportionIsZeroNotNaN) {
+  // Pin the empty-breakdown guard: every phase must report exactly 0.0
+  // rather than 0/0 = NaN.
+  Breakdown b;
+  for (int i = 0; i < kNumPhases; ++i) {
+    const double p = b.Proportion(static_cast<Phase>(i));
+    EXPECT_FALSE(std::isnan(p));
+    EXPECT_EQ(p, 0.0);
+  }
 }
 
 TEST(BreakdownTest, AddAccumulates) {
@@ -76,6 +89,20 @@ TEST(BreakdownTest, DescriptionsNonEmpty) {
   for (int i = 0; i < kNumPhases; ++i) {
     EXPECT_FALSE(PhaseDescription(static_cast<Phase>(i)).empty());
   }
+}
+
+TEST(BreakdownTest, ToJsonHasStableKeysAndNanosecondTotals) {
+  Breakdown b;
+  b.Add(Phase::kQueue, 1500);
+  b.Add(Phase::kApply, 500);
+  const std::string json = b.ToJson();
+  EXPECT_NE(json.find("\"t_queue(L)\":1500"), std::string::npos);
+  EXPECT_NE(json.find("\"t_apply(L)\":500"), std::string::npos);
+  EXPECT_NE(json.find("\"grand_total\":2000"), std::string::npos);
+  // Zero phases stay present so the key set is run-independent.
+  EXPECT_NE(json.find("\"t_gen(C)\":0"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
 }
 
 TEST(BreakdownTest, TableSortsLargestFirst) {

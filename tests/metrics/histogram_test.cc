@@ -121,6 +121,27 @@ TEST(HistogramTest, SummaryMentionsCount) {
   EXPECT_NE(h.Summary().find("n=1"), std::string::npos);
 }
 
+TEST(HistogramTest, ToJsonCarriesCountAndPercentiles) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Record(i * 1000);
+  const std::string json = h.ToJson();
+  EXPECT_NE(json.find("\"count\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"min\":1000"), std::string::npos);
+  EXPECT_NE(json.find("\"max\":100000"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(HistogramTest, ToJsonOnEmptyIsAllZero) {
+  Histogram h;
+  const std::string json = h.ToJson();
+  EXPECT_NE(json.find("\"count\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":0"), std::string::npos);
+}
+
 TEST(HistogramTest, LargeValues) {
   Histogram h;
   const int64_t big = int64_t{1} << 60;

@@ -1,0 +1,128 @@
+#include "obs/exporter.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/registry.h"
+#include "obs/tracer.h"
+#include "sim/simulator.h"
+
+namespace nbraft::obs {
+namespace {
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class ExporterTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const auto& path : cleanup_) std::remove(path.c_str());
+  }
+
+  std::string TempPath(const std::string& name) {
+    std::string path = ::testing::TempDir() + "/" + name;
+    cleanup_.push_back(path);
+    return path;
+  }
+
+  std::vector<std::string> cleanup_;
+};
+
+TEST_F(ExporterTest, ChromeTraceContainsSpansInstantsAndCounters) {
+  sim::Simulator sim(1);
+  Tracer tracer(&sim);
+  tracer.RecordSpan(metrics::Phase::kAppendFollower, 2, 5, 17, 99,
+                    Micros(10), Micros(25));
+  tracer.RecordInstantAt("window_insert", 2, Micros(12), 17, 3);
+
+  Registry registry;
+  registry.GetCounter("appends")->Increment(4);
+  registry.AddSource("depth", []() { return 7.0; });
+  Sampler sampler(&sim, &registry, Millis(1));
+  sampler.Start();
+  sim.RunUntil(Millis(2));
+
+  ExportInputs inputs;
+  inputs.tracer = &tracer;
+  inputs.registry = &registry;
+  inputs.sampler = &sampler;
+  inputs.endpoint_name = [](int32_t id) {
+    return "node " + std::to_string(id);
+  };
+
+  const std::string path = TempPath("trace.json");
+  ASSERT_TRUE(WriteChromeTrace(path, inputs).ok());
+  const std::string body = Slurp(path);
+
+  EXPECT_NE(body.find("\"traceEvents\""), std::string::npos);
+  // The span: a complete event with duration 15us on pid 2.
+  EXPECT_NE(body.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(body.find("t_append(F)"), std::string::npos);
+  EXPECT_NE(body.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(body.find("window_insert"), std::string::npos);
+  // Sampler series become counter tracks.
+  EXPECT_NE(body.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(body.find("depth"), std::string::npos);
+  // Endpoint naming made it into the metadata.
+  EXPECT_NE(body.find("node 2"), std::string::npos);
+  // Valid JSON shape at the extremes.
+  EXPECT_EQ(body.front(), '{');
+  EXPECT_EQ(body.back(), '\n');
+}
+
+TEST_F(ExporterTest, JsonlEmitsOneObjectPerLine) {
+  Tracer tracer(nullptr);
+  tracer.RecordSpan(metrics::Phase::kCommit, 0, 1, 2, 3, 0, 100);
+  tracer.RecordInstantAt("net_send", 0, 50, 1, 64);
+
+  Registry registry;
+  registry.GetCounter("x")->Increment();
+  registry.GetGauge("y")->Set(1.5);
+
+  ExportInputs inputs;
+  inputs.tracer = &tracer;
+  inputs.registry = &registry;
+
+  const std::string path = TempPath("trace.jsonl");
+  ASSERT_TRUE(WriteJsonl(path, inputs).ok());
+  const std::string body = Slurp(path);
+
+  std::istringstream lines(body);
+  std::string line;
+  int spans = 0, instants = 0, counters = 0, gauges = 0, metas = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    if (line.find("\"type\":\"span\"") != std::string::npos) ++spans;
+    if (line.find("\"type\":\"instant\"") != std::string::npos) ++instants;
+    if (line.find("\"type\":\"counter\"") != std::string::npos) ++counters;
+    if (line.find("\"type\":\"gauge\"") != std::string::npos) ++gauges;
+    if (line.find("\"type\":\"meta\"") != std::string::npos) ++metas;
+  }
+  EXPECT_EQ(spans, 1);
+  EXPECT_EQ(instants, 1);
+  EXPECT_EQ(counters, 1);
+  EXPECT_EQ(gauges, 1);
+  EXPECT_EQ(metas, 1);
+}
+
+TEST_F(ExporterTest, UnwritablePathReturnsIoError) {
+  Tracer tracer(nullptr);
+  ExportInputs inputs;
+  inputs.tracer = &tracer;
+  const Status s =
+      WriteChromeTrace("/nonexistent-dir/never/trace.json", inputs);
+  EXPECT_FALSE(s.ok());
+}
+
+}  // namespace
+}  // namespace nbraft::obs

@@ -1,0 +1,121 @@
+#include "obs/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace nbraft::obs {
+namespace {
+
+TEST(RegistryTest, CounterCreateOnDemandWithStablePointers) {
+  Registry registry;
+  Counter* a = registry.GetCounter("appends");
+  a->Increment();
+  a->Increment(4);
+  // Second lookup returns the same object.
+  EXPECT_EQ(registry.GetCounter("appends"), a);
+  // Creating more counters must not invalidate the first pointer.
+  for (int i = 0; i < 100; ++i) {
+    registry.GetCounter("c" + std::to_string(i))->Increment();
+  }
+  EXPECT_EQ(a->value(), 5);
+
+  a->Set(7);
+  EXPECT_EQ(a->value(), 7);
+}
+
+TEST(RegistryTest, GaugeAndSortedSnapshots) {
+  Registry registry;
+  registry.GetGauge("zeta")->Set(2.5);
+  registry.GetGauge("alpha")->Set(-1.0);
+  registry.GetCounter("b")->Increment(2);
+  registry.GetCounter("a")->Increment(1);
+
+  const auto counters = registry.CounterValues();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].first, "a");
+  EXPECT_EQ(counters[0].second, 1);
+  EXPECT_EQ(counters[1].first, "b");
+
+  const auto gauges = registry.GaugeValues();
+  ASSERT_EQ(gauges.size(), 2u);
+  EXPECT_EQ(gauges[0].first, "alpha");
+  EXPECT_DOUBLE_EQ(gauges[0].second, -1.0);
+  EXPECT_EQ(gauges[1].first, "zeta");
+}
+
+TEST(SamplerTest, SamplesSourcesAtFixedVirtualInterval) {
+  sim::Simulator sim(1);
+  Registry registry;
+  int64_t live = 0;
+  registry.AddSource("live", [&live]() { return static_cast<double>(live); });
+
+  Sampler sampler(&sim, &registry, Millis(10));
+  sampler.Start();
+  // Bump the source between ticks so samples see distinct values.
+  for (int i = 1; i <= 4; ++i) {
+    sim.After(Millis(10 * i - 5), [&live]() { ++live; });
+  }
+  sim.RunUntil(Millis(35));
+  sampler.Stop();
+  sim.RunUntil(Millis(100));  // No ticks after Stop().
+
+  ASSERT_EQ(sampler.series_names().size(), 1u);
+  EXPECT_EQ(sampler.series_names()[0], "live");
+  const auto& samples = sampler.samples();
+  // Start() samples immediately at t=0, then t=10,20,30ms.
+  ASSERT_EQ(samples.size(), 4u);
+  for (size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(samples[i].at, Millis(10) * static_cast<int64_t>(i));
+    ASSERT_EQ(samples[i].values.size(), 1u);
+    EXPECT_DOUBLE_EQ(samples[i].values[0], static_cast<double>(i));
+  }
+}
+
+TEST(SamplerTest, DeterministicAcrossIdenticalRuns) {
+  auto run = []() {
+    sim::Simulator sim(7);
+    Registry registry;
+    int64_t x = 0;
+    registry.AddSource("x", [&x]() { return static_cast<double>(x); });
+    registry.AddSource("2x", [&x]() { return static_cast<double>(2 * x); });
+    Sampler sampler(&sim, &registry, Micros(500));
+    sampler.Start();
+    for (int i = 0; i < 20; ++i) {
+      sim.After(Micros(130 * (i + 1)), [&x]() { x += 3; });
+    }
+    sim.RunUntil(Millis(5));
+    return sampler.samples();
+  };
+
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at, b[i].at);
+    ASSERT_EQ(a[i].values.size(), b[i].values.size());
+    for (size_t j = 0; j < a[i].values.size(); ++j) {
+      EXPECT_DOUBLE_EQ(a[i].values[j], b[i].values[j]);
+    }
+  }
+}
+
+TEST(SamplerTest, SourceListFrozenAtStart) {
+  sim::Simulator sim(1);
+  Registry registry;
+  registry.AddSource("early", []() { return 1.0; });
+  Sampler sampler(&sim, &registry, Millis(1));
+  sampler.Start();
+  // A source registered after Start() must not shift the sample layout.
+  registry.AddSource("late", []() { return 2.0; });
+  sim.RunUntil(Millis(3));
+
+  EXPECT_EQ(sampler.series_names().size(), 1u);
+  for (const auto& sample : sampler.samples()) {
+    EXPECT_EQ(sample.values.size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace nbraft::obs
