@@ -1,0 +1,60 @@
+#include "chaos/chaos_plan.h"
+
+namespace nbraft::chaos {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kCrashLeader: return "crash_leader";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kOneWayPartition: return "one_way_partition";
+    case FaultKind::kLinkFlap: return "link_flap";
+    case FaultKind::kDropStorm: return "drop_storm";
+    case FaultKind::kDelayStorm: return "delay_storm";
+    case FaultKind::kClockSkew: return "clock_skew";
+    case FaultKind::kSlowNode: return "slow_node";
+  }
+  return "unknown";
+}
+
+const std::vector<FaultKind>& ChaosPlan::EffectiveMix() const {
+  static const std::vector<FaultKind> kDefault = {
+      FaultKind::kCrash,     FaultKind::kCrashLeader,
+      FaultKind::kPartition, FaultKind::kOneWayPartition,
+      FaultKind::kLinkFlap,  FaultKind::kDropStorm,
+      FaultKind::kDelayStorm, FaultKind::kClockSkew,
+      FaultKind::kSlowNode,
+  };
+  return mix.empty() ? kDefault : mix;
+}
+
+std::string FaultRecordToString(const FaultRecord& record) {
+  std::string out = std::to_string(record.at);
+  out += record.heal ? " heal " : " inject ";
+  out += FaultKindName(record.kind);
+  out += " a=" + std::to_string(record.a);
+  out += " b=" + std::to_string(record.b);
+  out += " param=" + std::to_string(record.param);
+  return out;
+}
+
+uint64_t FingerprintFaults(const std::vector<FaultRecord>& records) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis.
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ULL;  // FNV prime.
+    }
+  };
+  for (const FaultRecord& r : records) {
+    mix(static_cast<uint64_t>(r.kind));
+    mix(r.heal ? 1 : 0);
+    mix(static_cast<uint64_t>(r.at));
+    mix(static_cast<uint64_t>(static_cast<int64_t>(r.a)));
+    mix(static_cast<uint64_t>(static_cast<int64_t>(r.b)));
+    mix(static_cast<uint64_t>(r.param));
+  }
+  return h;
+}
+
+}  // namespace nbraft::chaos

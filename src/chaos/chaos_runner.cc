@@ -1,0 +1,101 @@
+#include "chaos/chaos_runner.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "raft/raft_node.h"
+
+namespace nbraft::chaos {
+
+std::string ChaosReport::Summary() const {
+  std::string out = "seed " + std::to_string(seed) + ": " +
+                    std::to_string(faults.size()) + " fault actions (fp " +
+                    std::to_string(fault_fingerprint) + "), " +
+                    std::to_string(requests_completed) + "/" +
+                    std::to_string(requests_issued) + " completed, " +
+                    std::to_string(strong_acked) + " strong-acked, " +
+                    std::to_string(lost_weak) + " weak lost, " +
+                    std::to_string(terms_observed) + " terms, commit " +
+                    std::to_string(final_commit_index);
+  if (!ok()) {
+    out += ", " + std::to_string(violations.size()) + " VIOLATIONS:";
+    for (const std::string& v : violations) out += "\n  " + v;
+  }
+  return out;
+}
+
+ChaosRunner::ChaosRunner(harness::ClusterConfig config, ChaosPlan plan,
+                         Options options)
+    : config_(std::move(config)),
+      plan_(std::move(plan)),
+      options_(options) {
+  // The oracle needs the acked-id sets; the plan seed keys the nemesis but
+  // the cluster seed keys everything else, so a (cluster seed, plan seed)
+  // pair fully determines the run.
+  config_.record_client_acks = true;
+}
+
+ChaosReport ChaosRunner::Run() {
+  NBRAFT_CHECK(!ran_);
+  ran_ = true;
+
+  cluster_ = std::make_unique<harness::Cluster>(config_);
+  oracle_ = std::make_unique<SafetyOracle>(cluster_.get());
+  oracle_->Install();
+  nemesis_ = std::make_unique<Nemesis>(cluster_.get(), plan_);
+
+  cluster_->Start();
+  cluster_->AwaitLeader(options_.leader_wait);
+  cluster_->StartClients();
+  nemesis_->Start();
+
+  for (int round = 0; round < options_.rounds; ++round) {
+    cluster_->RunFor(options_.round_length);
+    oracle_->CheckMidRun();
+  }
+
+  nemesis_->Stop();
+  nemesis_->HealAll();
+  cluster_->AwaitLeader(options_.leader_wait);
+  cluster_->RunFor(options_.drain);
+  oracle_->CheckFinal();
+
+  ChaosReport report;
+  report.seed = plan_.seed;
+  report.faults = nemesis_->records();
+  report.fault_fingerprint = nemesis_->Fingerprint();
+  report.violations = oracle_->violations();
+  report.strong_acked = oracle_->strong_acked_count();
+  report.lost_weak = oracle_->lost_weak_count();
+  report.terms_observed = oracle_->terms_observed();
+
+  const harness::ClusterStats stats = cluster_->Collect();
+  report.requests_issued = stats.requests_issued;
+  report.requests_completed = stats.requests_completed;
+
+  if (raft::RaftNode* leader = cluster_->leader()) {
+    report.final_commit_index = leader->commit_index();
+    uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis.
+    auto mix = [&h](uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (i * 8)) & 0xff;
+        h *= 1099511628211ULL;
+      }
+    };
+    const auto& log = leader->log();
+    const storage::LogIndex upto =
+        std::min(leader->commit_index(), log.LastIndex());
+    for (storage::LogIndex i = log.FirstIndex(); i <= upto; ++i) {
+      const auto& e = log.AtUnchecked(i);
+      mix(static_cast<uint64_t>(i));
+      mix(static_cast<uint64_t>(e.term));
+      mix(e.request_id);
+    }
+    report.committed_prefix_hash = h;
+  }
+
+  NBRAFT_LOG(Info) << "chaos " << report.Summary();
+  return report;
+}
+
+}  // namespace nbraft::chaos

@@ -1,0 +1,81 @@
+#ifndef NBRAFT_CHAOS_CHAOS_RUNNER_H_
+#define NBRAFT_CHAOS_CHAOS_RUNNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos_plan.h"
+#include "chaos/invariants.h"
+#include "chaos/nemesis.h"
+#include "harness/cluster.h"
+
+namespace nbraft::chaos {
+
+/// Everything one chaos scenario produced. Two runs with the same
+/// ClusterConfig + ChaosPlan must produce byte-identical reports — the
+/// determinism check compares fingerprint, stats and the final committed
+/// prefix hash.
+struct ChaosReport {
+  uint64_t seed = 0;
+  std::vector<FaultRecord> faults;
+  uint64_t fault_fingerprint = 0;
+  std::vector<std::string> violations;
+
+  uint64_t requests_issued = 0;
+  uint64_t requests_completed = 0;
+  uint64_t strong_acked = 0;
+  uint64_t lost_weak = 0;
+  size_t terms_observed = 0;
+
+  int64_t final_commit_index = 0;
+  /// FNV-1a over the final leader's committed (index, term, request_id)
+  /// sequence: the run's observable outcome in one number.
+  uint64_t committed_prefix_hash = 0;
+
+  bool ok() const { return violations.empty(); }
+  std::string Summary() const;
+};
+
+/// Interleaves the ingest workload with a ChaosPlan: assembles the
+/// cluster, lets the nemesis run for a configured number of rounds with
+/// the invariant suite checked at every round boundary (a quiescent point
+/// of the harness, not of the protocol), then heals everything, drains,
+/// and runs the full safety oracle against the final state.
+class ChaosRunner {
+ public:
+  struct Options {
+    int rounds = 6;
+    SimDuration round_length = Millis(250);
+    /// Post-heal run time: retries finish, commits catch up.
+    SimDuration drain = Seconds(2);
+    SimDuration leader_wait = Seconds(5);
+  };
+
+  ChaosRunner(harness::ClusterConfig config, ChaosPlan plan,
+              Options options);
+  ChaosRunner(harness::ClusterConfig config, ChaosPlan plan)
+      : ChaosRunner(std::move(config), std::move(plan), Options()) {}
+
+  ChaosRunner(const ChaosRunner&) = delete;
+  ChaosRunner& operator=(const ChaosRunner&) = delete;
+
+  /// Runs the whole scenario. Callable once.
+  ChaosReport Run();
+
+  /// Valid after Run() (e.g. to write traces of a failing seed).
+  harness::Cluster* cluster() { return cluster_.get(); }
+
+ private:
+  harness::ClusterConfig config_;
+  ChaosPlan plan_;
+  Options options_;
+  std::unique_ptr<harness::Cluster> cluster_;
+  std::unique_ptr<Nemesis> nemesis_;
+  std::unique_ptr<SafetyOracle> oracle_;
+  bool ran_ = false;
+};
+
+}  // namespace nbraft::chaos
+
+#endif  // NBRAFT_CHAOS_CHAOS_RUNNER_H_

@@ -1,0 +1,162 @@
+#include "chaos/invariants.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "raft/raft_node.h"
+
+namespace nbraft::chaos {
+
+SafetyOracle::SafetyOracle(harness::Cluster* cluster) : cluster_(cluster) {}
+
+void SafetyOracle::AddViolation(std::string what) {
+  // Mid-run checks repeat every round; keep each distinct finding once.
+  if (std::find(violations_.begin(), violations_.end(), what) !=
+      violations_.end()) {
+    return;
+  }
+  NBRAFT_LOG(Error) << "safety violation: " << what;
+  violations_.push_back(std::move(what));
+}
+
+void SafetyOracle::Install() {
+  NBRAFT_CHECK(!installed_);
+  installed_ = true;
+  for (int i = 0; i < cluster_->num_nodes(); ++i) {
+    cluster_->node(i)->set_leader_observer(
+        [this](storage::Term term, net::NodeId id) {
+          auto [it, inserted] = leaders_by_term_.emplace(term, id);
+          if (!inserted && it->second != id) {
+            AddViolation("election safety: term " + std::to_string(term) +
+                         " has leaders " + std::to_string(it->second) +
+                         " and " + std::to_string(id));
+          }
+        });
+  }
+}
+
+void SafetyOracle::CheckMidRun() {
+  Status s = cluster_->CheckLogMatching();
+  if (!s.ok()) AddViolation(s.ToString());
+  s = cluster_->CheckCommittedPrefixes();
+  if (!s.ok()) AddViolation(s.ToString());
+}
+
+void SafetyOracle::CheckFinal() {
+  CheckMidRun();
+
+  raft::RaftNode* leader = cluster_->leader();
+  if (leader == nullptr) {
+    AddViolation("no leader at final quiescence");
+    return;
+  }
+  const auto& llog = leader->log();
+
+  // Leader Completeness: every entry committed anywhere must be in the
+  // final leader's log, identical. (Entries compacted below the leader's
+  // first index are covered by its snapshot and skipped.)
+  for (int n = 0; n < cluster_->num_nodes(); ++n) {
+    const raft::RaftNode* node = cluster_->node(n);
+    if (node->crashed()) continue;
+    const auto& nlog = node->log();
+    const storage::LogIndex upto =
+        std::min(node->commit_index(), nlog.LastIndex());
+    for (storage::LogIndex i = std::max(nlog.FirstIndex(), llog.FirstIndex());
+         i <= upto; ++i) {
+      if (i > llog.LastIndex()) {
+        AddViolation("leader completeness: node " + std::to_string(n) +
+                     " committed index " + std::to_string(i) +
+                     " missing from leader log");
+        break;
+      }
+      const auto& en = nlog.AtUnchecked(i);
+      const auto& el = llog.AtUnchecked(i);
+      if (en.term != el.term || en.request_id != el.request_id) {
+        AddViolation("leader completeness: committed entry diverges at " +
+                     std::to_string(i) + " on node " + std::to_string(n));
+        break;
+      }
+    }
+  }
+
+  // Committed request ids: union over every live node's committed prefix.
+  std::set<uint64_t> committed_ids;
+  for (int n = 0; n < cluster_->num_nodes(); ++n) {
+    const raft::RaftNode* node = cluster_->node(n);
+    if (node->crashed()) continue;
+    const auto& nlog = node->log();
+    const storage::LogIndex upto =
+        std::min(node->commit_index(), nlog.LastIndex());
+    for (storage::LogIndex i = nlog.FirstIndex(); i <= upto; ++i) {
+      const auto& e = nlog.AtUnchecked(i);
+      if (e.client_id != net::kInvalidNode) committed_ids.insert(e.request_id);
+    }
+  }
+
+  // Per-node full-log id sets, for the live-quorum presence check.
+  const int quorum = cluster_->num_nodes() / 2 + 1;
+  std::vector<std::set<uint64_t>> node_ids(
+      static_cast<size_t>(cluster_->num_nodes()));
+  for (int n = 0; n < cluster_->num_nodes(); ++n) {
+    const raft::RaftNode* node = cluster_->node(n);
+    if (node->crashed()) continue;
+    const auto& nlog = node->log();
+    for (storage::LogIndex i = nlog.FirstIndex(); i <= nlog.LastIndex();
+         ++i) {
+      const auto& e = nlog.AtUnchecked(i);
+      if (e.client_id != net::kInvalidNode) {
+        node_ids[static_cast<size_t>(n)].insert(e.request_id);
+      }
+    }
+  }
+
+  // No acknowledged-write loss: every STRONG_ACCEPTed id is committed and
+  // replicated on a live quorum.
+  std::set<uint64_t> strong_acked;
+  std::set<uint64_t> weak_acked;
+  for (int c = 0; c < cluster_->num_clients(); ++c) {
+    const raft::RaftClient* client = cluster_->client(c);
+    strong_acked.insert(client->strong_acked_ids().begin(),
+                        client->strong_acked_ids().end());
+    weak_acked.insert(client->weak_acked_ids().begin(),
+                      client->weak_acked_ids().end());
+  }
+  strong_acked_count_ = strong_acked.size();
+  for (uint64_t id : strong_acked) {
+    if (committed_ids.count(id) == 0) {
+      AddViolation("acked-write loss: strong-acked request " +
+                   std::to_string(id) + " not in any committed prefix");
+      continue;
+    }
+    int replicas = 0;
+    for (const auto& ids : node_ids) replicas += ids.count(id) > 0 ? 1 : 0;
+    if (replicas < quorum) {
+      AddViolation("acked-write durability: strong-acked request " +
+                   std::to_string(id) + " on " + std::to_string(replicas) +
+                   " live replicas (quorum " + std::to_string(quorum) + ")");
+    }
+  }
+
+  // Bounded weak loss: each leadership change strands at most
+  // N_clients + window weakly accepted entries (paper Sec. IV bound).
+  uint64_t lost = 0;
+  for (uint64_t id : weak_acked) {
+    if (committed_ids.count(id) == 0) ++lost;
+  }
+  lost_weak_count_ = lost;
+  const uint64_t window =
+      static_cast<uint64_t>(cluster_->node(0)->options().window_size);
+  const uint64_t per_change =
+      static_cast<uint64_t>(cluster_->num_clients()) + window;
+  const uint64_t bound =
+      std::max<uint64_t>(terms_observed(), 1) * per_change;
+  if (lost > bound) {
+    AddViolation("weak-loss bound: " + std::to_string(lost) +
+                 " weakly acked ids lost, bound " + std::to_string(bound) +
+                 " (" + std::to_string(terms_observed()) + " terms x (" +
+                 std::to_string(cluster_->num_clients()) + " clients + " +
+                 std::to_string(window) + " window))");
+  }
+}
+
+}  // namespace nbraft::chaos

@@ -1,0 +1,75 @@
+#ifndef NBRAFT_CHAOS_INVARIANTS_H_
+#define NBRAFT_CHAOS_INVARIANTS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "harness/cluster.h"
+#include "net/network.h"
+#include "storage/log_entry.h"
+
+namespace nbraft::chaos {
+
+/// The full safety-invariant suite over one cluster. Built on top of the
+/// cluster's own checkers (CheckLogMatching / CheckCommittedPrefixes) and
+/// extends them with:
+///
+///  - Election Safety: at most one leader per term, tracked exactly via
+///    RaftNode's leader observer rather than by polling (transient double
+///    leaderships between polls cannot slip through).
+///  - Leader Completeness: every committed entry appears in the final
+///    leader's log (checked at final quiescence only — a stale partitioned
+///    "leader" mid-run is legal and would false-positive).
+///  - Acknowledged-write durability: every STRONG_ACCEPTed request id is
+///    present in the committed prefix of the final leader AND in the logs
+///    of a live quorum. Requires ClusterConfig::record_client_acks.
+///  - Bounded weak loss: WEAK_ACCEPTed-but-uncommitted ids number at most
+///    (terms_observed) * (N_clients + window) — each leadership change can
+///    strand at most N_cli + w weakly accepted entries (paper Sec. IV).
+class SafetyOracle {
+ public:
+  explicit SafetyOracle(harness::Cluster* cluster);
+
+  SafetyOracle(const SafetyOracle&) = delete;
+  SafetyOracle& operator=(const SafetyOracle&) = delete;
+
+  /// Installs the leader observers. Call once, before the cluster starts
+  /// electing (observers fire from BecomeLeader).
+  void Install();
+
+  /// Cheap checks safe at any point of a run: log matching, committed
+  /// prefix agreement, election-safety history. Appends to violations().
+  void CheckMidRun();
+
+  /// The full suite. Only valid at final quiescence: all faults healed,
+  /// a leader present, in-flight traffic drained.
+  void CheckFinal();
+
+  const std::vector<std::string>& violations() const { return violations_; }
+  bool ok() const { return violations_.empty(); }
+
+  /// Distinct terms in which some node became leader.
+  size_t terms_observed() const { return leaders_by_term_.size(); }
+
+  /// After CheckFinal: weakly acked ids that did not survive (bounded).
+  uint64_t lost_weak_count() const { return lost_weak_count_; }
+  /// After CheckFinal: strong-acked ids audited.
+  uint64_t strong_acked_count() const { return strong_acked_count_; }
+
+ private:
+  void AddViolation(std::string what);
+
+  harness::Cluster* cluster_;
+  bool installed_ = false;
+  std::map<storage::Term, net::NodeId> leaders_by_term_;
+  std::vector<std::string> violations_;
+  uint64_t lost_weak_count_ = 0;
+  uint64_t strong_acked_count_ = 0;
+};
+
+}  // namespace nbraft::chaos
+
+#endif  // NBRAFT_CHAOS_INVARIANTS_H_

@@ -1,0 +1,363 @@
+#include "chaos/nemesis.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.h"
+
+namespace nbraft::chaos {
+
+namespace {
+
+/// Tracer instant name for an action. Instant names must be string
+/// literals (the tracer stores the pointer), hence this mapping.
+const char* InstantName(FaultKind kind, bool heal) {
+  if (heal) {
+    return (kind == FaultKind::kCrash || kind == FaultKind::kCrashLeader)
+               ? "chaos_restart"
+               : "chaos_heal";
+  }
+  switch (kind) {
+    case FaultKind::kCrash:
+    case FaultKind::kCrashLeader:
+      return "chaos_crash";
+    case FaultKind::kPartition:
+    case FaultKind::kOneWayPartition:
+    case FaultKind::kLinkFlap:
+      return "chaos_partition";
+    case FaultKind::kDropStorm:
+    case FaultKind::kDelayStorm:
+      return "chaos_storm";
+    case FaultKind::kClockSkew:
+      return "chaos_skew";
+    case FaultKind::kSlowNode:
+      return "chaos_slow";
+  }
+  return "chaos_fault";
+}
+
+}  // namespace
+
+Nemesis::Nemesis(harness::Cluster* cluster, ChaosPlan plan)
+    : cluster_(cluster), plan_(std::move(plan)), rng_(plan_.seed) {
+  NBRAFT_CHECK_GE(plan_.max_gap, plan_.min_gap);
+  NBRAFT_CHECK_GE(plan_.max_duration, plan_.min_duration);
+  NBRAFT_CHECK_GT(plan_.min_gap, 0);
+  NBRAFT_CHECK_GT(plan_.min_duration, 0);
+}
+
+void Nemesis::Start() {
+  NBRAFT_CHECK(!running_);
+  running_ = true;
+  ScheduleNext();
+}
+
+void Nemesis::Stop() { running_ = false; }
+
+SimDuration Nemesis::DrawGap() {
+  return static_cast<SimDuration>(rng_.NextInRange(plan_.min_gap,
+                                                   plan_.max_gap));
+}
+
+SimDuration Nemesis::DrawDuration() {
+  return static_cast<SimDuration>(
+      rng_.NextInRange(plan_.min_duration, plan_.max_duration));
+}
+
+int Nemesis::MaxConcurrentCrashes() const {
+  if (plan_.max_concurrent_crashes >= 0) return plan_.max_concurrent_crashes;
+  return (cluster_->num_nodes() - 1) / 2;  // Always keep a quorum alive.
+}
+
+void Nemesis::ScheduleNext() {
+  cluster_->sim()->After(DrawGap(), [this]() {
+    if (!running_) return;
+    InjectOne();
+    ScheduleNext();
+  });
+}
+
+void Nemesis::InjectOne() {
+  const auto& mix = plan_.EffectiveMix();
+  const FaultKind kind =
+      mix[static_cast<size_t>(rng_.NextBounded(mix.size()))];
+  const SimDuration duration = DrawDuration();
+  switch (kind) {
+    case FaultKind::kCrash:
+      InjectCrash(/*target_leader=*/false, duration);
+      break;
+    case FaultKind::kCrashLeader:
+      InjectCrash(/*target_leader=*/true, duration);
+      break;
+    case FaultKind::kPartition:
+      InjectPartition(/*one_way=*/false, duration);
+      break;
+    case FaultKind::kOneWayPartition:
+      InjectPartition(/*one_way=*/true, duration);
+      break;
+    case FaultKind::kLinkFlap:
+      InjectLinkFlap(duration);
+      break;
+    case FaultKind::kDropStorm:
+      InjectDropStorm(duration);
+      break;
+    case FaultKind::kDelayStorm:
+      InjectDelayStorm(duration);
+      break;
+    case FaultKind::kClockSkew:
+      InjectClockSkew(duration);
+      break;
+    case FaultKind::kSlowNode:
+      InjectSlowNode(duration);
+      break;
+  }
+}
+
+void Nemesis::Record(FaultKind kind, bool heal, net::NodeId a, net::NodeId b,
+                     int64_t param) {
+  FaultRecord record;
+  record.kind = kind;
+  record.heal = heal;
+  record.at = cluster_->sim()->Now();
+  record.a = a;
+  record.b = b;
+  record.param = param;
+  records_.push_back(record);
+  NBRAFT_LOG(Debug) << "nemesis: " << FaultRecordToString(record);
+  if (obs::Tracer* tracer = cluster_->tracer()) {
+    tracer->RecordInstant(InstantName(kind, heal), a, b, param);
+  }
+  if (obs::Registry* registry = cluster_->registry()) {
+    if (heal) {
+      registry->GetCounter("chaos_heals")->Increment();
+    } else {
+      registry->GetCounter(std::string("chaos_") + FaultKindName(kind))
+          ->Increment();
+      registry->GetCounter("chaos_faults_injected")->Increment();
+    }
+  }
+}
+
+net::NodeId Nemesis::PickUpNode() {
+  std::vector<net::NodeId> up;
+  for (int i = 0; i < cluster_->num_nodes(); ++i) {
+    if (!cluster_->node(i)->crashed()) up.push_back(i);
+  }
+  if (up.empty()) return net::kInvalidNode;
+  return up[static_cast<size_t>(rng_.NextBounded(up.size()))];
+}
+
+bool Nemesis::PickUpPair(net::NodeId* a, net::NodeId* b) {
+  std::vector<net::NodeId> up;
+  for (int i = 0; i < cluster_->num_nodes(); ++i) {
+    if (!cluster_->node(i)->crashed()) up.push_back(i);
+  }
+  if (up.size() < 2) return false;
+  const size_t ia = static_cast<size_t>(rng_.NextBounded(up.size()));
+  size_t ib = static_cast<size_t>(rng_.NextBounded(up.size() - 1));
+  if (ib >= ia) ++ib;
+  *a = up[ia];
+  *b = up[ib];
+  return true;
+}
+
+bool Nemesis::InjectCrash(bool target_leader, SimDuration duration) {
+  if (crashed_count() >= MaxConcurrentCrashes()) return false;
+  net::NodeId victim = net::kInvalidNode;
+  if (target_leader) {
+    if (raft::RaftNode* leader = cluster_->leader()) victim = leader->id();
+  }
+  if (victim == net::kInvalidNode) victim = PickUpNode();
+  if (victim == net::kInvalidNode) return false;
+  const FaultKind kind =
+      target_leader ? FaultKind::kCrashLeader : FaultKind::kCrash;
+  cluster_->CrashNode(victim);
+  crashed_.insert(victim);
+  Record(kind, /*heal=*/false, victim, net::kInvalidNode, duration);
+  cluster_->sim()->After(duration, [this, kind, victim]() {
+    if (crashed_.erase(victim) == 0) return;  // HealAll got there first.
+    cluster_->RestartNode(victim);
+    Record(kind, /*heal=*/true, victim, net::kInvalidNode, 0);
+  });
+  return true;
+}
+
+bool Nemesis::InjectPartition(bool one_way, SimDuration duration) {
+  net::NodeId a, b;
+  if (!PickUpPair(&a, &b)) return false;
+  const FaultKind kind =
+      one_way ? FaultKind::kOneWayPartition : FaultKind::kPartition;
+  if (one_way) {
+    cluster_->network()->SetOneWayCut(a, b, true);
+  } else {
+    cluster_->network()->SetLinkCut(a, b, true);
+  }
+  const uint64_t id = next_cut_id_++;
+  active_cuts_.push_back({id, a, b, one_way});
+  Record(kind, /*heal=*/false, a, b, duration);
+  cluster_->sim()->After(duration, [this, kind, id]() {
+    auto it = std::find_if(active_cuts_.begin(), active_cuts_.end(),
+                           [id](const ActiveCut& c) { return c.id == id; });
+    if (it == active_cuts_.end()) return;  // HealAll got there first.
+    if (it->one_way) {
+      cluster_->network()->SetOneWayCut(it->a, it->b, false);
+    } else {
+      cluster_->network()->SetLinkCut(it->a, it->b, false);
+    }
+    Record(kind, /*heal=*/true, it->a, it->b, 0);
+    active_cuts_.erase(it);
+  });
+  return true;
+}
+
+bool Nemesis::InjectLinkFlap(SimDuration duration) {
+  net::NodeId a, b;
+  if (!PickUpPair(&a, &b)) return false;
+  const int cycles = std::max(plan_.flap_cycles, 1);
+  // The link toggles cut -> healed `cycles` times over `duration`, ending
+  // healed. Intermediate toggles stop silently if the flap was healed.
+  const SimDuration half = std::max<SimDuration>(duration / (2 * cycles), 1);
+  cluster_->network()->SetLinkCut(a, b, true);
+  const uint64_t id = next_cut_id_++;
+  active_cuts_.push_back({id, a, b, /*one_way=*/false});
+  Record(FaultKind::kLinkFlap, /*heal=*/false, a, b, cycles);
+  for (int t = 1; t < 2 * cycles; ++t) {
+    const bool cut = (t % 2) == 0;
+    cluster_->sim()->After(half * t, [this, id, cut]() {
+      auto it = std::find_if(active_cuts_.begin(), active_cuts_.end(),
+                             [id](const ActiveCut& c) { return c.id == id; });
+      if (it == active_cuts_.end()) return;
+      cluster_->network()->SetLinkCut(it->a, it->b, cut);
+    });
+  }
+  cluster_->sim()->After(half * (2 * cycles), [this, id]() {
+    auto it = std::find_if(active_cuts_.begin(), active_cuts_.end(),
+                           [id](const ActiveCut& c) { return c.id == id; });
+    if (it == active_cuts_.end()) return;
+    cluster_->network()->SetLinkCut(it->a, it->b, false);
+    Record(FaultKind::kLinkFlap, /*heal=*/true, it->a, it->b, 0);
+    active_cuts_.erase(it);
+  });
+  return true;
+}
+
+bool Nemesis::InjectDropStorm(SimDuration duration) {
+  ++active_drop_storms_;
+  cluster_->network()->set_drop_probability(plan_.drop_storm_probability);
+  Record(FaultKind::kDropStorm, /*heal=*/false, net::kInvalidNode,
+         net::kInvalidNode,
+         static_cast<int64_t>(plan_.drop_storm_probability * 1000));
+  cluster_->sim()->After(duration, [this]() {
+    if (active_drop_storms_ == 0) return;  // HealAll got there first.
+    if (--active_drop_storms_ == 0) {
+      cluster_->network()->set_drop_probability(
+          cluster_->config().network.drop_probability);
+      Record(FaultKind::kDropStorm, /*heal=*/true, net::kInvalidNode,
+             net::kInvalidNode, 0);
+    }
+  });
+  return true;
+}
+
+bool Nemesis::InjectDelayStorm(SimDuration duration) {
+  ++active_delay_storms_;
+  cluster_->network()->set_extra_delay(plan_.delay_storm_extra);
+  Record(FaultKind::kDelayStorm, /*heal=*/false, net::kInvalidNode,
+         net::kInvalidNode, plan_.delay_storm_extra);
+  cluster_->sim()->After(duration, [this]() {
+    if (active_delay_storms_ == 0) return;
+    if (--active_delay_storms_ == 0) {
+      cluster_->network()->set_extra_delay(0);
+      Record(FaultKind::kDelayStorm, /*heal=*/true, net::kInvalidNode,
+             net::kInvalidNode, 0);
+    }
+  });
+  return true;
+}
+
+bool Nemesis::InjectClockSkew(SimDuration duration) {
+  const net::NodeId victim = PickUpNode();
+  if (victim == net::kInvalidNode) return false;
+  const double skew =
+      plan_.skew_min + rng_.NextDouble() * (plan_.skew_max - plan_.skew_min);
+  cluster_->node(victim)->set_timer_skew(skew);
+  ++active_skew_[victim];
+  Record(FaultKind::kClockSkew, /*heal=*/false, victim, net::kInvalidNode,
+         static_cast<int64_t>(skew * 1000));
+  cluster_->sim()->After(duration, [this, victim]() {
+    auto it = active_skew_.find(victim);
+    if (it == active_skew_.end()) return;
+    if (--it->second == 0) {
+      active_skew_.erase(it);
+      cluster_->node(victim)->set_timer_skew(1.0);
+      Record(FaultKind::kClockSkew, /*heal=*/true, victim, net::kInvalidNode,
+             0);
+    }
+  });
+  return true;
+}
+
+bool Nemesis::InjectSlowNode(SimDuration duration) {
+  const net::NodeId victim = PickUpNode();
+  if (victim == net::kInvalidNode) return false;
+  cluster_->node(victim)->SetCpuSpeedFactor(plan_.slow_factor);
+  ++active_slow_[victim];
+  Record(FaultKind::kSlowNode, /*heal=*/false, victim, net::kInvalidNode,
+         static_cast<int64_t>(plan_.slow_factor * 1000));
+  cluster_->sim()->After(duration, [this, victim]() {
+    auto it = active_slow_.find(victim);
+    if (it == active_slow_.end()) return;
+    if (--it->second == 0) {
+      active_slow_.erase(it);
+      cluster_->node(victim)->SetCpuSpeedFactor(1.0);
+      Record(FaultKind::kSlowNode, /*heal=*/true, victim, net::kInvalidNode,
+             0);
+    }
+  });
+  return true;
+}
+
+void Nemesis::HealAll() {
+  for (net::NodeId victim : crashed_) {
+    cluster_->RestartNode(victim);
+    Record(FaultKind::kCrash, /*heal=*/true, victim, net::kInvalidNode, 0);
+  }
+  crashed_.clear();
+  for (const ActiveCut& cut : active_cuts_) {
+    if (cut.one_way) {
+      cluster_->network()->SetOneWayCut(cut.a, cut.b, false);
+    } else {
+      cluster_->network()->SetLinkCut(cut.a, cut.b, false);
+    }
+    Record(cut.one_way ? FaultKind::kOneWayPartition : FaultKind::kPartition,
+           /*heal=*/true, cut.a, cut.b, 0);
+  }
+  active_cuts_.clear();
+  if (active_drop_storms_ > 0) {
+    active_drop_storms_ = 0;
+    cluster_->network()->set_drop_probability(
+        cluster_->config().network.drop_probability);
+    Record(FaultKind::kDropStorm, /*heal=*/true, net::kInvalidNode,
+           net::kInvalidNode, 0);
+  }
+  if (active_delay_storms_ > 0) {
+    active_delay_storms_ = 0;
+    cluster_->network()->set_extra_delay(0);
+    Record(FaultKind::kDelayStorm, /*heal=*/true, net::kInvalidNode,
+           net::kInvalidNode, 0);
+  }
+  for (const auto& [victim, count] : active_skew_) {
+    cluster_->node(victim)->set_timer_skew(1.0);
+    Record(FaultKind::kClockSkew, /*heal=*/true, victim, net::kInvalidNode,
+           0);
+  }
+  active_skew_.clear();
+  for (const auto& [victim, count] : active_slow_) {
+    cluster_->node(victim)->SetCpuSpeedFactor(1.0);
+    Record(FaultKind::kSlowNode, /*heal=*/true, victim, net::kInvalidNode,
+           0);
+  }
+  active_slow_.clear();
+}
+
+}  // namespace nbraft::chaos

@@ -1,0 +1,103 @@
+#ifndef NBRAFT_CHAOS_NEMESIS_H_
+#define NBRAFT_CHAOS_NEMESIS_H_
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "chaos/chaos_plan.h"
+#include "common/random.h"
+#include "harness/cluster.h"
+#include "net/network.h"
+#include "obs/registry.h"
+#include "obs/tracer.h"
+#include "sim/simulator.h"
+
+namespace nbraft::chaos {
+
+/// The fault injector: runs on the cluster's simulator and executes a
+/// ChaosPlan — crash/restart (incl. leader-targeted), symmetric and
+/// one-way partitions, link flaps, drop/delay storms, election-timer skew
+/// and CPU degradation — with every choice drawn from its own RNG seeded
+/// by the plan. Each fault schedules its own heal; Stop() + HealAll()
+/// restores the cluster to nominal regardless of what was active.
+///
+/// Every action is appended to `records()` (the fault schedule), emitted
+/// as a `chaos_*` tracer instant when the cluster is traced, and counted
+/// in the cluster registry (`chaos_<kind>` / `chaos_heals`).
+class Nemesis {
+ public:
+  Nemesis(harness::Cluster* cluster, ChaosPlan plan);
+
+  Nemesis(const Nemesis&) = delete;
+  Nemesis& operator=(const Nemesis&) = delete;
+
+  /// Schedules the first injection. Call after the cluster started.
+  void Start();
+
+  /// Stops injecting new faults (already-scheduled heals still run).
+  void Stop();
+
+  /// Reverts every outstanding fault immediately: restarts crashed nodes,
+  /// removes cuts, clears storms, skew and CPU degradation.
+  void HealAll();
+
+  const std::vector<FaultRecord>& records() const { return records_; }
+  uint64_t Fingerprint() const { return FingerprintFaults(records_); }
+
+  /// Replicas crashed by this nemesis and not yet restarted.
+  int crashed_count() const { return static_cast<int>(crashed_.size()); }
+
+ private:
+  void ScheduleNext();
+  void InjectOne();
+  void Record(FaultKind kind, bool heal, net::NodeId a, net::NodeId b,
+              int64_t param);
+
+  // Individual faults. Each returns false if not applicable right now
+  // (e.g. crash cap reached), in which case the injection is skipped.
+  bool InjectCrash(bool target_leader, SimDuration duration);
+  bool InjectPartition(bool one_way, SimDuration duration);
+  bool InjectLinkFlap(SimDuration duration);
+  bool InjectDropStorm(SimDuration duration);
+  bool InjectDelayStorm(SimDuration duration);
+  bool InjectClockSkew(SimDuration duration);
+  bool InjectSlowNode(SimDuration duration);
+
+  /// Random up replica (excludes nemesis-crashed nodes), or kInvalidNode.
+  net::NodeId PickUpNode();
+  /// Random unordered replica pair with both ends up.
+  bool PickUpPair(net::NodeId* a, net::NodeId* b);
+  SimDuration DrawGap();
+  SimDuration DrawDuration();
+  int MaxConcurrentCrashes() const;
+
+  harness::Cluster* cluster_;
+  ChaosPlan plan_;
+  nbraft::Rng rng_;
+  bool running_ = false;
+
+  std::set<net::NodeId> crashed_;
+  /// Reference counts for global effects that can overlap.
+  int active_drop_storms_ = 0;
+  int active_delay_storms_ = 0;
+  /// Per-node outstanding skew / slow effects (heal restores 1.0 when the
+  /// last one on that node expires).
+  std::unordered_map<net::NodeId, int> active_skew_;
+  std::unordered_map<net::NodeId, int> active_slow_;
+  /// Outstanding cuts (and flaps) so heals and HealAll can revert them.
+  struct ActiveCut {
+    uint64_t id;
+    net::NodeId a;
+    net::NodeId b;
+    bool one_way;
+  };
+  std::vector<ActiveCut> active_cuts_;
+  uint64_t next_cut_id_ = 1;
+
+  std::vector<FaultRecord> records_;
+};
+
+}  // namespace nbraft::chaos
+
+#endif  // NBRAFT_CHAOS_NEMESIS_H_

@@ -73,6 +73,11 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   client_options.payload_size = config_.payload_size;
   client_options.pipeline_window =
       options.window_size > 0 ? options.window_size : 0;
+  client_options.backoff_base = config_.client_backoff_base;
+  client_options.backoff_cap = config_.client_backoff_cap;
+  client_options.backoff_multiplier = config_.client_backoff_multiplier;
+  client_options.record_ack_ids = config_.record_client_acks;
+  client_options.max_requests = config_.client_max_requests;
 
   for (int i = 0; i < config_.num_clients; ++i) {
     IngestWorkload::Options wopts = config_.workload;
@@ -100,8 +105,11 @@ void Cluster::SetupObservability() {
     owns_log_clock_ = true;
   }
 
-  if (!config_.trace && config_.sample_interval <= 0) return;
+  // The registry always exists: chaos fault counters and other cheap
+  // counters surface even in untraced, unsampled runs.
   registry_ = std::make_unique<obs::Registry>();
+
+  if (!config_.trace && config_.sample_interval <= 0) return;
 
   if (config_.trace) {
     obs::Tracer::Options topts;

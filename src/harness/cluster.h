@@ -50,6 +50,19 @@ struct ClusterConfig {
   std::string wal_dir;
   SimDuration election_timeout = Millis(500);
   SimDuration client_think = Micros(5);
+
+  /// Client resend backoff (capped exponential + seeded jitter).
+  SimDuration client_backoff_base = Millis(1500);
+  SimDuration client_backoff_cap = Millis(8000);
+  double client_backoff_multiplier = 2.0;
+
+  /// Retain weak/strong acked request ids on every client so the chaos
+  /// safety oracle can audit acknowledged-write durability.
+  bool record_client_acks = false;
+
+  /// Per-client cap on issued requests, 0 = unlimited. Lets chaos runs
+  /// drain to a true quiescent point (retries still run after the cap).
+  uint64_t client_max_requests = 0;
   net::NetworkConfig network;
   bool geo_distributed = false;  ///< Fig. 20 topology (max 5 nodes).
   SystemProfile profile = SystemProfile::kIoTDB;

@@ -22,6 +22,11 @@ uint64_t SimNetwork::PairKey(NodeId a, NodeId b) {
          static_cast<uint32_t>(b);
 }
 
+uint64_t SimNetwork::DirectedKey(NodeId from, NodeId to) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32) |
+         static_cast<uint32_t>(to);
+}
+
 SimDuration SimNetwork::LatencyFor(NodeId from, NodeId to) const {
   const auto it = pair_latency_.find(PairKey(from, to));
   return it != pair_latency_.end() ? it->second : config_.base_latency;
@@ -36,6 +41,10 @@ SimDuration SimNetwork::SerializationTime(size_t bytes) const {
 
 bool SimNetwork::LinkBlocked(NodeId from, NodeId to) const {
   if (isolated_nodes_.count(from) > 0 || isolated_nodes_.count(to) > 0) {
+    return true;
+  }
+  if (!one_way_cuts_.empty() &&
+      one_way_cuts_.count(DirectedKey(from, to)) > 0) {
     return true;
   }
   return cut_links_.count(PairKey(from, to)) > 0;
@@ -76,7 +85,8 @@ SimTime SimNetwork::Send(NodeId from, NodeId to, size_t bytes,
     jitter = static_cast<SimDuration>(
         rng_.NextExponential(static_cast<double>(config_.jitter_mean)));
   }
-  const SimTime propagated = tx_done + LatencyFor(from, to) + jitter;
+  const SimTime propagated =
+      tx_done + LatencyFor(from, to) + jitter + extra_delay_;
 
   Message msg;
   msg.from = from;
@@ -140,11 +150,24 @@ bool SimNetwork::IsNodeUp(NodeId id) const {
   return down_nodes_.count(id) == 0;
 }
 
-void SimNetwork::SetLinkCut(NodeId a, NodeId b, bool cut) {
+void SimNetwork::SetLinkCut(NodeId a, NodeId b, bool cut,
+                            bool bidirectional) {
+  if (bidirectional) {
+    if (cut) {
+      cut_links_.insert(PairKey(a, b));
+    } else {
+      cut_links_.erase(PairKey(a, b));
+    }
+    return;
+  }
+  SetOneWayCut(a, b, cut);
+}
+
+void SimNetwork::SetOneWayCut(NodeId from, NodeId to, bool cut) {
   if (cut) {
-    cut_links_.insert(PairKey(a, b));
+    one_way_cuts_.insert(DirectedKey(from, to));
   } else {
-    cut_links_.erase(PairKey(a, b));
+    one_way_cuts_.erase(DirectedKey(from, to));
   }
 }
 

@@ -85,14 +85,26 @@ class SimNetwork {
   void SetNodeUp(NodeId id, bool up);
   bool IsNodeUp(NodeId id) const;
 
-  /// Cuts / restores connectivity between two nodes (both directions).
-  void SetLinkCut(NodeId a, NodeId b, bool cut);
+  /// Cuts / restores connectivity between two nodes. With `bidirectional`
+  /// (the default, matching the historical API) both directions are
+  /// affected; otherwise only messages a -> b are cut, which expresses the
+  /// classic "leader sends but cannot hear" asymmetric failure.
+  void SetLinkCut(NodeId a, NodeId b, bool cut, bool bidirectional = true);
+
+  /// One-way cut: messages `from` -> `to` are dropped, the reverse
+  /// direction is untouched. Equivalent to SetLinkCut(from, to, cut, false).
+  void SetOneWayCut(NodeId from, NodeId to, bool cut);
 
   /// Isolates `id` from every other node without marking it down.
   void Isolate(NodeId id, bool isolated);
 
   const NetworkConfig& config() const { return config_; }
   void set_drop_probability(double p) { config_.drop_probability = p; }
+
+  /// Additional one-way delay added to every message (delay storms). Only
+  /// affects messages sent while the value is non-zero.
+  void set_extra_delay(SimDuration d) { extra_delay_ = d; }
+  SimDuration extra_delay() const { return extra_delay_; }
 
   /// Attaches the lifecycle tracer (nullptr = off, the default). Emits
   /// `net_send` / `net_recv` (arg0 = peer, arg1 = bytes) and `net_drop`
@@ -112,6 +124,7 @@ class SimNetwork {
   };
 
   static uint64_t PairKey(NodeId a, NodeId b);
+  static uint64_t DirectedKey(NodeId from, NodeId to);
   SimDuration LatencyFor(NodeId from, NodeId to) const;
   SimDuration SerializationTime(size_t bytes) const;
   bool LinkBlocked(NodeId from, NodeId to) const;
@@ -123,7 +136,9 @@ class SimNetwork {
   std::unordered_set<NodeId> down_nodes_;
   std::unordered_set<NodeId> isolated_nodes_;
   std::unordered_set<uint64_t> cut_links_;
+  std::unordered_set<uint64_t> one_way_cuts_;  ///< Directed (from, to) keys.
   std::unordered_map<uint64_t, SimDuration> pair_latency_;
+  SimDuration extra_delay_ = 0;
   nbraft::Rng rng_;
   obs::Tracer* tracer_ = nullptr;
 

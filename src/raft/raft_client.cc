@@ -15,9 +15,13 @@ RaftClient::RaftClient(sim::Simulator* sim, net::SimNetwork* network,
       id_(id),
       servers_(std::move(servers)),
       options_(options),
-      payload_fn_(std::move(payload_fn)) {
+      payload_fn_(std::move(payload_fn)),
+      rng_(sim->rng()->Next()) {
   NBRAFT_CHECK(!servers_.empty());
   NBRAFT_CHECK(net::IsClientId(id));
+  NBRAFT_CHECK_GT(options_.backoff_base, 0);
+  NBRAFT_CHECK_GE(options_.backoff_cap, options_.backoff_base);
+  NBRAFT_CHECK_GE(options_.backoff_multiplier, 1.0);
   leader_guess_ = servers_[0];
 }
 
@@ -100,17 +104,63 @@ void RaftClient::IssueRequest(PendingRequest req, bool is_retry) {
   ArmTimeout();
 }
 
+SimDuration RaftClient::CurrentTimeout() {
+  double wait = static_cast<double>(options_.backoff_base);
+  const double cap = static_cast<double>(options_.backoff_cap);
+  for (int k = 0; k < consecutive_timeouts_ && wait < cap; ++k) {
+    wait *= options_.backoff_multiplier;
+  }
+  wait = std::min(wait, cap);
+  auto timeout = static_cast<SimDuration>(wait);
+  // Deterministic de-synchronisation: up to +25% drawn from the client's
+  // own seeded stream, so stranded clients don't resend in lockstep.
+  timeout += static_cast<SimDuration>(
+      rng_.NextBounded(static_cast<uint64_t>(timeout / 4) + 1));
+  return timeout;
+}
+
+void RaftClient::ResetBackoff() {
+  if (consecutive_timeouts_ > 0) {
+    ++stats_.backoff_resets;
+    consecutive_timeouts_ = 0;
+  }
+}
+
+void RaftClient::RecordStrongAck(uint64_t request_id) {
+  if (options_.record_ack_ids) strong_acked_ids_.insert(request_id);
+}
+
 void RaftClient::ArmTimeout() {
   sim_->Cancel(timeout_event_);
-  timeout_event_ = sim_->After(options_.request_timeout, [this]() {
-    if (stopped_ || !has_inflight_) return;
+  timeout_event_ = sim_->After(CurrentTimeout(), [this]() {
+    // The resend target: the inflight request, or — when the opList bound
+    // blocks the pipeline with nothing inflight — the oldest weakly
+    // accepted request. Probing the opList is what keeps a client from
+    // deadlocking when a leadership change silently wiped its window
+    // entries: the probe's response carries the newer term and triggers
+    // the Sec. III-C1 retry.
+    const PendingRequest* target = nullptr;
+    if (!stopped_ && has_inflight_) {
+      target = &inflight_;
+    } else if (!stopped_ && !op_list_.empty()) {
+      target = &op_list_.front();
+    }
+    if (target == nullptr) return;
     ++stats_.timeouts;
-    RotateLeaderGuess();
+    ++consecutive_timeouts_;
+    if (guess_is_fresh_hint_) {
+      // A server vouched for this leader and we haven't heard from it yet:
+      // re-try it once before falling back to rotation (the hint usually
+      // just lost a race with a partition heal or an in-flight election).
+      guess_is_fresh_hint_ = false;
+    } else {
+      RotateLeaderGuess();
+    }
     // Re-send the same request (same id: at-least-once).
     ClientRequest wire;
     wire.client = id_;
-    wire.request_id = inflight_.request_id;
-    wire.payload = inflight_.payload;
+    wire.request_id = target->request_id;
+    wire.payload = target->payload;
     const size_t bytes = wire.WireSize();
     network_->Send(id_, leader_guess_, bytes, std::move(wire));
     ArmTimeout();
@@ -140,19 +190,26 @@ void RaftClient::RetryAll(const char* reason) {
 }
 
 void RaftClient::HandleResponse(const ClientResponse& resp) {
+  // Any response means the cluster is reachable again: snap the resend
+  // backoff back to its base.
+  ResetBackoff();
   switch (resp.state) {
     case AcceptState::kWeakAccept: {
-      if (!has_inflight_ || resp.request_id != inflight_.request_id) {
-        return;  // Stale (e.g. the strong accept already arrived).
-      }
       // Sec. III-C1: a newer term means earlier WEAK_ACCEPTs may be lost.
+      // Checked before the staleness filter so a re-accept of an opList
+      // probe under a new leader still triggers the retry.
       if (resp.term > list_term_) {
         RetryAll("newer term on weak accept");
         list_term_ = resp.term;
       }
+      if (!has_inflight_ || resp.request_id != inflight_.request_id) {
+        break;  // Stale (e.g. the strong accept already arrived).
+      }
       sim_->Cancel(timeout_event_);
       timeout_event_ = sim::kInvalidEventId;
+      guess_is_fresh_hint_ = false;  // The guess answered: it's confirmed.
       ++stats_.weak_accepts;
+      if (options_.record_ack_ids) weak_acked_ids_.insert(resp.request_id);
       if (tracer_ != nullptr) {
         tracer_->RecordInstant("client_weak_accept", id_, resp.index,
                                static_cast<int64_t>(resp.request_id));
@@ -177,11 +234,13 @@ void RaftClient::HandleResponse(const ClientResponse& resp) {
         tracer_->RecordInstant("client_strong_accept", id_, resp.index,
                                static_cast<int64_t>(resp.request_id));
       }
+      guess_is_fresh_hint_ = false;  // The guess answered: it's confirmed.
       // Sec. III-C2: everything with index <= resp.index is committed.
       while (!op_list_.empty() && op_list_.front().index != 0 &&
              op_list_.front().index <= resp.index) {
         const PendingRequest& done = op_list_.front();
         ++stats_.requests_completed;
+        RecordStrongAck(done.request_id);
         if (done.measured) {
           stats_.completion_latency.Record(sim_->Now() - done.issued_at);
         }
@@ -191,6 +250,7 @@ void RaftClient::HandleResponse(const ClientResponse& resp) {
         sim_->Cancel(timeout_event_);
         timeout_event_ = sim::kInvalidEventId;
         ++stats_.requests_completed;
+        RecordStrongAck(inflight_.request_id);
         if (inflight_.measured) {
           stats_.completion_latency.Record(sim_->Now() - inflight_.issued_at);
           stats_.unblock_latency.Record(sim_->Now() - inflight_.issued_at);
@@ -205,8 +265,10 @@ void RaftClient::HandleResponse(const ClientResponse& resp) {
       ++stats_.leader_changes_seen;
       if (resp.leader_hint != net::kInvalidNode) {
         leader_guess_ = resp.leader_hint;
+        guess_is_fresh_hint_ = true;
       } else {
         RotateLeaderGuess();
+        guess_is_fresh_hint_ = false;
       }
       if (resp.term > list_term_) list_term_ = resp.term;
       RetryAll("leader changed");
@@ -225,8 +287,10 @@ void RaftClient::HandleResponse(const ClientResponse& resp) {
       if (resp.leader_hint != net::kInvalidNode &&
           resp.leader_hint != leader_guess_) {
         leader_guess_ = resp.leader_hint;
+        guess_is_fresh_hint_ = true;
       } else {
         RotateLeaderGuess();
+        guess_is_fresh_hint_ = false;
       }
       // Re-send promptly to the new guess.
       ClientRequest wire;
@@ -241,6 +305,15 @@ void RaftClient::HandleResponse(const ClientResponse& resp) {
 
     case AcceptState::kLogMismatch:
       break;  // Never client-facing.
+  }
+
+  // Whatever the branch did: make sure a blocked client (opList at its
+  // bound, nothing inflight) keeps a probe timer armed, and that queued
+  // retries get issued.
+  ScheduleNextRequest();
+  if (!stopped_ && !has_inflight_ && !op_list_.empty() &&
+      timeout_event_ == sim::kInvalidEventId) {
+    ArmTimeout();
   }
 }
 

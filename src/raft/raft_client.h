@@ -4,9 +4,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
+#include "common/random.h"
 #include "metrics/histogram.h"
 #include "net/network.h"
 #include "obs/tracer.h"
@@ -25,6 +27,9 @@ struct ClientStats {
   uint64_t retries = 0;
   uint64_t leader_changes_seen = 0;
   uint64_t timeouts = 0;
+  /// Times the exponential resend backoff snapped back to its base after a
+  /// response arrived mid-backoff (i.e. recoveries, not just timeouts).
+  uint64_t backoff_resets = 0;
   metrics::Histogram completion_latency;  ///< Issue -> STRONG_ACCEPT.
   metrics::Histogram unblock_latency;     ///< Issue -> first response.
   SimDuration gen_time_total = 0;         ///< Accumulated t_gen(C).
@@ -51,11 +56,23 @@ class RaftClient {
     /// tied to the follower window size). 0 = original Raft behaviour.
     int pipeline_window = 0;
 
-    /// Give up waiting for a response and resend after this long.
-    SimDuration request_timeout = Millis(1500);
+    /// Resend timeout for the first attempt of a request. Consecutive
+    /// timeouts of the same request back off exponentially:
+    ///   wait(k) = min(backoff_cap, backoff_base * backoff_multiplier^k)
+    /// plus a deterministic jitter drawn from the client's seeded RNG (up
+    /// to wait/4), so a fleet of clients stranded by the same fault does
+    /// not resend in lockstep. Any response resets the backoff to base.
+    SimDuration backoff_base = Millis(1500);
+    SimDuration backoff_cap = Millis(8000);
+    double backoff_multiplier = 2.0;
 
     /// Stop issuing after this many requests (0 = unlimited).
     uint64_t max_requests = 0;
+
+    /// Retain the ids of weakly / strongly acknowledged requests (the
+    /// chaos safety oracle audits them against the committed log). Off by
+    /// default: long benchmark runs should not grow id sets.
+    bool record_ack_ids = false;
   };
 
   /// Generates a request payload of (at least) `target` bytes.
@@ -83,6 +100,14 @@ class RaftClient {
   uint64_t requests_issued_total() const { return next_seq_; }
   bool stopped() const { return stopped_; }
 
+  /// Request ids acknowledged so far (empty unless
+  /// Options::record_ack_ids). A strong ack promises durability; the
+  /// safety oracle checks every id here against the committed log.
+  const std::set<uint64_t>& strong_acked_ids() const {
+    return strong_acked_ids_;
+  }
+  const std::set<uint64_t>& weak_acked_ids() const { return weak_acked_ids_; }
+
   /// Attaches the lifecycle tracer (nullptr = off, the default): t_gen(C)
   /// spans per request plus WEAK/STRONG-accept and retry instants.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
@@ -104,6 +129,12 @@ class RaftClient {
   void RetryAll(const char* reason);
   void ArmTimeout();
   void RotateLeaderGuess();
+  /// Current resend wait: capped exponential in the consecutive-timeout
+  /// count, plus deterministic jitter.
+  SimDuration CurrentTimeout();
+  /// A response arrived: snap the backoff back to its base.
+  void ResetBackoff();
+  void RecordStrongAck(uint64_t request_id);
 
   sim::Simulator* sim_;
   net::SimNetwork* network_;
@@ -114,6 +145,10 @@ class RaftClient {
 
   net::NodeId leader_guess_;
   storage::Term list_term_ = 0;  ///< Newest leader term seen (Sec. III-C).
+  /// True while leader_guess_ came from an unconfirmed leader hint: the
+  /// next timeout re-tries the hinted node instead of rotating past it.
+  bool guess_is_fresh_hint_ = false;
+  int consecutive_timeouts_ = 0;
 
   /// The request awaiting its first response (at most one), plus the
   /// opList of weakly accepted requests awaiting STRONG_ACCEPT.
@@ -123,6 +158,10 @@ class RaftClient {
   std::deque<PendingRequest> retry_queue_;
 
   obs::Tracer* tracer_ = nullptr;
+  nbraft::Rng rng_;  ///< Deterministic per-client stream (backoff jitter).
+
+  std::set<uint64_t> strong_acked_ids_;
+  std::set<uint64_t> weak_acked_ids_;
 
   uint64_t next_seq_ = 0;
   bool started_ = false;

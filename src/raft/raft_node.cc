@@ -386,8 +386,18 @@ void RaftNode::TryDispatch(net::NodeId peer) {
   PeerState& ps = peer_state_[peer];
   while (ps.busy_dispatchers < options_.dispatchers_per_follower &&
          !ps.queue.empty()) {
-    const QueuedEntry qe = ps.queue.front();
-    ps.queue.pop_front();
+    // Dispatch the lowest queued index first. In steady state entries are
+    // enqueued in log order, so this is FIFO; after a fault it matters:
+    // out-of-window entries a lagging follower is holding keep timing out
+    // and re-queueing, and under FIFO they would recycle through the freed
+    // dispatcher slots forever, starving the catch-up entries the follower
+    // actually needs to advance its log.
+    auto pick = ps.queue.begin();
+    for (auto it = std::next(pick); it != ps.queue.end(); ++it) {
+      if (it->index < pick->index) pick = it;
+    }
+    const QueuedEntry qe = *pick;
+    ps.queue.erase(pick);
     ps.queued.erase(qe.index);
     if (qe.index > log_.LastIndex()) continue;  // Truncated since queued.
     if (qe.index < log_.FirstIndex()) {
@@ -954,11 +964,13 @@ void RaftNode::MaybeCatchUpPeer(net::NodeId peer,
   // duplicates of in-flight entries.
   storage::LogIndex start = std::max(
       {follower_last + 1, ps.max_enqueued + 1, log_.FirstIndex()});
-  if (follower_last < commit_index_ &&
-      sim_->Now() - ps.last_advance_at > 2 * options_.rpc_timeout) {
-    // Stagnant below the commit point: every pipeline copy of the missing
-    // entries was consumed without an append (e.g. cached in a window
-    // that was since cleared). Force a re-send of the continuation.
+  if (sim_->Now() - ps.last_advance_at > 2 * options_.rpc_timeout) {
+    // Stagnant: every pipeline copy of the missing entries was consumed
+    // without an append (cached in a window that was since cleared, or
+    // dropped from the queues by a leadership change while the follower
+    // was partitioned). Force a re-send of the continuation — waiting for
+    // the normal pipeline would deadlock when the backlog predates this
+    // leader's peer state.
     start = std::max(follower_last + 1, log_.FirstIndex());
     ps.last_advance_at = sim_->Now();  // Back off between forced bursts.
   }
@@ -975,12 +987,25 @@ void RaftNode::MaybeCatchUpPeer(net::NodeId peer,
 // Elections
 // ---------------------------------------------------------------------------
 
+void RaftNode::SetCpuSpeedFactor(double factor) {
+  cpu_->set_speed_factor(factor);
+  index_lane_->set_speed_factor(factor);
+  apply_lane_->set_speed_factor(factor);
+  log_lock_lane_->set_speed_factor(factor);
+}
+
 void RaftNode::ArmElectionTimer() {
   sim_->Cancel(election_timer_);
   const SimDuration base = options_.election_timeout;
-  const SimDuration delay =
+  SimDuration delay =
       base + static_cast<SimDuration>(rng_.NextBounded(
                  static_cast<uint64_t>(std::max<SimDuration>(base, 1))));
+  if (timer_skew_ != 1.0) {
+    // Chaos clock skew: stretch or shrink this node's perception of the
+    // timeout (floor 1 tick keeps the timer strictly in the future).
+    delay = std::max<SimDuration>(
+        static_cast<SimDuration>(static_cast<double>(delay) * timer_skew_), 1);
+  }
   const uint64_t epoch = epoch_;
   election_timer_ = sim_->After(delay, [this, epoch]() {
     if (crashed_ || epoch != epoch_ || role_ == Role::kLeader) return;
@@ -1067,6 +1092,7 @@ void RaftNode::BecomeLeader() {
   if (tracer_ != nullptr) {
     tracer_->RecordInstant("leader_elected", id_, current_term_);
   }
+  if (leader_observer_) leader_observer_(current_term_, id_);
   sim_->Cancel(election_timer_);
   election_timer_ = sim::kInvalidEventId;
 

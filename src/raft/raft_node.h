@@ -101,6 +101,25 @@ class RaftNode {
   /// sliding window's insert/evict/flush transitions become instants.
   void set_tracer(obs::Tracer* tracer);
 
+  /// Invoked exactly once per term this node wins, from BecomeLeader().
+  /// The chaos safety oracle uses it to check election safety (<= 1 leader
+  /// per term) without polling.
+  using LeaderObserver = std::function<void(storage::Term, net::NodeId)>;
+  void set_leader_observer(LeaderObserver observer) {
+    leader_observer_ = std::move(observer);
+  }
+
+  /// Multiplies the randomized election timeout (chaos clock skew; 1.0 =
+  /// nominal). < 1 makes this node trigger-happy, > 1 sluggish. Applies
+  /// from the next time the timer is armed.
+  void set_timer_skew(double skew) { timer_skew_ = skew; }
+  double timer_skew() const { return timer_skew_; }
+
+  /// Degrades (or restores) all of this node's CPU lanes — the chaos
+  /// slow-node fault. Charged costs divide by the factor, so factor < 1
+  /// slows the node down and 1.0 restores nominal speed.
+  void SetCpuSpeedFactor(double factor);
+
   /// Entries sitting in dispatcher queues across all peers (telemetry).
   size_t DispatcherQueueDepth() const;
   /// AppendEntries / InstallSnapshot RPCs currently on the wire.
@@ -319,6 +338,8 @@ class RaftNode {
 
   obs::Tracer* tracer_ = nullptr;
   WindowTraceAdapter window_trace_adapter_{this};
+  LeaderObserver leader_observer_;
+  double timer_skew_ = 1.0;
 
   NodeStats stats_;
 };

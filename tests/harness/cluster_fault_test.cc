@@ -195,5 +195,92 @@ TEST(CrashRestartTest, RestartedNodeCatchesUp) {
   ExpectSafety(&cluster, "after catch-up");
 }
 
+TEST(CrashRestartTest, RestartedFollowerCatchesUpAcrossSnapshotBoundary) {
+  // An NB-Raft follower crashes mid-window, stays down long enough for the
+  // leader to compact the entries it missed into a snapshot, and must come
+  // back via InstallSnapshot + tail replication — ending log-matched with
+  // the rest of the cluster.
+  ClusterConfig config = SmallConfig(Protocol::kNbRaft, 3, 4, 31);
+  config.snapshot_threshold = 200;
+  Cluster cluster(config);
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  cluster.StartClients();
+  cluster.RunFor(Millis(300));
+
+  int victim = -1;
+  for (int i = 0; i < 3; ++i) {
+    if (cluster.node(i)->role() != raft::Role::kLeader) {
+      victim = i;
+      break;
+    }
+  }
+  ASSERT_GE(victim, 0);
+  cluster.CrashNode(victim);
+  const storage::LogIndex at_crash = cluster.node(victim)->log().LastIndex();
+  cluster.RunFor(Millis(1500));
+
+  raft::RaftNode* leader = cluster.leader();
+  ASSERT_NE(leader, nullptr);
+  ASSERT_GT(leader->log().FirstIndex(), at_crash + 1)
+      << "the workload must outrun the crashed follower past a snapshot "
+         "boundary for this test to mean anything";
+
+  cluster.RestartNode(victim);
+  cluster.StopAllClients();
+  cluster.RunFor(Seconds(8));
+
+  leader = cluster.leader();
+  ASSERT_NE(leader, nullptr);
+  EXPECT_GE(cluster.node(victim)->stats().snapshots_installed, 1u)
+      << "catch-up skipped the snapshot the compacted prefix requires";
+  EXPECT_GE(cluster.node(victim)->log().LastIndex(), leader->commit_index());
+  EXPECT_GE(cluster.node(victim)->commit_index(), leader->commit_index());
+  ExpectSafety(&cluster, "after snapshot catch-up");
+}
+
+TEST(PartitionTest, DeafLeaderStallsAndRecoversOnHeal) {
+  // One-way cuts make the leader deaf: its appends and heartbeats still
+  // reach the followers (so no election fires), but every response is
+  // dropped. Commit must stall — acks cannot arrive — and resume after the
+  // heal without a term change or safety violation.
+  ClusterConfig config = SmallConfig(Protocol::kNbRaft, 3, 4, 37);
+  Cluster cluster(config);
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  cluster.StartClients();
+  cluster.RunFor(Millis(300));
+
+  raft::RaftNode* leader = cluster.leader();
+  ASSERT_NE(leader, nullptr);
+  const net::NodeId leader_id = leader->id();
+  const storage::Term term_at_cut = leader->current_term();
+  for (int i = 0; i < 3; ++i) {
+    if (i != leader_id) cluster.network()->SetOneWayCut(i, leader_id, true);
+  }
+  const storage::LogIndex commit_at_cut = leader->commit_index();
+  cluster.RunFor(Seconds(1));
+
+  // Outbound heartbeats kept the followers loyal...
+  EXPECT_EQ(cluster.leader(), leader);
+  EXPECT_EQ(leader->current_term(), term_at_cut);
+  // ... but without acks nothing past the in-flight tail can commit.
+  EXPECT_LE(leader->commit_index(), commit_at_cut + 10)
+      << "a deaf leader must not advance its commit index";
+
+  for (int i = 0; i < 3; ++i) {
+    if (i != leader_id) cluster.network()->SetOneWayCut(i, leader_id, false);
+  }
+  cluster.RunFor(Seconds(1));
+  cluster.StopAllClients();
+  cluster.RunFor(Seconds(2));
+
+  EXPECT_EQ(leader->current_term(), term_at_cut)
+      << "one-way deafness should not force an election";
+  EXPECT_GT(leader->commit_index(), commit_at_cut + 10)
+      << "healing the return path must unblock replication";
+  ExpectSafety(&cluster, "after deaf-leader heal");
+}
+
 }  // namespace
 }  // namespace nbraft::harness

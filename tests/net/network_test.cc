@@ -137,6 +137,61 @@ TEST_F(NetworkTest, LinkCutBlocksBothDirections) {
   EXPECT_EQ(got, 1);
 }
 
+TEST_F(NetworkTest, OneWayCutBlocksOnlyThatDirection) {
+  sim::Simulator sim(1);
+  SimNetwork net(&sim, QuietConfig());
+  int got = 0;
+  net.RegisterEndpoint(1, [&](Message&&) { ++got; });
+  net.RegisterEndpoint(2, [&](Message&&) { ++got; });
+  // The classic asymmetric failure: 1 can send to 2, but cannot hear back.
+  net.SetOneWayCut(2, 1, true);
+  EXPECT_NE(net.Send(1, 2, 10, 0), -1);
+  EXPECT_EQ(net.Send(2, 1, 10, 0), -1);
+  net.SetOneWayCut(2, 1, false);
+  net.Send(2, 1, 10, 0);
+  sim.Run();
+  EXPECT_EQ(got, 2);
+}
+
+TEST_F(NetworkTest, SetLinkCutUnidirectionalMatchesOneWayCut) {
+  sim::Simulator sim(1);
+  SimNetwork net(&sim, QuietConfig());
+  int got = 0;
+  net.RegisterEndpoint(1, [&](Message&&) { ++got; });
+  net.RegisterEndpoint(2, [&](Message&&) { ++got; });
+  net.SetLinkCut(1, 2, true, /*bidirectional=*/false);
+  EXPECT_EQ(net.Send(1, 2, 10, 0), -1);
+  EXPECT_NE(net.Send(2, 1, 10, 0), -1);
+  // Healing through the symmetric API must not clear the directed cut.
+  net.SetLinkCut(1, 2, false, /*bidirectional=*/true);
+  EXPECT_EQ(net.Send(1, 2, 10, 0), -1);
+  net.SetLinkCut(1, 2, false, /*bidirectional=*/false);
+  EXPECT_NE(net.Send(1, 2, 10, 0), -1);
+  sim.Run();
+  EXPECT_EQ(got, 2);
+}
+
+TEST_F(NetworkTest, ExtraDelayShiftsDelivery) {
+  sim::Simulator sim(1);
+  SimNetwork net(&sim, QuietConfig());
+  std::vector<SimTime> at;
+  net.RegisterEndpoint(2, [&](Message&&) { at.push_back(sim.Now()); });
+  net.Send(1, 2, 1000, 0);
+  sim.Run();
+  net.set_extra_delay(Millis(5));
+  net.Send(1, 2, 1000, 1);
+  sim.Run();
+  net.set_extra_delay(0);
+  net.Send(1, 2, 1000, 2);
+  sim.Run();
+  ASSERT_EQ(at.size(), 3u);
+  // Baseline path cost t0: 1us egress + 1ms latency + 1us ingress. The
+  // second send departs at t0 and the storm adds exactly 5ms on top.
+  const SimTime t0 = at[0];
+  EXPECT_EQ(at[1], t0 * 2 + Millis(5));
+  EXPECT_EQ(at[2], at[1] + t0);
+}
+
 TEST_F(NetworkTest, IsolationBlocksAllTraffic) {
   sim::Simulator sim(1);
   SimNetwork net(&sim, QuietConfig());

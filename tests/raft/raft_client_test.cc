@@ -38,7 +38,9 @@ class RaftClientTest : public ::testing::Test {
     options.think_time = Micros(10);
     options.payload_size = 64;
     options.pipeline_window = window;
-    options.request_timeout = Millis(100);
+    options.backoff_base = Millis(100);
+    options.backoff_cap = Millis(400);
+    options.backoff_multiplier = 2.0;
     return options;
   }
 
@@ -180,11 +182,82 @@ TEST_F(RaftClientTest, TimeoutRotatesServers) {
   client->Start();
   sim_.RunUntil(Millis(5));
   ASSERT_EQ(requests_a_.size(), 1u);
-  // Never respond: after the 100 ms timeout the client tries server B.
+  // Never respond: after the first timeout (100 ms base + <=25% jitter)
+  // the client tries server B.
   sim_.RunUntil(Millis(150));
   ASSERT_GE(requests_b_.size(), 1u);
   EXPECT_EQ(requests_b_[0].request_id, requests_a_[0].request_id);
   EXPECT_GE(client->stats().timeouts, 1u);
+}
+
+TEST_F(RaftClientTest, ResendBackoffIsCappedExponential) {
+  auto client = MakeClient(0);
+  client->Start();
+  // Never respond. With base 100 ms, cap 400 ms, multiplier 2 and <=25%
+  // jitter the waits are <=125, <=250, <=500, <=500... so by 1.4 s at
+  // least 3 timeouts must have fired; a fixed 100 ms timer would have
+  // fired 13+ times by then.
+  sim_.RunUntil(Millis(1400));
+  EXPECT_GE(client->stats().timeouts, 3u);
+  EXPECT_LE(client->stats().timeouts, 13u - 1u);
+  EXPECT_EQ(client->stats().backoff_resets, 0u);
+}
+
+TEST_F(RaftClientTest, ResponseAfterTimeoutResetsBackoff) {
+  auto client = MakeClient(0);
+  client->Start();
+  sim_.RunUntil(Millis(5));
+  ASSERT_EQ(requests_a_.size(), 1u);
+  // Let at least one timeout fire, then answer: the backoff must snap
+  // back to base and count a reset.
+  sim_.RunUntil(Millis(150));
+  ASSERT_GE(client->stats().timeouts, 1u);
+  ClientRequest last = requests_a_.back();
+  if (!requests_b_.empty()) last = requests_b_.back();
+  Respond(last, AcceptState::kStrongAccept, 1, 1);
+  sim_.RunUntil(Millis(200));
+  EXPECT_EQ(client->stats().backoff_resets, 1u);
+  EXPECT_EQ(client->stats().requests_completed, 1u);
+}
+
+TEST_F(RaftClientTest, FreshLeaderHintIsRetriedBeforeRotation) {
+  auto client = MakeClient(0);
+  client->Start();
+  sim_.RunUntil(Millis(5));
+  ASSERT_EQ(requests_a_.size(), 1u);
+  // Server A redirects to B, which never answers. The first timeout must
+  // re-try the hinted B (hints beat blind rotation), and only the next
+  // one rotates back to A.
+  Respond(requests_a_[0], AcceptState::kNotLeader, 0, 0, kServerB);
+  sim_.RunUntil(Millis(150));
+  ASSERT_GE(requests_b_.size(), 2u)
+      << "first timeout must re-try the hinted leader";
+  EXPECT_EQ(requests_b_[1].request_id, requests_a_[0].request_id);
+  EXPECT_EQ(requests_a_.size(), 1u);
+  sim_.RunUntil(Millis(400));
+  EXPECT_GE(requests_a_.size(), 2u) << "second timeout falls back to rotation";
+}
+
+TEST_F(RaftClientTest, RecordsAckedRequestIds) {
+  auto options = DefaultOptions(8);
+  options.record_ack_ids = true;
+  auto client = std::make_unique<RaftClient>(
+      &sim_, network_.get(), kClient,
+      std::vector<net::NodeId>{kServerA, kServerB}, options,
+      [](size_t target) { return std::string(target, 'p'); });
+  client->Start();
+  sim_.RunUntil(Millis(5));
+  ASSERT_EQ(requests_a_.size(), 1u);
+  Respond(requests_a_[0], AcceptState::kWeakAccept, 1, 1);
+  sim_.RunUntil(Millis(10));
+  ASSERT_EQ(requests_a_.size(), 2u);
+  Respond(requests_a_[1], AcceptState::kStrongAccept, 2, 1);
+  sim_.RunUntil(Millis(15));
+  EXPECT_EQ(client->weak_acked_ids().count(requests_a_[0].request_id), 1u);
+  // The strong accept at index 2 covers both the opList entry and the
+  // directly answered request.
+  EXPECT_EQ(client->strong_acked_ids().count(requests_a_[0].request_id), 1u);
+  EXPECT_EQ(client->strong_acked_ids().count(requests_a_[1].request_id), 1u);
 }
 
 TEST_F(RaftClientTest, StopCeasesTraffic) {
