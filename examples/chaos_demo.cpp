@@ -66,6 +66,17 @@ chaos::ChaosReport RunOne(raft::Protocol protocol, uint64_t seed,
   std::printf("  %s\n", report.Summary().c_str());
   if (!trace_path.empty() && runner.cluster()->WriteTraces().ok()) {
     std::printf("  trace written to %s\n", trace_path.c_str());
+    // Drop the raw per-node counters next to the trace so a dashboard can
+    // line RPC/batching stats up against the lifecycle spans.
+    std::string stats_path = trace_path;
+    const size_t dot = stats_path.rfind(".json");
+    stats_path = stats_path.substr(0, dot) + "_stats.json";
+    if (std::FILE* f = std::fopen(stats_path.c_str(), "w")) {
+      const std::string json = runner.cluster()->NodeStatsJson();
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("  per-node stats written to %s\n", stats_path.c_str());
+    }
   }
   return report;
 }

@@ -42,6 +42,7 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   options.dispatchers_per_follower = config_.dispatchers < 0
                                          ? std::max(config_.num_clients, 1)
                                          : config_.dispatchers;
+  options.max_batch_entries = config_.max_batch_entries;
   options.cpu_lanes = config_.cpu_lanes;
   options.election_timeout = config_.election_timeout;
   options.release_applied_payloads = config_.release_payloads;
@@ -268,6 +269,17 @@ ClusterStats Cluster::Collect() const {
       out.entries_committed_leader = ns.entries_committed;
     }
   }
+  return out;
+}
+
+std::string Cluster::NodeStatsJson() const {
+  std::string out = "{";
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"node" + std::to_string(i) + "\":";
+    out += nodes_[i]->stats().ToJson();
+  }
+  out += "}";
   return out;
 }
 

@@ -39,6 +39,10 @@ struct ClusterConfig {
   /// dispatchers is the same as clients").
   int dispatchers = -1;
 
+  /// Max consecutive entries one AppendEntries RPC may coalesce (1 = the
+  /// paper's unbatched wire protocol).
+  int max_batch_entries = 1;
+
   int cpu_lanes = 16;
   double cpu_speed = 1.0;      ///< Fig. 23: < 1 models disabled CPU-Turbo.
 
@@ -174,6 +178,12 @@ class Cluster {
 
   /// Aggregates node + client metrics.
   ClusterStats Collect() const;
+
+  /// Raw per-node counters as one JSON object keyed "node0".."nodeN",
+  /// each value a raft::NodeStats::ToJson object (includes the RPC
+  /// batching counters and histograms). Machine-readable complement to
+  /// Collect() for dashboards and offline diffing.
+  std::string NodeStatsJson() const;
 
   // ---- Invariant checks (used by the integration tests) ----
 

@@ -1,0 +1,147 @@
+#include "raft/commit_applier.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "raft/replication_pipeline.h"
+
+namespace nbraft::raft {
+
+void CommitApplier::OnLeaderAppended(storage::LogIndex index) {
+  entry_timing_[index].indexed_at = ctx_->Now();
+}
+
+void CommitApplier::NoteFirstStrongUpTo(storage::LogIndex last_index) {
+  for (auto it = entry_timing_.begin();
+       it != entry_timing_.end() && it->first <= last_index; ++it) {
+    if (it->second.first_strong_at == 0) {
+      it->second.first_strong_at = ctx_->Now();
+    }
+  }
+}
+
+void CommitApplier::CommitIndices(
+    const std::vector<storage::LogIndex>& indices) {
+  CoreState& core = ctx_->core();
+  for (const storage::LogIndex index : indices) {
+    // The index may jump past commit_index + 1 right after an election:
+    // entries from older terms commit implicitly through the first
+    // current-term commit (Raft Sec. 5.4.2).
+    NBRAFT_CHECK_GT(index, core.commit_index);
+    ctx_->stats().entries_committed +=
+        static_cast<uint64_t>(index - core.commit_index);
+    core.commit_index = index;
+    ctx_->cpu()->Consume(ctx_->options().costs.commit_cost);
+    const int64_t trace_term = ctx_->TraceTermAt(index);
+    ctx_->TracePhase(metrics::Phase::kCommit, ctx_->Now(),
+                     ctx_->Now() + ctx_->options().costs.commit_cost,
+                     trace_term, index);
+
+    const auto timing = entry_timing_.find(index);
+    if (timing != entry_timing_.end()) {
+      if (timing->second.first_strong_at != 0) {
+        ctx_->TracePhase(metrics::Phase::kAck,
+                         timing->second.first_strong_at, ctx_->Now(),
+                         trace_term, index);
+      }
+      entry_timing_.erase(timing);
+    }
+    ctx_->pipeline()->ReleaseFragments(index);
+  }
+  if (!indices.empty()) ApplyReadyEntries();
+}
+
+void CommitApplier::ApplyReadyEntries() {
+  CoreState& core = ctx_->core();
+  MaybeTakeSnapshot();
+  while (core.apply_scheduled_up_to < core.commit_index) {
+    const storage::LogIndex index = ++core.apply_scheduled_up_to;
+    auto entry_or = ctx_->log().At(index);
+    if (!entry_or.ok()) break;  // Compacted (snapshot already applied).
+    storage::LogEntry entry = std::move(entry_or).value();
+
+    // Fragments cannot be executed (no full command bytes): CRaft gives up
+    // follower reads. The apply index still advances.
+    SimDuration cost = 0;
+    if (!entry.IsFragment() && !entry.payload.empty()) {
+      cost = ctx_->mutable_state_machine()->Apply(entry);
+    }
+    if (ctx_->options().release_applied_payloads) {
+      ctx_->log().ReleasePayloadAt(index);
+    }
+
+    const uint64_t epoch = core.epoch;
+    ctx_->apply_lane()->Submit(
+        cost, [this, epoch, index, cost, client = entry.client_id,
+               request_id = entry.request_id, term = entry.term]() {
+          CoreState& c = ctx_->core();
+          if (c.crashed || epoch != c.epoch) return;
+          c.applied_index = std::max(c.applied_index, index);
+          ++ctx_->stats().entries_applied;
+          ctx_->TracePhase(metrics::Phase::kApply, ctx_->Now() - cost,
+                           ctx_->Now(), term, index, request_id);
+          if (c.role == Role::kLeader && client != net::kInvalidNode) {
+            ClientResponse cresp;
+            cresp.state = AcceptState::kStrongAccept;
+            cresp.request_id = request_id;
+            cresp.index = index;
+            cresp.term = term;
+            ctx_->SendTo(client, cresp.WireSize(), cresp);
+          }
+        });
+  }
+}
+
+void CommitApplier::MaybeTakeSnapshot() {
+  CoreState& core = ctx_->core();
+  if (ctx_->options().snapshot_threshold <= 0) return;
+  // Fragment replicas hold no applicable state — a snapshot taken there
+  // would be empty. Snapshot-based compaction is a full-replication
+  // feature (CRaft pairs it with fragment reconstruction instead).
+  if (ctx_->options().erasure) return;
+  storage::RaftLog& log = ctx_->log();
+  const storage::LogIndex applied = core.apply_scheduled_up_to;
+  if (applied - log.FirstIndex() + 1 <= ctx_->options().snapshot_threshold) {
+    return;
+  }
+  // The state machine was mutated through `applied` (mutations happen at
+  // scheduling time, in order), so the snapshot names that position.
+  core.snapshot_data = ctx_->mutable_state_machine()->Snapshot();
+  core.snapshot_index = applied;
+  core.snapshot_term = log.TermAt(applied).value_or(0);
+  ++ctx_->stats().snapshots_taken;
+  ctx_->cpu()->Consume(PerKib(ctx_->options().costs.snapshot_cost_per_kib,
+                              core.snapshot_data.size()));
+
+  const storage::LogIndex compact_upto = std::max<storage::LogIndex>(
+      applied - ctx_->options().snapshot_keep_tail, log.FirstIndex() - 1);
+  if (compact_upto >= log.FirstIndex()) {
+    NBRAFT_CHECK(log.CompactPrefix(compact_upto).ok());
+  }
+}
+
+void CommitApplier::FailPendingClientEntries(storage::Term new_term,
+                                             net::NodeId new_leader) {
+  while (!vote_list_.empty()) {
+    const storage::LogIndex index = vote_list_.FrontIndex();
+    const auto e = ctx_->log().At(index);
+    if (e.ok() && e->client_id != net::kInvalidNode) {
+      ClientResponse cresp;
+      cresp.state = AcceptState::kLeaderChanged;
+      cresp.request_id = e->request_id;
+      cresp.index = index;
+      cresp.term = new_term;
+      cresp.leader_hint = new_leader;
+      ctx_->SendTo(e->client_id, cresp.WireSize(), cresp);
+    }
+    vote_list_.RemoveFront();
+  }
+}
+
+void CommitApplier::ResetLeaderState() {
+  vote_list_.Clear();
+  entry_timing_.clear();
+}
+
+}  // namespace nbraft::raft

@@ -1,0 +1,196 @@
+#include "raft/election_engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "raft/commit_applier.h"
+#include "raft/follower_ingress.h"
+#include "raft/replication_pipeline.h"
+
+namespace nbraft::raft {
+
+void ElectionEngine::ArmElectionTimer() {
+  sim::Simulator* sim = ctx_->simulator();
+  sim->Cancel(election_timer_);
+  const SimDuration base = ctx_->options().election_timeout;
+  SimDuration delay =
+      base + static_cast<SimDuration>(ctx_->rng().NextBounded(
+                 static_cast<uint64_t>(std::max<SimDuration>(base, 1))));
+  if (timer_skew_ != 1.0) {
+    // Chaos clock skew: stretch or shrink this node's perception of the
+    // timeout (floor 1 tick keeps the timer strictly in the future).
+    delay = std::max<SimDuration>(
+        static_cast<SimDuration>(static_cast<double>(delay) * timer_skew_), 1);
+  }
+  const uint64_t epoch = ctx_->core().epoch;
+  election_timer_ = sim->After(delay, [this, epoch]() {
+    const CoreState& core = ctx_->core();
+    if (core.crashed || epoch != core.epoch || core.role == Role::kLeader) {
+      return;
+    }
+    StartElection();
+  });
+}
+
+void ElectionEngine::OnCrash() {
+  ctx_->simulator()->Cancel(election_timer_);
+  election_timer_ = sim::kInvalidEventId;
+  votes_received_.clear();
+}
+
+void ElectionEngine::StartElection() {
+  CoreState& core = ctx_->core();
+  ++core.current_term;
+  core.role = Role::kCandidate;
+  core.voted_for = ctx_->id();
+  ctx_->PersistHardState();
+  core.leader = net::kInvalidNode;
+  votes_received_.clear();
+  votes_received_.insert(ctx_->id());
+  ++ctx_->stats().elections_started;
+  NBRAFT_LOG(Info) << "node " << ctx_->id() << " starts election, term "
+                   << core.current_term;
+  if (ctx_->tracer() != nullptr) {
+    ctx_->tracer()->RecordInstant("election_start", ctx_->id(),
+                                  core.current_term);
+  }
+
+  if (static_cast<int>(votes_received_.size()) >= ctx_->quorum()) {
+    BecomeLeader();
+    return;
+  }
+  RequestVoteRequest req;
+  req.term = core.current_term;
+  req.candidate = ctx_->id();
+  req.last_log_index = ctx_->log().LastIndex();
+  req.last_log_term = ctx_->log().LastTerm();
+  for (net::NodeId peer : ctx_->peer_ids()) {
+    ctx_->SendTo(peer, req.WireSize(), req);
+  }
+  ArmElectionTimer();  // Retry with a fresh randomized timeout.
+}
+
+void ElectionEngine::HandleRequestVote(RequestVoteRequest req) {
+  CoreState& core = ctx_->core();
+  if (req.term > core.current_term) {
+    StepDown(req.term, net::kInvalidNode);
+  }
+  RequestVoteResponse resp;
+  resp.term = core.current_term;
+  resp.from = ctx_->id();
+  resp.granted = false;
+  if (req.term == core.current_term &&
+      (core.voted_for == net::kInvalidNode ||
+       core.voted_for == req.candidate)) {
+    const storage::RaftLog& log = ctx_->log();
+    const bool up_to_date =
+        req.last_log_term > log.LastTerm() ||
+        (req.last_log_term == log.LastTerm() &&
+         req.last_log_index >= log.LastIndex());
+    if (up_to_date) {
+      resp.granted = true;
+      core.voted_for = req.candidate;
+      ctx_->PersistHardState();
+      ArmElectionTimer();
+    }
+  }
+  ctx_->SendTo(req.candidate, resp.WireSize(), resp);
+}
+
+void ElectionEngine::HandleVoteResponse(RequestVoteResponse resp) {
+  CoreState& core = ctx_->core();
+  if (resp.term > core.current_term) {
+    StepDown(resp.term, net::kInvalidNode);
+    return;
+  }
+  if (core.role != Role::kCandidate || resp.term != core.current_term ||
+      !resp.granted) {
+    return;
+  }
+  votes_received_.insert(resp.from);
+  if (static_cast<int>(votes_received_.size()) >= ctx_->quorum()) {
+    BecomeLeader();
+  }
+}
+
+void ElectionEngine::BecomeLeader() {
+  CoreState& core = ctx_->core();
+  NBRAFT_CHECK_NE(static_cast<int>(core.role),
+                  static_cast<int>(Role::kLeader));
+  core.role = Role::kLeader;
+  core.leader = ctx_->id();
+  ++ctx_->stats().times_elected;
+  NBRAFT_LOG(Info) << "node " << ctx_->id() << " elected leader, term "
+                   << core.current_term;
+  if (ctx_->tracer() != nullptr) {
+    ctx_->tracer()->RecordInstant("leader_elected", ctx_->id(),
+                                  core.current_term);
+  }
+  if (leader_observer_) leader_observer_(core.current_term, ctx_->id());
+  ctx_->simulator()->Cancel(election_timer_);
+  election_timer_ = sim::kInvalidEventId;
+
+  // Any leader-side state left from a previous leadership — and weakly
+  // accepted cache entries belonging to the previous leader's pipeline —
+  // is stale now.
+  ctx_->applier()->ResetLeaderState();
+  ctx_->pipeline()->ResetLeaderState();
+  ctx_->ingress()->OnLeadershipTaken();
+
+  // Commit a no-op in the new term so older entries can commit (Raft's
+  // current-term commit rule).
+  storage::RaftLog& log = ctx_->log();
+  storage::LogEntry noop;
+  noop.index = log.LastIndex() + 1;
+  noop.term = core.current_term;
+  noop.prev_term = log.LastTerm();
+  log.Append(noop);
+  ctx_->PersistEntry(noop);
+  ++ctx_->stats().entries_appended;
+  VoteList& vote_list = ctx_->applier()->vote_list();
+  vote_list.AddTuple(noop.index, noop.term, ctx_->id(), ctx_->quorum());
+  ctx_->applier()->OnLeaderAppended(noop.index);
+  ctx_->pipeline()->ReplicateEntry(noop);
+  if (ctx_->peer_ids().empty()) {
+    ctx_->applier()->CommitIndices(
+        vote_list.AddStrongUpTo(noop.index, ctx_->id(), core.current_term));
+  }
+
+  ctx_->pipeline()->BroadcastHeartbeat();
+}
+
+void ElectionEngine::StepDown(storage::Term term, net::NodeId leader) {
+  CoreState& core = ctx_->core();
+  const bool was_leader = core.role == Role::kLeader;
+  if (was_leader) {
+    // Tell clients of in-flight entries to retry with the new leader
+    // (Sec. III-B3a: reply LEADER_CHANGED and clean the VoteList), then
+    // drop every piece of leader-only state — peer pipelines, outstanding
+    // RPCs, fragment caches, commit timing (the Crash() path clears the
+    // same set; keeping one reset per engine keeps the lifetimes honest).
+    ctx_->applier()->FailPendingClientEntries(term, leader);
+    ctx_->pipeline()->ResetLeaderState();
+    ctx_->applier()->ResetLeaderState();
+  }
+  if (term > core.current_term) {
+    core.current_term = term;
+    core.voted_for = net::kInvalidNode;
+    ctx_->PersistHardState();
+  }
+  core.role = Role::kFollower;
+  core.leader = leader;
+  votes_received_.clear();
+  ArmElectionTimer();
+}
+
+void ElectionEngine::NoteLeaderContact(storage::Term term,
+                                       net::NodeId leader) {
+  CoreState& core = ctx_->core();
+  if (term > core.current_term || core.role != Role::kFollower) {
+    StepDown(term, leader);
+  }
+  core.leader = leader;
+  ArmElectionTimer();
+}
+
+}  // namespace nbraft::raft

@@ -1,0 +1,65 @@
+#ifndef NBRAFT_RAFT_ELECTION_ENGINE_H_
+#define NBRAFT_RAFT_ELECTION_ENGINE_H_
+
+#include <functional>
+#include <set>
+
+#include "raft/messages.h"
+#include "raft/node_context.h"
+
+namespace nbraft::raft {
+
+/// Leader election and term transitions: the randomized election timer,
+/// vote bookkeeping, candidate -> leader promotion and the step-down path
+/// (which drains the leader-side engines through the context). Everything
+/// here mutates only CoreState term/role/vote fields plus its own timer.
+class ElectionEngine {
+ public:
+  /// Invoked exactly once per term this node wins, from BecomeLeader().
+  /// The chaos safety oracle uses it to check election safety (<= 1 leader
+  /// per term) without polling.
+  using LeaderObserver = std::function<void(storage::Term, net::NodeId)>;
+
+  explicit ElectionEngine(NodeContext* ctx) : ctx_(ctx) {}
+
+  /// (Re-)arms the randomized election timer.
+  void ArmElectionTimer();
+
+  void StartElection();
+  void HandleRequestVote(RequestVoteRequest req);
+  void HandleVoteResponse(RequestVoteResponse resp);
+
+  /// Reverts to follower in `term` (> current steps the term forward),
+  /// failing pending client entries and resetting the leader-side engines
+  /// when this node was the leader.
+  void StepDown(storage::Term term, net::NodeId leader);
+
+  /// A current-or-newer leader made contact: step down if needed, adopt
+  /// the leader hint and reset the election timer.
+  void NoteLeaderContact(storage::Term term, net::NodeId leader);
+
+  /// Crash-stop cleanup: cancels the timer and forgets votes.
+  void OnCrash();
+
+  void set_leader_observer(LeaderObserver observer) {
+    leader_observer_ = std::move(observer);
+  }
+
+  /// Multiplies the randomized election timeout (chaos clock skew; 1.0 =
+  /// nominal). Applies from the next time the timer is armed.
+  void set_timer_skew(double skew) { timer_skew_ = skew; }
+  double timer_skew() const { return timer_skew_; }
+
+ private:
+  void BecomeLeader();
+
+  NodeContext* ctx_;
+  std::set<net::NodeId> votes_received_;
+  sim::EventId election_timer_ = sim::kInvalidEventId;
+  LeaderObserver leader_observer_;
+  double timer_skew_ = 1.0;
+};
+
+}  // namespace nbraft::raft
+
+#endif  // NBRAFT_RAFT_ELECTION_ENGINE_H_

@@ -1,0 +1,108 @@
+#ifndef NBRAFT_RAFT_FOLLOWER_INGRESS_H_
+#define NBRAFT_RAFT_FOLLOWER_INGRESS_H_
+
+#include <map>
+#include <unordered_map>
+
+#include "nbraft/sliding_window.h"
+#include "raft/messages.h"
+#include "raft/node_context.h"
+
+namespace nbraft::raft {
+
+/// The follower side of the append path: the decision tree for arriving
+/// entries (duplicate / truncate-and-replace / direct append / sliding
+/// window / held), the paper's blue waiting loop over held entries, the
+/// serialized log-lock lane charge, commit advancement off verified
+/// prefixes, and snapshot installation. Owns the sliding window and every
+/// follower-only cache.
+class FollowerIngress {
+ public:
+  explicit FollowerIngress(NodeContext* ctx)
+      : ctx_(ctx),
+        window_(ctx->options().window_size),
+        window_trace_adapter_(this) {}
+
+  void HandleAppendEntries(AppendEntriesRequest req, SimTime received_at);
+  void HandleInstallSnapshot(InstallSnapshotRequest req);
+
+  /// Advances the follower commit index to min(leader_commit,
+  /// verified_up_to), where `verified_up_to` bounds the prefix known to
+  /// match the leader's log (never advance over an unverified tail).
+  void AdvanceFollowerCommit(storage::LogIndex leader_commit,
+                             storage::LogIndex verified_up_to);
+
+  /// Re-attaches / detaches the window's trace observer after the node's
+  /// tracer changed (detached when untraced, so the window keeps its
+  /// zero-overhead fast path).
+  void OnTracerChanged();
+
+  /// Crash-stop cleanup: window, held entries and receive times are
+  /// volatile.
+  void OnCrash();
+
+  /// This node was just elected: weakly accepted cache entries (and their
+  /// receive times) belong to the previous leader's pipeline.
+  void OnLeadershipTaken();
+
+  const SlidingWindow& window() const { return window_; }
+
+ private:
+  /// A received entry the follower cannot yet place (diff > max(w, 1)):
+  /// the RPC stays open — this is the paper's blue waiting loop.
+  struct HeldEntry {
+    AppendEntriesRequest request;
+    SimTime received_at = 0;
+  };
+
+  /// Forwards window transitions to the tracer.
+  class WindowTraceAdapter : public SlidingWindow::Observer {
+   public:
+    explicit WindowTraceAdapter(FollowerIngress* ingress)
+        : ingress_(ingress) {}
+    void OnInsert(storage::LogIndex index, size_t occupancy) override;
+    void OnEvict(storage::LogIndex index, size_t occupancy) override;
+    void OnFlush(storage::LogIndex first, size_t count,
+                 size_t occupancy) override;
+
+   private:
+    FollowerIngress* ingress_;
+  };
+
+  /// Decides what to do with an arriving entry: duplicate ack, truncate &
+  /// replace, direct append (+ window flush), window caching, or holding
+  /// it in the waiting loop.
+  void ProcessEntry(const AppendEntriesRequest& req, SimTime received_at,
+                    bool from_held_queue);
+  /// Batched RPC: appends the whole consecutive run under one log-lock
+  /// acquisition when the head extends the log directly; otherwise peels
+  /// the batch into per-entry decisions (the leader accepts multiple
+  /// responses per rpc_id).
+  void ProcessBatch(AppendEntriesRequest req, SimTime received_at);
+  void AppendAndFlush(const AppendEntriesRequest& req, SimTime received_at,
+                      bool truncate_first);
+  void RespondAppend(const AppendEntriesRequest& req, AcceptState state,
+                     storage::LogIndex last_index, storage::Term last_term);
+  void RecheckHeldEntries();
+  SimDuration FollowerAppendCost(const storage::LogEntry& entry) const;
+  /// Appends one leader-chained entry: t_wait accounting, persistence and
+  /// the in-memory append; returns the entry's log-lock cost share.
+  SimDuration AppendChained(storage::LogEntry entry, SimTime received_at);
+  /// Flushes the continuous window prefix into the log (paper Fig. 9),
+  /// accumulating the per-entry cost; returns the total.
+  SimDuration FlushWindowPrefix();
+
+  NodeContext* ctx_;
+  SlidingWindow window_;
+  /// Held (blocked) arrivals ordered by entry index, so a log advance only
+  /// touches the entries it actually unblocks.
+  std::multimap<storage::LogIndex, HeldEntry> held_entries_;
+  bool in_recheck_ = false;
+  /// Receive time of window-cached entries, for t_wait(F) accounting.
+  std::unordered_map<storage::LogIndex, SimTime> recv_time_;
+  WindowTraceAdapter window_trace_adapter_;
+};
+
+}  // namespace nbraft::raft
+
+#endif  // NBRAFT_RAFT_FOLLOWER_INGRESS_H_

@@ -1,0 +1,119 @@
+#ifndef NBRAFT_RAFT_NODE_CONTEXT_H_
+#define NBRAFT_RAFT_NODE_CONTEXT_H_
+
+#include <any>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "metrics/breakdown.h"
+#include "net/network.h"
+#include "obs/tracer.h"
+#include "raft/node_stats.h"
+#include "raft/types.h"
+#include "sim/cpu_executor.h"
+#include "sim/simulator.h"
+#include "storage/raft_log.h"
+#include "tsdb/state_machine.h"
+
+namespace nbraft::raft {
+
+class ElectionEngine;
+class ReplicationPipeline;
+class FollowerIngress;
+class CommitApplier;
+
+/// The consensus core state every engine reads and mutates. Owned by the
+/// router (RaftNode); the engines access it through NodeContext::core() so
+/// ownership stays in one place while the logic is layered.
+struct CoreState {
+  // ---- Durable (survives a crash; recovered from the WAL when real
+  // durability is on) ----
+  storage::Term current_term = 0;
+  net::NodeId voted_for = net::kInvalidNode;
+
+  // ---- Volatile ----
+  bool crashed = false;
+  Role role = Role::kFollower;
+  net::NodeId leader = net::kInvalidNode;
+  storage::LogIndex commit_index = 0;
+  storage::LogIndex applied_index = 0;
+  storage::LogIndex apply_scheduled_up_to = 0;
+  /// Bumped on restart so stale scheduled callbacks become no-ops.
+  uint64_t epoch = 0;
+
+  // Latest snapshot (durable): state bytes and the log position it covers.
+  std::string snapshot_data;
+  storage::LogIndex snapshot_index = 0;
+  storage::Term snapshot_term = 0;
+};
+
+/// The seam between the consensus engines and the node that hosts them:
+/// simulator, network, durable state, CPU lanes, stats and tracing, plus
+/// access to the sibling engines. RaftNode implements it for production;
+/// tests implement it with a mock to drive a single engine in isolation.
+class NodeContext {
+ public:
+  virtual ~NodeContext() = default;
+
+  // ---- Environment ----
+  virtual sim::Simulator* simulator() = 0;
+  virtual net::NodeId id() const = 0;
+  virtual const std::vector<net::NodeId>& peer_ids() const = 0;
+  virtual const RaftOptions& options() const = 0;
+  virtual nbraft::Rng& rng() = 0;
+  virtual NodeStats& stats() = 0;
+  virtual obs::Tracer* tracer() const = 0;
+  virtual tsdb::StateMachine* mutable_state_machine() = 0;
+
+  // ---- Modelled CPU lanes ----
+  virtual sim::CpuExecutor* cpu() = 0;        ///< General worker pool.
+  virtual sim::CpuExecutor* index_lane() = 0; ///< Serial indexing lock.
+  virtual sim::CpuExecutor* apply_lane() = 0; ///< Ordered apply.
+  virtual sim::CpuExecutor* log_lock_lane() = 0;  ///< Follower log lock.
+
+  // ---- Shared state ----
+  virtual CoreState& core() = 0;
+  virtual const CoreState& core() const = 0;
+  virtual storage::RaftLog& log() = 0;
+  virtual const storage::RaftLog& log() const = 0;
+
+  // ---- Services ----
+  virtual void SendTo(net::NodeId to, size_t bytes, std::any payload) = 0;
+  virtual void PersistEntry(const storage::LogEntry& entry) = 0;
+  virtual void PersistTruncate(storage::LogIndex from_index) = 0;
+  virtual void PersistHardState() = 0;
+  /// Accounts `end - start` to the Fig. 4 breakdown and, when traced,
+  /// records the matching lifecycle span (one write site keeps the
+  /// trace/Breakdown parity check exact).
+  virtual void TracePhase(metrics::Phase phase, SimTime start, SimTime end,
+                          int64_t term, int64_t index,
+                          uint64_t request_id = 0) = 0;
+  /// Term of the local entry at `index`, for span keys; only paid when the
+  /// tracer is attached.
+  virtual int64_t TraceTermAt(storage::LogIndex index) const = 0;
+
+  // ---- Sibling engines ----
+  virtual ElectionEngine* election() = 0;
+  virtual ReplicationPipeline* pipeline() = 0;
+  virtual FollowerIngress* ingress() = 0;
+  virtual CommitApplier* applier() = 0;
+
+  // ---- Convenience ----
+  SimTime Now() { return simulator()->Now(); }
+  int cluster_size() const {
+    return static_cast<int>(peer_ids().size()) + 1;
+  }
+  int quorum() const { return cluster_size() / 2 + 1; }
+};
+
+/// Cost helper shared by the engines' KiB-proportional CPU charges.
+inline SimDuration PerKib(SimDuration per_kib, size_t bytes) {
+  constexpr size_t kKibibyte = 1024;
+  return per_kib * static_cast<SimDuration>(bytes) /
+         static_cast<SimDuration>(kKibibyte);
+}
+
+}  // namespace nbraft::raft
+
+#endif  // NBRAFT_RAFT_NODE_CONTEXT_H_

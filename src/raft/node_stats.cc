@@ -1,0 +1,44 @@
+#include "raft/node_stats.h"
+
+#include <cstdio>
+
+namespace nbraft::raft {
+
+std::string NodeStats::ToJson() const {
+  auto counter = [](const char* name, uint64_t value) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "\"%s\":%llu,", name,
+                  static_cast<unsigned long long>(value));
+    return std::string(buf);
+  };
+  std::string out = "{";
+  out += counter("entries_appended", entries_appended);
+  out += counter("entries_committed", entries_committed);
+  out += counter("entries_applied", entries_applied);
+  out += counter("weak_accepts_sent", weak_accepts_sent);
+  out += counter("strong_accepts_sent", strong_accepts_sent);
+  out += counter("mismatches_sent", mismatches_sent);
+  out += counter("window_inserts", window_inserts);
+  out += counter("window_overflows", window_overflows);
+  out += counter("elections_started", elections_started);
+  out += counter("times_elected", times_elected);
+  out += counter("rpc_timeouts", rpc_timeouts);
+  out += counter("degraded_entries", degraded_entries);
+  out += counter("snapshots_taken", snapshots_taken);
+  out += counter("snapshots_sent", snapshots_sent);
+  out += counter("snapshots_installed", snapshots_installed);
+  out += counter("append_rpcs_sent", append_rpcs_sent);
+  out += counter("append_entries_sent", append_entries_sent);
+  out += counter("batched_rpcs", batched_rpcs);
+  char ratio[64];
+  std::snprintf(ratio, sizeof(ratio), "\"entries_per_rpc\":%.3f,",
+                entries_per_rpc());
+  out += ratio;
+  out += "\"wait_hist\":" + wait_hist.ToJson() + ",";
+  out += "\"append_latency\":" + append_latency.ToJson() + ",";
+  out += "\"breakdown\":" + breakdown.ToJson();
+  out += "}";
+  return out;
+}
+
+}  // namespace nbraft::raft

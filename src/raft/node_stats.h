@@ -1,0 +1,55 @@
+#ifndef NBRAFT_RAFT_NODE_STATS_H_
+#define NBRAFT_RAFT_NODE_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "metrics/breakdown.h"
+#include "metrics/histogram.h"
+
+namespace nbraft::raft {
+
+/// Per-node metrics the harness aggregates after a run.
+struct NodeStats {
+  metrics::Breakdown breakdown;
+  metrics::Histogram wait_hist;       ///< t_wait(F) per delayed entry.
+  metrics::Histogram append_latency;  ///< Receive -> appended, per entry.
+  uint64_t entries_appended = 0;
+  uint64_t entries_committed = 0;
+  uint64_t entries_applied = 0;
+  uint64_t weak_accepts_sent = 0;
+  uint64_t strong_accepts_sent = 0;
+  uint64_t mismatches_sent = 0;
+  uint64_t window_inserts = 0;
+  uint64_t window_overflows = 0;  ///< diff > w arrivals (held, blocking).
+  uint64_t elections_started = 0;
+  uint64_t times_elected = 0;
+  uint64_t rpc_timeouts = 0;
+  uint64_t degraded_entries = 0;  ///< CRaft/ECRaft degraded-mode entries.
+  uint64_t snapshots_taken = 0;
+  uint64_t snapshots_sent = 0;
+  uint64_t snapshots_installed = 0;
+
+  // Replication pipeline RPC accounting (leader side, non-heartbeat).
+  uint64_t append_rpcs_sent = 0;     ///< AppendEntries RPCs carrying entries.
+  uint64_t append_entries_sent = 0;  ///< Entries those RPCs carried.
+  uint64_t batched_rpcs = 0;         ///< RPCs that carried more than one.
+
+  /// Mean entries per AppendEntries RPC (1.0 with batching off; the
+  /// amortization factor with `max_batch_entries` > 1).
+  double entries_per_rpc() const {
+    return append_rpcs_sent == 0
+               ? 0.0
+               : static_cast<double>(append_entries_sent) /
+                     static_cast<double>(append_rpcs_sent);
+  }
+
+  /// Serializes every counter (plus the breakdown and histograms) as a
+  /// JSON object, so harness and chaos reports can emit node stats without
+  /// hand-formatting each field.
+  std::string ToJson() const;
+};
+
+}  // namespace nbraft::raft
+
+#endif  // NBRAFT_RAFT_NODE_STATS_H_

@@ -1,24 +1,11 @@
 #include "raft/raft_node.h"
 
-#include <algorithm>
+#include <filesystem>
 #include <utility>
 
 #include "common/logging.h"
 
-#include <filesystem>
-
 namespace nbraft::raft {
-
-namespace {
-
-constexpr size_t kKibibyte = 1024;
-
-SimDuration PerKib(SimDuration per_kib, size_t bytes) {
-  return per_kib * static_cast<SimDuration>(bytes) /
-         static_cast<SimDuration>(kKibibyte);
-}
-
-}  // namespace
 
 RaftNode::RaftNode(sim::Simulator* sim, net::SimNetwork* network,
                    net::NodeId id, std::vector<net::NodeId> peers,
@@ -30,8 +17,7 @@ RaftNode::RaftNode(sim::Simulator* sim, net::SimNetwork* network,
       peers_(std::move(peers)),
       options_(options),
       state_machine_(std::move(state_machine)),
-      rng_(sim->rng()->Next()),
-      window_(options.window_size) {
+      rng_(sim->rng()->Next()) {
   NBRAFT_CHECK(state_machine_ != nullptr);
   NBRAFT_CHECK(options_.wal_dir.empty() || options_.snapshot_threshold <= 0)
       << "real WAL durability does not persist compaction";
@@ -47,6 +33,10 @@ RaftNode::RaftNode(sim::Simulator* sim, net::SimNetwork* network,
       sim_, 1, "node" + std::to_string(id_) + ".loglock");
   log_lock_lane_->set_switch_cost(options_.costs.lock_switch_cost,
                                   options_.costs.max_switch_overhead);
+  election_ = std::make_unique<ElectionEngine>(this);
+  pipeline_ = std::make_unique<ReplicationPipeline>(this);
+  ingress_ = std::make_unique<FollowerIngress>(this);
+  applier_ = std::make_unique<CommitApplier>(this);
 }
 
 RaftNode::~RaftNode() = default;
@@ -61,68 +51,56 @@ void RaftNode::Start() {
   }
   network_->RegisterEndpoint(
       id_, [this](net::Message&& msg) { HandleMessage(std::move(msg)); });
-  ArmElectionTimer();
+  election_->ArmElectionTimer();
 }
 
 void RaftNode::Crash() {
-  if (crashed_) return;
-  crashed_ = true;
+  if (core_.crashed) return;
+  core_.crashed = true;
   network_->SetNodeUp(id_, false);
-  sim_->Cancel(election_timer_);
-  sim_->Cancel(heartbeat_timer_);
-  election_timer_ = sim::kInvalidEventId;
-  heartbeat_timer_ = sim::kInvalidEventId;
-  for (auto& [rpc_id, rpc] : outstanding_rpcs_) {
-    sim_->Cancel(rpc.timeout_event);
-  }
-  outstanding_rpcs_.clear();
   // Volatile state is lost; durable state (term, vote, log) survives, and
-  // the state machine is durable by the paper's Sec. IV assumptions.
-  role_ = Role::kFollower;
-  leader_ = net::kInvalidNode;
-  window_.Clear();
-  held_entries_.clear();
-  vote_list_.Clear();
-  peer_state_.clear();
-  fragment_cache_.clear();
-  fragment_required_.clear();
-  entry_timing_.clear();
-  votes_received_.clear();
-  recv_time_.clear();
+  // the state machine is durable by the paper's Sec. IV assumptions. Each
+  // engine drops its own caches and cancels its own timers.
+  election_->OnCrash();
+  pipeline_->ResetLeaderState();
+  ingress_->OnCrash();
+  applier_->ResetLeaderState();
+  core_.role = Role::kFollower;
+  core_.leader = net::kInvalidNode;
   if (durable_ != nullptr) {
     // Real durability: everything in memory dies with the process; only
     // the WAL file survives.
     NBRAFT_CHECK(durable_->Close().ok());
     durable_.reset();
     log_ = storage::RaftLog();
-    current_term_ = 0;
-    voted_for_ = net::kInvalidNode;
-    commit_index_ = 0;
-    applied_index_ = 0;
-    apply_scheduled_up_to_ = 0;
-    snapshot_data_.clear();
-    snapshot_index_ = 0;
-    snapshot_term_ = 0;
+    core_.current_term = 0;
+    core_.voted_for = net::kInvalidNode;
+    core_.commit_index = 0;
+    core_.applied_index = 0;
+    core_.apply_scheduled_up_to = 0;
+    core_.snapshot_data.clear();
+    core_.snapshot_index = 0;
+    core_.snapshot_term = 0;
     state_machine_->Reset();
   }
 }
 
 void RaftNode::Restart() {
-  NBRAFT_CHECK(crashed_);
-  crashed_ = false;
-  ++epoch_;
+  NBRAFT_CHECK(core_.crashed);
+  core_.crashed = false;
+  ++core_.epoch;
   if (!options_.wal_dir.empty()) {
     RecoverFromWal();
     durable_ = std::make_unique<storage::DurableLog>();
     NBRAFT_CHECK(durable_->Open(WalPath()).ok());
   }
   network_->SetNodeUp(id_, true);
-  ArmElectionTimer();
+  election_->ArmElectionTimer();
 }
 
 void RaftNode::TriggerElection() {
-  if (crashed_) return;
-  StartElection();
+  if (core_.crashed) return;
+  election_->StartElection();
 }
 
 // ---------------------------------------------------------------------------
@@ -131,7 +109,7 @@ void RaftNode::TriggerElection() {
 
 void RaftNode::set_tracer(obs::Tracer* tracer) {
   tracer_ = tracer;
-  window_.set_observer(tracer != nullptr ? &window_trace_adapter_ : nullptr);
+  ingress_->OnTracerChanged();
 }
 
 void RaftNode::TracePhase(metrics::Phase phase, SimTime start, SimTime end,
@@ -147,37 +125,12 @@ int64_t RaftNode::TraceTermAt(storage::LogIndex index) const {
   return log_.TermAt(index).value_or(0);
 }
 
-void RaftNode::WindowTraceAdapter::OnInsert(storage::LogIndex index,
-                                            size_t occupancy) {
-  node_->tracer_->RecordInstant("window_insert", node_->id_, index,
-                                static_cast<int64_t>(occupancy));
-}
-
-void RaftNode::WindowTraceAdapter::OnEvict(storage::LogIndex index,
-                                           size_t occupancy) {
-  node_->tracer_->RecordInstant("window_evict", node_->id_, index,
-                                static_cast<int64_t>(occupancy));
-}
-
-void RaftNode::WindowTraceAdapter::OnFlush(storage::LogIndex first,
-                                           size_t count, size_t occupancy) {
-  node_->tracer_->RecordInstant("window_flush", node_->id_, first,
-                                static_cast<int64_t>(count));
-  (void)occupancy;
-}
-
-size_t RaftNode::DispatcherQueueDepth() const {
-  size_t depth = 0;
-  for (const auto& [peer, ps] : peer_state_) depth += ps.queue.size();
-  return depth;
-}
-
 // ---------------------------------------------------------------------------
 // Message plumbing
 // ---------------------------------------------------------------------------
 
 void RaftNode::HandleMessage(net::Message&& msg) {
-  if (crashed_) return;
+  if (core_.crashed) return;
   const SimTime received_at = sim_->Now();
   if (auto* ae = std::any_cast<AppendEntriesRequest>(&msg.payload)) {
     if (!ae->is_heartbeat) {
@@ -185,21 +138,21 @@ void RaftNode::HandleMessage(net::Message&& msg) {
                  received_at, ae->entry.term, ae->entry.index,
                  ae->entry.request_id);
     }
-    HandleAppendEntries(std::move(*ae), received_at);
+    ingress_->HandleAppendEntries(std::move(*ae), received_at);
   } else if (auto* aer =
                  std::any_cast<AppendEntriesResponse>(&msg.payload)) {
-    HandleAppendResponse(std::move(*aer));
+    pipeline_->HandleAppendResponse(std::move(*aer));
   } else if (auto* rv = std::any_cast<RequestVoteRequest>(&msg.payload)) {
-    HandleRequestVote(*rv);
+    election_->HandleRequestVote(*rv);
   } else if (auto* rvr = std::any_cast<RequestVoteResponse>(&msg.payload)) {
-    HandleVoteResponse(*rvr);
+    election_->HandleVoteResponse(*rvr);
   } else if (auto* cr = std::any_cast<ClientRequest>(&msg.payload)) {
-    HandleClientRequest(std::move(*cr), received_at, msg.sent_at);
+    pipeline_->HandleClientRequest(std::move(*cr), received_at, msg.sent_at);
   } else if (auto* is = std::any_cast<InstallSnapshotRequest>(&msg.payload)) {
-    HandleInstallSnapshot(std::move(*is));
+    ingress_->HandleInstallSnapshot(std::move(*is));
   } else if (auto* isr =
                  std::any_cast<InstallSnapshotResponse>(&msg.payload)) {
-    HandleInstallSnapshotResponse(*isr);
+    pipeline_->HandleInstallSnapshotResponse(*isr);
   } else if (auto* rr = std::any_cast<ReadRequest>(&msg.payload)) {
     HandleReadRequest(*rr);
   } else {
@@ -212,1140 +165,13 @@ void RaftNode::SendTo(net::NodeId to, size_t bytes, std::any payload) {
 }
 
 // ---------------------------------------------------------------------------
-// Client request path (leader)
-// ---------------------------------------------------------------------------
-
-void RaftNode::HandleClientRequest(ClientRequest req, SimTime received_at,
-                                   SimTime sent_at) {
-  if (role_ != Role::kLeader) {
-    ClientResponse resp;
-    resp.state = AcceptState::kNotLeader;
-    resp.request_id = req.request_id;
-    resp.leader_hint = leader_;
-    SendTo(req.client, resp.WireSize(), resp);
-    return;
-  }
-  TracePhase(metrics::Phase::kTransClientLeader, sent_at, received_at,
-             /*term=*/0, /*index=*/0, req.request_id);
-
-  // Step 2 of the paper: parse, then index on the serialized indexing lane
-  // (the lock Ratis holds longer than IoTDB).
-  const SimTime parse_submitted = sim_->Now();
-  const uint64_t epoch = epoch_;
-  const SimDuration parse_cost = state_machine_->ParseCost(req.payload.size());
-  cpu_->Submit(
-      parse_cost,
-      [this, epoch, parse_submitted, req = std::move(req)]() mutable {
-        if (crashed_ || epoch != epoch_) return;
-        const SimTime parse_done = sim_->Now();
-        TracePhase(metrics::Phase::kParse, parse_submitted, parse_done,
-                   /*term=*/0, /*index=*/0, req.request_id);
-        SimDuration index_cost =
-            options_.costs.index_cost +
-            PerKib(options_.costs.leader_append_per_kib, req.payload.size());
-        index_lane_->Submit(
-            index_cost,
-            [this, epoch, parse_done, req = std::move(req)]() mutable {
-              if (crashed_ || epoch != epoch_) return;
-              TracePhase(metrics::Phase::kIndex, parse_done, sim_->Now(),
-                         /*term=*/0, /*index=*/0, req.request_id);
-              if (role_ != Role::kLeader) {
-                ClientResponse resp;
-                resp.state = AcceptState::kNotLeader;
-                resp.request_id = req.request_id;
-                resp.leader_hint = leader_;
-                SendTo(req.client, resp.WireSize(), resp);
-                return;
-              }
-              IndexAndReplicate(std::move(req));
-            });
-      });
-}
-
-void RaftNode::IndexAndReplicate(ClientRequest req) {
-  storage::LogEntry entry;
-  entry.index = log_.LastIndex() + 1;
-  entry.term = current_term_;
-  entry.prev_term = log_.LastTerm();
-  entry.client_id = req.client;
-  entry.request_id = req.request_id;
-  entry.payload = std::move(req.payload);
-  entry.payload_size_hint = entry.payload.size();
-  log_.Append(entry);
-  PersistEntry(entry);
-  ++stats_.entries_appended;
-  entry_timing_[entry.index].indexed_at = sim_->Now();
-  if (tracer_ != nullptr) {
-    // Joins the request-keyed client/parse spans with the (term, index)
-    // keyed replication spans.
-    tracer_->RecordInstant("indexed", id_, entry.index,
-                           static_cast<int64_t>(entry.request_id));
-  }
-
-  // Decide the replication shape (plain / fragmented / degraded).
-  const int n = cluster_size();
-  const int f = (n - 1) / 2;
-  const int alive = AliveNodes();
-  const int dead = n - alive;
-  int k = 0;  // 0 = full replication.
-  if (options_.erasure && n >= 3) {
-    if (dead == 0) {
-      k = f + 1;
-    } else if (options_.ecraft) {
-      // ECRaft: keep coding in degraded mode with a smaller k when
-      // possible; fall back to full replication otherwise.
-      const int k_degraded = alive - (f - dead);
-      k = k_degraded >= 2 ? k_degraded : 0;
-      ++stats_.degraded_entries;
-    } else {
-      k = 0;  // CRaft degrades to full replication (its liveness fix).
-      ++stats_.degraded_entries;
-    }
-  }
-  const int required = RequiredStrong(k > 0, k);
-  vote_list_.AddTuple(entry.index, entry.term, id_, required);
-
-  if (k > 0) {
-    // Fragment the payload. Benchmarks model the coder's cost and shard
-    // sizes; tests/examples run the real Reed–Solomon coder.
-    fragment_required_[entry.index] = k;
-    const SimDuration encode_cost =
-        PerKib(options_.costs.encode_cost_per_kib, entry.payload.size());
-    const uint64_t epoch = epoch_;
-    const storage::LogIndex index = entry.index;
-    std::string payload = entry.payload;
-    cpu_->Submit(encode_cost, [this, epoch, index,
-                               payload = std::move(payload)]() {
-      if (crashed_ || epoch != epoch_ || role_ != Role::kLeader) return;
-      const auto it = fragment_required_.find(index);
-      if (it == fragment_required_.end()) return;
-      const int kk = it->second;
-      std::vector<std::string> shards;
-      if (options_.real_erasure_coding) {
-        craft::ReedSolomon rs(kk, cluster_size() - kk);
-        shards = rs.Encode(payload);
-      } else {
-        const size_t shard_size = (payload.size() + kk - 1) / kk;
-        shards.assign(static_cast<size_t>(cluster_size()),
-                      std::string(shard_size, 'f'));
-      }
-      fragment_cache_[index] = std::move(shards);
-      auto e = log_.At(index);
-      if (e.ok()) ReplicateEntry(e.value());
-    });
-  } else {
-    ReplicateEntry(entry);
-  }
-
-  // Single-node cluster: the leader's own append is the whole quorum.
-  if (peers_.empty()) {
-    const auto committed =
-        vote_list_.AddStrongUpTo(entry.index, id_, current_term_);
-    CommitIndices(committed);
-  }
-}
-
-void RaftNode::ReplicateEntry(const storage::LogEntry& entry) {
-  // VGRaft: hash + sign + verification-group selection before fan-out.
-  SimDuration pre_cost = 0;
-  if (options_.verify_group) {
-    pre_cost = PerKib(options_.costs.hash_cost_per_kib, entry.WireSize()) +
-               options_.costs.sign_cost + options_.costs.group_select_cost;
-  }
-  const uint64_t epoch = epoch_;
-  const storage::LogIndex index = entry.index;
-  const auto fan_out = [this, epoch, index]() {
-    if (crashed_ || epoch != epoch_ || role_ != Role::kLeader) return;
-    const int bucket = EffectiveKBucket();
-    if (bucket > 0) {
-      // KRaft: send to the bucket only; the bucket relays to the rest.
-      const int limit = std::min<int>(bucket, static_cast<int>(peers_.size()));
-      for (int i = 0; i < limit; ++i) EnqueueForPeer(peers_[i], index);
-    } else {
-      for (net::NodeId peer : peers_) EnqueueForPeer(peer, index);
-    }
-  };
-  if (pre_cost > 0) {
-    cpu_->Submit(pre_cost, fan_out);
-  } else {
-    fan_out();
-  }
-}
-
-void RaftNode::EnqueueForPeer(net::NodeId peer, storage::LogIndex index) {
-  PeerState& ps = peer_state_[peer];
-  if (ps.queued.count(index) > 0 || ps.in_flight.count(index) > 0) return;
-  ps.queue.push_back(QueuedEntry{index, sim_->Now()});
-  ps.queued.insert(index);
-  ps.max_enqueued = std::max(ps.max_enqueued, index);
-  TryDispatch(peer);
-}
-
-void RaftNode::TryDispatch(net::NodeId peer) {
-  if (role_ != Role::kLeader) return;
-  PeerState& ps = peer_state_[peer];
-  while (ps.busy_dispatchers < options_.dispatchers_per_follower &&
-         !ps.queue.empty()) {
-    // Dispatch the lowest queued index first. In steady state entries are
-    // enqueued in log order, so this is FIFO; after a fault it matters:
-    // out-of-window entries a lagging follower is holding keep timing out
-    // and re-queueing, and under FIFO they would recycle through the freed
-    // dispatcher slots forever, starving the catch-up entries the follower
-    // actually needs to advance its log.
-    auto pick = ps.queue.begin();
-    for (auto it = std::next(pick); it != ps.queue.end(); ++it) {
-      if (it->index < pick->index) pick = it;
-    }
-    const QueuedEntry qe = *pick;
-    ps.queue.erase(pick);
-    ps.queued.erase(qe.index);
-    if (qe.index > log_.LastIndex()) continue;  // Truncated since queued.
-    if (qe.index < log_.FirstIndex()) {
-      // Compacted away: the peer needs the snapshot instead.
-      SendInstallSnapshot(peer);
-      continue;
-    }
-    TracePhase(metrics::Phase::kQueue, qe.enqueued_at, sim_->Now(),
-               TraceTermAt(qe.index), qe.index);
-    ++ps.busy_dispatchers;
-    ps.in_flight.insert(qe.index);
-    SendAppendRpc(peer, qe.index);
-  }
-}
-
-void RaftNode::SendAppendRpc(net::NodeId peer, storage::LogIndex index) {
-  AppendEntriesRequest req;
-  req.term = current_term_;
-  req.leader = id_;
-  req.rpc_id = next_rpc_id_++;
-  req.leader_commit = commit_index_;
-  req.commit_term = log_.TermAt(commit_index_).value_or(0);
-  req.signed_payload = options_.verify_group;
-  req.entry = log_.AtUnchecked(index);
-
-  // CRaft: swap the payload for this peer's shard while the entry is still
-  // fragment-replicated (committed entries fall back to full payloads).
-  const auto frag = fragment_cache_.find(index);
-  if (frag != fragment_cache_.end()) {
-    // Peer i holds shard i+1 (the leader implicitly holds shard 0).
-    int shard_id = 0;
-    for (size_t i = 0; i < peers_.size(); ++i) {
-      if (peers_[i] == peer) {
-        shard_id = static_cast<int>(i) + 1;
-        break;
-      }
-    }
-    req.entry.payload = frag->second[static_cast<size_t>(shard_id) %
-                                     frag->second.size()];
-    req.entry.payload_size_hint = 0;
-    req.entry.frag_shard = shard_id;
-    req.entry.frag_k = static_cast<uint32_t>(fragment_required_[index]);
-    req.entry.full_size = log_.AtUnchecked(index).WireSize();
-  }
-
-  // KRaft: attach the relay fan-out for this bucket member.
-  const int bucket = EffectiveKBucket();
-  if (bucket > 0) {
-    const int limit = std::min<int>(bucket, static_cast<int>(peers_.size()));
-    int my_pos = -1;
-    for (int i = 0; i < limit; ++i) {
-      if (peers_[i] == peer) {
-        my_pos = i;
-        break;
-      }
-    }
-    if (my_pos >= 0) {
-      for (size_t i = static_cast<size_t>(limit); i < peers_.size(); ++i) {
-        const int assigned =
-            static_cast<int>((i + static_cast<size_t>(index)) %
-                             static_cast<size_t>(limit));
-        if (assigned == my_pos) req.relay_to.push_back(peers_[i]);
-      }
-    }
-  }
-
-  const uint64_t rpc_id = req.rpc_id;
-  const uint64_t epoch = epoch_;
-  const sim::EventId timeout_event = sim_->After(
-      options_.rpc_timeout, [this, epoch, rpc_id]() {
-        if (crashed_ || epoch != epoch_) return;
-        OnRpcTimeout(rpc_id);
-      });
-  outstanding_rpcs_[rpc_id] =
-      OutstandingRpc{peer, index, /*is_snapshot=*/false, timeout_event};
-  SendTo(peer, req.WireSize(), std::move(req));
-}
-
-void RaftNode::OnRpcTimeout(uint64_t rpc_id) {
-  const auto it = outstanding_rpcs_.find(rpc_id);
-  if (it == outstanding_rpcs_.end()) return;
-  const OutstandingRpc rpc = it->second;
-  outstanding_rpcs_.erase(it);
-  ++stats_.rpc_timeouts;
-  if (role_ != Role::kLeader) return;
-  PeerState& ps = peer_state_[rpc.peer];
-  if (rpc.is_snapshot) {
-    ps.snapshot_in_flight = false;  // Retried on the next trigger.
-    return;
-  }
-  ps.busy_dispatchers = std::max(0, ps.busy_dispatchers - 1);
-  ps.in_flight.erase(rpc.index);
-  // Re-send if the entry is still uncommitted or the peer may lack it.
-  if (rpc.index <= log_.LastIndex() && ps.queued.count(rpc.index) == 0) {
-    ps.queue.push_front(QueuedEntry{rpc.index, sim_->Now()});
-    ps.queued.insert(rpc.index);
-  }
-  TryDispatch(rpc.peer);
-}
-
-// ---------------------------------------------------------------------------
-// Follower append path
-// ---------------------------------------------------------------------------
-
-void RaftNode::HandleAppendEntries(AppendEntriesRequest req,
-                                   SimTime received_at) {
-  if (req.term < current_term_) {
-    // Stale leader: tell it a newer term exists (paper Fig. 11 — the reply
-    // carries the higher term so the old leader steps down and returns
-    // LEADER_CHANGED to its clients).
-    AppendEntriesResponse resp;
-    resp.term = current_term_;
-    resp.from = id_;
-    resp.rpc_id = req.rpc_id;
-    resp.state = AcceptState::kLeaderChanged;
-    resp.is_heartbeat = req.is_heartbeat;
-    resp.entry_index = req.is_heartbeat ? 0 : req.entry.index;
-    resp.last_index = log_.LastIndex();
-    resp.last_term = log_.LastTerm();
-    SendTo(req.leader, resp.WireSize(), resp);
-    return;
-  }
-  NoteLeaderContact(req.term, req.leader);
-
-  // KRaft relay: forward to the assigned peers before local processing.
-  if (!req.relay_to.empty()) {
-    AppendEntriesRequest fwd = req;
-    fwd.relay_to.clear();
-    for (net::NodeId target : req.relay_to) {
-      SendTo(target, fwd.WireSize(), fwd);
-    }
-    req.relay_to.clear();
-  }
-
-  if (req.is_heartbeat) {
-    // Heartbeats advance the commit index only when the follower can
-    // verify its entry at leader_commit matches the leader's (otherwise a
-    // stale divergent tail could be "committed" locally).
-    if (log_.Matches(req.leader_commit, req.commit_term)) {
-      AdvanceFollowerCommit(req.leader_commit, req.leader_commit);
-    }
-    AppendEntriesResponse resp;
-    resp.term = current_term_;
-    resp.from = id_;
-    resp.rpc_id = req.rpc_id;
-    resp.state = AcceptState::kStrongAccept;
-    resp.is_heartbeat = true;
-    resp.last_index = log_.LastIndex();
-    resp.last_term = log_.LastTerm();
-    SendTo(req.leader, resp.WireSize(), resp);
-    return;
-  }
-
-  // VGRaft: verify the digest and signature before accepting. The
-  // signature check itself parallelizes on the worker pool, but admitting
-  // a verified entry into consensus serializes with the log handling —
-  // the "heavy overhead" of per-consensus verification groups the paper
-  // measures as VGRaft's weakness.
-  if (options_.verify_group && req.signed_payload) {
-    const SimDuration verify_cost =
-        PerKib(options_.costs.hash_cost_per_kib, req.entry.WireSize()) +
-        options_.costs.verify_cost;
-    log_lock_lane_->Consume(options_.costs.verify_admission_cost);
-    const uint64_t epoch = epoch_;
-    cpu_->Submit(verify_cost, [this, epoch, received_at,
-                               req = std::move(req)]() mutable {
-      if (crashed_ || epoch != epoch_) return;
-      ProcessEntry(req, received_at, /*from_held_queue=*/false);
-    });
-    return;
-  }
-  ProcessEntry(req, received_at, /*from_held_queue=*/false);
-}
-
-void RaftNode::ProcessEntry(const AppendEntriesRequest& req,
-                            SimTime received_at, bool from_held_queue) {
-  const storage::LogEntry& entry = req.entry;
-  const storage::LogIndex last = log_.LastIndex();
-  const storage::LogIndex diff = entry.index - last;
-
-  // Duplicate delivery of an entry we already appended: the match proves
-  // our prefix up to it agrees with the leader's. Entries below the
-  // compacted prefix are covered by the installed snapshot (committed
-  // state) and equally duplicates.
-  if (diff <= 0 && (entry.index < log_.FirstIndex() ||
-                    log_.Matches(entry.index, entry.term))) {
-    if (entry.index >= log_.FirstIndex()) {
-      AdvanceFollowerCommit(req.leader_commit, entry.index);
-    }
-    RespondAppend(req, AcceptState::kStrongAccept, log_.LastIndex(),
-                  log_.LastTerm());
-    return;
-  }
-
-  if (diff <= 0) {
-    // Sec. III-A1: a newer-term entry replaces an appended one. Committed
-    // entries can never conflict (Leader Completeness).
-    NBRAFT_CHECK_GT(entry.index, commit_index_)
-        << "node " << id_ << ": conflicting entry " << entry.ToString()
-        << " from leader " << req.leader << " term " << req.term
-        << " below commit " << commit_index_ << "; local term at index: "
-        << log_.TermAt(entry.index).value_or(-1) << ", my term "
-        << current_term_ << ", last " << log_.LastIndex();
-    if (log_.Matches(entry.index - 1, entry.prev_term)) {
-      AppendAndFlush(req, received_at, /*truncate_first=*/true);
-    } else {
-      ++stats_.mismatches_sent;
-      RespondAppend(req, AcceptState::kLogMismatch, log_.LastIndex(),
-                    log_.LastTerm());
-    }
-    return;
-  }
-
-  if (diff == 1) {
-    // Sec. III-A2b: directly appendable if the previous entry is our last.
-    if (log_.LastTerm() == entry.prev_term) {
-      AppendAndFlush(req, received_at, /*truncate_first=*/false);
-    } else {
-      ++stats_.mismatches_sent;
-      RespondAppend(req, AcceptState::kLogMismatch, log_.LastIndex(),
-                    log_.LastTerm());
-    }
-    return;
-  }
-
-  if (diff <= options_.window_size) {
-    // Sec. III-A2: cache in the sliding window, reply WEAK_ACCEPT.
-    recv_time_[entry.index] = received_at;
-    window_.Insert(entry);
-    log_lock_lane_->Consume(options_.costs.window_insert_cost);
-    ++stats_.window_inserts;
-    ++stats_.weak_accepts_sent;
-    RespondAppend(req, AcceptState::kWeakAccept, entry.index, entry.term);
-    return;
-  }
-
-  // Sec. III-A3: beyond the window — hold and retry when the log advances.
-  // The RPC stays open, keeping its dispatcher busy: this is the blocking
-  // loop of the paper's Fig. 3 (and, with w = 0, the entirety of original
-  // Raft's out-of-order handling).
-  if (!from_held_queue) ++stats_.window_overflows;
-  held_entries_.emplace(entry.index, HeldEntry{req, received_at});
-}
-
-void RaftNode::AppendAndFlush(const AppendEntriesRequest& req,
-                              SimTime received_at, bool truncate_first) {
-  storage::LogEntry entry = req.entry;
-  if (truncate_first) {
-    NBRAFT_CHECK(log_.TruncateSuffix(entry.index).ok());
-    PersistTruncate(entry.index);
-  }
-
-  const SimDuration wait = sim_->Now() - received_at;
-  stats_.wait_hist.Record(wait);
-  TracePhase(metrics::Phase::kWaitFollower, received_at, sim_->Now(),
-             entry.term, entry.index, entry.request_id);
-
-  SimDuration cost = FollowerAppendCost(entry);
-  PersistEntry(entry);
-  log_.Append(std::move(entry));
-  ++stats_.entries_appended;
-  recv_time_.erase(req.entry.index);
-
-  if (truncate_first) {
-    window_.OnLogReshaped(log_.LastIndex(), req.entry.term);
-  }
-
-  // Flush the continuous window prefix into the log (paper Fig. 9).
-  std::vector<storage::LogEntry> flushed =
-      window_.TakeFlushablePrefix(log_.LastIndex(), log_.LastTerm());
-  for (storage::LogEntry& e : flushed) {
-    const auto rt = recv_time_.find(e.index);
-    if (rt != recv_time_.end()) {
-      const SimDuration w = sim_->Now() - rt->second;
-      stats_.wait_hist.Record(w);
-      TracePhase(metrics::Phase::kWaitFollower, rt->second, sim_->Now(),
-                 e.term, e.index, e.request_id);
-      recv_time_.erase(rt);
-    }
-    cost += FollowerAppendCost(e);
-    PersistEntry(e);
-    log_.Append(std::move(e));
-    ++stats_.entries_appended;
-  }
-
-  const storage::LogIndex new_last = log_.LastIndex();
-  const storage::Term new_last_term = log_.LastTerm();
-  stats_.append_latency.Record(sim_->Now() - received_at);
-
-  // The appended chain was prev-verified against the leader's log, so the
-  // whole prefix up to new_last matches — safe commit bound.
-  AdvanceFollowerCommit(req.leader_commit, new_last);
-
-  // Every append wakes the appender threads blocked on the log lock so
-  // they can re-check their held entries — the resource drain of original
-  // Raft's blocking under concurrency.
-  cost += options_.costs.held_wakeup_cost *
-          static_cast<SimDuration>(held_entries_.size());
-
-  // The append itself holds the log lock: charge the serialized lane and
-  // reply when the work completes. The service cost is t_append(F) (tiny,
-  // as the paper measures); time spent queued for the contended log lock
-  // is part of t_wait(F) — the entry was received but could not be
-  // appended yet.
-  const uint64_t epoch = epoch_;
-  const SimTime submit_time = sim_->Now();
-  log_lock_lane_->Submit(cost, [this, epoch, req, new_last, new_last_term,
-                                submit_time, cost]() {
-    if (crashed_ || epoch != epoch_) return;
-    TracePhase(metrics::Phase::kAppendFollower, sim_->Now() - cost,
-               sim_->Now(), req.entry.term, req.entry.index,
-               req.entry.request_id);
-    TracePhase(metrics::Phase::kWaitFollower, submit_time,
-               sim_->Now() - cost, req.entry.term, req.entry.index,
-               req.entry.request_id);
-    ++stats_.strong_accepts_sent;
-    RespondAppend(req, AcceptState::kStrongAccept, new_last, new_last_term);
-  });
-
-  RecheckHeldEntries();
-}
-
-void RaftNode::RespondAppend(const AppendEntriesRequest& req,
-                             AcceptState state, storage::LogIndex last_index,
-                             storage::Term last_term) {
-  AppendEntriesResponse resp;
-  resp.term = current_term_;
-  resp.from = id_;
-  resp.rpc_id = req.rpc_id;
-  resp.state = state;
-  resp.entry_index = req.entry.index;
-  resp.last_index = last_index;
-  resp.last_term = last_term;
-  SendTo(req.leader, resp.WireSize(), resp);
-}
-
-void RaftNode::RecheckHeldEntries() {
-  if (in_recheck_ || held_entries_.empty()) return;
-  in_recheck_ = true;
-  // Only the lowest-index held entries can have become placeable; the
-  // bound keeps re-advancing as processing appends more of the log.
-  for (;;) {
-    if (held_entries_.empty()) break;
-    const storage::LogIndex bound =
-        log_.LastIndex() + std::max(options_.window_size, 1);
-    auto it = held_entries_.begin();
-    if (it->first > bound) break;
-    HeldEntry held = std::move(it->second);
-    held_entries_.erase(it);
-    if (held.request.term < current_term_) {
-      RespondAppend(held.request, AcceptState::kLeaderChanged,
-                    log_.LastIndex(), log_.LastTerm());
-      continue;
-    }
-    // One more turn of the paper's waiting loop; mutating paths re-queue
-    // for the log lock inside ProcessEntry.
-    ProcessEntry(held.request, held.received_at, /*from_held_queue=*/true);
-  }
-  in_recheck_ = false;
-}
-
-void RaftNode::AdvanceFollowerCommit(storage::LogIndex leader_commit,
-                                     storage::LogIndex verified_up_to) {
-  if (role_ == Role::kLeader) return;
-  const storage::LogIndex target =
-      std::min({leader_commit, verified_up_to, log_.LastIndex()});
-  if (target > commit_index_) {
-    stats_.entries_committed += static_cast<uint64_t>(target - commit_index_);
-    commit_index_ = target;
-    ApplyReadyEntries();
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Leader response path
-// ---------------------------------------------------------------------------
-
-void RaftNode::HandleAppendResponse(AppendEntriesResponse resp) {
-  // Dispatcher bookkeeping happens regardless of role/term transitions.
-  const auto rpc_it = outstanding_rpcs_.find(resp.rpc_id);
-  if (rpc_it != outstanding_rpcs_.end()) {
-    sim_->Cancel(rpc_it->second.timeout_event);
-    PeerState& ps = peer_state_[rpc_it->second.peer];
-    ps.busy_dispatchers = std::max(0, ps.busy_dispatchers - 1);
-    ps.in_flight.erase(rpc_it->second.index);
-    outstanding_rpcs_.erase(rpc_it);
-  }
-
-  if (resp.term > current_term_) {
-    StepDown(resp.term, net::kInvalidNode);
-    return;
-  }
-  if (role_ != Role::kLeader || resp.term < current_term_) {
-    return;
-  }
-
-  PeerState& ps = peer_state_[resp.from];
-  ps.last_response_at = sim_->Now();
-
-  if (resp.is_heartbeat) {
-    MaybeCatchUpPeer(resp.from, resp.last_index);
-    TryDispatch(resp.from);
-    return;
-  }
-
-  switch (resp.state) {
-    case AcceptState::kWeakAccept: {
-      if (vote_list_.AddWeak(resp.entry_index, resp.from)) {
-        // A living quorum has received the entry: unblock the client
-        // (Sec. III-B2).
-        const auto e = log_.At(resp.entry_index);
-        if (e.ok() && e->client_id != net::kInvalidNode) {
-          ClientResponse cresp;
-          cresp.state = AcceptState::kWeakAccept;
-          cresp.request_id = e->request_id;
-          cresp.index = e->index;
-          cresp.term = e->term;
-          SendTo(e->client_id, cresp.WireSize(), cresp);
-        }
-      }
-      break;
-    }
-    case AcceptState::kStrongAccept: {
-      // A covering ack proves the follower's prefix matches ours only if
-      // (last_index, last_term) names an entry of OUR log (the log
-      // matching property). Without this guard, a follower that flushed
-      // stale old-term window entries could be counted as holding the
-      // current leader's different entries at those indices.
-      if (!log_.Matches(resp.last_index, resp.last_term)) {
-        if (resp.last_index <= log_.LastIndex() &&
-            resp.last_index >= log_.FirstIndex()) {
-          // Re-send our entry at that point; its delivery truncates the
-          // follower's divergent tail.
-          EnqueueForPeer(resp.from, resp.last_index);
-        }
-        break;
-      }
-      ps.mismatch_probe = -1;
-      // t_ack starts at the first strong accept covering an index.
-      for (auto it = entry_timing_.begin();
-           it != entry_timing_.end() && it->first <= resp.last_index; ++it) {
-        if (it->second.first_strong_at == 0) {
-          it->second.first_strong_at = sim_->Now();
-        }
-      }
-      const auto committed =
-          vote_list_.AddStrongUpTo(resp.last_index, resp.from, current_term_);
-      CommitIndices(committed);
-      break;
-    }
-    case AcceptState::kLogMismatch: {
-      ++stats_.mismatches_sent;  // Symmetric counter on the leader side.
-      storage::LogIndex start =
-          std::min(resp.last_index + 1, resp.entry_index);
-      if (ps.mismatch_probe >= 0 && ps.mismatch_probe <= start) {
-        start = ps.mismatch_probe - 1;  // Backtrack further.
-      }
-      if (start < log_.FirstIndex()) {
-        // The entries the follower needs were compacted away.
-        SendInstallSnapshot(resp.from);
-        break;
-      }
-      ps.mismatch_probe = start;
-      for (storage::LogIndex i = start; i <= log_.LastIndex(); ++i) {
-        EnqueueForPeer(resp.from, i);
-      }
-      break;
-    }
-    case AcceptState::kLeaderChanged:
-      // resp.term > current_term_ was handled above; a stale message.
-      break;
-    case AcceptState::kNotLeader:
-      break;
-  }
-  TryDispatch(resp.from);
-}
-
-void RaftNode::CommitIndices(const std::vector<storage::LogIndex>& indices) {
-  for (const storage::LogIndex index : indices) {
-    // The index may jump past commit_index_ + 1 right after an election:
-    // entries from older terms commit implicitly through the first
-    // current-term commit (Raft Sec. 5.4.2).
-    NBRAFT_CHECK_GT(index, commit_index_);
-    stats_.entries_committed += static_cast<uint64_t>(index - commit_index_);
-    commit_index_ = index;
-    cpu_->Consume(options_.costs.commit_cost);
-    const int64_t trace_term = TraceTermAt(index);
-    TracePhase(metrics::Phase::kCommit, sim_->Now(),
-               sim_->Now() + options_.costs.commit_cost, trace_term, index);
-
-    const auto timing = entry_timing_.find(index);
-    if (timing != entry_timing_.end()) {
-      if (timing->second.first_strong_at != 0) {
-        TracePhase(metrics::Phase::kAck, timing->second.first_strong_at,
-                   sim_->Now(), trace_term, index);
-      }
-      entry_timing_.erase(timing);
-    }
-    fragment_cache_.erase(index);
-    fragment_required_.erase(index);
-  }
-  if (!indices.empty()) ApplyReadyEntries();
-}
-
-void RaftNode::ApplyReadyEntries() {
-  MaybeTakeSnapshot();
-  while (apply_scheduled_up_to_ < commit_index_) {
-    const storage::LogIndex index = ++apply_scheduled_up_to_;
-    auto entry_or = log_.At(index);
-    if (!entry_or.ok()) break;  // Compacted (snapshot already applied).
-    storage::LogEntry entry = std::move(entry_or).value();
-
-    // Fragments cannot be executed (no full command bytes): CRaft gives up
-    // follower reads. The apply index still advances.
-    SimDuration cost = 0;
-    if (!entry.IsFragment() && !entry.payload.empty()) {
-      cost = state_machine_->Apply(entry);
-    }
-    if (options_.release_applied_payloads) {
-      log_.ReleasePayloadAt(index);
-    }
-
-    const uint64_t epoch = epoch_;
-    apply_lane_->Submit(cost, [this, epoch, index, cost,
-                               client = entry.client_id,
-                               request_id = entry.request_id,
-                               term = entry.term]() {
-      if (crashed_ || epoch != epoch_) return;
-      applied_index_ = std::max(applied_index_, index);
-      ++stats_.entries_applied;
-      TracePhase(metrics::Phase::kApply, sim_->Now() - cost, sim_->Now(),
-                 term, index, request_id);
-      if (role_ == Role::kLeader && client != net::kInvalidNode) {
-        ClientResponse cresp;
-        cresp.state = AcceptState::kStrongAccept;
-        cresp.request_id = request_id;
-        cresp.index = index;
-        cresp.term = term;
-        SendTo(client, cresp.WireSize(), cresp);
-      }
-    });
-  }
-}
-
-void RaftNode::MaybeCatchUpPeer(net::NodeId peer,
-                                storage::LogIndex follower_last) {
-  PeerState& ps = peer_state_[peer];
-  if (follower_last != ps.last_reported) {
-    ps.last_reported = follower_last;
-    ps.last_advance_at = sim_->Now();
-  }
-  if (follower_last >= log_.LastIndex()) return;
-  if (follower_last + 1 < log_.FirstIndex()) {
-    // The follower's continuation point was compacted away — only a
-    // snapshot can move it forward, whatever we may have enqueued before
-    // it fell behind.
-    SendInstallSnapshot(peer);
-    return;
-  }
-  // Only fill in entries never handed to this peer's pipeline: everything
-  // at or below max_enqueued is queued, in flight, or already delivered
-  // (losses there are retried by the RPC timeout). Without this bound the
-  // stale follower_last in heartbeat acks floods the dispatchers with
-  // duplicates of in-flight entries.
-  storage::LogIndex start = std::max(
-      {follower_last + 1, ps.max_enqueued + 1, log_.FirstIndex()});
-  if (sim_->Now() - ps.last_advance_at > 2 * options_.rpc_timeout) {
-    // Stagnant: every pipeline copy of the missing entries was consumed
-    // without an append (cached in a window that was since cleared, or
-    // dropped from the queues by a leadership change while the follower
-    // was partitioned). Force a re-send of the continuation — waiting for
-    // the normal pipeline would deadlock when the backlog predates this
-    // leader's peer state.
-    start = std::max(follower_last + 1, log_.FirstIndex());
-    ps.last_advance_at = sim_->Now();  // Back off between forced bursts.
-  }
-  const storage::LogIndex end =
-      std::min(log_.LastIndex(), start + 4 * options_.dispatchers_per_follower);
-  for (storage::LogIndex i = start; i <= end; ++i) {
-    if (ps.queued.count(i) == 0 && ps.in_flight.count(i) == 0) {
-      EnqueueForPeer(peer, i);
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Elections
-// ---------------------------------------------------------------------------
-
-void RaftNode::SetCpuSpeedFactor(double factor) {
-  cpu_->set_speed_factor(factor);
-  index_lane_->set_speed_factor(factor);
-  apply_lane_->set_speed_factor(factor);
-  log_lock_lane_->set_speed_factor(factor);
-}
-
-void RaftNode::ArmElectionTimer() {
-  sim_->Cancel(election_timer_);
-  const SimDuration base = options_.election_timeout;
-  SimDuration delay =
-      base + static_cast<SimDuration>(rng_.NextBounded(
-                 static_cast<uint64_t>(std::max<SimDuration>(base, 1))));
-  if (timer_skew_ != 1.0) {
-    // Chaos clock skew: stretch or shrink this node's perception of the
-    // timeout (floor 1 tick keeps the timer strictly in the future).
-    delay = std::max<SimDuration>(
-        static_cast<SimDuration>(static_cast<double>(delay) * timer_skew_), 1);
-  }
-  const uint64_t epoch = epoch_;
-  election_timer_ = sim_->After(delay, [this, epoch]() {
-    if (crashed_ || epoch != epoch_ || role_ == Role::kLeader) return;
-    StartElection();
-  });
-}
-
-void RaftNode::StartElection() {
-  ++current_term_;
-  role_ = Role::kCandidate;
-  voted_for_ = id_;
-  PersistHardState();
-  leader_ = net::kInvalidNode;
-  votes_received_.clear();
-  votes_received_.insert(id_);
-  ++stats_.elections_started;
-  NBRAFT_LOG(Info) << "node " << id_ << " starts election, term "
-                   << current_term_;
-  if (tracer_ != nullptr) {
-    tracer_->RecordInstant("election_start", id_, current_term_);
-  }
-
-  if (static_cast<int>(votes_received_.size()) >= quorum()) {
-    BecomeLeader();
-    return;
-  }
-  RequestVoteRequest req;
-  req.term = current_term_;
-  req.candidate = id_;
-  req.last_log_index = log_.LastIndex();
-  req.last_log_term = log_.LastTerm();
-  for (net::NodeId peer : peers_) {
-    SendTo(peer, req.WireSize(), req);
-  }
-  ArmElectionTimer();  // Retry with a fresh randomized timeout.
-}
-
-void RaftNode::HandleRequestVote(RequestVoteRequest req) {
-  if (req.term > current_term_) {
-    StepDown(req.term, net::kInvalidNode);
-  }
-  RequestVoteResponse resp;
-  resp.term = current_term_;
-  resp.from = id_;
-  resp.granted = false;
-  if (req.term == current_term_ &&
-      (voted_for_ == net::kInvalidNode || voted_for_ == req.candidate)) {
-    const bool up_to_date =
-        req.last_log_term > log_.LastTerm() ||
-        (req.last_log_term == log_.LastTerm() &&
-         req.last_log_index >= log_.LastIndex());
-    if (up_to_date) {
-      resp.granted = true;
-      voted_for_ = req.candidate;
-      PersistHardState();
-      ArmElectionTimer();
-    }
-  }
-  SendTo(req.candidate, resp.WireSize(), resp);
-}
-
-void RaftNode::HandleVoteResponse(RequestVoteResponse resp) {
-  if (resp.term > current_term_) {
-    StepDown(resp.term, net::kInvalidNode);
-    return;
-  }
-  if (role_ != Role::kCandidate || resp.term != current_term_ ||
-      !resp.granted) {
-    return;
-  }
-  votes_received_.insert(resp.from);
-  if (static_cast<int>(votes_received_.size()) >= quorum()) {
-    BecomeLeader();
-  }
-}
-
-void RaftNode::BecomeLeader() {
-  NBRAFT_CHECK_NE(static_cast<int>(role_), static_cast<int>(Role::kLeader));
-  role_ = Role::kLeader;
-  leader_ = id_;
-  ++stats_.times_elected;
-  NBRAFT_LOG(Info) << "node " << id_ << " elected leader, term "
-                   << current_term_;
-  if (tracer_ != nullptr) {
-    tracer_->RecordInstant("leader_elected", id_, current_term_);
-  }
-  if (leader_observer_) leader_observer_(current_term_, id_);
-  sim_->Cancel(election_timer_);
-  election_timer_ = sim::kInvalidEventId;
-
-  vote_list_.Clear();
-  peer_state_.clear();
-  entry_timing_.clear();
-  fragment_cache_.clear();
-  fragment_required_.clear();
-  for (auto& [rpc_id, rpc] : outstanding_rpcs_) {
-    sim_->Cancel(rpc.timeout_event);
-  }
-  outstanding_rpcs_.clear();
-  // Weakly accepted cache entries belong to the previous leader's pipeline.
-  window_.Clear();
-  held_entries_.clear();
-
-  // Commit a no-op in the new term so older entries can commit (Raft's
-  // current-term commit rule).
-  storage::LogEntry noop;
-  noop.index = log_.LastIndex() + 1;
-  noop.term = current_term_;
-  noop.prev_term = log_.LastTerm();
-  log_.Append(noop);
-  PersistEntry(noop);
-  ++stats_.entries_appended;
-  vote_list_.AddTuple(noop.index, noop.term, id_, quorum());
-  entry_timing_[noop.index].indexed_at = sim_->Now();
-  ReplicateEntry(noop);
-  if (peers_.empty()) {
-    CommitIndices(vote_list_.AddStrongUpTo(noop.index, id_, current_term_));
-  }
-
-  BroadcastHeartbeat();
-}
-
-void RaftNode::StepDown(storage::Term term, net::NodeId leader) {
-  const bool was_leader = role_ == Role::kLeader;
-  if (was_leader) {
-    // Tell clients of in-flight entries to retry with the new leader
-    // (Sec. III-B3a: reply LEADER_CHANGED and clean the VoteList).
-    while (!vote_list_.empty()) {
-      const storage::LogIndex index = vote_list_.FrontIndex();
-      const auto e = log_.At(index);
-      if (e.ok() && e->client_id != net::kInvalidNode) {
-        ClientResponse cresp;
-        cresp.state = AcceptState::kLeaderChanged;
-        cresp.request_id = e->request_id;
-        cresp.index = index;
-        cresp.term = term;
-        cresp.leader_hint = leader;
-        SendTo(e->client_id, cresp.WireSize(), cresp);
-      }
-      vote_list_.RemoveFront();
-    }
-    sim_->Cancel(heartbeat_timer_);
-    heartbeat_timer_ = sim::kInvalidEventId;
-    for (auto& [rpc_id, rpc] : outstanding_rpcs_) {
-      sim_->Cancel(rpc.timeout_event);
-    }
-    outstanding_rpcs_.clear();
-    peer_state_.clear();
-    entry_timing_.clear();
-    fragment_cache_.clear();
-    fragment_required_.clear();
-  }
-  if (term > current_term_) {
-    current_term_ = term;
-    voted_for_ = net::kInvalidNode;
-    PersistHardState();
-  }
-  role_ = Role::kFollower;
-  leader_ = leader;
-  votes_received_.clear();
-  ArmElectionTimer();
-}
-
-void RaftNode::BroadcastHeartbeat() {
-  if (role_ != Role::kLeader || crashed_) return;
-  // Replica liveness changed? CRaft/ECRaft requirements must follow, or
-  // in-flight fragmented entries needing all N acks would never commit
-  // after a follower dies (CRaft's degraded-mode liveness fix).
-  const int alive = AliveNodes();
-  if (alive != last_alive_seen_) {
-    last_alive_seen_ = alive;
-    if (options_.erasure) {
-      vote_list_.ForEach([this](storage::LogIndex index,
-                                VoteList::Tuple* tuple) {
-        const auto frag = fragment_required_.find(index);
-        const int k = frag == fragment_required_.end() ? 0 : frag->second;
-        tuple->required = RequiredStrong(k > 0, k);
-      });
-      CommitIndices(vote_list_.CollectCommittable(current_term_));
-    }
-  }
-  for (net::NodeId peer : peers_) {
-    AppendEntriesRequest hb;
-    hb.term = current_term_;
-    hb.leader = id_;
-    hb.is_heartbeat = true;
-    hb.leader_commit = commit_index_;
-    hb.commit_term = log_.TermAt(commit_index_).value_or(0);
-    SendTo(peer, hb.WireSize(), hb);
-  }
-  const uint64_t epoch = epoch_;
-  heartbeat_timer_ =
-      sim_->After(options_.heartbeat_interval, [this, epoch]() {
-        if (crashed_ || epoch != epoch_) return;
-        BroadcastHeartbeat();
-      });
-}
-
-// ---------------------------------------------------------------------------
-// Snapshots
-// ---------------------------------------------------------------------------
-
-void RaftNode::MaybeTakeSnapshot() {
-  if (options_.snapshot_threshold <= 0) return;
-  // Fragment replicas hold no applicable state — a snapshot taken there
-  // would be empty. Snapshot-based compaction is a full-replication
-  // feature (CRaft pairs it with fragment reconstruction instead).
-  if (options_.erasure) return;
-  const storage::LogIndex applied = apply_scheduled_up_to_;
-  if (applied - log_.FirstIndex() + 1 <= options_.snapshot_threshold) {
-    return;
-  }
-  // The state machine was mutated through `applied` (mutations happen at
-  // scheduling time, in order), so the snapshot names that position.
-  snapshot_data_ = state_machine_->Snapshot();
-  snapshot_index_ = applied;
-  snapshot_term_ = log_.TermAt(applied).value_or(0);
-  ++stats_.snapshots_taken;
-  cpu_->Consume(PerKib(options_.costs.snapshot_cost_per_kib,
-                       snapshot_data_.size()));
-
-  const storage::LogIndex compact_upto =
-      std::max<storage::LogIndex>(applied - options_.snapshot_keep_tail,
-                                  log_.FirstIndex() - 1);
-  if (compact_upto >= log_.FirstIndex()) {
-    NBRAFT_CHECK(log_.CompactPrefix(compact_upto).ok());
-  }
-}
-
-void RaftNode::SendInstallSnapshot(net::NodeId peer) {
-  if (role_ != Role::kLeader || snapshot_index_ == 0) return;
-  PeerState& ps = peer_state_[peer];
-  if (ps.snapshot_in_flight) return;
-  ps.snapshot_in_flight = true;
-  ++stats_.snapshots_sent;
-
-  InstallSnapshotRequest req;
-  req.term = current_term_;
-  req.leader = id_;
-  req.rpc_id = next_rpc_id_++;
-  req.last_included_index = snapshot_index_;
-  req.last_included_term = snapshot_term_;
-  req.data = snapshot_data_;
-
-  const uint64_t rpc_id = req.rpc_id;
-  const uint64_t epoch = epoch_;
-  // Snapshots are large: give them a generous multiple of the RPC timeout.
-  const sim::EventId timeout_event =
-      sim_->After(4 * options_.rpc_timeout, [this, epoch, rpc_id]() {
-        if (crashed_ || epoch != epoch_) return;
-        OnRpcTimeout(rpc_id);
-      });
-  outstanding_rpcs_[rpc_id] =
-      OutstandingRpc{peer, snapshot_index_, /*is_snapshot=*/true,
-                     timeout_event};
-  SendTo(peer, req.WireSize(), std::move(req));
-}
-
-void RaftNode::HandleInstallSnapshot(InstallSnapshotRequest req) {
-  InstallSnapshotResponse resp;
-  resp.from = id_;
-  resp.rpc_id = req.rpc_id;
-  if (req.term < current_term_) {
-    resp.term = current_term_;
-    resp.installed = false;
-    resp.last_index = log_.LastIndex();
-    SendTo(req.leader, resp.WireSize(), resp);
-    return;
-  }
-  NoteLeaderContact(req.term, req.leader);
-  resp.term = current_term_;
-
-  if (req.last_included_index <= commit_index_) {
-    // Already at or past the snapshot: nothing to install.
-    resp.installed = false;
-    resp.last_index = log_.LastIndex();
-    SendTo(req.leader, resp.WireSize(), resp);
-    return;
-  }
-
-  const Status restored = state_machine_->Restore(req.data);
-  if (!restored.ok()) {
-    NBRAFT_LOG(Warn) << "node " << id_
-                     << ": snapshot restore failed: " << restored.ToString();
-    resp.installed = false;
-    resp.last_index = log_.LastIndex();
-    SendTo(req.leader, resp.WireSize(), resp);
-    return;
-  }
-  log_.ResetToSnapshot(req.last_included_index, req.last_included_term);
-  commit_index_ = req.last_included_index;
-  apply_scheduled_up_to_ = req.last_included_index;
-  applied_index_ = req.last_included_index;
-  snapshot_data_ = std::move(req.data);
-  snapshot_index_ = req.last_included_index;
-  snapshot_term_ = req.last_included_term;
-  window_.Clear();
-  held_entries_.clear();
-  recv_time_.clear();
-  ++stats_.snapshots_installed;
-
-  const SimDuration cost =
-      PerKib(options_.costs.snapshot_cost_per_kib, snapshot_data_.size());
-  const uint64_t epoch = epoch_;
-  resp.installed = true;
-  resp.last_index = log_.LastIndex();
-  cpu_->Submit(cost, [this, epoch, resp, leader = req.leader]() {
-    if (crashed_ || epoch != epoch_) return;
-    SendTo(leader, resp.WireSize(), resp);
-  });
-}
-
-void RaftNode::HandleInstallSnapshotResponse(
-    const InstallSnapshotResponse& resp) {
-  const auto rpc_it = outstanding_rpcs_.find(resp.rpc_id);
-  if (rpc_it != outstanding_rpcs_.end()) {
-    sim_->Cancel(rpc_it->second.timeout_event);
-    outstanding_rpcs_.erase(rpc_it);
-  }
-  if (resp.term > current_term_) {
-    StepDown(resp.term, net::kInvalidNode);
-    return;
-  }
-  if (role_ != Role::kLeader) return;
-  PeerState& ps = peer_state_[resp.from];
-  ps.snapshot_in_flight = false;
-  ps.last_response_at = sim_->Now();
-  // Continue with log entries from wherever the follower now stands.
-  MaybeCatchUpPeer(resp.from, resp.last_index);
-  TryDispatch(resp.from);
-}
-
-// ---------------------------------------------------------------------------
 // Reads
 // ---------------------------------------------------------------------------
 
 void RaftNode::HandleReadRequest(ReadRequest req) {
   ReadResponse resp;
   resp.request_id = req.request_id;
-  if (options_.erasure && role_ != Role::kLeader) {
+  if (options_.erasure && core_.role != Role::kLeader) {
     // Fragmented replicas cannot serve reads (Table II: no follower read
     // under CRaft).
     resp.supported = false;
@@ -1357,7 +183,18 @@ void RaftNode::HandleReadRequest(ReadRequest req) {
 }
 
 // ---------------------------------------------------------------------------
-// Helpers
+// CPU
+// ---------------------------------------------------------------------------
+
+void RaftNode::SetCpuSpeedFactor(double factor) {
+  cpu_->set_speed_factor(factor);
+  index_lane_->set_speed_factor(factor);
+  apply_lane_->set_speed_factor(factor);
+  log_lock_lane_->set_speed_factor(factor);
+}
+
+// ---------------------------------------------------------------------------
+// Durability
 // ---------------------------------------------------------------------------
 
 std::string RaftNode::WalPath() const {
@@ -1377,8 +214,8 @@ void RaftNode::PersistTruncate(storage::LogIndex from_index) {
 void RaftNode::PersistHardState() {
   if (durable_ == nullptr) return;
   storage::DurableLog::HardState hs;
-  hs.term = current_term_;
-  hs.voted_for = voted_for_;
+  hs.term = core_.current_term;
+  hs.voted_for = core_.voted_for;
   NBRAFT_CHECK(durable_->AppendHardState(hs).ok());
 }
 
@@ -1388,63 +225,10 @@ void RaftNode::RecoverFromWal() {
   auto recovered = storage::DurableLog::Recover(path);
   NBRAFT_CHECK(recovered.ok()) << recovered.status().ToString();
   log_ = std::move(recovered->log);
-  current_term_ = recovered->hard_state.term;
-  voted_for_ = recovered->hard_state.voted_for;
+  core_.current_term = recovered->hard_state.term;
+  core_.voted_for = recovered->hard_state.voted_for;
   NBRAFT_LOG(Info) << "node " << id_ << " recovered " << log_.LastIndex()
-                   << " entries, term " << current_term_ << " from WAL";
-}
-
-void RaftNode::NoteLeaderContact(storage::Term term, net::NodeId leader) {
-  if (term > current_term_ || role_ != Role::kFollower) {
-    StepDown(term, leader);
-  }
-  leader_ = leader;
-  ArmElectionTimer();
-}
-
-int RaftNode::AliveNodes() const {
-  int alive = 1;  // Self.
-  for (const net::NodeId peer : peers_) {
-    if (IsPeerAlive(peer)) ++alive;
-  }
-  return alive;
-}
-
-bool RaftNode::IsPeerAlive(net::NodeId peer) const {
-  const auto it = peer_state_.find(peer);
-  if (it == peer_state_.end()) return true;  // No evidence yet: optimistic.
-  if (it->second.last_response_at == 0) return true;
-  return sim_->Now() - it->second.last_response_at <
-         3 * options_.heartbeat_interval;
-}
-
-int RaftNode::RequiredStrong(bool fragmented, int k) const {
-  const int n = cluster_size();
-  const int f = (n - 1) / 2;
-  const int dead = n - AliveNodes();
-  const int remaining_faults = std::max(0, f - dead);
-  if (fragmented) {
-    // A committed fragment set must still be decodable after every
-    // remaining tolerated fault: k + (f - dead) holders.
-    return std::min(n, k + remaining_faults);
-  }
-  // Full copies: one survivor after the remaining tolerated faults, but
-  // never less than a majority of the full cluster for term safety.
-  return std::max(quorum(), remaining_faults + 1);
-}
-
-int RaftNode::EffectiveKBucket() const {
-  if (options_.kbucket_size == 0) return 0;
-  const int followers = static_cast<int>(peers_.size());
-  if (followers <= 1) return 0;  // Nothing to relay through (paper Fig. 15).
-  if (options_.kbucket_size < 0) return (followers + 1) / 2;
-  return std::min(options_.kbucket_size, followers);
-}
-
-SimDuration RaftNode::FollowerAppendCost(
-    const storage::LogEntry& entry) const {
-  return options_.costs.follower_append_base +
-         PerKib(options_.costs.follower_append_per_kib, entry.WireSize());
+                   << " entries, term " << core_.current_term << " from WAL";
 }
 
 }  // namespace nbraft::raft

@@ -1,22 +1,21 @@
 #ifndef NBRAFT_RAFT_RAFT_NODE_H_
 #define NBRAFT_RAFT_RAFT_NODE_H_
 
-#include <deque>
-#include <map>
 #include <memory>
-#include <set>
-#include <unordered_map>
+#include <string>
 #include <vector>
 
 #include "common/random.h"
-#include "craft/reed_solomon.h"
-#include "metrics/breakdown.h"
-#include "metrics/histogram.h"
 #include "nbraft/sliding_window.h"
 #include "nbraft/vote_list.h"
 #include "net/network.h"
 #include "obs/tracer.h"
-#include "raft/messages.h"
+#include "raft/commit_applier.h"
+#include "raft/election_engine.h"
+#include "raft/follower_ingress.h"
+#include "raft/node_context.h"
+#include "raft/node_stats.h"
+#include "raft/replication_pipeline.h"
 #include "raft/types.h"
 #include "sim/cpu_executor.h"
 #include "sim/simulator.h"
@@ -26,41 +25,28 @@
 
 namespace nbraft::raft {
 
-/// Per-node metrics the harness aggregates after a run.
-struct NodeStats {
-  metrics::Breakdown breakdown;
-  metrics::Histogram wait_hist;       ///< t_wait(F) per delayed entry.
-  metrics::Histogram append_latency;  ///< Receive -> appended, per entry.
-  uint64_t entries_appended = 0;
-  uint64_t entries_committed = 0;
-  uint64_t entries_applied = 0;
-  uint64_t weak_accepts_sent = 0;
-  uint64_t strong_accepts_sent = 0;
-  uint64_t mismatches_sent = 0;
-  uint64_t window_inserts = 0;
-  uint64_t window_overflows = 0;  ///< diff > w arrivals (held, blocking).
-  uint64_t elections_started = 0;
-  uint64_t times_elected = 0;
-  uint64_t rpc_timeouts = 0;
-  uint64_t degraded_entries = 0;  ///< CRaft/ECRaft degraded-mode entries.
-  uint64_t snapshots_taken = 0;
-  uint64_t snapshots_sent = 0;
-  uint64_t snapshots_installed = 0;
-};
-
-/// One consensus replica. A single class implements Raft, NB-Raft, CRaft,
+/// One consensus replica. A single node implements Raft, NB-Raft, CRaft,
 /// ECRaft, KRaft and VGRaft via `RaftOptions` (original Raft is exactly
 /// window_size = 0 with every flag off).
 ///
-/// The node is entirely event-driven on the deterministic simulator: the
-/// network delivers typed messages, CPU work is charged to per-node
-/// executors, and timers drive elections and heartbeats.
-class RaftNode {
+/// The node is a thin message router over four engines that share state
+/// through the NodeContext seam it implements:
+///
+///   - ElectionEngine       timers, votes, term transitions, step-down
+///   - ReplicationPipeline  leader fan-out: dispatchers, RPCs, catch-up
+///   - FollowerIngress      append decision tree, sliding window, held loop
+///   - CommitApplier        VoteList commit, ordered apply, compaction
+///
+/// RaftNode itself owns only what must live in one place: the durable
+/// state (term, vote, log, WAL), the CoreState every engine reads, the CPU
+/// lanes, the network endpoint and the stats/tracer sinks. Everything is
+/// event-driven on the deterministic simulator.
+class RaftNode : public NodeContext {
  public:
   RaftNode(sim::Simulator* sim, net::SimNetwork* network, net::NodeId id,
            std::vector<net::NodeId> peers, RaftOptions options,
            std::unique_ptr<tsdb::StateMachine> state_machine);
-  ~RaftNode();
+  ~RaftNode() override;
 
   RaftNode(const RaftNode&) = delete;
   RaftNode& operator=(const RaftNode&) = delete;
@@ -79,41 +65,39 @@ class RaftNode {
   void TriggerElection();
 
   // ---- Introspection ----
-  net::NodeId id() const { return id_; }
-  Role role() const { return role_; }
-  bool crashed() const { return crashed_; }
-  storage::Term current_term() const { return current_term_; }
-  net::NodeId leader_hint() const { return leader_; }
-  const storage::RaftLog& log() const { return log_; }
-  storage::LogIndex commit_index() const { return commit_index_; }
-  storage::LogIndex applied_index() const { return applied_index_; }
-  const SlidingWindow& window() const { return window_; }
-  const VoteList& vote_list() const { return vote_list_; }
-  const RaftOptions& options() const { return options_; }
+  net::NodeId id() const override { return id_; }
+  Role role() const { return core_.role; }
+  bool crashed() const { return core_.crashed; }
+  storage::Term current_term() const { return core_.current_term; }
+  net::NodeId leader_hint() const { return core_.leader; }
+  const storage::RaftLog& log() const override { return log_; }
+  storage::LogIndex commit_index() const { return core_.commit_index; }
+  storage::LogIndex applied_index() const { return core_.applied_index; }
+  const SlidingWindow& window() const { return ingress_->window(); }
+  const VoteList& vote_list() const { return applier_->vote_list(); }
+  const RaftOptions& options() const override { return options_; }
   const tsdb::StateMachine& state_machine() const { return *state_machine_; }
-  tsdb::StateMachine* mutable_state_machine() { return state_machine_.get(); }
-  NodeStats& stats() { return stats_; }
+  tsdb::StateMachine* mutable_state_machine() override {
+    return state_machine_.get();
+  }
+  NodeStats& stats() override { return stats_; }
   const NodeStats& stats() const { return stats_; }
-  sim::CpuExecutor* cpu() { return cpu_.get(); }
+  sim::CpuExecutor* cpu() override { return cpu_.get(); }
 
   /// Attaches the lifecycle tracer (nullptr = off, the default). Every
   /// phase the node adds to its `Breakdown` is mirrored as a span, and the
   /// sliding window's insert/evict/flush transitions become instants.
   void set_tracer(obs::Tracer* tracer);
 
-  /// Invoked exactly once per term this node wins, from BecomeLeader().
-  /// The chaos safety oracle uses it to check election safety (<= 1 leader
-  /// per term) without polling.
-  using LeaderObserver = std::function<void(storage::Term, net::NodeId)>;
+  using LeaderObserver = ElectionEngine::LeaderObserver;
   void set_leader_observer(LeaderObserver observer) {
-    leader_observer_ = std::move(observer);
+    election_->set_leader_observer(std::move(observer));
   }
 
   /// Multiplies the randomized election timeout (chaos clock skew; 1.0 =
-  /// nominal). < 1 makes this node trigger-happy, > 1 sluggish. Applies
-  /// from the next time the timer is armed.
-  void set_timer_skew(double skew) { timer_skew_ = skew; }
-  double timer_skew() const { return timer_skew_; }
+  /// nominal). Applies from the next time the timer is armed.
+  void set_timer_skew(double skew) { election_->set_timer_skew(skew); }
+  double timer_skew() const { return election_->timer_skew(); }
 
   /// Degrades (or restores) all of this node's CPU lanes — the chaos
   /// slow-node fault. Charged costs divide by the factor, so factor < 1
@@ -121,159 +105,57 @@ class RaftNode {
   void SetCpuSpeedFactor(double factor);
 
   /// Entries sitting in dispatcher queues across all peers (telemetry).
-  size_t DispatcherQueueDepth() const;
+  size_t DispatcherQueueDepth() const {
+    return pipeline_->DispatcherQueueDepth();
+  }
   /// AppendEntries / InstallSnapshot RPCs currently on the wire.
-  size_t OutstandingRpcCount() const { return outstanding_rpcs_.size(); }
+  size_t OutstandingRpcCount() const {
+    return pipeline_->OutstandingRpcCount();
+  }
+  /// True when every leader-only container (dispatcher queues, in-flight
+  /// RPCs, fragment caches, VoteList, per-entry timing) is empty. Step-down
+  /// and crash must leave this true — regression-tested.
+  bool LeaderVolatileStateEmpty() const {
+    return pipeline_->LeaderStateEmpty() && applier_->LeaderStateEmpty();
+  }
 
-  int cluster_size() const { return static_cast<int>(peers_.size()) + 1; }
-  int quorum() const { return cluster_size() / 2 + 1; }
+  // ---- NodeContext (the seam the engines program against) ----
+  sim::Simulator* simulator() override { return sim_; }
+  const std::vector<net::NodeId>& peer_ids() const override {
+    return peers_;
+  }
+  nbraft::Rng& rng() override { return rng_; }
+  obs::Tracer* tracer() const override { return tracer_; }
+  sim::CpuExecutor* index_lane() override { return index_lane_.get(); }
+  sim::CpuExecutor* apply_lane() override { return apply_lane_.get(); }
+  sim::CpuExecutor* log_lock_lane() override { return log_lock_lane_.get(); }
+  CoreState& core() override { return core_; }
+  const CoreState& core() const override { return core_; }
+  storage::RaftLog& log() override { return log_; }
+  void SendTo(net::NodeId to, size_t bytes, std::any payload) override;
+  void PersistEntry(const storage::LogEntry& entry) override;
+  void PersistTruncate(storage::LogIndex from_index) override;
+  void PersistHardState() override;
+  void TracePhase(metrics::Phase phase, SimTime start, SimTime end,
+                  int64_t term, int64_t index,
+                  uint64_t request_id = 0) override;
+  int64_t TraceTermAt(storage::LogIndex index) const override;
+  ElectionEngine* election() override { return election_.get(); }
+  ReplicationPipeline* pipeline() override { return pipeline_.get(); }
+  FollowerIngress* ingress() override { return ingress_.get(); }
+  CommitApplier* applier() override { return applier_.get(); }
 
  private:
-  struct QueuedEntry {
-    storage::LogIndex index = 0;
-    SimTime enqueued_at = 0;
-  };
-
-  /// Leader-side replication state for one follower connection.
-  struct PeerState {
-    std::deque<QueuedEntry> queue;
-    std::set<storage::LogIndex> queued;     ///< Mirrors `queue` for dedup.
-    std::set<storage::LogIndex> in_flight;  ///< Indices on the wire.
-    int busy_dispatchers = 0;
-    bool snapshot_in_flight = false;
-    storage::LogIndex mismatch_probe = -1;  ///< Backtracking cursor.
-    /// Highest index ever enqueued for this peer; heartbeat catch-up only
-    /// fills in above it (the pipeline below is in flight or completed —
-    /// losses there are the RPC timeout's job, not catch-up's).
-    storage::LogIndex max_enqueued = 0;
-    SimTime last_response_at = 0;           ///< Liveness estimate.
-    /// Stagnation detection: last log end the follower reported and when
-    /// it last advanced. A follower stuck below the commit index (e.g.
-    /// weakly accepted entries wiped with its window) gets a forced
-    /// re-send.
-    storage::LogIndex last_reported = -1;
-    SimTime last_advance_at = 0;
-  };
-
-  /// An in-flight AppendEntries or InstallSnapshot RPC.
-  struct OutstandingRpc {
-    net::NodeId peer = net::kInvalidNode;
-    storage::LogIndex index = 0;
-    bool is_snapshot = false;
-    sim::EventId timeout_event = sim::kInvalidEventId;
-  };
-
-  /// A received entry the follower cannot yet place (diff > max(w, 1)):
-  /// the RPC stays open — this is the paper's blue waiting loop.
-  struct HeldEntry {
-    AppendEntriesRequest request;
-    SimTime received_at = 0;
-  };
-
-  /// Per-index timestamps for the Fig. 4 breakdown.
-  struct EntryTiming {
-    SimTime indexed_at = 0;
-    SimTime first_strong_at = 0;
-  };
-
   // ---- Message plumbing ----
   void HandleMessage(net::Message&& msg);
-  void SendTo(net::NodeId to, size_t bytes, std::any payload);
-
-  // ---- Client request path (leader) ----
-  void HandleClientRequest(ClientRequest req, SimTime received_at,
-                           SimTime sent_at);
-  void IndexAndReplicate(ClientRequest req);
-  void ReplicateEntry(const storage::LogEntry& entry);
-  void EnqueueForPeer(net::NodeId peer, storage::LogIndex index);
-  void TryDispatch(net::NodeId peer);
-  void SendAppendRpc(net::NodeId peer, storage::LogIndex index);
-  void OnRpcTimeout(uint64_t rpc_id);
-
-  // ---- Follower append path ----
-  void HandleAppendEntries(AppendEntriesRequest req, SimTime received_at);
-  /// Decides what to do with an arriving entry: duplicate ack, truncate &
-  /// replace, direct append (+ window flush), window caching, or holding
-  /// it in the waiting loop.
-  void ProcessEntry(const AppendEntriesRequest& req, SimTime received_at,
-                    bool from_held_queue);
-  void AppendAndFlush(const AppendEntriesRequest& req, SimTime received_at,
-                      bool truncate_first);
-  void RespondAppend(const AppendEntriesRequest& req, AcceptState state,
-                     storage::LogIndex last_index, storage::Term last_term);
-  void RecheckHeldEntries();
-  /// Advances the follower commit index to min(leader_commit,
-  /// verified_up_to), where `verified_up_to` bounds the prefix known to
-  /// match the leader's log (never advance over an unverified tail).
-  void AdvanceFollowerCommit(storage::LogIndex leader_commit,
-                             storage::LogIndex verified_up_to);
-
-  // ---- Leader response path ----
-  void HandleAppendResponse(AppendEntriesResponse resp);
-  void CommitIndices(const std::vector<storage::LogIndex>& indices);
-  void ApplyReadyEntries();
-  void MaybeCatchUpPeer(net::NodeId peer, storage::LogIndex follower_last);
-
-  // ---- Elections ----
-  void ArmElectionTimer();
-  void StartElection();
-  void HandleRequestVote(RequestVoteRequest req);
-  void HandleVoteResponse(RequestVoteResponse resp);
-  void BecomeLeader();
-  void StepDown(storage::Term term, net::NodeId leader);
-  void BroadcastHeartbeat();
-
-  // ---- Snapshots ----
-  /// Compacts the log once enough applied entries accumulated.
-  void MaybeTakeSnapshot();
-  void SendInstallSnapshot(net::NodeId peer);
-  void HandleInstallSnapshot(InstallSnapshotRequest req);
-  void HandleInstallSnapshotResponse(const InstallSnapshotResponse& resp);
 
   // ---- Reads ----
   void HandleReadRequest(ReadRequest req);
 
   // ---- Durability (real WAL; active when options.wal_dir is set) ----
-  void PersistEntry(const storage::LogEntry& entry);
-  void PersistTruncate(storage::LogIndex from_index);
-  void PersistHardState();
   std::string WalPath() const;
   /// Replays the WAL into log/term/vote (no-op without wal_dir).
   void RecoverFromWal();
-
-  // ---- Observability ----
-
-  /// Forwards window transitions to the tracer (detached when untraced, so
-  /// the window keeps its zero-overhead fast path).
-  class WindowTraceAdapter : public SlidingWindow::Observer {
-   public:
-    explicit WindowTraceAdapter(RaftNode* node) : node_(node) {}
-    void OnInsert(storage::LogIndex index, size_t occupancy) override;
-    void OnEvict(storage::LogIndex index, size_t occupancy) override;
-    void OnFlush(storage::LogIndex first, size_t count,
-                 size_t occupancy) override;
-
-   private:
-    RaftNode* node_;
-  };
-
-  /// Accounts `end - start` to the Fig. 4 breakdown and, when traced,
-  /// records the matching lifecycle span. Keeping both writes in one place
-  /// is what makes the trace/Breakdown parity check exact.
-  void TracePhase(metrics::Phase phase, SimTime start, SimTime end,
-                  int64_t term, int64_t index, uint64_t request_id = 0);
-
-  /// Term of the local entry at `index`, for span keys; only paid when the
-  /// tracer is attached.
-  int64_t TraceTermAt(storage::LogIndex index) const;
-
-  // ---- Helpers ----
-  int AliveNodes() const;
-  int RequiredStrong(bool fragmented, int k) const;
-  int EffectiveKBucket() const;
-  bool IsPeerAlive(net::NodeId peer) const;
-  SimDuration FollowerAppendCost(const storage::LogEntry& entry) const;
-  void NoteLeaderContact(storage::Term term, net::NodeId leader);
 
   sim::Simulator* sim_;
   net::SimNetwork* network_;
@@ -289,59 +171,23 @@ class RaftNode {
   std::unique_ptr<sim::CpuExecutor> apply_lane_;  ///< Ordered apply.
   std::unique_ptr<sim::CpuExecutor> log_lock_lane_;  ///< Follower log lock.
 
-  // ---- Durable state ----
-  storage::Term current_term_ = 0;
-  net::NodeId voted_for_ = net::kInvalidNode;
+  /// Durable + volatile consensus core shared by the engines.
+  CoreState core_;
   storage::RaftLog log_;
-
-  // ---- Volatile state ----
   bool started_ = false;
-  bool crashed_ = false;
-  Role role_ = Role::kFollower;
-  net::NodeId leader_ = net::kInvalidNode;
-  storage::LogIndex commit_index_ = 0;
-  storage::LogIndex applied_index_ = 0;
-  storage::LogIndex apply_scheduled_up_to_ = 0;
-
-  SlidingWindow window_;
-  /// Held (blocked) arrivals ordered by entry index, so a log advance only
-  /// touches the entries it actually unblocks.
-  std::multimap<storage::LogIndex, HeldEntry> held_entries_;
-  bool in_recheck_ = false;
-  /// Receive time of window-cached entries, for t_wait(F) accounting.
-  std::unordered_map<storage::LogIndex, SimTime> recv_time_;
-  /// Bumped on restart so stale scheduled callbacks become no-ops.
-  uint64_t epoch_ = 0;
-
-  // Leader state.
-  VoteList vote_list_;
-  std::map<net::NodeId, PeerState> peer_state_;
-  std::unordered_map<uint64_t, OutstandingRpc> outstanding_rpcs_;
-  std::unordered_map<storage::LogIndex, std::vector<std::string>>
-      fragment_cache_;
-  std::unordered_map<storage::LogIndex, int> fragment_required_;
-  std::map<storage::LogIndex, EntryTiming> entry_timing_;
-  std::set<net::NodeId> votes_received_;
-  uint64_t next_rpc_id_ = 1;
-  int last_alive_seen_ = -1;
 
   /// Real write-ahead log (nullptr in modelled-durability mode).
   std::unique_ptr<storage::DurableLog> durable_;
 
-  // Latest snapshot (durable): state bytes and the log position it covers.
-  std::string snapshot_data_;
-  storage::LogIndex snapshot_index_ = 0;
-  storage::Term snapshot_term_ = 0;
-
-  sim::EventId election_timer_ = sim::kInvalidEventId;
-  sim::EventId heartbeat_timer_ = sim::kInvalidEventId;
-
   obs::Tracer* tracer_ = nullptr;
-  WindowTraceAdapter window_trace_adapter_{this};
-  LeaderObserver leader_observer_;
-  double timer_skew_ = 1.0;
-
   NodeStats stats_;
+
+  // The engines (constructed after the lanes; they capture `this` as their
+  // NodeContext).
+  std::unique_ptr<ElectionEngine> election_;
+  std::unique_ptr<ReplicationPipeline> pipeline_;
+  std::unique_ptr<FollowerIngress> ingress_;
+  std::unique_ptr<CommitApplier> applier_;
 };
 
 }  // namespace nbraft::raft

@@ -1,0 +1,689 @@
+#include "raft/replication_pipeline.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "craft/reed_solomon.h"
+#include "raft/commit_applier.h"
+#include "raft/election_engine.h"
+
+namespace nbraft::raft {
+
+// ---------------------------------------------------------------------------
+// Client request path
+// ---------------------------------------------------------------------------
+
+void ReplicationPipeline::HandleClientRequest(ClientRequest req,
+                                              SimTime received_at,
+                                              SimTime sent_at) {
+  CoreState& core = ctx_->core();
+  if (core.role != Role::kLeader) {
+    ClientResponse resp;
+    resp.state = AcceptState::kNotLeader;
+    resp.request_id = req.request_id;
+    resp.leader_hint = core.leader;
+    ctx_->SendTo(req.client, resp.WireSize(), resp);
+    return;
+  }
+  ctx_->TracePhase(metrics::Phase::kTransClientLeader, sent_at, received_at,
+                   /*term=*/0, /*index=*/0, req.request_id);
+
+  // Step 2 of the paper: parse, then index on the serialized indexing lane
+  // (the lock Ratis holds longer than IoTDB).
+  const SimTime parse_submitted = ctx_->Now();
+  const uint64_t epoch = core.epoch;
+  const SimDuration parse_cost =
+      ctx_->mutable_state_machine()->ParseCost(req.payload.size());
+  ctx_->cpu()->Submit(
+      parse_cost,
+      [this, epoch, parse_submitted, req = std::move(req)]() mutable {
+        if (ctx_->core().crashed || epoch != ctx_->core().epoch) return;
+        const SimTime parse_done = ctx_->Now();
+        ctx_->TracePhase(metrics::Phase::kParse, parse_submitted, parse_done,
+                         /*term=*/0, /*index=*/0, req.request_id);
+        SimDuration index_cost =
+            ctx_->options().costs.index_cost +
+            PerKib(ctx_->options().costs.leader_append_per_kib,
+                   req.payload.size());
+        ctx_->index_lane()->Submit(
+            index_cost,
+            [this, epoch, parse_done, req = std::move(req)]() mutable {
+              if (ctx_->core().crashed || epoch != ctx_->core().epoch) return;
+              ctx_->TracePhase(metrics::Phase::kIndex, parse_done,
+                               ctx_->Now(),
+                               /*term=*/0, /*index=*/0, req.request_id);
+              if (ctx_->core().role != Role::kLeader) {
+                ClientResponse resp;
+                resp.state = AcceptState::kNotLeader;
+                resp.request_id = req.request_id;
+                resp.leader_hint = ctx_->core().leader;
+                ctx_->SendTo(req.client, resp.WireSize(), resp);
+                return;
+              }
+              IndexAndReplicate(std::move(req));
+            });
+      });
+}
+
+void ReplicationPipeline::IndexAndReplicate(ClientRequest req) {
+  CoreState& core = ctx_->core();
+  storage::RaftLog& log = ctx_->log();
+  storage::LogEntry entry;
+  entry.index = log.LastIndex() + 1;
+  entry.term = core.current_term;
+  entry.prev_term = log.LastTerm();
+  entry.client_id = req.client;
+  entry.request_id = req.request_id;
+  entry.payload = std::move(req.payload);
+  entry.payload_size_hint = entry.payload.size();
+  log.Append(entry);
+  ctx_->PersistEntry(entry);
+  ++ctx_->stats().entries_appended;
+  ctx_->applier()->OnLeaderAppended(entry.index);
+  if (ctx_->tracer() != nullptr) {
+    // Joins the request-keyed client/parse spans with the (term, index)
+    // keyed replication spans.
+    ctx_->tracer()->RecordInstant("indexed", ctx_->id(), entry.index,
+                                  static_cast<int64_t>(entry.request_id));
+  }
+
+  // Decide the replication shape (plain / fragmented / degraded).
+  const int n = ctx_->cluster_size();
+  const int f = (n - 1) / 2;
+  const int alive = AliveNodes();
+  const int dead = n - alive;
+  int k = 0;  // 0 = full replication.
+  if (ctx_->options().erasure && n >= 3) {
+    if (dead == 0) {
+      k = f + 1;
+    } else if (ctx_->options().ecraft) {
+      // ECRaft: keep coding in degraded mode with a smaller k when
+      // possible; fall back to full replication otherwise.
+      const int k_degraded = alive - (f - dead);
+      k = k_degraded >= 2 ? k_degraded : 0;
+      ++ctx_->stats().degraded_entries;
+    } else {
+      k = 0;  // CRaft degrades to full replication (its liveness fix).
+      ++ctx_->stats().degraded_entries;
+    }
+  }
+  const int required = RequiredStrong(k > 0, k);
+  ctx_->applier()->vote_list().AddTuple(entry.index, entry.term, ctx_->id(),
+                                        required);
+
+  if (k > 0) {
+    // Fragment the payload. Benchmarks model the coder's cost and shard
+    // sizes; tests/examples run the real Reed–Solomon coder.
+    fragment_required_[entry.index] = k;
+    const SimDuration encode_cost = PerKib(
+        ctx_->options().costs.encode_cost_per_kib, entry.payload.size());
+    const uint64_t epoch = core.epoch;
+    const storage::LogIndex index = entry.index;
+    std::string payload = entry.payload;
+    ctx_->cpu()->Submit(encode_cost, [this, epoch, index,
+                                      payload = std::move(payload)]() {
+      const CoreState& c = ctx_->core();
+      if (c.crashed || epoch != c.epoch || c.role != Role::kLeader) return;
+      const auto it = fragment_required_.find(index);
+      if (it == fragment_required_.end()) return;
+      const int kk = it->second;
+      std::vector<std::string> shards;
+      if (ctx_->options().real_erasure_coding) {
+        craft::ReedSolomon rs(kk, ctx_->cluster_size() - kk);
+        shards = rs.Encode(payload);
+      } else {
+        const size_t shard_size = (payload.size() + kk - 1) / kk;
+        shards.assign(static_cast<size_t>(ctx_->cluster_size()),
+                      std::string(shard_size, 'f'));
+      }
+      fragment_cache_[index] = std::move(shards);
+      auto e = ctx_->log().At(index);
+      if (e.ok()) ReplicateEntry(e.value());
+    });
+  } else {
+    ReplicateEntry(entry);
+  }
+
+  // Single-node cluster: the leader's own append is the whole quorum.
+  if (ctx_->peer_ids().empty()) {
+    const auto committed = ctx_->applier()->vote_list().AddStrongUpTo(
+        entry.index, ctx_->id(), core.current_term);
+    ctx_->applier()->CommitIndices(committed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fan-out
+// ---------------------------------------------------------------------------
+
+void ReplicationPipeline::ReplicateEntry(const storage::LogEntry& entry) {
+  // VGRaft: hash + sign + verification-group selection before fan-out.
+  SimDuration pre_cost = 0;
+  if (ctx_->options().verify_group) {
+    pre_cost =
+        PerKib(ctx_->options().costs.hash_cost_per_kib, entry.WireSize()) +
+        ctx_->options().costs.sign_cost +
+        ctx_->options().costs.group_select_cost;
+  }
+  const uint64_t epoch = ctx_->core().epoch;
+  const storage::LogIndex index = entry.index;
+  const auto fan_out = [this, epoch, index]() {
+    const CoreState& core = ctx_->core();
+    if (core.crashed || epoch != core.epoch || core.role != Role::kLeader) {
+      return;
+    }
+    const std::vector<net::NodeId>& peers = ctx_->peer_ids();
+    const int bucket = EffectiveKBucket();
+    if (bucket > 0) {
+      // KRaft: send to the bucket only; the bucket relays to the rest.
+      const int limit = std::min<int>(bucket, static_cast<int>(peers.size()));
+      for (int i = 0; i < limit; ++i) EnqueueForPeer(peers[i], index);
+    } else {
+      for (net::NodeId peer : peers) EnqueueForPeer(peer, index);
+    }
+  };
+  if (pre_cost > 0) {
+    ctx_->cpu()->Submit(pre_cost, fan_out);
+  } else {
+    fan_out();
+  }
+}
+
+void ReplicationPipeline::EnqueueForPeer(net::NodeId peer,
+                                         storage::LogIndex index) {
+  PeerState& ps = peer_state_[peer];
+  if (ps.queued.count(index) > 0 || ps.in_flight.count(index) > 0) return;
+  ps.queue.push_back(QueuedEntry{index, ctx_->Now()});
+  ps.queued.insert(index);
+  ps.max_enqueued = std::max(ps.max_enqueued, index);
+  TryDispatch(peer);
+}
+
+void ReplicationPipeline::TryDispatch(net::NodeId peer) {
+  if (ctx_->core().role != Role::kLeader) return;
+  const RaftOptions& options = ctx_->options();
+  storage::RaftLog& log = ctx_->log();
+  PeerState& ps = peer_state_[peer];
+  while (ps.busy_dispatchers < options.dispatchers_per_follower &&
+         !ps.queue.empty()) {
+    // Dispatch the lowest queued index first. In steady state entries are
+    // enqueued in log order, so this is FIFO; after a fault it matters:
+    // out-of-window entries a lagging follower is holding keep timing out
+    // and re-queueing, and under FIFO they would recycle through the freed
+    // dispatcher slots forever, starving the catch-up entries the follower
+    // actually needs to advance its log.
+    auto pick = ps.queue.begin();
+    for (auto it = std::next(pick); it != ps.queue.end(); ++it) {
+      if (it->index < pick->index) pick = it;
+    }
+    const QueuedEntry qe = *pick;
+    ps.queue.erase(pick);
+    ps.queued.erase(qe.index);
+    if (qe.index > log.LastIndex()) continue;  // Truncated since queued.
+    if (qe.index < log.FirstIndex()) {
+      // Compacted away: the peer needs the snapshot instead.
+      SendInstallSnapshot(peer);
+      continue;
+    }
+    ctx_->TracePhase(metrics::Phase::kQueue, qe.enqueued_at, ctx_->Now(),
+                     ctx_->TraceTermAt(qe.index), qe.index);
+    std::vector<storage::LogIndex> batch{qe.index};
+    if (options.max_batch_entries > 1 && !options.verify_group &&
+        fragment_cache_.count(qe.index) == 0) {
+      // Coalesce the consecutive run queued behind the picked index into
+      // one RPC. Fragmented entries stay single (the shard swap is
+      // per-entry), and on the NB-Raft path the batch never reaches past
+      // the follower's window, so nothing lands in the held (blocking)
+      // loop that batching is meant to relieve.
+      storage::LogIndex bound = log.LastIndex();
+      if (options.window_size > 0 && ps.last_reported >= 0) {
+        bound = std::min(bound, ps.last_reported + options.window_size);
+      }
+      storage::LogIndex next = qe.index + 1;
+      while (static_cast<int>(batch.size()) < options.max_batch_entries &&
+             next <= bound && ps.queued.count(next) > 0 &&
+             fragment_cache_.count(next) == 0) {
+        auto extra = ps.queue.begin();
+        while (extra->index != next) ++extra;
+        ctx_->TracePhase(metrics::Phase::kQueue, extra->enqueued_at,
+                         ctx_->Now(), ctx_->TraceTermAt(next), next);
+        ps.queue.erase(extra);
+        ps.queued.erase(next);
+        batch.push_back(next);
+        ++next;
+      }
+    }
+    ++ps.busy_dispatchers;
+    for (const storage::LogIndex index : batch) {
+      ps.in_flight.insert(index);
+    }
+    SendAppendRpc(peer, std::move(batch));
+  }
+}
+
+void ReplicationPipeline::SendAppendRpc(
+    net::NodeId peer, std::vector<storage::LogIndex> batch) {
+  CoreState& core = ctx_->core();
+  storage::RaftLog& log = ctx_->log();
+  const std::vector<net::NodeId>& peers = ctx_->peer_ids();
+  const storage::LogIndex index = batch.front();
+  AppendEntriesRequest req;
+  req.term = core.current_term;
+  req.leader = ctx_->id();
+  req.rpc_id = next_rpc_id_++;
+  req.leader_commit = core.commit_index;
+  req.commit_term = log.TermAt(core.commit_index).value_or(0);
+  req.signed_payload = ctx_->options().verify_group;
+  req.entry = log.AtUnchecked(index);
+  for (size_t i = 1; i < batch.size(); ++i) {
+    req.extra_entries.push_back(log.AtUnchecked(batch[i]));
+  }
+
+  // CRaft: swap the payload for this peer's shard while the entry is still
+  // fragment-replicated (committed entries fall back to full payloads).
+  const auto frag = fragment_cache_.find(index);
+  if (frag != fragment_cache_.end()) {
+    // Peer i holds shard i+1 (the leader implicitly holds shard 0).
+    int shard_id = 0;
+    for (size_t i = 0; i < peers.size(); ++i) {
+      if (peers[i] == peer) {
+        shard_id = static_cast<int>(i) + 1;
+        break;
+      }
+    }
+    req.entry.payload = frag->second[static_cast<size_t>(shard_id) %
+                                     frag->second.size()];
+    req.entry.payload_size_hint = 0;
+    req.entry.frag_shard = shard_id;
+    req.entry.frag_k = static_cast<uint32_t>(fragment_required_[index]);
+    req.entry.full_size = log.AtUnchecked(index).WireSize();
+  }
+
+  // KRaft: attach the relay fan-out for this bucket member.
+  const int bucket = EffectiveKBucket();
+  if (bucket > 0) {
+    const int limit = std::min<int>(bucket, static_cast<int>(peers.size()));
+    int my_pos = -1;
+    for (int i = 0; i < limit; ++i) {
+      if (peers[i] == peer) {
+        my_pos = i;
+        break;
+      }
+    }
+    if (my_pos >= 0) {
+      for (size_t i = static_cast<size_t>(limit); i < peers.size(); ++i) {
+        const int assigned =
+            static_cast<int>((i + static_cast<size_t>(index)) %
+                             static_cast<size_t>(limit));
+        if (assigned == my_pos) req.relay_to.push_back(peers[i]);
+      }
+    }
+  }
+
+  ++ctx_->stats().append_rpcs_sent;
+  ctx_->stats().append_entries_sent += batch.size();
+  if (batch.size() > 1) ++ctx_->stats().batched_rpcs;
+
+  const uint64_t rpc_id = req.rpc_id;
+  const uint64_t epoch = core.epoch;
+  const sim::EventId timeout_event =
+      ctx_->simulator()->After(ctx_->options().rpc_timeout,
+                               [this, epoch, rpc_id]() {
+                                 const CoreState& c = ctx_->core();
+                                 if (c.crashed || epoch != c.epoch) return;
+                                 OnRpcTimeout(rpc_id);
+                               });
+  outstanding_rpcs_[rpc_id] = OutstandingRpc{
+      peer, index, /*is_snapshot=*/false, timeout_event, std::move(batch)};
+  ctx_->SendTo(peer, req.WireSize(), std::move(req));
+}
+
+void ReplicationPipeline::OnRpcTimeout(uint64_t rpc_id) {
+  const auto it = outstanding_rpcs_.find(rpc_id);
+  if (it == outstanding_rpcs_.end()) return;
+  const OutstandingRpc rpc = it->second;
+  outstanding_rpcs_.erase(it);
+  ++ctx_->stats().rpc_timeouts;
+  if (ctx_->core().role != Role::kLeader) return;
+  PeerState& ps = peer_state_[rpc.peer];
+  if (rpc.is_snapshot) {
+    ps.snapshot_in_flight = false;  // Retried on the next trigger.
+    return;
+  }
+  ps.busy_dispatchers = std::max(0, ps.busy_dispatchers - 1);
+  for (const storage::LogIndex index : rpc.batch) {
+    ps.in_flight.erase(index);
+    // Re-send if the entry is still uncommitted or the peer may lack it.
+    if (index <= ctx_->log().LastIndex() && ps.queued.count(index) == 0) {
+      ps.queue.push_front(QueuedEntry{index, ctx_->Now()});
+      ps.queued.insert(index);
+    }
+  }
+  TryDispatch(rpc.peer);
+}
+
+// ---------------------------------------------------------------------------
+// Leader response path
+// ---------------------------------------------------------------------------
+
+void ReplicationPipeline::HandleAppendResponse(AppendEntriesResponse resp) {
+  // Dispatcher bookkeeping happens regardless of role/term transitions.
+  const auto rpc_it = outstanding_rpcs_.find(resp.rpc_id);
+  if (rpc_it != outstanding_rpcs_.end()) {
+    ctx_->simulator()->Cancel(rpc_it->second.timeout_event);
+    PeerState& ps = peer_state_[rpc_it->second.peer];
+    ps.busy_dispatchers = std::max(0, ps.busy_dispatchers - 1);
+    for (const storage::LogIndex index : rpc_it->second.batch) {
+      ps.in_flight.erase(index);
+    }
+    outstanding_rpcs_.erase(rpc_it);
+  }
+
+  CoreState& core = ctx_->core();
+  if (resp.term > core.current_term) {
+    ctx_->election()->StepDown(resp.term, net::kInvalidNode);
+    return;
+  }
+  if (core.role != Role::kLeader || resp.term < core.current_term) {
+    return;
+  }
+
+  storage::RaftLog& log = ctx_->log();
+  PeerState& ps = peer_state_[resp.from];
+  ps.last_response_at = ctx_->Now();
+
+  if (resp.is_heartbeat) {
+    MaybeCatchUpPeer(resp.from, resp.last_index);
+    TryDispatch(resp.from);
+    return;
+  }
+
+  switch (resp.state) {
+    case AcceptState::kWeakAccept: {
+      if (ctx_->applier()->vote_list().AddWeak(resp.entry_index,
+                                               resp.from)) {
+        // A living quorum has received the entry: unblock the client
+        // (Sec. III-B2).
+        const auto e = log.At(resp.entry_index);
+        if (e.ok() && e->client_id != net::kInvalidNode) {
+          ClientResponse cresp;
+          cresp.state = AcceptState::kWeakAccept;
+          cresp.request_id = e->request_id;
+          cresp.index = e->index;
+          cresp.term = e->term;
+          ctx_->SendTo(e->client_id, cresp.WireSize(), cresp);
+        }
+      }
+      break;
+    }
+    case AcceptState::kStrongAccept: {
+      // A covering ack proves the follower's prefix matches ours only if
+      // (last_index, last_term) names an entry of OUR log (the log
+      // matching property). Without this guard, a follower that flushed
+      // stale old-term window entries could be counted as holding the
+      // current leader's different entries at those indices.
+      if (!log.Matches(resp.last_index, resp.last_term)) {
+        if (resp.last_index <= log.LastIndex() &&
+            resp.last_index >= log.FirstIndex()) {
+          // Re-send our entry at that point; its delivery truncates the
+          // follower's divergent tail.
+          EnqueueForPeer(resp.from, resp.last_index);
+        }
+        break;
+      }
+      ps.mismatch_probe = -1;
+      // t_ack starts at the first strong accept covering an index.
+      ctx_->applier()->NoteFirstStrongUpTo(resp.last_index);
+      const auto committed = ctx_->applier()->vote_list().AddStrongUpTo(
+          resp.last_index, resp.from, core.current_term);
+      ctx_->applier()->CommitIndices(committed);
+      break;
+    }
+    case AcceptState::kLogMismatch: {
+      ++ctx_->stats().mismatches_sent;  // Symmetric counter, leader side.
+      storage::LogIndex start =
+          std::min(resp.last_index + 1, resp.entry_index);
+      if (ps.mismatch_probe >= 0 && ps.mismatch_probe <= start) {
+        start = ps.mismatch_probe - 1;  // Backtrack further.
+      }
+      if (start < log.FirstIndex()) {
+        // The entries the follower needs were compacted away.
+        SendInstallSnapshot(resp.from);
+        break;
+      }
+      ps.mismatch_probe = start;
+      for (storage::LogIndex i = start; i <= log.LastIndex(); ++i) {
+        EnqueueForPeer(resp.from, i);
+      }
+      break;
+    }
+    case AcceptState::kLeaderChanged:
+      // resp.term > current_term was handled above; a stale message.
+      break;
+    case AcceptState::kNotLeader:
+      break;
+  }
+  TryDispatch(resp.from);
+}
+
+void ReplicationPipeline::MaybeCatchUpPeer(net::NodeId peer,
+                                           storage::LogIndex follower_last) {
+  storage::RaftLog& log = ctx_->log();
+  PeerState& ps = peer_state_[peer];
+  if (follower_last != ps.last_reported) {
+    ps.last_reported = follower_last;
+    ps.last_advance_at = ctx_->Now();
+  }
+  if (follower_last >= log.LastIndex()) return;
+  if (follower_last + 1 < log.FirstIndex()) {
+    // The follower's continuation point was compacted away — only a
+    // snapshot can move it forward, whatever we may have enqueued before
+    // it fell behind.
+    SendInstallSnapshot(peer);
+    return;
+  }
+  // Only fill in entries never handed to this peer's pipeline: everything
+  // at or below max_enqueued is queued, in flight, or already delivered
+  // (losses there are retried by the RPC timeout). Without this bound the
+  // stale follower_last in heartbeat acks floods the dispatchers with
+  // duplicates of in-flight entries.
+  storage::LogIndex start =
+      std::max({follower_last + 1, ps.max_enqueued + 1, log.FirstIndex()});
+  if (ctx_->Now() - ps.last_advance_at > 2 * ctx_->options().rpc_timeout) {
+    // Stagnant: every pipeline copy of the missing entries was consumed
+    // without an append (cached in a window that was since cleared, or
+    // dropped from the queues by a leadership change while the follower
+    // was partitioned). Force a re-send of the continuation — waiting for
+    // the normal pipeline would deadlock when the backlog predates this
+    // leader's peer state.
+    start = std::max(follower_last + 1, log.FirstIndex());
+    ps.last_advance_at = ctx_->Now();  // Back off between forced bursts.
+  }
+  const storage::LogIndex end =
+      std::min(log.LastIndex(),
+               start + 4 * ctx_->options().dispatchers_per_follower);
+  for (storage::LogIndex i = start; i <= end; ++i) {
+    if (ps.queued.count(i) == 0 && ps.in_flight.count(i) == 0) {
+      EnqueueForPeer(peer, i);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeats
+// ---------------------------------------------------------------------------
+
+void ReplicationPipeline::BroadcastHeartbeat() {
+  CoreState& core = ctx_->core();
+  if (core.role != Role::kLeader || core.crashed) return;
+  // Replica liveness changed? CRaft/ECRaft requirements must follow, or
+  // in-flight fragmented entries needing all N acks would never commit
+  // after a follower dies (CRaft's degraded-mode liveness fix).
+  const int alive = AliveNodes();
+  if (alive != last_alive_seen_) {
+    last_alive_seen_ = alive;
+    if (ctx_->options().erasure) {
+      ctx_->applier()->vote_list().ForEach(
+          [this](storage::LogIndex index, VoteList::Tuple* tuple) {
+            const auto frag = fragment_required_.find(index);
+            const int k =
+                frag == fragment_required_.end() ? 0 : frag->second;
+            tuple->required = RequiredStrong(k > 0, k);
+          });
+      ctx_->applier()->CommitIndices(
+          ctx_->applier()->vote_list().CollectCommittable(
+              core.current_term));
+    }
+  }
+  for (net::NodeId peer : ctx_->peer_ids()) {
+    AppendEntriesRequest hb;
+    hb.term = core.current_term;
+    hb.leader = ctx_->id();
+    hb.is_heartbeat = true;
+    hb.leader_commit = core.commit_index;
+    hb.commit_term = ctx_->log().TermAt(core.commit_index).value_or(0);
+    ctx_->SendTo(peer, hb.WireSize(), hb);
+  }
+  const uint64_t epoch = core.epoch;
+  heartbeat_timer_ = ctx_->simulator()->After(
+      ctx_->options().heartbeat_interval, [this, epoch]() {
+        const CoreState& c = ctx_->core();
+        if (c.crashed || epoch != c.epoch) return;
+        BroadcastHeartbeat();
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot sends
+// ---------------------------------------------------------------------------
+
+void ReplicationPipeline::SendInstallSnapshot(net::NodeId peer) {
+  CoreState& core = ctx_->core();
+  if (core.role != Role::kLeader || core.snapshot_index == 0) return;
+  PeerState& ps = peer_state_[peer];
+  if (ps.snapshot_in_flight) return;
+  ps.snapshot_in_flight = true;
+  ++ctx_->stats().snapshots_sent;
+
+  InstallSnapshotRequest req;
+  req.term = core.current_term;
+  req.leader = ctx_->id();
+  req.rpc_id = next_rpc_id_++;
+  req.last_included_index = core.snapshot_index;
+  req.last_included_term = core.snapshot_term;
+  req.data = core.snapshot_data;
+
+  const uint64_t rpc_id = req.rpc_id;
+  const uint64_t epoch = core.epoch;
+  // Snapshots are large: give them a generous multiple of the RPC timeout.
+  const sim::EventId timeout_event = ctx_->simulator()->After(
+      4 * ctx_->options().rpc_timeout, [this, epoch, rpc_id]() {
+        const CoreState& c = ctx_->core();
+        if (c.crashed || epoch != c.epoch) return;
+        OnRpcTimeout(rpc_id);
+      });
+  outstanding_rpcs_[rpc_id] =
+      OutstandingRpc{peer,
+                     core.snapshot_index,
+                     /*is_snapshot=*/true,
+                     timeout_event,
+                     {core.snapshot_index}};
+  ctx_->SendTo(peer, req.WireSize(), std::move(req));
+}
+
+void ReplicationPipeline::HandleInstallSnapshotResponse(
+    const InstallSnapshotResponse& resp) {
+  const auto rpc_it = outstanding_rpcs_.find(resp.rpc_id);
+  if (rpc_it != outstanding_rpcs_.end()) {
+    ctx_->simulator()->Cancel(rpc_it->second.timeout_event);
+    outstanding_rpcs_.erase(rpc_it);
+  }
+  if (resp.term > ctx_->core().current_term) {
+    ctx_->election()->StepDown(resp.term, net::kInvalidNode);
+    return;
+  }
+  if (ctx_->core().role != Role::kLeader) return;
+  PeerState& ps = peer_state_[resp.from];
+  ps.snapshot_in_flight = false;
+  ps.last_response_at = ctx_->Now();
+  // Continue with log entries from wherever the follower now stands.
+  MaybeCatchUpPeer(resp.from, resp.last_index);
+  TryDispatch(resp.from);
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle / introspection
+// ---------------------------------------------------------------------------
+
+void ReplicationPipeline::ResetLeaderState() {
+  ctx_->simulator()->Cancel(heartbeat_timer_);
+  heartbeat_timer_ = sim::kInvalidEventId;
+  for (auto& [rpc_id, rpc] : outstanding_rpcs_) {
+    ctx_->simulator()->Cancel(rpc.timeout_event);
+  }
+  outstanding_rpcs_.clear();
+  peer_state_.clear();
+  fragment_cache_.clear();
+  fragment_required_.clear();
+  // Reset the liveness estimate too: a later leadership must recompute the
+  // CRaft/ECRaft commit requirements from scratch rather than inherit a
+  // stale alive count from the previous reign.
+  last_alive_seen_ = -1;
+}
+
+void ReplicationPipeline::ReleaseFragments(storage::LogIndex index) {
+  fragment_cache_.erase(index);
+  fragment_required_.erase(index);
+}
+
+size_t ReplicationPipeline::DispatcherQueueDepth() const {
+  size_t depth = 0;
+  for (const auto& [peer, ps] : peer_state_) depth += ps.queue.size();
+  return depth;
+}
+
+// ---------------------------------------------------------------------------
+// Liveness helpers
+// ---------------------------------------------------------------------------
+
+int ReplicationPipeline::AliveNodes() const {
+  int alive = 1;  // Self.
+  for (const net::NodeId peer : ctx_->peer_ids()) {
+    if (IsPeerAlive(peer)) ++alive;
+  }
+  return alive;
+}
+
+bool ReplicationPipeline::IsPeerAlive(net::NodeId peer) const {
+  const auto it = peer_state_.find(peer);
+  if (it == peer_state_.end()) return true;  // No evidence yet: optimistic.
+  if (it->second.last_response_at == 0) return true;
+  return ctx_->simulator()->Now() - it->second.last_response_at <
+         3 * ctx_->options().heartbeat_interval;
+}
+
+int ReplicationPipeline::RequiredStrong(bool fragmented, int k) const {
+  const int n = ctx_->cluster_size();
+  const int f = (n - 1) / 2;
+  const int dead = n - AliveNodes();
+  const int remaining_faults = std::max(0, f - dead);
+  if (fragmented) {
+    // A committed fragment set must still be decodable after every
+    // remaining tolerated fault: k + (f - dead) holders.
+    return std::min(n, k + remaining_faults);
+  }
+  // Full copies: one survivor after the remaining tolerated faults, but
+  // never less than a majority of the full cluster for term safety.
+  return std::max(ctx_->quorum(), remaining_faults + 1);
+}
+
+int ReplicationPipeline::EffectiveKBucket() const {
+  if (ctx_->options().kbucket_size == 0) return 0;
+  const int followers = static_cast<int>(ctx_->peer_ids().size());
+  if (followers <= 1) return 0;  // Nothing to relay through (Fig. 15).
+  if (ctx_->options().kbucket_size < 0) return (followers + 1) / 2;
+  return std::min(ctx_->options().kbucket_size, followers);
+}
+
+}  // namespace nbraft::raft

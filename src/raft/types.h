@@ -102,6 +102,14 @@ struct RaftOptions {
   /// number of clients "to avoid long queues".
   int dispatchers_per_follower = 16;
 
+  /// Max *consecutive* log entries one AppendEntries RPC may carry. 1 (the
+  /// default) is the paper's one-entry-per-dispatcher protocol, unchanged
+  /// on the wire. > 1 lets a freed dispatcher drain a contiguous run of
+  /// its queue in a single RPC (one round trip, one follower log-lock
+  /// acquisition); on the NB-Raft path the batch never reaches past the
+  /// follower's sliding window.
+  int max_batch_entries = 1;
+
   /// CPU cores modelled per node (paper testbed: large SMP boxes; what
   /// matters is the ratio of cores to concurrent requests).
   int cpu_lanes = 16;

@@ -1,0 +1,127 @@
+// Adaptive AppendEntries batching (RaftOptions::max_batch_entries): the
+// batched pipeline must preserve every safety property, actually coalesce
+// under dispatcher contention, and degenerate to the unbatched wire
+// protocol at the default of 1.
+
+#include <gtest/gtest.h>
+
+#include "harness/cluster.h"
+#include "tests/raft/test_cluster.h"
+
+namespace nbraft::raft {
+namespace {
+
+using harness::Cluster;
+using harness::ClusterConfig;
+using raft_test::SmallConfig;
+
+/// Few dispatchers + many clients builds dispatcher queues, the condition
+/// batching amortizes.
+ClusterConfig ContendedConfig(Protocol protocol, int max_batch) {
+  ClusterConfig config = SmallConfig(protocol, 3, 8);
+  config.dispatchers = 1;
+  config.max_batch_entries = max_batch;
+  return config;
+}
+
+uint64_t SumBatchedRpcs(Cluster* cluster) {
+  uint64_t total = 0;
+  for (int i = 0; i < cluster->num_nodes(); ++i) {
+    total += cluster->node(i)->stats().batched_rpcs;
+  }
+  return total;
+}
+
+class BatchingTest : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(BatchingTest, BatchedReplicationIsSafeAndActuallyCoalesces) {
+  Cluster cluster(ContendedConfig(GetParam(), 8));
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  cluster.StartClients();
+  cluster.RunFor(Seconds(1));
+  cluster.StopAllClients();
+  cluster.RunFor(Seconds(1));
+
+  const harness::ClusterStats stats = cluster.Collect();
+  EXPECT_GT(stats.requests_completed, 100u);
+  EXPECT_TRUE(cluster.CheckLogMatching().ok());
+  EXPECT_TRUE(cluster.CheckCommittedPrefixes().ok());
+
+  EXPECT_GT(SumBatchedRpcs(&cluster), 0u);
+  RaftNode* leader = cluster.leader();
+  ASSERT_NE(leader, nullptr);
+  EXPECT_GT(leader->stats().entries_per_rpc(), 1.0);
+  // Batches are bounded by the configured cap.
+  EXPECT_LE(leader->stats().entries_per_rpc(), 8.0);
+}
+
+TEST_P(BatchingTest, FollowersConvergeUnderBatching) {
+  Cluster cluster(ContendedConfig(GetParam(), 8));
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  cluster.StartClients();
+  cluster.RunFor(Seconds(1));
+  cluster.StopAllClients();
+  cluster.RunFor(Seconds(1));  // Drain.
+
+  RaftNode* leader = cluster.leader();
+  ASSERT_NE(leader, nullptr);
+  for (int i = 0; i < cluster.num_nodes(); ++i) {
+    RaftNode* n = cluster.node(i);
+    EXPECT_EQ(n->log().LastIndex(), leader->log().LastIndex())
+        << "node " << i << " lags";
+    EXPECT_EQ(n->commit_index(), leader->commit_index());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, BatchingTest,
+    ::testing::Values(Protocol::kRaft, Protocol::kNbRaft),
+    [](const ::testing::TestParamInfo<Protocol>& info) {
+      std::string name(ProtocolName(info.param));
+      for (char& c : name) {
+        if (c == '-' || c == '+') c = '_';
+      }
+      return name;
+    });
+
+TEST(BatchingTest, DefaultOfOneNeverBatches) {
+  Cluster cluster(ContendedConfig(Protocol::kNbRaft, 1));
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  cluster.StartClients();
+  cluster.RunFor(Seconds(1));
+
+  EXPECT_EQ(SumBatchedRpcs(&cluster), 0u);
+  for (int i = 0; i < cluster.num_nodes(); ++i) {
+    const NodeStats& stats = cluster.node(i)->stats();
+    // One entry per RPC: the counters must agree exactly.
+    EXPECT_EQ(stats.append_rpcs_sent, stats.append_entries_sent);
+  }
+}
+
+TEST(BatchingTest, BatchingSurvivesLeaderCrashAndFailover) {
+  Cluster cluster(ContendedConfig(Protocol::kNbRaft, 8));
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  cluster.StartClients();
+  cluster.RunFor(Millis(400));
+  cluster.CrashLeader();
+  cluster.RunFor(Seconds(1));
+  ASSERT_TRUE(cluster.AwaitLeader());
+  cluster.RunFor(Millis(400));
+  for (int i = 0; i < cluster.num_nodes(); ++i) {
+    if (cluster.node(i)->crashed()) cluster.RestartNode(i);
+  }
+  cluster.StopAllClients();
+  cluster.RunFor(Seconds(2));
+
+  EXPECT_TRUE(cluster.CheckLogMatching().ok());
+  EXPECT_TRUE(cluster.CheckCommittedPrefixes().ok());
+  const harness::ClusterStats stats = cluster.Collect();
+  EXPECT_GT(stats.requests_completed, 50u);
+}
+
+}  // namespace
+}  // namespace nbraft::raft

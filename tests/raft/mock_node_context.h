@@ -1,0 +1,144 @@
+#ifndef NBRAFT_TESTS_RAFT_MOCK_NODE_CONTEXT_H_
+#define NBRAFT_TESTS_RAFT_MOCK_NODE_CONTEXT_H_
+
+#include <any>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "raft/commit_applier.h"
+#include "raft/election_engine.h"
+#include "raft/follower_ingress.h"
+#include "raft/messages.h"
+#include "raft/node_context.h"
+#include "raft/replication_pipeline.h"
+#include "sim/cpu_executor.h"
+#include "sim/simulator.h"
+#include "tsdb/state_machine.h"
+
+namespace nbraft::raft_test {
+
+/// NodeContext double for driving a single engine in isolation: outbound
+/// messages are recorded instead of hitting a network, persistence is a
+/// no-op, and the sibling engines are real (they are cheap and an engine
+/// under test may legitimately call into them).
+class MockNodeContext : public raft::NodeContext {
+ public:
+  struct SentMessage {
+    net::NodeId to = net::kInvalidNode;
+    size_t bytes = 0;
+    std::any payload;
+  };
+
+  MockNodeContext(sim::Simulator* sim, net::NodeId id,
+                  std::vector<net::NodeId> peers, raft::RaftOptions options)
+      : sim_(sim),
+        id_(id),
+        peers_(std::move(peers)),
+        options_(options),
+        rng_(sim->rng()->Next()),
+        state_machine_(std::make_unique<tsdb::TsdbStateMachine>()) {
+    cpu_ = std::make_unique<sim::CpuExecutor>(sim_, options_.cpu_lanes,
+                                              "mock.cpu");
+    index_lane_ = std::make_unique<sim::CpuExecutor>(sim_, 1, "mock.index");
+    apply_lane_ = std::make_unique<sim::CpuExecutor>(sim_, 1, "mock.apply");
+    log_lock_lane_ =
+        std::make_unique<sim::CpuExecutor>(sim_, 1, "mock.loglock");
+    election_ = std::make_unique<raft::ElectionEngine>(this);
+    pipeline_ = std::make_unique<raft::ReplicationPipeline>(this);
+    ingress_ = std::make_unique<raft::FollowerIngress>(this);
+    applier_ = std::make_unique<raft::CommitApplier>(this);
+  }
+
+  // ---- NodeContext ----
+  sim::Simulator* simulator() override { return sim_; }
+  net::NodeId id() const override { return id_; }
+  const std::vector<net::NodeId>& peer_ids() const override {
+    return peers_;
+  }
+  const raft::RaftOptions& options() const override { return options_; }
+  nbraft::Rng& rng() override { return rng_; }
+  raft::NodeStats& stats() override { return stats_; }
+  obs::Tracer* tracer() const override { return nullptr; }
+  tsdb::StateMachine* mutable_state_machine() override {
+    return state_machine_.get();
+  }
+  sim::CpuExecutor* cpu() override { return cpu_.get(); }
+  sim::CpuExecutor* index_lane() override { return index_lane_.get(); }
+  sim::CpuExecutor* apply_lane() override { return apply_lane_.get(); }
+  sim::CpuExecutor* log_lock_lane() override { return log_lock_lane_.get(); }
+  raft::CoreState& core() override { return core_; }
+  const raft::CoreState& core() const override { return core_; }
+  storage::RaftLog& log() override { return log_; }
+  const storage::RaftLog& log() const override { return log_; }
+  void SendTo(net::NodeId to, size_t bytes, std::any payload) override {
+    sent.push_back(SentMessage{to, bytes, std::move(payload)});
+  }
+  void PersistEntry(const storage::LogEntry&) override {}
+  void PersistTruncate(storage::LogIndex) override {}
+  void PersistHardState() override {}
+  void TracePhase(metrics::Phase phase, SimTime start, SimTime end,
+                  int64_t, int64_t, uint64_t) override {
+    stats_.breakdown.Add(phase, end - start);
+  }
+  int64_t TraceTermAt(storage::LogIndex) const override { return 0; }
+  raft::ElectionEngine* election() override { return election_.get(); }
+  raft::ReplicationPipeline* pipeline() override { return pipeline_.get(); }
+  raft::FollowerIngress* ingress() override { return ingress_.get(); }
+  raft::CommitApplier* applier() override { return applier_.get(); }
+
+  // ---- Test helpers ----
+  /// Appends `count` entries of `term` after the current log end.
+  void FillLog(int count, storage::Term term) {
+    for (int i = 0; i < count; ++i) {
+      storage::LogEntry e;
+      e.index = log_.LastIndex() + 1;
+      e.term = term;
+      e.prev_term = log_.LastTerm();
+      e.payload = "p";
+      e.payload_size_hint = 1;
+      log_.Append(e);
+    }
+  }
+
+  void MakeLeader(storage::Term term) {
+    core_.current_term = term;
+    core_.role = raft::Role::kLeader;
+    core_.leader = id_;
+  }
+
+  /// All recorded messages of payload type T, in send order.
+  template <typename T>
+  std::vector<T> SentOfType() const {
+    std::vector<T> out;
+    for (const SentMessage& m : sent) {
+      if (const T* p = std::any_cast<T>(&m.payload)) out.push_back(*p);
+    }
+    return out;
+  }
+
+  std::vector<SentMessage> sent;
+
+ private:
+  sim::Simulator* sim_;
+  const net::NodeId id_;
+  std::vector<net::NodeId> peers_;
+  raft::RaftOptions options_;
+  nbraft::Rng rng_;
+  std::unique_ptr<tsdb::StateMachine> state_machine_;
+  std::unique_ptr<sim::CpuExecutor> cpu_;
+  std::unique_ptr<sim::CpuExecutor> index_lane_;
+  std::unique_ptr<sim::CpuExecutor> apply_lane_;
+  std::unique_ptr<sim::CpuExecutor> log_lock_lane_;
+  raft::CoreState core_;
+  storage::RaftLog log_;
+  raft::NodeStats stats_;
+  std::unique_ptr<raft::ElectionEngine> election_;
+  std::unique_ptr<raft::ReplicationPipeline> pipeline_;
+  std::unique_ptr<raft::FollowerIngress> ingress_;
+  std::unique_ptr<raft::CommitApplier> applier_;
+};
+
+}  // namespace nbraft::raft_test
+
+#endif  // NBRAFT_TESTS_RAFT_MOCK_NODE_CONTEXT_H_

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "tests/raft/mock_node_context.h"
+
+namespace nbraft::raft {
+namespace {
+
+using raft_test::MockNodeContext;
+
+RaftOptions PipelineOptions(int dispatchers, int max_batch, int window) {
+  RaftOptions options;
+  options.dispatchers_per_follower = dispatchers;
+  options.max_batch_entries = max_batch;
+  options.window_size = window;
+  options.rpc_timeout = Millis(100);
+  return options;
+}
+
+AppendEntriesResponse StrongResponse(uint64_t rpc_id,
+                                     storage::LogIndex last_index,
+                                     storage::Term last_term) {
+  AppendEntriesResponse resp;
+  resp.term = 1;
+  resp.from = 2;
+  resp.rpc_id = rpc_id;
+  resp.state = AcceptState::kStrongAccept;
+  resp.entry_index = last_index;
+  resp.last_index = last_index;
+  resp.last_term = last_term;
+  return resp;
+}
+
+TEST(ReplicationPipelineTest, DispatcherCapHoldsQueueAndFreedSlotDrainsIt) {
+  sim::Simulator sim(1);
+  MockNodeContext ctx(&sim, /*id=*/1, {2}, PipelineOptions(2, 1, 0));
+  ctx.MakeLeader(1);
+  ctx.FillLog(5, 1);
+
+  for (storage::LogIndex i = 1; i <= 5; ++i) {
+    ctx.pipeline()->EnqueueForPeer(2, i);
+  }
+  auto appends = ctx.SentOfType<AppendEntriesRequest>();
+  ASSERT_EQ(appends.size(), 2u);  // Both dispatchers busy, rest queued.
+  EXPECT_EQ(appends[0].entry.index, 1);
+  EXPECT_EQ(appends[1].entry.index, 2);
+  EXPECT_EQ(ctx.pipeline()->DispatcherQueueDepth(), 3u);
+  EXPECT_EQ(ctx.pipeline()->OutstandingRpcCount(), 2u);
+
+  ctx.pipeline()->HandleAppendResponse(StrongResponse(appends[0].rpc_id, 1, 1));
+  appends = ctx.SentOfType<AppendEntriesRequest>();
+  ASSERT_EQ(appends.size(), 3u);  // The freed slot picked up the next index.
+  EXPECT_EQ(appends[2].entry.index, 3);
+}
+
+TEST(ReplicationPipelineTest, TimeoutRecyclingDispatchesMinIndexFirst) {
+  sim::Simulator sim(1);
+  MockNodeContext ctx(&sim, /*id=*/1, {2}, PipelineOptions(1, 1, 0));
+  ctx.MakeLeader(1);
+  ctx.FillLog(5, 1);
+
+  // Index 5 grabs the only dispatcher; 2 and 3 queue behind it.
+  ctx.pipeline()->EnqueueForPeer(2, 5);
+  ctx.pipeline()->EnqueueForPeer(2, 2);
+  ctx.pipeline()->EnqueueForPeer(2, 3);
+  ASSERT_EQ(ctx.SentOfType<AppendEntriesRequest>().size(), 1u);
+
+  // The RPC times out: 5 is requeued at the queue front, but the freed
+  // slot must pick the minimum queued index (2), not the recycled 5 —
+  // otherwise an out-of-window entry can starve the catch-up entries the
+  // follower actually needs.
+  sim.RunUntil(Millis(150));
+  auto appends = ctx.SentOfType<AppendEntriesRequest>();
+  ASSERT_EQ(appends.size(), 2u);
+  EXPECT_EQ(appends[1].entry.index, 2);
+  EXPECT_EQ(ctx.stats().rpc_timeouts, 1u);
+
+  ctx.pipeline()->HandleAppendResponse(StrongResponse(appends[1].rpc_id, 2, 1));
+  appends = ctx.SentOfType<AppendEntriesRequest>();
+  ASSERT_EQ(appends.size(), 3u);
+  EXPECT_EQ(appends[2].entry.index, 3);
+
+  ctx.pipeline()->HandleAppendResponse(StrongResponse(appends[2].rpc_id, 3, 1));
+  appends = ctx.SentOfType<AppendEntriesRequest>();
+  ASSERT_EQ(appends.size(), 4u);
+  EXPECT_EQ(appends[3].entry.index, 5);
+}
+
+TEST(ReplicationPipelineTest, BatchAssemblyCoalescesConsecutiveRun) {
+  sim::Simulator sim(1);
+  MockNodeContext ctx(&sim, /*id=*/1, {2}, PipelineOptions(1, 4, 0));
+  ctx.MakeLeader(1);
+  ctx.FillLog(6, 1);
+
+  ctx.pipeline()->EnqueueForPeer(2, 1);  // Dispatches alone (queue empty).
+  for (storage::LogIndex i = 2; i <= 6; ++i) {
+    ctx.pipeline()->EnqueueForPeer(2, i);
+  }
+  auto appends = ctx.SentOfType<AppendEntriesRequest>();
+  ASSERT_EQ(appends.size(), 1u);
+  EXPECT_TRUE(appends[0].extra_entries.empty());
+
+  // Freed slot drains the consecutive run 2..5 as ONE RPC (cap 4).
+  ctx.pipeline()->HandleAppendResponse(StrongResponse(appends[0].rpc_id, 1, 1));
+  appends = ctx.SentOfType<AppendEntriesRequest>();
+  ASSERT_EQ(appends.size(), 2u);
+  EXPECT_EQ(appends[1].entry.index, 2);
+  ASSERT_EQ(appends[1].extra_entries.size(), 3u);
+  EXPECT_EQ(appends[1].extra_entries[0].index, 3);
+  EXPECT_EQ(appends[1].extra_entries[2].index, 5);
+  EXPECT_EQ(ctx.stats().batched_rpcs, 1u);
+  EXPECT_EQ(ctx.stats().append_entries_sent, 5u);
+  EXPECT_EQ(ctx.stats().append_rpcs_sent, 2u);
+
+  // The leftover (6) goes out single once the batch is acked.
+  ctx.pipeline()->HandleAppendResponse(StrongResponse(appends[1].rpc_id, 5, 1));
+  appends = ctx.SentOfType<AppendEntriesRequest>();
+  ASSERT_EQ(appends.size(), 3u);
+  EXPECT_EQ(appends[2].entry.index, 6);
+  EXPECT_TRUE(appends[2].extra_entries.empty());
+}
+
+TEST(ReplicationPipelineTest, BatchNeverReachesPastFollowerWindow) {
+  sim::Simulator sim(1);
+  MockNodeContext ctx(&sim, /*id=*/1, {2},
+                      PipelineOptions(1, /*max_batch=*/16, /*window=*/4));
+  ctx.MakeLeader(1);
+  ctx.FillLog(8, 1);
+
+  for (storage::LogIndex i = 1; i <= 8; ++i) {
+    ctx.pipeline()->EnqueueForPeer(2, i);
+  }
+  auto appends = ctx.SentOfType<AppendEntriesRequest>();
+  ASSERT_EQ(appends.size(), 1u);
+
+  // The follower reports log end 1 via a heartbeat ack.
+  AppendEntriesResponse hb;
+  hb.term = 1;
+  hb.from = 2;
+  hb.rpc_id = 0;
+  hb.state = AcceptState::kStrongAccept;
+  hb.is_heartbeat = true;
+  hb.last_index = 1;
+  hb.last_term = 1;
+  ctx.pipeline()->HandleAppendResponse(hb);
+
+  // Freed slot: the batch may cover 2..5 at most (last_reported 1 +
+  // window 4) even though 2..8 are all queued and the cap is 16 —
+  // anything further would land in the follower's blocking held loop.
+  ctx.pipeline()->HandleAppendResponse(StrongResponse(appends[0].rpc_id, 1, 1));
+  appends = ctx.SentOfType<AppendEntriesRequest>();
+  ASSERT_EQ(appends.size(), 2u);
+  EXPECT_EQ(appends[1].entry.index, 2);
+  EXPECT_EQ(appends[1].extra_entries.size(), 3u);  // 3, 4, 5.
+  EXPECT_EQ(ctx.pipeline()->DispatcherQueueDepth(), 3u);  // 6, 7, 8 wait.
+}
+
+TEST(ReplicationPipelineTest, BatchOfOneIsTheUnbatchedWireForm) {
+  sim::Simulator sim(1);
+  MockNodeContext ctx(&sim, /*id=*/1, {2}, PipelineOptions(1, 1, 0));
+  ctx.MakeLeader(1);
+  ctx.FillLog(4, 1);
+
+  for (storage::LogIndex i = 1; i <= 4; ++i) {
+    ctx.pipeline()->EnqueueForPeer(2, i);
+  }
+  auto appends = ctx.SentOfType<AppendEntriesRequest>();
+  ASSERT_EQ(appends.size(), 1u);
+  ctx.pipeline()->HandleAppendResponse(StrongResponse(appends[0].rpc_id, 1, 1));
+
+  for (const auto& req : ctx.SentOfType<AppendEntriesRequest>()) {
+    EXPECT_TRUE(req.extra_entries.empty());
+  }
+  EXPECT_EQ(ctx.stats().batched_rpcs, 0u);
+}
+
+TEST(ReplicationPipelineTest, ResetLeaderStateDropsEverything) {
+  sim::Simulator sim(1);
+  MockNodeContext ctx(&sim, /*id=*/1, {2, 3}, PipelineOptions(1, 1, 0));
+  ctx.MakeLeader(1);
+  ctx.FillLog(4, 1);
+  for (storage::LogIndex i = 1; i <= 4; ++i) {
+    ctx.pipeline()->EnqueueForPeer(2, i);
+    ctx.pipeline()->EnqueueForPeer(3, i);
+  }
+  ASSERT_GT(ctx.pipeline()->DispatcherQueueDepth(), 0u);
+  ASSERT_GT(ctx.pipeline()->OutstandingRpcCount(), 0u);
+
+  ctx.pipeline()->ResetLeaderState();
+  EXPECT_EQ(ctx.pipeline()->DispatcherQueueDepth(), 0u);
+  EXPECT_EQ(ctx.pipeline()->OutstandingRpcCount(), 0u);
+  EXPECT_TRUE(ctx.pipeline()->LeaderStateEmpty());
+
+  // The cancelled RPC timeouts must not fire afterwards.
+  const uint64_t timeouts_before = ctx.stats().rpc_timeouts;
+  sim.RunUntil(Seconds(1));
+  EXPECT_EQ(ctx.stats().rpc_timeouts, timeouts_before);
+}
+
+}  // namespace
+}  // namespace nbraft::raft
