@@ -1,0 +1,198 @@
+// Simulation-kernel throughput bench: how many discrete events per second
+// of *wall clock* the substrate sustains. Every experiment in the repo —
+// the paper-figure benches, the chaos sweeps, the tier-1 integration tests
+// — is bottlenecked by this number, so it is the first entry in the perf
+// trajectory (BENCH_sim_kernel.json).
+//
+// Three workloads:
+//  * fig14_4kb    — the Fig. 14 closed-loop cluster workload (3 replicas,
+//                   256 clients, 4 KB requests, Raft + NB-Raft) driven for
+//                   a fixed span of virtual time; the end-to-end number.
+//  * fig14_128kb  — the Fig. 17 variant (128 KB payloads, 64 clients);
+//                   stresses the payload copy path.
+//  * timer_churn  — pure scheduler: schedule/cancel/fire churn with no
+//                   protocol on top; isolates the event arena itself.
+//
+// Usage: bench_sim_kernel [--quick] [--out PATH]
+//
+// Writes a JSON report (default BENCH_sim_kernel.json in the CWD) with
+// events/sec per workload. The CI perf-smoke job compares events/sec
+// against the committed baseline and fails below a conservative floor.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/cluster.h"
+#include "sim/simulator.h"
+
+using namespace nbraft;
+
+namespace {
+
+struct WorkloadResult {
+  std::string name;
+  uint64_t events = 0;
+  double wall_ms = 0.0;
+  double events_per_sec = 0.0;
+  double virtual_ms = 0.0;
+  uint64_t requests_completed = 0;
+};
+
+double WallMs(std::chrono::steady_clock::time_point start) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+/// Fig. 14/17-style closed loop: fixed virtual-time span, fixed seed, so
+/// the event count is deterministic and only the wall time varies.
+WorkloadResult RunClusterWorkload(const std::string& name,
+                                  raft::Protocol protocol, int clients,
+                                  size_t payload, SimDuration span) {
+  harness::ClusterConfig config;
+  config.num_nodes = 3;
+  config.num_clients = clients;
+  config.protocol = protocol;
+  config.payload_size = payload;
+  config.client_think = Micros(5);
+  config.seed = 1234;
+  config.release_payloads = true;
+
+  harness::Cluster cluster(config);
+  cluster.Start();
+  if (!cluster.AwaitLeader()) {
+    std::fprintf(stderr, "%s: no leader\n", name.c_str());
+    return WorkloadResult{name};
+  }
+  cluster.StartClients();
+
+  const auto start = std::chrono::steady_clock::now();
+  const uint64_t events_before = cluster.sim()->events_processed();
+  const SimTime virt_before = cluster.sim()->Now();
+  cluster.RunFor(span);
+
+  WorkloadResult r;
+  r.name = name;
+  r.wall_ms = WallMs(start);
+  r.events = cluster.sim()->events_processed() - events_before;
+  r.virtual_ms =
+      static_cast<double>(cluster.sim()->Now() - virt_before) / kMillisecond;
+  r.events_per_sec =
+      r.wall_ms > 0 ? static_cast<double>(r.events) / (r.wall_ms / 1000.0)
+                    : 0.0;
+  r.requests_completed = cluster.Collect().requests_completed;
+  return r;
+}
+
+/// Pure scheduler churn: a ring of self-rescheduling timers, a rolling set
+/// of cancelled timers (the election-timer reset pattern), and a fan of
+/// one-shot events. No network, no protocol — just the arena.
+WorkloadResult RunTimerChurn(uint64_t target_events) {
+  sim::Simulator sim(99);
+  const auto start = std::chrono::steady_clock::now();
+
+  constexpr int kTimers = 64;
+  // Each timer re-arms itself and keeps one "election timeout" pending
+  // that the next firing cancels — the dominant schedule/cancel pattern
+  // of the protocol layer.
+  struct TimerState {
+    sim::EventId pending = sim::kInvalidEventId;
+    uint64_t fires = 0;
+  };
+  std::vector<TimerState> timers(kTimers);
+  const uint64_t per_timer = target_events / kTimers;
+  for (int t = 0; t < kTimers; ++t) {
+    struct Loop {
+      static void Arm(sim::Simulator* sim, std::vector<TimerState>* timers,
+                      int t, uint64_t per_timer) {
+        TimerState& ts = (*timers)[static_cast<size_t>(t)];
+        sim->Cancel(ts.pending);  // Reset the previous "election timeout".
+        ts.pending = sim->After(Micros(200), [] {});
+        sim->After(Micros(10 + t), [sim, timers, t, per_timer]() {
+          TimerState& inner = (*timers)[static_cast<size_t>(t)];
+          if (++inner.fires >= per_timer) {
+            sim->Cancel(inner.pending);
+            inner.pending = sim::kInvalidEventId;
+            return;
+          }
+          Arm(sim, timers, t, per_timer);
+        });
+      }
+    };
+    Loop::Arm(&sim, &timers, t, per_timer);
+  }
+  sim.Run();
+
+  WorkloadResult r;
+  r.name = "timer_churn";
+  r.wall_ms = WallMs(start);
+  r.events = sim.events_processed();
+  r.virtual_ms = static_cast<double>(sim.Now()) / kMillisecond;
+  r.events_per_sec =
+      r.wall_ms > 0 ? static_cast<double>(r.events) / (r.wall_ms / 1000.0)
+                    : 0.0;
+  return r;
+}
+
+void WriteJson(const std::string& path,
+               const std::vector<WorkloadResult>& results) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"sim_kernel\",\n  \"workloads\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const WorkloadResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"events\": %llu, "
+                 "\"wall_ms\": %.1f, \"events_per_sec\": %.0f, "
+                 "\"virtual_ms\": %.1f, \"requests_completed\": %llu}%s\n",
+                 r.name.c_str(), static_cast<unsigned long long>(r.events),
+                 r.wall_ms, r.events_per_sec, r.virtual_ms,
+                 static_cast<unsigned long long>(r.requests_completed),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out = "BENCH_sim_kernel.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out = argv[++i];
+  }
+  const SimDuration span = quick ? Millis(200) : Millis(800);
+  const uint64_t churn = quick ? 500000 : 2000000;
+
+  std::vector<WorkloadResult> results;
+  results.push_back(RunClusterWorkload("fig14_raft_4kb",
+                                       raft::Protocol::kRaft, 256, 4096,
+                                       span));
+  results.push_back(RunClusterWorkload("fig14_nbraft_4kb",
+                                       raft::Protocol::kNbRaft, 256, 4096,
+                                       span));
+  results.push_back(RunClusterWorkload("fig17_nbraft_128kb",
+                                       raft::Protocol::kNbRaft, 64,
+                                       128 * 1024, span / 2));
+  results.push_back(RunTimerChurn(churn));
+
+  std::printf("%-22s %12s %10s %14s %10s\n", "workload", "events", "wall_ms",
+              "events/sec", "reqs");
+  for (const WorkloadResult& r : results) {
+    std::printf("%-22s %12llu %10.1f %14.0f %10llu\n", r.name.c_str(),
+                static_cast<unsigned long long>(r.events), r.wall_ms,
+                r.events_per_sec,
+                static_cast<unsigned long long>(r.requests_completed));
+  }
+  WriteJson(out, results);
+  std::printf("\nwrote %s\n", out.c_str());
+  return 0;
+}

@@ -1,0 +1,70 @@
+#ifndef NBRAFT_COMMON_BUFFER_H_
+#define NBRAFT_COMMON_BUFFER_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace nbraft {
+
+/// Immutable ref-counted byte buffer. Copying a Buffer bumps a refcount;
+/// the bytes themselves are shared and never mutated after construction.
+///
+/// This is what lets one 4 KB (or 128 KB) log-entry payload flow through
+/// the client request, the leader's log, every per-peer AppendEntries RPC,
+/// batches, retries and the state machine without a single memcpy: each
+/// hop holds a reference to the same allocation. Construct from a
+/// std::string (moved in) or string literal; read through view()/data().
+/// An empty Buffer owns no allocation at all.
+class Buffer {
+ public:
+  Buffer() = default;
+
+  Buffer(std::string bytes)  // NOLINT: implicit, replaces std::string fields.
+      : data_(bytes.empty()
+                  ? nullptr
+                  : std::make_shared<const std::string>(std::move(bytes))) {}
+
+  Buffer(std::string_view bytes)  // NOLINT: implicit.
+      : Buffer(std::string(bytes)) {}
+
+  Buffer(const char* bytes)  // NOLINT: implicit, for literals.
+      : Buffer(std::string(bytes)) {}
+
+  size_t size() const { return data_ ? data_->size() : 0; }
+  bool empty() const { return data_ == nullptr || data_->empty(); }
+  const char* data() const { return data_ ? data_->data() : ""; }
+
+  std::string_view view() const {
+    return data_ ? std::string_view(*data_) : std::string_view();
+  }
+  operator std::string_view() const { return view(); }  // NOLINT: implicit.
+
+  /// Materializes an owned std::string copy (cold paths: durable encode,
+  /// snapshot assembly).
+  std::string str() const { return std::string(view()); }
+
+  /// Drops this reference. The bytes are freed when the last holder does.
+  void clear() { data_.reset(); }
+
+  /// True when this is the only reference (diagnostics).
+  bool unique() const { return data_ == nullptr || data_.use_count() == 1; }
+
+  // Strings and literals compare through the implicit Buffer conversion;
+  // heterogeneous overloads would be ambiguous with it.
+  friend bool operator==(const Buffer& a, const Buffer& b) {
+    return a.data_ == b.data_ || a.view() == b.view();
+  }
+  friend bool operator!=(const Buffer& a, const Buffer& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::shared_ptr<const std::string> data_;
+};
+
+}  // namespace nbraft
+
+#endif  // NBRAFT_COMMON_BUFFER_H_

@@ -1,74 +1,3 @@
+// All codecs are defined inline in varint.h (hot-path decode); this TU
+// exists so the header always has a home in the library target.
 #include "common/varint.h"
-
-namespace nbraft {
-
-void PutVarint64(std::string* out, uint64_t value) {
-  while (value >= 0x80) {
-    out->push_back(static_cast<char>((value & 0x7f) | 0x80));
-    value >>= 7;
-  }
-  out->push_back(static_cast<char>(value));
-}
-
-void PutVarintSigned64(std::string* out, int64_t value) {
-  PutVarint64(out, ZigZagEncode(value));
-}
-
-void PutFixed32(std::string* out, uint32_t value) {
-  for (int i = 0; i < 4; ++i) {
-    out->push_back(static_cast<char>(value >> (i * 8)));
-  }
-}
-
-void PutFixed64(std::string* out, uint64_t value) {
-  for (int i = 0; i < 8; ++i) {
-    out->push_back(static_cast<char>(value >> (i * 8)));
-  }
-}
-
-bool GetVarint64(std::string_view* in, uint64_t* value) {
-  uint64_t result = 0;
-  for (int shift = 0; shift < 64; shift += 7) {
-    if (in->empty()) return false;
-    const uint8_t byte = static_cast<uint8_t>(in->front());
-    in->remove_prefix(1);
-    if (shift == 63 && (byte & 0x7f) > 1) return false;  // Overflow.
-    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
-    if ((byte & 0x80) == 0) {
-      *value = result;
-      return true;
-    }
-  }
-  return false;
-}
-
-bool GetVarintSigned64(std::string_view* in, int64_t* value) {
-  uint64_t raw = 0;
-  if (!GetVarint64(in, &raw)) return false;
-  *value = ZigZagDecode(raw);
-  return true;
-}
-
-bool GetFixed32(std::string_view* in, uint32_t* value) {
-  if (in->size() < 4) return false;
-  uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) {
-    v |= static_cast<uint32_t>(static_cast<uint8_t>((*in)[i])) << (i * 8);
-  }
-  in->remove_prefix(4);
-  *value = v;
-  return true;
-}
-
-bool GetFixed64(std::string_view* in, uint64_t* value) {
-  if (in->size() < 8) return false;
-  uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) {
-    v |= static_cast<uint64_t>(static_cast<uint8_t>((*in)[i])) << (i * 8);
-  }
-  in->remove_prefix(8);
-  *value = v;
-  return true;
-}
-
-}  // namespace nbraft

@@ -11,10 +11,12 @@ SimNetwork::SimNetwork(sim::Simulator* sim, NetworkConfig config)
     : sim_(sim), config_(config), rng_(sim->rng()->Next()) {}
 
 void SimNetwork::RegisterEndpoint(NodeId id, MessageHandler handler) {
-  handlers_[id] = std::move(handler);
+  handlers_.At(id) = std::move(handler);
 }
 
-void SimNetwork::UnregisterEndpoint(NodeId id) { handlers_.erase(id); }
+void SimNetwork::UnregisterEndpoint(NodeId id) {
+  if (MessageHandler* handler = handlers_.Find(id)) *handler = nullptr;
+}
 
 uint64_t SimNetwork::PairKey(NodeId a, NodeId b) {
   if (a > b) std::swap(a, b);
@@ -28,6 +30,7 @@ uint64_t SimNetwork::DirectedKey(NodeId from, NodeId to) {
 }
 
 SimDuration SimNetwork::LatencyFor(NodeId from, NodeId to) const {
+  if (pair_latency_.empty()) return config_.base_latency;
   const auto it = pair_latency_.find(PairKey(from, to));
   return it != pair_latency_.end() ? it->second : config_.base_latency;
 }
@@ -40,24 +43,25 @@ SimDuration SimNetwork::SerializationTime(size_t bytes) const {
 }
 
 bool SimNetwork::LinkBlocked(NodeId from, NodeId to) const {
-  if (isolated_nodes_.count(from) > 0 || isolated_nodes_.count(to) > 0) {
+  if (!isolated_nodes_.empty() &&
+      (isolated_nodes_.count(from) > 0 || isolated_nodes_.count(to) > 0)) {
     return true;
   }
   if (!one_way_cuts_.empty() &&
       one_way_cuts_.count(DirectedKey(from, to)) > 0) {
     return true;
   }
-  return cut_links_.count(PairKey(from, to)) > 0;
+  return !cut_links_.empty() && cut_links_.count(PairKey(from, to)) > 0;
 }
 
 SimTime SimNetwork::Send(NodeId from, NodeId to, size_t bytes,
-                         std::any payload) {
-  ++messages_sent_;
-  bytes_sent_ += bytes;
+                         PayloadRef payload) {
+  ++stats_.messages_sent;
+  stats_.bytes_sent += bytes;
 
-  if (down_nodes_.count(from) > 0 || down_nodes_.count(to) > 0 ||
-      LinkBlocked(from, to) || rng_.NextBool(config_.drop_probability)) {
-    ++messages_dropped_;
+  if (IsDown(from) || IsDown(to) || LinkBlocked(from, to) ||
+      rng_.NextBool(config_.drop_probability)) {
+    ++stats_.messages_dropped;
     if (tracer_ != nullptr) {
       tracer_->RecordInstant("net_drop", from, to,
                              static_cast<int64_t>(bytes));
@@ -72,7 +76,7 @@ SimTime SimNetwork::Send(NodeId from, NodeId to, size_t bytes,
   const SimDuration ser = SerializationTime(bytes);
 
   // Egress NIC of the sender: serialization queue.
-  Nic& src = nics_[from];
+  Nic& src = nics_.At(from);
   const SimTime tx_start = std::max(src.egress_free_at, now);
   const SimTime tx_done = tx_start + ser;
   src.egress_free_at = tx_done;
@@ -95,41 +99,57 @@ SimTime SimNetwork::Send(NodeId from, NodeId to, size_t bytes,
   msg.sent_at = now;
   msg.payload = std::move(payload);
 
+  ++stats_.messages_in_flight;
+
   // The receiver's ingress NIC slot is claimed when the packet *arrives*
   // (not when it was sent): reordered packets are served in arrival order,
   // and the shared inbound link saturates when many clients send at once.
-  sim_->At(propagated, [this, ser, msg = std::move(msg)]() mutable {
-    Nic& dst = nics_[msg.to];
+  // The serialization time is recomputed from msg.bytes at arrival — it is
+  // a pure function of the (immutable) bandwidth, and not capturing it
+  // keeps the capture inside EventFn's inline buffer.
+  sim_->At(propagated, [this, msg = std::move(msg)]() mutable {
+    Nic& dst = nics_.At(msg.to);
     const SimTime rx_start = std::max(dst.ingress_free_at, sim_->Now());
-    const SimTime rx_done = rx_start + ser;
+    const SimTime rx_done = rx_start + SerializationTime(msg.bytes);
     dst.ingress_free_at = rx_done;
-    sim_->At(rx_done, [this, msg = std::move(msg)]() mutable {
-      if (down_nodes_.count(msg.to) > 0) {
-        ++messages_dropped_;
-        if (tracer_ != nullptr) {
-          tracer_->RecordInstant("net_drop", msg.to, msg.from,
-                                 static_cast<int64_t>(msg.bytes));
-        }
-        return;
-      }
-      const auto it = handlers_.find(msg.to);
-      if (it == handlers_.end()) {
-        ++messages_dropped_;
-        if (tracer_ != nullptr) {
-          tracer_->RecordInstant("net_drop", msg.to, msg.from,
-                                 static_cast<int64_t>(msg.bytes));
-        }
-        return;
-      }
-      ++messages_delivered_;
-      if (tracer_ != nullptr) {
-        tracer_->RecordInstant("net_recv", msg.to, msg.from,
-                               static_cast<int64_t>(msg.bytes));
-      }
-      it->second(std::move(msg));
-    });
+    if (rx_done == sim_->Now()) {
+      // Idle ingress, zero serialization time: the chained completion
+      // event would fire at this same instant — deliver directly instead
+      // of paying for a second event.
+      Deliver(std::move(msg));
+      return;
+    }
+    sim_->At(rx_done,
+             [this, msg = std::move(msg)]() mutable { Deliver(std::move(msg)); });
   });
   return propagated + ser;
+}
+
+void SimNetwork::Deliver(Message&& msg) {
+  --stats_.messages_in_flight;
+  if (IsDown(msg.to)) {
+    ++stats_.messages_dropped;
+    if (tracer_ != nullptr) {
+      tracer_->RecordInstant("net_drop", msg.from, msg.to,
+                             static_cast<int64_t>(msg.bytes));
+    }
+    return;
+  }
+  MessageHandler* handler = handlers_.Find(msg.to);
+  if (handler == nullptr || !*handler) {
+    ++stats_.messages_dropped;
+    if (tracer_ != nullptr) {
+      tracer_->RecordInstant("net_drop", msg.from, msg.to,
+                             static_cast<int64_t>(msg.bytes));
+    }
+    return;
+  }
+  ++stats_.messages_delivered;
+  if (tracer_ != nullptr) {
+    tracer_->RecordInstant("net_recv", msg.to, msg.from,
+                           static_cast<int64_t>(msg.bytes));
+  }
+  (*handler)(std::move(msg));
 }
 
 void SimNetwork::SetPairLatency(NodeId a, NodeId b, SimDuration latency) {
@@ -138,17 +158,15 @@ void SimNetwork::SetPairLatency(NodeId a, NodeId b, SimDuration latency) {
 
 void SimNetwork::SetNodeUp(NodeId id, bool up) {
   if (up) {
-    down_nodes_.erase(id);
+    down_.At(id) = 0;
   } else {
-    down_nodes_.insert(id);
+    down_.At(id) = 1;
     // A restarting node starts with quiet NICs.
-    nics_[id] = Nic{};
+    nics_.At(id) = Nic{};
   }
 }
 
-bool SimNetwork::IsNodeUp(NodeId id) const {
-  return down_nodes_.count(id) == 0;
-}
+bool SimNetwork::IsNodeUp(NodeId id) const { return !IsDown(id); }
 
 void SimNetwork::SetLinkCut(NodeId a, NodeId b, bool cut,
                             bool bidirectional) {

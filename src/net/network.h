@@ -1,10 +1,8 @@
 #ifndef NBRAFT_NET_NETWORK_H_
 #define NBRAFT_NET_NETWORK_H_
 
-#include <any>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -12,6 +10,7 @@
 
 #include "common/random.h"
 #include "common/sim_time.h"
+#include "net/payload.h"
 #include "obs/tracer.h"
 #include "sim/simulator.h"
 
@@ -25,15 +24,16 @@ constexpr NodeId kClientIdBase = 10000;
 
 inline bool IsClientId(NodeId id) { return id >= kClientIdBase; }
 
-/// A delivered datagram. `payload` carries a protocol-defined struct
-/// (std::any keeps the network layer protocol-agnostic); `bytes` is the
-/// modelled wire size, which drives serialization/bandwidth costs.
+/// A delivered datagram. `payload` carries a protocol-defined struct behind
+/// a refcount (PayloadRef keeps the network layer protocol-agnostic without
+/// std::any's deep copies); `bytes` is the modelled wire size, which drives
+/// serialization/bandwidth costs.
 struct Message {
   NodeId from = kInvalidNode;
   NodeId to = kInvalidNode;
   size_t bytes = 0;
   SimTime sent_at = 0;
-  std::any payload;
+  PayloadRef payload;
 };
 
 using MessageHandler = std::function<void(Message&&)>;
@@ -60,9 +60,31 @@ struct NetworkConfig {
   double drop_probability = 0.0;
 };
 
+/// Message accounting snapshot. Every accepted Send() ends up delivered or
+/// dropped; until its arrival event fires it is in flight. The invariant
+/// `sent == delivered + dropped + in_flight` holds at every instant — a
+/// message can't be double-counted or leak — and once the simulator drains,
+/// in_flight is 0 and `sent == delivered + dropped` exactly.
+struct NetStats {
+  uint64_t messages_sent = 0;
+  uint64_t messages_delivered = 0;
+  uint64_t messages_dropped = 0;
+  uint64_t messages_in_flight = 0;
+  uint64_t bytes_sent = 0;
+
+  bool Consistent() const {
+    return messages_sent ==
+           messages_delivered + messages_dropped + messages_in_flight;
+  }
+};
+
 /// Simulated network: point-to-point datagrams with per-NIC serialization
 /// queues, propagation latency, jitter-induced reordering, loss, node
 /// crashes and partitions. Single-threaded, driven by the Simulator.
+///
+/// Per-endpoint state (handlers, NICs, up/down) lives in dense vectors
+/// indexed by NodeId — replicas from 0, clients from kClientIdBase — so the
+/// per-message hot path is two array reads, not hash lookups.
 class SimNetwork {
  public:
   SimNetwork(sim::Simulator* sim, NetworkConfig config);
@@ -75,7 +97,7 @@ class SimNetwork {
   /// Queues a message. Returns the scheduled arrival time, or -1 if the
   /// message was dropped at send time (down endpoint, partition, loss).
   /// Delivery can still silently fail if the receiver goes down in flight.
-  SimTime Send(NodeId from, NodeId to, size_t bytes, std::any payload);
+  SimTime Send(NodeId from, NodeId to, size_t bytes, PayloadRef payload);
 
   /// Symmetric one-way latency override for a pair (geo topologies).
   void SetPairLatency(NodeId a, NodeId b, SimDuration latency);
@@ -107,15 +129,19 @@ class SimNetwork {
   SimDuration extra_delay() const { return extra_delay_; }
 
   /// Attaches the lifecycle tracer (nullptr = off, the default). Emits
-  /// `net_send` / `net_recv` (arg0 = peer, arg1 = bytes) and `net_drop`
-  /// instants. Purely observational: delivery order and timing are
-  /// unaffected.
+  /// `net_send` / `net_recv` / `net_drop` instants; drop instants always
+  /// record (sender, receiver) in that order, whether the drop happens at
+  /// send time or delivery time. Purely observational: delivery order and
+  /// timing are unaffected.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
-  uint64_t messages_sent() const { return messages_sent_; }
-  uint64_t messages_delivered() const { return messages_delivered_; }
-  uint64_t messages_dropped() const { return messages_dropped_; }
-  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t messages_sent() const { return stats_.messages_sent; }
+  uint64_t messages_delivered() const { return stats_.messages_delivered; }
+  uint64_t messages_dropped() const { return stats_.messages_dropped; }
+  uint64_t bytes_sent() const { return stats_.bytes_sent; }
+
+  /// Accounting snapshot; see NetStats for the conservation invariant.
+  const NetStats& stats() const { return stats_; }
 
  private:
   struct Nic {
@@ -123,17 +149,56 @@ class SimNetwork {
     SimTime ingress_free_at = 0;
   };
 
+  /// Dense per-endpoint storage split across the two NodeId ranges
+  /// (replicas from 0, clients from kClientIdBase). Grows on first touch.
+  template <typename T>
+  class NodeTable {
+   public:
+    T& At(NodeId id) {
+      std::vector<T>& vec = IsClientId(id) ? clients_ : nodes_;
+      const auto index = Index(id);
+      if (index >= vec.size()) vec.resize(index + 1);
+      return vec[index];
+    }
+    T* Find(NodeId id) {
+      std::vector<T>& vec = IsClientId(id) ? clients_ : nodes_;
+      const auto index = Index(id);
+      return index < vec.size() ? &vec[index] : nullptr;
+    }
+    const T* Find(NodeId id) const {
+      const std::vector<T>& vec = IsClientId(id) ? clients_ : nodes_;
+      const auto index = Index(id);
+      return index < vec.size() ? &vec[index] : nullptr;
+    }
+
+   private:
+    static size_t Index(NodeId id) {
+      return static_cast<size_t>(IsClientId(id) ? id - kClientIdBase : id);
+    }
+    std::vector<T> nodes_;
+    std::vector<T> clients_;
+  };
+
   static uint64_t PairKey(NodeId a, NodeId b);
   static uint64_t DirectedKey(NodeId from, NodeId to);
   SimDuration LatencyFor(NodeId from, NodeId to) const;
   SimDuration SerializationTime(size_t bytes) const;
   bool LinkBlocked(NodeId from, NodeId to) const;
+  bool IsDown(NodeId id) const {
+    const uint8_t* flag = down_.Find(id);
+    return flag != nullptr && *flag != 0;
+  }
+
+  /// Final delivery step, run once the receiver's ingress NIC has drained
+  /// the message: re-checks liveness, records stats/trace, invokes the
+  /// handler.
+  void Deliver(Message&& msg);
 
   sim::Simulator* sim_;
   NetworkConfig config_;
-  std::unordered_map<NodeId, MessageHandler> handlers_;
-  std::unordered_map<NodeId, Nic> nics_;
-  std::unordered_set<NodeId> down_nodes_;
+  NodeTable<MessageHandler> handlers_;  ///< Empty function = unregistered.
+  NodeTable<Nic> nics_;
+  NodeTable<uint8_t> down_;  ///< 1 = down.
   std::unordered_set<NodeId> isolated_nodes_;
   std::unordered_set<uint64_t> cut_links_;
   std::unordered_set<uint64_t> one_way_cuts_;  ///< Directed (from, to) keys.
@@ -142,10 +207,7 @@ class SimNetwork {
   nbraft::Rng rng_;
   obs::Tracer* tracer_ = nullptr;
 
-  uint64_t messages_sent_ = 0;
-  uint64_t messages_delivered_ = 0;
-  uint64_t messages_dropped_ = 0;
-  uint64_t bytes_sent_ = 0;
+  NetStats stats_;
 };
 
 /// Builds the paper's Fig. 20 geo-distributed topology: one-way latencies

@@ -1,0 +1,66 @@
+#ifndef NBRAFT_NET_PAYLOAD_H_
+#define NBRAFT_NET_PAYLOAD_H_
+
+#include <memory>
+#include <type_traits>
+#include <typeinfo>
+#include <utility>
+
+namespace nbraft::net {
+
+/// Ref-counted type-erased message payload: std::any semantics (the network
+/// layer stays protocol-agnostic) without std::any's copy-on-copy. Copying
+/// a PayloadRef bumps a refcount — forwarding a message, stashing it in a
+/// test, or relaying it (KRaft) shares the one struct instead of deep-
+/// copying it and every byte it owns.
+///
+/// Each Send() wraps its payload in a fresh PayloadRef, so the handler a
+/// message is delivered to holds the only reference and may mutate or move
+/// out of it via the non-const Get().
+class PayloadRef {
+ public:
+  PayloadRef() = default;
+
+  /// Implicit from any payload struct, mirroring std::any: call sites keep
+  /// writing Send(to, bytes, response).
+  template <typename T, typename D = std::decay_t<T>,
+            typename = std::enable_if_t<!std::is_same_v<D, PayloadRef>>>
+  PayloadRef(T&& value)  // NOLINT: implicit by design.
+      : ptr_(std::make_shared<D>(std::forward<T>(value))),
+        type_(&typeid(D)) {}
+
+  /// Typed access, mirroring std::any_cast<T>(&payload): nullptr when empty
+  /// or holding a different type.
+  template <typename T>
+  const T* Get() const {
+    return Holds<T>() ? static_cast<const T*>(ptr_.get()) : nullptr;
+  }
+
+  /// Mutable access for the delivery path, where the message (and thus the
+  /// reference) is uniquely held. Callers that share the ref must not
+  /// mutate through it.
+  template <typename T>
+  T* Get() {
+    return Holds<T>() ? static_cast<T*>(ptr_.get()) : nullptr;
+  }
+
+  bool has_value() const { return ptr_ != nullptr; }
+
+  void reset() {
+    ptr_.reset();
+    type_ = nullptr;
+  }
+
+ private:
+  template <typename T>
+  bool Holds() const {
+    return type_ != nullptr && *type_ == typeid(T);
+  }
+
+  std::shared_ptr<void> ptr_;
+  const std::type_info* type_ = nullptr;
+};
+
+}  // namespace nbraft::net
+
+#endif  // NBRAFT_NET_PAYLOAD_H_

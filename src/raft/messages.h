@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/buffer.h"
 #include "net/network.h"
 #include "raft/types.h"
 #include "storage/log_entry.h"
@@ -120,7 +121,9 @@ struct InstallSnapshotResponse {
 struct ClientRequest {
   net::NodeId client = net::kInvalidNode;
   uint64_t request_id = 0;
-  std::string payload;
+  /// Shared with the client's retry copy and, on the leader, with the log
+  /// entry it becomes — one allocation end to end.
+  nbraft::Buffer payload;
 
   size_t WireSize() const { return payload.size() + 48; }
 };

@@ -1,7 +1,6 @@
 #ifndef NBRAFT_RAFT_NODE_CONTEXT_H_
 #define NBRAFT_RAFT_NODE_CONTEXT_H_
 
-#include <any>
 #include <string>
 #include <vector>
 
@@ -79,7 +78,8 @@ class NodeContext {
   virtual const storage::RaftLog& log() const = 0;
 
   // ---- Services ----
-  virtual void SendTo(net::NodeId to, size_t bytes, std::any payload) = 0;
+  virtual void SendTo(net::NodeId to, size_t bytes,
+                      net::PayloadRef payload) = 0;
   virtual void PersistEntry(const storage::LogEntry& entry) = 0;
   virtual void PersistTruncate(storage::LogIndex from_index) = 0;
   virtual void PersistHardState() = 0;

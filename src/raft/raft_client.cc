@@ -46,7 +46,7 @@ void RaftClient::ResetMeasurement() {
 
 void RaftClient::HandleMessage(net::Message&& msg) {
   if (stopped_) return;
-  if (auto* resp = std::any_cast<ClientResponse>(&msg.payload)) {
+  if (auto* resp = msg.payload.Get<ClientResponse>()) {
     HandleResponse(*resp);
   }
 }

@@ -117,7 +117,9 @@ class RaftClient {
     uint64_t request_id = 0;
     storage::LogIndex index = 0;  ///< Known once weakly accepted.
     storage::Term term = 0;
-    std::string payload;
+    /// Shared with every (re)send's wire copy — resends bump a refcount
+    /// instead of copying the 4 KB body.
+    nbraft::Buffer payload;
     SimTime issued_at = 0;
     bool measured = false;  ///< Issued after ResetMeasurement().
   };

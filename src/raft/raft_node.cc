@@ -132,35 +132,34 @@ int64_t RaftNode::TraceTermAt(storage::LogIndex index) const {
 void RaftNode::HandleMessage(net::Message&& msg) {
   if (core_.crashed) return;
   const SimTime received_at = sim_->Now();
-  if (auto* ae = std::any_cast<AppendEntriesRequest>(&msg.payload)) {
+  if (auto* ae = msg.payload.Get<AppendEntriesRequest>()) {
     if (!ae->is_heartbeat) {
       TracePhase(metrics::Phase::kTransLeaderFollower, msg.sent_at,
                  received_at, ae->entry.term, ae->entry.index,
                  ae->entry.request_id);
     }
     ingress_->HandleAppendEntries(std::move(*ae), received_at);
-  } else if (auto* aer =
-                 std::any_cast<AppendEntriesResponse>(&msg.payload)) {
+  } else if (auto* aer = msg.payload.Get<AppendEntriesResponse>()) {
     pipeline_->HandleAppendResponse(std::move(*aer));
-  } else if (auto* rv = std::any_cast<RequestVoteRequest>(&msg.payload)) {
+  } else if (auto* rv = msg.payload.Get<RequestVoteRequest>()) {
     election_->HandleRequestVote(*rv);
-  } else if (auto* rvr = std::any_cast<RequestVoteResponse>(&msg.payload)) {
+  } else if (auto* rvr = msg.payload.Get<RequestVoteResponse>()) {
     election_->HandleVoteResponse(*rvr);
-  } else if (auto* cr = std::any_cast<ClientRequest>(&msg.payload)) {
+  } else if (auto* cr = msg.payload.Get<ClientRequest>()) {
     pipeline_->HandleClientRequest(std::move(*cr), received_at, msg.sent_at);
-  } else if (auto* is = std::any_cast<InstallSnapshotRequest>(&msg.payload)) {
+  } else if (auto* is = msg.payload.Get<InstallSnapshotRequest>()) {
     ingress_->HandleInstallSnapshot(std::move(*is));
-  } else if (auto* isr =
-                 std::any_cast<InstallSnapshotResponse>(&msg.payload)) {
+  } else if (auto* isr = msg.payload.Get<InstallSnapshotResponse>()) {
     pipeline_->HandleInstallSnapshotResponse(*isr);
-  } else if (auto* rr = std::any_cast<ReadRequest>(&msg.payload)) {
+  } else if (auto* rr = msg.payload.Get<ReadRequest>()) {
     HandleReadRequest(*rr);
   } else {
     NBRAFT_LOG(Warn) << "node " << id_ << ": unknown message type";
   }
 }
 
-void RaftNode::SendTo(net::NodeId to, size_t bytes, std::any payload) {
+void RaftNode::SendTo(net::NodeId to, size_t bytes,
+                      net::PayloadRef payload) {
   network_->Send(id_, to, bytes, std::move(payload));
 }
 

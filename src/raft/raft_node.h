@@ -132,7 +132,7 @@ class RaftNode : public NodeContext {
   CoreState& core() override { return core_; }
   const CoreState& core() const override { return core_; }
   storage::RaftLog& log() override { return log_; }
-  void SendTo(net::NodeId to, size_t bytes, std::any payload) override;
+  void SendTo(net::NodeId to, size_t bytes, net::PayloadRef payload) override;
   void PersistEntry(const storage::LogEntry& entry) override;
   void PersistTruncate(storage::LogIndex from_index) override;
   void PersistHardState() override;

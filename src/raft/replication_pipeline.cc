@@ -120,7 +120,7 @@ void ReplicationPipeline::IndexAndReplicate(ClientRequest req) {
         ctx_->options().costs.encode_cost_per_kib, entry.payload.size());
     const uint64_t epoch = core.epoch;
     const storage::LogIndex index = entry.index;
-    std::string payload = entry.payload;
+    nbraft::Buffer payload = entry.payload;  // Shares the log's bytes.
     ctx_->cpu()->Submit(encode_cost, [this, epoch, index,
                                       payload = std::move(payload)]() {
       const CoreState& c = ctx_->core();
@@ -128,14 +128,18 @@ void ReplicationPipeline::IndexAndReplicate(ClientRequest req) {
       const auto it = fragment_required_.find(index);
       if (it == fragment_required_.end()) return;
       const int kk = it->second;
-      std::vector<std::string> shards;
+      std::vector<nbraft::Buffer> shards;
       if (ctx_->options().real_erasure_coding) {
         craft::ReedSolomon rs(kk, ctx_->cluster_size() - kk);
-        shards = rs.Encode(payload);
+        std::vector<std::string> coded = rs.Encode(payload);
+        shards.reserve(coded.size());
+        for (std::string& shard : coded) shards.emplace_back(std::move(shard));
       } else {
+        // Modelled shards all carry the same filler bytes: one allocation
+        // shared across the whole shard set.
         const size_t shard_size = (payload.size() + kk - 1) / kk;
         shards.assign(static_cast<size_t>(ctx_->cluster_size()),
-                      std::string(shard_size, 'f'));
+                      nbraft::Buffer(std::string(shard_size, 'f')));
       }
       fragment_cache_[index] = std::move(shards);
       auto e = ctx_->log().At(index);
@@ -193,9 +197,8 @@ void ReplicationPipeline::ReplicateEntry(const storage::LogEntry& entry) {
 void ReplicationPipeline::EnqueueForPeer(net::NodeId peer,
                                          storage::LogIndex index) {
   PeerState& ps = peer_state_[peer];
-  if (ps.queued.count(index) > 0 || ps.in_flight.count(index) > 0) return;
-  ps.queue.push_back(QueuedEntry{index, ctx_->Now()});
-  ps.queued.insert(index);
+  if (ps.queue.count(index) > 0 || ps.in_flight.count(index) > 0) return;
+  ps.queue.emplace(index, ctx_->Now());
   ps.max_enqueued = std::max(ps.max_enqueued, index);
   TryDispatch(peer);
 }
@@ -213,24 +216,21 @@ void ReplicationPipeline::TryDispatch(net::NodeId peer) {
     // and re-queueing, and under FIFO they would recycle through the freed
     // dispatcher slots forever, starving the catch-up entries the follower
     // actually needs to advance its log.
-    auto pick = ps.queue.begin();
-    for (auto it = std::next(pick); it != ps.queue.end(); ++it) {
-      if (it->index < pick->index) pick = it;
-    }
-    const QueuedEntry qe = *pick;
+    const auto pick = ps.queue.begin();
+    const storage::LogIndex picked = pick->first;
+    const SimTime enqueued_at = pick->second;
     ps.queue.erase(pick);
-    ps.queued.erase(qe.index);
-    if (qe.index > log.LastIndex()) continue;  // Truncated since queued.
-    if (qe.index < log.FirstIndex()) {
+    if (picked > log.LastIndex()) continue;  // Truncated since queued.
+    if (picked < log.FirstIndex()) {
       // Compacted away: the peer needs the snapshot instead.
       SendInstallSnapshot(peer);
       continue;
     }
-    ctx_->TracePhase(metrics::Phase::kQueue, qe.enqueued_at, ctx_->Now(),
-                     ctx_->TraceTermAt(qe.index), qe.index);
-    std::vector<storage::LogIndex> batch{qe.index};
+    ctx_->TracePhase(metrics::Phase::kQueue, enqueued_at, ctx_->Now(),
+                     ctx_->TraceTermAt(picked), picked);
+    std::vector<storage::LogIndex> batch{picked};
     if (options.max_batch_entries > 1 && !options.verify_group &&
-        fragment_cache_.count(qe.index) == 0) {
+        fragment_cache_.count(picked) == 0) {
       // Coalesce the consecutive run queued behind the picked index into
       // one RPC. Fragmented entries stay single (the shard swap is
       // per-entry), and on the NB-Raft path the batch never reaches past
@@ -240,16 +240,14 @@ void ReplicationPipeline::TryDispatch(net::NodeId peer) {
       if (options.window_size > 0 && ps.last_reported >= 0) {
         bound = std::min(bound, ps.last_reported + options.window_size);
       }
-      storage::LogIndex next = qe.index + 1;
+      storage::LogIndex next = picked + 1;
       while (static_cast<int>(batch.size()) < options.max_batch_entries &&
-             next <= bound && ps.queued.count(next) > 0 &&
-             fragment_cache_.count(next) == 0) {
-        auto extra = ps.queue.begin();
-        while (extra->index != next) ++extra;
-        ctx_->TracePhase(metrics::Phase::kQueue, extra->enqueued_at,
-                         ctx_->Now(), ctx_->TraceTermAt(next), next);
+             next <= bound && fragment_cache_.count(next) == 0) {
+        const auto extra = ps.queue.find(next);
+        if (extra == ps.queue.end()) break;
+        ctx_->TracePhase(metrics::Phase::kQueue, extra->second, ctx_->Now(),
+                         ctx_->TraceTermAt(next), next);
         ps.queue.erase(extra);
-        ps.queued.erase(next);
         batch.push_back(next);
         ++next;
       }
@@ -276,8 +274,11 @@ void ReplicationPipeline::SendAppendRpc(
   req.commit_term = log.TermAt(core.commit_index).value_or(0);
   req.signed_payload = ctx_->options().verify_group;
   req.entry = log.AtUnchecked(index);
-  for (size_t i = 1; i < batch.size(); ++i) {
-    req.extra_entries.push_back(log.AtUnchecked(batch[i]));
+  if (batch.size() > 1) {
+    req.extra_entries.reserve(batch.size() - 1);
+    for (size_t i = 1; i < batch.size(); ++i) {
+      req.extra_entries.push_back(log.AtUnchecked(batch[i]));
+    }
   }
 
   // CRaft: swap the payload for this peer's shard while the entry is still
@@ -355,9 +356,8 @@ void ReplicationPipeline::OnRpcTimeout(uint64_t rpc_id) {
   for (const storage::LogIndex index : rpc.batch) {
     ps.in_flight.erase(index);
     // Re-send if the entry is still uncommitted or the peer may lack it.
-    if (index <= ctx_->log().LastIndex() && ps.queued.count(index) == 0) {
-      ps.queue.push_front(QueuedEntry{index, ctx_->Now()});
-      ps.queued.insert(index);
+    if (index <= ctx_->log().LastIndex() && ps.queue.count(index) == 0) {
+      ps.queue.emplace(index, ctx_->Now());
     }
   }
   TryDispatch(rpc.peer);
@@ -504,7 +504,7 @@ void ReplicationPipeline::MaybeCatchUpPeer(net::NodeId peer,
       std::min(log.LastIndex(),
                start + 4 * ctx_->options().dispatchers_per_follower);
   for (storage::LogIndex i = start; i <= end; ++i) {
-    if (ps.queued.count(i) == 0 && ps.in_flight.count(i) == 0) {
+    if (ps.queue.count(i) == 0 && ps.in_flight.count(i) == 0) {
       EnqueueForPeer(peer, i);
     }
   }

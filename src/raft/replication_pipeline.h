@@ -1,7 +1,6 @@
 #ifndef NBRAFT_RAFT_REPLICATION_PIPELINE_H_
 #define NBRAFT_RAFT_REPLICATION_PIPELINE_H_
 
-#include <deque>
 #include <map>
 #include <set>
 #include <unordered_map>
@@ -80,15 +79,11 @@ class ReplicationPipeline {
   }
 
  private:
-  struct QueuedEntry {
-    storage::LogIndex index = 0;
-    SimTime enqueued_at = 0;
-  };
-
   /// Leader-side replication state for one follower connection.
   struct PeerState {
-    std::deque<QueuedEntry> queue;
-    std::set<storage::LogIndex> queued;     ///< Mirrors `queue` for dedup.
+    /// Pending indices → enqueue time. Ordered so dispatch pops the lowest
+    /// index in O(log n) and batch coalescing walks consecutive runs.
+    std::map<storage::LogIndex, SimTime> queue;
     std::set<storage::LogIndex> in_flight;  ///< Indices on the wire.
     int busy_dispatchers = 0;
     bool snapshot_in_flight = false;
@@ -126,7 +121,8 @@ class ReplicationPipeline {
   std::map<net::NodeId, PeerState> peer_state_;
   std::unordered_map<uint64_t, OutstandingRpc> outstanding_rpcs_;
   /// CRaft: per-index Reed–Solomon shards while fragment-replicated.
-  std::unordered_map<storage::LogIndex, std::vector<std::string>>
+  /// Buffers, so handing a shard to an RPC shares it with the cache.
+  std::unordered_map<storage::LogIndex, std::vector<nbraft::Buffer>>
       fragment_cache_;
   std::unordered_map<storage::LogIndex, int> fragment_required_;
   uint64_t next_rpc_id_ = 1;

@@ -24,7 +24,7 @@ SimTime CpuExecutor::EarliestStart() const {
   return std::max(earliest, sim_->Now());
 }
 
-SimTime CpuExecutor::Submit(SimDuration cost, EventFn fn) {
+SimTime CpuExecutor::PlanTask(SimDuration cost) {
   if (cost < 0) cost = 0;
   auto effective =
       static_cast<SimDuration>(static_cast<double>(cost) / speed_factor_);
@@ -46,10 +46,6 @@ SimTime CpuExecutor::Submit(SimDuration cost, EventFn fn) {
   queue_time_ += start - sim_->Now();
   ++tasks_;
   ++outstanding_;
-  sim_->At(done, [this, fn = std::move(fn)]() {
-    --outstanding_;
-    fn();
-  });
   return done;
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/sim_time.h"
@@ -26,7 +27,20 @@ class CpuExecutor {
 
   /// Schedules `fn` to run after `cost` of CPU time on the first free lane.
   /// Returns the completion time. `cost` is divided by speed_factor().
-  SimTime Submit(SimDuration cost, EventFn fn);
+  ///
+  /// Templated so the completion wrapper composes with `fn` *before* type
+  /// erasure: the combined capture still fits EventFn's inline buffer for
+  /// typical callbacks (wrapping an already-erased EventFn never could —
+  /// its capture is strictly larger than the buffer it must fit in).
+  template <typename F>
+  SimTime Submit(SimDuration cost, F&& fn) {
+    const SimTime done = PlanTask(cost);
+    sim_->At(done, [this, fn = std::forward<F>(fn)]() mutable {
+      --outstanding_;
+      fn();
+    });
+    return done;
+  }
 
   /// CPU time consumed without a completion callback (e.g. bookkeeping that
   /// delays later work on the same executor).
@@ -67,6 +81,10 @@ class CpuExecutor {
   const std::string& name() const { return name_; }
 
  private:
+  /// Lane-selection + contention math shared by every Submit instantiation;
+  /// claims a lane, records stats, bumps outstanding_, returns completion.
+  SimTime PlanTask(SimDuration cost);
+
   Simulator* sim_;
   std::string name_;
   std::vector<SimTime> free_at_;

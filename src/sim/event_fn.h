@@ -1,0 +1,119 @@
+#ifndef NBRAFT_SIM_EVENT_FN_H_
+#define NBRAFT_SIM_EVENT_FN_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace nbraft::sim {
+
+/// Move-only type-erased callable with small-buffer optimization, sized for
+/// the simulator's hot events (network delivery, protocol timers, CPU
+/// completions). Captures up to kInlineCapacity bytes live inside the event
+/// slot itself — scheduling them allocates nothing. Larger or potentially
+/// throwing-to-move callables fall back to one heap allocation, exactly
+/// like std::function, so nothing is lost for cold paths.
+///
+/// This replaces std::function in the event queue: std::function's inline
+/// buffer (16 bytes on libstdc++) is too small for even a `[this, msg]`
+/// delivery capture, so the old kernel paid a heap allocation per
+/// scheduled event.
+class EventFn {
+ public:
+  static constexpr size_t kInlineCapacity = 64;
+
+  EventFn() noexcept = default;
+  EventFn(std::nullptr_t) noexcept {}  // NOLINT: match std::function.
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  EventFn(F&& f) {  // NOLINT: implicit, like std::function.
+    if constexpr (sizeof(D) <= kInlineCapacity &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &InlineImpl<D>::kOps;
+    } else {
+      ::new (static_cast<void*>(storage_))
+          D*(new D(std::forward<F>(f)));
+      ops_ = &HeapImpl<D>::kOps;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { MoveFrom(&other); }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(&other);
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { Reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-constructs dst's payload from src's and destroys src's.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* storage);
+  };
+
+  template <typename D>
+  struct InlineImpl {
+    static D* Get(void* s) { return std::launder(reinterpret_cast<D*>(s)); }
+    static void Invoke(void* s) { (*Get(s))(); }
+    static void Relocate(void* dst, void* src) {
+      D* from = Get(src);
+      ::new (dst) D(std::move(*from));
+      from->~D();
+    }
+    static void Destroy(void* s) { Get(s)->~D(); }
+    static constexpr Ops kOps{&Invoke, &Relocate, &Destroy};
+  };
+
+  template <typename D>
+  struct HeapImpl {
+    static D* Get(void* s) {
+      return *std::launder(reinterpret_cast<D**>(s));
+    }
+    static void Invoke(void* s) { (*Get(s))(); }
+    static void Relocate(void* dst, void* src) {
+      ::new (dst) D*(Get(src));
+    }
+    static void Destroy(void* s) { delete Get(s); }
+    static constexpr Ops kOps{&Invoke, &Relocate, &Destroy};
+  };
+
+  void MoveFrom(EventFn* other) noexcept {
+    if (other->ops_ != nullptr) {
+      ops_ = other->ops_;
+      ops_->relocate(storage_, other->storage_);
+      other->ops_ = nullptr;
+    }
+  }
+
+  void Reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace nbraft::sim
+
+#endif  // NBRAFT_SIM_EVENT_FN_H_

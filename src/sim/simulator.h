@@ -2,22 +2,22 @@
 #define NBRAFT_SIM_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "common/random.h"
 #include "common/sim_time.h"
+#include "sim/event_fn.h"
 
 namespace nbraft::sim {
 
 /// Handle for a scheduled event; used to cancel timers (e.g. election
-/// timeouts that are reset by heartbeats).
+/// timeouts that are reset by heartbeats). Generation-tagged: the high
+/// 32 bits are the owning slot's generation at scheduling time, the low
+/// 32 bits are slot index + 1 (so 0 stays the invalid id). A fired or
+/// cancelled event bumps its slot's generation, which invalidates every
+/// outstanding handle to it in O(1).
 using EventId = uint64_t;
 constexpr EventId kInvalidEventId = 0;
-
-using EventFn = std::function<void()>;
 
 /// Deterministic single-threaded discrete-event simulator.
 ///
@@ -25,6 +25,12 @@ using EventFn = std::function<void()>;
 /// client think time — is expressed as events on one queue ordered by
 /// (virtual time, insertion sequence). Runs with the same seed replay
 /// bit-identically, which the integration tests rely on.
+///
+/// Internally the queue is a slab-pooled event arena: callbacks live in
+/// recycled slots (no per-event heap allocation once the pool is warm —
+/// EventFn keeps small captures inline), the heap holds plain
+/// (when, seq, slot, generation) records, and Cancel is a generation bump
+/// with lazy deletion when the stale heap record surfaces at pop.
 class Simulator {
  public:
   explicit Simulator(uint64_t seed);
@@ -41,8 +47,8 @@ class Simulator {
   /// Schedules `fn` after `delay` (clamped to >= 0).
   EventId After(SimDuration delay, EventFn fn);
 
-  /// Cancels a scheduled event. Cancelling an already-fired or invalid id
-  /// is a no-op.
+  /// Cancels a scheduled event. Cancelling an already-fired, already-
+  /// cancelled, or invalid id is a no-op.
   void Cancel(EventId id);
 
   /// Runs one event; returns false when the queue is empty.
@@ -58,25 +64,40 @@ class Simulator {
   nbraft::Rng* rng() { return &rng_; }
 
   uint64_t events_processed() const { return events_processed_; }
-  size_t pending_events() const { return callbacks_.size(); }
+  size_t pending_events() const { return live_; }
 
  private:
+  struct Slot {
+    uint32_t generation = 1;
+    EventFn fn;
+  };
+
+  /// Heap records are value-only; the callback stays in its slot so heap
+  /// sifts move 24 bytes, not a type-erased callable. `seq` increments
+  /// once per At() — the same tiebreaker sequence the pre-arena kernel
+  /// used as its EventId — so replay ordering is bit-identical.
   struct HeapItem {
     SimTime when;
     uint64_t seq;
-    EventId id;
-    bool operator>(const HeapItem& other) const {
-      if (when != other.when) return when > other.when;
-      return seq > other.seq;
-    }
+    uint32_t slot;
+    uint32_t generation;
   };
+
+  /// Min-heap comparator (std::push_heap builds a max-heap by `comp`).
+  static bool Later(const HeapItem& a, const HeapItem& b) {
+    if (a.when != b.when) return a.when > b.when;
+    return a.seq > b.seq;
+  }
+
+  uint32_t AcquireSlot();
 
   SimTime now_ = 0;
   uint64_t next_seq_ = 1;
   uint64_t events_processed_ = 0;
-  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<HeapItem>>
-      heap_;
-  std::unordered_map<EventId, EventFn> callbacks_;
+  size_t live_ = 0;
+  std::vector<HeapItem> heap_;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
   nbraft::Rng rng_;
 };
 

@@ -18,7 +18,7 @@ void LogEntry::EncodeTo(std::string* out) const {
   PutVarint64(&body, frag_k);
   PutVarint64(&body, full_size);
   PutVarint64(&body, payload.size());
-  body += payload;
+  body.append(payload.data(), payload.size());
 
   PutVarint64(out, body.size());
   *out += body;
@@ -61,7 +61,7 @@ Result<LogEntry> LogEntry::DecodeFrom(std::string_view* in) {
   entry.client_id = static_cast<net::NodeId>(client_id);
   entry.frag_shard = static_cast<int32_t>(frag_shard);
   entry.frag_k = static_cast<uint32_t>(frag_k);
-  entry.payload.assign(body.data(), body.size());
+  entry.payload = nbraft::Buffer(body);
   *in = rest;
   return entry;
 }

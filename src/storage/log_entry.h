@@ -5,6 +5,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/buffer.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "net/network.h"
@@ -34,7 +35,9 @@ struct LogEntry {
 
   /// Opaque command bytes applied to the state machine. For CRaft
   /// replicas this is one Reed–Solomon shard of the original command.
-  std::string payload;
+  /// Ref-counted and immutable: copying an entry (per-peer RPC fan-out,
+  /// batches, retries, the follower's sliding window) shares the bytes.
+  nbraft::Buffer payload;
 
   /// CRaft fragment metadata: shard id (-1 = not a fragment), the number of
   /// data shards `k` needed for reconstruction, and the original command
@@ -58,11 +61,11 @@ struct LogEntry {
     return bytes + kHeaderOverhead;
   }
 
-  /// Releases payload bytes while keeping the modelled size.
+  /// Releases this entry's payload reference while keeping the modelled
+  /// size (the bytes are freed once every sharing copy has released too).
   void ReleasePayload() {
     if (payload.size() > payload_size_hint) payload_size_hint = payload.size();
     payload.clear();
-    payload.shrink_to_fit();
   }
 
   /// Serializes to a self-delimiting binary record with a CRC32C trailer.

@@ -7,16 +7,34 @@ namespace nbraft::tsdb {
 void BitWriter::Write(uint64_t value, int bits) {
   NBRAFT_CHECK_GE(bits, 0);
   NBRAFT_CHECK_LE(bits, 64);
-  for (int i = bits - 1; i >= 0; --i) {
-    const uint8_t bit = static_cast<uint8_t>((value >> i) & 1);
-    current_ = static_cast<uint8_t>((current_ << 1) | bit);
-    ++filled_;
-    ++bit_count_;
+  if (bits == 0) return;
+  bit_count_ += static_cast<size_t>(bits);
+  if (bits < 64) value &= (~uint64_t{0}) >> (64 - bits);
+  int remaining = bits;
+  // Top up the partially filled byte with the high bits of `value`.
+  if (filled_ > 0) {
+    const int take = remaining < 8 - filled_ ? remaining : 8 - filled_;
+    const uint8_t chunk = static_cast<uint8_t>(
+        (value >> (remaining - take)) & ((uint32_t{1} << take) - 1));
+    current_ = static_cast<uint8_t>((current_ << take) | chunk);
+    filled_ += take;
+    remaining -= take;
     if (filled_ == 8) {
       out_->push_back(static_cast<char>(current_));
       current_ = 0;
       filled_ = 0;
     }
+  }
+  // Emit whole bytes directly.
+  while (remaining >= 8) {
+    remaining -= 8;
+    out_->push_back(static_cast<char>((value >> remaining) & 0xff));
+  }
+  // Stash the tail for the next Write.
+  if (remaining > 0) {
+    current_ =
+        static_cast<uint8_t>(value & ((uint32_t{1} << remaining) - 1));
+    filled_ = remaining;
   }
 }
 
@@ -34,13 +52,17 @@ bool BitReader::Read(uint64_t* value, int bits) {
   NBRAFT_CHECK_LE(bits, 64);
   if (pos_ + static_cast<size_t>(bits) > data_.size() * 8) return false;
   uint64_t v = 0;
-  for (int i = 0; i < bits; ++i) {
+  int remaining = bits;
+  while (remaining > 0) {
     const size_t byte = pos_ >> 3;
-    const int offset = 7 - static_cast<int>(pos_ & 7);
-    const uint8_t bit =
-        static_cast<uint8_t>((static_cast<uint8_t>(data_[byte]) >> offset) & 1);
-    v = (v << 1) | bit;
-    ++pos_;
+    const int avail = 8 - static_cast<int>(pos_ & 7);
+    const int take = remaining < avail ? remaining : avail;
+    const uint8_t cur = static_cast<uint8_t>(data_[byte]);
+    const uint8_t chunk = static_cast<uint8_t>(
+        (cur >> (avail - take)) & ((uint32_t{1} << take) - 1));
+    v = (v << take) | chunk;
+    pos_ += static_cast<size_t>(take);
+    remaining -= take;
   }
   *value = v;
   return true;

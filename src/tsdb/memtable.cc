@@ -5,8 +5,22 @@
 namespace nbraft::tsdb {
 
 void Memtable::Insert(uint64_t series_id, Point point) {
-  series_[series_id].push_back(point);
+  if (series_.empty()) series_.reserve(64);
+  std::vector<Point>& points = series_[series_id];
+  // Skip the 1/2/4/8 doubling steps; per-series runs between flushes are
+  // almost always longer than a handful of points.
+  if (points.capacity() == 0) points.reserve(16);
+  points.push_back(point);
   ++point_count_;
+}
+
+std::vector<std::pair<uint64_t, std::vector<Point>*>> Memtable::Ordered() {
+  std::vector<std::pair<uint64_t, std::vector<Point>*>> ordered;
+  ordered.reserve(series_.size());
+  for (auto& [id, points] : series_) ordered.emplace_back(id, &points);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return ordered;
 }
 
 std::vector<Point> Memtable::Scan(uint64_t series_id) const {
@@ -26,18 +40,25 @@ std::vector<std::pair<uint64_t, Point>> Memtable::AllPoints() const {
   for (const auto& [id, points] : series_) {
     for (const Point& p : points) out.emplace_back(id, p);
   }
+  // Series order with insertion order preserved within a series (each
+  // series' points are contiguous and stable_sort keeps them that way).
+  std::stable_sort(out.begin(), out.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
   return out;
 }
 
 std::vector<Chunk> Memtable::FlushAll() {
+  auto ordered = Ordered();
   std::vector<Chunk> chunks;
-  chunks.reserve(series_.size());
-  for (auto& [id, points] : series_) {
-    std::stable_sort(points.begin(), points.end(),
+  chunks.reserve(ordered.size());
+  for (auto& [id, points] : ordered) {
+    std::stable_sort(points->begin(), points->end(),
                      [](const Point& a, const Point& b) {
                        return a.timestamp < b.timestamp;
                      });
-    chunks.push_back(BuildChunk(id, points));
+    chunks.push_back(BuildChunk(id, *points));
   }
   series_.clear();
   point_count_ = 0;

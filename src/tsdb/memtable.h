@@ -2,8 +2,8 @@
 #define NBRAFT_TSDB_MEMTABLE_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <utility>
-#include <map>
 #include <vector>
 
 #include "tsdb/encoding.h"
@@ -41,7 +41,13 @@ class Memtable {
   bool Empty() const { return point_count_ == 0; }
 
  private:
-  std::map<uint64_t, std::vector<Point>> series_;
+  /// Per-series point lists sorted by series id (flush/snapshot order).
+  std::vector<std::pair<uint64_t, std::vector<Point>*>> Ordered();
+
+  // Hash map on the ingest hot path (one lookup per point); everything that
+  // iterates (FlushAll, AllPoints) sorts by series id first so output order
+  // is identical to the ordered-map layout this replaced.
+  std::unordered_map<uint64_t, std::vector<Point>> series_;
   size_t point_count_ = 0;
 };
 

@@ -30,7 +30,7 @@ TEST_F(NetworkTest, DeliversWithLatencyAndSerialization) {
   SimNetwork net(&sim, QuietConfig());
   std::vector<Delivery> got;
   net.RegisterEndpoint(2, [&](Message&& m) {
-    got.push_back({m.from, sim.Now(), std::any_cast<int>(m.payload)});
+    got.push_back({m.from, sim.Now(), *m.payload.Get<int>()});
   });
   net.Send(1, 2, 1000, 7);
   sim.Run();
@@ -63,7 +63,7 @@ TEST_F(NetworkTest, JitterReordersMessages) {
   SimNetwork net(&sim, config);
   std::vector<int> order;
   net.RegisterEndpoint(2, [&](Message&& m) {
-    order.push_back(std::any_cast<int>(m.payload));
+    order.push_back(*m.payload.Get<int>());
   });
   for (int i = 0; i < 200; ++i) net.Send(1, 2, 100, i);
   sim.Run();
@@ -253,6 +253,34 @@ TEST_F(NetworkTest, StatsCountBytes) {
   EXPECT_EQ(net.bytes_sent(), 1234u);
   EXPECT_EQ(net.messages_sent(), 1u);
   EXPECT_EQ(net.messages_delivered(), 1u);
+}
+
+TEST_F(NetworkTest, StatsInvariantHoldsThroughDropsAndDeliveries) {
+  NetworkConfig config = QuietConfig();
+  config.drop_probability = 0.3;
+  sim::Simulator sim(11);
+  SimNetwork net(&sim, config);
+  net.RegisterEndpoint(2, [](Message&&) {});
+  // Mix of delivered, randomly dropped, dropped-at-delivery (unregistered
+  // endpoint 3) and dropped-in-flight (4 crashes mid-run).
+  net.RegisterEndpoint(4, [](Message&&) {});
+  for (int i = 0; i < 100; ++i) {
+    net.Send(1, 2, 100, i);
+    net.Send(1, 3, 100, i);
+    net.Send(1, 4, 100, i);
+  }
+  const NetStats& stats = net.stats();
+  EXPECT_GT(stats.messages_in_flight, 0u);
+  EXPECT_TRUE(stats.Consistent());
+  sim.After(Micros(500), [&] { net.SetNodeUp(4, false); });
+  sim.Run();
+  EXPECT_EQ(stats.messages_in_flight, 0u);
+  EXPECT_TRUE(stats.Consistent());
+  EXPECT_EQ(stats.messages_sent, 300u);
+  EXPECT_EQ(stats.messages_sent,
+            stats.messages_delivered + stats.messages_dropped);
+  EXPECT_GT(stats.messages_delivered, 0u);
+  EXPECT_GT(stats.messages_dropped, 100u);  // All of node 3's, plus random.
 }
 
 TEST_F(NetworkTest, SentAtRecordsSendTime) {

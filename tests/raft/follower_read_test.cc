@@ -18,7 +18,7 @@ ReadResponse ReadFrom(Cluster* cluster, net::NodeId server,
   ReadResponse out;
   bool got = false;
   cluster->network()->RegisterEndpoint(reader, [&](net::Message&& m) {
-    out = std::any_cast<ReadResponse>(m.payload);
+    out = *m.payload.Get<ReadResponse>();
     got = true;
   });
   ReadRequest req;

@@ -1,10 +1,11 @@
 #ifndef NBRAFT_TESTS_RAFT_MOCK_NODE_CONTEXT_H_
 #define NBRAFT_TESTS_RAFT_MOCK_NODE_CONTEXT_H_
 
-#include <any>
 #include <memory>
 #include <utility>
 #include <vector>
+
+#include "net/payload.h"
 
 #include "raft/commit_applier.h"
 #include "raft/election_engine.h"
@@ -27,7 +28,7 @@ class MockNodeContext : public raft::NodeContext {
   struct SentMessage {
     net::NodeId to = net::kInvalidNode;
     size_t bytes = 0;
-    std::any payload;
+    net::PayloadRef payload;
   };
 
   MockNodeContext(sim::Simulator* sim, net::NodeId id,
@@ -71,7 +72,7 @@ class MockNodeContext : public raft::NodeContext {
   const raft::CoreState& core() const override { return core_; }
   storage::RaftLog& log() override { return log_; }
   const storage::RaftLog& log() const override { return log_; }
-  void SendTo(net::NodeId to, size_t bytes, std::any payload) override {
+  void SendTo(net::NodeId to, size_t bytes, net::PayloadRef payload) override {
     sent.push_back(SentMessage{to, bytes, std::move(payload)});
   }
   void PersistEntry(const storage::LogEntry&) override {}
@@ -112,7 +113,7 @@ class MockNodeContext : public raft::NodeContext {
   std::vector<T> SentOfType() const {
     std::vector<T> out;
     for (const SentMessage& m : sent) {
-      if (const T* p = std::any_cast<T>(&m.payload)) out.push_back(*p);
+      if (const T* p = m.payload.Get<T>()) out.push_back(*p);
     }
     return out;
   }

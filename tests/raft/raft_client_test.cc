@@ -26,10 +26,10 @@ class RaftClientTest : public ::testing::Test {
     config.base_latency = Micros(50);
     network_ = std::make_unique<net::SimNetwork>(&sim_, config);
     network_->RegisterEndpoint(kServerA, [this](net::Message&& m) {
-      requests_a_.push_back(std::any_cast<ClientRequest>(m.payload));
+      requests_a_.push_back(*m.payload.Get<ClientRequest>());
     });
     network_->RegisterEndpoint(kServerB, [this](net::Message&& m) {
-      requests_b_.push_back(std::any_cast<ClientRequest>(m.payload));
+      requests_b_.push_back(*m.payload.Get<ClientRequest>());
     });
   }
 

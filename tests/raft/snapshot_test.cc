@@ -22,7 +22,9 @@ storage::LogEntry IngestEntry(storage::LogIndex index,
   storage::LogEntry e;
   e.index = index;
   e.term = 1;
-  tsdb::EncodeIngestBatch(batch, 0, &e.payload);
+  std::string bytes;
+  tsdb::EncodeIngestBatch(batch, 0, &bytes);
+  e.payload = std::move(bytes);
   return e;
 }
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <vector>
 
 namespace nbraft::sim {
@@ -137,6 +138,102 @@ TEST(SimulatorTest, RngIsDeterministicPerSeed) {
   Simulator a(42);
   Simulator b(42);
   EXPECT_EQ(a.rng()->Next(), b.rng()->Next());
+}
+
+TEST(SimulatorTest, CancelAlreadyFiredIdIsNoop) {
+  Simulator sim(1);
+  int fired = 0;
+  const EventId id = sim.At(Millis(1), [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  sim.Cancel(id);  // Stale: the event already fired.
+  // The slot is free now; a new event that reuses it must be unaffected
+  // by cancels addressed to the old generation.
+  bool second = false;
+  sim.At(Millis(2), [&] { second = true; });
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_TRUE(second);
+}
+
+TEST(SimulatorTest, DoubleCancelIsNoop) {
+  Simulator sim(1);
+  bool fired = false;
+  const EventId id = sim.At(Millis(1), [&] { fired = true; });
+  sim.Cancel(id);
+  sim.Cancel(id);  // Second cancel must not free the slot twice.
+  // Two fresh events exercise the free list after the double cancel.
+  int count = 0;
+  sim.At(Millis(2), [&] { ++count; });
+  sim.At(Millis(3), [&] { ++count; });
+  sim.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulatorTest, CancelOwnIdFromInsideCallbackIsNoop) {
+  Simulator sim(1);
+  EventId self = kInvalidEventId;
+  bool fired = false;
+  self = sim.At(Millis(1), [&] {
+    fired = true;
+    sim.Cancel(self);  // Already running: must be a no-op, not a corruption.
+  });
+  sim.Run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.events_processed(), 1u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, CallbackCanScheduleIntoItsOwnRetiredSlot) {
+  Simulator sim(1);
+  // The firing event's slot is retired before the callback runs, so a
+  // reschedule from inside the callback may reuse that very slot. The new
+  // event must be distinct and cancellable independently.
+  std::vector<EventId> ids;
+  bool relay = false;
+  ids.push_back(sim.At(Millis(1), [&] {
+    ids.push_back(sim.After(Millis(1), [&] { relay = true; }));
+  }));
+  sim.Run();
+  EXPECT_TRUE(relay);
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_NE(ids[0], ids[1]);
+}
+
+TEST(SimulatorTest, PendingEventsTracksScheduleCancelAndFire) {
+  Simulator sim(1);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  const EventId a = sim.At(Millis(1), [] {});
+  sim.At(Millis(2), [] {});
+  const EventId c = sim.At(Millis(3), [] {});
+  EXPECT_EQ(sim.pending_events(), 3u);
+  sim.Cancel(a);
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.Cancel(c);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.Run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.events_processed(), 1u);
+}
+
+TEST(SimulatorTest, ManyCancelledHeadsDoNotStallRunUntil) {
+  Simulator sim(1);
+  // A pile of cancelled events at the head of the queue must be reaped
+  // lazily without firing or advancing time past the boundary.
+  std::vector<EventId> ids;
+  ids.reserve(100);
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(sim.At(Millis(1), [&] { ++fired; }));
+  }
+  sim.At(Millis(2), [&] { fired += 1000; });
+  for (const EventId id : ids) sim.Cancel(id);
+  sim.RunUntil(Millis(1));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.Now(), Millis(1));
+  sim.RunUntil(Millis(2));
+  EXPECT_EQ(fired, 1000);
 }
 
 TEST(SimulatorTest, ProcessedCountsFiredEventsOnly) {

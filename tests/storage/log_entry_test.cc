@@ -123,7 +123,7 @@ TEST(LogEntryTest, RandomizedRoundTripProperty) {
     e.prev_term = e.term - static_cast<Term>(rng.NextBounded(2));
     e.client_id = static_cast<net::NodeId>(rng.NextBounded(100000));
     e.request_id = rng.Next();
-    e.payload.assign(rng.NextBounded(500), static_cast<char>(rng.Next()));
+    e.payload = std::string(rng.NextBounded(500), static_cast<char>(rng.Next()));
     std::string buf;
     e.EncodeTo(&buf);
     std::string_view in(buf);

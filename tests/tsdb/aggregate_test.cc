@@ -12,7 +12,9 @@ storage::LogEntry IngestEntry(const std::vector<Measurement>& batch) {
   storage::LogEntry e;
   e.index = next++;
   e.term = 1;
-  EncodeIngestBatch(batch, 0, &e.payload);
+  std::string bytes;
+  EncodeIngestBatch(batch, 0, &bytes);
+  e.payload = std::move(bytes);
   return e;
 }
 

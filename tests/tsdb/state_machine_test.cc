@@ -15,7 +15,9 @@ storage::LogEntry IngestEntry(storage::LogIndex index,
   e.index = index;
   e.term = 1;
   e.prev_term = 1;
-  EncodeIngestBatch(batch, target_size, &e.payload);
+  std::string bytes;
+  EncodeIngestBatch(batch, target_size, &bytes);
+  e.payload = std::move(bytes);
   return e;
 }
 

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_sim_kernel report against the committed baseline.
+
+Exits non-zero if any workload's events_per_sec falls below --floor times
+the baseline. The workloads run a fixed seed for a fixed virtual-time span,
+so event counts are deterministic and only wall time varies with the
+machine; the floor is deliberately loose so the check catches accidental
+algorithmic regressions in the kernel, not runner noise.
+
+Usage: check_perf_smoke.py BASELINE.json FRESH.json [--floor 0.5]
+       [--check-events]  (only when both reports used the same span/mode)
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {w["name"]: w for w in data["workloads"]}
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--floor", type=float, default=0.5)
+    parser.add_argument(
+        "--check-events",
+        action="store_true",
+        help="also require identical (deterministic) event counts",
+    )
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+    failed = False
+    for name, b in base.items():
+        f = fresh.get(name)
+        if f is None:
+            print(f"FAIL {name}: missing from fresh report")
+            failed = True
+            continue
+        baseline_eps = b["events_per_sec"]
+        ratio = f["events_per_sec"] / baseline_eps if baseline_eps else 0.0
+        ok = ratio >= args.floor
+        print(
+            f"{'ok  ' if ok else 'FAIL'} {name}: "
+            f"{f['events_per_sec']:.0f} ev/s vs baseline {baseline_eps:.0f} "
+            f"(x{ratio:.2f}, floor x{args.floor})"
+        )
+        if not ok:
+            failed = True
+        if args.check_events and f["events"] != b["events"]:
+            print(
+                f"FAIL {name}: event count {f['events']} != "
+                f"baseline {b['events']} (determinism violation)"
+            )
+            failed = True
+    sys.exit(1 if failed else 0)
+
+
+if __name__ == "__main__":
+    main()
