@@ -1,0 +1,167 @@
+// Durability-cost bench: what the simulated disk charges the protocol for
+// making acknowledgements durable. Sweeps the fsync barrier cost through
+// {0, 100us, 1ms} with group commit on and off (plus a diskless reference
+// row), on the Fig. 14-style closed-loop NB-Raft cluster, and reports
+// requests completed, fsync counts and kernel events/sec per cell.
+//
+// Two things this trajectory guards:
+//  * group commit must amortize barriers — at equal fsync cost, the
+//    group-commit row completes far more requests per fsync than the
+//    per-record row;
+//  * the fsync-cost-0 row must track the diskless row closely — the
+//    durable path's bookkeeping alone must not throttle the pipeline.
+//
+// Usage: bench_durability [--quick] [--out PATH]
+//
+// Writes a JSON report (default BENCH_durability.json in the CWD) in the
+// same schema as BENCH_sim_kernel.json, so tools/check_perf_smoke.py can
+// compare events/sec per cell against the committed baseline.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/cluster.h"
+#include "sim/simulator.h"
+
+using namespace nbraft;
+
+namespace {
+
+struct CellResult {
+  std::string name;
+  uint64_t events = 0;
+  double wall_ms = 0.0;
+  double events_per_sec = 0.0;
+  double virtual_ms = 0.0;
+  uint64_t requests_completed = 0;
+  uint64_t fsyncs = 0;
+  uint64_t entries_appended = 0;
+};
+
+double WallMs(std::chrono::steady_clock::time_point start) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+CellResult RunCell(const std::string& name, bool disk_enabled,
+                   SimDuration fsync_latency, bool group_commit,
+                   SimDuration span) {
+  harness::ClusterConfig config;
+  config.num_nodes = 3;
+  config.num_clients = 64;
+  config.protocol = raft::Protocol::kNbRaft;
+  config.payload_size = 4096;
+  config.client_think = Micros(5);
+  config.seed = 4321;
+  config.release_payloads = true;
+  config.disk.enabled = disk_enabled;
+  config.disk.write_latency = disk_enabled ? Micros(2) : 0;
+  config.disk.fsync_latency = fsync_latency;
+  config.disk.group_commit = group_commit;
+
+  harness::Cluster cluster(config);
+  cluster.Start();
+  if (!cluster.AwaitLeader()) {
+    std::fprintf(stderr, "%s: no leader\n", name.c_str());
+    return CellResult{name};
+  }
+  cluster.StartClients();
+
+  const auto start = std::chrono::steady_clock::now();
+  const uint64_t events_before = cluster.sim()->events_processed();
+  const SimTime virt_before = cluster.sim()->Now();
+  cluster.RunFor(span);
+
+  CellResult r;
+  r.name = name;
+  r.wall_ms = WallMs(start);
+  r.events = cluster.sim()->events_processed() - events_before;
+  r.virtual_ms =
+      static_cast<double>(cluster.sim()->Now() - virt_before) / kMillisecond;
+  r.events_per_sec =
+      r.wall_ms > 0 ? static_cast<double>(r.events) / (r.wall_ms / 1000.0)
+                    : 0.0;
+  r.requests_completed = cluster.Collect().requests_completed;
+  for (int i = 0; i < cluster.num_nodes(); ++i) {
+    r.fsyncs += cluster.node(i)->stats().fsyncs_completed;
+    r.entries_appended += cluster.node(i)->stats().entries_appended;
+  }
+  return r;
+}
+
+void WriteJson(const std::string& path,
+               const std::vector<CellResult>& results) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"durability\",\n  \"workloads\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const CellResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"events\": %llu, "
+                 "\"wall_ms\": %.1f, \"events_per_sec\": %.0f, "
+                 "\"virtual_ms\": %.1f, \"requests_completed\": %llu, "
+                 "\"fsyncs\": %llu, \"entries_appended\": %llu}%s\n",
+                 r.name.c_str(), static_cast<unsigned long long>(r.events),
+                 r.wall_ms, r.events_per_sec, r.virtual_ms,
+                 static_cast<unsigned long long>(r.requests_completed),
+                 static_cast<unsigned long long>(r.fsyncs),
+                 static_cast<unsigned long long>(r.entries_appended),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out = "BENCH_durability.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out = argv[++i];
+  }
+  const SimDuration span = quick ? Millis(200) : Millis(600);
+
+  struct Cell {
+    const char* name;
+    SimDuration fsync;
+    bool group_commit;
+  };
+  const Cell kCells[] = {
+      {"nbraft_fsync0us_gc", 0, true},
+      {"nbraft_fsync0us_nogc", 0, false},
+      {"nbraft_fsync100us_gc", Micros(100), true},
+      {"nbraft_fsync100us_nogc", Micros(100), false},
+      {"nbraft_fsync1ms_gc", Millis(1), true},
+      {"nbraft_fsync1ms_nogc", Millis(1), false},
+  };
+
+  std::vector<CellResult> results;
+  results.push_back(
+      RunCell("nbraft_nodisk", /*disk_enabled=*/false, 0, true, span));
+  for (const Cell& cell : kCells) {
+    results.push_back(RunCell(cell.name, /*disk_enabled=*/true, cell.fsync,
+                              cell.group_commit, span));
+  }
+
+  std::printf("%-24s %12s %10s %14s %10s %10s\n", "cell", "events",
+              "wall_ms", "events/sec", "reqs", "fsyncs");
+  for (const CellResult& r : results) {
+    std::printf("%-24s %12llu %10.1f %14.0f %10llu %10llu\n", r.name.c_str(),
+                static_cast<unsigned long long>(r.events), r.wall_ms,
+                r.events_per_sec,
+                static_cast<unsigned long long>(r.requests_completed),
+                static_cast<unsigned long long>(r.fsyncs));
+  }
+  WriteJson(out, results);
+  std::printf("\nwrote %s\n", out.c_str());
+  return 0;
+}

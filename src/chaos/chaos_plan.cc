@@ -13,6 +13,8 @@ const char* FaultKindName(FaultKind kind) {
     case FaultKind::kDelayStorm: return "delay_storm";
     case FaultKind::kClockSkew: return "clock_skew";
     case FaultKind::kSlowNode: return "slow_node";
+    case FaultKind::kDiskStall: return "disk_stall";
+    case FaultKind::kDiskCorruption: return "disk_corruption";
   }
   return "unknown";
 }

@@ -22,6 +22,9 @@ enum class FaultKind : uint8_t {
   kDelayStorm,       ///< Add a fixed extra delay to every message.
   kClockSkew,        ///< Scale one node's election timeout.
   kSlowNode,         ///< Degrade one node's CPU lanes.
+  kDiskStall,        ///< Stall one node's fsyncs (slow disk / write-cache flush).
+  kDiskCorruption,   ///< Bit-rot a durable tail record, then crash the node so
+                     ///< recovery detects it (disk-fault runs only).
 };
 
 const char* FaultKindName(FaultKind kind);
@@ -56,6 +59,11 @@ struct ChaosPlan {
   double skew_max = 2.5;   ///< Upper bound (> 1 = sluggish node).
   double slow_factor = 0.25;  ///< CPU speed during kSlowNode (< 1 = slow).
   int flap_cycles = 4;        ///< Cut/heal cycles per kLinkFlap.
+  SimDuration disk_stall_extra = Millis(5);  ///< Added to every fsync.
+  /// Corruption budget per run: each corruption truncates one node's log
+  /// tail, so more than one per run can cut a quorum's worth of copies of
+  /// the same entry (safety requires a quorum of intact replicas).
+  int max_disk_corruptions = 1;
 
   const std::vector<FaultKind>& EffectiveMix() const;
 };

@@ -33,6 +33,21 @@ void SafetyOracle::Install() {
           }
         });
   }
+  // Durability-claim honesty, audited at the instant of every crash: the
+  // highest index this node ever claimed durable must be covered by a
+  // completed fsync. Anything above the fsynced frontier is about to be
+  // torn off by the crash — claiming it was the bug class this catches.
+  cluster_->set_crash_observer([this](int i) {
+    raft::RaftNode* node = cluster_->node(i);
+    const storage::LogIndex claimed = node->strong_ack_frontier();
+    const storage::LogIndex durable = node->DurableEntryFrontier();
+    if (claimed > durable) {
+      AddViolation("durability claim: node " + std::to_string(i) +
+                   " strong-acked through " + std::to_string(claimed) +
+                   " but fsynced only through " + std::to_string(durable) +
+                   " at crash");
+    }
+  });
 }
 
 void SafetyOracle::CheckMidRun() {

@@ -29,6 +29,11 @@ namespace nbraft::chaos {
 ///  - Bounded weak loss: WEAK_ACCEPTed-but-uncommitted ids number at most
 ///    (terms_observed) * (N_clients + window) — each leadership change can
 ///    strand at most N_cli + w weakly accepted entries (paper Sec. IV).
+///  - Durability-claim honesty (disk-backed runs): at every crash, the
+///    victim's strong-ack frontier (the highest index it ever claimed
+///    durably stored — via a strong accept, a counted self-vote or a
+///    remembered vote grant) must sit inside its fsynced prefix. Checked
+///    from the cluster crash observer, before the node's memory is wiped.
 class SafetyOracle {
  public:
   explicit SafetyOracle(harness::Cluster* cluster);

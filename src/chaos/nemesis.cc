@@ -32,6 +32,9 @@ const char* InstantName(FaultKind kind, bool heal) {
       return "chaos_skew";
     case FaultKind::kSlowNode:
       return "chaos_slow";
+    case FaultKind::kDiskStall:
+    case FaultKind::kDiskCorruption:
+      return "chaos_disk";
   }
   return "chaos_fault";
 }
@@ -109,6 +112,12 @@ void Nemesis::InjectOne() {
       break;
     case FaultKind::kSlowNode:
       InjectSlowNode(duration);
+      break;
+    case FaultKind::kDiskStall:
+      InjectDiskStall(duration);
+      break;
+    case FaultKind::kDiskCorruption:
+      InjectDiskCorruption(duration);
       break;
   }
 }
@@ -317,6 +326,54 @@ bool Nemesis::InjectSlowNode(SimDuration duration) {
   return true;
 }
 
+bool Nemesis::InjectDiskStall(SimDuration duration) {
+  const net::NodeId victim = PickUpNode();
+  if (victim == net::kInvalidNode) return false;
+  storage::SimDisk* disk = cluster_->node(victim)->disk();
+  if (disk == nullptr) return false;  // Run has no simulated disks.
+  disk->set_fsync_stall(plan_.disk_stall_extra);
+  ++active_disk_stall_[victim];
+  Record(FaultKind::kDiskStall, /*heal=*/false, victim, net::kInvalidNode,
+         plan_.disk_stall_extra);
+  cluster_->sim()->After(duration, [this, victim]() {
+    auto it = active_disk_stall_.find(victim);
+    if (it == active_disk_stall_.end()) return;
+    if (--it->second == 0) {
+      active_disk_stall_.erase(it);
+      if (storage::SimDisk* d = cluster_->node(victim)->disk()) {
+        d->set_fsync_stall(0);
+      }
+      Record(FaultKind::kDiskStall, /*heal=*/true, victim, net::kInvalidNode,
+             0);
+    }
+  });
+  return true;
+}
+
+bool Nemesis::InjectDiskCorruption(SimDuration duration) {
+  if (corruptions_injected_ >= plan_.max_disk_corruptions) return false;
+  if (crashed_count() >= MaxConcurrentCrashes()) return false;
+  const net::NodeId victim = PickUpNode();
+  if (victim == net::kInvalidNode) return false;
+  storage::SimDisk* disk = cluster_->node(victim)->disk();
+  if (disk == nullptr) return false;
+  if (!disk->CorruptTailRecord()) return false;  // Nothing eligible yet.
+  ++corruptions_injected_;
+  // Crash the victim so its next recovery detects the rot, repairs the
+  // image and enters heal quarantine.
+  cluster_->CrashNode(victim);
+  crashed_.insert(victim);
+  Record(FaultKind::kDiskCorruption, /*heal=*/false, victim,
+         net::kInvalidNode, duration);
+  cluster_->sim()->After(duration, [this, victim]() {
+    if (crashed_.erase(victim) == 0) return;  // HealAll got there first.
+    cluster_->RestartNode(victim);
+    Record(FaultKind::kDiskCorruption, /*heal=*/true, victim,
+           net::kInvalidNode, 0);
+  });
+  return true;
+}
+
 void Nemesis::HealAll() {
   for (net::NodeId victim : crashed_) {
     cluster_->RestartNode(victim);
@@ -358,6 +415,14 @@ void Nemesis::HealAll() {
            0);
   }
   active_slow_.clear();
+  for (const auto& [victim, count] : active_disk_stall_) {
+    if (storage::SimDisk* d = cluster_->node(victim)->disk()) {
+      d->set_fsync_stall(0);
+    }
+    Record(FaultKind::kDiskStall, /*heal=*/true, victim, net::kInvalidNode,
+           0);
+  }
+  active_disk_stall_.clear();
 }
 
 }  // namespace nbraft::chaos

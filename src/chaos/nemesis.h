@@ -63,6 +63,8 @@ class Nemesis {
   bool InjectDelayStorm(SimDuration duration);
   bool InjectClockSkew(SimDuration duration);
   bool InjectSlowNode(SimDuration duration);
+  bool InjectDiskStall(SimDuration duration);
+  bool InjectDiskCorruption(SimDuration duration);
 
   /// Random up replica (excludes nemesis-crashed nodes), or kInvalidNode.
   net::NodeId PickUpNode();
@@ -85,6 +87,9 @@ class Nemesis {
   /// last one on that node expires).
   std::unordered_map<net::NodeId, int> active_skew_;
   std::unordered_map<net::NodeId, int> active_slow_;
+  std::unordered_map<net::NodeId, int> active_disk_stall_;
+  /// Corruptions injected so far (capped by plan.max_disk_corruptions).
+  int corruptions_injected_ = 0;
   /// Outstanding cuts (and flaps) so heals and HealAll can revert them.
   struct ActiveCut {
     uint64_t id;

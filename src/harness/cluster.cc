@@ -49,6 +49,8 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   options.snapshot_threshold = config_.snapshot_threshold;
   options.snapshot_keep_tail = config_.snapshot_keep_tail;
   options.wal_dir = config_.wal_dir;
+  options.disk = config_.disk;
+  options.backend_factory = config_.backend_factory;
   if (config_.profile == SystemProfile::kRatis) {
     // Ratis holds a heavier lock during indexing (paper Sec. II-F), moving
     // queue time into t_idx.
@@ -209,6 +211,7 @@ bool Cluster::AwaitLeader(SimDuration limit) {
 }
 
 void Cluster::CrashNode(int i) {
+  if (crash_observer_) crash_observer_(i);
   nodes_[static_cast<size_t>(i)]->Crash();
 }
 
@@ -219,7 +222,7 @@ void Cluster::RestartNode(int i) {
 int Cluster::CrashLeader() {
   for (size_t i = 0; i < nodes_.size(); ++i) {
     if (!nodes_[i]->crashed() && nodes_[i]->role() == raft::Role::kLeader) {
-      nodes_[i]->Crash();
+      CrashNode(static_cast<int>(i));
       return static_cast<int>(i);
     }
   }

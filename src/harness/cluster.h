@@ -1,6 +1,7 @@
 #ifndef NBRAFT_HARNESS_CLUSTER_H_
 #define NBRAFT_HARNESS_CLUSTER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -52,6 +53,16 @@ struct ClusterConfig {
 
   /// Real WAL durability directory forwarded to every node ("" = off).
   std::string wal_dir;
+
+  /// Simulated durable disk forwarded to every node (disk.enabled = on;
+  /// ignored when wal_dir is set — a real WAL wins). See raft::DiskOptions.
+  raft::DiskOptions disk;
+
+  /// Test hook forwarded to every node: builds the durable-log backend
+  /// instead of the wal_dir/disk selection (e.g. an injected failing
+  /// backend for storage-error-path tests).
+  std::function<std::unique_ptr<storage::LogBackend>(int64_t node_id)>
+      backend_factory;
   SimDuration election_timeout = Millis(500);
   SimDuration client_think = Micros(5);
 
@@ -144,6 +155,13 @@ class Cluster {
   void RestartNode(int i);
   /// Kills the current leader; returns its index or -1.
   int CrashLeader();
+
+  /// Called with the node index on every CrashNode/CrashLeader, *before*
+  /// the node's memory is wiped — the safety oracle audits the node's
+  /// durability claims (strong-ack frontier vs fsynced frontier) here.
+  void set_crash_observer(std::function<void(int)> observer) {
+    crash_observer_ = std::move(observer);
+  }
   /// Kills every client simultaneously (the paper's loss experiment kills
   /// leader and clients together).
   void StopAllClients();
@@ -216,6 +234,7 @@ class Cluster {
   std::unique_ptr<obs::Tracer> tracer_;
   std::unique_ptr<obs::Registry> registry_;
   std::unique_ptr<obs::Sampler> sampler_;
+  std::function<void(int)> crash_observer_;
   bool owns_log_clock_ = false;
 };
 

@@ -31,6 +31,8 @@ std::string_view PhaseNotation(Phase phase) {
       return "t_commit(L)";
     case Phase::kApply:
       return "t_apply(L)";
+    case Phase::kFsync:
+      return "t_fsync(D)";
     case Phase::kNumPhases:
       break;
   }
@@ -61,6 +63,8 @@ std::string_view PhaseDescription(Phase phase) {
       return "Time to mark an entry as committed by the leader";
     case Phase::kApply:
       return "Time to execute the command in an entry";
+    case Phase::kFsync:
+      return "Time an acknowledgement waits for its covering disk fsync";
     case Phase::kNumPhases:
       break;
   }

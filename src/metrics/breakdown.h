@@ -25,6 +25,7 @@ enum class Phase : int {
   kAck,             ///< t_ack(L): first append -> quorum appended.
   kCommit,          ///< t_commit(L): leader marks committed.
   kApply,           ///< t_apply(L): state machine executes the command.
+  kFsync,           ///< t_fsync(D): durable-log fsync covering the entry.
   kNumPhases,
 };
 

@@ -9,7 +9,9 @@ void VoteList::AddTuple(storage::LogIndex index, storage::Term term,
   Tuple& t = tuples_[index];
   t.term = term;
   t.required = required;
-  t.strong.insert(leader);
+  // kInvalidNode defers the leader's self-vote: with a simulated disk the
+  // leader only counts itself once its own fsync covers the entry.
+  if (leader != net::kInvalidNode) t.strong.insert(leader);
 }
 
 const VoteList::Tuple* VoteList::Find(storage::LogIndex index) const {

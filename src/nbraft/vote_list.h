@@ -32,7 +32,9 @@ class VoteList {
   };
 
   /// Registers a tuple when the leader starts replicating `index`. The
-  /// leader itself counts as strongly accepted (it appended locally).
+  /// leader itself counts as strongly accepted (it appended locally);
+  /// pass kInvalidNode to defer the self-vote until the leader's own
+  /// durable write completes (fsync-gated acknowledgement).
   void AddTuple(storage::LogIndex index, storage::Term term,
                 net::NodeId leader, int required);
 

@@ -113,11 +113,14 @@ void CommitApplier::MaybeTakeSnapshot() {
   ++ctx_->stats().snapshots_taken;
   ctx_->cpu()->Consume(PerKib(ctx_->options().costs.snapshot_cost_per_kib,
                               core.snapshot_data.size()));
+  ctx_->PersistSnapshot(core.snapshot_index, core.snapshot_term,
+                        core.snapshot_data, /*installed=*/false);
 
   const storage::LogIndex compact_upto = std::max<storage::LogIndex>(
       applied - ctx_->options().snapshot_keep_tail, log.FirstIndex() - 1);
   if (compact_upto >= log.FirstIndex()) {
     NBRAFT_CHECK(log.CompactPrefix(compact_upto).ok());
+    ctx_->PersistCompact(compact_upto);
   }
 }
 

@@ -40,6 +40,13 @@ void ElectionEngine::OnCrash() {
 
 void ElectionEngine::StartElection() {
   CoreState& core = ctx_->core();
+  if (core.heal_quarantine) {
+    // A corruption-truncated log must not seek leadership: it may be
+    // missing committed entries, and electing it (or splitting votes with
+    // it) could lose them. Sit out until healed from the leader.
+    ArmElectionTimer();
+    return;
+  }
   ++core.current_term;
   core.role = Role::kCandidate;
   core.voted_for = ctx_->id();
@@ -64,8 +71,25 @@ void ElectionEngine::StartElection() {
   req.candidate = ctx_->id();
   req.last_log_index = ctx_->log().LastIndex();
   req.last_log_term = ctx_->log().LastTerm();
-  for (net::NodeId peer : ctx_->peer_ids()) {
-    ctx_->SendTo(peer, req.WireSize(), req);
+  if (ctx_->DurabilityInstant()) {
+    for (net::NodeId peer : ctx_->peer_ids()) {
+      ctx_->SendTo(peer, req.WireSize(), req);
+    }
+  } else {
+    // The candidacy (term bump + self-vote) must be fsynced before anyone
+    // hears about it, or a crash could forget the vote and grant it again.
+    const uint64_t epoch = core.epoch;
+    const storage::Term term = core.current_term;
+    ctx_->WhenDurable([this, epoch, term, req]() {
+      const CoreState& c = ctx_->core();
+      if (c.crashed || epoch != c.epoch || c.current_term != term ||
+          c.role != Role::kCandidate) {
+        return;
+      }
+      for (net::NodeId peer : ctx_->peer_ids()) {
+        ctx_->SendTo(peer, req.WireSize(), req);
+      }
+    });
   }
   ArmElectionTimer();  // Retry with a fresh randomized timeout.
 }
@@ -79,9 +103,12 @@ void ElectionEngine::HandleRequestVote(RequestVoteRequest req) {
   resp.term = core.current_term;
   resp.from = ctx_->id();
   resp.granted = false;
-  if (req.term == core.current_term &&
+  if (req.term == core.current_term && !core.heal_quarantine &&
       (core.voted_for == net::kInvalidNode ||
        core.voted_for == req.candidate)) {
+    // A quarantined node grants no votes: its truncated log makes the
+    // up-to-date comparison unsound (it may vote against entries it once
+    // held committed).
     const storage::RaftLog& log = ctx_->log();
     const bool up_to_date =
         req.last_log_term > log.LastTerm() ||
@@ -93,6 +120,18 @@ void ElectionEngine::HandleRequestVote(RequestVoteRequest req) {
       ctx_->PersistHardState();
       ArmElectionTimer();
     }
+  }
+  if (resp.granted && !ctx_->DurabilityInstant()) {
+    // The vote is a durable promise: it must not reach the candidate
+    // before the fsync that remembers it.
+    const uint64_t epoch = core.epoch;
+    const net::NodeId candidate = req.candidate;
+    ctx_->WhenDurable([this, epoch, candidate, resp]() {
+      const CoreState& c = ctx_->core();
+      if (c.crashed || epoch != c.epoch) return;
+      ctx_->SendTo(candidate, resp.WireSize(), resp);
+    });
+    return;
   }
   ctx_->SendTo(req.candidate, resp.WireSize(), resp);
 }
@@ -148,10 +187,32 @@ void ElectionEngine::BecomeLeader() {
   ctx_->PersistEntry(noop);
   ++ctx_->stats().entries_appended;
   VoteList& vote_list = ctx_->applier()->vote_list();
-  vote_list.AddTuple(noop.index, noop.term, ctx_->id(), ctx_->quorum());
+  if (ctx_->DurabilityInstant()) {
+    vote_list.AddTuple(noop.index, noop.term, ctx_->id(), ctx_->quorum());
+    core.strong_ack_frontier =
+        std::max(core.strong_ack_frontier, noop.index);
+  } else {
+    // Same fsync-gated self-vote as IndexAndReplicate.
+    vote_list.AddTuple(noop.index, noop.term, net::kInvalidNode,
+                       ctx_->quorum());
+    const uint64_t epoch = core.epoch;
+    const storage::LogIndex index = noop.index;
+    const storage::Term term = noop.term;
+    ctx_->WhenDurable([this, epoch, index, term]() {
+      CoreState& c = ctx_->core();
+      if (c.crashed || epoch != c.epoch || c.role != Role::kLeader ||
+          c.current_term != term) {
+        return;
+      }
+      c.strong_ack_frontier = std::max(c.strong_ack_frontier, index);
+      ctx_->applier()->CommitIndices(
+          ctx_->applier()->vote_list().AddStrongUpTo(index, ctx_->id(),
+                                                     c.current_term));
+    });
+  }
   ctx_->applier()->OnLeaderAppended(noop.index);
   ctx_->pipeline()->ReplicateEntry(noop);
-  if (ctx_->peer_ids().empty()) {
+  if (ctx_->peer_ids().empty() && ctx_->DurabilityInstant()) {
     ctx_->applier()->CommitIndices(
         vote_list.AddStrongUpTo(noop.index, ctx_->id(), core.current_term));
   }

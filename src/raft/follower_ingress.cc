@@ -154,8 +154,21 @@ void FollowerIngress::ProcessEntry(const AppendEntriesRequest& req,
     if (entry.index >= log.FirstIndex()) {
       AdvanceFollowerCommit(req.leader_commit, entry.index);
     }
-    RespondAppend(req, AcceptState::kStrongAccept, log.LastIndex(),
-                  log.LastTerm());
+    if (ctx_->DurabilityInstant()) {
+      RespondAppend(req, AcceptState::kStrongAccept, log.LastIndex(),
+                    log.LastTerm());
+    } else {
+      // The duplicate was appended earlier but its covering fsync may
+      // still be in flight: a strong accept must wait for it.
+      const uint64_t epoch = core.epoch;
+      const storage::LogIndex last = log.LastIndex();
+      const storage::Term last_term = log.LastTerm();
+      ctx_->WhenDurable([this, epoch, req, last, last_term]() {
+        const CoreState& c = ctx_->core();
+        if (c.crashed || epoch != c.epoch) return;
+        RespondAppend(req, AcceptState::kStrongAccept, last, last_term);
+      });
+    }
     return;
   }
 
@@ -315,8 +328,17 @@ void FollowerIngress::ProcessBatch(AppendEntriesRequest req,
                          ctx_->Now() - cost, head.entry.term,
                          head.entry.index, head.entry.request_id);
         ++ctx_->stats().strong_accepts_sent;
-        RespondAppend(head, AcceptState::kStrongAccept, new_last,
-                      new_last_term);
+        if (ctx_->DurabilityInstant()) {
+          RespondAppend(head, AcceptState::kStrongAccept, new_last,
+                        new_last_term);
+        } else {
+          ctx_->WhenDurable([this, epoch, head, new_last, new_last_term]() {
+            const CoreState& c2 = ctx_->core();
+            if (c2.crashed || epoch != c2.epoch) return;
+            RespondAppend(head, AcceptState::kStrongAccept, new_last,
+                          new_last_term);
+          });
+        }
       });
 
   RecheckHeldEntries();
@@ -394,8 +416,19 @@ void FollowerIngress::AppendAndFlush(const AppendEntriesRequest& req,
                          ctx_->Now() - cost, req.entry.term,
                          req.entry.index, req.entry.request_id);
         ++ctx_->stats().strong_accepts_sent;
-        RespondAppend(req, AcceptState::kStrongAccept, new_last,
-                      new_last_term);
+        if (ctx_->DurabilityInstant()) {
+          RespondAppend(req, AcceptState::kStrongAccept, new_last,
+                        new_last_term);
+        } else {
+          // The strong accept claims durability: it leaves only after the
+          // fsync covering this append completes.
+          ctx_->WhenDurable([this, epoch, req, new_last, new_last_term]() {
+            const CoreState& c2 = ctx_->core();
+            if (c2.crashed || epoch != c2.epoch) return;
+            RespondAppend(req, AcceptState::kStrongAccept, new_last,
+                          new_last_term);
+          });
+        }
       });
 
   RecheckHeldEntries();
@@ -405,6 +438,14 @@ void FollowerIngress::RespondAppend(const AppendEntriesRequest& req,
                                     AcceptState state,
                                     storage::LogIndex last_index,
                                     storage::Term last_term) {
+  if (state == AcceptState::kStrongAccept) {
+    // The response claims everything through last_index is durably stored
+    // here; the safety oracle checks the claim against the fsynced
+    // frontier at crash time.
+    CoreState& core = ctx_->core();
+    core.strong_ack_frontier =
+        std::max(core.strong_ack_frontier, last_index);
+  }
   AppendEntriesResponse resp;
   resp.term = ctx_->core().current_term;
   resp.from = ctx_->id();
@@ -454,6 +495,13 @@ void FollowerIngress::AdvanceFollowerCommit(storage::LogIndex leader_commit,
     core.commit_index = target;
     ctx_->applier()->ApplyReadyEntries();
   }
+  if (core.heal_quarantine && core.commit_index >= core.heal_target) {
+    // The committed prefix covers the repaired image's old durable
+    // frontier: every index this node ever acknowledged is re-replicated
+    // and committed locally, so the corruption hole is closed and it is
+    // again safe to vote and stand for election.
+    ctx_->ClearHealQuarantine();
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -500,10 +548,16 @@ void FollowerIngress::HandleInstallSnapshot(InstallSnapshotRequest req) {
   core.snapshot_data = std::move(req.data);
   core.snapshot_index = req.last_included_index;
   core.snapshot_term = req.last_included_term;
+  ctx_->PersistSnapshot(core.snapshot_index, core.snapshot_term,
+                        core.snapshot_data, /*installed=*/true);
   window_.Clear();
   held_entries_.clear();
   recv_time_.clear();
   ++ctx_->stats().snapshots_installed;
+  if (core.heal_quarantine && core.commit_index >= core.heal_target) {
+    // The installed snapshot covers the lost committed prefix.
+    ctx_->ClearHealQuarantine();
+  }
 
   const SimDuration cost = PerKib(ctx_->options().costs.snapshot_cost_per_kib,
                                   core.snapshot_data.size());

@@ -1,10 +1,12 @@
 #ifndef NBRAFT_RAFT_NODE_CONTEXT_H_
 #define NBRAFT_RAFT_NODE_CONTEXT_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "common/random.h"
+#include "common/status.h"
 #include "metrics/breakdown.h"
 #include "net/network.h"
 #include "obs/tracer.h"
@@ -45,6 +47,25 @@ struct CoreState {
   std::string snapshot_data;
   storage::LogIndex snapshot_index = 0;
   storage::Term snapshot_term = 0;
+
+  // ---- Durability bookkeeping (volatile; the chaos oracle reads it) ----
+  /// Highest log index this node has claimed locally durable to the
+  /// outside: follower strong-accept responses and the leader's own
+  /// commit-quorum vote. Clamped down when the suffix is truncated (the
+  /// claim is revoked with the entries). At crash time the safety oracle
+  /// asserts it never exceeds the fsynced frontier.
+  storage::LogIndex strong_ack_frontier = 0;
+  /// Set when recovery detected corruption and cut durable suffix state:
+  /// the node rejoins as a non-candidate that grants no votes until its
+  /// committed prefix has healed from the leader (never serve — or elect
+  /// over — divergent state).
+  bool heal_quarantine = false;
+  /// The index the committed prefix must reach for the quarantine to
+  /// lift: the repaired image's durable entry frontier, i.e. the highest
+  /// index this node could ever have acknowledged before the rot. Once
+  /// commit_index covers it, every ack the node ever issued points at an
+  /// entry it provably holds again.
+  storage::LogIndex heal_target = 0;
 };
 
 /// The seam between the consensus engines and the node that hosts them:
@@ -83,6 +104,30 @@ class NodeContext {
   virtual void PersistEntry(const storage::LogEntry& entry) = 0;
   virtual void PersistTruncate(storage::LogIndex from_index) = 0;
   virtual void PersistHardState() = 0;
+  /// Records a snapshot boundary (`installed` = received from the leader)
+  /// and a prefix compaction in the durable record stream.
+  virtual void PersistSnapshot(storage::LogIndex index, storage::Term term,
+                               const std::string& data, bool installed) = 0;
+  virtual void PersistCompact(storage::LogIndex upto) = 0;
+
+  // ---- Durability barrier ----
+  /// True when persistence completes inline without consuming virtual
+  /// time (modelled durability or the real-file WAL). The engines take the
+  /// paper's original code paths in that case; only a simulated disk makes
+  /// acknowledgements wait for their covering fsync.
+  virtual bool DurabilityInstant() const = 0;
+  /// Runs `fn` once everything persisted so far is fsynced — inline when
+  /// it already is (always, for instant durability).
+  virtual void WhenDurable(std::function<void()> fn) = 0;
+  /// Highest entry index covered by a completed fsync (the whole log for
+  /// instant durability).
+  virtual storage::LogIndex DurableEntryFrontier() const = 0;
+  /// A write or fsync against the durable log failed: surface it (leader
+  /// steps down, follower halts) instead of aborting the process.
+  virtual void OnStorageFailure(const Status& status) = 0;
+  /// The committed prefix caught up with the leader after a corruption
+  /// recovery: lift the quarantine (and clear its durable scar).
+  virtual void ClearHealQuarantine() = 0;
   /// Accounts `end - start` to the Fig. 4 breakdown and, when traced,
   /// records the matching lifecycle span (one write site keeps the
   /// trace/Breakdown parity check exact).

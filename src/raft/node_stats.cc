@@ -27,6 +27,10 @@ std::string NodeStats::ToJson() const {
   out += counter("snapshots_taken", snapshots_taken);
   out += counter("snapshots_sent", snapshots_sent);
   out += counter("snapshots_installed", snapshots_installed);
+  out += counter("fsyncs_completed", fsyncs_completed);
+  out += counter("disk_bytes_written", disk_bytes_written);
+  out += counter("storage_failures", storage_failures);
+  out += counter("recoveries", recoveries);
   out += counter("append_rpcs_sent", append_rpcs_sent);
   out += counter("append_entries_sent", append_entries_sent);
   out += counter("batched_rpcs", batched_rpcs);

@@ -30,6 +30,12 @@ struct NodeStats {
   uint64_t snapshots_sent = 0;
   uint64_t snapshots_installed = 0;
 
+  // Durable storage (non-zero only with a real WAL or a simulated disk).
+  uint64_t fsyncs_completed = 0;
+  uint64_t disk_bytes_written = 0;  ///< Encoded record bytes staged.
+  uint64_t storage_failures = 0;    ///< Failed writes/fsyncs surfaced.
+  uint64_t recoveries = 0;          ///< Restarts that replayed durable state.
+
   // Replication pipeline RPC accounting (leader side, non-heartbeat).
   uint64_t append_rpcs_sent = 0;     ///< AppendEntries RPCs carrying entries.
   uint64_t append_entries_sent = 0;  ///< Entries those RPCs carried.

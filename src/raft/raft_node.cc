@@ -19,8 +19,7 @@ RaftNode::RaftNode(sim::Simulator* sim, net::SimNetwork* network,
       state_machine_(std::move(state_machine)),
       rng_(sim->rng()->Next()) {
   NBRAFT_CHECK(state_machine_ != nullptr);
-  NBRAFT_CHECK(options_.wal_dir.empty() || options_.snapshot_threshold <= 0)
-      << "real WAL durability does not persist compaction";
+  durability_ = std::make_unique<DurabilityCoordinator>(this);
   cpu_ = std::make_unique<sim::CpuExecutor>(
       sim_, options_.cpu_lanes, "node" + std::to_string(id_) + ".cpu");
   cpu_->set_switch_cost(options_.costs.context_switch_cost,
@@ -46,9 +45,15 @@ void RaftNode::Start() {
   started_ = true;
   if (!options_.wal_dir.empty()) {
     RecoverFromWal();
-    durable_ = std::make_unique<storage::DurableLog>();
-    NBRAFT_CHECK(durable_->Open(WalPath()).ok());
+  } else if (options_.disk.enabled) {
+    storage::SimDisk::Options dopts;
+    dopts.write_latency = options_.disk.write_latency;
+    dopts.fsync_latency = options_.disk.fsync_latency;
+    dopts.bytes_per_us = options_.disk.bytes_per_us;
+    dopts.fault_seed = options_.disk.fault_seed;
+    disk_ = std::make_unique<storage::SimDisk>(sim_, dopts, id_);
   }
+  OpenDurableLog();
   network_->RegisterEndpoint(
       id_, [this](net::Message&& msg) { HandleMessage(std::move(msg)); });
   election_->ArmElectionTimer();
@@ -69,8 +74,13 @@ void RaftNode::Crash() {
   core_.leader = net::kInvalidNode;
   if (durable_ != nullptr) {
     // Real durability: everything in memory dies with the process; only
-    // the WAL file survives.
-    NBRAFT_CHECK(durable_->Close().ok());
+    // the durable image (WAL file or simulated disk) survives.
+    durability_->Detach();
+    const Status closed = durable_->Close();
+    if (!closed.ok()) {
+      NBRAFT_LOG(Warn) << "node " << id_
+                       << ": durable log close failed: " << closed.ToString();
+    }
     durable_.reset();
     log_ = storage::RaftLog();
     core_.current_term = 0;
@@ -81,7 +91,13 @@ void RaftNode::Crash() {
     core_.snapshot_data.clear();
     core_.snapshot_index = 0;
     core_.snapshot_term = 0;
+    core_.strong_ack_frontier = 0;
+    core_.heal_quarantine = false;
+    core_.heal_target = 0;
+    storage_failure_pending_ = false;
     state_machine_->Reset();
+    // Power loss on the simulated disk: un-fsynced records tear off.
+    if (disk_ != nullptr) disk_->Crash();
   }
 }
 
@@ -91,9 +107,10 @@ void RaftNode::Restart() {
   ++core_.epoch;
   if (!options_.wal_dir.empty()) {
     RecoverFromWal();
-    durable_ = std::make_unique<storage::DurableLog>();
-    NBRAFT_CHECK(durable_->Open(WalPath()).ok());
+  } else if (disk_ != nullptr) {
+    RecoverFromDisk();
   }
+  OpenDurableLog();
   network_->SetNodeUp(id_, true);
   election_->ArmElectionTimer();
 }
@@ -200,22 +217,79 @@ std::string RaftNode::WalPath() const {
   return options_.wal_dir + "/node_" + std::to_string(id_) + ".wal";
 }
 
+void RaftNode::OpenDurableLog() {
+  if (!options_.wal_dir.empty()) {
+    durable_ = std::make_unique<storage::DurableLog>();
+    NBRAFT_CHECK(durable_->Open(WalPath()).ok());
+  } else if (disk_ != nullptr) {
+    durable_ = std::make_unique<storage::DurableLog>();
+    durable_->OpenWith(std::make_unique<storage::SimDiskBackend>(disk_.get()));
+  } else if (options_.backend_factory) {
+    durable_ = std::make_unique<storage::DurableLog>();
+    durable_->OpenWith(options_.backend_factory(id_));
+  }
+  // durable_ may be null: modelled durability, nothing to coordinate.
+  durability_->Attach(durable_.get(), log_.LastIndex());
+}
+
 void RaftNode::PersistEntry(const storage::LogEntry& entry) {
-  if (durable_ == nullptr) return;
-  NBRAFT_CHECK(durable_->AppendEntry(entry).ok());
+  durability_->PersistEntry(entry);
 }
 
 void RaftNode::PersistTruncate(storage::LogIndex from_index) {
-  if (durable_ == nullptr) return;
-  NBRAFT_CHECK(durable_->AppendTruncate(from_index).ok());
+  // Truncated entries take their durability claims with them.
+  core_.strong_ack_frontier =
+      std::min(core_.strong_ack_frontier, from_index - 1);
+  durability_->PersistTruncate(from_index);
 }
 
 void RaftNode::PersistHardState() {
-  if (durable_ == nullptr) return;
-  storage::DurableLog::HardState hs;
-  hs.term = core_.current_term;
-  hs.voted_for = core_.voted_for;
-  NBRAFT_CHECK(durable_->AppendHardState(hs).ok());
+  durability_->PersistHardState(core_.current_term, core_.voted_for);
+}
+
+void RaftNode::PersistSnapshot(storage::LogIndex index, storage::Term term,
+                               const std::string& data, bool installed) {
+  durability_->PersistSnapshot(index, term, nbraft::Buffer(data), installed);
+}
+
+void RaftNode::PersistCompact(storage::LogIndex upto) {
+  durability_->PersistCompact(upto);
+}
+
+storage::LogIndex RaftNode::DurableEntryFrontier() const {
+  // Instant (or modelled) durability: everything appended is durable.
+  if (durability_->instant()) return log_.LastIndex();
+  return durability_->durable_entry_frontier();
+}
+
+void RaftNode::OnStorageFailure(const Status& status) {
+  NBRAFT_LOG(Warn) << "node " << id_
+                   << ": storage failure: " << status.ToString();
+  if (storage_failure_pending_ || core_.crashed) return;
+  storage_failure_pending_ = true;
+  // Deferred one event so the failing persist call unwinds first: its
+  // caller may still be mutating engine state.
+  const uint64_t epoch = core_.epoch;
+  sim_->After(0, [this, epoch]() {
+    storage_failure_pending_ = false;
+    if (core_.crashed || epoch != core_.epoch) return;
+    if (core_.role == Role::kLeader) {
+      // A leader that cannot persist must not keep acknowledging: hand
+      // leadership off. The same-term step-down persists nothing, so this
+      // cannot recurse into another storage failure.
+      election_->StepDown(core_.current_term, net::kInvalidNode);
+    } else {
+      // A follower that cannot persist halts loudly rather than serving
+      // acknowledgements it cannot back.
+      Crash();
+    }
+  });
+}
+
+void RaftNode::ClearHealQuarantine() {
+  core_.heal_quarantine = false;
+  core_.heal_target = 0;
+  if (disk_ != nullptr) disk_->ClearHealScar();
 }
 
 void RaftNode::RecoverFromWal() {
@@ -223,11 +297,53 @@ void RaftNode::RecoverFromWal() {
   if (!std::filesystem::exists(path)) return;  // Fresh node.
   auto recovered = storage::DurableLog::Recover(path);
   NBRAFT_CHECK(recovered.ok()) << recovered.status().ToString();
-  log_ = std::move(recovered->log);
-  core_.current_term = recovered->hard_state.term;
-  core_.voted_for = recovered->hard_state.voted_for;
+  ApplyRecovered(std::move(recovered).value());
+}
+
+void RaftNode::RecoverFromDisk() {
+  auto recovered = storage::DurableLog::RecoverFromDisk(*disk_);
+  if (recovered.corrupt_dropped_records > 0) {
+    // fsck: cut the image at the corrupt record so post-heal appends land
+    // on a clean stream. The scar keeps the quarantine across crashes.
+    disk_->RepairCorruptTail();
+  }
+  ApplyRecovered(std::move(recovered));
+  if (disk_->heal_scar()) {
+    core_.heal_quarantine = true;
+    core_.heal_target = std::max(core_.heal_target, disk_->scar_frontier());
+  }
+}
+
+void RaftNode::ApplyRecovered(storage::DurableLog::RecoveredState&& recovered) {
+  log_ = std::move(recovered.log);
+  core_.current_term = recovered.hard_state.term;
+  core_.voted_for = recovered.hard_state.voted_for;
+  if (recovered.has_snapshot) {
+    core_.snapshot_data = recovered.snapshot_data.str();
+    core_.snapshot_index = recovered.snapshot_index;
+    core_.snapshot_term = recovered.snapshot_term;
+    NBRAFT_CHECK(state_machine_->Restore(core_.snapshot_data).ok());
+    // The snapshot covers the committed prefix through its index; apply
+    // resumes past it.
+    core_.commit_index = recovered.snapshot_index;
+    core_.applied_index = recovered.snapshot_index;
+    core_.apply_scheduled_up_to = recovered.snapshot_index;
+  }
+  if (recovered.corrupt_dropped_records > 0) {
+    core_.heal_quarantine = true;
+    // Conservative floor; RecoverFromDisk raises it to the repaired
+    // image's exact pre-cut durable frontier.
+    core_.heal_target = std::max(core_.heal_target, log_.LastIndex());
+  }
+  ++stats_.recoveries;
   NBRAFT_LOG(Info) << "node " << id_ << " recovered " << log_.LastIndex()
-                   << " entries, term " << core_.current_term << " from WAL";
+                   << " entries, term " << core_.current_term
+                   << (recovered.has_snapshot ? ", snapshot at " : "")
+                   << (recovered.has_snapshot
+                           ? std::to_string(core_.snapshot_index)
+                           : "")
+                   << (core_.heal_quarantine ? ", QUARANTINED (corruption)"
+                                             : "");
 }
 
 }  // namespace nbraft::raft

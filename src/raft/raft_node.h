@@ -11,6 +11,7 @@
 #include "net/network.h"
 #include "obs/tracer.h"
 #include "raft/commit_applier.h"
+#include "raft/durability.h"
 #include "raft/election_engine.h"
 #include "raft/follower_ingress.h"
 #include "raft/node_context.h"
@@ -21,6 +22,7 @@
 #include "sim/simulator.h"
 #include "storage/durable_log.h"
 #include "storage/raft_log.h"
+#include "storage/sim_disk.h"
 #include "tsdb/state_machine.h"
 
 namespace nbraft::raft {
@@ -75,6 +77,15 @@ class RaftNode : public NodeContext {
   storage::LogIndex applied_index() const { return core_.applied_index; }
   const SlidingWindow& window() const { return ingress_->window(); }
   const VoteList& vote_list() const { return applier_->vote_list(); }
+  /// Highest index this node has claimed durably stored (safety oracle).
+  storage::LogIndex strong_ack_frontier() const {
+    return core_.strong_ack_frontier;
+  }
+  bool heal_quarantine() const { return core_.heal_quarantine; }
+  /// The node's simulated disk, if configured (chaos fault injection).
+  /// Survives crash/restart cycles — it is the durable image.
+  storage::SimDisk* disk() { return disk_.get(); }
+  const storage::SimDisk* disk() const { return disk_.get(); }
   const RaftOptions& options() const override { return options_; }
   const tsdb::StateMachine& state_machine() const { return *state_machine_; }
   tsdb::StateMachine* mutable_state_machine() override {
@@ -136,6 +147,16 @@ class RaftNode : public NodeContext {
   void PersistEntry(const storage::LogEntry& entry) override;
   void PersistTruncate(storage::LogIndex from_index) override;
   void PersistHardState() override;
+  void PersistSnapshot(storage::LogIndex index, storage::Term term,
+                       const std::string& data, bool installed) override;
+  void PersistCompact(storage::LogIndex upto) override;
+  bool DurabilityInstant() const override { return durability_->instant(); }
+  void WhenDurable(std::function<void()> fn) override {
+    durability_->WhenDurable(std::move(fn));
+  }
+  storage::LogIndex DurableEntryFrontier() const override;
+  void OnStorageFailure(const Status& status) override;
+  void ClearHealQuarantine() override;
   void TracePhase(metrics::Phase phase, SimTime start, SimTime end,
                   int64_t term, int64_t index,
                   uint64_t request_id = 0) override;
@@ -152,10 +173,19 @@ class RaftNode : public NodeContext {
   // ---- Reads ----
   void HandleReadRequest(ReadRequest req);
 
-  // ---- Durability (real WAL; active when options.wal_dir is set) ----
+  // ---- Durability (wal_dir file, simulated disk, or injected backend) ----
   std::string WalPath() const;
-  /// Replays the WAL into log/term/vote (no-op without wal_dir).
+  /// Replays the WAL file into log/term/vote/snapshot (skips fresh nodes).
   void RecoverFromWal();
+  /// Folds the simulated disk's durable record stream back into memory and
+  /// repairs (quarantining) a corruption-cut stream.
+  void RecoverFromDisk();
+  /// Installs a recovered state: log, hard state, snapshot restore, heal
+  /// quarantine on corruption.
+  void ApplyRecovered(storage::DurableLog::RecoveredState&& recovered);
+  /// Builds this lifetime's DurableLog for the configured mode (if any)
+  /// and points the coordinator at it.
+  void OpenDurableLog();
 
   sim::Simulator* sim_;
   net::SimNetwork* network_;
@@ -176,8 +206,15 @@ class RaftNode : public NodeContext {
   storage::RaftLog log_;
   bool started_ = false;
 
-  /// Real write-ahead log (nullptr in modelled-durability mode).
+  /// Real write-ahead log (nullptr in modelled-durability mode). Non-null
+  /// implies a crash wipes all in-memory state and Restart recovers it.
   std::unique_ptr<storage::DurableLog> durable_;
+  /// Simulated disk image (options.disk.enabled); outlives crashes.
+  std::unique_ptr<storage::SimDisk> disk_;
+  /// Fsync barriers + ack gating over durable_.
+  std::unique_ptr<DurabilityCoordinator> durability_;
+  /// Collapses a burst of storage failures into one step-down/halt.
+  bool storage_failure_pending_ = false;
 
   obs::Tracer* tracer_ = nullptr;
   NodeStats stats_;

@@ -2,10 +2,16 @@
 #define NBRAFT_RAFT_TYPES_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 
 #include "common/sim_time.h"
+
+namespace nbraft::storage {
+class LogBackend;
+}  // namespace nbraft::storage
 
 namespace nbraft::raft {
 
@@ -89,6 +95,27 @@ struct CostModel {
   SimDuration max_switch_overhead = Micros(3);
 };
 
+/// Simulated durable-disk configuration. With `enabled` set, each node
+/// stores its durable log on a deterministic simulated disk: writes and
+/// fsyncs cost virtual time on a dedicated I/O lane, un-fsynced records
+/// are torn off by a crash, and acknowledgements wait for the covering
+/// fsync (group commit batches records per barrier). All-zero latencies
+/// still run the full durability machinery — they just make it free.
+struct DiskOptions {
+  bool enabled = false;
+  SimDuration write_latency = 0;  ///< Media write cost per record.
+  SimDuration fsync_latency = 0;  ///< Barrier cost per fsync.
+  /// Sustained media bandwidth in bytes/µs of virtual time; 0 = no charge.
+  double bytes_per_us = 0.0;
+  /// Batch every record staged while a sync is in flight under the next
+  /// single barrier (one fsync amortized over many records). Off = one
+  /// fsync per persisted record, serialized on the I/O lane.
+  bool group_commit = true;
+  /// Seed for the disk fault injector (torn-tail draws, corruption
+  /// placement); independent of the simulator rng.
+  uint64_t fault_seed = 1;
+};
+
 /// Per-node protocol configuration. A single RaftNode implements every
 /// variant; the flags compose (NB-Raft + CRaft = window_size > 0 plus
 /// erasure = true), and all-flags-off with window_size = 0 is original Raft.
@@ -149,10 +176,20 @@ struct RaftOptions {
 
   /// When non-empty, the node keeps a REAL write-ahead log under this
   /// directory: a crash drops all in-memory state and a restart recovers
-  /// the log, term and vote from the file (the durable-log assumption of
-  /// the paper's Sec. IV made concrete). Incompatible with
-  /// snapshot_threshold (compaction is not persisted).
+  /// the log, term, vote and snapshot/compaction boundaries from the file
+  /// (the durable-log assumption of the paper's Sec. IV made concrete).
+  /// Takes precedence over `disk.enabled`.
   std::string wal_dir;
+
+  /// Simulated durable disk (ignored when wal_dir is set).
+  DiskOptions disk;
+
+  /// Test hook: builds the node's durable-log backend instead of the
+  /// wal_dir / disk selection above (e.g. an injected failing backend for
+  /// storage-error-path tests). Implies durable semantics: a crash wipes
+  /// memory.
+  std::function<std::unique_ptr<storage::LogBackend>(int64_t node_id)>
+      backend_factory;
 
   CostModel costs;
 };

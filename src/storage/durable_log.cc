@@ -1,27 +1,35 @@
 #include "storage/durable_log.h"
 
 #include "common/logging.h"
+#include "storage/sim_disk.h"
 
 namespace nbraft::storage {
 
-Status DurableLog::Open(const std::string& path) { return wal_.Open(path); }
+Status DurableLog::Open(const std::string& path) {
+  auto backend = std::make_unique<WalFileBackend>();
+  Status s = backend->Open(path);
+  if (!s.ok()) return s;
+  backend_ = std::move(backend);
+  return Status::Ok();
+}
 
-Status DurableLog::Close() { return wal_.Close(); }
+Status DurableLog::Close() {
+  if (backend_ == nullptr) return Status::Ok();
+  Status s = backend_->Close();
+  backend_.reset();
+  return s;
+}
 
 Status DurableLog::AppendEntry(const LogEntry& entry) {
   NBRAFT_CHECK_GE(entry.index, 1) << "marker indices are reserved";
-  Status s = wal_.Append(entry);
-  if (!s.ok()) return s;
-  return wal_.Sync();
+  return backend_->Append(entry);
 }
 
 Status DurableLog::AppendTruncate(LogIndex from_index) {
   LogEntry marker;
   marker.index = kTruncateMarker;
   marker.term = from_index;  // Payload slot for the truncation point.
-  Status s = wal_.Append(marker);
-  if (!s.ok()) return s;
-  return wal_.Sync();
+  return backend_->Append(marker);
 }
 
 Status DurableLog::AppendHardState(const HardState& state) {
@@ -29,9 +37,69 @@ Status DurableLog::AppendHardState(const HardState& state) {
   marker.index = kHardStateMarker;
   marker.term = state.term;
   marker.client_id = state.voted_for;
-  Status s = wal_.Append(marker);
-  if (!s.ok()) return s;
-  return wal_.Sync();
+  return backend_->Append(marker);
+}
+
+Status DurableLog::AppendCompact(LogIndex upto) {
+  LogEntry marker;
+  marker.index = kCompactMarker;
+  marker.term = upto;  // Payload slot for the compaction point.
+  return backend_->Append(marker);
+}
+
+Status DurableLog::AppendSnapshot(LogIndex index, Term term,
+                                  const nbraft::Buffer& data,
+                                  bool installed) {
+  LogEntry marker;
+  marker.index = kSnapshotMarker;
+  marker.term = index;       // Last included index.
+  marker.prev_term = term;   // Last included term.
+  marker.client_id = installed ? 1 : 0;
+  marker.payload = data;
+  return backend_->Append(marker);
+}
+
+void DurableLog::Sync(std::function<void(Status)> done) {
+  backend_->Sync(std::move(done));
+}
+
+void DurableLog::FoldRecord(LogEntry entry, RecoveredState* out) {
+  ++out->records;
+  switch (entry.index) {
+    case kTruncateMarker: {
+      // Truncations in the stream always refer to live suffixes.
+      const LogIndex from = entry.term;
+      if (from <= out->log.LastIndex()) {
+        NBRAFT_CHECK(out->log.TruncateSuffix(from).ok());
+      }
+      return;
+    }
+    case kHardStateMarker:
+      out->hard_state.term = entry.term;
+      out->hard_state.voted_for = entry.client_id;
+      return;
+    case kCompactMarker: {
+      const LogIndex upto = entry.term;
+      if (upto >= out->log.FirstIndex() && upto <= out->log.LastIndex()) {
+        NBRAFT_CHECK(out->log.CompactPrefix(upto).ok());
+      }
+      return;
+    }
+    case kSnapshotMarker: {
+      out->has_snapshot = true;
+      out->snapshot_index = entry.term;
+      out->snapshot_term = entry.prev_term;
+      out->snapshot_data = entry.payload;
+      if (entry.client_id == 1) {
+        // Installed from the leader: the log restarts past the snapshot.
+        out->log.ResetToSnapshot(out->snapshot_index, out->snapshot_term);
+      }
+      return;
+    }
+    default:
+      out->log.Append(std::move(entry));
+      return;
+  }
 }
 
 Result<DurableLog::RecoveredState> DurableLog::Recover(
@@ -39,27 +107,27 @@ Result<DurableLog::RecoveredState> DurableLog::Recover(
   RecoveredState out;
   size_t torn = 0;
   Status replayed = Wal::Replay(
-      path,
-      [&out](LogEntry entry) {
-        ++out.records;
-        if (entry.index == kTruncateMarker) {
-          // Truncations in the stream always refer to live suffixes.
-          const LogIndex from = entry.term;
-          if (from <= out.log.LastIndex()) {
-            NBRAFT_CHECK(out.log.TruncateSuffix(from).ok());
-          }
-          return;
-        }
-        if (entry.index == kHardStateMarker) {
-          out.hard_state.term = entry.term;
-          out.hard_state.voted_for = entry.client_id;
-          return;
-        }
-        out.log.Append(std::move(entry));
-      },
+      path, [&out](LogEntry entry) { FoldRecord(std::move(entry), &out); },
       &torn);
   if (!replayed.ok()) return replayed;
   out.truncated_tail_bytes = torn;
+  return out;
+}
+
+DurableLog::RecoveredState DurableLog::RecoverFromDisk(const SimDisk& disk) {
+  RecoveredState out;
+  const auto& records = disk.records();
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (records[i].corrupt) {
+      // Bit rot cuts the stream: the corrupt record and everything after
+      // it are gone, exactly as if the node had crashed before writing
+      // them. The caller quarantines the node until it heals.
+      out.corrupt_dropped_records = records.size() - i;
+      break;
+    }
+    FoldRecord(records[i].entry, &out);
+  }
+  out.truncated_tail_bytes = disk.torn_tail_bytes();
   return out;
 }
 

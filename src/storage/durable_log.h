@@ -2,27 +2,53 @@
 #define NBRAFT_STORAGE_DURABLE_LOG_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
+#include <utility>
 
+#include "common/buffer.h"
 #include "common/status.h"
 #include "net/network.h"
+#include "storage/log_backend.h"
 #include "storage/raft_log.h"
 #include "storage/wal.h"
 
 namespace nbraft::storage {
 
-/// The durable face of a Raft replica: a typed write-ahead log holding the
-/// three things Raft requires to survive a crash — the entry log (with
-/// truncations), the current term, and the vote. Recovery folds the record
-/// stream back into a RaftLog + hard state.
+class SimDisk;
+
+/// The durable face of a Raft replica: a typed write-ahead log holding
+/// everything Raft requires to survive a crash — the entry log (with
+/// truncations), the current term, the vote, and snapshot/compaction
+/// boundaries. Recovery folds the record stream back into a RaftLog + hard
+/// state + snapshot.
 ///
-/// Record stream format (each record framed by the Wal entry codec):
-///   * append:   the LogEntry itself;
-///   * truncate: a marker entry (sentinel index scheme) naming the first
+/// Record stream format (each record framed by the Wal entry codec; the
+/// byte sink behind it is a pluggable LogBackend — real file or simulated
+/// disk):
+///   * append:     the LogEntry itself;
+///   * truncate:   a marker entry (sentinel index scheme) naming the first
 ///     removed index;
-///   * hard state: a marker entry carrying (term, voted_for).
+///   * hard state: a marker entry carrying (term, voted_for);
+///   * compact:    a marker naming the last compacted index (follows a
+///     snapshot record);
+///   * snapshot:   a marker carrying (last included index, term) plus the
+///     state-machine image, flagged local (taken here) or installed
+///     (received from the leader).
+///
+/// Appends stage records; durability is the covering Sync's business (the
+/// raft layer's DurabilityCoordinator drives it, batching records per
+/// fsync under group commit).
 class DurableLog {
  public:
+  // Marker records use impossible indices to distinguish record kinds:
+  // real entries always have index >= 1.
+  static constexpr LogIndex kTruncateMarker = -1;
+  static constexpr LogIndex kHardStateMarker = -2;
+  static constexpr LogIndex kCompactMarker = -3;
+  static constexpr LogIndex kSnapshotMarker = -4;
+
   struct HardState {
     Term term = 0;
     net::NodeId voted_for = net::kInvalidNode;
@@ -33,35 +59,72 @@ class DurableLog {
     HardState hard_state;
     size_t records = 0;
     size_t truncated_tail_bytes = 0;  ///< Torn tail dropped, if any.
+    /// Latest snapshot in the stream (local or installed); when present the
+    /// state machine restores from it and apply resumes past it.
+    bool has_snapshot = false;
+    LogIndex snapshot_index = 0;
+    Term snapshot_term = 0;
+    nbraft::Buffer snapshot_data;
+    /// Records dropped because a CRC-detected corrupt record cut the
+    /// stream (the corrupt record and everything after it). Non-zero means
+    /// the node lost durable suffix state and must heal from the leader
+    /// before participating in elections again.
+    size_t corrupt_dropped_records = 0;
   };
 
   DurableLog() = default;
 
-  /// Opens (creating if needed) the node's WAL file.
+  /// Opens (creating if needed) a real WAL file backend at `path`.
   Status Open(const std::string& path);
-  Status Close();
-  bool is_open() const { return wal_.is_open(); }
 
-  /// Durably records an appended entry.
+  /// Adopts an externally built backend (simulated disk, test double).
+  void OpenWith(std::unique_ptr<LogBackend> backend) {
+    backend_ = std::move(backend);
+  }
+
+  Status Close();
+  bool is_open() const { return backend_ != nullptr; }
+
+  /// True when Sync completes inline without consuming virtual time.
+  bool instant() const {
+    return backend_ == nullptr || backend_->instant();
+  }
+
+  /// Stages an appended entry. Durable after a covering Sync.
   Status AppendEntry(const LogEntry& entry);
 
-  /// Durably records a suffix truncation starting at `from_index`.
+  /// Stages a suffix truncation starting at `from_index`.
   Status AppendTruncate(LogIndex from_index);
 
-  /// Durably records a term/vote change.
+  /// Stages a term/vote change.
   Status AppendHardState(const HardState& state);
+
+  /// Stages a prefix compaction up to and including `upto`.
+  Status AppendCompact(LogIndex upto);
+
+  /// Stages a snapshot boundary: `installed` distinguishes a snapshot
+  /// received via InstallSnapshot (which resets the log) from one taken
+  /// locally (which leaves the log to a following compact record).
+  Status AppendSnapshot(LogIndex index, Term term,
+                        const nbraft::Buffer& data, bool installed);
+
+  /// Forwards a durability barrier to the backend.
+  void Sync(std::function<void(Status)> done);
 
   /// Folds `path`'s record stream into a recovered log + hard state.
   /// Tolerates a torn final record (crash mid-write).
   static Result<RecoveredState> Recover(const std::string& path);
 
- private:
-  // Marker entries use impossible indices to distinguish record kinds:
-  // real entries always have index >= 1.
-  static constexpr LogIndex kTruncateMarker = -1;
-  static constexpr LogIndex kHardStateMarker = -2;
+  /// Folds a simulated disk's durable record stream. Never fails: a
+  /// corrupt record cuts the stream there (reported via
+  /// `corrupt_dropped_records`), matching the file path's torn-tail
+  /// tolerance.
+  static RecoveredState RecoverFromDisk(const SimDisk& disk);
 
-  Wal wal_;
+ private:
+  static void FoldRecord(LogEntry entry, RecoveredState* out);
+
+  std::unique_ptr<LogBackend> backend_;
 };
 
 }  // namespace nbraft::storage

@@ -7,6 +7,31 @@
 
 namespace nbraft::storage {
 
+namespace {
+
+size_t VarintLen(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+size_t VarintSignedLen(int64_t v) { return VarintLen(ZigZagEncode(v)); }
+
+}  // namespace
+
+size_t LogEntry::EncodedSize() const {
+  const size_t body =
+      VarintSignedLen(index) + VarintSignedLen(term) +
+      VarintSignedLen(prev_term) + VarintSignedLen(client_id) +
+      VarintLen(request_id) + VarintSignedLen(frag_shard) +
+      VarintLen(frag_k) + VarintLen(full_size) + VarintLen(payload.size()) +
+      payload.size();
+  return VarintLen(body) + body + 4;  // Length prefix + body + CRC32C.
+}
+
 void LogEntry::EncodeTo(std::string* out) const {
   std::string body;
   PutVarintSigned64(&body, index);

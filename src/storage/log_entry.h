@@ -71,6 +71,10 @@ struct LogEntry {
   /// Serializes to a self-delimiting binary record with a CRC32C trailer.
   void EncodeTo(std::string* out) const;
 
+  /// Exact byte size of EncodeTo's output, computed without encoding. The
+  /// simulated disk charges bandwidth and sizes torn tails from this.
+  size_t EncodedSize() const;
+
   /// Decodes one record from the front of `*in`, advancing it.
   static Result<LogEntry> DecodeFrom(std::string_view* in);
 

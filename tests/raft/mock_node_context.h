@@ -78,6 +78,16 @@ class MockNodeContext : public raft::NodeContext {
   void PersistEntry(const storage::LogEntry&) override {}
   void PersistTruncate(storage::LogIndex) override {}
   void PersistHardState() override {}
+  void PersistSnapshot(storage::LogIndex, storage::Term, const std::string&,
+                       bool) override {}
+  void PersistCompact(storage::LogIndex) override {}
+  bool DurabilityInstant() const override { return true; }
+  void WhenDurable(std::function<void()> fn) override { fn(); }
+  storage::LogIndex DurableEntryFrontier() const override {
+    return log_.LastIndex();
+  }
+  void OnStorageFailure(const Status&) override {}
+  void ClearHealQuarantine() override { core_.heal_quarantine = false; }
   void TracePhase(metrics::Phase phase, SimTime start, SimTime end,
                   int64_t, int64_t, uint64_t) override {
     stats_.breakdown.Add(phase, end - start);

@@ -110,5 +110,51 @@ TEST_F(DurableLogTest, MixedHistoryReplaysInOrder) {
   EXPECT_EQ(recovered->hard_state.voted_for, net::kInvalidNode);
 }
 
+TEST_F(DurableLogTest, LocalSnapshotAndCompactionRecovered) {
+  {
+    DurableLog dl;
+    ASSERT_TRUE(dl.Open(path_.string()).ok());
+    for (int i = 1; i <= 6; ++i) {
+      ASSERT_TRUE(dl.AppendEntry(MakeEntry(i, 1, i == 1 ? 0 : 1)).ok());
+    }
+    ASSERT_TRUE(dl.AppendSnapshot(4, 1, nbraft::Buffer(std::string("image")),
+                                  /*installed=*/false)
+                    .ok());
+    ASSERT_TRUE(dl.AppendCompact(4).ok());
+    ASSERT_TRUE(dl.Close().ok());
+  }
+  auto recovered = DurableLog::Recover(path_.string());
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(recovered->has_snapshot);
+  EXPECT_EQ(recovered->snapshot_index, 4);
+  EXPECT_EQ(recovered->snapshot_term, 1);
+  EXPECT_EQ(recovered->snapshot_data.str(), "image");
+  // The compaction kept the tail: entries 5..6 remain replayable.
+  EXPECT_EQ(recovered->log.FirstIndex(), 5);
+  EXPECT_EQ(recovered->log.LastIndex(), 6);
+}
+
+TEST_F(DurableLogTest, InstalledSnapshotResetsLog) {
+  {
+    DurableLog dl;
+    ASSERT_TRUE(dl.Open(path_.string()).ok());
+    for (int i = 1; i <= 3; ++i) {
+      ASSERT_TRUE(dl.AppendEntry(MakeEntry(i, 1, i == 1 ? 0 : 1)).ok());
+    }
+    // A leader-installed snapshot supersedes the local log entirely.
+    ASSERT_TRUE(dl.AppendSnapshot(10, 2, nbraft::Buffer(std::string("inst")),
+                                  /*installed=*/true)
+                    .ok());
+    ASSERT_TRUE(dl.AppendEntry(MakeEntry(11, 2, 2)).ok());
+    ASSERT_TRUE(dl.Close().ok());
+  }
+  auto recovered = DurableLog::Recover(path_.string());
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(recovered->has_snapshot);
+  EXPECT_EQ(recovered->snapshot_index, 10);
+  EXPECT_EQ(recovered->log.FirstIndex(), 11);
+  EXPECT_EQ(recovered->log.LastIndex(), 11);
+}
+
 }  // namespace
 }  // namespace nbraft::storage
