@@ -6,8 +6,11 @@
 //   ./build/examples/chaos_demo [seed] [trace_dir]
 //
 // With a trace_dir, chaos_demo writes <trace_dir>/chaos_<seed>.json —
-// open it in https://ui.perfetto.dev to see chaos_* fault instants lined
-// up with per-entry lifecycle spans.
+// open it in https://ui.perfetto.dev to see chaos.* fault instants lined
+// up with per-entry lifecycle spans — plus the full observability bundle
+// (compressed metric series, flight-recorder journal, Prometheus/JSON
+// snapshots) under <trace_dir>/obs_<seed>/, renderable with
+// tools/obs_report.py.
 
 #include <cstdio>
 #include <cstdlib>
@@ -49,9 +52,16 @@ chaos::ChaosPlan DemoPlan(uint64_t seed) {
 }
 
 chaos::ChaosReport RunOne(raft::Protocol protocol, uint64_t seed,
-                          const std::string& trace_path, bool verbose) {
+                          const std::string& trace_path,
+                          const std::string& obs_dir, bool verbose) {
   harness::ClusterConfig config = DemoConfig(protocol, seed);
   if (!trace_path.empty()) config.trace_path = trace_path;
+  if (!obs_dir.empty()) {
+    // Full pipeline for the exported run: sampled + Gorilla-compressed
+    // telemetry and the flight recorder.
+    config.sample_interval = Millis(1);
+    config.journal = true;
+  }
   chaos::ChaosRunner::Options options;
   options.rounds = 6;
   options.round_length = Millis(200);
@@ -78,6 +88,13 @@ chaos::ChaosReport RunOne(raft::Protocol protocol, uint64_t seed,
       std::printf("  per-node stats written to %s\n", stats_path.c_str());
     }
   }
+  if (!obs_dir.empty()) {
+    if (runner.cluster()->WriteObsBundle(obs_dir).ok()) {
+      std::printf("  obs bundle written to %s "
+                  "(render: tools/obs_report.py %s)\n",
+                  obs_dir.c_str(), obs_dir.c_str());
+    }
+  }
   return report;
 }
 
@@ -94,20 +111,24 @@ int main(int argc, char** argv) {
 
   std::printf("[Raft x5]\n");
   chaos::ChaosReport raft_report =
-      RunOne(raft::Protocol::kRaft, seed, "", /*verbose=*/true);
+      RunOne(raft::Protocol::kRaft, seed, "", "", /*verbose=*/true);
 
   std::printf("\n[NB-Raft x5, window 64]\n");
   const std::string trace_path =
       trace_dir.empty()
           ? ""
           : trace_dir + "/chaos_" + std::to_string(seed) + ".json";
-  chaos::ChaosReport nb_report =
-      RunOne(raft::Protocol::kNbRaft, seed, trace_path, /*verbose=*/false);
+  const std::string obs_dir =
+      trace_dir.empty() ? ""
+                        : trace_dir + "/obs_" + std::to_string(seed);
+  chaos::ChaosReport nb_report = RunOne(raft::Protocol::kNbRaft, seed,
+                                        trace_path, obs_dir,
+                                        /*verbose=*/false);
 
   std::printf("\n[NB-Raft replay of seed %llu]\n",
               static_cast<unsigned long long>(seed));
   chaos::ChaosReport replay =
-      RunOne(raft::Protocol::kNbRaft, seed, "", /*verbose=*/false);
+      RunOne(raft::Protocol::kNbRaft, seed, "", "", /*verbose=*/false);
 
   const bool identical =
       replay.fault_fingerprint == nb_report.fault_fingerprint &&

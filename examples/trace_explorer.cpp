@@ -22,6 +22,7 @@
 
 #include "harness/cluster.h"
 #include "metrics/breakdown.h"
+#include "obs/names.h"
 #include "obs/tracer.h"
 #include "raft/types.h"
 
@@ -36,7 +37,8 @@ struct TraceReport {
 };
 
 // Joins client-keyed spans (request_id) with replication-keyed spans
-// (log index) through the leader's "indexed" instant and counts entries
+// (log index) through the leader's `raft.entry_indexed` instant and counts
+// entries
 // whose union covers every phase.
 // Fsync spans only exist when a simulated disk is configured (this run has
 // none), so "fully covered" means the lifecycle phases before kFsync.
@@ -52,7 +54,7 @@ int CountFullyCoveredEntries(const obs::Tracer& tracer) {
   }
   int covered = 0;
   for (const obs::InstantEvent& e : tracer.instants()) {
-    if (std::string_view(e.name) != "indexed") continue;
+    if (std::string_view(e.name) != obs::names::kEntryIndexed) continue;
     // arg0 = log index, arg1 = request id.
     std::set<int> phases;
     if (auto it = by_request.find(static_cast<uint64_t>(e.arg1));

@@ -1,5 +1,6 @@
 #include "chaos/chaos_runner.h"
 
+#include <filesystem>
 #include <utility>
 
 #include "common/logging.h"
@@ -33,6 +34,40 @@ ChaosRunner::ChaosRunner(harness::ClusterConfig config, ChaosPlan plan,
   // the cluster seed keys everything else, so a (cluster seed, plan seed)
   // pair fully determines the run.
   config_.record_client_acks = true;
+  // A post-mortem without a flight recorder would be empty.
+  if (!options_.postmortem_dir.empty()) config_.journal = true;
+}
+
+void ChaosRunner::MaybeDumpPostmortem() {
+  if (options_.postmortem_dir.empty()) return;
+  if (!postmortem_jsonl_.empty()) return;  // First violation already dumped.
+  if (oracle_->ok()) return;
+  obs::Journal* journal = cluster_->journal();
+  if (journal == nullptr) return;
+  std::error_code ec;
+  std::filesystem::create_directories(options_.postmortem_dir, ec);
+  if (ec) {
+    NBRAFT_LOG(Warn) << "postmortem dir " << options_.postmortem_dir
+                     << " not writable: " << ec.message();
+    return;
+  }
+  const std::string base = options_.postmortem_dir + "/postmortem_seed" +
+                           std::to_string(plan_.seed);
+  const SimTime cutoff = cluster_->sim()->Now();
+  const Status jsonl = journal->WriteJsonl(base + ".jsonl", cutoff,
+                                           options_.postmortem_lookback);
+  const Status timeline = journal->WriteTimeline(
+      base + ".txt", cutoff, options_.postmortem_lookback,
+      [this](int32_t id) { return cluster_->EndpointName(id); });
+  if (!jsonl.ok() || !timeline.ok()) {
+    NBRAFT_LOG(Warn) << "postmortem dump failed: "
+                     << (jsonl.ok() ? timeline.ToString() : jsonl.ToString());
+    return;
+  }
+  postmortem_jsonl_ = base + ".jsonl";
+  postmortem_timeline_ = base + ".txt";
+  NBRAFT_LOG(Error) << "safety violation: flight-recorder post-mortem at "
+                    << postmortem_jsonl_;
 }
 
 ChaosReport ChaosRunner::Run() {
@@ -51,7 +86,12 @@ ChaosReport ChaosRunner::Run() {
 
   for (int round = 0; round < options_.rounds; ++round) {
     cluster_->RunFor(options_.round_length);
+    if (mid_run_hook_) mid_run_hook_(cluster_.get(), round);
     oracle_->CheckMidRun();
+    // Dump at the violating round boundary, not at the end of the run:
+    // the lookback window must straddle the violation, and a post-mortem
+    // taken seconds later would have scrolled past it.
+    MaybeDumpPostmortem();
   }
 
   nemesis_->Stop();
@@ -59,6 +99,7 @@ ChaosReport ChaosRunner::Run() {
   cluster_->AwaitLeader(options_.leader_wait);
   cluster_->RunFor(options_.drain);
   oracle_->CheckFinal();
+  MaybeDumpPostmortem();
 
   ChaosReport report;
   report.seed = plan_.seed;
@@ -68,6 +109,8 @@ ChaosReport ChaosRunner::Run() {
   report.strong_acked = oracle_->strong_acked_count();
   report.lost_weak = oracle_->lost_weak_count();
   report.terms_observed = oracle_->terms_observed();
+  report.postmortem_jsonl = postmortem_jsonl_;
+  report.postmortem_timeline = postmortem_timeline_;
 
   const harness::ClusterStats stats = cluster_->Collect();
   report.requests_issued = stats.requests_issued;

@@ -1,6 +1,7 @@
 #ifndef NBRAFT_CHAOS_CHAOS_RUNNER_H_
 #define NBRAFT_CHAOS_CHAOS_RUNNER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -33,6 +34,12 @@ struct ChaosReport {
   /// sequence: the run's observable outcome in one number.
   uint64_t committed_prefix_hash = 0;
 
+  /// Paths of the automatic flight-recorder dump, written the moment the
+  /// oracle first reported a violation (empty when the run was clean or no
+  /// postmortem_dir was configured).
+  std::string postmortem_jsonl;
+  std::string postmortem_timeline;
+
   bool ok() const { return violations.empty(); }
   std::string Summary() const;
 };
@@ -50,6 +57,14 @@ class ChaosRunner {
     /// Post-heal run time: retries finish, commits catch up.
     SimDuration drain = Seconds(2);
     SimDuration leader_wait = Seconds(5);
+
+    /// When non-empty, the flight recorder is forced on and — the moment
+    /// the safety oracle first reports a violation — the merged multi-node
+    /// journal is dumped there as postmortem_seed<seed>.jsonl plus a
+    /// human-readable .txt timeline, covering the last postmortem_lookback
+    /// of virtual time before the violation.
+    std::string postmortem_dir;
+    SimDuration postmortem_lookback = Seconds(2);
   };
 
   ChaosRunner(harness::ClusterConfig config, ChaosPlan plan,
@@ -66,13 +81,28 @@ class ChaosRunner {
   /// Valid after Run() (e.g. to write traces of a failing seed).
   harness::Cluster* cluster() { return cluster_.get(); }
 
+  /// Test hook, called after every round's RunFor and before the round's
+  /// invariant check. Lets a test mutate cluster state directly (e.g.
+  /// simulate memory corruption of a log entry) so the oracle-triggered
+  /// post-mortem path can be exercised deterministically.
+  void set_mid_run_hook(
+      std::function<void(harness::Cluster*, int round)> hook) {
+    mid_run_hook_ = std::move(hook);
+  }
+
  private:
+  /// Dumps the journal once, the first time the oracle holds violations.
+  void MaybeDumpPostmortem();
+
   harness::ClusterConfig config_;
   ChaosPlan plan_;
   Options options_;
   std::unique_ptr<harness::Cluster> cluster_;
   std::unique_ptr<Nemesis> nemesis_;
   std::unique_ptr<SafetyOracle> oracle_;
+  std::function<void(harness::Cluster*, int round)> mid_run_hook_;
+  std::string postmortem_jsonl_;
+  std::string postmortem_timeline_;
   bool ran_ = false;
 };
 

@@ -17,6 +17,10 @@ void SafetyOracle::AddViolation(std::string what) {
   }
   NBRAFT_LOG(Error) << "safety violation: " << what;
   violations_.push_back(std::move(what));
+  if (obs::Journal* journal = cluster_->journal()) {
+    journal->Record(obs::JournalEventKind::kViolation, -1, -1,
+                    static_cast<int64_t>(violations_.size()));
+  }
 }
 
 void SafetyOracle::Install() {

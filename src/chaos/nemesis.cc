@@ -4,39 +4,41 @@
 #include <string>
 
 #include "common/logging.h"
+#include "obs/names.h"
 
 namespace nbraft::chaos {
 
 namespace {
 
 /// Tracer instant name for an action. Instant names must be string
-/// literals (the tracer stores the pointer), hence this mapping.
+/// literals (the tracer stores the pointer), hence this mapping onto the
+/// canonical obs::names chaos vocabulary.
 const char* InstantName(FaultKind kind, bool heal) {
   if (heal) {
     return (kind == FaultKind::kCrash || kind == FaultKind::kCrashLeader)
-               ? "chaos_restart"
-               : "chaos_heal";
+               ? obs::names::kChaosRestart
+               : obs::names::kChaosHeal;
   }
   switch (kind) {
     case FaultKind::kCrash:
     case FaultKind::kCrashLeader:
-      return "chaos_crash";
+      return obs::names::kChaosCrash;
     case FaultKind::kPartition:
     case FaultKind::kOneWayPartition:
     case FaultKind::kLinkFlap:
-      return "chaos_partition";
+      return obs::names::kChaosPartition;
     case FaultKind::kDropStorm:
     case FaultKind::kDelayStorm:
-      return "chaos_storm";
+      return obs::names::kChaosStorm;
     case FaultKind::kClockSkew:
-      return "chaos_skew";
+      return obs::names::kChaosSkew;
     case FaultKind::kSlowNode:
-      return "chaos_slow";
+      return obs::names::kChaosSlow;
     case FaultKind::kDiskStall:
     case FaultKind::kDiskCorruption:
-      return "chaos_disk";
+      return obs::names::kChaosDisk;
   }
-  return "chaos_fault";
+  return obs::names::kChaosFault;
 }
 
 }  // namespace
@@ -136,13 +138,18 @@ void Nemesis::Record(FaultKind kind, bool heal, net::NodeId a, net::NodeId b,
   if (obs::Tracer* tracer = cluster_->tracer()) {
     tracer->RecordInstant(InstantName(kind, heal), a, b, param);
   }
+  if (obs::Journal* journal = cluster_->journal()) {
+    journal->Record(heal ? obs::JournalEventKind::kNemesisHeal
+                         : obs::JournalEventKind::kNemesisFault,
+                    a, b, static_cast<int64_t>(kind), param);
+  }
   if (obs::Registry* registry = cluster_->registry()) {
     if (heal) {
-      registry->GetCounter("chaos_heals")->Increment();
+      registry->GetCounter(obs::names::kChaosHealsTotal)->Increment();
     } else {
-      registry->GetCounter(std::string("chaos_") + FaultKindName(kind))
+      registry->GetCounter(std::string("chaos.") + FaultKindName(kind))
           ->Increment();
-      registry->GetCounter("chaos_faults_injected")->Increment();
+      registry->GetCounter(obs::names::kChaosFaultsInjected)->Increment();
     }
   }
 }

@@ -1,10 +1,13 @@
 #include "harness/cluster.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
 #include <set>
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/names.h"
 
 namespace nbraft::harness {
 
@@ -112,6 +115,15 @@ void Cluster::SetupObservability() {
   // counters surface even in untraced, unsampled runs.
   registry_ = std::make_unique<obs::Registry>();
 
+  if (config_.journal) {
+    obs::Journal::Options jopts;
+    jopts.per_node_capacity = config_.journal_capacity;
+    journal_ = std::make_unique<obs::Journal>(sim_.get(), config_.num_nodes,
+                                              jopts);
+    network_->set_journal(journal_.get());
+    for (auto& node : nodes_) node->set_journal(journal_.get());
+  }
+
   if (!config_.trace && config_.sample_interval <= 0) return;
 
   if (config_.trace) {
@@ -125,40 +137,79 @@ void Cluster::SetupObservability() {
   }
 
   if (config_.sample_interval > 0) {
-    registry_->AddSource("window_occupancy", [this]() {
+    // Cluster-wide aggregates.
+    registry_->AddSource(obs::names::kWindowOccupancy, [this]() {
       size_t total = 0;
       for (const auto& node : nodes_) total += node->window().size();
       return static_cast<double>(total);
     });
-    registry_->AddSource("commit_index", [this]() {
+    registry_->AddSource(obs::names::kCommitIndexMax, [this]() {
       storage::LogIndex max_commit = 0;
       for (const auto& node : nodes_) {
         max_commit = std::max(max_commit, node->commit_index());
       }
       return static_cast<double>(max_commit);
     });
-    registry_->AddSource("apply_lag", [this]() {
+    registry_->AddSource(obs::names::kApplyLag, [this]() {
       int64_t lag = 0;
       for (const auto& node : nodes_) {
         lag += node->commit_index() - node->applied_index();
       }
       return static_cast<double>(lag);
     });
-    registry_->AddSource("dispatcher_queue_depth", [this]() {
+    registry_->AddSource(obs::names::kDispatcherQueueDepth, [this]() {
       size_t total = 0;
       for (const auto& node : nodes_) total += node->DispatcherQueueDepth();
       return static_cast<double>(total);
     });
-    registry_->AddSource("inflight_rpcs", [this]() {
+    registry_->AddSource(obs::names::kRpcsInflight, [this]() {
       size_t total = 0;
       for (const auto& node : nodes_) total += node->OutstandingRpcCount();
       return static_cast<double>(total);
     });
-    registry_->AddSource("nic_bytes_sent", [this]() {
+    registry_->AddSource(obs::names::kNicBytesSent, [this]() {
       return static_cast<double>(network_->bytes_sent());
     });
+
+    // Per-replica series (".nodeN" suffix — the Prometheus exporter turns
+    // it into a node label). Lambdas capture the raw node pointer: nodes_
+    // never shrinks and outlives the sampler.
+    for (int i = 0; i < config_.num_nodes; ++i) {
+      const std::string suffix = ".node" + std::to_string(i);
+      raft::RaftNode* node = nodes_[static_cast<size_t>(i)].get();
+      registry_->AddSource(obs::names::kWindowOccupancyNode + suffix,
+                           [node]() {
+                             return static_cast<double>(node->window().size());
+                           });
+      registry_->AddSource(
+          obs::names::kBarriersPending + suffix, [node]() {
+            return static_cast<double>(node->PendingBarrierRecords());
+          });
+      registry_->AddSource(obs::names::kReplicationLag + suffix, [this,
+                                                                  node]() {
+        storage::LogIndex max_last = 0;
+        for (const auto& n : nodes_) {
+          max_last = std::max(max_last, n->log().LastIndex());
+        }
+        return static_cast<double>(max_last - node->log().LastIndex());
+      });
+      registry_->AddSource(obs::names::kCpuQueueDepth + suffix, [node]() {
+        return static_cast<double>(node->cpu()->outstanding());
+      });
+      registry_->AddSource(obs::names::kIoQueueDepth + suffix, [node]() {
+        storage::SimDisk* disk = node->disk();
+        return disk == nullptr ? 0.0
+                               : static_cast<double>(
+                                     disk->io_lane()->outstanding());
+      });
+    }
+
     sampler_ = std::make_unique<obs::Sampler>(sim_.get(), registry_.get(),
                                               config_.sample_interval);
+    if (config_.compress_series) {
+      series_store_ = std::make_unique<obs::SeriesStore>();
+      sampler_->set_series_store(series_store_.get());
+    }
   }
 }
 
@@ -184,6 +235,45 @@ Status Cluster::WriteTraces() const {
     Status s = obs::WriteJsonl(config_.trace_jsonl_path, inputs);
     if (!s.ok()) return s;
   }
+  return Status::Ok();
+}
+
+Status Cluster::WriteObsBundle(const std::string& dir) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create obs bundle dir " + dir + ": " +
+                           ec.message());
+  }
+  obs::ExportInputs inputs;
+  inputs.tracer = tracer_.get();
+  inputs.registry = registry_.get();
+  inputs.sampler = sampler_.get();
+  inputs.endpoint_name = [this](int32_t id) { return EndpointName(id); };
+
+  Status s = obs::WriteMetricsJson(dir + "/metrics.json", inputs);
+  if (!s.ok()) return s;
+  s = obs::WritePrometheusText(dir + "/metrics.prom", inputs);
+  if (!s.ok()) return s;
+
+  if (journal_ != nullptr) {
+    // Full retained history (lookback 0): the bundle is a snapshot, not a
+    // violation-scoped post-mortem — ChaosRunner handles those.
+    s = journal_->WriteJsonl(dir + "/journal.jsonl", sim_->Now(), 0);
+    if (!s.ok()) return s;
+    s = journal_->WriteTimeline(
+        dir + "/timeline.txt", sim_->Now(), 0,
+        [this](int32_t id) { return EndpointName(id); });
+    if (!s.ok()) return s;
+  }
+
+  std::FILE* f = std::fopen((dir + "/node_stats.json").c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + dir + "/node_stats.json");
+  }
+  const std::string stats = NodeStatsJson();
+  std::fwrite(stats.data(), 1, stats.size(), f);
+  std::fclose(f);
   return Status::Ok();
 }
 

@@ -12,7 +12,9 @@
 #include "metrics/histogram.h"
 #include "net/network.h"
 #include "obs/exporter.h"
+#include "obs/journal.h"
 #include "obs/registry.h"
+#include "obs/series_store.h"
 #include "obs/tracer.h"
 #include "raft/raft_client.h"
 #include "raft/raft_node.h"
@@ -107,6 +109,20 @@ struct ClusterConfig {
   /// Ring-buffer capacities for the tracer.
   size_t trace_span_capacity = 1 << 20;
   size_t trace_instant_capacity = 1 << 18;
+
+  /// Enables the cluster flight recorder: one fixed ring of structured
+  /// protocol events per node (role/term changes, decoded RPCs, window
+  /// transitions, commit/apply advances, disk barriers, chaos faults).
+  /// Off by default — an untraced run pays one null check per hook.
+  bool journal = false;
+
+  /// Events retained per node ring (plus one shared cluster ring).
+  size_t journal_capacity = 1 << 14;
+
+  /// Mirror every sampled series into a Gorilla-compressed SeriesStore
+  /// (the system monitoring itself with its own storage format). Only
+  /// meaningful when sample_interval > 0.
+  bool compress_series = true;
 };
 
 /// Aggregated run metrics.
@@ -189,10 +205,24 @@ class Cluster {
   obs::Tracer* tracer() { return tracer_.get(); }
   obs::Registry* registry() { return registry_.get(); }
   obs::Sampler* sampler() { return sampler_.get(); }
+  /// Flight recorder (nullptr unless ClusterConfig::journal).
+  obs::Journal* journal() { return journal_.get(); }
+  const obs::Journal* journal() const { return journal_.get(); }
+  /// Compressed metric series (nullptr unless sampling + compress_series).
+  obs::SeriesStore* series_store() { return series_store_.get(); }
+
+  /// Maps an endpoint id to its display name ("node 2" / "client 17").
+  std::string EndpointName(int32_t id) const;
 
   /// Writes the Chrome trace_event JSON and/or JSONL dump to the paths in
   /// the config. No-op Ok when tracing is off or both paths are empty.
   Status WriteTraces() const;
+
+  /// Writes the full observability bundle into `dir` (created if needed):
+  /// metrics.json + metrics.prom snapshots, the journal as journal.jsonl +
+  /// timeline.txt, and node_stats.json. Pieces whose collector is off are
+  /// skipped. This is what tools/obs_report.py renders.
+  Status WriteObsBundle(const std::string& dir) const;
 
   /// Aggregates node + client metrics.
   ClusterStats Collect() const;
@@ -222,7 +252,6 @@ class Cluster {
 
  private:
   void SetupObservability();
-  std::string EndpointName(int32_t id) const;
 
   ClusterConfig config_;
   std::unique_ptr<sim::Simulator> sim_;
@@ -234,6 +263,8 @@ class Cluster {
   std::unique_ptr<obs::Tracer> tracer_;
   std::unique_ptr<obs::Registry> registry_;
   std::unique_ptr<obs::Sampler> sampler_;
+  std::unique_ptr<obs::Journal> journal_;
+  std::unique_ptr<obs::SeriesStore> series_store_;
   std::function<void(int)> crash_observer_;
   bool owns_log_clock_ = false;
 };

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/names.h"
 
 namespace nbraft::net {
 
@@ -63,13 +64,18 @@ SimTime SimNetwork::Send(NodeId from, NodeId to, size_t bytes,
       rng_.NextBool(config_.drop_probability)) {
     ++stats_.messages_dropped;
     if (tracer_ != nullptr) {
-      tracer_->RecordInstant("net_drop", from, to,
+      tracer_->RecordInstant(obs::names::kMsgDrop, from, to,
                              static_cast<int64_t>(bytes));
+    }
+    if (journal_ != nullptr) {
+      journal_->Record(obs::JournalEventKind::kRpcDrop, from, to, -1,
+                       static_cast<int64_t>(bytes));
     }
     return -1;
   }
   if (tracer_ != nullptr) {
-    tracer_->RecordInstant("net_send", from, to, static_cast<int64_t>(bytes));
+    tracer_->RecordInstant(obs::names::kMsgSend, from, to,
+                           static_cast<int64_t>(bytes));
   }
 
   const SimTime now = sim_->Now();
@@ -130,8 +136,12 @@ void SimNetwork::Deliver(Message&& msg) {
   if (IsDown(msg.to)) {
     ++stats_.messages_dropped;
     if (tracer_ != nullptr) {
-      tracer_->RecordInstant("net_drop", msg.from, msg.to,
+      tracer_->RecordInstant(obs::names::kMsgDrop, msg.from, msg.to,
                              static_cast<int64_t>(msg.bytes));
+    }
+    if (journal_ != nullptr) {
+      journal_->Record(obs::JournalEventKind::kRpcDrop, msg.from, msg.to,
+                       -1, static_cast<int64_t>(msg.bytes));
     }
     return;
   }
@@ -139,14 +149,18 @@ void SimNetwork::Deliver(Message&& msg) {
   if (handler == nullptr || !*handler) {
     ++stats_.messages_dropped;
     if (tracer_ != nullptr) {
-      tracer_->RecordInstant("net_drop", msg.from, msg.to,
+      tracer_->RecordInstant(obs::names::kMsgDrop, msg.from, msg.to,
                              static_cast<int64_t>(msg.bytes));
+    }
+    if (journal_ != nullptr) {
+      journal_->Record(obs::JournalEventKind::kRpcDrop, msg.from, msg.to,
+                       -1, static_cast<int64_t>(msg.bytes));
     }
     return;
   }
   ++stats_.messages_delivered;
   if (tracer_ != nullptr) {
-    tracer_->RecordInstant("net_recv", msg.to, msg.from,
+    tracer_->RecordInstant(obs::names::kMsgRecv, msg.to, msg.from,
                            static_cast<int64_t>(msg.bytes));
   }
   (*handler)(std::move(msg));

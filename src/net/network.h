@@ -11,6 +11,7 @@
 #include "common/random.h"
 #include "common/sim_time.h"
 #include "net/payload.h"
+#include "obs/journal.h"
 #include "obs/tracer.h"
 #include "sim/simulator.h"
 
@@ -135,6 +136,12 @@ class SimNetwork {
   /// timing are unaffected.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Attaches the cluster flight recorder (nullptr = off, the default).
+  /// The network records only drops — kRpcDrop with (from, to, bytes) —
+  /// because sends/receives are journaled, with their decoded RPC type, by
+  /// the consensus layer.
+  void set_journal(obs::Journal* journal) { journal_ = journal; }
+
   uint64_t messages_sent() const { return stats_.messages_sent; }
   uint64_t messages_delivered() const { return stats_.messages_delivered; }
   uint64_t messages_dropped() const { return stats_.messages_dropped; }
@@ -206,6 +213,7 @@ class SimNetwork {
   SimDuration extra_delay_ = 0;
   nbraft::Rng rng_;
   obs::Tracer* tracer_ = nullptr;
+  obs::Journal* journal_ = nullptr;
 
   NetStats stats_;
 };

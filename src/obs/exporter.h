@@ -32,6 +32,19 @@ Status WriteChromeTrace(const std::string& path, const ExportInputs& inputs);
 /// for scripts: spans, instants, samples, counters, gauges.
 Status WriteJsonl(const std::string& path, const ExportInputs& inputs);
 
+/// Writes a Prometheus text-format (v0.0.4) snapshot: counters, gauges,
+/// and the latest value of every sampled series. Names are sanitized to
+/// the Prometheus charset (`raft.window_occupancy.node2` becomes
+/// `raft_window_occupancy{node="2"}`).
+Status WritePrometheusText(const std::string& path,
+                           const ExportInputs& inputs);
+
+/// Writes a single-document JSON metrics snapshot: counters, gauges, and —
+/// when the sampler records into a SeriesStore — every compressed series
+/// decoded back to full resolution plus its compression accounting. This
+/// is the file tools/obs_report.py renders the dashboard from.
+Status WriteMetricsJson(const std::string& path, const ExportInputs& inputs);
+
 }  // namespace nbraft::obs
 
 #endif  // NBRAFT_OBS_EXPORTER_H_

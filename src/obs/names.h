@@ -1,0 +1,95 @@
+#ifndef NBRAFT_OBS_NAMES_H_
+#define NBRAFT_OBS_NAMES_H_
+
+#include <cstddef>
+
+namespace nbraft::obs::names {
+
+/// Canonical metric / trace / journal vocabulary.
+///
+/// Every user-visible observability name — tracer instants, registry
+/// counters and gauges, sampler pull sources, and journal event kinds —
+/// follows one scheme:
+///
+///     subsystem.noun_verb[.nodeN]
+///
+/// where `subsystem` is one of {net, raft, storage, client, chaos, sim}
+/// and the optional `.nodeN` suffix scopes a per-replica series. The
+/// constants below are the single source of truth: call sites reference
+/// them instead of re-typing string literals, and the conformance test
+/// (tests/obs/journal_test.cc) walks kAllNames to pin the scheme. DESIGN
+/// section "2e. Observability pipeline" documents each name's meaning.
+
+// ---- Tracer instants ----
+inline constexpr char kEntryIndexed[] = "raft.entry_indexed";
+inline constexpr char kMsgSend[] = "net.msg_send";
+inline constexpr char kMsgRecv[] = "net.msg_recv";
+inline constexpr char kMsgDrop[] = "net.msg_drop";
+inline constexpr char kWindowInsert[] = "raft.window_insert";
+inline constexpr char kWindowEvict[] = "raft.window_evict";
+inline constexpr char kWindowFlush[] = "raft.window_flush";
+inline constexpr char kElectionStart[] = "raft.election_start";
+inline constexpr char kLeaderElected[] = "raft.leader_elected";
+inline constexpr char kClientRetryAll[] = "client.retry_all";
+inline constexpr char kClientWeakAccept[] = "client.weak_accept";
+inline constexpr char kClientStrongAccept[] = "client.strong_accept";
+
+// ---- Chaos instants (nemesis fault / heal markers) ----
+inline constexpr char kChaosCrash[] = "chaos.crash_inject";
+inline constexpr char kChaosRestart[] = "chaos.node_restart";
+inline constexpr char kChaosPartition[] = "chaos.partition_inject";
+inline constexpr char kChaosStorm[] = "chaos.storm_inject";
+inline constexpr char kChaosSkew[] = "chaos.skew_inject";
+inline constexpr char kChaosSlow[] = "chaos.slow_inject";
+inline constexpr char kChaosDisk[] = "chaos.disk_inject";
+inline constexpr char kChaosHeal[] = "chaos.fault_heal";
+inline constexpr char kChaosFault[] = "chaos.fault_inject";
+
+// ---- Registry counters ----
+inline constexpr char kChaosFaultsInjected[] = "chaos.faults_injected";
+inline constexpr char kChaosHealsTotal[] = "chaos.heals_total";
+/// Per-kind chaos counters are built as "chaos." + FaultKindName(kind),
+/// e.g. "chaos.crash", "chaos.partition_oneway" — see chaos_plan.cc.
+
+// ---- Sampler pull sources (cluster-wide) ----
+inline constexpr char kWindowOccupancy[] = "raft.window_occupancy";
+inline constexpr char kCommitIndexMax[] = "raft.commit_index_max";
+inline constexpr char kApplyLag[] = "raft.apply_lag";
+inline constexpr char kDispatcherQueueDepth[] = "raft.dispatcher_queue_depth";
+inline constexpr char kRpcsInflight[] = "raft.rpcs_inflight";
+inline constexpr char kNicBytesSent[] = "net.bytes_sent";
+
+// ---- Sampler pull sources (per-node; suffixed ".nodeN" at registration)
+inline constexpr char kWindowOccupancyNode[] = "raft.window_occupancy";
+inline constexpr char kBarriersPending[] = "storage.barriers_pending";
+inline constexpr char kReplicationLag[] = "raft.replication_lag";
+inline constexpr char kCpuQueueDepth[] = "sim.cpu_queue_depth";
+inline constexpr char kIoQueueDepth[] = "sim.io_queue_depth";
+
+/// Every fixed name above, for the scheme-conformance test.
+inline constexpr const char* kAllNames[] = {
+    kEntryIndexed,       kMsgSend,
+    kMsgRecv,            kMsgDrop,
+    kWindowInsert,       kWindowEvict,
+    kWindowFlush,        kElectionStart,
+    kLeaderElected,      kClientRetryAll,
+    kClientWeakAccept,   kClientStrongAccept,
+    kChaosCrash,         kChaosRestart,
+    kChaosPartition,     kChaosStorm,
+    kChaosSkew,          kChaosSlow,
+    kChaosDisk,          kChaosHeal,
+    kChaosFault,         kChaosFaultsInjected,
+    kChaosHealsTotal,    kWindowOccupancy,
+    kCommitIndexMax,     kApplyLag,
+    kDispatcherQueueDepth, kRpcsInflight,
+    kNicBytesSent,       kBarriersPending,
+    kReplicationLag,     kCpuQueueDepth,
+    kIoQueueDepth,
+};
+
+inline constexpr size_t kAllNamesCount =
+    sizeof(kAllNames) / sizeof(kAllNames[0]);
+
+}  // namespace nbraft::obs::names
+
+#endif  // NBRAFT_OBS_NAMES_H_

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/series_store.h"
 
 namespace nbraft::obs {
 
@@ -59,6 +60,13 @@ void Sampler::Start() {
   for (const auto& source : registry_->sources()) {
     names_.push_back(source.name);
   }
+  if (store_ != nullptr) {
+    store_series_.clear();
+    store_series_.reserve(names_.size());
+    for (const std::string& name : names_) {
+      store_series_.push_back(store_->AddSeries(name));
+    }
+  }
   Tick();
 }
 
@@ -77,6 +85,11 @@ void Sampler::Tick() {
   // since — keeps every Sample parallel to series_names().
   for (size_t i = 0; i < names_.size(); ++i) {
     sample.values.push_back(registry_->sources()[i].read());
+  }
+  if (store_ != nullptr) {
+    for (size_t i = 0; i < sample.values.size(); ++i) {
+      store_->Append(store_series_[i], sample.at, sample.values[i]);
+    }
   }
   samples_.push_back(std::move(sample));
   tick_event_ = sim_->After(interval_, [this]() { Tick(); });

@@ -70,6 +70,8 @@ class Registry {
   std::vector<Source> sources_;
 };
 
+class SeriesStore;
+
 /// Periodically snapshots every Registry source on the simulator's virtual
 /// clock. The sample stream is what the exporters turn into Chrome-trace
 /// counter tracks (window occupancy over time, queue depth over time, ...).
@@ -94,6 +96,13 @@ class Sampler {
   void Start();
   void Stop();
 
+  /// Mirrors every sample into `store` as Gorilla-compressed series (one
+  /// store series per source, registered at Start()). Must be set before
+  /// Start(); pass nullptr to detach. The raw samples() stream is kept —
+  /// the round-trip test decodes the store against it bit-for-bit.
+  void set_series_store(SeriesStore* store) { store_ = store; }
+  SeriesStore* series_store() const { return store_; }
+
   SimDuration interval() const { return interval_; }
   const std::vector<std::string>& series_names() const { return names_; }
   const std::vector<Sample>& samples() const { return samples_; }
@@ -108,6 +117,8 @@ class Sampler {
   sim::EventId tick_event_ = sim::kInvalidEventId;
   std::vector<std::string> names_;
   std::vector<Sample> samples_;
+  SeriesStore* store_ = nullptr;
+  std::vector<size_t> store_series_;  ///< Parallel to names_ when store_ set.
 };
 
 }  // namespace nbraft::obs

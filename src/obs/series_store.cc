@@ -1,0 +1,63 @@
+#include "obs/series_store.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace nbraft::obs {
+
+SeriesStore::SeriesStore(size_t chunk_points)
+    : chunk_points_(chunk_points) {
+  NBRAFT_CHECK_GT(chunk_points, 0u);
+}
+
+size_t SeriesStore::AddSeries(std::string name) {
+  Series s;
+  s.name = std::move(name);
+  s.open.reserve(chunk_points_);
+  series_.push_back(std::move(s));
+  return series_.size() - 1;
+}
+
+void SeriesStore::Append(size_t series, SimTime at, double value) {
+  Series& s = series_[series];
+  s.open.push_back(tsdb::Point{at, value});
+  ++s.count;
+  if (s.open.size() >= chunk_points_) Seal(&s);
+}
+
+void SeriesStore::Seal(Series* s) {
+  if (s->open.empty()) return;
+  // The series id inside the chunk is the store-local index; bundles key
+  // series by name, so the id only needs to be stable within the store.
+  const auto id = static_cast<uint64_t>(s - series_.data());
+  s->sealed.push_back(tsdb::BuildChunk(id, s->open));
+  s->open.clear();
+}
+
+void SeriesStore::SealAll() {
+  for (Series& s : series_) Seal(&s);
+}
+
+size_t SeriesStore::encoded_bytes(size_t series) const {
+  size_t total = 0;
+  for (const tsdb::Chunk& chunk : series_[series].sealed) {
+    total += chunk.EncodedBytes();
+  }
+  return total;
+}
+
+Result<std::vector<tsdb::Point>> SeriesStore::Decode(size_t series) const {
+  const Series& s = series_[series];
+  std::vector<tsdb::Point> out;
+  out.reserve(s.count);
+  for (const tsdb::Chunk& chunk : s.sealed) {
+    auto points = chunk.Decode();
+    if (!points.ok()) return points.status();
+    out.insert(out.end(), points->begin(), points->end());
+  }
+  out.insert(out.end(), s.open.begin(), s.open.end());
+  return out;
+}
+
+}  // namespace nbraft::obs

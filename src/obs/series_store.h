@@ -1,0 +1,81 @@
+#ifndef NBRAFT_OBS_SERIES_STORE_H_
+#define NBRAFT_OBS_SERIES_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sim_time.h"
+#include "tsdb/encoding.h"
+
+namespace nbraft::obs {
+
+/// Compressed storage for sampled telemetry series: the consensus system
+/// monitors itself with its own storage format. Every appended sample is
+/// buffered in a small open block and sealed into an immutable
+/// Gorilla-encoded tsdb::Chunk (delta-of-delta timestamps + XOR values)
+/// every `chunk_points` samples — exactly the encoder the replicated
+/// state machine flushes memtables with. Decode() walks sealed chunks plus
+/// the open tail and must reproduce every (timestamp, value) bit-exactly;
+/// the round-trip test pins this.
+class SeriesStore {
+ public:
+  explicit SeriesStore(size_t chunk_points = 512);
+
+  SeriesStore(const SeriesStore&) = delete;
+  SeriesStore& operator=(const SeriesStore&) = delete;
+
+  /// Registers a series and returns its id (dense, registration order).
+  size_t AddSeries(std::string name);
+
+  size_t series_count() const { return series_.size(); }
+  const std::string& name(size_t series) const {
+    return series_[series].name;
+  }
+
+  /// Appends one sample. Timestamps are virtual-time nanoseconds and must
+  /// be non-decreasing per series (the Sampler ticks monotonically).
+  void Append(size_t series, SimTime at, double value);
+
+  /// Number of samples recorded into `series`.
+  size_t point_count(size_t series) const {
+    return series_[series].count;
+  }
+
+  /// Sealed Gorilla chunks (excludes the open tail).
+  const std::vector<tsdb::Chunk>& chunks(size_t series) const {
+    return series_[series].sealed;
+  }
+
+  /// Gorilla-encoded bytes across sealed chunks of `series`.
+  size_t encoded_bytes(size_t series) const;
+
+  /// Raw size the same samples would occupy uncompressed (16 B/sample).
+  size_t raw_bytes(size_t series) const {
+    return series_[series].count * 16;
+  }
+
+  /// Decodes the full series back from the compressed chunks + open tail.
+  Result<std::vector<tsdb::Point>> Decode(size_t series) const;
+
+  /// Seals every open tail so chunks() covers all data (end of run).
+  void SealAll();
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<tsdb::Chunk> sealed;
+    std::vector<tsdb::Point> open;
+    size_t count = 0;
+  };
+
+  void Seal(Series* s);
+
+  size_t chunk_points_;
+  std::vector<Series> series_;
+};
+
+}  // namespace nbraft::obs
+
+#endif  // NBRAFT_OBS_SERIES_STORE_H_

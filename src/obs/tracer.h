@@ -13,8 +13,8 @@ namespace nbraft::obs {
 /// One completed lifecycle phase of a replicated entry: the paper's Table I
 /// taxonomy stamped with virtual time. Spans on the client path (before the
 /// leader assigns a slot) carry only `request_id`; spans from the leader's
-/// indexing step onward carry (term, index). The `indexed` instant event
-/// joins the two key spaces.
+/// indexing step onward carry (term, index). The `raft.entry_indexed`
+/// instant event joins the two key spaces.
 struct SpanEvent {
   metrics::Phase phase = metrics::Phase::kNumPhases;
   int32_t node = -1;        ///< Replica id or client endpoint id.

@@ -29,6 +29,11 @@ void CommitApplier::CommitIndices(
     // entries from older terms commit implicitly through the first
     // current-term commit (Raft Sec. 5.4.2).
     NBRAFT_CHECK_GT(index, core.commit_index);
+    if (obs::Journal* j = ctx_->journal(); j != nullptr) {
+      j->Record(obs::JournalEventKind::kCommitAdvance, ctx_->id(), -1,
+                static_cast<int64_t>(index),
+                static_cast<int64_t>(index - core.commit_index));
+    }
     ctx_->stats().entries_committed +=
         static_cast<uint64_t>(index - core.commit_index);
     core.commit_index = index;
@@ -79,6 +84,11 @@ void CommitApplier::ApplyReadyEntries() {
           if (c.crashed || epoch != c.epoch) return;
           c.applied_index = std::max(c.applied_index, index);
           ++ctx_->stats().entries_applied;
+          if (obs::Journal* j = ctx_->journal(); j != nullptr) {
+            j->Record(obs::JournalEventKind::kApplyAdvance, ctx_->id(), -1,
+                      static_cast<int64_t>(index),
+                      static_cast<int64_t>(request_id));
+          }
           ctx_->TracePhase(metrics::Phase::kApply, ctx_->Now() - cost,
                            ctx_->Now(), term, index, request_id);
           if (c.role == Role::kLeader && client != net::kInvalidNode) {

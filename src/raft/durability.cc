@@ -88,6 +88,11 @@ void DurabilityCoordinator::AfterAppend(const Status& appended,
   }
   ++appended_seq_;
   ctx_->stats().disk_bytes_written += encoded_size;
+  if (obs::Journal* j = ctx_->journal(); j != nullptr) {
+    j->Record(obs::JournalEventKind::kDiskWrite, ctx_->id(), -1,
+              static_cast<int64_t>(encoded_size),
+              static_cast<int64_t>(pending_entry_frontier_));
+  }
   MaybeSync();
 }
 
@@ -139,6 +144,11 @@ void DurabilityCoordinator::OnSyncDone(const Status& synced,
   durable_seq_ = std::max(durable_seq_, cover_seq);
   durable_entry_frontier_ = cover_frontier;
   ++ctx_->stats().fsyncs_completed;
+  if (obs::Journal* j = ctx_->journal(); j != nullptr) {
+    j->Record(obs::JournalEventKind::kDiskFsync, ctx_->id(), -1,
+              static_cast<int64_t>(cover_frontier),
+              static_cast<int64_t>(ctx_->Now() - issued_at));
+  }
   if (!instant()) {
     ctx_->TracePhase(metrics::Phase::kFsync, issued_at, ctx_->Now(),
                      ctx_->core().current_term, cover_frontier);

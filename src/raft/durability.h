@@ -70,6 +70,10 @@ class DurabilityCoordinator {
     return durable_entry_frontier_;
   }
 
+  /// Records staged but not yet covered by a completed fsync (telemetry:
+  /// the pending-barrier backlog; always 0 in detached/instant modes).
+  uint64_t pending_records() const { return appended_seq_ - durable_seq_; }
+
  private:
   /// Common tail of every Persist op: account the staged record, surface
   /// errors, and schedule the covering barrier.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/names.h"
 #include "raft/commit_applier.h"
 #include "raft/follower_ingress.h"
 #include "raft/replication_pipeline.h"
@@ -58,8 +59,18 @@ void ElectionEngine::StartElection() {
   NBRAFT_LOG(Info) << "node " << ctx_->id() << " starts election, term "
                    << core.current_term;
   if (ctx_->tracer() != nullptr) {
-    ctx_->tracer()->RecordInstant("election_start", ctx_->id(),
+    ctx_->tracer()->RecordInstant(obs::names::kElectionStart, ctx_->id(),
                                   core.current_term);
+  }
+  if (obs::Journal* j = ctx_->journal(); j != nullptr) {
+    j->Record(obs::JournalEventKind::kTermChange, ctx_->id(), -1,
+              static_cast<int64_t>(core.current_term) - 1,
+              static_cast<int64_t>(core.current_term));
+    j->Record(obs::JournalEventKind::kElectionStart, ctx_->id(), -1,
+              static_cast<int64_t>(core.current_term));
+    j->Record(obs::JournalEventKind::kRoleChange, ctx_->id(), -1,
+              static_cast<int64_t>(Role::kCandidate),
+              static_cast<int64_t>(core.current_term));
   }
 
   if (static_cast<int>(votes_received_.size()) >= ctx_->quorum()) {
@@ -162,8 +173,15 @@ void ElectionEngine::BecomeLeader() {
   NBRAFT_LOG(Info) << "node " << ctx_->id() << " elected leader, term "
                    << core.current_term;
   if (ctx_->tracer() != nullptr) {
-    ctx_->tracer()->RecordInstant("leader_elected", ctx_->id(),
+    ctx_->tracer()->RecordInstant(obs::names::kLeaderElected, ctx_->id(),
                                   core.current_term);
+  }
+  if (obs::Journal* j = ctx_->journal(); j != nullptr) {
+    j->Record(obs::JournalEventKind::kLeaderElected, ctx_->id(), -1,
+              static_cast<int64_t>(core.current_term));
+    j->Record(obs::JournalEventKind::kRoleChange, ctx_->id(), -1,
+              static_cast<int64_t>(Role::kLeader),
+              static_cast<int64_t>(core.current_term));
   }
   if (leader_observer_) leader_observer_(core.current_term, ctx_->id());
   ctx_->simulator()->Cancel(election_timer_);
@@ -223,6 +241,21 @@ void ElectionEngine::BecomeLeader() {
 void ElectionEngine::StepDown(storage::Term term, net::NodeId leader) {
   CoreState& core = ctx_->core();
   const bool was_leader = core.role == Role::kLeader;
+  const bool role_changes = core.role != Role::kFollower;
+  const storage::Term old_term = core.current_term;
+  if (obs::Journal* j = ctx_->journal(); j != nullptr) {
+    j->Record(obs::JournalEventKind::kStepDown, ctx_->id(), -1,
+              static_cast<int64_t>(term), was_leader ? 1 : 0);
+    if (term > old_term) {
+      j->Record(obs::JournalEventKind::kTermChange, ctx_->id(), -1,
+                static_cast<int64_t>(old_term), static_cast<int64_t>(term));
+    }
+    if (role_changes) {
+      j->Record(obs::JournalEventKind::kRoleChange, ctx_->id(), -1,
+                static_cast<int64_t>(Role::kFollower),
+                static_cast<int64_t>(std::max(term, old_term)));
+    }
+  }
   if (was_leader) {
     // Tell clients of in-flight entries to retry with the new leader
     // (Sec. III-B3a: reply LEADER_CHANGED and clean the VoteList), then

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/names.h"
 #include "raft/commit_applier.h"
 #include "raft/election_engine.h"
 
@@ -15,30 +16,51 @@ namespace nbraft::raft {
 
 void FollowerIngress::WindowTraceAdapter::OnInsert(storage::LogIndex index,
                                                    size_t occupancy) {
-  ingress_->ctx_->tracer()->RecordInstant("window_insert",
-                                          ingress_->ctx_->id(), index,
-                                          static_cast<int64_t>(occupancy));
+  NodeContext* ctx = ingress_->ctx_;
+  if (obs::Tracer* t = ctx->tracer(); t != nullptr) {
+    t->RecordInstant(obs::names::kWindowInsert, ctx->id(), index,
+                     static_cast<int64_t>(occupancy));
+  }
+  if (obs::Journal* j = ctx->journal(); j != nullptr) {
+    j->Record(obs::JournalEventKind::kWindowInsert, ctx->id(), -1,
+              static_cast<int64_t>(index), static_cast<int64_t>(occupancy));
+  }
 }
 
 void FollowerIngress::WindowTraceAdapter::OnEvict(storage::LogIndex index,
                                                   size_t occupancy) {
-  ingress_->ctx_->tracer()->RecordInstant("window_evict",
-                                          ingress_->ctx_->id(), index,
-                                          static_cast<int64_t>(occupancy));
+  NodeContext* ctx = ingress_->ctx_;
+  if (obs::Tracer* t = ctx->tracer(); t != nullptr) {
+    t->RecordInstant(obs::names::kWindowEvict, ctx->id(), index,
+                     static_cast<int64_t>(occupancy));
+  }
+  if (obs::Journal* j = ctx->journal(); j != nullptr) {
+    j->Record(obs::JournalEventKind::kWindowEvict, ctx->id(), -1,
+              static_cast<int64_t>(index), static_cast<int64_t>(occupancy));
+  }
 }
 
 void FollowerIngress::WindowTraceAdapter::OnFlush(storage::LogIndex first,
                                                   size_t count,
                                                   size_t occupancy) {
-  ingress_->ctx_->tracer()->RecordInstant("window_flush",
-                                          ingress_->ctx_->id(), first,
-                                          static_cast<int64_t>(count));
+  NodeContext* ctx = ingress_->ctx_;
+  if (obs::Tracer* t = ctx->tracer(); t != nullptr) {
+    t->RecordInstant(obs::names::kWindowFlush, ctx->id(), first,
+                     static_cast<int64_t>(count));
+  }
+  if (obs::Journal* j = ctx->journal(); j != nullptr) {
+    j->Record(obs::JournalEventKind::kWindowFlush, ctx->id(), -1,
+              static_cast<int64_t>(first), static_cast<int64_t>(count));
+  }
   (void)occupancy;
 }
 
 void FollowerIngress::OnTracerChanged() {
-  window_.set_observer(ctx_->tracer() != nullptr ? &window_trace_adapter_
-                                                 : nullptr);
+  // The adapter fans out to whichever sinks are attached; install it when
+  // either is live so untraced runs keep the no-observer fast path.
+  const bool observed =
+      ctx_->tracer() != nullptr || ctx_->journal() != nullptr;
+  window_.set_observer(observed ? &window_trace_adapter_ : nullptr);
 }
 
 void FollowerIngress::OnCrash() {
@@ -490,6 +512,11 @@ void FollowerIngress::AdvanceFollowerCommit(storage::LogIndex leader_commit,
   const storage::LogIndex target =
       std::min({leader_commit, verified_up_to, ctx_->log().LastIndex()});
   if (target > core.commit_index) {
+    if (obs::Journal* j = ctx_->journal(); j != nullptr) {
+      j->Record(obs::JournalEventKind::kCommitAdvance, ctx_->id(), -1,
+                static_cast<int64_t>(target),
+                static_cast<int64_t>(target - core.commit_index));
+    }
     ctx_->stats().entries_committed +=
         static_cast<uint64_t>(target - core.commit_index);
     core.commit_index = target;

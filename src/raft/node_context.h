@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "metrics/breakdown.h"
 #include "net/network.h"
+#include "obs/journal.h"
 #include "obs/tracer.h"
 #include "raft/node_stats.h"
 #include "raft/types.h"
@@ -84,6 +85,10 @@ class NodeContext {
   virtual nbraft::Rng& rng() = 0;
   virtual NodeStats& stats() = 0;
   virtual obs::Tracer* tracer() const = 0;
+  /// The cluster flight recorder, or nullptr (the default) when the run
+  /// is not journaled — every hook is then a single branch. Non-pure so
+  /// engine-level mocks don't have to implement it.
+  virtual obs::Journal* journal() const { return nullptr; }
   virtual tsdb::StateMachine* mutable_state_machine() = 0;
 
   // ---- Modelled CPU lanes ----

@@ -10,6 +10,14 @@
 namespace nbraft::raft {
 
 /// Per-node metrics the harness aggregates after a run.
+///
+/// These are raw struct fields, but everything that crosses into the
+/// observability pipeline (tracer instants, registry counters/gauges,
+/// sampler sources, journal events) is named under the canonical
+/// `subsystem.noun_verb[.nodeN]` scheme — the constants live in
+/// src/obs/names.h and DESIGN.md section "2e. Observability pipeline"
+/// documents each one. ToJson() keys stay snake_case field names; the
+/// scheme applies to the named metric streams, not struct members.
 struct NodeStats {
   metrics::Breakdown breakdown;
   metrics::Histogram wait_hist;       ///< t_wait(F) per delayed entry.

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/names.h"
 
 namespace nbraft::raft {
 
@@ -179,7 +180,7 @@ void RaftClient::RetryAll(const char* reason) {
                     << " weakly accepted requests (" << reason << ")";
   stats_.retries += op_list_.size();
   if (tracer_ != nullptr) {
-    tracer_->RecordInstant("client_retry_all", id_,
+    tracer_->RecordInstant(obs::names::kClientRetryAll, id_,
                            static_cast<int64_t>(op_list_.size()));
   }
   // Preserve order: older requests retry first.
@@ -211,7 +212,8 @@ void RaftClient::HandleResponse(const ClientResponse& resp) {
       ++stats_.weak_accepts;
       if (options_.record_ack_ids) weak_acked_ids_.insert(resp.request_id);
       if (tracer_ != nullptr) {
-        tracer_->RecordInstant("client_weak_accept", id_, resp.index,
+        tracer_->RecordInstant(obs::names::kClientWeakAccept, id_,
+                               resp.index,
                                static_cast<int64_t>(resp.request_id));
       }
       if (inflight_.measured) {
@@ -231,7 +233,8 @@ void RaftClient::HandleResponse(const ClientResponse& resp) {
         list_term_ = resp.term;
       }
       if (tracer_ != nullptr) {
-        tracer_->RecordInstant("client_strong_accept", id_, resp.index,
+        tracer_->RecordInstant(obs::names::kClientStrongAccept, id_,
+                               resp.index,
                                static_cast<int64_t>(resp.request_id));
       }
       guess_is_fresh_hint_ = false;  // The guess answered: it's confirmed.

@@ -6,6 +6,45 @@
 #include "common/logging.h"
 
 namespace nbraft::raft {
+namespace {
+
+/// Translates a wire payload into the journal's RPC vocabulary. Only
+/// called when a journal is attached, so untraced runs never pay for the
+/// type probes.
+obs::JournalRpc DecodeRpc(const net::PayloadRef& payload) {
+  if (const auto* ae = payload.Get<AppendEntriesRequest>()) {
+    return ae->is_heartbeat ? obs::JournalRpc::kHeartbeat
+                            : obs::JournalRpc::kAppendEntries;
+  }
+  if (payload.Get<AppendEntriesResponse>() != nullptr) {
+    return obs::JournalRpc::kAppendEntriesResp;
+  }
+  if (payload.Get<RequestVoteRequest>() != nullptr) {
+    return obs::JournalRpc::kRequestVote;
+  }
+  if (payload.Get<RequestVoteResponse>() != nullptr) {
+    return obs::JournalRpc::kRequestVoteResp;
+  }
+  if (payload.Get<ClientRequest>() != nullptr) {
+    return obs::JournalRpc::kClientRequest;
+  }
+  if (payload.Get<ClientResponse>() != nullptr) {
+    return obs::JournalRpc::kClientResponse;
+  }
+  if (payload.Get<InstallSnapshotRequest>() != nullptr) {
+    return obs::JournalRpc::kInstallSnapshot;
+  }
+  if (payload.Get<InstallSnapshotResponse>() != nullptr) {
+    return obs::JournalRpc::kInstallSnapshotResp;
+  }
+  if (payload.Get<ReadRequest>() != nullptr) return obs::JournalRpc::kRead;
+  if (payload.Get<ReadResponse>() != nullptr) {
+    return obs::JournalRpc::kReadResp;
+  }
+  return obs::JournalRpc::kUnknown;
+}
+
+}  // namespace
 
 RaftNode::RaftNode(sim::Simulator* sim, net::SimNetwork* network,
                    net::NodeId id, std::vector<net::NodeId> peers,
@@ -61,6 +100,10 @@ void RaftNode::Start() {
 
 void RaftNode::Crash() {
   if (core_.crashed) return;
+  if (journal_ != nullptr) {
+    journal_->Record(obs::JournalEventKind::kCrash, id_, -1, 0,
+                     durable_ != nullptr ? 1 : 0);
+  }
   core_.crashed = true;
   network_->SetNodeUp(id_, false);
   // Volatile state is lost; durable state (term, vote, log) survives, and
@@ -103,6 +146,9 @@ void RaftNode::Crash() {
 
 void RaftNode::Restart() {
   NBRAFT_CHECK(core_.crashed);
+  if (journal_ != nullptr) {
+    journal_->Record(obs::JournalEventKind::kRestart, id_);
+  }
   core_.crashed = false;
   ++core_.epoch;
   if (!options_.wal_dir.empty()) {
@@ -129,6 +175,12 @@ void RaftNode::set_tracer(obs::Tracer* tracer) {
   ingress_->OnTracerChanged();
 }
 
+void RaftNode::set_journal(obs::Journal* journal) {
+  journal_ = journal;
+  // The window observer serves both sinks; (re)install it.
+  ingress_->OnTracerChanged();
+}
+
 void RaftNode::TracePhase(metrics::Phase phase, SimTime start, SimTime end,
                           int64_t term, int64_t index, uint64_t request_id) {
   stats_.breakdown.Add(phase, end - start);
@@ -149,6 +201,11 @@ int64_t RaftNode::TraceTermAt(storage::LogIndex index) const {
 void RaftNode::HandleMessage(net::Message&& msg) {
   if (core_.crashed) return;
   const SimTime received_at = sim_->Now();
+  if (journal_ != nullptr) {
+    journal_->Record(obs::JournalEventKind::kRpcRecv, id_, msg.from,
+                     static_cast<int64_t>(DecodeRpc(msg.payload)),
+                     static_cast<int64_t>(msg.bytes));
+  }
   if (auto* ae = msg.payload.Get<AppendEntriesRequest>()) {
     if (!ae->is_heartbeat) {
       TracePhase(metrics::Phase::kTransLeaderFollower, msg.sent_at,
@@ -177,6 +234,11 @@ void RaftNode::HandleMessage(net::Message&& msg) {
 
 void RaftNode::SendTo(net::NodeId to, size_t bytes,
                       net::PayloadRef payload) {
+  if (journal_ != nullptr) {
+    journal_->Record(obs::JournalEventKind::kRpcSend, id_, to,
+                     static_cast<int64_t>(DecodeRpc(payload)),
+                     static_cast<int64_t>(bytes));
+  }
   network_->Send(id_, to, bytes, std::move(payload));
 }
 
@@ -267,6 +329,10 @@ void RaftNode::OnStorageFailure(const Status& status) {
                    << ": storage failure: " << status.ToString();
   if (storage_failure_pending_ || core_.crashed) return;
   storage_failure_pending_ = true;
+  if (journal_ != nullptr) {
+    journal_->Record(obs::JournalEventKind::kStorageFailure, id_, -1,
+                     core_.role == Role::kLeader ? 1 : 0);
+  }
   // Deferred one event so the failing persist call unwinds first: its
   // caller may still be mutating engine state.
   const uint64_t epoch = core_.epoch;
@@ -336,6 +402,11 @@ void RaftNode::ApplyRecovered(storage::DurableLog::RecoveredState&& recovered) {
     core_.heal_target = std::max(core_.heal_target, log_.LastIndex());
   }
   ++stats_.recoveries;
+  if (journal_ != nullptr) {
+    journal_->Record(obs::JournalEventKind::kRecovery, id_, -1,
+                     static_cast<int64_t>(log_.LastIndex()),
+                     core_.heal_quarantine ? 1 : 0);
+  }
   NBRAFT_LOG(Info) << "node " << id_ << " recovered " << log_.LastIndex()
                    << " entries, term " << core_.current_term
                    << (recovered.has_snapshot ? ", snapshot at " : "")

@@ -100,6 +100,12 @@ class RaftNode : public NodeContext {
   /// sliding window's insert/evict/flush transitions become instants.
   void set_tracer(obs::Tracer* tracer);
 
+  /// Attaches the cluster flight recorder (nullptr = off, the default).
+  /// Role/term transitions, decoded RPC send/recv, window transitions,
+  /// commit/apply advances, disk write/fsync activity and crash/recovery
+  /// milestones are recorded into the node's journal ring.
+  void set_journal(obs::Journal* journal);
+
   using LeaderObserver = ElectionEngine::LeaderObserver;
   void set_leader_observer(LeaderObserver observer) {
     election_->set_leader_observer(std::move(observer));
@@ -123,6 +129,11 @@ class RaftNode : public NodeContext {
   size_t OutstandingRpcCount() const {
     return pipeline_->OutstandingRpcCount();
   }
+  /// Durable records staged but not yet covered by a completed fsync
+  /// (the `storage.barriers_pending` pull source; 0 in instant modes).
+  uint64_t PendingBarrierRecords() const {
+    return durability_->pending_records();
+  }
   /// True when every leader-only container (dispatcher queues, in-flight
   /// RPCs, fragment caches, VoteList, per-entry timing) is empty. Step-down
   /// and crash must leave this true — regression-tested.
@@ -137,6 +148,7 @@ class RaftNode : public NodeContext {
   }
   nbraft::Rng& rng() override { return rng_; }
   obs::Tracer* tracer() const override { return tracer_; }
+  obs::Journal* journal() const override { return journal_; }
   sim::CpuExecutor* index_lane() override { return index_lane_.get(); }
   sim::CpuExecutor* apply_lane() override { return apply_lane_.get(); }
   sim::CpuExecutor* log_lock_lane() override { return log_lock_lane_.get(); }
@@ -217,6 +229,7 @@ class RaftNode : public NodeContext {
   bool storage_failure_pending_ = false;
 
   obs::Tracer* tracer_ = nullptr;
+  obs::Journal* journal_ = nullptr;
   NodeStats stats_;
 
   // The engines (constructed after the lanes; they capture `this` as their

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "craft/reed_solomon.h"
+#include "obs/names.h"
 #include "raft/commit_applier.h"
 #include "raft/election_engine.h"
 
@@ -84,7 +85,8 @@ void ReplicationPipeline::IndexAndReplicate(ClientRequest req) {
   if (ctx_->tracer() != nullptr) {
     // Joins the request-keyed client/parse spans with the (term, index)
     // keyed replication spans.
-    ctx_->tracer()->RecordInstant("indexed", ctx_->id(), entry.index,
+    ctx_->tracer()->RecordInstant(obs::names::kEntryIndexed, ctx_->id(),
+                                  entry.index,
                                   static_cast<int64_t>(entry.request_id));
   }
 

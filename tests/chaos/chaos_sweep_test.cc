@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <tuple>
@@ -16,6 +17,7 @@
 #include "chaos/invariants.h"
 #include "chaos/nemesis.h"
 #include "harness/cluster.h"
+#include "obs/names.h"
 
 namespace nbraft::chaos {
 namespace {
@@ -56,6 +58,15 @@ ChaosRunner::Options SweepOptions() {
   options.rounds = 5;
   options.round_length = Millis(200);
   options.drain = Millis(1500);
+  // CI sets NBRAFT_POSTMORTEM_DIR so a failing seed leaves its merged
+  // flight-recorder dump behind as an uploadable artifact. Scoped per
+  // test case so parallel parameterizations never collide.
+  if (const char* dir = std::getenv("NBRAFT_POSTMORTEM_DIR")) {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    options.postmortem_dir = std::string(dir) + "/" +
+                             info->test_suite_name() + "." + info->name();
+  }
   return options;
 }
 
@@ -145,7 +156,7 @@ TEST(ChaosObservabilityTest, EmitsInstantsAndCounters) {
   ASSERT_NE(cluster->tracer(), nullptr);
   size_t chaos_instants = 0;
   for (const obs::InstantEvent& e : cluster->tracer()->instants()) {
-    if (std::strncmp(e.name, "chaos_", 6) == 0) ++chaos_instants;
+    if (std::strncmp(e.name, "chaos.", 6) == 0) ++chaos_instants;
   }
   EXPECT_GT(chaos_instants, 0u);
 
@@ -154,9 +165,10 @@ TEST(ChaosObservabilityTest, EmitsInstantsAndCounters) {
   int64_t injected = 0;
   int64_t per_kind_total = 0;
   for (const auto& [name, value] : cluster->registry()->CounterValues()) {
-    if (name == "chaos_faults_injected") injected = value;
-    if (name.rfind("chaos_", 0) == 0 && name != "chaos_faults_injected" &&
-        name != "chaos_heals") {
+    if (name == obs::names::kChaosFaultsInjected) injected = value;
+    if (name.rfind("chaos.", 0) == 0 &&
+        name != obs::names::kChaosFaultsInjected &&
+        name != obs::names::kChaosHealsTotal) {
       per_kind_total += value;
     }
   }
@@ -179,7 +191,7 @@ TEST(ChaosRegistryTest, CountersSurfaceWithoutTracing) {
   int64_t injected = 0;
   for (const auto& [name, value] :
        runner.cluster()->registry()->CounterValues()) {
-    if (name == "chaos_faults_injected") injected = value;
+    if (name == obs::names::kChaosFaultsInjected) injected = value;
   }
   EXPECT_GT(injected, 0);
 }

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 #include <tuple>
 
@@ -66,6 +67,14 @@ ChaosRunner::Options DiskSweepOptions() {
   options.rounds = 5;
   options.round_length = Millis(200);
   options.drain = Millis(1500);
+  // CI sets NBRAFT_POSTMORTEM_DIR so a failing seed leaves its merged
+  // flight-recorder dump behind as an uploadable artifact.
+  if (const char* dir = std::getenv("NBRAFT_POSTMORTEM_DIR")) {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    options.postmortem_dir = std::string(dir) + "/" +
+                             info->test_suite_name() + "." + info->name();
+  }
   return options;
 }
 

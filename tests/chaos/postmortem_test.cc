@@ -1,0 +1,187 @@
+// The automatic flight-recorder post-mortem: a deliberately induced
+// safety violation (simulated memory corruption of a committed follower
+// entry, injected through the mid-run hook) makes the ChaosRunner dump a
+// merged, virtual-time-ordered multi-node journal the moment the oracle
+// fires — and the dump is byte-identical across reruns of the same seed.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos_plan.h"
+#include "chaos/chaos_runner.h"
+#include "harness/cluster.h"
+#include "raft/raft_node.h"
+#include "storage/raft_log.h"
+
+namespace nbraft::chaos {
+namespace {
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+harness::ClusterConfig PostmortemConfig() {
+  harness::ClusterConfig config;
+  config.num_nodes = 3;
+  config.num_clients = 3;
+  config.protocol = raft::Protocol::kNbRaft;
+  config.window_size = 64;
+  config.payload_size = 256;
+  config.client_think = Millis(1);
+  config.election_timeout = Millis(150);
+  config.seed = 4242;
+  config.client_max_requests = 200;
+  config.snapshot_threshold = 0;
+  return config;
+}
+
+// A plan whose first nemesis action lands long after the run ends: the
+// violation must come from the injected corruption, nothing else.
+ChaosPlan QuietPlan() {
+  ChaosPlan plan;
+  plan.seed = 7;
+  plan.min_gap = Seconds(30);
+  plan.max_gap = Seconds(40);
+  return plan;
+}
+
+ChaosRunner::Options PostmortemOptions(const std::string& dir) {
+  ChaosRunner::Options options;
+  options.rounds = 3;
+  options.round_length = Millis(200);
+  options.drain = Millis(500);
+  options.postmortem_dir = dir;
+  options.postmortem_lookback = Seconds(2);
+  return options;
+}
+
+/// Flips one committed entry's request id on the first follower whose
+/// commit point is inside its physical log — the in-memory image now
+/// disagrees with the rest of the cluster on a committed index, which is
+/// exactly the State Machine Safety violation the oracle hunts.
+void CorruptCommittedFollowerEntry(harness::Cluster* cluster) {
+  raft::RaftNode* leader = cluster->leader();
+  for (int n = 0; n < cluster->num_nodes(); ++n) {
+    raft::RaftNode* node = cluster->node(n);
+    if (node == leader || node->crashed()) continue;
+    storage::RaftLog& log = node->log();
+    const storage::LogIndex target = node->commit_index();
+    if (target < log.FirstIndex() || target > log.LastIndex()) continue;
+
+    // Copy the suffix, rewrite it with one bit of history changed. Terms
+    // are untouched so the log's own continuity checks keep passing — the
+    // "corruption" is purely in the replicated content.
+    std::vector<storage::LogEntry> suffix;
+    for (storage::LogIndex i = target; i <= log.LastIndex(); ++i) {
+      suffix.push_back(log.AtUnchecked(i));
+    }
+    ASSERT_TRUE(log.TruncateSuffix(target).ok());
+    suffix.front().request_id ^= 0xDEADBEEF;
+    for (storage::LogEntry& entry : suffix) {
+      log.Append(std::move(entry));
+    }
+    return;
+  }
+  FAIL() << "no follower with a committed in-log entry to corrupt";
+}
+
+ChaosReport RunCorruptedScenario(const std::string& dir) {
+  ChaosRunner runner(PostmortemConfig(), QuietPlan(),
+                     PostmortemOptions(dir));
+  runner.set_mid_run_hook([](harness::Cluster* cluster, int round) {
+    if (round == 1) CorruptCommittedFollowerEntry(cluster);
+  });
+  return runner.Run();
+}
+
+TEST(PostmortemTest, InducedViolationDumpsMultiNodeTimeOrderedJournal) {
+  const std::string dir = ::testing::TempDir() + "/postmortem_run";
+  std::filesystem::remove_all(dir);
+  const ChaosReport report = RunCorruptedScenario(dir);
+
+  ASSERT_FALSE(report.ok()) << "corruption was not detected";
+  ASSERT_FALSE(report.postmortem_jsonl.empty());
+  ASSERT_FALSE(report.postmortem_timeline.empty());
+  ASSERT_TRUE(std::filesystem::exists(report.postmortem_jsonl));
+  ASSERT_TRUE(std::filesystem::exists(report.postmortem_timeline));
+
+  const std::string body = Slurp(report.postmortem_jsonl);
+  std::istringstream lines(body);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_NE(line.find("\"type\":\"meta\""), std::string::npos);
+
+  std::set<int> nodes_seen;
+  int64_t last_at = -1;
+  bool saw_violation = false;
+  while (std::getline(lines, line)) {
+    // Events are in global record order, so virtual time never regresses.
+    const size_t at_pos = line.find("\"at_ns\":");
+    ASSERT_NE(at_pos, std::string::npos) << line;
+    const int64_t at = std::stoll(line.substr(at_pos + 8));
+    EXPECT_GE(at, last_at) << "time went backwards: " << line;
+    last_at = at;
+
+    const size_t node_pos = line.find("\"node\":");
+    ASSERT_NE(node_pos, std::string::npos) << line;
+    const int node = std::stoi(line.substr(node_pos + 7));
+    if (node >= 0) nodes_seen.insert(node);
+
+    if (line.find("chaos.invariant_violate") != std::string::npos) {
+      saw_violation = true;
+    }
+  }
+  // The window spans the violation and carries events from every replica.
+  EXPECT_TRUE(saw_violation);
+  EXPECT_GE(nodes_seen.size(), 3u) << "post-mortem covers too few nodes";
+
+  // The human-readable timeline decoded the same story.
+  const std::string timeline = Slurp(report.postmortem_timeline);
+  EXPECT_NE(timeline.find("INVARIANT VIOLATION"), std::string::npos);
+  EXPECT_NE(timeline.find("node 0"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PostmortemTest, SameSeedProducesByteIdenticalDumps) {
+  const std::string dir_a = ::testing::TempDir() + "/postmortem_a";
+  const std::string dir_b = ::testing::TempDir() + "/postmortem_b";
+  std::filesystem::remove_all(dir_a);
+  std::filesystem::remove_all(dir_b);
+
+  const ChaosReport a = RunCorruptedScenario(dir_a);
+  const ChaosReport b = RunCorruptedScenario(dir_b);
+  ASSERT_FALSE(a.postmortem_jsonl.empty());
+  ASSERT_FALSE(b.postmortem_jsonl.empty());
+
+  EXPECT_EQ(Slurp(a.postmortem_jsonl), Slurp(b.postmortem_jsonl));
+  EXPECT_EQ(Slurp(a.postmortem_timeline), Slurp(b.postmortem_timeline));
+  std::filesystem::remove_all(dir_a);
+  std::filesystem::remove_all(dir_b);
+}
+
+TEST(PostmortemTest, CleanRunLeavesNoDump) {
+  const std::string dir = ::testing::TempDir() + "/postmortem_clean";
+  std::filesystem::remove_all(dir);
+  ChaosRunner::Options options = PostmortemOptions(dir);
+  options.rounds = 2;
+  ChaosRunner runner(PostmortemConfig(), QuietPlan(), options);
+  const ChaosReport report = runner.Run();
+
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_TRUE(report.postmortem_jsonl.empty());
+  EXPECT_TRUE(report.postmortem_timeline.empty());
+  // The directory is only created on first violation.
+  EXPECT_FALSE(std::filesystem::exists(dir));
+}
+
+}  // namespace
+}  // namespace nbraft::chaos

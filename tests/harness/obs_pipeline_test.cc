@@ -1,0 +1,157 @@
+// The full observability pipeline on a real cluster: the per-node pull
+// sources PR 1 stubbed out (window occupancy, pending barriers, CPU / IO
+// lane queue depths, replication lag) register and sample; every sampled
+// series mirrors into the Gorilla store at full resolution; the flight
+// recorder journals protocol events for every replica; and
+// WriteObsBundle() lands the whole snapshot set in one directory.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "harness/cluster.h"
+#include "obs/names.h"
+#include "tests/raft/test_cluster.h"
+
+namespace nbraft::harness {
+namespace {
+
+using raft::Protocol;
+using raft_test::SmallConfig;
+
+ClusterConfig ObsConfig(uint64_t seed) {
+  ClusterConfig config = SmallConfig(Protocol::kNbRaft, 3, 4, seed);
+  config.sample_interval = Millis(1);
+  config.journal = true;
+  config.compress_series = true;
+  config.disk.enabled = true;
+  config.disk.write_latency = Micros(10);
+  config.disk.fsync_latency = Micros(100);
+  config.disk.group_commit = true;
+  return config;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(ObsPipelineTest, PerNodeSourcesRegisterAndSample) {
+  Cluster cluster(ObsConfig(11));
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  cluster.StartClients();
+  cluster.RunFor(Millis(100));
+
+  ASSERT_NE(cluster.registry(), nullptr);
+  std::set<std::string> source_names;
+  for (const auto& source : cluster.registry()->sources()) {
+    source_names.insert(source.name);
+  }
+  for (int n = 0; n < cluster.num_nodes(); ++n) {
+    const std::string suffix = ".node" + std::to_string(n);
+    for (const char* base :
+         {obs::names::kWindowOccupancyNode, obs::names::kBarriersPending,
+          obs::names::kReplicationLag, obs::names::kCpuQueueDepth,
+          obs::names::kIoQueueDepth}) {
+      EXPECT_TRUE(source_names.count(base + suffix) == 1)
+          << "missing per-node source " << base << suffix;
+    }
+  }
+
+  // The sampler froze that source list and has been ticking.
+  ASSERT_NE(cluster.sampler(), nullptr);
+  const auto& samples = cluster.sampler()->samples();
+  ASSERT_GT(samples.size(), 50u);
+  const auto& names = cluster.sampler()->series_names();
+  ASSERT_EQ(names.size(), samples.front().values.size());
+
+  // The ingest workload moved real bytes, so the NIC series ends nonzero.
+  const auto it =
+      std::find(names.begin(), names.end(), obs::names::kNicBytesSent);
+  ASSERT_NE(it, names.end());
+  const size_t nic = static_cast<size_t>(it - names.begin());
+  EXPECT_GT(samples.back().values[nic], 0.0);
+}
+
+TEST(ObsPipelineTest, SeriesStoreMirrorsEverySampledSeries) {
+  Cluster cluster(ObsConfig(12));
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  cluster.StartClients();
+  cluster.RunFor(Millis(60));
+
+  obs::SeriesStore* store = cluster.series_store();
+  ASSERT_NE(store, nullptr);
+  const auto& names = cluster.sampler()->series_names();
+  const auto& samples = cluster.sampler()->samples();
+  ASSERT_EQ(store->series_count(), names.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(store->name(i), names[i]);
+    ASSERT_EQ(store->point_count(i), samples.size()) << names[i];
+    const auto decoded = store->Decode(i);
+    ASSERT_TRUE(decoded.ok()) << names[i];
+    for (size_t s = 0; s < samples.size(); ++s) {
+      ASSERT_EQ((*decoded)[s].timestamp, samples[s].at);
+      ASSERT_EQ((*decoded)[s].value, samples[s].values[i])
+          << names[i] << " sample " << s;
+    }
+  }
+}
+
+TEST(ObsPipelineTest, JournalCoversEveryReplica) {
+  Cluster cluster(ObsConfig(13));
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  cluster.StartClients();
+  cluster.RunFor(Millis(100));
+
+  obs::Journal* journal = cluster.journal();
+  ASSERT_NE(journal, nullptr);
+  EXPECT_GT(journal->events_recorded(), 0u);
+  for (int n = 0; n < cluster.num_nodes(); ++n) {
+    EXPECT_FALSE(journal->NodeEvents(n).empty()) << "node " << n;
+  }
+  // Disk mode journals storage barrier traffic too.
+  bool saw_fsync = false;
+  for (const obs::JournalEvent& e : journal->MergedEvents()) {
+    if (e.kind == obs::JournalEventKind::kDiskFsync) saw_fsync = true;
+  }
+  EXPECT_TRUE(saw_fsync);
+}
+
+TEST(ObsPipelineTest, WriteObsBundleLandsTheFullSnapshotSet) {
+  Cluster cluster(ObsConfig(14));
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader());
+  cluster.StartClients();
+  cluster.RunFor(Millis(50));
+
+  const std::string dir = ::testing::TempDir() + "/obs_bundle";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(cluster.WriteObsBundle(dir).ok());
+
+  for (const char* file : {"metrics.json", "metrics.prom", "journal.jsonl",
+                           "timeline.txt", "node_stats.json"}) {
+    EXPECT_TRUE(std::filesystem::exists(dir + "/" + file)) << file;
+  }
+  const std::string metrics = Slurp(dir + "/metrics.json");
+  EXPECT_NE(metrics.find("\"nbraft-obs-metrics-v1\""), std::string::npos);
+  EXPECT_NE(metrics.find(obs::names::kBarriersPending), std::string::npos);
+  const std::string prom = Slurp(dir + "/metrics.prom");
+  EXPECT_NE(prom.find("{node=\"0\"}"), std::string::npos);
+  const std::string journal = Slurp(dir + "/journal.jsonl");
+  EXPECT_NE(journal.find("\"type\":\"meta\""), std::string::npos);
+  EXPECT_NE(journal.find("net.msg_send"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace nbraft::harness

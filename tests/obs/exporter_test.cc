@@ -7,7 +7,9 @@
 #include <sstream>
 #include <string>
 
+#include "obs/names.h"
 #include "obs/registry.h"
+#include "obs/series_store.h"
 #include "obs/tracer.h"
 #include "sim/simulator.h"
 
@@ -41,7 +43,7 @@ TEST_F(ExporterTest, ChromeTraceContainsSpansInstantsAndCounters) {
   Tracer tracer(&sim);
   tracer.RecordSpan(metrics::Phase::kAppendFollower, 2, 5, 17, 99,
                     Micros(10), Micros(25));
-  tracer.RecordInstantAt("window_insert", 2, Micros(12), 17, 3);
+  tracer.RecordInstantAt(names::kWindowInsert, 2, Micros(12), 17, 3);
 
   Registry registry;
   registry.GetCounter("appends")->Increment(4);
@@ -67,7 +69,7 @@ TEST_F(ExporterTest, ChromeTraceContainsSpansInstantsAndCounters) {
   EXPECT_NE(body.find("\"ph\":\"X\""), std::string::npos);
   EXPECT_NE(body.find("t_append(F)"), std::string::npos);
   EXPECT_NE(body.find("\"ph\":\"i\""), std::string::npos);
-  EXPECT_NE(body.find("window_insert"), std::string::npos);
+  EXPECT_NE(body.find(names::kWindowInsert), std::string::npos);
   // Sampler series become counter tracks.
   EXPECT_NE(body.find("\"ph\":\"C\""), std::string::npos);
   EXPECT_NE(body.find("depth"), std::string::npos);
@@ -81,7 +83,7 @@ TEST_F(ExporterTest, ChromeTraceContainsSpansInstantsAndCounters) {
 TEST_F(ExporterTest, JsonlEmitsOneObjectPerLine) {
   Tracer tracer(nullptr);
   tracer.RecordSpan(metrics::Phase::kCommit, 0, 1, 2, 3, 0, 100);
-  tracer.RecordInstantAt("net_send", 0, 50, 1, 64);
+  tracer.RecordInstantAt(names::kMsgSend, 0, 50, 1, 64);
 
   Registry registry;
   registry.GetCounter("x")->Increment();
@@ -113,6 +115,91 @@ TEST_F(ExporterTest, JsonlEmitsOneObjectPerLine) {
   EXPECT_EQ(counters, 1);
   EXPECT_EQ(gauges, 1);
   EXPECT_EQ(metas, 1);
+}
+
+TEST_F(ExporterTest, EmptyInputsProduceValidFiles) {
+  // Every exporter must tolerate a cluster with all collectors off.
+  ExportInputs inputs;
+
+  const std::string trace = TempPath("empty_trace.json");
+  ASSERT_TRUE(WriteChromeTrace(trace, inputs).ok());
+  const std::string trace_body = Slurp(trace);
+  EXPECT_NE(trace_body.find("\"traceEvents\""), std::string::npos);
+  EXPECT_EQ(trace_body.front(), '{');
+
+  const std::string jsonl = TempPath("empty.jsonl");
+  ASSERT_TRUE(WriteJsonl(jsonl, inputs).ok());
+  EXPECT_TRUE(Slurp(jsonl).empty());
+
+  const std::string prom = TempPath("empty.prom");
+  ASSERT_TRUE(WritePrometheusText(prom, inputs).ok());
+  EXPECT_TRUE(Slurp(prom).empty());
+
+  const std::string json = TempPath("empty_metrics.json");
+  ASSERT_TRUE(WriteMetricsJson(json, inputs).ok());
+  const std::string json_body = Slurp(json);
+  EXPECT_NE(json_body.find("\"nbraft-obs-metrics-v1\""), std::string::npos);
+  EXPECT_NE(json_body.find("\"counters\":{}"), std::string::npos);
+  EXPECT_NE(json_body.find("\"series\":[]"), std::string::npos);
+}
+
+TEST_F(ExporterTest, PrometheusTurnsNodeSuffixIntoLabel) {
+  Registry registry;
+  registry.GetGauge("raft.window_occupancy.node2")->Set(37);
+  registry.GetGauge("raft.window_occupancy.node11")->Set(4);
+  registry.GetCounter("chaos.faults_injected")->Increment(3);
+
+  ExportInputs inputs;
+  inputs.registry = &registry;
+  const std::string path = TempPath("labels.prom");
+  ASSERT_TRUE(WritePrometheusText(path, inputs).ok());
+  const std::string body = Slurp(path);
+
+  EXPECT_NE(body.find("raft_window_occupancy{node=\"2\"} 37"),
+            std::string::npos);
+  EXPECT_NE(body.find("raft_window_occupancy{node=\"11\"} 4"),
+            std::string::npos);
+  EXPECT_NE(body.find("chaos_faults_injected 3"), std::string::npos);
+  // One TYPE header per family, even with two labeled series.
+  size_t headers = 0;
+  size_t pos = 0;
+  while ((pos = body.find("# TYPE raft_window_occupancy", pos)) !=
+         std::string::npos) {
+    ++headers;
+    pos += 1;
+  }
+  EXPECT_EQ(headers, 1u);
+}
+
+TEST_F(ExporterTest, MetricsJsonEmitsDecodedCompressedSeries) {
+  sim::Simulator sim(1);
+  Registry registry;
+  int tick = 0;
+  registry.AddSource("raft.apply_lag",
+                     [&tick]() { return 0.125 * tick++; });
+  Sampler sampler(&sim, &registry, Millis(1));
+  SeriesStore store(/*chunk_points=*/4);
+  sampler.set_series_store(&store);
+  sampler.Start();
+  sim.RunUntil(Millis(10));
+
+  ExportInputs inputs;
+  inputs.registry = &registry;
+  inputs.sampler = &sampler;
+  const std::string path = TempPath("metrics.json");
+  ASSERT_TRUE(WriteMetricsJson(path, inputs).ok());
+  const std::string body = Slurp(path);
+
+  EXPECT_NE(body.find("\"name\":\"raft.apply_lag\""), std::string::npos);
+  // Every raw sample reappears, decoded from the Gorilla chunks. 0.125
+  // steps are exact in binary so the %.17g text is exact too.
+  for (const Sampler::Sample& s : sampler.samples()) {
+    char point[64];
+    std::snprintf(point, sizeof(point), "[%lld,%.17g]",
+                  static_cast<long long>(s.at), s.values[0]);
+    EXPECT_NE(body.find(point), std::string::npos) << point;
+  }
+  EXPECT_NE(body.find("\"encoded_bytes\""), std::string::npos);
 }
 
 TEST_F(ExporterTest, UnwritablePathReturnsIoError) {

@@ -9,11 +9,14 @@ algorithmic regressions in the kernel, not runner noise.
 
 Usage: check_perf_smoke.py BASELINE.json FRESH.json [--floor 0.5]
        [--check-events]  (only when both reports used the same span/mode)
+       [--history FILE]  (append one JSONL record per run for trending)
 """
 
 import argparse
 import json
+import os
 import sys
+import time
 
 
 def load(path):
@@ -32,11 +35,18 @@ def main():
         action="store_true",
         help="also require identical (deterministic) event counts",
     )
+    parser.add_argument(
+        "--history",
+        metavar="FILE",
+        help="append a JSONL record (per-workload ev/s + ratio vs baseline) "
+        "so CI can archive a bench history across commits",
+    )
     args = parser.parse_args()
 
     base = load(args.baseline)
     fresh = load(args.fresh)
     failed = False
+    history = []
     for name, b in base.items():
         f = fresh.get(name)
         if f is None:
@@ -59,6 +69,28 @@ def main():
                 f"baseline {b['events']} (determinism violation)"
             )
             failed = True
+        history.append(
+            {
+                "name": name,
+                "events_per_sec": f["events_per_sec"],
+                "baseline_events_per_sec": baseline_eps,
+                "ratio": ratio,
+                "ok": ok,
+            }
+        )
+
+    if args.history:
+        record = {
+            "at": int(time.time()),
+            "baseline": args.baseline,
+            "floor": args.floor,
+            "commit": os.environ.get("GITHUB_SHA", ""),
+            "workloads": history,
+        }
+        with open(args.history, "a") as out:
+            out.write(json.dumps(record) + "\n")
+        print(f"history appended to {args.history}")
+
     sys.exit(1 if failed else 0)
 
 
