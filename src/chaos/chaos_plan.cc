@@ -15,6 +15,9 @@ const char* FaultKindName(FaultKind kind) {
     case FaultKind::kSlowNode: return "slow_node";
     case FaultKind::kDiskStall: return "disk_stall";
     case FaultKind::kDiskCorruption: return "disk_corruption";
+    case FaultKind::kDisruptiveServer: return "disruptive_server";
+    case FaultKind::kVoteWithholder: return "vote_withholder";
+    case FaultKind::kElectionStorm: return "election_storm";
   }
   return "unknown";
 }

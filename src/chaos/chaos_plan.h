@@ -25,6 +25,15 @@ enum class FaultKind : uint8_t {
   kDiskStall,        ///< Stall one node's fsyncs (slow disk / write-cache flush).
   kDiskCorruption,   ///< Bit-rot a durable tail record, then crash the node so
                      ///< recovery detects it (disk-fault runs only).
+  // Protocol-level adversaries: attacks on the election protocol itself
+  // rather than the environment. Not in the default mix (the default
+  // fault schedule is fingerprint-pinned) — opt in via `mix`.
+  kDisruptiveServer,  ///< Isolate a non-leader so its term inflates (or its
+                      ///< pre-vote canvasses fail), then rejoin it. Without
+                      ///< PreVote the rejoin deposes a healthy leader.
+  kVoteWithholder,    ///< One node refuses every vote/pre-vote request.
+  kElectionStorm,     ///< Repeatedly isolate whoever is currently leader,
+                      ///< forcing back-to-back elections.
 };
 
 const char* FaultKindName(FaultKind kind);
@@ -64,6 +73,9 @@ struct ChaosPlan {
   /// tail, so more than one per run can cut a quorum's worth of copies of
   /// the same entry (safety requires a quorum of intact replicas).
   int max_disk_corruptions = 1;
+  /// Isolate/rejoin cycles per kElectionStorm (each cycle targets whoever
+  /// is leader at that moment, ending healed).
+  int storm_cycles = 3;
 
   const std::vector<FaultKind>& EffectiveMix() const;
 };

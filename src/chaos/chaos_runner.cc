@@ -1,5 +1,6 @@
 #include "chaos/chaos_runner.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <utility>
 
@@ -76,6 +77,8 @@ ChaosReport ChaosRunner::Run() {
 
   cluster_ = std::make_unique<harness::Cluster>(config_);
   oracle_ = std::make_unique<SafetyOracle>(cluster_.get());
+  oracle_->set_expect_zero_depositions(options_.expect_zero_depositions);
+  oracle_->set_max_term_inflation(options_.max_term_inflation);
   oracle_->Install();
   nemesis_ = std::make_unique<Nemesis>(cluster_.get(), plan_);
 
@@ -115,6 +118,20 @@ ChaosReport ChaosRunner::Run() {
   const harness::ClusterStats stats = cluster_->Collect();
   report.requests_issued = stats.requests_issued;
   report.requests_completed = stats.requests_completed;
+
+  for (int n = 0; n < cluster_->num_nodes(); ++n) {
+    const raft::RaftNode* node = cluster_->node(n);
+    const raft::NodeStats& ns = node->stats();
+    report.terms_started += ns.terms_started;
+    report.prevotes_granted += ns.prevotes_granted;
+    report.prevotes_rejected += ns.prevotes_rejected;
+    report.leader_depositions += ns.leader_depositions;
+    report.checkquorum_stepdowns += ns.checkquorum_stepdowns;
+    if (!node->crashed()) {
+      report.max_term = std::max(
+          report.max_term, static_cast<uint64_t>(node->current_term()));
+    }
+  }
 
   if (raft::RaftNode* leader = cluster_->leader()) {
     report.final_commit_index = leader->commit_index();

@@ -29,6 +29,17 @@ struct ChaosReport {
   uint64_t lost_weak = 0;
   size_t terms_observed = 0;
 
+  // Adversarial-resilience aggregates (summed over all nodes; see
+  // raft::NodeStats). The blast-radius bench and the mitigation
+  // regression tests read these.
+  uint64_t terms_started = 0;
+  uint64_t prevotes_granted = 0;
+  uint64_t prevotes_rejected = 0;
+  uint64_t leader_depositions = 0;
+  uint64_t checkquorum_stepdowns = 0;
+  /// Highest term any live node holds at the end of the run.
+  uint64_t max_term = 0;
+
   int64_t final_commit_index = 0;
   /// FNV-1a over the final leader's committed (index, term, request_id)
   /// sequence: the run's observable outcome in one number.
@@ -65,6 +76,12 @@ class ChaosRunner {
     /// of virtual time before the violation.
     std::string postmortem_dir;
     SimDuration postmortem_lookback = Seconds(2);
+
+    /// Opt-in mitigation expectations, forwarded to the SafetyOracle
+    /// (violations when broken). Used by adversarial mitigation runs.
+    bool expect_zero_depositions = false;
+    /// Bound on live-max-term minus last-led-term; < 0 disables.
+    int64_t max_term_inflation = -1;
   };
 
   ChaosRunner(harness::ClusterConfig config, ChaosPlan plan,

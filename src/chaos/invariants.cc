@@ -54,15 +54,67 @@ void SafetyOracle::Install() {
   });
 }
 
+void SafetyOracle::CheckTermAccounting() {
+  // Every term value above the initial one was minted by exactly one
+  // StartElection term bump somewhere, and NodeStats survives crashes, so
+  // the highest term any live node holds can never exceed the total mint
+  // count. A node holding an unaccounted term fabricated it.
+  storage::Term max_term = 0;
+  uint64_t minted = 0;
+  for (int n = 0; n < cluster_->num_nodes(); ++n) {
+    const raft::RaftNode* node = cluster_->node(n);
+    minted += node->stats().terms_started;
+    if (node->crashed()) continue;
+    max_term = std::max(max_term, node->current_term());
+  }
+  if (static_cast<uint64_t>(max_term) > minted) {
+    AddViolation("term accounting: live max term " +
+                 std::to_string(max_term) + " exceeds " +
+                 std::to_string(minted) + " terms ever started");
+  }
+
+  if (max_term_inflation_ >= 0) {
+    // Inflation = terms minted beyond the last one that actually elected
+    // a leader. Under PreVote a node cannot mint terms it could not win,
+    // so the gap stays small; the disruptive-server attack without
+    // PreVote blows it up (one mint per election timeout isolated).
+    storage::Term max_led = 0;
+    if (!leaders_by_term_.empty()) max_led = leaders_by_term_.rbegin()->first;
+    const int64_t inflation =
+        static_cast<int64_t>(max_term) - static_cast<int64_t>(max_led);
+    if (inflation > max_term_inflation_) {
+      AddViolation("term inflation: live max term " +
+                   std::to_string(max_term) + " is " +
+                   std::to_string(inflation) +
+                   " above the last led term (bound " +
+                   std::to_string(max_term_inflation_) + ")");
+    }
+  }
+}
+
 void SafetyOracle::CheckMidRun() {
   Status s = cluster_->CheckLogMatching();
   if (!s.ok()) AddViolation(s.ToString());
   s = cluster_->CheckCommittedPrefixes();
   if (!s.ok()) AddViolation(s.ToString());
+  CheckTermAccounting();
 }
 
 void SafetyOracle::CheckFinal() {
   CheckMidRun();
+
+  if (expect_zero_depositions_) {
+    uint64_t depositions = 0;
+    for (int n = 0; n < cluster_->num_nodes(); ++n) {
+      depositions += cluster_->node(n)->stats().leader_depositions;
+    }
+    if (depositions > 0) {
+      AddViolation("healthy-leader deposition: " +
+                   std::to_string(depositions) +
+                   " leaders forced down by a higher term despite "
+                   "mitigations");
+    }
+  }
 
   raft::RaftNode* leader = cluster_->leader();
   if (leader == nullptr) {

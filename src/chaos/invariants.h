@@ -34,6 +34,21 @@ namespace nbraft::chaos {
 ///    durably stored — via a strong accept, a counted self-vote or a
 ///    remembered vote grant) must sit inside its fsynced prefix. Checked
 ///    from the cluster crash observer, before the node's memory is wiped.
+///  - Term accounting (always on): every term value above the initial one
+///    is minted by exactly one StartElection bump, so the max current_term
+///    of any live node can never exceed the sum of terms_started across
+///    all nodes (stats survive crashes).
+///
+/// Plus two *opt-in* expectations for adversarial mitigation runs:
+///
+///  - Zero depositions (set_expect_zero_depositions): no live leader was
+///    ever forced down by a higher term — what CheckQuorum + leader lease
+///    + PreVote promise under the disruptive-server attack.
+///  - Bounded term inflation (set_max_term_inflation): the gap between
+///    the highest term any live node holds and the highest term that
+///    actually elected a leader stays <= the bound — what PreVote
+///    promises (an isolated node cannot mint terms it can't win).
+///    Checked mid-run too, where the inflation is actually visible.
 class SafetyOracle {
  public:
   explicit SafetyOracle(harness::Cluster* cluster);
@@ -64,8 +79,20 @@ class SafetyOracle {
   /// After CheckFinal: strong-acked ids audited.
   uint64_t strong_acked_count() const { return strong_acked_count_; }
 
+  // ---- Opt-in adversarial-mitigation expectations ----
+
+  /// Expect no healthy-leader deposition: sum of leader_depositions
+  /// across all nodes must be 0 at CheckFinal.
+  void set_expect_zero_depositions(bool expect) {
+    expect_zero_depositions_ = expect;
+  }
+  /// Bound on (max live current_term) - (max term that elected a leader);
+  /// < 0 disables (the default). Checked at every CheckMidRun/CheckFinal.
+  void set_max_term_inflation(int64_t bound) { max_term_inflation_ = bound; }
+
  private:
   void AddViolation(std::string what);
+  void CheckTermAccounting();
 
   harness::Cluster* cluster_;
   bool installed_ = false;
@@ -73,6 +100,8 @@ class SafetyOracle {
   std::vector<std::string> violations_;
   uint64_t lost_weak_count_ = 0;
   uint64_t strong_acked_count_ = 0;
+  bool expect_zero_depositions_ = false;
+  int64_t max_term_inflation_ = -1;
 };
 
 }  // namespace nbraft::chaos

@@ -37,6 +37,10 @@ const char* InstantName(FaultKind kind, bool heal) {
     case FaultKind::kDiskStall:
     case FaultKind::kDiskCorruption:
       return obs::names::kChaosDisk;
+    case FaultKind::kDisruptiveServer:
+    case FaultKind::kVoteWithholder:
+    case FaultKind::kElectionStorm:
+      return obs::names::kChaosAdversary;
   }
   return obs::names::kChaosFault;
 }
@@ -120,6 +124,15 @@ void Nemesis::InjectOne() {
       break;
     case FaultKind::kDiskCorruption:
       InjectDiskCorruption(duration);
+      break;
+    case FaultKind::kDisruptiveServer:
+      InjectDisruptiveServer(duration);
+      break;
+    case FaultKind::kVoteWithholder:
+      InjectVoteWithholder(duration);
+      break;
+    case FaultKind::kElectionStorm:
+      InjectElectionStorm(duration);
       break;
   }
 }
@@ -381,6 +394,121 @@ bool Nemesis::InjectDiskCorruption(SimDuration duration) {
   return true;
 }
 
+void Nemesis::SetIsolated(net::NodeId victim, bool isolated) {
+  for (int j = 0; j < cluster_->num_nodes(); ++j) {
+    if (j == victim) continue;
+    cluster_->network()->SetLinkCut(victim, j, isolated);
+  }
+}
+
+bool Nemesis::InjectDisruptiveServer(SimDuration duration) {
+  // The classic rejoining-partitioned-node attack: isolate a NON-leader so
+  // its election timer keeps firing while it cannot win. Without PreVote
+  // its term inflates once per timeout; the rejoin then forces the healthy
+  // leader down. With PreVote the canvasses fail and nothing inflates.
+  raft::RaftNode* leader = cluster_->leader();
+  if (leader == nullptr) return false;
+  std::vector<net::NodeId> eligible;
+  for (int i = 0; i < cluster_->num_nodes(); ++i) {
+    if (i == leader->id() || cluster_->node(i)->crashed()) continue;
+    const auto already = [i](const ActiveIsolation& iso) {
+      return iso.victim == i;
+    };
+    if (std::find_if(active_isolations_.begin(), active_isolations_.end(),
+                     already) != active_isolations_.end()) {
+      continue;
+    }
+    eligible.push_back(i);
+  }
+  if (eligible.empty()) return false;
+  const net::NodeId victim =
+      eligible[static_cast<size_t>(rng_.NextBounded(eligible.size()))];
+  SetIsolated(victim, true);
+  const uint64_t id = next_cut_id_++;
+  active_isolations_.push_back({id, victim, FaultKind::kDisruptiveServer});
+  Record(FaultKind::kDisruptiveServer, /*heal=*/false, victim,
+         net::kInvalidNode, duration);
+  cluster_->sim()->After(duration, [this, id]() {
+    auto it = std::find_if(
+        active_isolations_.begin(), active_isolations_.end(),
+        [id](const ActiveIsolation& iso) { return iso.id == id; });
+    if (it == active_isolations_.end()) return;  // HealAll got there first.
+    SetIsolated(it->victim, false);
+    Record(FaultKind::kDisruptiveServer, /*heal=*/true, it->victim,
+           net::kInvalidNode, 0);
+    active_isolations_.erase(it);
+  });
+  return true;
+}
+
+bool Nemesis::InjectVoteWithholder(SimDuration duration) {
+  const net::NodeId victim = PickUpNode();
+  if (victim == net::kInvalidNode) return false;
+  cluster_->node(victim)->set_withhold_votes(true);
+  ++active_withhold_[victim];
+  Record(FaultKind::kVoteWithholder, /*heal=*/false, victim,
+         net::kInvalidNode, duration);
+  cluster_->sim()->After(duration, [this, victim]() {
+    auto it = active_withhold_.find(victim);
+    if (it == active_withhold_.end()) return;
+    if (--it->second == 0) {
+      active_withhold_.erase(it);
+      cluster_->node(victim)->set_withhold_votes(false);
+      Record(FaultKind::kVoteWithholder, /*heal=*/true, victim,
+             net::kInvalidNode, 0);
+    }
+  });
+  return true;
+}
+
+bool Nemesis::InjectElectionStorm(SimDuration duration) {
+  // Repeated-partition schedule: every cycle isolates whoever is leader at
+  // that moment for half a cycle, forcing the rest to elect, then rejoins
+  // it. Ends healed. One inject/heal record pair (like kLinkFlap), so the
+  // fault fingerprint stays schedule-shaped, not leader-identity-shaped.
+  raft::RaftNode* leader = cluster_->leader();
+  if (leader == nullptr) return false;
+  const int cycles = std::max(plan_.storm_cycles, 1);
+  const SimDuration half = std::max<SimDuration>(duration / (2 * cycles), 1);
+  const net::NodeId first_victim = leader->id();
+  SetIsolated(first_victim, true);
+  const uint64_t id = next_cut_id_++;
+  active_isolations_.push_back({id, first_victim, FaultKind::kElectionStorm});
+  Record(FaultKind::kElectionStorm, /*heal=*/false, first_victim,
+         net::kInvalidNode, cycles);
+  for (int t = 1; t < 2 * cycles; ++t) {
+    const bool cut = (t % 2) == 0;
+    cluster_->sim()->After(half * t, [this, id, cut]() {
+      auto it = std::find_if(
+          active_isolations_.begin(), active_isolations_.end(),
+          [id](const ActiveIsolation& iso) { return iso.id == id; });
+      if (it == active_isolations_.end()) return;
+      if (cut) {
+        if (raft::RaftNode* l = cluster_->leader()) {
+          it->victim = l->id();
+          SetIsolated(it->victim, true);
+        } else {
+          it->victim = net::kInvalidNode;  // No leader to attack this cycle.
+        }
+      } else {
+        if (it->victim != net::kInvalidNode) SetIsolated(it->victim, false);
+        it->victim = net::kInvalidNode;
+      }
+    });
+  }
+  cluster_->sim()->After(half * (2 * cycles), [this, id]() {
+    auto it = std::find_if(
+        active_isolations_.begin(), active_isolations_.end(),
+        [id](const ActiveIsolation& iso) { return iso.id == id; });
+    if (it == active_isolations_.end()) return;
+    if (it->victim != net::kInvalidNode) SetIsolated(it->victim, false);
+    Record(FaultKind::kElectionStorm, /*heal=*/true, it->victim,
+           net::kInvalidNode, 0);
+    active_isolations_.erase(it);
+  });
+  return true;
+}
+
 void Nemesis::HealAll() {
   for (net::NodeId victim : crashed_) {
     cluster_->RestartNode(victim);
@@ -397,6 +525,17 @@ void Nemesis::HealAll() {
            /*heal=*/true, cut.a, cut.b, 0);
   }
   active_cuts_.clear();
+  for (const ActiveIsolation& iso : active_isolations_) {
+    if (iso.victim != net::kInvalidNode) SetIsolated(iso.victim, false);
+    Record(iso.kind, /*heal=*/true, iso.victim, net::kInvalidNode, 0);
+  }
+  active_isolations_.clear();
+  for (const auto& [victim, count] : active_withhold_) {
+    cluster_->node(victim)->set_withhold_votes(false);
+    Record(FaultKind::kVoteWithholder, /*heal=*/true, victim,
+           net::kInvalidNode, 0);
+  }
+  active_withhold_.clear();
   if (active_drop_storms_ > 0) {
     active_drop_storms_ = 0;
     cluster_->network()->set_drop_probability(

@@ -65,6 +65,14 @@ class Nemesis {
   bool InjectSlowNode(SimDuration duration);
   bool InjectDiskStall(SimDuration duration);
   bool InjectDiskCorruption(SimDuration duration);
+  // Protocol-level adversaries.
+  bool InjectDisruptiveServer(SimDuration duration);
+  bool InjectVoteWithholder(SimDuration duration);
+  bool InjectElectionStorm(SimDuration duration);
+
+  /// Cuts (or restores) every link between `victim` and the other
+  /// replicas — full isolation, the adversaries' shared primitive.
+  void SetIsolated(net::NodeId victim, bool isolated);
 
   /// Random up replica (excludes nemesis-crashed nodes), or kInvalidNode.
   net::NodeId PickUpNode();
@@ -99,6 +107,17 @@ class Nemesis {
   };
   std::vector<ActiveCut> active_cuts_;
   uint64_t next_cut_id_ = 1;
+
+  /// Outstanding full-node isolations (disruptive server / election
+  /// storm). `victim` is kInvalidNode during a storm's healed half-cycle.
+  struct ActiveIsolation {
+    uint64_t id;
+    net::NodeId victim;
+    FaultKind kind;
+  };
+  std::vector<ActiveIsolation> active_isolations_;
+  /// Per-node outstanding vote-withholder effects (refcounted like skew).
+  std::unordered_map<net::NodeId, int> active_withhold_;
 
   std::vector<FaultRecord> records_;
 };

@@ -46,6 +46,9 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
                                          ? std::max(config_.num_clients, 1)
                                          : config_.dispatchers;
   options.max_batch_entries = config_.max_batch_entries;
+  options.pre_vote = config_.pre_vote;
+  options.check_quorum = config_.check_quorum;
+  options.leader_lease = config_.leader_lease;
   options.cpu_lanes = config_.cpu_lanes;
   options.election_timeout = config_.election_timeout;
   options.release_applied_payloads = config_.release_payloads;

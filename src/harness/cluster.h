@@ -46,6 +46,13 @@ struct ClusterConfig {
   /// paper's unbatched wire protocol).
   int max_batch_entries = 1;
 
+  /// Adversarial-resilience mitigations forwarded to every node (see
+  /// raft::RaftOptions). All off by default — the default cluster is
+  /// bit-identical to the unmitigated protocol.
+  bool pre_vote = false;
+  bool check_quorum = false;
+  bool leader_lease = false;
+
   int cpu_lanes = 16;
   double cpu_speed = 1.0;      ///< Fig. 23: < 1 models disabled CPU-Turbo.
 

@@ -67,6 +67,16 @@ const char* Journal::KindName(JournalEventKind kind) {
       return "raft.leader_elected";
     case JournalEventKind::kStepDown:
       return "raft.step_down";
+    case JournalEventKind::kPreVoteStart:
+      return "election.prevote_start";
+    case JournalEventKind::kPreVoteGrant:
+      return "election.prevote_grant";
+    case JournalEventKind::kPreVoteReject:
+      return "election.prevote_reject";
+    case JournalEventKind::kLeaseReject:
+      return "election.lease_reject";
+    case JournalEventKind::kQuorumLost:
+      return "election.quorum_lost";
     case JournalEventKind::kRpcSend:
       return "net.msg_send";
     case JournalEventKind::kRpcRecv:
@@ -260,6 +270,26 @@ std::string Journal::FormatEvent(const JournalEvent& e,
       line += std::string(e.b != 0 ? "steps down from leadership"
                                    : "steps down") +
               ", term " + std::to_string(e.a);
+      break;
+    case JournalEventKind::kPreVoteStart:
+      line += "starts pre-vote canvass for term " + std::to_string(e.a);
+      break;
+    case JournalEventKind::kPreVoteGrant:
+      line += "grants pre-vote to " + name_of(e.peer) + " for term " +
+              std::to_string(e.a);
+      break;
+    case JournalEventKind::kPreVoteReject:
+      line += "rejects pre-vote from " + name_of(e.peer) + " for term " +
+              std::to_string(e.a);
+      break;
+    case JournalEventKind::kLeaseReject:
+      line += std::string("lease holds: rejects ") +
+              (e.b != 0 ? "pre-vote" : "vote") + " from " + name_of(e.peer) +
+              " at term " + std::to_string(e.a);
+      break;
+    case JournalEventKind::kQuorumLost:
+      line += "QUORUM LOST as leader, term " + std::to_string(e.a) + " (" +
+              std::to_string(e.b) + " responsive)";
       break;
     case JournalEventKind::kRpcSend:
       line += "send " +

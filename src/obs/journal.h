@@ -21,6 +21,12 @@ enum class JournalEventKind : uint8_t {
   kElectionStart,   ///< a = term.
   kLeaderElected,   ///< a = term.
   kStepDown,        ///< a = term, b = 1 when leadership was lost.
+  // election: mitigation phases (PreVote / leader lease / CheckQuorum).
+  kPreVoteStart,   ///< a = prospective term.
+  kPreVoteGrant,   ///< peer = candidate, a = prospective term.
+  kPreVoteReject,  ///< peer = candidate, a = prospective term.
+  kLeaseReject,    ///< peer = candidate, a = candidate term, b = 1 prevote.
+  kQuorumLost,     ///< a = term, b = responsive voters (incl. self).
   // net: RPCs, decoded at the consensus layer.
   kRpcSend,  ///< peer = to, a = JournalRpc, b = wire bytes.
   kRpcRecv,  ///< peer = from, a = JournalRpc, b = wire bytes.

@@ -13,7 +13,8 @@ namespace nbraft::obs::names {
 ///
 ///     subsystem.noun_verb[.nodeN]
 ///
-/// where `subsystem` is one of {net, raft, storage, client, chaos, sim}
+/// where `subsystem` is one of {net, raft, election, storage, client,
+/// chaos, sim}
 /// and the optional `.nodeN` suffix scopes a per-replica series. The
 /// constants below are the single source of truth: call sites reference
 /// them instead of re-typing string literals, and the conformance test
@@ -34,6 +35,13 @@ inline constexpr char kClientRetryAll[] = "client.retry_all";
 inline constexpr char kClientWeakAccept[] = "client.weak_accept";
 inline constexpr char kClientStrongAccept[] = "client.strong_accept";
 
+// ---- Election-mitigation instants (PreVote / lease / CheckQuorum) ----
+inline constexpr char kPreVoteStart[] = "election.prevote_start";
+inline constexpr char kPreVoteGrant[] = "election.prevote_grant";
+inline constexpr char kPreVoteReject[] = "election.prevote_reject";
+inline constexpr char kLeaseReject[] = "election.lease_reject";
+inline constexpr char kQuorumLost[] = "election.quorum_lost";
+
 // ---- Chaos instants (nemesis fault / heal markers) ----
 inline constexpr char kChaosCrash[] = "chaos.crash_inject";
 inline constexpr char kChaosRestart[] = "chaos.node_restart";
@@ -44,6 +52,10 @@ inline constexpr char kChaosSlow[] = "chaos.slow_inject";
 inline constexpr char kChaosDisk[] = "chaos.disk_inject";
 inline constexpr char kChaosHeal[] = "chaos.fault_heal";
 inline constexpr char kChaosFault[] = "chaos.fault_inject";
+/// Protocol-level adversaries (disruptive server, vote withholder,
+/// election storm) — attacks on the protocol itself rather than the
+/// environment.
+inline constexpr char kChaosAdversary[] = "chaos.adversary_inject";
 
 // ---- Registry counters ----
 inline constexpr char kChaosFaultsInjected[] = "chaos.faults_injected";
@@ -74,6 +86,9 @@ inline constexpr const char* kAllNames[] = {
     kWindowFlush,        kElectionStart,
     kLeaderElected,      kClientRetryAll,
     kClientWeakAccept,   kClientStrongAccept,
+    kPreVoteStart,       kPreVoteGrant,
+    kPreVoteReject,      kLeaseReject,
+    kQuorumLost,         kChaosAdversary,
     kChaosCrash,         kChaosRestart,
     kChaosPartition,     kChaosStorm,
     kChaosSkew,          kChaosSlow,

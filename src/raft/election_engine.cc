@@ -14,6 +14,9 @@ void ElectionEngine::ArmElectionTimer() {
   sim::Simulator* sim = ctx_->simulator();
   sim->Cancel(election_timer_);
   const SimDuration base = ctx_->options().election_timeout;
+  // Jitter is drawn per arming (never cached per node): each retry gets a
+  // fresh draw from [base, 2*base), which is what breaks split-vote /
+  // election-storm resonance between replicas.
   SimDuration delay =
       base + static_cast<SimDuration>(ctx_->rng().NextBounded(
                  static_cast<uint64_t>(std::max<SimDuration>(base, 1))));
@@ -29,14 +32,76 @@ void ElectionEngine::ArmElectionTimer() {
     if (core.crashed || epoch != core.epoch || core.role == Role::kLeader) {
       return;
     }
-    StartElection();
+    OnElectionTimeout();
   });
+}
+
+void ElectionEngine::OnElectionTimeout() {
+  if (ctx_->options().pre_vote) {
+    StartPreVote();
+    return;
+  }
+  StartElection();
 }
 
 void ElectionEngine::OnCrash() {
   ctx_->simulator()->Cancel(election_timer_);
   election_timer_ = sim::kInvalidEventId;
   votes_received_.clear();
+  AbortPreVote();
+  CancelCheckQuorumTimer();
+  last_leader_contact_ = 0;
+}
+
+bool ElectionEngine::LeaseHeld() const {
+  const CoreState& core = ctx_->core();
+  if (core.role == Role::kLeader) return true;
+  if (core.leader == net::kInvalidNode || last_leader_contact_ == 0) {
+    return false;
+  }
+  return ctx_->simulator()->Now() - last_leader_contact_ <
+         ctx_->options().election_timeout;
+}
+
+void ElectionEngine::StartPreVote() {
+  CoreState& core = ctx_->core();
+  if (core.heal_quarantine) {
+    // Same sit-out as StartElection: a corruption-truncated log must not
+    // seek leadership, not even tentatively.
+    ArmElectionTimer();
+    return;
+  }
+  AbortPreVote();
+  prevote_in_progress_ = true;
+  prevote_term_ = core.current_term + 1;
+  prevotes_received_.insert(ctx_->id());
+  NBRAFT_LOG(Info) << "node " << ctx_->id()
+                   << " starts pre-vote canvass for term " << prevote_term_;
+  if (ctx_->tracer() != nullptr) {
+    ctx_->tracer()->RecordInstant(obs::names::kPreVoteStart, ctx_->id(),
+                                  static_cast<int64_t>(prevote_term_));
+  }
+  if (obs::Journal* j = ctx_->journal(); j != nullptr) {
+    j->Record(obs::JournalEventKind::kPreVoteStart, ctx_->id(), -1,
+              static_cast<int64_t>(prevote_term_));
+  }
+  if (static_cast<int>(prevotes_received_.size()) >= ctx_->quorum()) {
+    AbortPreVote();
+    StartElection();
+    return;
+  }
+  // The canvass is non-binding: nothing is persisted and no durability
+  // barrier gates the sends — a forgotten pre-vote costs nothing.
+  RequestVoteRequest req;
+  req.term = prevote_term_;
+  req.candidate = ctx_->id();
+  req.last_log_index = ctx_->log().LastIndex();
+  req.last_log_term = ctx_->log().LastTerm();
+  req.pre_vote = true;
+  for (net::NodeId peer : ctx_->peer_ids()) {
+    ctx_->SendTo(peer, req.WireSize(), req);
+  }
+  ArmElectionTimer();  // Retry the canvass with a fresh randomized timeout.
 }
 
 void ElectionEngine::StartElection() {
@@ -48,7 +113,9 @@ void ElectionEngine::StartElection() {
     ArmElectionTimer();
     return;
   }
+  AbortPreVote();
   ++core.current_term;
+  ++ctx_->stats().terms_started;
   core.role = Role::kCandidate;
   core.voted_for = ctx_->id();
   ctx_->PersistHardState();
@@ -105,8 +172,79 @@ void ElectionEngine::StartElection() {
   ArmElectionTimer();  // Retry with a fresh randomized timeout.
 }
 
-void ElectionEngine::HandleRequestVote(RequestVoteRequest req) {
+void ElectionEngine::SendLeaseReject(const RequestVoteRequest& req) {
+  const CoreState& core = ctx_->core();
+  if (ctx_->tracer() != nullptr) {
+    ctx_->tracer()->RecordInstant(obs::names::kLeaseReject, ctx_->id(),
+                                  req.candidate);
+  }
+  if (obs::Journal* j = ctx_->journal(); j != nullptr) {
+    j->Record(obs::JournalEventKind::kLeaseReject, ctx_->id(),
+              static_cast<int32_t>(req.candidate),
+              static_cast<int64_t>(req.term), req.pre_vote ? 1 : 0);
+  }
+  RequestVoteResponse resp;
+  resp.term = core.current_term;
+  resp.from = ctx_->id();
+  resp.granted = false;
+  resp.pre_vote = req.pre_vote;
+  ctx_->SendTo(req.candidate, resp.WireSize(), resp);
+}
+
+void ElectionEngine::HandlePreVoteRequest(const RequestVoteRequest& req) {
   CoreState& core = ctx_->core();
+  RequestVoteResponse resp;
+  resp.term = core.current_term;
+  resp.from = ctx_->id();
+  resp.granted = false;
+  resp.pre_vote = true;
+  if (ctx_->options().leader_lease && LeaseHeld()) {
+    ++ctx_->stats().prevotes_rejected;
+    SendLeaseReject(req);
+    return;
+  }
+  if (!withhold_votes_ && !core.heal_quarantine &&
+      req.term > core.current_term) {
+    // Non-binding up-to-date check against the prospective term; no term
+    // adoption, no voted_for move, no persistence, and — unlike a real
+    // grant — no election-timer reset.
+    const storage::RaftLog& log = ctx_->log();
+    resp.granted = req.last_log_term > log.LastTerm() ||
+                   (req.last_log_term == log.LastTerm() &&
+                    req.last_log_index >= log.LastIndex());
+  }
+  if (resp.granted) {
+    ++ctx_->stats().prevotes_granted;
+  } else {
+    ++ctx_->stats().prevotes_rejected;
+  }
+  if (ctx_->tracer() != nullptr) {
+    ctx_->tracer()->RecordInstant(resp.granted ? obs::names::kPreVoteGrant
+                                               : obs::names::kPreVoteReject,
+                                  ctx_->id(), req.candidate);
+  }
+  if (obs::Journal* j = ctx_->journal(); j != nullptr) {
+    j->Record(resp.granted ? obs::JournalEventKind::kPreVoteGrant
+                           : obs::JournalEventKind::kPreVoteReject,
+              ctx_->id(), static_cast<int32_t>(req.candidate),
+              static_cast<int64_t>(req.term));
+  }
+  ctx_->SendTo(req.candidate, resp.WireSize(), resp);
+}
+
+void ElectionEngine::HandleRequestVote(RequestVoteRequest req) {
+  if (req.pre_vote) {
+    HandlePreVoteRequest(req);
+    return;
+  }
+  CoreState& core = ctx_->core();
+  if (ctx_->options().leader_lease && LeaseHeld()) {
+    // The deposition shield: a known-live leader outranks any candidacy.
+    // Critically this runs *before* the higher-term step-down — the
+    // candidate's (possibly inflated) term is never adopted.
+    SendLeaseReject(req);
+    return;
+  }
   if (req.term > core.current_term) {
     StepDown(req.term, net::kInvalidNode);
   }
@@ -114,7 +252,8 @@ void ElectionEngine::HandleRequestVote(RequestVoteRequest req) {
   resp.term = core.current_term;
   resp.from = ctx_->id();
   resp.granted = false;
-  if (req.term == core.current_term && !core.heal_quarantine &&
+  if (!withhold_votes_ && req.term == core.current_term &&
+      !core.heal_quarantine &&
       (core.voted_for == net::kInvalidNode ||
        core.voted_for == req.candidate)) {
     // A quarantined node grants no votes: its truncated log makes the
@@ -153,6 +292,19 @@ void ElectionEngine::HandleVoteResponse(RequestVoteResponse resp) {
     StepDown(resp.term, net::kInvalidNode);
     return;
   }
+  if (resp.pre_vote) {
+    if (!prevote_in_progress_ || !resp.granted ||
+        core.role != Role::kFollower ||
+        prevote_term_ != core.current_term + 1) {
+      return;  // Stale canvass (term moved on) or a plain rejection.
+    }
+    prevotes_received_.insert(resp.from);
+    if (static_cast<int>(prevotes_received_.size()) >= ctx_->quorum()) {
+      AbortPreVote();
+      StartElection();
+    }
+    return;
+  }
   if (core.role != Role::kCandidate || resp.term != core.current_term ||
       !resp.granted) {
     return;
@@ -161,6 +313,55 @@ void ElectionEngine::HandleVoteResponse(RequestVoteResponse resp) {
   if (static_cast<int>(votes_received_.size()) >= ctx_->quorum()) {
     BecomeLeader();
   }
+}
+
+void ElectionEngine::ArmCheckQuorumTimer() {
+  sim::Simulator* sim = ctx_->simulator();
+  sim->Cancel(check_quorum_timer_);
+  const uint64_t epoch = ctx_->core().epoch;
+  check_quorum_timer_ =
+      sim->After(ctx_->options().election_timeout, [this, epoch]() {
+        const CoreState& core = ctx_->core();
+        if (core.crashed || epoch != core.epoch ||
+            core.role != Role::kLeader) {
+          return;
+        }
+        OnCheckQuorumTimeout();
+      });
+}
+
+void ElectionEngine::OnCheckQuorumTimeout() {
+  CoreState& core = ctx_->core();
+  const SimTime now = ctx_->simulator()->Now();
+  const SimDuration window = ctx_->options().election_timeout;
+  const int responsive =
+      ctx_->pipeline()->PeersRespondedSince(now > window ? now - window : 0) +
+      1;  // Self.
+  if (responsive >= ctx_->quorum()) {
+    ArmCheckQuorumTimer();
+    return;
+  }
+  ++ctx_->stats().checkquorum_stepdowns;
+  NBRAFT_LOG(Info) << "node " << ctx_->id() << " lost quorum contact ("
+                   << responsive << " responsive), stepping down in term "
+                   << core.current_term;
+  if (ctx_->tracer() != nullptr) {
+    ctx_->tracer()->RecordInstant(obs::names::kQuorumLost, ctx_->id(),
+                                  core.current_term);
+  }
+  if (obs::Journal* j = ctx_->journal(); j != nullptr) {
+    j->Record(obs::JournalEventKind::kQuorumLost, ctx_->id(), -1,
+              static_cast<int64_t>(core.current_term), responsive);
+  }
+  // Same-term step-down: this is voluntary abdication, not a deposition
+  // (no higher term forced it), so leader_depositions stays untouched.
+  StepDown(core.current_term, net::kInvalidNode);
+}
+
+void ElectionEngine::CancelCheckQuorumTimer() {
+  if (check_quorum_timer_ == sim::kInvalidEventId) return;
+  ctx_->simulator()->Cancel(check_quorum_timer_);
+  check_quorum_timer_ = sim::kInvalidEventId;
 }
 
 void ElectionEngine::BecomeLeader() {
@@ -186,6 +387,8 @@ void ElectionEngine::BecomeLeader() {
   if (leader_observer_) leader_observer_(core.current_term, ctx_->id());
   ctx_->simulator()->Cancel(election_timer_);
   election_timer_ = sim::kInvalidEventId;
+  AbortPreVote();
+  if (ctx_->options().check_quorum) ArmCheckQuorumTimer();
 
   // Any leader-side state left from a previous leadership — and weakly
   // accepted cache entries belonging to the previous leader's pipeline —
@@ -243,6 +446,11 @@ void ElectionEngine::StepDown(storage::Term term, net::NodeId leader) {
   const bool was_leader = core.role == Role::kLeader;
   const bool role_changes = core.role != Role::kFollower;
   const storage::Term old_term = core.current_term;
+  if (was_leader && term > old_term) {
+    // A live leader forced down by a higher term — the deposition the
+    // PreVote / CheckQuorum / lease mitigations exist to prevent.
+    ++ctx_->stats().leader_depositions;
+  }
   if (obs::Journal* j = ctx_->journal(); j != nullptr) {
     j->Record(obs::JournalEventKind::kStepDown, ctx_->id(), -1,
               static_cast<int64_t>(term), was_leader ? 1 : 0);
@@ -265,6 +473,7 @@ void ElectionEngine::StepDown(storage::Term term, net::NodeId leader) {
     ctx_->applier()->FailPendingClientEntries(term, leader);
     ctx_->pipeline()->ResetLeaderState();
     ctx_->applier()->ResetLeaderState();
+    CancelCheckQuorumTimer();
   }
   if (term > core.current_term) {
     core.current_term = term;
@@ -274,6 +483,7 @@ void ElectionEngine::StepDown(storage::Term term, net::NodeId leader) {
   core.role = Role::kFollower;
   core.leader = leader;
   votes_received_.clear();
+  AbortPreVote();
   ArmElectionTimer();
 }
 
@@ -284,6 +494,11 @@ void ElectionEngine::NoteLeaderContact(storage::Term term,
     StepDown(term, leader);
   }
   core.leader = leader;
+  // The lease clock: this is the moment a live leader was last heard.
+  // Tracked unconditionally (one store) so flipping leader_lease on never
+  // changes any other code path.
+  last_leader_contact_ = ctx_->simulator()->Now();
+  AbortPreVote();  // A live leader ends any canvass.
   ArmElectionTimer();
 }
 

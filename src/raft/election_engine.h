@@ -12,7 +12,26 @@ namespace nbraft::raft {
 /// Leader election and term transitions: the randomized election timer,
 /// vote bookkeeping, candidate -> leader promotion and the step-down path
 /// (which drains the leader-side engines through the context). Everything
-/// here mutates only CoreState term/role/vote fields plus its own timer.
+/// here mutates only CoreState term/role/vote fields plus its own timers.
+///
+/// Three independently switchable mitigations (RaftOptions) harden the
+/// election path against protocol-level adversaries:
+///
+///  - PreVote: a timed-out follower first canvasses a non-binding
+///    pre-vote quorum for its prospective term (current + 1) and only
+///    then runs StartElection. Nothing is persisted and voted_for never
+///    moves during the canvass, so an isolated node cannot inflate its
+///    term — the classic disruptive-server attack dies here.
+///  - CheckQuorum: a leader that heard AppendEntries responses from
+///    fewer than quorum-1 peers within one election_timeout steps down
+///    in its own term (counted as checkquorum_stepdowns, not as a
+///    deposition).
+///  - Leader lease: while this node heard a live leader within the last
+///    election_timeout (or is that leader), vote and pre-vote requests
+///    are rejected *without* adopting the candidate's term.
+///
+/// With all three off the code path — including the rng draw sequence —
+/// is exactly the unmitigated engine (behavior_fingerprint-pinned).
 class ElectionEngine {
  public:
   /// Invoked exactly once per term this node wins, from BecomeLeader().
@@ -22,8 +41,16 @@ class ElectionEngine {
 
   explicit ElectionEngine(NodeContext* ctx) : ctx_(ctx) {}
 
-  /// (Re-)arms the randomized election timer.
+  /// (Re-)arms the randomized election timer. The jitter is drawn from
+  /// the node's rng *per arming* — never cached at construction — so
+  /// repeated election storms cannot resonate on identical timeouts
+  /// (regression-pinned by ElectionJitter tests).
   void ArmElectionTimer();
+
+  /// Election-timer expiry: pre-vote canvass when RaftOptions::pre_vote,
+  /// otherwise a real election. TriggerElection (harness bootstrap)
+  /// bypasses this and calls StartElection directly.
+  void OnElectionTimeout();
 
   void StartElection();
   void HandleRequestVote(RequestVoteRequest req);
@@ -35,10 +62,10 @@ class ElectionEngine {
   void StepDown(storage::Term term, net::NodeId leader);
 
   /// A current-or-newer leader made contact: step down if needed, adopt
-  /// the leader hint and reset the election timer.
+  /// the leader hint and reset the election timer (and the lease clock).
   void NoteLeaderContact(storage::Term term, net::NodeId leader);
 
-  /// Crash-stop cleanup: cancels the timer and forgets votes.
+  /// Crash-stop cleanup: cancels the timers and forgets votes.
   void OnCrash();
 
   void set_leader_observer(LeaderObserver observer) {
@@ -50,14 +77,50 @@ class ElectionEngine {
   void set_timer_skew(double skew) { timer_skew_ = skew; }
   double timer_skew() const { return timer_skew_; }
 
+  /// Chaos vote-withholder adversary: while set, this node refuses every
+  /// vote and pre-vote request (term bookkeeping still runs — the node is
+  /// unhelpful, not byzantine).
+  void set_withhold_votes(bool withhold) { withhold_votes_ = withhold; }
+  bool withhold_votes() const { return withhold_votes_; }
+
+  /// True while a leader-lease holds: this node is the leader, or heard
+  /// one within the last election_timeout. Only meaningful with
+  /// RaftOptions::leader_lease (callers gate on the option).
+  bool LeaseHeld() const;
+
  private:
   void BecomeLeader();
+  void StartPreVote();
+  void HandlePreVoteRequest(const RequestVoteRequest& req);
+  void AbortPreVote() {
+    prevote_in_progress_ = false;
+    prevotes_received_.clear();
+  }
+  void ArmCheckQuorumTimer();
+  void OnCheckQuorumTimeout();
+  void CancelCheckQuorumTimer();
+  /// Rejects `req` because the lease holds, without touching term state.
+  void SendLeaseReject(const RequestVoteRequest& req);
 
   NodeContext* ctx_;
   std::set<net::NodeId> votes_received_;
   sim::EventId election_timer_ = sim::kInvalidEventId;
   LeaderObserver leader_observer_;
   double timer_skew_ = 1.0;
+
+  // PreVote canvass state (never a Role: a pre-candidate is still a
+  // follower to the rest of the protocol).
+  bool prevote_in_progress_ = false;
+  storage::Term prevote_term_ = 0;  ///< Prospective term of the canvass.
+  std::set<net::NodeId> prevotes_received_;
+
+  // Leader lease: when this node last heard from a live leader.
+  SimTime last_leader_contact_ = 0;
+
+  // CheckQuorum: leader-side quorum-liveness probe.
+  sim::EventId check_quorum_timer_ = sim::kInvalidEventId;
+
+  bool withhold_votes_ = false;
 };
 
 }  // namespace nbraft::raft

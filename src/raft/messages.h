@@ -81,6 +81,11 @@ struct RequestVoteRequest {
   net::NodeId candidate = net::kInvalidNode;
   storage::LogIndex last_log_index = 0;
   storage::Term last_log_term = 0;
+  /// PreVote canvass (RaftOptions::pre_vote): `term` is the *prospective*
+  /// term (current + 1) the candidate would campaign in. A pre-vote
+  /// grant is non-binding — the voter persists nothing and its
+  /// voted_for is untouched.
+  bool pre_vote = false;
 
   size_t WireSize() const { return 64; }
 };
@@ -89,6 +94,7 @@ struct RequestVoteResponse {
   storage::Term term = 0;
   net::NodeId from = net::kInvalidNode;
   bool granted = false;
+  bool pre_vote = false;  ///< Echoes the request's pre_vote flag.
 
   size_t WireSize() const { return 48; }
 };

@@ -22,6 +22,11 @@ std::string NodeStats::ToJson() const {
   out += counter("window_overflows", window_overflows);
   out += counter("elections_started", elections_started);
   out += counter("times_elected", times_elected);
+  out += counter("terms_started", terms_started);
+  out += counter("prevotes_granted", prevotes_granted);
+  out += counter("prevotes_rejected", prevotes_rejected);
+  out += counter("leader_depositions", leader_depositions);
+  out += counter("checkquorum_stepdowns", checkquorum_stepdowns);
   out += counter("rpc_timeouts", rpc_timeouts);
   out += counter("degraded_entries", degraded_entries);
   out += counter("snapshots_taken", snapshots_taken);

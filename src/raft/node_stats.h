@@ -32,6 +32,21 @@ struct NodeStats {
   uint64_t window_overflows = 0;  ///< diff > w arrivals (held, blocking).
   uint64_t elections_started = 0;
   uint64_t times_elected = 0;
+
+  // Adversarial-resilience accounting (PreVote / CheckQuorum / lease).
+  /// Terms this node minted by bumping current_term in StartElection.
+  /// Every term value in the cluster above the initial one was minted by
+  /// exactly one such bump, so the chaos oracle checks
+  /// max(current_term) <= sum(terms_started) as term-accounting honesty.
+  uint64_t terms_started = 0;
+  uint64_t prevotes_granted = 0;   ///< Pre-vote canvasses this node granted.
+  uint64_t prevotes_rejected = 0;  ///< Pre-vote canvasses this node refused.
+  /// Times this node lost leadership to a higher term while alive — the
+  /// healthy-leader deposition the PreVote/CheckQuorum/lease mitigations
+  /// exist to prevent (CheckQuorum's own same-term step-down counts under
+  /// checkquorum_stepdowns instead).
+  uint64_t leader_depositions = 0;
+  uint64_t checkquorum_stepdowns = 0;  ///< Leader gave up: quorum unheard.
   uint64_t rpc_timeouts = 0;
   uint64_t degraded_entries = 0;  ///< CRaft/ECRaft degraded-mode entries.
   uint64_t snapshots_taken = 0;

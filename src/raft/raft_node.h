@@ -116,6 +116,13 @@ class RaftNode : public NodeContext {
   void set_timer_skew(double skew) { election_->set_timer_skew(skew); }
   double timer_skew() const { return election_->timer_skew(); }
 
+  /// Chaos vote-withholder adversary: while set, this node refuses every
+  /// vote and pre-vote request (term bookkeeping still runs).
+  void set_withhold_votes(bool withhold) {
+    election_->set_withhold_votes(withhold);
+  }
+  bool withhold_votes() const { return election_->withhold_votes(); }
+
   /// Degrades (or restores) all of this node's CPU lanes — the chaos
   /// slow-node fault. Charged costs divide by the factor, so factor < 1
   /// slows the node down and 1.0 restores nominal speed.

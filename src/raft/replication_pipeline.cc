@@ -696,6 +696,16 @@ int ReplicationPipeline::AliveNodes() const {
   return alive;
 }
 
+int ReplicationPipeline::PeersRespondedSince(SimTime since) const {
+  int responded = 0;
+  for (const auto& [peer, state] : peer_state_) {
+    if (state.last_response_at != 0 && state.last_response_at >= since) {
+      ++responded;
+    }
+  }
+  return responded;
+}
+
 bool ReplicationPipeline::IsPeerAlive(net::NodeId peer) const {
   const auto it = peer_state_.find(peer);
   if (it == peer_state_.end()) return true;  // No evidence yet: optimistic.

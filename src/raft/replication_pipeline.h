@@ -71,6 +71,10 @@ class ReplicationPipeline {
   // ---- Liveness helpers (shared with the applier's commit rules) ----
   int AliveNodes() const;
   bool IsPeerAlive(net::NodeId peer) const;
+  /// Peers whose last AppendEntries/InstallSnapshot response arrived at or
+  /// after `since` (CheckQuorum: the leader counts these + itself against
+  /// the quorum once per election timeout).
+  int PeersRespondedSince(SimTime since) const;
   int RequiredStrong(bool fragmented, int k) const;
   int EffectiveKBucket() const;
   const std::unordered_map<storage::LogIndex, int>& fragment_required()

@@ -159,6 +159,30 @@ struct RaftOptions {
   /// Dispatcher RPC timeout before an entry is re-sent.
   SimDuration rpc_timeout = Millis(400);
 
+  // ---- Adversarial-resilience mitigations ----
+  // Independently switchable so ablations (attack x mitigation sweeps)
+  // can isolate each one. All off by default: the default protocol is
+  // bit-identical to the unmitigated implementation.
+
+  /// PreVote (libraft's pre-candidate phase): before incrementing its
+  /// term, a timed-out follower canvasses the cluster with a
+  /// non-binding RequestVote marked pre_vote. Only a pre-vote quorum
+  /// starts a real election, so a partitioned node cannot inflate its
+  /// term unboundedly and depose a healthy leader on rejoin.
+  bool pre_vote = false;
+
+  /// CheckQuorum: a leader that has not heard AppendEntries responses
+  /// from a quorum within one election_timeout steps down (same term).
+  /// Pairs with leader_lease — a leader shielded from depositions must
+  /// also notice when it has actually lost the cluster.
+  bool check_quorum = false;
+
+  /// Leader lease: while a node has heard from a live leader within the
+  /// last election_timeout (or is itself the leader), it rejects vote
+  /// and pre-vote requests without adopting the candidate's term. This
+  /// is the deposition shield against term-inflating rejoiners.
+  bool leader_lease = false;
+
   // ---- Variant flags ----
   bool erasure = false;      ///< CRaft: replicate RS fragments.
   /// Run the actual Reed–Solomon coder on every entry (tests/examples).

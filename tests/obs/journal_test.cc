@@ -34,9 +34,10 @@ std::string TempPath(const std::string& name) {
 // ---- Naming scheme conformance -------------------------------------------
 
 bool FollowsScheme(const std::string& name) {
-  static constexpr const char* kSubsystems[] = {"net.",    "raft.",
-                                                "storage.", "client.",
-                                                "chaos.",  "sim."};
+  static constexpr const char* kSubsystems[] = {"net.",      "raft.",
+                                                "election.", "storage.",
+                                                "client.",   "chaos.",
+                                                "sim."};
   bool prefixed = false;
   for (const char* p : kSubsystems) {
     if (name.rfind(p, 0) == 0) prefixed = true;
@@ -90,6 +91,16 @@ TEST(NamingSchemeTest, JournalAndTracerShareVocabulary) {
                names::kChaosFault);
   EXPECT_STREQ(Journal::KindName(JournalEventKind::kNemesisHeal),
                names::kChaosHeal);
+  EXPECT_STREQ(Journal::KindName(JournalEventKind::kPreVoteStart),
+               names::kPreVoteStart);
+  EXPECT_STREQ(Journal::KindName(JournalEventKind::kPreVoteGrant),
+               names::kPreVoteGrant);
+  EXPECT_STREQ(Journal::KindName(JournalEventKind::kPreVoteReject),
+               names::kPreVoteReject);
+  EXPECT_STREQ(Journal::KindName(JournalEventKind::kLeaseReject),
+               names::kLeaseReject);
+  EXPECT_STREQ(Journal::KindName(JournalEventKind::kQuorumLost),
+               names::kQuorumLost);
 }
 
 // ---- Ring behavior -------------------------------------------------------
