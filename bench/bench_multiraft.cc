@@ -1,0 +1,175 @@
+// Multi-Raft scaling bench: sweeps the consensus-group count through
+// {1, 4, 16, 64} at a FIXED aggregate offered load (64 closed-loop
+// clients and a 1024-series universe, divided evenly across groups) for
+// Raft and NB-Raft on a shared 3-host substrate. More groups means more
+// parallel consensus pipelines over the same simulated NICs, CPU lanes
+// and disks — the sweep shows how throughput and simulator event rate
+// respond, and how much co-residency interference the substrate charges.
+//
+// Reported per cell: kernel events/sec (the perf-smoke metric), aggregate
+// requests completed, and the min/max per-group completion spread (a
+// fairness signal — a starved group shows up as min << max).
+//
+// Usage: bench_multiraft [--quick] [--out PATH]
+//
+// Writes a JSON report (default BENCH_multiraft.json in the CWD) in the
+// same schema as BENCH_durability.json, so tools/check_perf_smoke.py can
+// compare events/sec per cell against the committed baseline.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/cluster.h"
+#include "sim/simulator.h"
+
+using namespace nbraft;
+
+namespace {
+
+constexpr int kTotalClients = 64;
+constexpr uint64_t kTotalSeries = 1024;
+
+struct CellResult {
+  std::string name;
+  uint64_t events = 0;
+  double wall_ms = 0.0;
+  double events_per_sec = 0.0;
+  double virtual_ms = 0.0;
+  int groups = 0;
+  uint64_t requests_completed = 0;
+  uint64_t group_min_completed = 0;
+  uint64_t group_max_completed = 0;
+};
+
+double WallMs(std::chrono::steady_clock::time_point start) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+CellResult RunCell(const std::string& name, raft::Protocol protocol,
+                   int groups, SimDuration span) {
+  harness::ClusterConfig config;
+  config.num_nodes = 3;
+  config.num_groups = groups;
+  // Fixed aggregate load: the same 64 closed-loop clients and the same
+  // series universe regardless of how many groups carve them up.
+  config.num_clients = kTotalClients / groups;
+  config.workload.series_count = kTotalSeries;
+  config.protocol = protocol;
+  config.payload_size = 1024;
+  config.window_size = 32;
+  config.client_think = Micros(5);
+  config.seed = 271828;
+  config.release_payloads = true;
+
+  harness::Cluster cluster(config);
+  cluster.Start();
+  if (!cluster.AwaitLeader()) {
+    std::fprintf(stderr, "%s: no leader\n", name.c_str());
+    return CellResult{name};
+  }
+  cluster.StartClients();
+
+  const auto start = std::chrono::steady_clock::now();
+  const uint64_t events_before = cluster.sim()->events_processed();
+  const SimTime virt_before = cluster.sim()->Now();
+  cluster.RunFor(span);
+
+  CellResult r;
+  r.name = name;
+  r.groups = groups;
+  r.wall_ms = WallMs(start);
+  r.events = cluster.sim()->events_processed() - events_before;
+  r.virtual_ms =
+      static_cast<double>(cluster.sim()->Now() - virt_before) / kMillisecond;
+  r.events_per_sec =
+      r.wall_ms > 0 ? static_cast<double>(r.events) / (r.wall_ms / 1000.0)
+                    : 0.0;
+  r.requests_completed = cluster.Collect().requests_completed;
+  r.group_min_completed = ~0ULL;
+  for (int g = 0; g < groups; ++g) {
+    const uint64_t done = cluster.CollectGroup(g).requests_completed;
+    r.group_min_completed = std::min(r.group_min_completed, done);
+    r.group_max_completed = std::max(r.group_max_completed, done);
+  }
+  return r;
+}
+
+void WriteJson(const std::string& path,
+               const std::vector<CellResult>& results) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"multiraft\",\n  \"workloads\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const CellResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"events\": %llu, "
+                 "\"wall_ms\": %.1f, \"events_per_sec\": %.0f, "
+                 "\"virtual_ms\": %.1f, \"groups\": %d, "
+                 "\"requests_completed\": %llu, "
+                 "\"group_min_completed\": %llu, "
+                 "\"group_max_completed\": %llu}%s\n",
+                 r.name.c_str(), static_cast<unsigned long long>(r.events),
+                 r.wall_ms, r.events_per_sec, r.virtual_ms, r.groups,
+                 static_cast<unsigned long long>(r.requests_completed),
+                 static_cast<unsigned long long>(r.group_min_completed),
+                 static_cast<unsigned long long>(r.group_max_completed),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out = "BENCH_multiraft.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out = argv[++i];
+  }
+  const SimDuration span = quick ? Millis(150) : Millis(500);
+
+  const int kGroupCounts[] = {1, 4, 16, 64};
+  const raft::Protocol kProtocols[] = {raft::Protocol::kRaft,
+                                       raft::Protocol::kNbRaft};
+
+  std::vector<CellResult> results;
+  for (const raft::Protocol protocol : kProtocols) {
+    const char* proto =
+        protocol == raft::Protocol::kRaft ? "raft" : "nbraft";
+    for (const int groups : kGroupCounts) {
+      const std::string name =
+          std::string(proto) + "_g" + std::to_string(groups);
+      results.push_back(RunCell(name, protocol, groups, span));
+      std::fprintf(stderr, ".");
+      std::fflush(stderr);
+    }
+  }
+  std::fprintf(stderr, "\n");
+
+  std::printf("%-16s %6s %12s %10s %14s %10s %10s %10s\n", "cell", "groups",
+              "events", "wall_ms", "events/sec", "reqs", "grp_min",
+              "grp_max");
+  for (const CellResult& r : results) {
+    std::printf("%-16s %6d %12llu %10.1f %14.0f %10llu %10llu %10llu\n",
+                r.name.c_str(), r.groups,
+                static_cast<unsigned long long>(r.events), r.wall_ms,
+                r.events_per_sec,
+                static_cast<unsigned long long>(r.requests_completed),
+                static_cast<unsigned long long>(r.group_min_completed),
+                static_cast<unsigned long long>(r.group_max_completed));
+  }
+  WriteJson(out, results);
+  std::printf("\nwrote %s\n", out.c_str());
+  return 0;
+}

@@ -39,10 +39,17 @@ ChaosRunner::ChaosRunner(harness::ClusterConfig config, ChaosPlan plan,
   if (!options_.postmortem_dir.empty()) config_.journal = true;
 }
 
+bool ChaosRunner::AnyViolations() const {
+  for (const auto& oracle : oracles_) {
+    if (!oracle->ok()) return true;
+  }
+  return false;
+}
+
 void ChaosRunner::MaybeDumpPostmortem() {
   if (options_.postmortem_dir.empty()) return;
   if (!postmortem_jsonl_.empty()) return;  // First violation already dumped.
-  if (oracle_->ok()) return;
+  if (!AnyViolations()) return;
   obs::Journal* journal = cluster_->journal();
   if (journal == nullptr) return;
   std::error_code ec;
@@ -76,10 +83,13 @@ ChaosReport ChaosRunner::Run() {
   ran_ = true;
 
   cluster_ = std::make_unique<harness::Cluster>(config_);
-  oracle_ = std::make_unique<SafetyOracle>(cluster_.get());
-  oracle_->set_expect_zero_depositions(options_.expect_zero_depositions);
-  oracle_->set_max_term_inflation(options_.max_term_inflation);
-  oracle_->Install();
+  for (int g = 0; g < cluster_->num_groups(); ++g) {
+    auto oracle = std::make_unique<SafetyOracle>(cluster_.get(), g);
+    oracle->set_expect_zero_depositions(options_.expect_zero_depositions);
+    oracle->set_max_term_inflation(options_.max_term_inflation);
+    oracle->Install();
+    oracles_.push_back(std::move(oracle));
+  }
   nemesis_ = std::make_unique<Nemesis>(cluster_.get(), plan_);
 
   cluster_->Start();
@@ -90,7 +100,7 @@ ChaosReport ChaosRunner::Run() {
   for (int round = 0; round < options_.rounds; ++round) {
     cluster_->RunFor(options_.round_length);
     if (mid_run_hook_) mid_run_hook_(cluster_.get(), round);
-    oracle_->CheckMidRun();
+    for (auto& oracle : oracles_) oracle->CheckMidRun();
     // Dump at the violating round boundary, not at the end of the run:
     // the lookback window must straddle the violation, and a post-mortem
     // taken seconds later would have scrolled past it.
@@ -101,17 +111,23 @@ ChaosReport ChaosRunner::Run() {
   nemesis_->HealAll();
   cluster_->AwaitLeader(options_.leader_wait);
   cluster_->RunFor(options_.drain);
-  oracle_->CheckFinal();
+  for (auto& oracle : oracles_) oracle->CheckFinal();
   MaybeDumpPostmortem();
 
   ChaosReport report;
   report.seed = plan_.seed;
   report.faults = nemesis_->records();
   report.fault_fingerprint = nemesis_->Fingerprint();
-  report.violations = oracle_->violations();
-  report.strong_acked = oracle_->strong_acked_count();
-  report.lost_weak = oracle_->lost_weak_count();
-  report.terms_observed = oracle_->terms_observed();
+  // Group-0-first concatenation; single-group output is the historical
+  // report verbatim.
+  for (const auto& oracle : oracles_) {
+    report.violations.insert(report.violations.end(),
+                             oracle->violations().begin(),
+                             oracle->violations().end());
+    report.strong_acked += oracle->strong_acked_count();
+    report.lost_weak += oracle->lost_weak_count();
+    report.terms_observed += oracle->terms_observed();
+  }
   report.postmortem_jsonl = postmortem_jsonl_;
   report.postmortem_timeline = postmortem_timeline_;
 
@@ -119,29 +135,38 @@ ChaosReport ChaosRunner::Run() {
   report.requests_issued = stats.requests_issued;
   report.requests_completed = stats.requests_completed;
 
-  for (int n = 0; n < cluster_->num_nodes(); ++n) {
-    const raft::RaftNode* node = cluster_->node(n);
-    const raft::NodeStats& ns = node->stats();
-    report.terms_started += ns.terms_started;
-    report.prevotes_granted += ns.prevotes_granted;
-    report.prevotes_rejected += ns.prevotes_rejected;
-    report.leader_depositions += ns.leader_depositions;
-    report.checkquorum_stepdowns += ns.checkquorum_stepdowns;
-    if (!node->crashed()) {
-      report.max_term = std::max(
-          report.max_term, static_cast<uint64_t>(node->current_term()));
+  for (int g = 0; g < cluster_->num_groups(); ++g) {
+    for (int n = 0; n < cluster_->num_nodes(); ++n) {
+      const raft::RaftNode* node = cluster_->node(g, n);
+      const raft::NodeStats& ns = node->stats();
+      report.terms_started += ns.terms_started;
+      report.prevotes_granted += ns.prevotes_granted;
+      report.prevotes_rejected += ns.prevotes_rejected;
+      report.leader_depositions += ns.leader_depositions;
+      report.checkquorum_stepdowns += ns.checkquorum_stepdowns;
+      if (!node->crashed()) {
+        report.max_term = std::max(
+            report.max_term, static_cast<uint64_t>(node->current_term()));
+      }
     }
   }
 
-  if (raft::RaftNode* leader = cluster_->leader()) {
-    report.final_commit_index = leader->commit_index();
-    uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis.
-    auto mix = [&h](uint64_t v) {
-      for (int i = 0; i < 8; ++i) {
-        h ^= (v >> (i * 8)) & 0xff;
-        h *= 1099511628211ULL;
-      }
-    };
+  // Commit totals and the outcome hash fold every group's final leader in
+  // group order, chained from one FNV basis — a single group reduces to
+  // the historical leader-prefix hash exactly.
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis.
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  bool any_leader = false;
+  for (int g = 0; g < cluster_->num_groups(); ++g) {
+    raft::RaftNode* leader = cluster_->leader(g);
+    if (leader == nullptr) continue;
+    any_leader = true;
+    report.final_commit_index += leader->commit_index();
     const auto& log = leader->log();
     const storage::LogIndex upto =
         std::min(leader->commit_index(), log.LastIndex());
@@ -151,8 +176,8 @@ ChaosReport ChaosRunner::Run() {
       mix(static_cast<uint64_t>(e.term));
       mix(e.request_id);
     }
-    report.committed_prefix_hash = h;
   }
+  if (any_leader) report.committed_prefix_hash = h;
 
   NBRAFT_LOG(Info) << "chaos " << report.Summary();
   return report;

@@ -111,12 +111,18 @@ class ChaosRunner {
   /// Dumps the journal once, the first time the oracle holds violations.
   void MaybeDumpPostmortem();
 
+  /// True when any group's oracle holds violations.
+  bool AnyViolations() const;
+
   harness::ClusterConfig config_;
   ChaosPlan plan_;
   Options options_;
   std::unique_ptr<harness::Cluster> cluster_;
   std::unique_ptr<Nemesis> nemesis_;
-  std::unique_ptr<SafetyOracle> oracle_;
+  /// One oracle per consensus group (single-group runs have exactly one —
+  /// the historical shape). Faults hit physical hosts; each oracle audits
+  /// its own group's intra-group safety invariants.
+  std::vector<std::unique_ptr<SafetyOracle>> oracles_;
   std::function<void(harness::Cluster*, int round)> mid_run_hook_;
   std::string postmortem_jsonl_;
   std::string postmortem_timeline_;

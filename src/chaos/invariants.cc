@@ -7,7 +7,13 @@
 
 namespace nbraft::chaos {
 
-SafetyOracle::SafetyOracle(harness::Cluster* cluster) : cluster_(cluster) {}
+SafetyOracle::SafetyOracle(harness::Cluster* cluster, int group)
+    : cluster_(cluster), group_(group) {}
+
+std::string SafetyOracle::Tag() const {
+  return cluster_->num_groups() > 1 ? "group " + std::to_string(group_) + ": "
+                                    : "";
+}
 
 void SafetyOracle::AddViolation(std::string what) {
   // Mid-run checks repeat every round; keep each distinct finding once.
@@ -19,7 +25,8 @@ void SafetyOracle::AddViolation(std::string what) {
   violations_.push_back(std::move(what));
   if (obs::Journal* journal = cluster_->journal()) {
     journal->Record(obs::JournalEventKind::kViolation, -1, -1,
-                    static_cast<int64_t>(violations_.size()));
+                    static_cast<int64_t>(violations_.size()),
+                    static_cast<int64_t>(group_));
   }
 }
 
@@ -27,13 +34,14 @@ void SafetyOracle::Install() {
   NBRAFT_CHECK(!installed_);
   installed_ = true;
   for (int i = 0; i < cluster_->num_nodes(); ++i) {
-    cluster_->node(i)->set_leader_observer(
+    cluster_->node(group_, i)->add_leader_observer(
         [this](storage::Term term, net::NodeId id) {
           auto [it, inserted] = leaders_by_term_.emplace(term, id);
           if (!inserted && it->second != id) {
-            AddViolation("election safety: term " + std::to_string(term) +
-                         " has leaders " + std::to_string(it->second) +
-                         " and " + std::to_string(id));
+            AddViolation(Tag() + "election safety: term " +
+                         std::to_string(term) + " has leaders " +
+                         std::to_string(it->second) + " and " +
+                         std::to_string(id));
           }
         });
   }
@@ -41,12 +49,14 @@ void SafetyOracle::Install() {
   // highest index this node ever claimed durable must be covered by a
   // completed fsync. Anything above the fsynced frontier is about to be
   // torn off by the crash — claiming it was the bug class this catches.
+  // The observer fires per physical host; this oracle audits its own
+  // group's co-resident replica.
   cluster_->set_crash_observer([this](int i) {
-    raft::RaftNode* node = cluster_->node(i);
+    raft::RaftNode* node = cluster_->node(group_, i);
     const storage::LogIndex claimed = node->strong_ack_frontier();
     const storage::LogIndex durable = node->DurableEntryFrontier();
     if (claimed > durable) {
-      AddViolation("durability claim: node " + std::to_string(i) +
+      AddViolation(Tag() + "durability claim: node " + std::to_string(i) +
                    " strong-acked through " + std::to_string(claimed) +
                    " but fsynced only through " + std::to_string(durable) +
                    " at crash");
@@ -62,13 +72,13 @@ void SafetyOracle::CheckTermAccounting() {
   storage::Term max_term = 0;
   uint64_t minted = 0;
   for (int n = 0; n < cluster_->num_nodes(); ++n) {
-    const raft::RaftNode* node = cluster_->node(n);
+    const raft::RaftNode* node = cluster_->node(group_, n);
     minted += node->stats().terms_started;
     if (node->crashed()) continue;
     max_term = std::max(max_term, node->current_term());
   }
   if (static_cast<uint64_t>(max_term) > minted) {
-    AddViolation("term accounting: live max term " +
+    AddViolation(Tag() + "term accounting: live max term " +
                  std::to_string(max_term) + " exceeds " +
                  std::to_string(minted) + " terms ever started");
   }
@@ -83,7 +93,7 @@ void SafetyOracle::CheckTermAccounting() {
     const int64_t inflation =
         static_cast<int64_t>(max_term) - static_cast<int64_t>(max_led);
     if (inflation > max_term_inflation_) {
-      AddViolation("term inflation: live max term " +
+      AddViolation(Tag() + "term inflation: live max term " +
                    std::to_string(max_term) + " is " +
                    std::to_string(inflation) +
                    " above the last led term (bound " +
@@ -93,9 +103,10 @@ void SafetyOracle::CheckTermAccounting() {
 }
 
 void SafetyOracle::CheckMidRun() {
-  Status s = cluster_->CheckLogMatching();
+  harness::GroupRuntime* group = cluster_->group(group_);
+  Status s = group->CheckLogMatching();
   if (!s.ok()) AddViolation(s.ToString());
-  s = cluster_->CheckCommittedPrefixes();
+  s = group->CheckCommittedPrefixes();
   if (!s.ok()) AddViolation(s.ToString());
   CheckTermAccounting();
 }
@@ -106,19 +117,19 @@ void SafetyOracle::CheckFinal() {
   if (expect_zero_depositions_) {
     uint64_t depositions = 0;
     for (int n = 0; n < cluster_->num_nodes(); ++n) {
-      depositions += cluster_->node(n)->stats().leader_depositions;
+      depositions += cluster_->node(group_, n)->stats().leader_depositions;
     }
     if (depositions > 0) {
-      AddViolation("healthy-leader deposition: " +
+      AddViolation(Tag() + "healthy-leader deposition: " +
                    std::to_string(depositions) +
                    " leaders forced down by a higher term despite "
                    "mitigations");
     }
   }
 
-  raft::RaftNode* leader = cluster_->leader();
+  raft::RaftNode* leader = cluster_->leader(group_);
   if (leader == nullptr) {
-    AddViolation("no leader at final quiescence");
+    AddViolation(Tag() + "no leader at final quiescence");
     return;
   }
   const auto& llog = leader->log();
@@ -127,7 +138,7 @@ void SafetyOracle::CheckFinal() {
   // final leader's log, identical. (Entries compacted below the leader's
   // first index are covered by its snapshot and skipped.)
   for (int n = 0; n < cluster_->num_nodes(); ++n) {
-    const raft::RaftNode* node = cluster_->node(n);
+    const raft::RaftNode* node = cluster_->node(group_, n);
     if (node->crashed()) continue;
     const auto& nlog = node->log();
     const storage::LogIndex upto =
@@ -135,7 +146,7 @@ void SafetyOracle::CheckFinal() {
     for (storage::LogIndex i = std::max(nlog.FirstIndex(), llog.FirstIndex());
          i <= upto; ++i) {
       if (i > llog.LastIndex()) {
-        AddViolation("leader completeness: node " + std::to_string(n) +
+        AddViolation(Tag() + "leader completeness: node " + std::to_string(n) +
                      " committed index " + std::to_string(i) +
                      " missing from leader log");
         break;
@@ -143,8 +154,9 @@ void SafetyOracle::CheckFinal() {
       const auto& en = nlog.AtUnchecked(i);
       const auto& el = llog.AtUnchecked(i);
       if (en.term != el.term || en.request_id != el.request_id) {
-        AddViolation("leader completeness: committed entry diverges at " +
-                     std::to_string(i) + " on node " + std::to_string(n));
+        AddViolation(Tag() + "leader completeness: committed entry diverges "
+                     "at " + std::to_string(i) + " on node " +
+                     std::to_string(n));
         break;
       }
     }
@@ -153,7 +165,7 @@ void SafetyOracle::CheckFinal() {
   // Committed request ids: union over every live node's committed prefix.
   std::set<uint64_t> committed_ids;
   for (int n = 0; n < cluster_->num_nodes(); ++n) {
-    const raft::RaftNode* node = cluster_->node(n);
+    const raft::RaftNode* node = cluster_->node(group_, n);
     if (node->crashed()) continue;
     const auto& nlog = node->log();
     const storage::LogIndex upto =
@@ -169,7 +181,7 @@ void SafetyOracle::CheckFinal() {
   std::vector<std::set<uint64_t>> node_ids(
       static_cast<size_t>(cluster_->num_nodes()));
   for (int n = 0; n < cluster_->num_nodes(); ++n) {
-    const raft::RaftNode* node = cluster_->node(n);
+    const raft::RaftNode* node = cluster_->node(group_, n);
     if (node->crashed()) continue;
     const auto& nlog = node->log();
     for (storage::LogIndex i = nlog.FirstIndex(); i <= nlog.LastIndex();
@@ -182,11 +194,13 @@ void SafetyOracle::CheckFinal() {
   }
 
   // No acknowledged-write loss: every STRONG_ACCEPTed id is committed and
-  // replicated on a live quorum.
+  // replicated on a live quorum. Only this group's clients talk to this
+  // group, so the audit set is exactly their acks.
+  const int num_clients = cluster_->config().num_clients;
   std::set<uint64_t> strong_acked;
   std::set<uint64_t> weak_acked;
-  for (int c = 0; c < cluster_->num_clients(); ++c) {
-    const raft::RaftClient* client = cluster_->client(c);
+  for (int c = 0; c < num_clients; ++c) {
+    const raft::RaftClient* client = cluster_->client(group_, c);
     strong_acked.insert(client->strong_acked_ids().begin(),
                         client->strong_acked_ids().end());
     weak_acked.insert(client->weak_acked_ids().begin(),
@@ -195,14 +209,14 @@ void SafetyOracle::CheckFinal() {
   strong_acked_count_ = strong_acked.size();
   for (uint64_t id : strong_acked) {
     if (committed_ids.count(id) == 0) {
-      AddViolation("acked-write loss: strong-acked request " +
+      AddViolation(Tag() + "acked-write loss: strong-acked request " +
                    std::to_string(id) + " not in any committed prefix");
       continue;
     }
     int replicas = 0;
     for (const auto& ids : node_ids) replicas += ids.count(id) > 0 ? 1 : 0;
     if (replicas < quorum) {
-      AddViolation("acked-write durability: strong-acked request " +
+      AddViolation(Tag() + "acked-write durability: strong-acked request " +
                    std::to_string(id) + " on " + std::to_string(replicas) +
                    " live replicas (quorum " + std::to_string(quorum) + ")");
     }
@@ -215,17 +229,16 @@ void SafetyOracle::CheckFinal() {
     if (committed_ids.count(id) == 0) ++lost;
   }
   lost_weak_count_ = lost;
-  const uint64_t window =
-      static_cast<uint64_t>(cluster_->node(0)->options().window_size);
-  const uint64_t per_change =
-      static_cast<uint64_t>(cluster_->num_clients()) + window;
+  const uint64_t window = static_cast<uint64_t>(
+      cluster_->node(group_, 0)->options().window_size);
+  const uint64_t per_change = static_cast<uint64_t>(num_clients) + window;
   const uint64_t bound =
       std::max<uint64_t>(terms_observed(), 1) * per_change;
   if (lost > bound) {
-    AddViolation("weak-loss bound: " + std::to_string(lost) +
+    AddViolation(Tag() + "weak-loss bound: " + std::to_string(lost) +
                  " weakly acked ids lost, bound " + std::to_string(bound) +
                  " (" + std::to_string(terms_observed()) + " terms x (" +
-                 std::to_string(cluster_->num_clients()) + " clients + " +
+                 std::to_string(num_clients) + " clients + " +
                  std::to_string(window) + " window))");
   }
 }

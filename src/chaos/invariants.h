@@ -51,7 +51,12 @@ namespace nbraft::chaos {
 ///    Checked mid-run too, where the inflation is actually visible.
 class SafetyOracle {
  public:
-  explicit SafetyOracle(harness::Cluster* cluster);
+  /// Audits consensus group `group` of `cluster` (default: group 0, which
+  /// in a single-group cluster is the whole system — the historical
+  /// behavior). A multi-group chaos run builds one oracle per group; the
+  /// safety invariants are all intra-group properties, while the faults
+  /// that stress them hit shared physical hosts.
+  explicit SafetyOracle(harness::Cluster* cluster, int group = 0);
 
   SafetyOracle(const SafetyOracle&) = delete;
   SafetyOracle& operator=(const SafetyOracle&) = delete;
@@ -90,11 +95,17 @@ class SafetyOracle {
   /// < 0 disables (the default). Checked at every CheckMidRun/CheckFinal.
   void set_max_term_inflation(int64_t bound) { max_term_inflation_ = bound; }
 
+  int group() const { return group_; }
+
  private:
   void AddViolation(std::string what);
   void CheckTermAccounting();
+  /// "group g: " in multi-group clusters, "" in single-group ones (where
+  /// violation strings must stay byte-identical to the historical output).
+  std::string Tag() const;
 
   harness::Cluster* cluster_;
+  int group_ = 0;
   bool installed_ = false;
   std::map<storage::Term, net::NodeId> leaders_by_term_;
   std::vector<std::string> violations_;

@@ -309,7 +309,7 @@ bool Nemesis::InjectClockSkew(SimDuration duration) {
   if (victim == net::kInvalidNode) return false;
   const double skew =
       plan_.skew_min + rng_.NextDouble() * (plan_.skew_max - plan_.skew_min);
-  cluster_->node(victim)->set_timer_skew(skew);
+  cluster_->SetTimerSkewAt(victim, skew);
   ++active_skew_[victim];
   Record(FaultKind::kClockSkew, /*heal=*/false, victim, net::kInvalidNode,
          static_cast<int64_t>(skew * 1000));
@@ -318,7 +318,7 @@ bool Nemesis::InjectClockSkew(SimDuration duration) {
     if (it == active_skew_.end()) return;
     if (--it->second == 0) {
       active_skew_.erase(it);
-      cluster_->node(victim)->set_timer_skew(1.0);
+      cluster_->SetTimerSkewAt(victim, 1.0);
       Record(FaultKind::kClockSkew, /*heal=*/true, victim, net::kInvalidNode,
              0);
     }
@@ -329,7 +329,7 @@ bool Nemesis::InjectClockSkew(SimDuration duration) {
 bool Nemesis::InjectSlowNode(SimDuration duration) {
   const net::NodeId victim = PickUpNode();
   if (victim == net::kInvalidNode) return false;
-  cluster_->node(victim)->SetCpuSpeedFactor(plan_.slow_factor);
+  cluster_->SetCpuSpeedFactorAt(victim, plan_.slow_factor);
   ++active_slow_[victim];
   Record(FaultKind::kSlowNode, /*heal=*/false, victim, net::kInvalidNode,
          static_cast<int64_t>(plan_.slow_factor * 1000));
@@ -338,7 +338,7 @@ bool Nemesis::InjectSlowNode(SimDuration duration) {
     if (it == active_slow_.end()) return;
     if (--it->second == 0) {
       active_slow_.erase(it);
-      cluster_->node(victim)->SetCpuSpeedFactor(1.0);
+      cluster_->SetCpuSpeedFactorAt(victim, 1.0);
       Record(FaultKind::kSlowNode, /*heal=*/true, victim, net::kInvalidNode,
              0);
     }
@@ -349,9 +349,8 @@ bool Nemesis::InjectSlowNode(SimDuration duration) {
 bool Nemesis::InjectDiskStall(SimDuration duration) {
   const net::NodeId victim = PickUpNode();
   if (victim == net::kInvalidNode) return false;
-  storage::SimDisk* disk = cluster_->node(victim)->disk();
-  if (disk == nullptr) return false;  // Run has no simulated disks.
-  disk->set_fsync_stall(plan_.disk_stall_extra);
+  // Stalls every co-resident disk of the host (run may have none at all).
+  if (!cluster_->SetDiskStallAt(victim, plan_.disk_stall_extra)) return false;
   ++active_disk_stall_[victim];
   Record(FaultKind::kDiskStall, /*heal=*/false, victim, net::kInvalidNode,
          plan_.disk_stall_extra);
@@ -360,9 +359,7 @@ bool Nemesis::InjectDiskStall(SimDuration duration) {
     if (it == active_disk_stall_.end()) return;
     if (--it->second == 0) {
       active_disk_stall_.erase(it);
-      if (storage::SimDisk* d = cluster_->node(victim)->disk()) {
-        d->set_fsync_stall(0);
-      }
+      cluster_->SetDiskStallAt(victim, 0);
       Record(FaultKind::kDiskStall, /*heal=*/true, victim, net::kInvalidNode,
              0);
     }
@@ -375,9 +372,9 @@ bool Nemesis::InjectDiskCorruption(SimDuration duration) {
   if (crashed_count() >= MaxConcurrentCrashes()) return false;
   const net::NodeId victim = PickUpNode();
   if (victim == net::kInvalidNode) return false;
-  storage::SimDisk* disk = cluster_->node(victim)->disk();
-  if (disk == nullptr) return false;
-  if (!disk->CorruptTailRecord()) return false;  // Nothing eligible yet.
+  // Rots the newest eligible record on each co-resident disk; false when
+  // the run has no disks or nothing is eligible yet.
+  if (!cluster_->CorruptDiskTailAt(victim)) return false;
   ++corruptions_injected_;
   // Crash the victim so its next recovery detects the rot, repairs the
   // image and enters heal quarantine.
@@ -444,7 +441,7 @@ bool Nemesis::InjectDisruptiveServer(SimDuration duration) {
 bool Nemesis::InjectVoteWithholder(SimDuration duration) {
   const net::NodeId victim = PickUpNode();
   if (victim == net::kInvalidNode) return false;
-  cluster_->node(victim)->set_withhold_votes(true);
+  cluster_->SetWithholdVotesAt(victim, true);
   ++active_withhold_[victim];
   Record(FaultKind::kVoteWithholder, /*heal=*/false, victim,
          net::kInvalidNode, duration);
@@ -453,7 +450,7 @@ bool Nemesis::InjectVoteWithholder(SimDuration duration) {
     if (it == active_withhold_.end()) return;
     if (--it->second == 0) {
       active_withhold_.erase(it);
-      cluster_->node(victim)->set_withhold_votes(false);
+      cluster_->SetWithholdVotesAt(victim, false);
       Record(FaultKind::kVoteWithholder, /*heal=*/true, victim,
              net::kInvalidNode, 0);
     }
@@ -531,7 +528,7 @@ void Nemesis::HealAll() {
   }
   active_isolations_.clear();
   for (const auto& [victim, count] : active_withhold_) {
-    cluster_->node(victim)->set_withhold_votes(false);
+    cluster_->SetWithholdVotesAt(victim, false);
     Record(FaultKind::kVoteWithholder, /*heal=*/true, victim,
            net::kInvalidNode, 0);
   }
@@ -550,21 +547,19 @@ void Nemesis::HealAll() {
            net::kInvalidNode, 0);
   }
   for (const auto& [victim, count] : active_skew_) {
-    cluster_->node(victim)->set_timer_skew(1.0);
+    cluster_->SetTimerSkewAt(victim, 1.0);
     Record(FaultKind::kClockSkew, /*heal=*/true, victim, net::kInvalidNode,
            0);
   }
   active_skew_.clear();
   for (const auto& [victim, count] : active_slow_) {
-    cluster_->node(victim)->SetCpuSpeedFactor(1.0);
+    cluster_->SetCpuSpeedFactorAt(victim, 1.0);
     Record(FaultKind::kSlowNode, /*heal=*/true, victim, net::kInvalidNode,
            0);
   }
   active_slow_.clear();
   for (const auto& [victim, count] : active_disk_stall_) {
-    if (storage::SimDisk* d = cluster_->node(victim)->disk()) {
-      d->set_fsync_stall(0);
-    }
+    cluster_->SetDiskStallAt(victim, 0);
     Record(FaultKind::kDiskStall, /*heal=*/true, victim, net::kInvalidNode,
            0);
   }

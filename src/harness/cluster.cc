@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
-#include <set>
 #include <utility>
 
 #include "common/logging.h"
@@ -11,33 +10,30 @@
 
 namespace nbraft::harness {
 
-namespace {
-
-std::unique_ptr<tsdb::StateMachine> MakeStateMachine(SystemProfile profile) {
-  if (profile == SystemProfile::kRatis) {
-    return std::make_unique<tsdb::FileStoreStateMachine>();
-  }
-  tsdb::TsdbStateMachine::Options options;
-  return std::make_unique<tsdb::TsdbStateMachine>(options);
+void ClusterStats::Merge(const ClusterStats& other) {
+  requests_issued += other.requests_issued;
+  requests_completed += other.requests_completed;
+  weak_accepts += other.weak_accepts;
+  client_retries += other.client_retries;
+  completion_latency.Merge(other.completion_latency);
+  unblock_latency.Merge(other.unblock_latency);
+  follower_wait.Merge(other.follower_wait);
+  breakdown.Merge(other.breakdown);
+  entries_committed_leader += other.entries_committed_leader;
+  elections += other.elections;
+  rpc_timeouts += other.rpc_timeouts;
+  window_inserts += other.window_inserts;
+  degraded_entries += other.degraded_entries;
 }
 
-}  // namespace
-
-Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
+Cluster::Cluster(ClusterConfig config)
+    : config_(std::move(config)),
+      shard_map_(std::max(config_.num_groups, 1), config_.shard_salt) {
   NBRAFT_CHECK_GE(config_.num_nodes, 1);
   NBRAFT_CHECK_GE(config_.num_clients, 0);
+  NBRAFT_CHECK_GE(config_.num_groups, 1);
   if (!config_.trace_path.empty() || !config_.trace_jsonl_path.empty()) {
     config_.trace = true;
-  }
-  sim_ = std::make_unique<sim::Simulator>(config_.seed);
-  network_ = std::make_unique<net::SimNetwork>(sim_.get(), config_.network);
-
-  std::vector<net::NodeId> server_ids;
-  for (int i = 0; i < config_.num_nodes; ++i) server_ids.push_back(i);
-  if (config_.geo_distributed) {
-    NBRAFT_CHECK_LE(config_.num_nodes, 5)
-        << "geo topology models 5 regions (Fig. 20)";
-    net::ApplyGeoTopology(network_.get(), server_ids);
   }
 
   raft::RaftOptions options =
@@ -63,18 +59,26 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
     options.costs.index_cost = Micros(12);
   }
 
-  for (int i = 0; i < config_.num_nodes; ++i) {
-    std::vector<net::NodeId> peers;
-    for (int j = 0; j < config_.num_nodes; ++j) {
-      if (j != i) peers.push_back(j);
-    }
-    auto node = std::make_unique<raft::RaftNode>(
-        sim_.get(), network_.get(), i, std::move(peers), options,
-        MakeStateMachine(config_.profile));
-    if (config_.cpu_speed != 1.0) {
-      node->cpu()->set_speed_factor(config_.cpu_speed);
-    }
-    nodes_.push_back(std::move(node));
+  Substrate::Config sub;
+  sub.seed = config_.seed;
+  sub.network = config_.network;
+  sub.num_physical_nodes = config_.num_nodes;
+  // Host-shared pools exist only in multi-group mode; a single group owns
+  // its resources exactly as before sharding (rng/bit-identity contract).
+  sub.shared_pools = config_.num_groups > 1;
+  sub.cpu_lanes = config_.cpu_lanes;
+  sub.cpu_speed = config_.cpu_speed;
+  sub.costs = options.costs;
+  sub.disk_lanes = config_.disk.enabled && config_.wal_dir.empty();
+  substrate_ = std::make_unique<Substrate>(sub);
+
+  if (config_.geo_distributed) {
+    NBRAFT_CHECK_LE(config_.num_nodes, 5)
+        << "geo topology models 5 regions (Fig. 20)";
+    std::vector<net::NodeId> hosts;
+    for (int i = 0; i < config_.num_nodes; ++i) hosts.push_back(i);
+    // Pair latencies are host-scoped, so this covers every group at once.
+    net::ApplyGeoTopology(substrate_->network(), hosts);
   }
 
   raft::RaftClient::Options client_options;
@@ -88,32 +92,31 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   client_options.record_ack_ids = config_.record_client_acks;
   client_options.max_requests = config_.client_max_requests;
 
-  for (int i = 0; i < config_.num_clients; ++i) {
-    IngestWorkload::Options wopts = config_.workload;
-    workloads_.push_back(std::make_unique<IngestWorkload>(
-        wopts, config_.seed * 1315423911ULL + static_cast<uint64_t>(i)));
-    IngestWorkload* workload = workloads_.back().get();
-    clients_.push_back(std::make_unique<raft::RaftClient>(
-        sim_.get(), network_.get(), net::kClientIdBase + i, server_ids,
-        client_options,
-        [workload](size_t target) { return workload->MakePayload(target); }));
+  // Groups construct in ascending order, replicas before clients inside
+  // each — for one group this is the exact historical rng draw sequence.
+  for (int g = 0; g < config_.num_groups; ++g) {
+    groups_.push_back(std::make_unique<GroupRuntime>(
+        substrate_.get(), config_, g, options, client_options, shard_map_));
+  }
+
+  // Leadership callbacks keep the router's hint cache current (observers
+  // are multicast — the chaos oracle adds its own alongside).
+  router_ = std::make_unique<ShardRouter>(&shard_map_);
+  for (int g = 0; g < num_groups(); ++g) {
+    for (int r = 0; r < config_.num_nodes; ++r) {
+      groups_[static_cast<size_t>(g)]->node(r)->add_leader_observer(
+          [this, g](storage::Term term, net::NodeId id) {
+            router_->ObserveLeader(g, id, term);
+          });
+    }
   }
 
   SetupObservability();
 }
 
-Cluster::~Cluster() {
-  if (owns_log_clock_) ClearLogClock();
-}
+Cluster::~Cluster() = default;
 
 void Cluster::SetupObservability() {
-  // Log stamps follow virtual time for the duration of this cluster, so
-  // NBRAFT_LOG output can be lined up with trace timestamps.
-  if (!HasLogClock()) {
-    SetLogClock([sim = sim_.get()]() { return sim->Now(); });
-    owns_log_clock_ = true;
-  }
-
   // The registry always exists: chaos fault counters and other cheap
   // counters surface even in untraced, unsampled runs.
   registry_ = std::make_unique<obs::Registry>();
@@ -121,10 +124,28 @@ void Cluster::SetupObservability() {
   if (config_.journal) {
     obs::Journal::Options jopts;
     jopts.per_node_capacity = config_.journal_capacity;
-    journal_ = std::make_unique<obs::Journal>(sim_.get(), config_.num_nodes,
-                                              jopts);
-    network_->set_journal(journal_.get());
-    for (auto& node : nodes_) node->set_journal(journal_.get());
+    journal_ = std::make_unique<obs::Journal>(
+        sim(), config_.num_groups * config_.num_nodes, jopts);
+    network()->set_journal(journal_.get());
+    for (auto& group : groups_) {
+      for (int r = 0; r < group->num_nodes(); ++r) {
+        group->node(r)->set_journal(journal_.get());
+      }
+    }
+    if (config_.num_groups > 1) {
+      // Journal lines carry the owning group (single-group output stays
+      // byte-identical: no resolver, no field).
+      const int32_t N = config_.num_nodes;
+      const int32_t G = config_.num_groups;
+      const int32_t M = config_.num_clients;
+      journal_->set_group_resolver([N, G, M](int32_t id) -> int32_t {
+        if (id >= net::kClientIdBase) {
+          const int32_t idx = id - net::kClientIdBase;
+          return (M > 0 && idx < G * M) ? idx / M : -1;
+        }
+        return id < G * N ? id / N : -1;
+      });
+    }
   }
 
   if (!config_.trace && config_.sample_interval <= 0) return;
@@ -133,81 +154,114 @@ void Cluster::SetupObservability() {
     obs::Tracer::Options topts;
     topts.span_capacity = config_.trace_span_capacity;
     topts.instant_capacity = config_.trace_instant_capacity;
-    tracer_ = std::make_unique<obs::Tracer>(sim_.get(), topts);
-    network_->set_tracer(tracer_.get());
-    for (auto& node : nodes_) node->set_tracer(tracer_.get());
-    for (auto& client : clients_) client->set_tracer(tracer_.get());
+    tracer_ = std::make_unique<obs::Tracer>(sim(), topts);
+    network()->set_tracer(tracer_.get());
+    for (auto& group : groups_) {
+      for (int r = 0; r < group->num_nodes(); ++r) {
+        group->node(r)->set_tracer(tracer_.get());
+      }
+      for (int i = 0; i < group->num_clients(); ++i) {
+        group->client(i)->set_tracer(tracer_.get());
+      }
+    }
   }
 
   if (config_.sample_interval > 0) {
-    // Cluster-wide aggregates.
+    // Cluster-wide aggregates (across every group).
     registry_->AddSource(obs::names::kWindowOccupancy, [this]() {
       size_t total = 0;
-      for (const auto& node : nodes_) total += node->window().size();
+      for (const auto& group : groups_) {
+        for (int r = 0; r < group->num_nodes(); ++r) {
+          total += group->node(r)->window().size();
+        }
+      }
       return static_cast<double>(total);
     });
     registry_->AddSource(obs::names::kCommitIndexMax, [this]() {
       storage::LogIndex max_commit = 0;
-      for (const auto& node : nodes_) {
-        max_commit = std::max(max_commit, node->commit_index());
+      for (const auto& group : groups_) {
+        for (int r = 0; r < group->num_nodes(); ++r) {
+          max_commit = std::max(max_commit, group->node(r)->commit_index());
+        }
       }
       return static_cast<double>(max_commit);
     });
     registry_->AddSource(obs::names::kApplyLag, [this]() {
       int64_t lag = 0;
-      for (const auto& node : nodes_) {
-        lag += node->commit_index() - node->applied_index();
+      for (const auto& group : groups_) {
+        for (int r = 0; r < group->num_nodes(); ++r) {
+          lag += group->node(r)->commit_index() -
+                 group->node(r)->applied_index();
+        }
       }
       return static_cast<double>(lag);
     });
     registry_->AddSource(obs::names::kDispatcherQueueDepth, [this]() {
       size_t total = 0;
-      for (const auto& node : nodes_) total += node->DispatcherQueueDepth();
+      for (const auto& group : groups_) {
+        for (int r = 0; r < group->num_nodes(); ++r) {
+          total += group->node(r)->DispatcherQueueDepth();
+        }
+      }
       return static_cast<double>(total);
     });
     registry_->AddSource(obs::names::kRpcsInflight, [this]() {
       size_t total = 0;
-      for (const auto& node : nodes_) total += node->OutstandingRpcCount();
+      for (const auto& group : groups_) {
+        for (int r = 0; r < group->num_nodes(); ++r) {
+          total += group->node(r)->OutstandingRpcCount();
+        }
+      }
       return static_cast<double>(total);
     });
     registry_->AddSource(obs::names::kNicBytesSent, [this]() {
-      return static_cast<double>(network_->bytes_sent());
+      return static_cast<double>(network()->bytes_sent());
     });
 
-    // Per-replica series (".nodeN" suffix — the Prometheus exporter turns
-    // it into a node label). Lambdas capture the raw node pointer: nodes_
-    // never shrinks and outlives the sampler.
-    for (int i = 0; i < config_.num_nodes; ++i) {
-      const std::string suffix = ".node" + std::to_string(i);
-      raft::RaftNode* node = nodes_[static_cast<size_t>(i)].get();
-      registry_->AddSource(obs::names::kWindowOccupancyNode + suffix,
-                           [node]() {
-                             return static_cast<double>(node->window().size());
-                           });
-      registry_->AddSource(
-          obs::names::kBarriersPending + suffix, [node]() {
-            return static_cast<double>(node->PendingBarrierRecords());
-          });
-      registry_->AddSource(obs::names::kReplicationLag + suffix, [this,
-                                                                  node]() {
-        storage::LogIndex max_last = 0;
-        for (const auto& n : nodes_) {
-          max_last = std::max(max_last, n->log().LastIndex());
-        }
-        return static_cast<double>(max_last - node->log().LastIndex());
-      });
-      registry_->AddSource(obs::names::kCpuQueueDepth + suffix, [node]() {
-        return static_cast<double>(node->cpu()->outstanding());
-      });
-      registry_->AddSource(obs::names::kIoQueueDepth + suffix, [node]() {
-        storage::SimDisk* disk = node->disk();
-        return disk == nullptr ? 0.0
-                               : static_cast<double>(
-                                     disk->io_lane()->outstanding());
-      });
+    // Per-replica series, suffixed with the replica's endpoint id (for one
+    // group that is ".node0".."nodeN", the historical names; the
+    // Prometheus exporter turns it into a node label). Lambdas capture raw
+    // pointers: groups_ never shrinks and outlives the sampler.
+    for (int g = 0; g < num_groups(); ++g) {
+      GroupRuntime* grp = groups_[static_cast<size_t>(g)].get();
+      for (int r = 0; r < config_.num_nodes; ++r) {
+        raft::RaftNode* node = grp->node(r);
+        const std::string suffix =
+            ".node" + std::to_string(node->id());
+        registry_->AddSource(obs::names::kWindowOccupancyNode + suffix,
+                             [node]() {
+                               return static_cast<double>(
+                                   node->window().size());
+                             });
+        registry_->AddSource(
+            obs::names::kBarriersPending + suffix, [node]() {
+              return static_cast<double>(node->PendingBarrierRecords());
+            });
+        // Replication lag is an intra-group notion: distance to the
+        // furthest log *within this node's group*.
+        registry_->AddSource(obs::names::kReplicationLag + suffix,
+                             [grp, node]() {
+                               storage::LogIndex max_last = 0;
+                               for (int j = 0; j < grp->num_nodes(); ++j) {
+                                 max_last = std::max(
+                                     max_last, grp->node(j)->log().LastIndex());
+                               }
+                               return static_cast<double>(
+                                   max_last - node->log().LastIndex());
+                             });
+        registry_->AddSource(obs::names::kCpuQueueDepth + suffix, [node]() {
+          return static_cast<double>(node->cpu()->outstanding());
+        });
+        registry_->AddSource(obs::names::kIoQueueDepth + suffix, [node]() {
+          storage::SimDisk* disk = node->disk();
+          return disk == nullptr ? 0.0
+                                 : static_cast<double>(
+                                       disk->io_lane()->outstanding());
+        });
+      }
     }
 
-    sampler_ = std::make_unique<obs::Sampler>(sim_.get(), registry_.get(),
+    sampler_ = std::make_unique<obs::Sampler>(sim(), registry_.get(),
                                               config_.sample_interval);
     if (config_.compress_series) {
       series_store_ = std::make_unique<obs::SeriesStore>();
@@ -217,8 +271,18 @@ void Cluster::SetupObservability() {
 }
 
 std::string Cluster::EndpointName(int32_t id) const {
+  const int32_t N = config_.num_nodes;
+  const int32_t M = config_.num_clients;
   if (id >= net::kClientIdBase) {
-    return "client " + std::to_string(id - net::kClientIdBase);
+    const int32_t idx = id - net::kClientIdBase;
+    if (config_.num_groups > 1 && M > 0 && idx < config_.num_groups * M) {
+      return "g" + std::to_string(idx / M) + " client " +
+             std::to_string(idx % M);
+    }
+    return "client " + std::to_string(idx);
+  }
+  if (config_.num_groups > 1 && id >= 0 && id < config_.num_groups * N) {
+    return "g" + std::to_string(id / N) + " node " + std::to_string(id % N);
   }
   return "node " + std::to_string(id);
 }
@@ -262,196 +326,207 @@ Status Cluster::WriteObsBundle(const std::string& dir) const {
   if (journal_ != nullptr) {
     // Full retained history (lookback 0): the bundle is a snapshot, not a
     // violation-scoped post-mortem — ChaosRunner handles those.
-    s = journal_->WriteJsonl(dir + "/journal.jsonl", sim_->Now(), 0);
+    s = journal_->WriteJsonl(dir + "/journal.jsonl", substrate_->sim()->Now(),
+                             0);
     if (!s.ok()) return s;
     s = journal_->WriteTimeline(
-        dir + "/timeline.txt", sim_->Now(), 0,
+        dir + "/timeline.txt", substrate_->sim()->Now(), 0,
         [this](int32_t id) { return EndpointName(id); });
     if (!s.ok()) return s;
   }
 
-  std::FILE* f = std::fopen((dir + "/node_stats.json").c_str(), "w");
-  if (f == nullptr) {
-    return Status::IoError("cannot open " + dir + "/node_stats.json");
+  const auto write_file = [](const std::string& path,
+                             const std::string& body) -> Status {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return Status::IoError("cannot open " + path);
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    return Status::Ok();
+  };
+  s = write_file(dir + "/node_stats.json", NodeStatsJson());
+  if (!s.ok()) return s;
+  if (config_.num_groups > 1) {
+    for (size_t g = 0; g < groups_.size(); ++g) {
+      s = write_file(dir + "/node_stats_g" + std::to_string(g) + ".json",
+                     groups_[g]->NodeStatsJson());
+      if (!s.ok()) return s;
+    }
   }
-  const std::string stats = NodeStatsJson();
-  std::fwrite(stats.data(), 1, stats.size(), f);
-  std::fclose(f);
   return Status::Ok();
 }
 
 void Cluster::Start() {
-  for (auto& node : nodes_) node->Start();
+  for (auto& group : groups_) group->StartNodes();
   if (sampler_ != nullptr) sampler_->Start();
-  // Bootstrap: node 0 stands for election immediately instead of waiting a
-  // full randomized timeout.
-  sim_->After(Millis(1), [this]() { nodes_[0]->TriggerElection(); });
+  // Bootstrap: each group's designated replica stands for election
+  // immediately instead of waiting a full randomized timeout. Round-robin
+  // placement spreads initial leaders across hosts (group 0 -> node 0,
+  // exactly the historical single-group bootstrap).
+  for (int g = 0; g < num_groups(); ++g) {
+    raft::RaftNode* first = groups_[static_cast<size_t>(g)]->node(
+        shard_map_.BootstrapLeaderReplica(g, config_.num_nodes));
+    sim()->After(Millis(1), [first]() { first->TriggerElection(); });
+  }
 }
 
 void Cluster::StartClients() {
-  for (auto& client : clients_) client->Start();
+  for (auto& group : groups_) group->StartClients();
 }
 
-void Cluster::RunFor(SimDuration d) { sim_->RunUntil(sim_->Now() + d); }
+void Cluster::RunFor(SimDuration d) { sim()->RunUntil(sim()->Now() + d); }
 
 bool Cluster::AwaitLeader(SimDuration limit) {
-  const SimTime deadline = sim_->Now() + limit;
-  while (sim_->Now() < deadline) {
-    if (leader() != nullptr) return true;
-    sim_->RunUntil(sim_->Now() + Millis(10));
+  const auto all_groups_led = [this]() {
+    for (int g = 0; g < num_groups(); ++g) {
+      if (leader(g) == nullptr) return false;
+    }
+    return true;
+  };
+  const SimTime deadline = sim()->Now() + limit;
+  while (sim()->Now() < deadline) {
+    if (all_groups_led()) return true;
+    sim()->RunUntil(sim()->Now() + Millis(10));
   }
-  return leader() != nullptr;
+  return all_groups_led();
 }
 
 void Cluster::CrashNode(int i) {
-  if (crash_observer_) crash_observer_(i);
-  nodes_[static_cast<size_t>(i)]->Crash();
+  // Audit observers see pre-crash state for every co-resident replica
+  // before any of them is wiped.
+  for (const auto& observer : crash_observers_) observer(i);
+  for (auto& group : groups_) group->node(i)->Crash();
+  // Leader hints pointing at this host are now dead ends.
+  for (int g = 0; g < num_groups(); ++g) {
+    const net::NodeId hint = router_->LeaderHint(g);
+    if (hint != net::kInvalidNode &&
+        hint == ReplicaEndpoint(g, config_.num_nodes, i)) {
+      router_->InvalidateLeader(g);
+    }
+  }
 }
 
 void Cluster::RestartNode(int i) {
-  nodes_[static_cast<size_t>(i)]->Restart();
+  for (auto& group : groups_) group->node(i)->Restart();
 }
 
-int Cluster::CrashLeader() {
-  for (size_t i = 0; i < nodes_.size(); ++i) {
-    if (!nodes_[i]->crashed() && nodes_[i]->role() == raft::Role::kLeader) {
-      CrashNode(static_cast<int>(i));
-      return static_cast<int>(i);
+int Cluster::CrashLeader() { return CrashLeader(0); }
+
+int Cluster::CrashLeader(int group) {
+  GroupRuntime* grp = groups_[static_cast<size_t>(group)].get();
+  for (int r = 0; r < grp->num_nodes(); ++r) {
+    raft::RaftNode* node = grp->node(r);
+    if (!node->crashed() && node->role() == raft::Role::kLeader) {
+      CrashNode(r);
+      return r;
     }
   }
   return -1;
 }
 
 void Cluster::StopAllClients() {
-  for (auto& client : clients_) client->Stop();
+  for (auto& group : groups_) group->StopClients();
 }
 
-raft::RaftNode* Cluster::leader() {
-  raft::RaftNode* best = nullptr;
-  for (auto& node : nodes_) {
-    if (node->crashed() || node->role() != raft::Role::kLeader) continue;
-    if (best == nullptr || node->current_term() > best->current_term()) {
-      best = node.get();
+void Cluster::SetTimerSkewAt(int i, double skew) {
+  for (auto& group : groups_) group->node(i)->set_timer_skew(skew);
+}
+
+void Cluster::SetCpuSpeedFactorAt(int i, double factor) {
+  // In multi-group mode all co-resident replicas share one pool, so this
+  // sets the same executor G times (idempotent); single-group it is the
+  // replica's own pool.
+  for (auto& group : groups_) group->node(i)->SetCpuSpeedFactor(factor);
+}
+
+void Cluster::SetWithholdVotesAt(int i, bool withhold) {
+  for (auto& group : groups_) group->node(i)->set_withhold_votes(withhold);
+}
+
+bool Cluster::SetDiskStallAt(int i, SimDuration extra) {
+  bool any = false;
+  for (auto& group : groups_) {
+    if (storage::SimDisk* disk = group->node(i)->disk()) {
+      disk->set_fsync_stall(extra);
+      any = true;
     }
   }
-  return best;
+  return any;
+}
+
+bool Cluster::CorruptDiskTailAt(int i) {
+  bool any = false;
+  for (auto& group : groups_) {
+    if (storage::SimDisk* disk = group->node(i)->disk()) {
+      if (disk->CorruptTailRecord()) any = true;
+    }
+  }
+  return any;
+}
+
+std::vector<ShardRouter::Move> Cluster::PlanLeaderRebalance() {
+  std::vector<int> leader_node(static_cast<size_t>(num_groups()), -1);
+  for (int g = 0; g < num_groups(); ++g) {
+    if (raft::RaftNode* l = leader(g)) {
+      leader_node[static_cast<size_t>(g)] =
+          groups_[static_cast<size_t>(g)]->ReplicaOf(l->id());
+    }
+  }
+  return ShardRouter::PlanRebalance(leader_node, config_.num_nodes);
+}
+
+int Cluster::RebalanceLeaders() {
+  const std::vector<ShardRouter::Move> moves = PlanLeaderRebalance();
+  for (const ShardRouter::Move& move : moves) {
+    groups_[static_cast<size_t>(move.group)]->node(move.to)->TriggerElection();
+  }
+  return static_cast<int>(moves.size());
 }
 
 void Cluster::ResetMeasurement() {
-  for (auto& client : clients_) client->ResetMeasurement();
+  for (auto& group : groups_) group->ResetMeasurement();
 }
 
 ClusterStats Cluster::Collect() const {
   ClusterStats out;
-  for (const auto& client : clients_) {
-    const raft::ClientStats& cs = client->stats();
-    out.requests_issued += cs.requests_issued;
-    out.requests_completed += cs.requests_completed;
-    out.weak_accepts += cs.weak_accepts;
-    out.client_retries += cs.retries;
-    out.completion_latency.Merge(cs.completion_latency);
-    out.unblock_latency.Merge(cs.unblock_latency);
-    out.breakdown.Add(metrics::Phase::kGenClient, cs.gen_time_total);
-  }
-  for (const auto& node : nodes_) {
-    const raft::NodeStats& ns = node->stats();
-    out.follower_wait.Merge(ns.wait_hist);
-    out.breakdown.Merge(ns.breakdown);
-    out.elections += ns.elections_started;
-    out.rpc_timeouts += ns.rpc_timeouts;
-    out.window_inserts += ns.window_inserts;
-    out.degraded_entries += ns.degraded_entries;
-    if (node->role() == raft::Role::kLeader && !node->crashed()) {
-      out.entries_committed_leader = ns.entries_committed;
-    }
-  }
+  for (const auto& group : groups_) out.Merge(group->Collect());
   return out;
 }
 
 std::string Cluster::NodeStatsJson() const {
+  if (config_.num_groups == 1) return groups_[0]->NodeStatsJson();
   std::string out = "{";
-  for (size_t i = 0; i < nodes_.size(); ++i) {
-    if (i > 0) out += ",";
-    out += "\"node" + std::to_string(i) + "\":";
-    out += nodes_[i]->stats().ToJson();
+  bool first = true;
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    for (int r = 0; r < groups_[g]->num_nodes(); ++r) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"g" + std::to_string(g) + ".node" + std::to_string(r) + "\":";
+      out += groups_[g]->node(r)->stats().ToJson();
+    }
   }
   out += "}";
   return out;
 }
 
 Status Cluster::CheckLogMatching() const {
-  for (size_t a = 0; a < nodes_.size(); ++a) {
-    for (size_t b = a + 1; b < nodes_.size(); ++b) {
-      const auto& la = nodes_[a]->log();
-      const auto& lb = nodes_[b]->log();
-      const storage::LogIndex last =
-          std::min(la.LastIndex(), lb.LastIndex());
-      const storage::LogIndex first =
-          std::max(la.FirstIndex(), lb.FirstIndex());
-      // Find the highest shared (index, term) point.
-      storage::LogIndex match = 0;
-      for (storage::LogIndex i = last; i >= first; --i) {
-        if (la.AtUnchecked(i).term == lb.AtUnchecked(i).term) {
-          match = i;
-          break;
-        }
-      }
-      // Everything at or below the match point must agree.
-      for (storage::LogIndex i = first; i <= match; ++i) {
-        const auto& ea = la.AtUnchecked(i);
-        const auto& eb = lb.AtUnchecked(i);
-        if (ea.term != eb.term || ea.request_id != eb.request_id) {
-          return Status::Corruption(
-              "log matching violated at index " + std::to_string(i) +
-              " between nodes " + std::to_string(a) + " and " +
-              std::to_string(b));
-        }
-      }
-    }
+  for (const auto& group : groups_) {
+    Status s = group->CheckLogMatching();
+    if (!s.ok()) return s;
   }
   return Status::Ok();
 }
 
 Status Cluster::CheckCommittedPrefixes() const {
-  // State Machine Safety: two nodes may only disagree above the commit
-  // point of at least one of them (an uncommitted conflicting tail on a
-  // stale follower is legal; a committed divergence is not).
-  for (size_t a = 0; a < nodes_.size(); ++a) {
-    const auto& la = nodes_[a]->log();
-    for (size_t b = a + 1; b < nodes_.size(); ++b) {
-      const auto& lb = nodes_[b]->log();
-      const storage::LogIndex upto = std::min(
-          {nodes_[a]->commit_index(), nodes_[b]->commit_index(),
-           la.LastIndex(), lb.LastIndex()});
-      for (storage::LogIndex i = std::max(la.FirstIndex(), lb.FirstIndex());
-           i <= upto; ++i) {
-        const auto& ea = la.AtUnchecked(i);
-        const auto& eb = lb.AtUnchecked(i);
-        if (ea.term != eb.term || ea.request_id != eb.request_id) {
-          return Status::Corruption(
-              "committed entries diverge at index " + std::to_string(i));
-        }
-      }
-    }
+  for (const auto& group : groups_) {
+    Status s = group->CheckCommittedPrefixes();
+    if (!s.ok()) return s;
   }
   return Status::Ok();
 }
 
-uint64_t Cluster::CountUniqueRequestsInLog(int node_index) const {
-  const auto& log = nodes_[static_cast<size_t>(node_index)]->log();
-  std::set<uint64_t> ids;
-  for (storage::LogIndex i = log.FirstIndex(); i <= log.LastIndex(); ++i) {
-    const auto& e = log.AtUnchecked(i);
-    if (e.client_id != net::kInvalidNode) ids.insert(e.request_id);
-  }
-  return ids.size();
-}
-
 uint64_t Cluster::TotalRequestsIssued() const {
   uint64_t total = 0;
-  for (const auto& client : clients_) {
-    total += client->requests_issued_total();
-  }
+  for (const auto& group : groups_) total += group->TotalRequestsIssued();
   return total;
 }
 

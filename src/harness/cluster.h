@@ -7,9 +7,11 @@
 #include <vector>
 
 #include "common/status.h"
-#include "harness/workload.h"
-#include "metrics/breakdown.h"
-#include "metrics/histogram.h"
+#include "harness/cluster_types.h"
+#include "harness/group_runtime.h"
+#include "harness/shard_map.h"
+#include "harness/shard_router.h"
+#include "harness/substrate.h"
 #include "net/network.h"
 #include "obs/exporter.h"
 #include "obs/journal.h"
@@ -23,135 +25,23 @@
 
 namespace nbraft::harness {
 
-/// Which state-machine/cost profile the replicas run (the two systems of
-/// the paper's Fig. 4).
-enum class SystemProfile {
-  kIoTDB,  ///< Memtable-batched time-series apply; light indexing lock.
-  kRatis,  ///< FileStore: per-request I/O apply; heavy indexing lock.
-};
-
-/// Everything needed to assemble one experiment's cluster.
-struct ClusterConfig {
-  int num_nodes = 3;           ///< Paper default replication factor.
-  int num_clients = 64;
-  raft::Protocol protocol = raft::Protocol::kRaft;
-  int window_size = 10000;     ///< Paper default for NB variants.
-  size_t payload_size = 4096;  ///< Paper default 4 KB.
-
-  /// Dispatchers per follower; -1 follows the paper ("the number of
-  /// dispatchers is the same as clients").
-  int dispatchers = -1;
-
-  /// Max consecutive entries one AppendEntries RPC may coalesce (1 = the
-  /// paper's unbatched wire protocol).
-  int max_batch_entries = 1;
-
-  /// Adversarial-resilience mitigations forwarded to every node (see
-  /// raft::RaftOptions). All off by default — the default cluster is
-  /// bit-identical to the unmitigated protocol.
-  bool pre_vote = false;
-  bool check_quorum = false;
-  bool leader_lease = false;
-
-  int cpu_lanes = 16;
-  double cpu_speed = 1.0;      ///< Fig. 23: < 1 models disabled CPU-Turbo.
-
-  /// Snapshot/compaction threshold forwarded to every node (0 = off).
-  int64_t snapshot_threshold = 0;
-  int64_t snapshot_keep_tail = 64;
-
-  /// Real WAL durability directory forwarded to every node ("" = off).
-  std::string wal_dir;
-
-  /// Simulated durable disk forwarded to every node (disk.enabled = on;
-  /// ignored when wal_dir is set — a real WAL wins). See raft::DiskOptions.
-  raft::DiskOptions disk;
-
-  /// Test hook forwarded to every node: builds the durable-log backend
-  /// instead of the wal_dir/disk selection (e.g. an injected failing
-  /// backend for storage-error-path tests).
-  std::function<std::unique_ptr<storage::LogBackend>(int64_t node_id)>
-      backend_factory;
-  SimDuration election_timeout = Millis(500);
-  SimDuration client_think = Micros(5);
-
-  /// Client resend backoff (capped exponential + seeded jitter).
-  SimDuration client_backoff_base = Millis(1500);
-  SimDuration client_backoff_cap = Millis(8000);
-  double client_backoff_multiplier = 2.0;
-
-  /// Retain weak/strong acked request ids on every client so the chaos
-  /// safety oracle can audit acknowledged-write durability.
-  bool record_client_acks = false;
-
-  /// Per-client cap on issued requests, 0 = unlimited. Lets chaos runs
-  /// drain to a true quiescent point (retries still run after the cap).
-  uint64_t client_max_requests = 0;
-  net::NetworkConfig network;
-  bool geo_distributed = false;  ///< Fig. 20 topology (max 5 nodes).
-  SystemProfile profile = SystemProfile::kIoTDB;
-  uint64_t seed = 42;
-  IngestWorkload::Options workload;
-
-  /// Free applied payload bytes (keep on for long throughput runs).
-  bool release_payloads = true;
-
-  // ---- Observability ----
-
-  /// Enables the per-entry lifecycle tracer (implied by a non-empty
-  /// trace path). Off by default: untraced runs pay a single null check.
-  bool trace = false;
-
-  /// Where WriteTraces() puts the Chrome trace_event JSON ("" = skip).
-  /// Open it in chrome://tracing or https://ui.perfetto.dev.
-  std::string trace_path;
-
-  /// Where WriteTraces() puts the flat JSONL dump ("" = skip).
-  std::string trace_jsonl_path;
-
-  /// Telemetry sampling period for window occupancy / commit lag / queue
-  /// depth / in-flight RPCs / NIC bytes (0 = sampler off).
-  SimDuration sample_interval = 0;
-
-  /// Ring-buffer capacities for the tracer.
-  size_t trace_span_capacity = 1 << 20;
-  size_t trace_instant_capacity = 1 << 18;
-
-  /// Enables the cluster flight recorder: one fixed ring of structured
-  /// protocol events per node (role/term changes, decoded RPCs, window
-  /// transitions, commit/apply advances, disk barriers, chaos faults).
-  /// Off by default — an untraced run pays one null check per hook.
-  bool journal = false;
-
-  /// Events retained per node ring (plus one shared cluster ring).
-  size_t journal_capacity = 1 << 14;
-
-  /// Mirror every sampled series into a Gorilla-compressed SeriesStore
-  /// (the system monitoring itself with its own storage format). Only
-  /// meaningful when sample_interval > 0.
-  bool compress_series = true;
-};
-
-/// Aggregated run metrics.
-struct ClusterStats {
-  uint64_t requests_issued = 0;
-  uint64_t requests_completed = 0;
-  uint64_t weak_accepts = 0;
-  uint64_t client_retries = 0;
-  metrics::Histogram completion_latency;
-  metrics::Histogram unblock_latency;
-  metrics::Histogram follower_wait;  ///< t_wait(F) across followers.
-  metrics::Breakdown breakdown;      ///< Merged over all nodes + t_gen.
-  uint64_t entries_committed_leader = 0;
-  uint64_t elections = 0;
-  uint64_t rpc_timeouts = 0;
-  uint64_t window_inserts = 0;
-  uint64_t degraded_entries = 0;
-};
-
-/// An in-process cluster on the deterministic simulator: N replicas, M
-/// closed-loop clients, one network. This is the paper's testbed in
-/// miniature; every evaluation figure is produced through it.
+/// An in-process multi-Raft cluster on the deterministic simulator: one
+/// shared Substrate (simulator, network, per-host CPU/disk pools) carrying
+/// `num_groups` consensus groups of N replicas each, plus a ShardMap/
+/// ShardRouter pair that places series on groups and tracks leaders.
+///
+/// With num_groups == 1 (the default) this is exactly the paper's testbed:
+/// the single group owns its resources and the whole construction +
+/// execution path — including the rng draw sequence — is bit-identical to
+/// the pre-sharding cluster (behavior_fingerprint-pinned). The historical
+/// single-group API below (node(i), leader(), CrashLeader(), ...) keeps
+/// working unchanged by delegating to group 0.
+///
+/// With num_groups > 1, group g's replica r is *co-resident* with every
+/// other group's replica r on physical host r: they share the host's NIC
+/// serialization and partition/crash state, one CPU pool, and one disk
+/// I/O lane — so chaos faults and load interference hit whole hosts, not
+/// individual groups.
 class Cluster {
  public:
   explicit Cluster(ClusterConfig config);
@@ -160,48 +50,112 @@ class Cluster {
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
-  /// Starts the replicas and bootstraps node 0 as the initial leader.
+  /// Starts all replicas and bootstraps each group's initial leader
+  /// (round-robin over hosts: group g triggers replica g mod N).
   void Start();
 
   /// Starts every client connection (typically after Start + a grace
-  /// period so a leader exists).
+  /// period so leaders exist).
   void StartClients();
 
   /// Advances virtual time by `d`.
   void RunFor(SimDuration d);
 
-  /// Runs until a leader exists (or `limit` elapses). Returns success.
+  /// Runs until every group has a leader (or `limit` elapses).
   bool AwaitLeader(SimDuration limit = Seconds(10));
 
   // ---- Failure injection (Sec. V-G / Fig. 21) ----
-  void CrashNode(int i);
-  void RestartNode(int i);
-  /// Kills the current leader; returns its index or -1.
-  int CrashLeader();
 
-  /// Called with the node index on every CrashNode/CrashLeader, *before*
-  /// the node's memory is wiped — the safety oracle audits the node's
+  /// Crashes physical host `i`: every group's replica i dies together.
+  /// Crash observers fire for the host *before* any replica's memory is
+  /// wiped; the router's leader hints for affected groups are invalidated.
+  void CrashNode(int i);
+  /// Restarts physical host `i` (every group's replica i recovers).
+  void RestartNode(int i);
+  /// Kills group 0's current leader's host; returns its index or -1.
+  int CrashLeader();
+  /// Kills group g's current leader's *host* (co-resident replicas of
+  /// other groups die with it); returns the replica/host index or -1.
+  int CrashLeader(int group);
+
+  /// Called with the physical host index on every CrashNode/CrashLeader,
+  /// *before* any replica's memory is wiped — the safety oracles audit
   /// durability claims (strong-ack frontier vs fsynced frontier) here.
+  /// Multicast: each group's oracle registers its own observer.
   void set_crash_observer(std::function<void(int)> observer) {
-    crash_observer_ = std::move(observer);
+    crash_observers_.push_back(std::move(observer));
   }
   /// Kills every client simultaneously (the paper's loss experiment kills
   /// leader and clients together).
   void StopAllClients();
 
-  // ---- Introspection ----
-  sim::Simulator* sim() { return sim_.get(); }
-  net::SimNetwork* network() { return network_.get(); }
-  raft::RaftNode* node(int i) { return nodes_[static_cast<size_t>(i)].get(); }
-  raft::RaftClient* client(int i) {
-    return clients_[static_cast<size_t>(i)].get();
-  }
-  int num_nodes() const { return static_cast<int>(nodes_.size()); }
-  int num_clients() const { return static_cast<int>(clients_.size()); }
-  const ClusterConfig& config() const { return config_; }
+  // ---- Host-scoped chaos faults (all co-resident replicas) ----
 
-  /// Current leader among non-crashed nodes, or nullptr.
-  raft::RaftNode* leader();
+  /// Election-timer skew on every replica of host `i`.
+  void SetTimerSkewAt(int i, double skew);
+  /// CPU slowdown on host `i` (one shared pool in multi-group mode, the
+  /// replica's own pool otherwise).
+  void SetCpuSpeedFactorAt(int i, double factor);
+  /// Vote-withholder adversary on every replica of host `i`.
+  void SetWithholdVotesAt(int i, bool withhold);
+  /// Extra fsync stall on every simulated disk of host `i`. Returns false
+  /// when the run has no simulated disks.
+  bool SetDiskStallAt(int i, SimDuration extra);
+  /// Corrupts the newest eligible tail record of each of host `i`'s
+  /// disks. Returns true if any record was corrupted.
+  bool CorruptDiskTailAt(int i);
+
+  // ---- Introspection ----
+  sim::Simulator* sim() { return substrate_->sim(); }
+  net::SimNetwork* network() { return substrate_->network(); }
+  Substrate* substrate() { return substrate_.get(); }
+
+  /// Group 0's replica `i` (the historical single-group accessor; with
+  /// one group this is every node). Host-scoped fault helpers above hit
+  /// all co-resident replicas instead.
+  raft::RaftNode* node(int i) { return groups_[0]->node(i); }
+  /// Group `g`'s replica `r`.
+  raft::RaftNode* node(int g, int r) {
+    return groups_[static_cast<size_t>(g)]->node(r);
+  }
+  /// Client by cluster-wide index (group-major: g * clients_per_group + i).
+  raft::RaftClient* client(int i) {
+    const int per_group = config_.num_clients;
+    return groups_[static_cast<size_t>(i / per_group)]->client(i % per_group);
+  }
+  /// Group `g`'s client `i`.
+  raft::RaftClient* client(int g, int i) {
+    return groups_[static_cast<size_t>(g)]->client(i);
+  }
+  int num_nodes() const { return config_.num_nodes; }  ///< Physical hosts.
+  int num_groups() const { return static_cast<int>(groups_.size()); }
+  /// Total clients across all groups.
+  int num_clients() const { return config_.num_clients * num_groups(); }
+  const ClusterConfig& config() const { return config_; }
+  GroupRuntime* group(int g) { return groups_[static_cast<size_t>(g)].get(); }
+
+  /// Group 0's current leader (the historical accessor), or nullptr.
+  raft::RaftNode* leader() { return groups_[0]->leader(); }
+  /// Group `g`'s current leader among non-crashed replicas, or nullptr.
+  raft::RaftNode* leader(int g) {
+    return groups_[static_cast<size_t>(g)]->leader();
+  }
+
+  // ---- Sharding ----
+  const ShardMap& shard_map() const { return shard_map_; }
+  /// Leader-hint cache fed by per-node leadership callbacks; external
+  /// ingress routes through this (the closed-loop clients keep their own
+  /// NotLeader redirect machinery and bypass it).
+  ShardRouter* router() { return router_.get(); }
+  const ShardRouter* router() const { return router_.get(); }
+
+  /// Plans leader moves that even out leaders-per-host (see
+  /// ShardRouter::PlanRebalance). Empty when already balanced.
+  std::vector<ShardRouter::Move> PlanLeaderRebalance();
+  /// Executes the plan by triggering elections on the target replicas
+  /// (best-effort placement: the election itself still needs a quorum).
+  /// Returns the number of moves attempted.
+  int RebalanceLeaders();
 
   /// Marks the start of the measurement window (resets client stats).
   void ResetMeasurement();
@@ -218,7 +172,8 @@ class Cluster {
   /// Compressed metric series (nullptr unless sampling + compress_series).
   obs::SeriesStore* series_store() { return series_store_.get(); }
 
-  /// Maps an endpoint id to its display name ("node 2" / "client 17").
+  /// Maps an endpoint id to its display name: "node 2" / "client 17"
+  /// single-group, "g1 node 2" / "g1 client 17" sharded.
   std::string EndpointName(int32_t id) const;
 
   /// Writes the Chrome trace_event JSON and/or JSONL dump to the paths in
@@ -227,53 +182,61 @@ class Cluster {
 
   /// Writes the full observability bundle into `dir` (created if needed):
   /// metrics.json + metrics.prom snapshots, the journal as journal.jsonl +
-  /// timeline.txt, and node_stats.json. Pieces whose collector is off are
+  /// timeline.txt, and node_stats.json (plus per-group
+  /// node_stats_g<g>.json when sharded). Pieces whose collector is off are
   /// skipped. This is what tools/obs_report.py renders.
   Status WriteObsBundle(const std::string& dir) const;
 
-  /// Aggregates node + client metrics.
+  /// Aggregates node + client metrics across every group (single group:
+  /// exactly that group's stats).
   ClusterStats Collect() const;
+  /// One group's stats alone.
+  ClusterStats CollectGroup(int g) const {
+    return groups_[static_cast<size_t>(g)]->Collect();
+  }
 
-  /// Raw per-node counters as one JSON object keyed "node0".."nodeN",
-  /// each value a raft::NodeStats::ToJson object (includes the RPC
-  /// batching counters and histograms). Machine-readable complement to
+  /// Raw per-node counters as one JSON object — keyed "node0".."nodeN"
+  /// single-group, "g0.node0".."gG.nodeN" sharded; each value a
+  /// raft::NodeStats::ToJson object. Machine-readable complement to
   /// Collect() for dashboards and offline diffing.
   std::string NodeStatsJson() const;
 
   // ---- Invariant checks (used by the integration tests) ----
 
-  /// Log Matching: if two logs share (index, term) they share everything
-  /// up to that index.
+  /// Log Matching within every group: if two logs share (index, term)
+  /// they share everything up to that index.
   Status CheckLogMatching() const;
 
-  /// Committed-prefix agreement: entries at or below each node's commit
-  /// index agree across nodes that have them.
+  /// Committed-prefix agreement within every group.
   Status CheckCommittedPrefixes() const;
 
-  /// Counts distinct client request ids present in `node_index`'s log —
-  /// the survivor count of the paper's data-loss experiment.
-  uint64_t CountUniqueRequestsInLog(int node_index) const;
+  /// Counts distinct client request ids in group 0 replica `node_index`'s
+  /// log — the survivor count of the paper's data-loss experiment.
+  uint64_t CountUniqueRequestsInLog(int node_index) const {
+    return groups_[0]->CountUniqueRequestsInLog(node_index);
+  }
+  uint64_t CountUniqueRequestsInLog(int g, int r) const {
+    return groups_[static_cast<size_t>(g)]->CountUniqueRequestsInLog(r);
+  }
 
-  /// Total distinct requests issued across all clients.
+  /// Total distinct requests issued across all clients of all groups.
   uint64_t TotalRequestsIssued() const;
 
  private:
   void SetupObservability();
 
   ClusterConfig config_;
-  std::unique_ptr<sim::Simulator> sim_;
-  std::unique_ptr<net::SimNetwork> network_;
-  std::vector<std::unique_ptr<raft::RaftNode>> nodes_;
-  std::vector<std::unique_ptr<raft::RaftClient>> clients_;
-  std::vector<std::unique_ptr<IngestWorkload>> workloads_;
+  std::unique_ptr<Substrate> substrate_;
+  ShardMap shard_map_;
+  std::unique_ptr<ShardRouter> router_;
+  std::vector<std::unique_ptr<GroupRuntime>> groups_;
 
   std::unique_ptr<obs::Tracer> tracer_;
   std::unique_ptr<obs::Registry> registry_;
   std::unique_ptr<obs::Sampler> sampler_;
   std::unique_ptr<obs::Journal> journal_;
   std::unique_ptr<obs::SeriesStore> series_store_;
-  std::function<void(int)> crash_observer_;
-  bool owns_log_clock_ = false;
+  std::vector<std::function<void(int)>> crash_observers_;
 };
 
 }  // namespace nbraft::harness

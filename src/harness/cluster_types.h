@@ -1,0 +1,163 @@
+#ifndef NBRAFT_HARNESS_CLUSTER_TYPES_H_
+#define NBRAFT_HARNESS_CLUSTER_TYPES_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "harness/workload.h"
+#include "metrics/breakdown.h"
+#include "metrics/histogram.h"
+#include "net/network.h"
+#include "raft/types.h"
+
+namespace nbraft::harness {
+
+/// Which state-machine/cost profile the replicas run (the two systems of
+/// the paper's Fig. 4).
+enum class SystemProfile {
+  kIoTDB,  ///< Memtable-batched time-series apply; light indexing lock.
+  kRatis,  ///< FileStore: per-request I/O apply; heavy indexing lock.
+};
+
+/// Everything needed to assemble one experiment's cluster.
+struct ClusterConfig {
+  int num_nodes = 3;           ///< Paper default replication factor.
+  /// Closed-loop clients *per consensus group* (one group by default, so
+  /// this is the historical total).
+  int num_clients = 64;
+
+  /// Consensus groups sharing the simulated substrate (multi-Raft
+  /// sharding). Every group runs `num_nodes` replicas co-resident on the
+  /// same `num_nodes` physical hosts: group g's replica r shares host r's
+  /// NIC, CPU pool and disk I/O lane with every other group's replica r.
+  /// 1 (the default) reproduces the single-group cluster bit-identically.
+  int num_groups = 1;
+
+  /// ShardMap hash salt (series/key -> group placement).
+  uint64_t shard_salt = 0;
+
+  raft::Protocol protocol = raft::Protocol::kRaft;
+  int window_size = 10000;     ///< Paper default for NB variants.
+  size_t payload_size = 4096;  ///< Paper default 4 KB.
+
+  /// Dispatchers per follower; -1 follows the paper ("the number of
+  /// dispatchers is the same as clients").
+  int dispatchers = -1;
+
+  /// Max consecutive entries one AppendEntries RPC may coalesce (1 = the
+  /// paper's unbatched wire protocol).
+  int max_batch_entries = 1;
+
+  /// Adversarial-resilience mitigations forwarded to every node (see
+  /// raft::RaftOptions). All off by default — the default cluster is
+  /// bit-identical to the unmitigated protocol.
+  bool pre_vote = false;
+  bool check_quorum = false;
+  bool leader_lease = false;
+
+  int cpu_lanes = 16;
+  double cpu_speed = 1.0;      ///< Fig. 23: < 1 models disabled CPU-Turbo.
+
+  /// Snapshot/compaction threshold forwarded to every node (0 = off).
+  int64_t snapshot_threshold = 0;
+  int64_t snapshot_keep_tail = 64;
+
+  /// Real WAL durability directory forwarded to every node ("" = off).
+  std::string wal_dir;
+
+  /// Simulated durable disk forwarded to every node (disk.enabled = on;
+  /// ignored when wal_dir is set — a real WAL wins). See raft::DiskOptions.
+  raft::DiskOptions disk;
+
+  /// Test hook forwarded to every node: builds the durable-log backend
+  /// instead of the wal_dir/disk selection (e.g. an injected failing
+  /// backend for storage-error-path tests).
+  std::function<std::unique_ptr<storage::LogBackend>(int64_t node_id)>
+      backend_factory;
+  SimDuration election_timeout = Millis(500);
+  SimDuration client_think = Micros(5);
+
+  /// Client resend backoff (capped exponential + seeded jitter).
+  SimDuration client_backoff_base = Millis(1500);
+  SimDuration client_backoff_cap = Millis(8000);
+  double client_backoff_multiplier = 2.0;
+
+  /// Retain weak/strong acked request ids on every client so the chaos
+  /// safety oracle can audit acknowledged-write durability.
+  bool record_client_acks = false;
+
+  /// Per-client cap on issued requests, 0 = unlimited. Lets chaos runs
+  /// drain to a true quiescent point (retries still run after the cap).
+  uint64_t client_max_requests = 0;
+  net::NetworkConfig network;
+  bool geo_distributed = false;  ///< Fig. 20 topology (max 5 nodes).
+  SystemProfile profile = SystemProfile::kIoTDB;
+  uint64_t seed = 42;
+  IngestWorkload::Options workload;
+
+  /// Free applied payload bytes (keep on for long throughput runs).
+  bool release_payloads = true;
+
+  // ---- Observability ----
+
+  /// Enables the per-entry lifecycle tracer (implied by a non-empty
+  /// trace path). Off by default: untraced runs pay a single null check.
+  bool trace = false;
+
+  /// Where WriteTraces() puts the Chrome trace_event JSON ("" = skip).
+  /// Open it in chrome://tracing or https://ui.perfetto.dev.
+  std::string trace_path;
+
+  /// Where WriteTraces() puts the flat JSONL dump ("" = skip).
+  std::string trace_jsonl_path;
+
+  /// Telemetry sampling period for window occupancy / commit lag / queue
+  /// depth / in-flight RPCs / NIC bytes (0 = sampler off).
+  SimDuration sample_interval = 0;
+
+  /// Ring-buffer capacities for the tracer.
+  size_t trace_span_capacity = 1 << 20;
+  size_t trace_instant_capacity = 1 << 18;
+
+  /// Enables the cluster flight recorder: one fixed ring of structured
+  /// protocol events per node (role/term changes, decoded RPCs, window
+  /// transitions, commit/apply advances, disk barriers, chaos faults).
+  /// Off by default — an untraced run pays one null check per hook.
+  bool journal = false;
+
+  /// Events retained per node ring (plus one shared cluster ring).
+  size_t journal_capacity = 1 << 14;
+
+  /// Mirror every sampled series into a Gorilla-compressed SeriesStore
+  /// (the system monitoring itself with its own storage format). Only
+  /// meaningful when sample_interval > 0.
+  bool compress_series = true;
+};
+
+/// Aggregated run metrics (one group's, or — after Merge — a whole
+/// multi-group cluster's).
+struct ClusterStats {
+  uint64_t requests_issued = 0;
+  uint64_t requests_completed = 0;
+  uint64_t weak_accepts = 0;
+  uint64_t client_retries = 0;
+  metrics::Histogram completion_latency;
+  metrics::Histogram unblock_latency;
+  metrics::Histogram follower_wait;  ///< t_wait(F) across followers.
+  metrics::Breakdown breakdown;      ///< Merged over all nodes + t_gen.
+  uint64_t entries_committed_leader = 0;
+  uint64_t elections = 0;
+  uint64_t rpc_timeouts = 0;
+  uint64_t window_inserts = 0;
+  uint64_t degraded_entries = 0;
+
+  /// Folds another group's stats into this one (histograms and breakdowns
+  /// merge, counters add — entries_committed_leader sums over each
+  /// group's leader). Merging into a default-constructed object copies.
+  void Merge(const ClusterStats& other);
+};
+
+}  // namespace nbraft::harness
+
+#endif  // NBRAFT_HARNESS_CLUSTER_TYPES_H_

@@ -1,0 +1,100 @@
+#ifndef NBRAFT_HARNESS_GROUP_RUNTIME_H_
+#define NBRAFT_HARNESS_GROUP_RUNTIME_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "harness/cluster_types.h"
+#include "harness/shard_map.h"
+#include "harness/substrate.h"
+#include "raft/raft_client.h"
+#include "raft/raft_node.h"
+
+namespace nbraft::harness {
+
+/// Endpoint id of group `group`'s replica `replica` in a cluster of
+/// `num_nodes` physical hosts. Group 0's endpoints equal the host ids, so
+/// a single-group cluster needs no endpoint binding at all.
+inline net::NodeId ReplicaEndpoint(int group, int num_nodes, int replica) {
+  return group * num_nodes + replica;
+}
+
+/// Endpoint id of group `group`'s client `i` (`num_clients` per group).
+inline net::NodeId ClientEndpoint(int group, int num_clients, int i) {
+  return net::kClientIdBase + group * num_clients + i;
+}
+
+/// One consensus group living on a shared Substrate: N replicas (bound
+/// onto the N physical hosts), its closed-loop clients, and per-group
+/// stats/invariant surface. The Cluster facade owns one of these per
+/// group; all cross-group interference happens below, in the substrate's
+/// shared NICs, CPU pools and disk lanes.
+class GroupRuntime {
+ public:
+  /// Constructs the group's replicas then clients (in that order — the
+  /// rng draw order at construction is part of the determinism contract).
+  /// In a sharded cluster (shard_map.num_groups() > 1) the clients ingest
+  /// exactly the series the ShardMap hashes to this group.
+  GroupRuntime(Substrate* substrate, const ClusterConfig& config, int group,
+               const raft::RaftOptions& base_options,
+               const raft::RaftClient::Options& client_options,
+               const ShardMap& shard_map);
+
+  GroupRuntime(const GroupRuntime&) = delete;
+  GroupRuntime& operator=(const GroupRuntime&) = delete;
+
+  int group() const { return group_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_clients() const { return static_cast<int>(clients_.size()); }
+
+  raft::RaftNode* node(int replica) {
+    return nodes_[static_cast<size_t>(replica)].get();
+  }
+  const raft::RaftNode* node(int replica) const {
+    return nodes_[static_cast<size_t>(replica)].get();
+  }
+  raft::RaftClient* client(int i) {
+    return clients_[static_cast<size_t>(i)].get();
+  }
+  const raft::RaftClient* client(int i) const {
+    return clients_[static_cast<size_t>(i)].get();
+  }
+
+  /// Current leader among this group's non-crashed replicas (highest term
+  /// wins), or nullptr.
+  raft::RaftNode* leader();
+
+  /// Replica ordinal of a leader endpoint of this group, or -1.
+  int ReplicaOf(net::NodeId endpoint) const;
+
+  void StartNodes();
+  void StartClients();
+  void StopClients();
+  void ResetMeasurement();
+
+  /// This group's aggregated client + node metrics.
+  ClusterStats Collect() const;
+
+  /// Per-replica counters as one JSON object keyed "node0".."nodeN".
+  std::string NodeStatsJson() const;
+
+  // ---- Invariant checks (group-scoped) ----
+  Status CheckLogMatching() const;
+  Status CheckCommittedPrefixes() const;
+  uint64_t CountUniqueRequestsInLog(int replica) const;
+  uint64_t TotalRequestsIssued() const;
+
+ private:
+  Substrate* substrate_;
+  const int group_;
+  std::vector<net::NodeId> server_ids_;
+  std::vector<std::unique_ptr<raft::RaftNode>> nodes_;
+  std::vector<std::unique_ptr<raft::RaftClient>> clients_;
+  std::vector<std::unique_ptr<IngestWorkload>> workloads_;
+};
+
+}  // namespace nbraft::harness
+
+#endif  // NBRAFT_HARNESS_GROUP_RUNTIME_H_

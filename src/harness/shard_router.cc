@@ -1,0 +1,78 @@
+#include "harness/shard_router.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace nbraft::harness {
+
+ShardRouter::ShardRouter(const ShardMap* map)
+    : map_(map),
+      hints_(static_cast<size_t>(map->num_groups())) {}
+
+net::NodeId ShardRouter::LeaderHint(int group) const {
+  return hints_[static_cast<size_t>(group)].leader;
+}
+
+storage::Term ShardRouter::LeaderHintTerm(int group) const {
+  return hints_[static_cast<size_t>(group)].term;
+}
+
+void ShardRouter::ObserveLeader(int group, net::NodeId leader,
+                                storage::Term term) {
+  Hint& hint = hints_[static_cast<size_t>(group)];
+  if (term < hint.term) {
+    // A delayed notification from a past term, arriving after a newer
+    // observation (or after an invalidation that kept the watermark).
+    ++stale_observations_;
+    return;
+  }
+  hint.leader = leader;
+  hint.term = term;
+  ++hints_installed_;
+}
+
+void ShardRouter::InvalidateLeader(int group) {
+  Hint& hint = hints_[static_cast<size_t>(group)];
+  if (hint.leader == net::kInvalidNode) return;
+  // Keep the term watermark: a stale re-observation of the deposed leader
+  // (same term) must not resurrect the hint, only a newer election may.
+  hint.leader = net::kInvalidNode;
+  ++hints_invalidated_;
+}
+
+std::vector<ShardRouter::Move> ShardRouter::PlanRebalance(
+    const std::vector<int>& leader_node, int num_nodes) {
+  std::vector<Move> moves;
+  if (num_nodes <= 1) return moves;
+  std::vector<int> load(static_cast<size_t>(num_nodes), 0);
+  // Mutable copy: each planned move updates the placement it plans from.
+  std::vector<int> placement = leader_node;
+  for (int node : placement) {
+    if (node >= 0 && node < num_nodes) ++load[static_cast<size_t>(node)];
+  }
+  for (;;) {
+    const auto max_it = std::max_element(load.begin(), load.end());
+    const auto min_it = std::min_element(load.begin(), load.end());
+    if (*max_it - *min_it <= 1) break;
+    const int from = static_cast<int>(max_it - load.begin());
+    const int to = static_cast<int>(min_it - load.begin());
+    // Lowest group id on the overloaded node moves — deterministic, and
+    // re-planning the resulting placement finds nothing left to move.
+    int group = -1;
+    for (size_t g = 0; g < placement.size(); ++g) {
+      if (placement[g] == from) {
+        group = static_cast<int>(g);
+        break;
+      }
+    }
+    NBRAFT_CHECK_GE(group, 0);
+    placement[static_cast<size_t>(group)] = to;
+    --load[static_cast<size_t>(from)];
+    ++load[static_cast<size_t>(to)];
+    moves.push_back(Move{group, from, to});
+  }
+  return moves;
+}
+
+}  // namespace nbraft::harness

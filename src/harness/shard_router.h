@@ -1,0 +1,101 @@
+#ifndef NBRAFT_HARNESS_SHARD_ROUTER_H_
+#define NBRAFT_HARNESS_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "harness/shard_map.h"
+#include "net/network.h"
+#include "storage/log_entry.h"
+
+namespace nbraft::harness {
+
+/// Ingress-side request router for a multi-Raft cluster: resolves a key to
+/// its consensus group via the ShardMap and caches a leader hint per group
+/// so steady-state routing costs one hash and one array read — no
+/// consensus round trip. Hints are term-ordered (an observation for an
+/// older term than the cached one is stale and ignored) and invalidated on
+/// deposition or crash of the hinted leader; a routed request that lands
+/// on a non-leader falls back to the group's NotLeader redirect exactly as
+/// a hintless request would.
+///
+/// The router also plans leader placement: PlanRebalance computes the
+/// deterministic move list that spreads group leaders evenly across
+/// physical nodes (round-robin bootstrap keeps them spread initially;
+/// crashes pile them up over time).
+class ShardRouter {
+ public:
+  /// One planned leadership move: `group`'s leader should migrate from
+  /// physical node `from` to physical node `to`.
+  struct Move {
+    int group = -1;
+    int from = -1;
+    int to = -1;
+  };
+
+  explicit ShardRouter(const ShardMap* map);
+
+  const ShardMap& shard_map() const { return *map_; }
+
+  // ---- Routing ----
+  int GroupForKey(std::string_view key) const {
+    return map_->GroupForKey(key);
+  }
+  int GroupForSeries(uint64_t series_id) const {
+    return map_->GroupForSeries(series_id);
+  }
+
+  /// Cached leader endpoint for `group`, or net::kInvalidNode when no
+  /// valid hint is held (caller falls back to any replica + redirect).
+  net::NodeId LeaderHint(int group) const;
+  storage::Term LeaderHintTerm(int group) const;
+
+  /// Resolves `key` to its group's hinted leader endpoint (kInvalidNode
+  /// when the hint is cold).
+  net::NodeId RouteKey(std::string_view key) const {
+    return LeaderHint(GroupForKey(key));
+  }
+
+  /// Records a leader observation. Newer terms replace older hints;
+  /// observations older than the cached term are stale (a delayed
+  /// election notification arriving after a newer one) and are dropped.
+  void ObserveLeader(int group, net::NodeId leader, storage::Term term);
+
+  /// Drops the hint for `group` (deposition, crash of the hinted leader).
+  /// Idempotent; the term watermark is kept so a stale re-observation of
+  /// the deposed leader cannot resurrect the hint.
+  void InvalidateLeader(int group);
+
+  // ---- Leader placement ----
+
+  /// Deterministic greedy balancing: given each group's current leader
+  /// node (physical ordinal, -1 = unknown/skip), returns the moves that
+  /// bring every node's leader count within one of every other's. Lowest
+  /// group id moves first, lowest-index node receives first — so the plan
+  /// is reproducible, and planning an already-balanced placement returns
+  /// an empty list (idempotence, pinned by shard_router_test).
+  static std::vector<Move> PlanRebalance(const std::vector<int>& leader_node,
+                                         int num_nodes);
+
+  // ---- Telemetry ----
+  uint64_t hints_installed() const { return hints_installed_; }
+  uint64_t hints_invalidated() const { return hints_invalidated_; }
+  uint64_t stale_observations() const { return stale_observations_; }
+
+ private:
+  struct Hint {
+    net::NodeId leader = net::kInvalidNode;
+    storage::Term term = 0;
+  };
+
+  const ShardMap* map_;
+  std::vector<Hint> hints_;  ///< Indexed by group.
+  uint64_t hints_installed_ = 0;
+  uint64_t hints_invalidated_ = 0;
+  uint64_t stale_observations_ = 0;
+};
+
+}  // namespace nbraft::harness
+
+#endif  // NBRAFT_HARNESS_SHARD_ROUTER_H_

@@ -1,0 +1,83 @@
+#ifndef NBRAFT_HARNESS_SUBSTRATE_H_
+#define NBRAFT_HARNESS_SUBSTRATE_H_
+
+#include <memory>
+#include <vector>
+
+#include "net/network.h"
+#include "raft/types.h"
+#include "sim/cpu_executor.h"
+#include "sim/simulator.h"
+
+namespace nbraft::harness {
+
+/// The physical layer every consensus group shares: one deterministic
+/// simulator, one network, and — in multi-group mode — one CPU pool and
+/// one disk I/O lane per physical host. GroupRuntimes are tenants on top:
+/// their replicas bind endpoints onto these hosts and submit work to
+/// these pools, which is exactly how co-resident Raft groups interfere in
+/// production (shared NIC serialization, shared cores, shared fsync lane).
+///
+/// In single-group mode no host pools are created and every replica owns
+/// its resources, reproducing the pre-sharding cluster bit-identically —
+/// the construction-time rng draw order (network, then nodes, then
+/// clients) is part of the determinism contract.
+class Substrate {
+ public:
+  struct Config {
+    uint64_t seed = 42;
+    net::NetworkConfig network;
+    int num_physical_nodes = 3;
+    /// Create per-host shared CPU pools (+ I/O lanes when disk_lanes):
+    /// on in multi-group clusters, off in single-group ones.
+    bool shared_pools = false;
+    int cpu_lanes = 16;
+    double cpu_speed = 1.0;
+    /// Switch costs for the shared pools (same CostModel the replicas
+    /// would use for their own pools).
+    raft::CostModel costs;
+    /// Also create one single-lane I/O executor per host, shared by every
+    /// co-resident group's simulated disk. Only meaningful with
+    /// shared_pools.
+    bool disk_lanes = false;
+  };
+
+  explicit Substrate(const Config& config);
+  ~Substrate();
+
+  Substrate(const Substrate&) = delete;
+  Substrate& operator=(const Substrate&) = delete;
+
+  sim::Simulator* sim() { return sim_.get(); }
+  const sim::Simulator* sim() const { return sim_.get(); }
+  net::SimNetwork* network() { return network_.get(); }
+  int num_physical_nodes() const { return config_.num_physical_nodes; }
+
+  /// Host `physical`'s shared CPU pool, or nullptr when each replica owns
+  /// its own (single-group mode).
+  sim::CpuExecutor* host_cpu(int physical) {
+    return host_cpus_.empty() ? nullptr
+                              : host_cpus_[static_cast<size_t>(physical)].get();
+  }
+
+  /// Host `physical`'s shared disk I/O lane, or nullptr when each disk
+  /// owns its own.
+  sim::CpuExecutor* host_io_lane(int physical) {
+    return host_io_lanes_.empty()
+               ? nullptr
+               : host_io_lanes_[static_cast<size_t>(physical)].get();
+  }
+
+ private:
+  Config config_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<net::SimNetwork> network_;
+  /// Indexed by physical host; empty unless Config::shared_pools.
+  std::vector<std::unique_ptr<sim::CpuExecutor>> host_cpus_;
+  std::vector<std::unique_ptr<sim::CpuExecutor>> host_io_lanes_;
+  bool owns_log_clock_ = false;
+};
+
+}  // namespace nbraft::harness
+
+#endif  // NBRAFT_HARNESS_SUBSTRATE_H_

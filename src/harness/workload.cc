@@ -5,12 +5,14 @@
 namespace nbraft::harness {
 
 IngestWorkload::IngestWorkload(Options options, uint64_t seed)
-    : options_(options),
+    : options_(std::move(options)),
       rng_(seed),
-      clock_ms_(options.start_timestamp_ms) {
+      clock_ms_(options_.start_timestamp_ms) {
+  const uint64_t domain = options_.series_ids.empty()
+                              ? options_.series_count
+                              : options_.series_ids.size();
   if (options_.zipf_skew > 0.0) {
-    zipf_ = std::make_unique<ZipfDistribution>(options_.series_count,
-                                               options_.zipf_skew);
+    zipf_ = std::make_unique<ZipfDistribution>(domain, options_.zipf_skew);
   }
 }
 
@@ -20,9 +22,13 @@ std::string IngestWorkload::MakePayload(size_t target_size) {
   batch.reserve(static_cast<size_t>(options_.measurements_per_request));
   for (int i = 0; i < options_.measurements_per_request; ++i) {
     tsdb::Measurement m;
-    m.series_id = zipf_ != nullptr
-                      ? zipf_->Sample(&rng_)
-                      : rng_.NextBounded(options_.series_count);
+    const uint64_t domain = options_.series_ids.empty()
+                                ? options_.series_count
+                                : options_.series_ids.size();
+    const uint64_t ordinal =
+        zipf_ != nullptr ? zipf_->Sample(&rng_) : rng_.NextBounded(domain);
+    m.series_id = options_.series_ids.empty() ? ordinal
+                                              : options_.series_ids[ordinal];
     // Mild timestamp jitter around the sampling interval, as real devices
     // exhibit (cf. the paper's imputation discussion in Sec. IV).
     m.point.timestamp =

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/random.h"
 #include "tsdb/ingest_record.h"
@@ -22,6 +23,12 @@ class IngestWorkload {
     int64_t sampling_interval_ms = 1000;  ///< ~1 Hz sensors (paper Sec. V-G).
     double zipf_skew = 0.0;               ///< 0 = uniform series popularity.
     int measurements_per_request = 16;
+    /// Explicit series universe: when non-empty, the sampled ordinal
+    /// indexes into this vector instead of [0, series_count). Multi-Raft
+    /// sharding uses it to hand each consensus group exactly the series
+    /// the ShardMap hashes to it. Empty (the default) generates over
+    /// [0, series_count) with draws identical to the pre-sharding code.
+    std::vector<uint64_t> series_ids;
   };
 
   IngestWorkload(Options options, uint64_t seed);

@@ -19,6 +19,10 @@ void SimNetwork::UnregisterEndpoint(NodeId id) {
   if (MessageHandler* handler = handlers_.Find(id)) *handler = nullptr;
 }
 
+void SimNetwork::BindEndpoint(NodeId id, NodeId physical) {
+  physical_plus1_.At(id) = physical + 1;
+}
+
 uint64_t SimNetwork::PairKey(NodeId a, NodeId b) {
   if (a > b) std::swap(a, b);
   return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
@@ -60,7 +64,13 @@ SimTime SimNetwork::Send(NodeId from, NodeId to, size_t bytes,
   ++stats_.messages_sent;
   stats_.bytes_sent += bytes;
 
-  if (IsDown(from) || IsDown(to) || LinkBlocked(from, to) ||
+  // All fault and resource state is per physical host: co-resident
+  // endpoints (several consensus groups on one machine) share crash
+  // state, partitions, and NIC serialization queues.
+  const NodeId pfrom = PhysicalOf(from);
+  const NodeId pto = PhysicalOf(to);
+
+  if (IsDown(pfrom) || IsDown(pto) || LinkBlocked(pfrom, pto) ||
       rng_.NextBool(config_.drop_probability)) {
     ++stats_.messages_dropped;
     if (tracer_ != nullptr) {
@@ -81,8 +91,8 @@ SimTime SimNetwork::Send(NodeId from, NodeId to, size_t bytes,
   const SimTime now = sim_->Now();
   const SimDuration ser = SerializationTime(bytes);
 
-  // Egress NIC of the sender: serialization queue.
-  Nic& src = nics_.At(from);
+  // Egress NIC of the sender's host: serialization queue.
+  Nic& src = nics_.At(pfrom);
   const SimTime tx_start = std::max(src.egress_free_at, now);
   const SimTime tx_done = tx_start + ser;
   src.egress_free_at = tx_done;
@@ -96,7 +106,7 @@ SimTime SimNetwork::Send(NodeId from, NodeId to, size_t bytes,
         rng_.NextExponential(static_cast<double>(config_.jitter_mean)));
   }
   const SimTime propagated =
-      tx_done + LatencyFor(from, to) + jitter + extra_delay_;
+      tx_done + LatencyFor(pfrom, pto) + jitter + extra_delay_;
 
   Message msg;
   msg.from = from;
@@ -114,7 +124,7 @@ SimTime SimNetwork::Send(NodeId from, NodeId to, size_t bytes,
   // a pure function of the (immutable) bandwidth, and not capturing it
   // keeps the capture inside EventFn's inline buffer.
   sim_->At(propagated, [this, msg = std::move(msg)]() mutable {
-    Nic& dst = nics_.At(msg.to);
+    Nic& dst = nics_.At(PhysicalOf(msg.to));
     const SimTime rx_start = std::max(dst.ingress_free_at, sim_->Now());
     const SimTime rx_done = rx_start + SerializationTime(msg.bytes);
     dst.ingress_free_at = rx_done;
@@ -133,7 +143,7 @@ SimTime SimNetwork::Send(NodeId from, NodeId to, size_t bytes,
 
 void SimNetwork::Deliver(Message&& msg) {
   --stats_.messages_in_flight;
-  if (IsDown(msg.to)) {
+  if (IsDown(PhysicalOf(msg.to))) {
     ++stats_.messages_dropped;
     if (tracer_ != nullptr) {
       tracer_->RecordInstant(obs::names::kMsgDrop, msg.from, msg.to,
@@ -167,28 +177,29 @@ void SimNetwork::Deliver(Message&& msg) {
 }
 
 void SimNetwork::SetPairLatency(NodeId a, NodeId b, SimDuration latency) {
-  pair_latency_[PairKey(a, b)] = latency;
+  pair_latency_[PairKey(PhysicalOf(a), PhysicalOf(b))] = latency;
 }
 
 void SimNetwork::SetNodeUp(NodeId id, bool up) {
+  const NodeId physical = PhysicalOf(id);
   if (up) {
-    down_.At(id) = 0;
+    down_.At(physical) = 0;
   } else {
-    down_.At(id) = 1;
-    // A restarting node starts with quiet NICs.
-    nics_.At(id) = Nic{};
+    down_.At(physical) = 1;
+    // A restarting host starts with quiet NICs.
+    nics_.At(physical) = Nic{};
   }
 }
 
-bool SimNetwork::IsNodeUp(NodeId id) const { return !IsDown(id); }
+bool SimNetwork::IsNodeUp(NodeId id) const { return !IsDown(PhysicalOf(id)); }
 
 void SimNetwork::SetLinkCut(NodeId a, NodeId b, bool cut,
                             bool bidirectional) {
   if (bidirectional) {
     if (cut) {
-      cut_links_.insert(PairKey(a, b));
+      cut_links_.insert(PairKey(PhysicalOf(a), PhysicalOf(b)));
     } else {
-      cut_links_.erase(PairKey(a, b));
+      cut_links_.erase(PairKey(PhysicalOf(a), PhysicalOf(b)));
     }
     return;
   }
@@ -197,17 +208,17 @@ void SimNetwork::SetLinkCut(NodeId a, NodeId b, bool cut,
 
 void SimNetwork::SetOneWayCut(NodeId from, NodeId to, bool cut) {
   if (cut) {
-    one_way_cuts_.insert(DirectedKey(from, to));
+    one_way_cuts_.insert(DirectedKey(PhysicalOf(from), PhysicalOf(to)));
   } else {
-    one_way_cuts_.erase(DirectedKey(from, to));
+    one_way_cuts_.erase(DirectedKey(PhysicalOf(from), PhysicalOf(to)));
   }
 }
 
 void SimNetwork::Isolate(NodeId id, bool isolated) {
   if (isolated) {
-    isolated_nodes_.insert(id);
+    isolated_nodes_.insert(PhysicalOf(id));
   } else {
-    isolated_nodes_.erase(id);
+    isolated_nodes_.erase(PhysicalOf(id));
   }
 }
 

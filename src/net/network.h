@@ -95,16 +95,34 @@ class SimNetwork {
   void RegisterEndpoint(NodeId id, MessageHandler handler);
   void UnregisterEndpoint(NodeId id);
 
+  /// Binds endpoint `id` onto physical host `physical`. All endpoints bound
+  /// to one host share its NIC serialization queues, up/down state, and
+  /// partition/isolation faults — this is how several consensus groups
+  /// co-resident on one machine contend for its network resources. Unbound
+  /// endpoints (the default) are their own host, so a single-group cluster
+  /// behaves exactly as before.
+  void BindEndpoint(NodeId id, NodeId physical);
+
+  /// The physical host an endpoint is bound to (itself when unbound).
+  NodeId PhysicalOf(NodeId id) const {
+    const NodeId* p = physical_plus1_.Find(id);
+    return (p == nullptr || *p == 0) ? id : *p - 1;
+  }
+
   /// Queues a message. Returns the scheduled arrival time, or -1 if the
   /// message was dropped at send time (down endpoint, partition, loss).
   /// Delivery can still silently fail if the receiver goes down in flight.
   SimTime Send(NodeId from, NodeId to, size_t bytes, PayloadRef payload);
 
   /// Symmetric one-way latency override for a pair (geo topologies).
+  /// Physical-host scoped: pass host ids, and every endpoint bound to the
+  /// pair inherits the latency.
   void SetPairLatency(NodeId a, NodeId b, SimDuration latency);
 
   /// Marks a node up/down. Messages to or from a down node are dropped;
-  /// in-flight messages to it are dropped at delivery time.
+  /// in-flight messages to it are dropped at delivery time. Host scoped:
+  /// taking one endpoint down takes its physical host — and every
+  /// co-resident endpoint — down with it.
   void SetNodeUp(NodeId id, bool up);
   bool IsNodeUp(NodeId id) const;
 
@@ -191,8 +209,9 @@ class SimNetwork {
   SimDuration LatencyFor(NodeId from, NodeId to) const;
   SimDuration SerializationTime(size_t bytes) const;
   bool LinkBlocked(NodeId from, NodeId to) const;
-  bool IsDown(NodeId id) const {
-    const uint8_t* flag = down_.Find(id);
+  /// Takes a *physical* host id (callers map endpoints via PhysicalOf).
+  bool IsDown(NodeId physical) const {
+    const uint8_t* flag = down_.Find(physical);
     return flag != nullptr && *flag != 0;
   }
 
@@ -203,7 +222,11 @@ class SimNetwork {
 
   sim::Simulator* sim_;
   NetworkConfig config_;
-  NodeTable<MessageHandler> handlers_;  ///< Empty function = unregistered.
+  NodeTable<MessageHandler> handlers_;  ///< Per endpoint.
+  /// Endpoint -> physical host + 1; 0 = unbound (endpoint is its own
+  /// host). NICs, down flags, cuts, isolation and pair latencies below are
+  /// all keyed by physical host so co-resident endpoints share them.
+  NodeTable<NodeId> physical_plus1_;
   NodeTable<Nic> nics_;
   NodeTable<uint8_t> down_;  ///< 1 = down.
   std::unordered_set<NodeId> isolated_nodes_;

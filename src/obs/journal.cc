@@ -215,22 +215,30 @@ Status Journal::WriteJsonl(const std::string& path, SimTime cutoff,
                recorded_, dropped_, emitted, from, cutoff);
   for (const JournalEvent& e : events) {
     if (e.at < from || e.at > cutoff) continue;
+    // Group stamp, only in sharded clusters (resolver set): single-group
+    // dumps stay byte-identical to the pre-sharding format.
+    char group[32] = "";
+    if (group_resolver_) {
+      const int32_t g = group_resolver_(e.node);
+      if (g >= 0) std::snprintf(group, sizeof(group), ",\"group\":%d", g);
+    }
     if (e.kind == JournalEventKind::kRpcSend ||
         e.kind == JournalEventKind::kRpcRecv) {
       std::fprintf(f.get(),
                    "{\"type\":\"event\",\"seq\":%" PRIu64
                    ",\"at_ns\":%" PRId64
                    ",\"kind\":\"%s\",\"node\":%d,\"peer\":%d,"
-                   "\"rpc\":\"%s\",\"bytes\":%" PRId64 "}\n",
+                   "\"rpc\":\"%s\",\"bytes\":%" PRId64 "%s}\n",
                    e.seq, e.at, KindName(e.kind), e.node, e.peer,
-                   JournalRpcName(static_cast<JournalRpc>(e.a)), e.b);
+                   JournalRpcName(static_cast<JournalRpc>(e.a)), e.b, group);
     } else {
       std::fprintf(f.get(),
                    "{\"type\":\"event\",\"seq\":%" PRIu64
                    ",\"at_ns\":%" PRId64
                    ",\"kind\":\"%s\",\"node\":%d,\"peer\":%d,"
-                   "\"a\":%" PRId64 ",\"b\":%" PRId64 "}\n",
-                   e.seq, e.at, KindName(e.kind), e.node, e.peer, e.a, e.b);
+                   "\"a\":%" PRId64 ",\"b\":%" PRId64 "%s}\n",
+                   e.seq, e.at, KindName(e.kind), e.node, e.peer, e.a, e.b,
+                   group);
     }
   }
   if (std::ferror(f.get()) != 0) {

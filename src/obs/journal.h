@@ -142,6 +142,16 @@ class Journal {
   /// Maps an endpoint id to a display name; nullptr labels "node N".
   using EndpointNamer = std::function<std::string(int32_t)>;
 
+  /// Maps an endpoint id to its consensus group (multi-Raft sharding), or
+  /// -1 for cluster-level ids. When set, every JSONL event line carries a
+  /// "group" field so post-mortems of a sharded cluster can be filtered
+  /// per group. Left unset (the default, and always in single-group
+  /// clusters) the dump format is byte-identical to the pre-sharding one.
+  using GroupResolver = std::function<int32_t(int32_t)>;
+  void set_group_resolver(GroupResolver resolver) {
+    group_resolver_ = std::move(resolver);
+  }
+
   /// Writes the merged, record-ordered event stream as JSONL. Events older
   /// than `cutoff - lookback` are skipped when lookback > 0 (the "last N
   /// seconds before the violation" window); pass lookback = 0 to dump
@@ -182,6 +192,7 @@ class Journal {
   const sim::Simulator* sim_;
   int num_nodes_;
   bool enabled_ = true;
+  GroupResolver group_resolver_;
   std::vector<Ring> rings_;  ///< [0..num_nodes-1] replicas, [num_nodes] shared.
   uint64_t next_seq_ = 0;
   uint64_t recorded_ = 0;

@@ -384,7 +384,9 @@ void ElectionEngine::BecomeLeader() {
               static_cast<int64_t>(Role::kLeader),
               static_cast<int64_t>(core.current_term));
   }
-  if (leader_observer_) leader_observer_(core.current_term, ctx_->id());
+  for (const LeaderObserver& observer : leader_observers_) {
+    observer(core.current_term, ctx_->id());
+  }
   ctx_->simulator()->Cancel(election_timer_);
   election_timer_ = sim::kInvalidEventId;
   AbortPreVote();

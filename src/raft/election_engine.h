@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <set>
+#include <vector>
 
 #include "raft/messages.h"
 #include "raft/node_context.h"
@@ -68,8 +69,15 @@ class ElectionEngine {
   /// Crash-stop cleanup: cancels the timers and forgets votes.
   void OnCrash();
 
+  /// Registers a callback fired on every BecomeLeader (term, node id).
+  /// Multicast: the harness's shard router and the chaos safety oracle
+  /// both listen. Observers fire in registration order.
+  void add_leader_observer(LeaderObserver observer) {
+    leader_observers_.push_back(std::move(observer));
+  }
+  /// Historical name; appends like add_leader_observer.
   void set_leader_observer(LeaderObserver observer) {
-    leader_observer_ = std::move(observer);
+    add_leader_observer(std::move(observer));
   }
 
   /// Multiplies the randomized election timeout (chaos clock skew; 1.0 =
@@ -105,7 +113,7 @@ class ElectionEngine {
   NodeContext* ctx_;
   std::set<net::NodeId> votes_received_;
   sim::EventId election_timer_ = sim::kInvalidEventId;
-  LeaderObserver leader_observer_;
+  std::vector<LeaderObserver> leader_observers_;
   double timer_skew_ = 1.0;
 
   // PreVote canvass state (never a Role: a pre-candidate is still a

@@ -12,6 +12,8 @@ std::string NodeStats::ToJson() const {
     return std::string(buf);
   };
   std::string out = "{";
+  out += counter("group", static_cast<uint64_t>(group));
+  out += counter("replica", static_cast<uint64_t>(replica));
   out += counter("entries_appended", entries_appended);
   out += counter("entries_committed", entries_committed);
   out += counter("entries_applied", entries_applied);

@@ -19,6 +19,13 @@ namespace nbraft::raft {
 /// documents each one. ToJson() keys stay snake_case field names; the
 /// scheme applies to the named metric streams, not struct members.
 struct NodeStats {
+  /// Multi-Raft identity: which consensus group this replica serves and
+  /// its replica ordinal within the group (both 0 in single-group
+  /// clusters). Stamped by the harness so per-group breakdowns can be
+  /// reassembled from a flat stats dump.
+  int32_t group = 0;
+  int32_t replica = 0;
+
   metrics::Breakdown breakdown;
   metrics::Histogram wait_hist;       ///< t_wait(F) per delayed entry.
   metrics::Histogram append_latency;  ///< Receive -> appended, per entry.

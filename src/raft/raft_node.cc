@@ -59,10 +59,17 @@ RaftNode::RaftNode(sim::Simulator* sim, net::SimNetwork* network,
       rng_(sim->rng()->Next()) {
   NBRAFT_CHECK(state_machine_ != nullptr);
   durability_ = std::make_unique<DurabilityCoordinator>(this);
-  cpu_ = std::make_unique<sim::CpuExecutor>(
-      sim_, options_.cpu_lanes, "node" + std::to_string(id_) + ".cpu");
-  cpu_->set_switch_cost(options_.costs.context_switch_cost,
-                        options_.costs.max_switch_overhead);
+  if (options_.shared_cpu != nullptr) {
+    // Multi-Raft: the physical host's pool, shared with co-resident
+    // groups. The substrate configured its lane count and switch costs.
+    cpu_ = options_.shared_cpu;
+  } else {
+    owned_cpu_ = std::make_unique<sim::CpuExecutor>(
+        sim_, options_.cpu_lanes, "node" + std::to_string(id_) + ".cpu");
+    cpu_ = owned_cpu_.get();
+    cpu_->set_switch_cost(options_.costs.context_switch_cost,
+                          options_.costs.max_switch_overhead);
+  }
   index_lane_ = std::make_unique<sim::CpuExecutor>(
       sim_, 1, "node" + std::to_string(id_) + ".index");
   apply_lane_ = std::make_unique<sim::CpuExecutor>(
@@ -90,6 +97,7 @@ void RaftNode::Start() {
     dopts.fsync_latency = options_.disk.fsync_latency;
     dopts.bytes_per_us = options_.disk.bytes_per_us;
     dopts.fault_seed = options_.disk.fault_seed;
+    dopts.shared_io_lane = options_.disk.shared_io_lane;
     disk_ = std::make_unique<storage::SimDisk>(sim_, dopts, id_);
   }
   OpenDurableLog();

@@ -93,7 +93,7 @@ class RaftNode : public NodeContext {
   }
   NodeStats& stats() override { return stats_; }
   const NodeStats& stats() const { return stats_; }
-  sim::CpuExecutor* cpu() override { return cpu_.get(); }
+  sim::CpuExecutor* cpu() override { return cpu_; }
 
   /// Attaches the lifecycle tracer (nullptr = off, the default). Every
   /// phase the node adds to its `Breakdown` is mirrored as a span, and the
@@ -107,8 +107,14 @@ class RaftNode : public NodeContext {
   void set_journal(obs::Journal* journal);
 
   using LeaderObserver = ElectionEngine::LeaderObserver;
+  /// Registers a leadership callback (multicast — the safety oracle and
+  /// the shard router both listen; see ElectionEngine::add_leader_observer).
+  void add_leader_observer(LeaderObserver observer) {
+    election_->add_leader_observer(std::move(observer));
+  }
+  /// Historical name; appends like add_leader_observer.
   void set_leader_observer(LeaderObserver observer) {
-    election_->set_leader_observer(std::move(observer));
+    election_->add_leader_observer(std::move(observer));
   }
 
   /// Multiplies the randomized election timeout (chaos clock skew; 1.0 =
@@ -214,8 +220,10 @@ class RaftNode : public NodeContext {
   std::unique_ptr<tsdb::StateMachine> state_machine_;
   nbraft::Rng rng_;
 
-  // Modelled CPU resources.
-  std::unique_ptr<sim::CpuExecutor> cpu_;         ///< General worker pool.
+  // Modelled CPU resources. The general pool is owned unless
+  // options.shared_cpu injected the physical host's shared pool.
+  std::unique_ptr<sim::CpuExecutor> owned_cpu_;
+  sim::CpuExecutor* cpu_ = nullptr;               ///< General worker pool.
   std::unique_ptr<sim::CpuExecutor> index_lane_;  ///< Serial indexing lock.
   std::unique_ptr<sim::CpuExecutor> apply_lane_;  ///< Ordered apply.
   std::unique_ptr<sim::CpuExecutor> log_lock_lane_;  ///< Follower log lock.

@@ -13,6 +13,10 @@ namespace nbraft::storage {
 class LogBackend;
 }  // namespace nbraft::storage
 
+namespace nbraft::sim {
+class CpuExecutor;
+}  // namespace nbraft::sim
+
 namespace nbraft::raft {
 
 /// Raft role of a node.
@@ -114,6 +118,11 @@ struct DiskOptions {
   /// Seed for the disk fault injector (torn-tail draws, corruption
   /// placement); independent of the simulator rng.
   uint64_t fault_seed = 1;
+  /// Externally owned single-lane I/O executor shared by every disk on
+  /// this node's physical host (multi-Raft: co-resident groups contend
+  /// for the host's media bandwidth and fsync serialization). Null (the
+  /// default) gives the disk its own lane.
+  sim::CpuExecutor* shared_io_lane = nullptr;
 };
 
 /// Per-node protocol configuration. A single RaftNode implements every
@@ -123,6 +132,19 @@ struct RaftOptions {
   /// NB-Raft sliding-window size w; 0 reproduces original Raft exactly
   /// (paper Sec. III, contribution 3). The paper's default is 10000.
   int window_size = 0;
+
+  /// Consensus group this replica belongs to (multi-Raft sharding). Pure
+  /// identity: stamped into NodeStats and journal context so stats and
+  /// post-mortems can tell co-resident groups apart. 0 in single-group
+  /// clusters.
+  int32_t group_id = 0;
+
+  /// Externally owned general CPU pool shared by every replica on this
+  /// node's physical host (multi-Raft: co-resident groups contend for the
+  /// host's cores). Null (the default) gives the node its own pool of
+  /// `cpu_lanes` lanes. The serial index/apply/log-lock lanes stay
+  /// per-replica either way — they model software locks, not cores.
+  sim::CpuExecutor* shared_cpu = nullptr;
 
   /// Dispatchers per follower (N_csm): concurrent in-flight AppendEntries
   /// RPCs per follower connection. The evaluation sets this equal to the

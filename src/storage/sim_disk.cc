@@ -9,8 +9,13 @@ namespace nbraft::storage {
 
 SimDisk::SimDisk(sim::Simulator* sim, const Options& opts, int64_t node_id)
     : opts_(opts),
-      io_lane_(std::make_unique<sim::CpuExecutor>(
-          sim, 1, "node" + std::to_string(node_id) + ".io")),
+      owned_io_lane_(opts.shared_io_lane != nullptr
+                         ? nullptr
+                         : std::make_unique<sim::CpuExecutor>(
+                               sim, 1,
+                               "node" + std::to_string(node_id) + ".io")),
+      io_lane_(opts.shared_io_lane != nullptr ? opts.shared_io_lane
+                                              : owned_io_lane_.get()),
       // Seeded independently of the simulator rng: creating or using a disk
       // must never shift the draws of the protocol layer.
       fault_rng_(opts.fault_seed +

@@ -49,6 +49,11 @@ class SimDisk {
     /// Fault-injector rng stream; combined with the node id so each
     /// node's disk draws independently. Never touches the simulator rng.
     uint64_t fault_seed = 1;
+    /// When set, the disk submits its I/O costs to this externally owned
+    /// single-lane executor instead of creating its own. Several disks on
+    /// one physical host share the lane, so co-resident consensus groups
+    /// contend for the host's media bandwidth and fsync serialization.
+    sim::CpuExecutor* shared_io_lane = nullptr;
   };
 
   /// One durable-stream record: the typed entry, its exact on-media size,
@@ -120,11 +125,14 @@ class SimDisk {
   uint64_t bytes_written() const { return bytes_written_; }
   uint64_t fsyncs_completed() const { return fsyncs_completed_; }
   uint64_t write_errors_injected() const { return write_errors_injected_; }
-  sim::CpuExecutor* io_lane() { return io_lane_.get(); }
+  sim::CpuExecutor* io_lane() { return io_lane_; }
 
  private:
   Options opts_;
-  std::unique_ptr<sim::CpuExecutor> io_lane_;
+  /// Owned lane when the disk is the host's only one; empty when
+  /// Options::shared_io_lane injected the host-wide lane.
+  std::unique_ptr<sim::CpuExecutor> owned_io_lane_;
+  sim::CpuExecutor* io_lane_ = nullptr;
   nbraft::Rng fault_rng_;
 
   std::vector<Record> records_;

@@ -1,0 +1,177 @@
+// Multi-Raft chaos matrix: four consensus groups co-resident on three
+// physical hosts survive randomized fault schedules where every nemesis
+// action hits a *host* — crashing one machine kills a replica of all four
+// groups at once, a partition splits all four groups the same way, clock
+// skew and slow-CPU hit every co-resident replica. Each group's safety
+// oracle must stay clean, acknowledged writes must survive, and the whole
+// multi-group run must replay bit-identically (checked by running each
+// scenario twice).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <tuple>
+
+#include "chaos/chaos_plan.h"
+#include "chaos/chaos_runner.h"
+#include "chaos/invariants.h"
+#include "chaos/nemesis.h"
+#include "harness/cluster.h"
+
+namespace nbraft::chaos {
+namespace {
+
+constexpr int kGroups = 4;
+
+harness::ClusterConfig MultiSweepConfig(raft::Protocol protocol,
+                                        uint64_t seed) {
+  harness::ClusterConfig config;
+  config.num_nodes = 3;
+  config.num_groups = kGroups;
+  config.num_clients = 2;  // Per group.
+  config.protocol = protocol;
+  config.window_size = 64;
+  config.payload_size = 256;
+  config.client_think = Millis(1);
+  config.election_timeout = Millis(150);
+  config.seed = seed * 104729 + 7;
+  config.client_backoff_base = Millis(150);
+  config.client_backoff_cap = Millis(1200);
+  // Finite per-client workload so the post-heal drain reaches quiescence
+  // and every oracle's committed-id accounting stays enumerable.
+  config.client_max_requests = 120;
+  config.snapshot_threshold = 0;
+  // A modest shared-series universe so all groups ingest despite the
+  // per-group ShardMap slicing.
+  config.workload.series_count = 64;
+  return config;
+}
+
+ChaosPlan MultiSweepPlan(uint64_t seed) {
+  ChaosPlan plan;
+  plan.seed = seed;
+  plan.min_gap = Millis(30);
+  plan.max_gap = Millis(120);
+  plan.min_duration = Millis(50);
+  plan.max_duration = Millis(200);
+  return plan;
+}
+
+ChaosRunner::Options MultiSweepOptions() {
+  ChaosRunner::Options options;
+  options.rounds = 5;
+  options.round_length = Millis(200);
+  options.drain = Millis(1500);
+  // CI sets NBRAFT_POSTMORTEM_DIR so a failing seed leaves its merged
+  // flight-recorder dump behind as an uploadable artifact. Scoped per
+  // test case so parallel parameterizations never collide.
+  if (const char* dir = std::getenv("NBRAFT_POSTMORTEM_DIR")) {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    options.postmortem_dir = std::string(dir) + "/" +
+                             info->test_suite_name() + "." + info->name();
+  }
+  return options;
+}
+
+class MultiRaftChaosSweepTest
+    : public ::testing::TestWithParam<std::tuple<raft::Protocol, uint64_t>> {
+};
+
+TEST_P(MultiRaftChaosSweepTest, SeedSurvivesAndReplaysIdentically) {
+  const auto [protocol, seed] = GetParam();
+
+  ChaosRunner first(MultiSweepConfig(protocol, seed), MultiSweepPlan(seed),
+                    MultiSweepOptions());
+  const ChaosReport a = first.Run();
+  EXPECT_TRUE(a.ok()) << a.Summary();
+  EXPECT_GT(a.faults.size(), 0u) << "nemesis injected nothing";
+  EXPECT_GT(a.requests_completed, 0u) << "workload never converged";
+  EXPECT_GT(a.strong_acked, 0u);
+
+  // Host-scoped blast radius: every group made commit progress even
+  // though each fault hit all co-resident replicas simultaneously.
+  harness::Cluster* cluster = first.cluster();
+  ASSERT_EQ(cluster->num_groups(), kGroups);
+  for (int g = 0; g < kGroups; ++g) {
+    EXPECT_GT(cluster->CollectGroup(g).requests_completed, 0u)
+        << "group " << g << " starved";
+    EXPECT_TRUE(cluster->group(g)->CheckLogMatching().ok()) << "group " << g;
+    EXPECT_TRUE(cluster->group(g)->CheckCommittedPrefixes().ok())
+        << "group " << g;
+  }
+
+  // Determinism: the same (config, plan) replays to the identical fault
+  // schedule, aggregate stats, summed commit index, and the group-chained
+  // committed-prefix hash.
+  ChaosRunner second(MultiSweepConfig(protocol, seed), MultiSweepPlan(seed),
+                     MultiSweepOptions());
+  const ChaosReport b = second.Run();
+  EXPECT_EQ(a.fault_fingerprint, b.fault_fingerprint);
+  ASSERT_EQ(a.faults.size(), b.faults.size());
+  for (size_t i = 0; i < a.faults.size(); ++i) {
+    EXPECT_EQ(FaultRecordToString(a.faults[i]),
+              FaultRecordToString(b.faults[i]))
+        << "fault schedule diverged at action " << i;
+  }
+  EXPECT_EQ(a.requests_issued, b.requests_issued);
+  EXPECT_EQ(a.requests_completed, b.requests_completed);
+  EXPECT_EQ(a.strong_acked, b.strong_acked);
+  EXPECT_EQ(a.lost_weak, b.lost_weak);
+  EXPECT_EQ(a.terms_observed, b.terms_observed);
+  EXPECT_EQ(a.final_commit_index, b.final_commit_index);
+  EXPECT_EQ(a.committed_prefix_hash, b.committed_prefix_hash);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, MultiRaftChaosSweepTest,
+    ::testing::Combine(::testing::Values(raft::Protocol::kRaft,
+                                         raft::Protocol::kNbRaft),
+                       ::testing::Range<uint64_t>(1, 11)),
+    [](const ::testing::TestParamInfo<MultiRaftChaosSweepTest::ParamType>&
+           info) {
+      const raft::Protocol protocol = std::get<0>(info.param);
+      const uint64_t seed = std::get<1>(info.param);
+      return std::string(protocol == raft::Protocol::kRaft ? "Raft"
+                                                           : "NbRaft") +
+             "Seed" + std::to_string(seed);
+    });
+
+TEST(MultiRaftChaosScopeTest, HostCrashDeposesEveryCoResidentLeader) {
+  // Deterministic (no nemesis) check of the fault blast radius itself:
+  // crashing one host kills a replica of all four groups, deposing every
+  // leader that lived there, and all groups recover after restart.
+  harness::Cluster cluster(
+      MultiSweepConfig(raft::Protocol::kNbRaft, /*seed=*/3));
+  cluster.Start();
+  ASSERT_TRUE(cluster.AwaitLeader(Seconds(5)));
+
+  const int host = cluster.group(0)->ReplicaOf(cluster.leader(0)->id());
+  ASSERT_GE(host, 0);
+  int deposed = 0;
+  for (int g = 0; g < kGroups; ++g) {
+    ASSERT_NE(cluster.leader(g), nullptr);
+    if (cluster.group(g)->ReplicaOf(cluster.leader(g)->id()) == host) {
+      ++deposed;
+    }
+  }
+  EXPECT_GE(deposed, 1);
+
+  cluster.CrashNode(host);
+  for (int g = 0; g < kGroups; ++g) {
+    EXPECT_TRUE(cluster.node(g, host)->crashed()) << "group " << g;
+  }
+  ASSERT_TRUE(cluster.AwaitLeader(Seconds(5)));
+  cluster.RestartNode(host);
+  cluster.StartClients();
+  cluster.RunFor(Millis(500));
+  for (int g = 0; g < kGroups; ++g) {
+    EXPECT_TRUE(cluster.group(g)->CheckLogMatching().ok()) << "group " << g;
+    EXPECT_GT(cluster.CollectGroup(g).requests_completed, 0u)
+        << "group " << g;
+  }
+}
+
+}  // namespace
+}  // namespace nbraft::chaos

@@ -1,0 +1,202 @@
+// ShardMap placement and ShardRouter leader-hint cache: hash stability
+// (pinned values — changing the hash is a data-placement migration, not a
+// refactor), exact partitioning of the series universe, hint install /
+// stale-term rejection / invalidation-with-watermark, and the greedy
+// leader rebalance planner (balance, determinism, idempotence).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "harness/shard_map.h"
+#include "harness/shard_router.h"
+
+namespace nbraft::harness {
+namespace {
+
+TEST(ShardMapTest, HashStabilityPins) {
+  // Frozen placements for (4 groups, salt 0). If this test fails the hash
+  // function changed, which silently reshuffles every deployment's data.
+  const ShardMap map(4, 0);
+  EXPECT_EQ(map.GroupForSeries(0), 1);
+  EXPECT_EQ(map.GroupForSeries(1), 0);
+  EXPECT_EQ(map.GroupForSeries(2), 3);
+  EXPECT_EQ(map.GroupForSeries(3), 2);
+  EXPECT_EQ(map.GroupForSeries(7), 2);
+  EXPECT_EQ(map.GroupForSeries(42), 3);
+  EXPECT_EQ(map.GroupForSeries(999), 3);
+  EXPECT_EQ(map.GroupForKey("sensor/0"), 0);
+  EXPECT_EQ(map.GroupForKey("sensor/1"), 3);
+  EXPECT_EQ(map.GroupForKey("fleet-7/temp"), 2);
+  EXPECT_EQ(map.GroupForKey("x"), 3);
+
+  // A different salt is a different placement universe.
+  const ShardMap salted(4, 0x9e3779b97f4a7c15ULL);
+  EXPECT_EQ(salted.GroupForSeries(0), 0);
+  EXPECT_EQ(salted.GroupForSeries(1), 1);
+  EXPECT_EQ(salted.GroupForSeries(2), 2);
+  EXPECT_EQ(salted.GroupForSeries(3), 3);
+}
+
+TEST(ShardMapTest, TwoInstancesAgreeAndSingleGroupIsIdentity) {
+  const ShardMap a(8, 77);
+  const ShardMap b(8, 77);
+  for (uint64_t s = 0; s < 500; ++s) {
+    EXPECT_EQ(a.GroupForSeries(s), b.GroupForSeries(s));
+  }
+  const ShardMap one(1, 12345);
+  for (uint64_t s = 0; s < 100; ++s) {
+    EXPECT_EQ(one.GroupForSeries(s), 0);
+  }
+}
+
+TEST(ShardMapTest, SeriesForGroupPartitionsTheUniverse) {
+  const ShardMap map(4, 0);
+  const uint64_t kCount = 1000;
+  std::set<uint64_t> seen;
+  for (int g = 0; g < 4; ++g) {
+    const std::vector<uint64_t> shard = map.SeriesForGroup(g, kCount);
+    EXPECT_FALSE(shard.empty());
+    uint64_t prev = 0;
+    bool first = true;
+    for (uint64_t s : shard) {
+      EXPECT_LT(s, kCount);
+      EXPECT_EQ(map.GroupForSeries(s), g);
+      if (!first) EXPECT_GT(s, prev);  // Ascending, no duplicates.
+      prev = s;
+      first = false;
+      EXPECT_TRUE(seen.insert(s).second) << "series " << s << " in 2 shards";
+    }
+  }
+  EXPECT_EQ(seen.size(), kCount);  // Exact partition, nothing dropped.
+}
+
+TEST(ShardMapTest, DegenerateUniverseFallsBackToRoundRobin) {
+  // Fewer series than groups: hashing leaves some groups empty, and an
+  // empty group falls back to a round-robin pick — every group ingests.
+  const ShardMap map(8, 0);
+  for (int g = 0; g < 8; ++g) {
+    const std::vector<uint64_t> shard = map.SeriesForGroup(g, 4);
+    ASSERT_FALSE(shard.empty());
+    for (uint64_t s : shard) {
+      EXPECT_LT(s, 4u);
+      if (map.GroupForSeries(s) != g) {
+        // Not hash-owned, so this must be the lone round-robin fallback.
+        EXPECT_EQ(shard.size(), 1u);
+        EXPECT_EQ(s, static_cast<uint64_t>(g % 4));
+      }
+    }
+  }
+}
+
+TEST(ShardMapTest, BootstrapPlacementRoundRobins) {
+  const ShardMap map(16, 0);
+  EXPECT_EQ(map.BootstrapLeaderReplica(0, 3), 0);
+  EXPECT_EQ(map.BootstrapLeaderReplica(1, 3), 1);
+  EXPECT_EQ(map.BootstrapLeaderReplica(2, 3), 2);
+  EXPECT_EQ(map.BootstrapLeaderReplica(3, 3), 0);
+}
+
+TEST(ShardRouterTest, InstallsAndRoutesHints) {
+  const ShardMap map(4, 0);
+  ShardRouter router(&map);
+  EXPECT_EQ(router.LeaderHint(2), net::kInvalidNode);
+
+  router.ObserveLeader(2, /*leader=*/7, /*term=*/3);
+  EXPECT_EQ(router.LeaderHint(2), 7);
+  EXPECT_EQ(router.LeaderHintTerm(2), 3);
+  EXPECT_EQ(router.hints_installed(), 1u);
+
+  // RouteKey composes the placement with the cached hint.
+  EXPECT_EQ(router.GroupForKey("sensor/1"), 3);
+  EXPECT_EQ(router.RouteKey("sensor/1"), net::kInvalidNode);  // Cold hint.
+  router.ObserveLeader(3, /*leader=*/11, /*term=*/2);
+  EXPECT_EQ(router.RouteKey("sensor/1"), 11);
+}
+
+TEST(ShardRouterTest, RejectsStaleTermObservations) {
+  const ShardMap map(2, 0);
+  ShardRouter router(&map);
+  router.ObserveLeader(0, 4, /*term=*/10);
+  // A delayed notification from a deposed leader's old term must not
+  // overwrite the newer hint.
+  router.ObserveLeader(0, 9, /*term=*/7);
+  EXPECT_EQ(router.LeaderHint(0), 4);
+  EXPECT_EQ(router.LeaderHintTerm(0), 10);
+  EXPECT_EQ(router.stale_observations(), 1u);
+
+  // Same term re-observation refreshes (idempotent re-install is legal).
+  router.ObserveLeader(0, 4, /*term=*/10);
+  EXPECT_EQ(router.LeaderHint(0), 4);
+}
+
+TEST(ShardRouterTest, InvalidationKeepsTermWatermark) {
+  const ShardMap map(2, 0);
+  ShardRouter router(&map);
+  router.ObserveLeader(1, 5, /*term=*/6);
+  router.InvalidateLeader(1);
+  EXPECT_EQ(router.LeaderHint(1), net::kInvalidNode);
+  EXPECT_EQ(router.hints_invalidated(), 1u);
+
+  // Idempotent: invalidating an empty hint is a no-op.
+  router.InvalidateLeader(1);
+  EXPECT_EQ(router.hints_invalidated(), 1u);
+
+  // The watermark survives invalidation: a stale echo of the deposed
+  // leader (older term) cannot resurrect the hint...
+  router.ObserveLeader(1, 5, /*term=*/4);
+  EXPECT_EQ(router.LeaderHint(1), net::kInvalidNode);
+  // ...but a genuinely newer election can.
+  router.ObserveLeader(1, 3, /*term=*/7);
+  EXPECT_EQ(router.LeaderHint(1), 3);
+}
+
+TEST(ShardRouterTest, RebalancePlanEvensOutLeaders) {
+  // 6 groups, all leaders piled on node 0 of 3.
+  const std::vector<int> placement = {0, 0, 0, 0, 0, 0};
+  const auto moves = ShardRouter::PlanRebalance(placement, 3);
+  std::vector<int> after = placement;
+  for (const auto& m : moves) {
+    EXPECT_EQ(after[static_cast<size_t>(m.group)], m.from);
+    after[static_cast<size_t>(m.group)] = m.to;
+  }
+  std::vector<int> load(3, 0);
+  for (int n : after) ++load[static_cast<size_t>(n)];
+  EXPECT_EQ(load, (std::vector<int>{2, 2, 2}));
+}
+
+TEST(ShardRouterTest, RebalanceIsIdempotentAndDeterministic) {
+  const std::vector<int> placement = {2, 2, 2, 2, 0, -1, 1};
+  const auto moves_a = ShardRouter::PlanRebalance(placement, 3);
+  const auto moves_b = ShardRouter::PlanRebalance(placement, 3);
+  ASSERT_EQ(moves_a.size(), moves_b.size());
+  for (size_t i = 0; i < moves_a.size(); ++i) {
+    EXPECT_EQ(moves_a[i].group, moves_b[i].group);
+    EXPECT_EQ(moves_a[i].from, moves_b[i].from);
+    EXPECT_EQ(moves_a[i].to, moves_b[i].to);
+  }
+
+  // Applying the plan and re-planning finds nothing left to move.
+  std::vector<int> after = placement;
+  for (const auto& m : moves_a) after[static_cast<size_t>(m.group)] = m.to;
+  EXPECT_TRUE(ShardRouter::PlanRebalance(after, 3).empty());
+
+  // Max-min leader spread is <= 1 afterwards (unplaced groups ignored).
+  std::vector<int> load(3, 0);
+  for (int n : after) {
+    if (n >= 0) ++load[static_cast<size_t>(n)];
+  }
+  const auto [mn, mx] = std::minmax_element(load.begin(), load.end());
+  EXPECT_LE(*mx - *mn, 1);
+}
+
+TEST(ShardRouterTest, AlreadyBalancedPlansNothing) {
+  EXPECT_TRUE(ShardRouter::PlanRebalance({0, 1, 2}, 3).empty());
+  EXPECT_TRUE(ShardRouter::PlanRebalance({}, 3).empty());
+  EXPECT_TRUE(ShardRouter::PlanRebalance({0, 0}, 1).empty());
+}
+
+}  // namespace
+}  // namespace nbraft::harness
