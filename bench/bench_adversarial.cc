@@ -12,11 +12,17 @@
 // protocols. tools/check_perf_smoke.py additionally gates events/sec per
 // cell against the committed BENCH_adversarial.json.
 //
-// Usage: bench_adversarial [--quick] [--out PATH]
+// The 32-cell grid fans out through the parallel sweep scheduler — each
+// cell owns its Cluster and Simulator, so --workers N runs cells on N
+// cores. Per-cell ev/s is only baseline-comparable at --workers 1 (the
+// default); higher counts are for fast iteration on the attack matrix.
+//
+// Usage: bench_adversarial [--quick] [--workers N] [--out PATH]
 
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -25,6 +31,7 @@
 #include "chaos/nemesis.h"
 #include "harness/cluster.h"
 #include "sim/simulator.h"
+#include "sweep/scheduler.h"
 
 using namespace nbraft;
 
@@ -202,23 +209,61 @@ void WriteJson(const std::string& path,
 
 int main(int argc, char** argv) {
   bool quick = false;
+  int workers = 1;
   std::string out = "BENCH_adversarial.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = std::atoi(argv[++i]);
+    }
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out = argv[++i];
   }
   const SimDuration span = quick ? Seconds(2) : Seconds(5);
 
-  std::vector<CellResult> results;
+  // The attack x mitigation x protocol grid as independent sweep cells,
+  // written to pre-sized slots so output order is grid order no matter
+  // which worker ran what.
+  struct CellSpec {
+    raft::Protocol protocol;
+    Attack attack;
+    Mitigation m;
+  };
+  std::vector<CellSpec> specs;
   for (const raft::Protocol protocol :
        {raft::Protocol::kRaft, raft::Protocol::kNbRaft}) {
     for (const Attack attack : {Attack::kNone, Attack::kDisruptive,
                                 Attack::kWithholder, Attack::kStorm}) {
       for (const Mitigation m : {Mitigation::kNone, Mitigation::kPreVote,
                                  Mitigation::kCqLease, Mitigation::kAll}) {
-        results.push_back(RunCell(protocol, attack, m, span));
+        specs.push_back(CellSpec{protocol, attack, m});
       }
     }
+  }
+  std::vector<CellResult> results(specs.size());
+  std::vector<sweep::SweepTask> tasks;
+  tasks.reserve(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const CellSpec& spec = specs[i];
+    CellResult* slot = &results[i];
+    tasks.push_back(sweep::SweepTask{
+        std::string(AttackName(spec.attack)) + "_" +
+            MitigationName(spec.m),
+        [spec, slot, span](uint64_t /*task_seed*/) {
+          *slot = RunCell(spec.protocol, spec.attack, spec.m, span);
+          sweep::TaskOutput out;
+          out.fingerprint = slot->events;  // Deterministic per cell.
+          out.events = slot->events;
+          out.detail = slot->name;
+          return out;
+        }});
+  }
+  sweep::SweepOptions options;
+  options.workers = workers;
+  sweep::SweepScheduler scheduler(options);
+  const sweep::SweepReport sweep = scheduler.Run(tasks);
+  if (!sweep.ok()) {
+    std::fprintf(stderr, "%s\n", sweep.Summary().c_str());
+    return 1;
   }
 
   std::printf("%-28s %10s %12s %8s %7s %7s %7s %8s\n", "cell", "reqs",

@@ -6,11 +6,22 @@
 // and disks — the sweep shows how throughput and simulator event rate
 // respond, and how much co-residency interference the substrate charges.
 //
+// A second, sensors-fleet grid scales the offered load WITH the group
+// count instead of dividing a fixed budget: group count x clients-per-
+// group over a 65536-series universe (each series one sensor stream),
+// the scaling-toward-millions-of-sensors axis of the paper's IoT story.
+//
+// All cells run through the parallel sweep scheduler — each cell builds
+// its own Cluster on its own Simulator, so --workers N fans the grid out
+// across cores. Per-cell ev/s is only comparable to the committed
+// baseline at --workers 1 (the default): concurrent cells contend for
+// cycles and each other's wall clock.
+//
 // Reported per cell: kernel events/sec (the perf-smoke metric), aggregate
 // requests completed, and the min/max per-group completion spread (a
 // fairness signal — a starved group shows up as min << max).
 //
-// Usage: bench_multiraft [--quick] [--out PATH]
+// Usage: bench_multiraft [--quick] [--workers N] [--out PATH]
 //
 // Writes a JSON report (default BENCH_multiraft.json in the CWD) in the
 // same schema as BENCH_durability.json, so tools/check_perf_smoke.py can
@@ -26,6 +37,7 @@
 
 #include "harness/cluster.h"
 #include "sim/simulator.h"
+#include "sweep/scheduler.h"
 
 using namespace nbraft;
 
@@ -33,6 +45,15 @@ namespace {
 
 constexpr int kTotalClients = 64;
 constexpr uint64_t kTotalSeries = 1024;
+constexpr uint64_t kSensorSeries = 65536;
+
+struct CellSpec {
+  std::string name;
+  raft::Protocol protocol = raft::Protocol::kRaft;
+  int groups = 1;
+  int clients_per_group = 1;
+  uint64_t series = kTotalSeries;
+};
 
 struct CellResult {
   std::string name;
@@ -51,16 +72,13 @@ double WallMs(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(elapsed).count();
 }
 
-CellResult RunCell(const std::string& name, raft::Protocol protocol,
-                   int groups, SimDuration span) {
+CellResult RunCell(const CellSpec& spec, SimDuration span) {
   harness::ClusterConfig config;
   config.num_nodes = 3;
-  config.num_groups = groups;
-  // Fixed aggregate load: the same 64 closed-loop clients and the same
-  // series universe regardless of how many groups carve them up.
-  config.num_clients = kTotalClients / groups;
-  config.workload.series_count = kTotalSeries;
-  config.protocol = protocol;
+  config.num_groups = spec.groups;
+  config.num_clients = spec.clients_per_group;
+  config.workload.series_count = spec.series;
+  config.protocol = spec.protocol;
   config.payload_size = 1024;
   config.window_size = 32;
   config.client_think = Micros(5);
@@ -70,8 +88,8 @@ CellResult RunCell(const std::string& name, raft::Protocol protocol,
   harness::Cluster cluster(config);
   cluster.Start();
   if (!cluster.AwaitLeader()) {
-    std::fprintf(stderr, "%s: no leader\n", name.c_str());
-    return CellResult{name};
+    std::fprintf(stderr, "%s: no leader\n", spec.name.c_str());
+    return CellResult{spec.name};
   }
   cluster.StartClients();
 
@@ -81,8 +99,8 @@ CellResult RunCell(const std::string& name, raft::Protocol protocol,
   cluster.RunFor(span);
 
   CellResult r;
-  r.name = name;
-  r.groups = groups;
+  r.name = spec.name;
+  r.groups = spec.groups;
   r.wall_ms = WallMs(start);
   r.events = cluster.sim()->events_processed() - events_before;
   r.virtual_ms =
@@ -92,7 +110,7 @@ CellResult RunCell(const std::string& name, raft::Protocol protocol,
                     : 0.0;
   r.requests_completed = cluster.Collect().requests_completed;
   r.group_min_completed = ~0ULL;
-  for (int g = 0; g < groups; ++g) {
+  for (int g = 0; g < spec.groups; ++g) {
     const uint64_t done = cluster.CollectGroup(g).requests_completed;
     r.group_min_completed = std::min(r.group_min_completed, done);
     r.group_max_completed = std::max(r.group_max_completed, done);
@@ -132,36 +150,85 @@ void WriteJson(const std::string& path,
 
 int main(int argc, char** argv) {
   bool quick = false;
+  int workers = 1;
   std::string out = "BENCH_multiraft.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = std::atoi(argv[++i]);
+    }
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out = argv[++i];
   }
   const SimDuration span = quick ? Millis(150) : Millis(500);
+  const SimDuration sensor_span = quick ? Millis(100) : Millis(250);
 
-  const int kGroupCounts[] = {1, 4, 16, 64};
-  const raft::Protocol kProtocols[] = {raft::Protocol::kRaft,
-                                       raft::Protocol::kNbRaft};
-
-  std::vector<CellResult> results;
-  for (const raft::Protocol protocol : kProtocols) {
+  std::vector<CellSpec> specs;
+  // Fixed-load grid: the same 64 clients and 1024 series however many
+  // groups carve them up.
+  for (const raft::Protocol protocol :
+       {raft::Protocol::kRaft, raft::Protocol::kNbRaft}) {
     const char* proto =
         protocol == raft::Protocol::kRaft ? "raft" : "nbraft";
-    for (const int groups : kGroupCounts) {
-      const std::string name =
-          std::string(proto) + "_g" + std::to_string(groups);
-      results.push_back(RunCell(name, protocol, groups, span));
-      std::fprintf(stderr, ".");
-      std::fflush(stderr);
+    for (const int groups : {1, 4, 16, 64}) {
+      CellSpec spec;
+      spec.name = std::string(proto) + "_g" + std::to_string(groups);
+      spec.protocol = protocol;
+      spec.groups = groups;
+      spec.clients_per_group = kTotalClients / groups;
+      spec.series = kTotalSeries;
+      specs.push_back(spec);
     }
   }
-  std::fprintf(stderr, "\n");
+  // Sensors-fleet grid: load grows with the fleet (groups x clients each
+  // aggregating a slice of a 65536-sensor universe).
+  const size_t sensors_begin = specs.size();
+  for (const int groups : {4, 16, 64}) {
+    for (const int cpg : {1, 4}) {
+      CellSpec spec;
+      spec.name = "nbraft_sensors_g" + std::to_string(groups) + "_c" +
+                  std::to_string(cpg);
+      spec.protocol = raft::Protocol::kNbRaft;
+      spec.groups = groups;
+      spec.clients_per_group = cpg;
+      spec.series = kSensorSeries;
+      specs.push_back(spec);
+    }
+  }
 
-  std::printf("%-16s %6s %12s %10s %14s %10s %10s %10s\n", "cell", "groups",
+  // Fan the grid out through the sweep scheduler: each cell owns its
+  // simulator, results land in pre-sized slots, order is by spec index
+  // regardless of which worker ran what.
+  std::vector<CellResult> results(specs.size());
+  std::vector<sweep::SweepTask> tasks;
+  tasks.reserve(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const CellSpec& spec = specs[i];
+    const SimDuration cell_span = i >= sensors_begin ? sensor_span : span;
+    CellResult* slot = &results[i];
+    tasks.push_back(sweep::SweepTask{
+        spec.name, [spec, cell_span, slot](uint64_t /*task_seed*/) {
+          *slot = RunCell(spec, cell_span);
+          sweep::TaskOutput out;
+          out.fingerprint = slot->events;  // Deterministic per cell.
+          out.events = slot->events;
+          out.detail = spec.name;
+          std::fprintf(stderr, ".");
+          std::fflush(stderr);
+          return out;
+        }});
+  }
+  sweep::SweepOptions options;
+  options.workers = workers;
+  sweep::SweepScheduler scheduler(options);
+  const sweep::SweepReport sweep = scheduler.Run(tasks);
+  std::fprintf(stderr, "\n%s\n", sweep.Summary().c_str());
+  if (!sweep.ok()) return 1;
+
+  std::printf("%-22s %6s %12s %10s %14s %10s %10s %10s\n", "cell", "groups",
               "events", "wall_ms", "events/sec", "reqs", "grp_min",
               "grp_max");
   for (const CellResult& r : results) {
-    std::printf("%-16s %6d %12llu %10.1f %14.0f %10llu %10llu %10llu\n",
+    std::printf("%-22s %6d %12llu %10.1f %14.0f %10llu %10llu %10llu\n",
                 r.name.c_str(), r.groups,
                 static_cast<unsigned long long>(r.events), r.wall_ms,
                 r.events_per_sec,

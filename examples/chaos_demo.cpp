@@ -4,6 +4,12 @@
 // bit-identical. Optionally export the traced timeline for Perfetto.
 //
 //   ./build/examples/chaos_demo [seed] [trace_dir]
+//   ./build/examples/chaos_demo --sweep N [--workers W]
+//
+// The --sweep mode fans N seeds x {Raft, NB-Raft} of a lightweight chaos
+// scenario out through the parallel sweep scheduler (W workers; 0 or
+// omitted = every core) and exits non-zero if any cell trips a safety
+// oracle — cheap enough that CI runs N=1000 per protocol on every push.
 //
 // With a trace_dir, chaos_demo writes <trace_dir>/chaos_<seed>.json —
 // open it in https://ui.perfetto.dev to see chaos.* fault instants lined
@@ -14,12 +20,16 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "chaos/chaos_plan.h"
 #include "chaos/chaos_runner.h"
+#include "chaos/chaos_sweep.h"
 #include "harness/cluster.h"
 #include "raft/types.h"
+#include "sweep/scheduler.h"
 
 using namespace nbraft;
 
@@ -98,12 +108,80 @@ chaos::ChaosReport RunOne(raft::Protocol protocol, uint64_t seed,
   return report;
 }
 
+/// One cell of the --sweep mode: a trimmed-down scenario (3 nodes, 2
+/// clients, 3 rounds) so a 1000-seed matrix stays CI-cheap while still
+/// exercising every fault kind in the default mix.
+chaos::ChaosCell SweepModeCell(raft::Protocol protocol, uint64_t seed) {
+  chaos::ChaosCell cell;
+  cell.name = std::string(protocol == raft::Protocol::kRaft ? "raft"
+                                                            : "nbraft") +
+              "_seed" + std::to_string(seed);
+  cell.config = DemoConfig(protocol, seed);
+  cell.config.num_nodes = 3;
+  cell.config.num_clients = 2;
+  cell.config.client_max_requests = 120;
+  cell.config.snapshot_threshold = 0;
+  cell.plan = DemoPlan(seed);
+  cell.options.rounds = 3;
+  cell.options.round_length = Millis(200);
+  cell.options.drain = Millis(1200);
+  if (const char* dir = std::getenv("NBRAFT_POSTMORTEM_DIR")) {
+    cell.options.postmortem_dir =
+        std::string(dir) + "/ChaosDemoSweep." + cell.name;
+  }
+  return cell;
+}
+
+int RunSweepMode(uint64_t num_seeds, int workers) {
+  std::vector<chaos::ChaosCell> cells;
+  for (const raft::Protocol protocol :
+       {raft::Protocol::kRaft, raft::Protocol::kNbRaft}) {
+    for (uint64_t seed = 1; seed <= num_seeds; ++seed) {
+      cells.push_back(SweepModeCell(protocol, seed));
+    }
+  }
+  std::printf("== chaos sweep: %llu seeds x {Raft, NB-Raft} = %zu cells, "
+              "%d workers ==\n",
+              static_cast<unsigned long long>(num_seeds), cells.size(),
+              workers == 0 ? sweep::ResolveWorkers(0) : workers);
+  const chaos::ChaosSweepOutcome outcome =
+      chaos::RunChaosSweep(cells, workers);
+  std::printf("%s\n", outcome.sweep.Summary().c_str());
+  for (size_t i = 0; i < outcome.sweep.results.size(); ++i) {
+    if (!outcome.sweep.results[i].ok()) {
+      std::printf("FAIL %s: %s%s\n", outcome.sweep.results[i].name.c_str(),
+                  outcome.sweep.results[i].error.c_str(),
+                  outcome.sweep.results[i].output.detail.c_str());
+    }
+  }
+  std::printf("merged report hash: %016llx\n",
+              static_cast<unsigned long long>(outcome.sweep.merged_hash));
+  return outcome.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  uint64_t sweep_seeds = 0;
+  int workers = 0;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sweep") == 0 && i + 1 < argc) {
+      sweep_seeds = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = std::atoi(argv[++i]);
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (sweep_seeds > 0) return RunSweepMode(sweep_seeds, workers);
+
   const uint64_t seed =
-      argc > 1 ? static_cast<uint64_t>(std::atoll(argv[1])) : 7;
-  const std::string trace_dir = argc > 2 ? argv[2] : "";
+      !positional.empty()
+          ? static_cast<uint64_t>(std::atoll(positional[0].c_str()))
+          : 7;
+  const std::string trace_dir =
+      positional.size() > 1 ? positional[1] : "";
 
   std::printf("== chaos demo: seeded nemesis vs Raft and NB-Raft, seed "
               "%llu ==\n\n",

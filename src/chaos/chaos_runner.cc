@@ -178,6 +178,7 @@ ChaosReport ChaosRunner::Run() {
     }
   }
   if (any_leader) report.committed_prefix_hash = h;
+  report.sim_events = cluster_->sim()->events_processed();
 
   NBRAFT_LOG(Info) << "chaos " << report.Summary();
   return report;

@@ -45,6 +45,11 @@ struct ChaosReport {
   /// sequence: the run's observable outcome in one number.
   uint64_t committed_prefix_hash = 0;
 
+  /// Simulator events the run processed — deterministic for a fixed
+  /// (config, plan), so it doubles as a cheap whole-run fingerprint and
+  /// feeds the sweep scheduler's aggregate ev/s accounting.
+  uint64_t sim_events = 0;
+
   /// Paths of the automatic flight-recorder dump, written the moment the
   /// oracle first reported a violation (empty when the run was clean or no
   /// postmortem_dir was configured).

@@ -1,0 +1,97 @@
+#include "chaos/chaos_sweep.h"
+
+#include <utility>
+
+namespace nbraft::chaos {
+
+namespace {
+
+void MixU64(uint64_t* h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    *h ^= (v >> (i * 8)) & 0xff;
+    *h *= 1099511628211ULL;
+  }
+}
+
+void MixStr(uint64_t* h, const std::string& s) {
+  MixU64(h, s.size());
+  for (const char c : s) {
+    *h ^= static_cast<unsigned char>(c);
+    *h *= 1099511628211ULL;
+  }
+}
+
+}  // namespace
+
+uint64_t ChaosReportHash(const ChaosReport& report) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis.
+  MixU64(&h, report.seed);
+  MixU64(&h, report.fault_fingerprint);
+  MixU64(&h, report.faults.size());
+  MixU64(&h, report.violations.size());
+  for (const std::string& v : report.violations) MixStr(&h, v);
+  MixU64(&h, report.requests_issued);
+  MixU64(&h, report.requests_completed);
+  MixU64(&h, report.strong_acked);
+  MixU64(&h, report.lost_weak);
+  MixU64(&h, report.terms_observed);
+  MixU64(&h, report.terms_started);
+  MixU64(&h, report.prevotes_granted);
+  MixU64(&h, report.prevotes_rejected);
+  MixU64(&h, report.leader_depositions);
+  MixU64(&h, report.checkquorum_stepdowns);
+  MixU64(&h, report.max_term);
+  MixU64(&h, static_cast<uint64_t>(report.final_commit_index));
+  MixU64(&h, report.committed_prefix_hash);
+  MixU64(&h, report.sim_events);
+  return h;
+}
+
+ChaosSweepOutcome RunChaosSweep(const std::vector<ChaosCell>& cells,
+                                int workers, uint64_t sweep_seed) {
+  ChaosSweepOutcome outcome;
+  outcome.reports.resize(cells.size());
+
+  std::vector<sweep::SweepTask> tasks;
+  tasks.reserve(cells.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const ChaosCell& cell = cells[i];
+    ChaosReport* slot = &outcome.reports[i];
+    tasks.push_back(sweep::SweepTask{
+        cell.name,
+        // Each task owns its whole scenario and writes only its own
+        // pre-sized report slot, so tasks share no mutable state. Cells
+        // carry explicit seeds (the historical sweep contract); the
+        // task_seed stream is for generated grids that want one (see
+        // chaos_demo --sweep and bench_sweep_scale).
+        [cell, slot](uint64_t /*task_seed*/) {
+          ChaosRunner runner(cell.config, cell.plan, cell.options);
+          *slot = runner.Run();
+          sweep::TaskOutput out;
+          out.fingerprint = ChaosReportHash(*slot);
+          out.ok = slot->ok();
+          out.detail = slot->Summary();
+          out.events = slot->sim_events;
+          if (cell.check) {
+            // The cell's own assertions, run while the cluster still
+            // exists. A failure message is part of the deterministic
+            // output, so it merges identically at any worker count.
+            const std::string failure = cell.check(runner, *slot);
+            if (!failure.empty()) {
+              out.ok = false;
+              out.detail += " | check: " + failure;
+            }
+          }
+          return out;
+        }});
+  }
+
+  sweep::SweepOptions options;
+  options.workers = workers;
+  options.sweep_seed = sweep_seed;
+  sweep::SweepScheduler scheduler(options);
+  outcome.sweep = scheduler.Run(tasks);
+  return outcome;
+}
+
+}  // namespace nbraft::chaos

@@ -1,0 +1,65 @@
+#ifndef NBRAFT_CHAOS_CHAOS_SWEEP_H_
+#define NBRAFT_CHAOS_CHAOS_SWEEP_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos_runner.h"
+#include "sweep/report.h"
+#include "sweep/scheduler.h"
+
+namespace nbraft::chaos {
+
+/// One cell of a chaos sweep: a fully specified (cluster, plan, options)
+/// scenario. Cells are independent by construction — each one builds its
+/// own Cluster on its own Simulator inside the worker that runs it — so a
+/// vector of cells is exactly the scheduler's unit of fan-out.
+struct ChaosCell {
+  std::string name;
+  harness::ClusterConfig config;
+  ChaosPlan plan;
+  ChaosRunner::Options options;
+
+  /// Optional post-run check executed inside the task while the runner's
+  /// Cluster is still alive — the only window where per-group state
+  /// (CheckLogMatching, CollectGroup, ...) is reachable, since the cluster
+  /// dies with the task. Return "" to pass; a non-empty message fails the
+  /// cell and lands in its sweep detail. Must be a pure function of the
+  /// run (no wall clock, no shared state) or it breaks the merged-hash
+  /// determinism contract.
+  std::function<std::string(ChaosRunner&, const ChaosReport&)> check;
+};
+
+/// FNV-1a over every deterministic field of a ChaosReport (seed, fault
+/// fingerprint and count, violations, request/ack/term counters, the
+/// adversarial counters, commit index, committed-prefix hash, event
+/// count). Two runs of the same cell must produce the same hash — this is
+/// the per-cell value the sweep's merged hash chains over, and what the
+/// workers=1-vs-N determinism tests pin.
+uint64_t ChaosReportHash(const ChaosReport& report);
+
+/// A sweep's worth of chaos runs plus the scheduler's merged view.
+/// `reports[i]` belongs to `cells[i]`; a cell whose run threw has a
+/// default-constructed report and a SweepResult carrying the error.
+struct ChaosSweepOutcome {
+  std::vector<ChaosReport> reports;
+  sweep::SweepReport sweep;
+
+  bool ok() const { return sweep.ok(); }
+};
+
+/// Runs every cell through the SweepScheduler with `workers` threads
+/// (1 = the serial oracle on the calling thread; 0 = hardware
+/// concurrency). Each cell's SweepResult carries ChaosReportHash as its
+/// fingerprint, report.ok() as its verdict, Summary() as its detail and
+/// the run's simulator events — so ChaosSweepOutcome::sweep.ToJson() is
+/// byte-identical across worker counts, and at workers=1 it is the serial
+/// loop today's tests ran, hash for hash.
+ChaosSweepOutcome RunChaosSweep(const std::vector<ChaosCell>& cells,
+                                int workers, uint64_t sweep_seed = 0);
+
+}  // namespace nbraft::chaos
+
+#endif  // NBRAFT_CHAOS_CHAOS_SWEEP_H_

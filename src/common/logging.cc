@@ -38,9 +38,12 @@ const char* Basename(const char* file) {
 std::atomic<int> g_level{static_cast<int>(
     ParseLogLevel(std::getenv("NBRAFT_LOG_LEVEL"), LogLevel::kWarn))};
 
-// Logging is used from the single-threaded simulator; a plain global is
-// enough for the clock hook.
-LogClock g_clock;
+// Each simulator is single-threaded, but the sweep scheduler runs many
+// simulators on concurrent worker threads — the clock hook is therefore
+// thread-local, so every worker's log stamps follow its *own* substrate's
+// virtual time and installing/clearing a clock on one thread can never
+// race with (or leak into) another thread's simulation.
+thread_local LogClock g_clock;
 
 int64_t WallNanosSinceFirstMessage() {
   static const auto t0 = std::chrono::steady_clock::now();

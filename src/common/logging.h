@@ -36,7 +36,9 @@ LogLevel ParseLogLevel(const char* text, LogLevel fallback);
 /// Clock used to timestamp log messages, returning nanoseconds. The harness
 /// installs the simulator's virtual clock so log output lines up with trace
 /// timestamps; without one, messages are stamped with wall time since the
-/// first message.
+/// first message. The hook is THREAD-LOCAL: each sweep worker thread's
+/// substrate installs its own clock, so concurrent simulations never share
+/// (or fight over) a timestamp source.
 using LogClock = std::function<int64_t()>;
 void SetLogClock(LogClock clock);
 void ClearLogClock();

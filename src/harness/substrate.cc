@@ -11,7 +11,9 @@ Substrate::Substrate(const Config& config) : config_(config) {
   network_ = std::make_unique<net::SimNetwork>(sim_.get(), config_.network);
 
   // Log stamps follow virtual time for the duration of this substrate, so
-  // NBRAFT_LOG output can be lined up with trace timestamps.
+  // NBRAFT_LOG output can be lined up with trace timestamps. The clock
+  // hook is thread-local: a substrate created on a sweep worker thread
+  // owns that thread's stamps without touching any other worker's.
   if (!HasLogClock()) {
     SetLogClock([sim = sim_.get()]() { return sim->Now(); });
     owns_log_clock_ = true;

@@ -1,0 +1,137 @@
+#include "sweep/report.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace nbraft::sweep {
+
+namespace {
+
+void MixBytes(uint64_t* h, const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    *h ^= p[i];
+    *h *= 1099511628211ULL;  // FNV-1a prime.
+  }
+}
+
+void MixU64(uint64_t* h, uint64_t v) { MixBytes(h, &v, sizeof(v)); }
+
+void MixStr(uint64_t* h, const std::string& s) {
+  MixU64(h, s.size());
+  MixBytes(h, s.data(), s.size());
+}
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char kHex[] = "0123456789abcdef";
+          *out += "\\u00";
+          *out += kHex[(c >> 4) & 0xf];
+          *out += kHex[c & 0xf];
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+SweepReport MergeResults(uint64_t sweep_seed,
+                         std::vector<SweepResult> results) {
+  SweepReport report;
+  report.sweep_seed = sweep_seed;
+  report.results = std::move(results);
+  std::sort(report.results.begin(), report.results.end(),
+            [](const SweepResult& a, const SweepResult& b) {
+              return a.task_index < b.task_index;
+            });
+
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis.
+  MixU64(&h, sweep_seed);
+  for (const SweepResult& r : report.results) {
+    MixU64(&h, r.task_index);
+    MixStr(&h, r.name);
+    MixU64(&h, r.completed ? 1 : 0);
+    MixU64(&h, r.output.ok ? 1 : 0);
+    MixU64(&h, r.output.fingerprint);
+    MixStr(&h, r.output.detail);
+    MixStr(&h, r.output.stats_json);
+    MixU64(&h, r.output.events);
+    if (!r.ok()) ++report.failed;
+    report.total_events += r.output.events;
+  }
+  report.merged_hash = h;
+  return report;
+}
+
+std::string SweepReport::ToJson() const {
+  std::string out = "{\n  \"sweep_seed\": " + std::to_string(sweep_seed) +
+                    ",\n  \"merged_hash\": " + std::to_string(merged_hash) +
+                    ",\n  \"failed\": " + std::to_string(failed) +
+                    ",\n  \"total_events\": " + std::to_string(total_events) +
+                    ",\n  \"tasks\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const SweepResult& r = results[i];
+    out += "    {\"index\": " + std::to_string(r.task_index) + ", \"name\": \"";
+    AppendEscaped(&out, r.name);
+    out += "\", \"completed\": ";
+    out += r.completed ? "true" : "false";
+    out += ", \"ok\": ";
+    out += r.output.ok ? "true" : "false";
+    out += ", \"fingerprint\": " + std::to_string(r.output.fingerprint) +
+           ", \"events\": " + std::to_string(r.output.events);
+    if (!r.error.empty()) {
+      out += ", \"error\": \"";
+      AppendEscaped(&out, r.error);
+      out += "\"";
+    }
+    if (!r.output.detail.empty()) {
+      out += ", \"detail\": \"";
+      AppendEscaped(&out, r.output.detail);
+      out += "\"";
+    }
+    if (!r.output.stats_json.empty()) {
+      out += ", \"stats\": " + r.output.stats_json;
+    }
+    out += "}";
+    if (i + 1 < results.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string SweepReport::Summary() const {
+  std::string out = std::to_string(results.size()) + " tasks, " +
+                    std::to_string(failed) + " failed, " +
+                    std::to_string(total_events) + " events, hash " +
+                    std::to_string(merged_hash) + " (" +
+                    std::to_string(workers_used) + " workers, " +
+                    std::to_string(static_cast<int64_t>(wall_ms)) + " ms";
+  if (wall_ms > 0) {
+    out += ", " +
+           std::to_string(static_cast<int64_t>(
+               static_cast<double>(total_events) / (wall_ms / 1000.0))) +
+           " ev/s aggregate";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace nbraft::sweep

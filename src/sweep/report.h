@@ -1,0 +1,55 @@
+#ifndef NBRAFT_SWEEP_REPORT_H_
+#define NBRAFT_SWEEP_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sweep/task.h"
+
+namespace nbraft::sweep {
+
+/// The deterministic merge of a whole sweep. `results` is ordered by task
+/// index — never by completion order — and `merged_hash` FNV-chains every
+/// task's deterministic fields in that order, so two sweeps over the same
+/// tasks produce the same hash regardless of worker count, scheduling
+/// order, or machine. A workers=1 run *is* the serial loop over the tasks
+/// and therefore defines the oracle value the parallel runs must match.
+struct SweepReport {
+  uint64_t sweep_seed = 0;
+  std::vector<SweepResult> results;  ///< Ordered by task_index.
+
+  /// FNV-1a chain over (index, name, completed, output.ok,
+  /// output.fingerprint, output.detail, output.stats_json, output.events)
+  /// in index order. Wall times and worker ids are excluded.
+  uint64_t merged_hash = 0;
+
+  /// Tasks that threw or reported !output.ok.
+  size_t failed = 0;
+  /// Sum of every task's simulator events (aggregate ev/s numerator).
+  uint64_t total_events = 0;
+
+  // Machine-dependent facts about this particular execution.
+  int workers_used = 0;
+  double wall_ms = 0.0;
+
+  bool ok() const { return failed == 0; }
+
+  /// Canonical JSON: deterministic fields only, tasks in index order.
+  /// Byte-identical across worker counts — the determinism tests compare
+  /// this string directly.
+  std::string ToJson() const;
+
+  /// One-line human summary (includes the machine-dependent timing).
+  std::string Summary() const;
+};
+
+/// Folds per-task results (any order) into an index-ordered report with
+/// the chained hash. Exposed separately from the scheduler so the serial
+/// path and tests can build reports from hand-run tasks.
+SweepReport MergeResults(uint64_t sweep_seed,
+                         std::vector<SweepResult> results);
+
+}  // namespace nbraft::sweep
+
+#endif  // NBRAFT_SWEEP_REPORT_H_

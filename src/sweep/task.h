@@ -1,0 +1,76 @@
+#ifndef NBRAFT_SWEEP_TASK_H_
+#define NBRAFT_SWEEP_TASK_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace nbraft::sweep {
+
+/// Deterministic per-task seed stream: splitmix64 over
+/// (sweep_seed, task_index). Every task of a sweep gets a well-separated
+/// 64-bit seed that depends only on the sweep seed and its own index —
+/// never on the worker that ran it, the scheduling order, or the machine —
+/// which is the whole determinism contract of the parallel scheduler.
+/// Task factories derive their ClusterConfig/ChaosPlan seeds from this.
+inline uint64_t TaskSeed(uint64_t sweep_seed, uint64_t task_index) {
+  uint64_t z = sweep_seed + 0x9E3779B97F4A7C15ULL * (task_index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// What one task reports back. Everything here must be a pure function of
+/// the task definition (and its TaskSeed) — wall-clock time, worker ids
+/// and any other machine-dependent facts live on SweepResult instead, so
+/// the merged report stays byte-identical across worker counts.
+struct TaskOutput {
+  /// The cell's deterministic outcome in one number (e.g. the chaos
+  /// report hash). Folded into SweepReport::merged_hash in index order.
+  uint64_t fingerprint = 0;
+  /// Cell-level verdict: false means the cell ran to completion but the
+  /// run itself failed its own checks (oracle violations, a vacuous
+  /// attack, a starved group). The sweep keeps going either way.
+  bool ok = true;
+  /// Human-readable summary or violation text for the merged report.
+  std::string detail;
+  /// Optional machine-readable per-cell stats (JSON object, "" = none).
+  std::string stats_json;
+  /// Simulator events this cell processed (aggregate ev/s accounting).
+  uint64_t events = 0;
+};
+
+/// One independent unit of sweep work: a (seed x config x protocol) cell.
+/// `run` is executed on exactly one worker thread with no shared mutable
+/// state; it receives TaskSeed(sweep_seed, index) and must derive every
+/// random choice from it. Exceptions escaping `run` are caught by the
+/// scheduler and reported on the task's SweepResult — a failing cell
+/// never kills the sweep. (NBRAFT_CHECK aborts the process by design and
+/// is not recoverable.)
+struct SweepTask {
+  std::string name;
+  std::function<TaskOutput(uint64_t task_seed)> run;
+};
+
+/// One task's slot in the merged report, ordered by task index.
+struct SweepResult {
+  size_t task_index = 0;
+  std::string name;
+  /// False when an exception escaped `run` (error holds what()); the
+  /// task's output is then default-constructed.
+  bool completed = false;
+  std::string error;
+  TaskOutput output;
+
+  // Machine-dependent facts — excluded from merged_hash and from the
+  // canonical report JSON.
+  double wall_ms = 0.0;
+  int worker = -1;
+
+  /// Completed with the cell's own checks green.
+  bool ok() const { return completed && output.ok; }
+};
+
+}  // namespace nbraft::sweep
+
+#endif  // NBRAFT_SWEEP_TASK_H_

@@ -1,23 +1,29 @@
-// The seeded chaos scenario matrix: Raft and NB-Raft each survive >= 25
-// randomized fault schedules (crashes incl. leader-targeted, symmetric and
-// one-way partitions, link flaps, drop/delay storms, clock skew, slow
-// nodes) with zero safety-invariant violations and zero acknowledged-write
-// loss — and every seed replays bit-identically (the determinism check is
-// built into each case by running the scenario twice).
+// The seeded chaos scenario matrix, fanned out through the parallel sweep
+// scheduler: Raft and NB-Raft each survive >= 25 randomized fault
+// schedules (crashes incl. leader-targeted, symmetric and one-way
+// partitions, link flaps, drop/delay storms, clock skew, slow nodes) with
+// zero safety-invariant violations and zero acknowledged-write loss. The
+// determinism contract is pinned three ways: the merged sweep report is
+// byte-identical across worker counts {1, 4, max}; the workers=1
+// scheduler path produces exactly the hashes of a direct serial
+// ChaosRunner loop; and a double-run of the full matrix replays
+// bit-identically.
 
 #include <gtest/gtest.h>
 
 #include <cstdlib>
 #include <cstring>
 #include <string>
-#include <tuple>
+#include <vector>
 
 #include "chaos/chaos_plan.h"
 #include "chaos/chaos_runner.h"
+#include "chaos/chaos_sweep.h"
 #include "chaos/invariants.h"
 #include "chaos/nemesis.h"
 #include "harness/cluster.h"
 #include "obs/names.h"
+#include "sweep/scheduler.h"
 
 namespace nbraft::chaos {
 namespace {
@@ -53,71 +59,112 @@ ChaosPlan SweepPlan(uint64_t seed) {
   return plan;
 }
 
-ChaosRunner::Options SweepOptions() {
+ChaosRunner::Options SweepOptions(const std::string& cell_name) {
   ChaosRunner::Options options;
   options.rounds = 5;
   options.round_length = Millis(200);
   options.drain = Millis(1500);
   // CI sets NBRAFT_POSTMORTEM_DIR so a failing seed leaves its merged
   // flight-recorder dump behind as an uploadable artifact. Scoped per
-  // test case so parallel parameterizations never collide.
+  // cell so concurrently running cells never collide.
   if (const char* dir = std::getenv("NBRAFT_POSTMORTEM_DIR")) {
-    const auto* info =
-        ::testing::UnitTest::GetInstance()->current_test_info();
-    options.postmortem_dir = std::string(dir) + "/" +
-                             info->test_suite_name() + "." + info->name();
+    options.postmortem_dir =
+        std::string(dir) + "/ChaosSweep." + cell_name;
   }
   return options;
 }
 
-class ChaosSweepTest
-    : public ::testing::TestWithParam<std::tuple<raft::Protocol, uint64_t>> {
-};
-
-TEST_P(ChaosSweepTest, SeedSurvivesAndReplaysIdentically) {
-  const auto [protocol, seed] = GetParam();
-
-  ChaosRunner first(SweepConfig(protocol, seed), SweepPlan(seed),
-                    SweepOptions());
-  const ChaosReport a = first.Run();
-  EXPECT_TRUE(a.ok()) << a.Summary();
-  EXPECT_GT(a.faults.size(), 0u) << "nemesis injected nothing";
-  EXPECT_GT(a.requests_completed, 0u) << "workload never converged";
-  EXPECT_GT(a.strong_acked, 0u);
-
-  // Determinism: the same (config, plan) replays to the identical fault
-  // schedule, stats and final committed prefix.
-  ChaosRunner second(SweepConfig(protocol, seed), SweepPlan(seed),
-                     SweepOptions());
-  const ChaosReport b = second.Run();
-  EXPECT_EQ(a.fault_fingerprint, b.fault_fingerprint);
-  ASSERT_EQ(a.faults.size(), b.faults.size());
-  for (size_t i = 0; i < a.faults.size(); ++i) {
-    EXPECT_EQ(FaultRecordToString(a.faults[i]),
-              FaultRecordToString(b.faults[i]))
-        << "fault schedule diverged at action " << i;
-  }
-  EXPECT_EQ(a.requests_issued, b.requests_issued);
-  EXPECT_EQ(a.requests_completed, b.requests_completed);
-  EXPECT_EQ(a.strong_acked, b.strong_acked);
-  EXPECT_EQ(a.lost_weak, b.lost_weak);
-  EXPECT_EQ(a.terms_observed, b.terms_observed);
-  EXPECT_EQ(a.final_commit_index, b.final_commit_index);
-  EXPECT_EQ(a.committed_prefix_hash, b.committed_prefix_hash);
+ChaosCell MatrixCell(raft::Protocol protocol, uint64_t seed) {
+  ChaosCell cell;
+  cell.name = std::string(protocol == raft::Protocol::kRaft ? "Raft"
+                                                            : "NbRaft") +
+              "Seed" + std::to_string(seed);
+  cell.config = SweepConfig(protocol, seed);
+  cell.plan = SweepPlan(seed);
+  cell.options = SweepOptions(cell.name);
+  return cell;
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    Matrix, ChaosSweepTest,
-    ::testing::Combine(::testing::Values(raft::Protocol::kRaft,
-                                         raft::Protocol::kNbRaft),
-                       ::testing::Range<uint64_t>(1, 26)),
-    [](const ::testing::TestParamInfo<ChaosSweepTest::ParamType>& info) {
-      const raft::Protocol protocol = std::get<0>(info.param);
-      const uint64_t seed = std::get<1>(info.param);
-      return std::string(protocol == raft::Protocol::kRaft ? "Raft"
-                                                           : "NbRaft") +
-             "Seed" + std::to_string(seed);
-    });
+std::vector<ChaosCell> MatrixCells(uint64_t first_seed, uint64_t last_seed) {
+  std::vector<ChaosCell> cells;
+  for (const raft::Protocol protocol :
+       {raft::Protocol::kRaft, raft::Protocol::kNbRaft}) {
+    for (uint64_t seed = first_seed; seed <= last_seed; ++seed) {
+      cells.push_back(MatrixCell(protocol, seed));
+    }
+  }
+  return cells;
+}
+
+void ExpectAllCellsSurvived(const ChaosSweepOutcome& outcome) {
+  EXPECT_TRUE(outcome.ok()) << outcome.sweep.Summary();
+  for (size_t i = 0; i < outcome.reports.size(); ++i) {
+    const ChaosReport& report = outcome.reports[i];
+    const std::string& name = outcome.sweep.results[i].name;
+    ASSERT_TRUE(outcome.sweep.results[i].completed)
+        << name << ": " << outcome.sweep.results[i].error;
+    EXPECT_TRUE(report.ok()) << name << ": " << report.Summary();
+    EXPECT_GT(report.faults.size(), 0u) << name << ": nemesis injected nothing";
+    EXPECT_GT(report.requests_completed, 0u)
+        << name << ": workload never converged";
+    EXPECT_GT(report.strong_acked, 0u) << name;
+  }
+}
+
+TEST(ChaosSweepTest, FullMatrixSurvivesAndReplaysIdentically) {
+  // The 25-seed x 2-protocol matrix through the scheduler at the CI-chosen
+  // worker count (NBRAFT_SWEEP_WORKERS, defaulting to every core), run
+  // twice: same merged report bytes both times.
+  const std::vector<ChaosCell> cells = MatrixCells(1, 25);
+  const int workers = sweep::WorkersFromEnv(/*fallback=*/0);
+  const ChaosSweepOutcome a = RunChaosSweep(cells, workers);
+  ExpectAllCellsSurvived(a);
+  const ChaosSweepOutcome b = RunChaosSweep(cells, workers);
+  EXPECT_EQ(a.sweep.merged_hash, b.sweep.merged_hash);
+  EXPECT_EQ(a.sweep.ToJson(), b.sweep.ToJson());
+  for (size_t i = 0; i < a.reports.size(); ++i) {
+    EXPECT_EQ(a.reports[i].fault_fingerprint, b.reports[i].fault_fingerprint)
+        << a.sweep.results[i].name;
+    EXPECT_EQ(a.reports[i].committed_prefix_hash,
+              b.reports[i].committed_prefix_hash)
+        << a.sweep.results[i].name;
+  }
+}
+
+TEST(ChaosSweepTest, MergedReportByteIdenticalAcrossWorkerCounts) {
+  // Acceptance pin: workers {1, 4, max} over a representative sub-matrix
+  // produce byte-identical merged reports. Workers=1 is the serial oracle
+  // (inline on this thread, no worker threads at all).
+  const std::vector<ChaosCell> cells = MatrixCells(1, 6);
+  const ChaosSweepOutcome serial = RunChaosSweep(cells, /*workers=*/1);
+  ExpectAllCellsSurvived(serial);
+  const ChaosSweepOutcome four = RunChaosSweep(cells, /*workers=*/4);
+  const ChaosSweepOutcome max = RunChaosSweep(cells, /*workers=*/0);
+  EXPECT_EQ(serial.sweep.merged_hash, four.sweep.merged_hash);
+  EXPECT_EQ(serial.sweep.merged_hash, max.sweep.merged_hash);
+  EXPECT_EQ(serial.sweep.ToJson(), four.sweep.ToJson());
+  EXPECT_EQ(serial.sweep.ToJson(), max.sweep.ToJson());
+}
+
+TEST(ChaosSweepTest, SchedulerWorkersOneMatchesDirectSerialRun) {
+  // The scheduler at workers=1 must reduce exactly to today's serial
+  // loop: same ChaosRunner, same report hashes, no wrapping drift.
+  const ChaosCell cell = MatrixCell(raft::Protocol::kNbRaft, 11);
+  ChaosRunner direct(cell.config, cell.plan, cell.options);
+  const ChaosReport serial_report = direct.Run();
+  ASSERT_TRUE(serial_report.ok()) << serial_report.Summary();
+
+  const ChaosSweepOutcome outcome = RunChaosSweep({cell}, /*workers=*/1);
+  ASSERT_EQ(outcome.reports.size(), 1u);
+  EXPECT_EQ(ChaosReportHash(outcome.reports[0]),
+            ChaosReportHash(serial_report));
+  EXPECT_EQ(outcome.reports[0].committed_prefix_hash,
+            serial_report.committed_prefix_hash);
+  EXPECT_EQ(outcome.reports[0].fault_fingerprint,
+            serial_report.fault_fingerprint);
+  EXPECT_EQ(outcome.sweep.results[0].output.fingerprint,
+            ChaosReportHash(serial_report));
+}
 
 TEST(ChaosPlanTest, FingerprintCoversEveryField) {
   FaultRecord r;
@@ -145,7 +192,7 @@ TEST(ChaosObservabilityTest, EmitsInstantsAndCounters) {
   harness::ClusterConfig config =
       SweepConfig(raft::Protocol::kNbRaft, /*seed=*/3);
   config.trace = true;
-  ChaosRunner::Options options = SweepOptions();
+  ChaosRunner::Options options = SweepOptions("Observability");
   options.rounds = 3;
   ChaosRunner runner(config, SweepPlan(3), options);
   const ChaosReport report = runner.Run();
@@ -181,7 +228,7 @@ TEST(ChaosRegistryTest, CountersSurfaceWithoutTracing) {
   // counters are never silently dropped.
   harness::ClusterConfig config =
       SweepConfig(raft::Protocol::kRaft, /*seed=*/5);
-  ChaosRunner::Options options = SweepOptions();
+  ChaosRunner::Options options = SweepOptions("Registry");
   options.rounds = 2;
   ChaosRunner runner(config, SweepPlan(5), options);
   const ChaosReport report = runner.Run();

@@ -1,21 +1,24 @@
-// The disk-fault chaos matrix: Raft and NB-Raft on simulated durable
-// disks each survive >= 25 randomized schedules of crashes (incl.
-// leader-targeted), crash-mid-fsync, stalled disks and tail corruption
-// with zero safety violations — in particular the durability-claim
-// invariant (every strong ack sits inside the fsynced prefix at crash
-// time) and corruption healing under quarantine. Every seed replays
-// bit-identically (each case runs its scenario twice).
+// The disk-fault chaos matrix through the parallel sweep scheduler: Raft
+// and NB-Raft on simulated durable disks each survive >= 25 randomized
+// schedules of crashes (incl. leader-targeted), crash-mid-fsync, stalled
+// disks and tail corruption with zero safety violations — in particular
+// the durability-claim invariant (every strong ack sits inside the
+// fsynced prefix at crash time) and corruption healing under quarantine.
+// Determinism is pinned by byte-identical merged reports across worker
+// counts and a double-run of the full matrix.
 
 #include <gtest/gtest.h>
 
 #include <cstdlib>
 #include <string>
-#include <tuple>
+#include <vector>
 
 #include "chaos/chaos_plan.h"
 #include "chaos/chaos_runner.h"
+#include "chaos/chaos_sweep.h"
 #include "chaos/invariants.h"
 #include "harness/cluster.h"
+#include "sweep/scheduler.h"
 
 namespace nbraft::chaos {
 namespace {
@@ -36,7 +39,7 @@ harness::ClusterConfig DiskSweepConfig(raft::Protocol protocol,
   config.client_backoff_cap = Millis(1200);
   config.client_max_requests = 200;
   config.snapshot_threshold = 0;
-  // The tentpole under test: durable simulated disks with real fsync
+  // The durable layer under test: simulated disks with real fsync
   // latency, group commit, and per-node fault streams.
   config.disk.enabled = true;
   config.disk.write_latency = Micros(10);
@@ -62,70 +65,82 @@ ChaosPlan DiskSweepPlan(uint64_t seed) {
   return plan;
 }
 
-ChaosRunner::Options DiskSweepOptions() {
-  ChaosRunner::Options options;
-  options.rounds = 5;
-  options.round_length = Millis(200);
-  options.drain = Millis(1500);
+ChaosCell DiskCell(raft::Protocol protocol, uint64_t seed) {
+  ChaosCell cell;
+  cell.name = std::string(protocol == raft::Protocol::kRaft ? "Raft"
+                                                            : "NbRaft") +
+              "Seed" + std::to_string(seed);
+  cell.config = DiskSweepConfig(protocol, seed);
+  cell.plan = DiskSweepPlan(seed);
+  cell.options.rounds = 5;
+  cell.options.round_length = Millis(200);
+  cell.options.drain = Millis(1500);
   // CI sets NBRAFT_POSTMORTEM_DIR so a failing seed leaves its merged
-  // flight-recorder dump behind as an uploadable artifact.
+  // flight-recorder dump behind as an uploadable artifact, scoped per
+  // cell so concurrent cells never collide.
   if (const char* dir = std::getenv("NBRAFT_POSTMORTEM_DIR")) {
-    const auto* info =
-        ::testing::UnitTest::GetInstance()->current_test_info();
-    options.postmortem_dir = std::string(dir) + "/" +
-                             info->test_suite_name() + "." + info->name();
+    cell.options.postmortem_dir =
+        std::string(dir) + "/DiskChaosSweep." + cell.name;
   }
-  return options;
+  return cell;
 }
 
-class DiskChaosSweepTest
-    : public ::testing::TestWithParam<std::tuple<raft::Protocol, uint64_t>> {
-};
-
-TEST_P(DiskChaosSweepTest, SeedSurvivesAndReplaysIdentically) {
-  const auto [protocol, seed] = GetParam();
-
-  ChaosRunner first(DiskSweepConfig(protocol, seed), DiskSweepPlan(seed),
-                    DiskSweepOptions());
-  const ChaosReport a = first.Run();
-  EXPECT_TRUE(a.ok()) << a.Summary();
-  EXPECT_GT(a.faults.size(), 0u) << "nemesis injected nothing";
-  EXPECT_GT(a.requests_completed, 0u) << "workload never converged";
-  EXPECT_GT(a.strong_acked, 0u);
-
-  // Determinism: same (config, plan) => identical fault schedule, stats
-  // and final committed prefix.
-  ChaosRunner second(DiskSweepConfig(protocol, seed), DiskSweepPlan(seed),
-                     DiskSweepOptions());
-  const ChaosReport b = second.Run();
-  EXPECT_EQ(a.fault_fingerprint, b.fault_fingerprint);
-  ASSERT_EQ(a.faults.size(), b.faults.size());
-  for (size_t i = 0; i < a.faults.size(); ++i) {
-    EXPECT_EQ(FaultRecordToString(a.faults[i]),
-              FaultRecordToString(b.faults[i]))
-        << "fault schedule diverged at action " << i;
+std::vector<ChaosCell> DiskMatrixCells(uint64_t first_seed,
+                                       uint64_t last_seed) {
+  std::vector<ChaosCell> cells;
+  for (const raft::Protocol protocol :
+       {raft::Protocol::kRaft, raft::Protocol::kNbRaft}) {
+    for (uint64_t seed = first_seed; seed <= last_seed; ++seed) {
+      cells.push_back(DiskCell(protocol, seed));
+    }
   }
-  EXPECT_EQ(a.requests_issued, b.requests_issued);
-  EXPECT_EQ(a.requests_completed, b.requests_completed);
-  EXPECT_EQ(a.strong_acked, b.strong_acked);
-  EXPECT_EQ(a.lost_weak, b.lost_weak);
-  EXPECT_EQ(a.terms_observed, b.terms_observed);
-  EXPECT_EQ(a.final_commit_index, b.final_commit_index);
-  EXPECT_EQ(a.committed_prefix_hash, b.committed_prefix_hash);
+  return cells;
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    Matrix, DiskChaosSweepTest,
-    ::testing::Combine(::testing::Values(raft::Protocol::kRaft,
-                                         raft::Protocol::kNbRaft),
-                       ::testing::Range<uint64_t>(1, 26)),
-    [](const ::testing::TestParamInfo<DiskChaosSweepTest::ParamType>& info) {
-      const raft::Protocol protocol = std::get<0>(info.param);
-      const uint64_t seed = std::get<1>(info.param);
-      return std::string(protocol == raft::Protocol::kRaft ? "Raft"
-                                                           : "NbRaft") +
-             "Seed" + std::to_string(seed);
-    });
+TEST(DiskChaosSweepTest, FullMatrixSurvivesAndReplaysIdentically) {
+  const std::vector<ChaosCell> cells = DiskMatrixCells(1, 25);
+  const int workers = sweep::WorkersFromEnv(/*fallback=*/0);
+  const ChaosSweepOutcome a = RunChaosSweep(cells, workers);
+  EXPECT_TRUE(a.ok()) << a.sweep.Summary();
+  for (size_t i = 0; i < a.reports.size(); ++i) {
+    const ChaosReport& report = a.reports[i];
+    const std::string& name = a.sweep.results[i].name;
+    ASSERT_TRUE(a.sweep.results[i].completed)
+        << name << ": " << a.sweep.results[i].error;
+    EXPECT_TRUE(report.ok()) << name << ": " << report.Summary();
+    EXPECT_GT(report.faults.size(), 0u) << name << ": nemesis injected nothing";
+    EXPECT_GT(report.requests_completed, 0u)
+        << name << ": workload never converged";
+    EXPECT_GT(report.strong_acked, 0u) << name;
+  }
+
+  // Determinism: the full durable matrix replays to identical bytes.
+  const ChaosSweepOutcome b = RunChaosSweep(cells, workers);
+  EXPECT_EQ(a.sweep.merged_hash, b.sweep.merged_hash);
+  EXPECT_EQ(a.sweep.ToJson(), b.sweep.ToJson());
+  for (size_t i = 0; i < a.reports.size(); ++i) {
+    EXPECT_EQ(a.reports[i].fault_fingerprint, b.reports[i].fault_fingerprint)
+        << a.sweep.results[i].name;
+    EXPECT_EQ(a.reports[i].committed_prefix_hash,
+              b.reports[i].committed_prefix_hash)
+        << a.sweep.results[i].name;
+  }
+}
+
+TEST(DiskChaosSweepTest, MergedReportByteIdenticalAcrossWorkerCounts) {
+  // The durable path exercises the disk fault injector's own rng streams
+  // and the recovery/quarantine machinery — pin that none of it leaks
+  // across worker threads: workers {1, 4, max} byte-identical.
+  const std::vector<ChaosCell> cells = DiskMatrixCells(1, 4);
+  const ChaosSweepOutcome serial = RunChaosSweep(cells, /*workers=*/1);
+  EXPECT_TRUE(serial.ok()) << serial.sweep.Summary();
+  const ChaosSweepOutcome four = RunChaosSweep(cells, /*workers=*/4);
+  const ChaosSweepOutcome max = RunChaosSweep(cells, /*workers=*/0);
+  EXPECT_EQ(serial.sweep.merged_hash, four.sweep.merged_hash);
+  EXPECT_EQ(serial.sweep.merged_hash, max.sweep.merged_hash);
+  EXPECT_EQ(serial.sweep.ToJson(), four.sweep.ToJson());
+  EXPECT_EQ(serial.sweep.ToJson(), max.sweep.ToJson());
+}
 
 }  // namespace
 }  // namespace nbraft::chaos

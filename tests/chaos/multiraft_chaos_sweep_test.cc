@@ -1,23 +1,26 @@
-// Multi-Raft chaos matrix: four consensus groups co-resident on three
-// physical hosts survive randomized fault schedules where every nemesis
-// action hits a *host* — crashing one machine kills a replica of all four
-// groups at once, a partition splits all four groups the same way, clock
-// skew and slow-CPU hit every co-resident replica. Each group's safety
-// oracle must stay clean, acknowledged writes must survive, and the whole
-// multi-group run must replay bit-identically (checked by running each
-// scenario twice).
+// Multi-Raft chaos matrix through the parallel sweep scheduler: four
+// consensus groups co-resident on three physical hosts survive randomized
+// fault schedules where every nemesis action hits a *host* — crashing one
+// machine kills a replica of all four groups at once, a partition splits
+// all four groups the same way, clock skew and slow-CPU hit every
+// co-resident replica. Each group's safety oracle must stay clean (the
+// per-group checks run inside the cell, while its Cluster is still
+// alive), acknowledged writes must survive, and the merged sweep report
+// must be byte-identical across worker counts and across a double run.
 
 #include <gtest/gtest.h>
 
 #include <cstdlib>
 #include <string>
-#include <tuple>
+#include <vector>
 
 #include "chaos/chaos_plan.h"
 #include "chaos/chaos_runner.h"
+#include "chaos/chaos_sweep.h"
 #include "chaos/invariants.h"
 #include "chaos/nemesis.h"
 #include "harness/cluster.h"
+#include "sweep/scheduler.h"
 
 namespace nbraft::chaos {
 namespace {
@@ -58,85 +61,117 @@ ChaosPlan MultiSweepPlan(uint64_t seed) {
   return plan;
 }
 
-ChaosRunner::Options MultiSweepOptions() {
-  ChaosRunner::Options options;
-  options.rounds = 5;
-  options.round_length = Millis(200);
-  options.drain = Millis(1500);
-  // CI sets NBRAFT_POSTMORTEM_DIR so a failing seed leaves its merged
-  // flight-recorder dump behind as an uploadable artifact. Scoped per
-  // test case so parallel parameterizations never collide.
-  if (const char* dir = std::getenv("NBRAFT_POSTMORTEM_DIR")) {
-    const auto* info =
-        ::testing::UnitTest::GetInstance()->current_test_info();
-    options.postmortem_dir = std::string(dir) + "/" +
-                             info->test_suite_name() + "." + info->name();
-  }
-  return options;
-}
-
-class MultiRaftChaosSweepTest
-    : public ::testing::TestWithParam<std::tuple<raft::Protocol, uint64_t>> {
-};
-
-TEST_P(MultiRaftChaosSweepTest, SeedSurvivesAndReplaysIdentically) {
-  const auto [protocol, seed] = GetParam();
-
-  ChaosRunner first(MultiSweepConfig(protocol, seed), MultiSweepPlan(seed),
-                    MultiSweepOptions());
-  const ChaosReport a = first.Run();
-  EXPECT_TRUE(a.ok()) << a.Summary();
-  EXPECT_GT(a.faults.size(), 0u) << "nemesis injected nothing";
-  EXPECT_GT(a.requests_completed, 0u) << "workload never converged";
-  EXPECT_GT(a.strong_acked, 0u);
-
-  // Host-scoped blast radius: every group made commit progress even
-  // though each fault hit all co-resident replicas simultaneously.
-  harness::Cluster* cluster = first.cluster();
-  ASSERT_EQ(cluster->num_groups(), kGroups);
+/// The host-scoped blast-radius oracle, run inside the cell while the
+/// four groups still exist: every group made commit progress even though
+/// each fault hit all of its co-resident replicas simultaneously, and
+/// every group's log-matching and committed-prefix invariants held.
+std::string CheckEveryGroup(ChaosRunner& runner, const ChaosReport&) {
+  harness::Cluster* cluster = runner.cluster();
+  if (cluster->num_groups() != kGroups) return "wrong group count";
   for (int g = 0; g < kGroups; ++g) {
-    EXPECT_GT(cluster->CollectGroup(g).requests_completed, 0u)
-        << "group " << g << " starved";
-    EXPECT_TRUE(cluster->group(g)->CheckLogMatching().ok()) << "group " << g;
-    EXPECT_TRUE(cluster->group(g)->CheckCommittedPrefixes().ok())
-        << "group " << g;
+    if (cluster->CollectGroup(g).requests_completed == 0) {
+      return "group " + std::to_string(g) + " starved";
+    }
+    if (!cluster->group(g)->CheckLogMatching().ok()) {
+      return "group " + std::to_string(g) + " log matching violated";
+    }
+    if (!cluster->group(g)->CheckCommittedPrefixes().ok()) {
+      return "group " + std::to_string(g) + " committed prefixes diverged";
+    }
   }
-
-  // Determinism: the same (config, plan) replays to the identical fault
-  // schedule, aggregate stats, summed commit index, and the group-chained
-  // committed-prefix hash.
-  ChaosRunner second(MultiSweepConfig(protocol, seed), MultiSweepPlan(seed),
-                     MultiSweepOptions());
-  const ChaosReport b = second.Run();
-  EXPECT_EQ(a.fault_fingerprint, b.fault_fingerprint);
-  ASSERT_EQ(a.faults.size(), b.faults.size());
-  for (size_t i = 0; i < a.faults.size(); ++i) {
-    EXPECT_EQ(FaultRecordToString(a.faults[i]),
-              FaultRecordToString(b.faults[i]))
-        << "fault schedule diverged at action " << i;
-  }
-  EXPECT_EQ(a.requests_issued, b.requests_issued);
-  EXPECT_EQ(a.requests_completed, b.requests_completed);
-  EXPECT_EQ(a.strong_acked, b.strong_acked);
-  EXPECT_EQ(a.lost_weak, b.lost_weak);
-  EXPECT_EQ(a.terms_observed, b.terms_observed);
-  EXPECT_EQ(a.final_commit_index, b.final_commit_index);
-  EXPECT_EQ(a.committed_prefix_hash, b.committed_prefix_hash);
+  return "";
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    Matrix, MultiRaftChaosSweepTest,
-    ::testing::Combine(::testing::Values(raft::Protocol::kRaft,
-                                         raft::Protocol::kNbRaft),
-                       ::testing::Range<uint64_t>(1, 11)),
-    [](const ::testing::TestParamInfo<MultiRaftChaosSweepTest::ParamType>&
-           info) {
-      const raft::Protocol protocol = std::get<0>(info.param);
-      const uint64_t seed = std::get<1>(info.param);
-      return std::string(protocol == raft::Protocol::kRaft ? "Raft"
-                                                           : "NbRaft") +
-             "Seed" + std::to_string(seed);
-    });
+ChaosCell MultiCell(raft::Protocol protocol, uint64_t seed) {
+  ChaosCell cell;
+  cell.name = std::string(protocol == raft::Protocol::kRaft ? "Raft"
+                                                            : "NbRaft") +
+              "Seed" + std::to_string(seed);
+  cell.config = MultiSweepConfig(protocol, seed);
+  cell.plan = MultiSweepPlan(seed);
+  cell.options.rounds = 5;
+  cell.options.round_length = Millis(200);
+  cell.options.drain = Millis(1500);
+  // CI sets NBRAFT_POSTMORTEM_DIR so a failing seed leaves its merged
+  // flight-recorder dump behind as an uploadable artifact, scoped per
+  // cell so concurrent cells never collide.
+  if (const char* dir = std::getenv("NBRAFT_POSTMORTEM_DIR")) {
+    cell.options.postmortem_dir =
+        std::string(dir) + "/MultiRaftChaosSweep." + cell.name;
+  }
+  cell.check = CheckEveryGroup;
+  return cell;
+}
+
+std::vector<ChaosCell> MultiMatrixCells(uint64_t first_seed,
+                                        uint64_t last_seed) {
+  std::vector<ChaosCell> cells;
+  for (const raft::Protocol protocol :
+       {raft::Protocol::kRaft, raft::Protocol::kNbRaft}) {
+    for (uint64_t seed = first_seed; seed <= last_seed; ++seed) {
+      cells.push_back(MultiCell(protocol, seed));
+    }
+  }
+  return cells;
+}
+
+TEST(MultiRaftChaosSweepTest, FullMatrixSurvivesAndReplaysIdentically) {
+  const std::vector<ChaosCell> cells = MultiMatrixCells(1, 10);
+  const int workers = sweep::WorkersFromEnv(/*fallback=*/0);
+  const ChaosSweepOutcome a = RunChaosSweep(cells, workers);
+  EXPECT_TRUE(a.ok()) << a.sweep.Summary();
+  for (size_t i = 0; i < a.reports.size(); ++i) {
+    const ChaosReport& report = a.reports[i];
+    const std::string& name = a.sweep.results[i].name;
+    ASSERT_TRUE(a.sweep.results[i].completed)
+        << name << ": " << a.sweep.results[i].error;
+    // The per-group blast-radius checks ran inside the cell; ok() already
+    // folds them in — surface the detail on failure.
+    EXPECT_TRUE(a.sweep.results[i].ok())
+        << name << ": " << a.sweep.results[i].output.detail;
+    EXPECT_TRUE(report.ok()) << name << ": " << report.Summary();
+    EXPECT_GT(report.faults.size(), 0u) << name << ": nemesis injected nothing";
+    EXPECT_GT(report.requests_completed, 0u)
+        << name << ": workload never converged";
+    EXPECT_GT(report.strong_acked, 0u) << name;
+  }
+
+  // Determinism: the same multi-group matrix replays to identical bytes —
+  // fault schedules, aggregate stats, the group-chained committed-prefix
+  // hash, and the merged sweep report.
+  const ChaosSweepOutcome b = RunChaosSweep(cells, workers);
+  EXPECT_EQ(a.sweep.merged_hash, b.sweep.merged_hash);
+  EXPECT_EQ(a.sweep.ToJson(), b.sweep.ToJson());
+  for (size_t i = 0; i < a.reports.size(); ++i) {
+    EXPECT_EQ(a.reports[i].fault_fingerprint, b.reports[i].fault_fingerprint)
+        << a.sweep.results[i].name;
+    ASSERT_EQ(a.reports[i].faults.size(), b.reports[i].faults.size());
+    for (size_t f = 0; f < a.reports[i].faults.size(); ++f) {
+      EXPECT_EQ(FaultRecordToString(a.reports[i].faults[f]),
+                FaultRecordToString(b.reports[i].faults[f]))
+          << a.sweep.results[i].name << ": fault schedule diverged at action "
+          << f;
+    }
+    EXPECT_EQ(a.reports[i].final_commit_index, b.reports[i].final_commit_index);
+    EXPECT_EQ(a.reports[i].committed_prefix_hash,
+              b.reports[i].committed_prefix_hash);
+  }
+}
+
+TEST(MultiRaftChaosSweepTest, MergedReportByteIdenticalAcrossWorkerCounts) {
+  // Multi-group cells are the heaviest per-task state (4 groups x 3 hosts
+  // per simulator) — pin that nothing about group routing or the shared
+  // substrate leaks across worker threads: workers {1, 4, max}.
+  const std::vector<ChaosCell> cells = MultiMatrixCells(1, 3);
+  const ChaosSweepOutcome serial = RunChaosSweep(cells, /*workers=*/1);
+  EXPECT_TRUE(serial.ok()) << serial.sweep.Summary();
+  const ChaosSweepOutcome four = RunChaosSweep(cells, /*workers=*/4);
+  const ChaosSweepOutcome max = RunChaosSweep(cells, /*workers=*/0);
+  EXPECT_EQ(serial.sweep.merged_hash, four.sweep.merged_hash);
+  EXPECT_EQ(serial.sweep.merged_hash, max.sweep.merged_hash);
+  EXPECT_EQ(serial.sweep.ToJson(), four.sweep.ToJson());
+  EXPECT_EQ(serial.sweep.ToJson(), max.sweep.ToJson());
+}
 
 TEST(MultiRaftChaosScopeTest, HostCrashDeposesEveryCoResidentLeader) {
   // Deterministic (no nemesis) check of the fault blast radius itself:

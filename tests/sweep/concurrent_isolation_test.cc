@@ -1,0 +1,145 @@
+// Per-thread simulator isolation: two full Cluster simulations running on
+// concurrent threads must produce exactly the reports they produce when
+// run serially — no shared mutable state (static counters, the log-clock
+// hook, rng streams) may leak between them. This is the regression fence
+// for the parallel sweep scheduler: if anything global creeps back into
+// the simulator stack, the fingerprints here diverge.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chaos/chaos_plan.h"
+#include "chaos/chaos_runner.h"
+#include "chaos/chaos_sweep.h"
+#include "common/logging.h"
+#include "harness/cluster.h"
+
+namespace nbraft::chaos {
+namespace {
+
+ChaosCell IsolationCell(raft::Protocol protocol, uint64_t seed) {
+  ChaosCell cell;
+  cell.name = std::string(protocol == raft::Protocol::kRaft ? "raft"
+                                                            : "nbraft") +
+              "_seed" + std::to_string(seed);
+  cell.config.num_nodes = 3;
+  cell.config.num_clients = 2;
+  cell.config.protocol = protocol;
+  cell.config.window_size = 64;
+  cell.config.payload_size = 256;
+  cell.config.client_think = Millis(1);
+  cell.config.election_timeout = Millis(150);
+  cell.config.seed = seed * 7919 + 13;
+  cell.config.client_backoff_base = Millis(150);
+  cell.config.client_backoff_cap = Millis(1200);
+  cell.config.client_max_requests = 100;
+  cell.config.snapshot_threshold = 0;
+  cell.plan.seed = seed;
+  cell.plan.min_gap = Millis(30);
+  cell.plan.max_gap = Millis(120);
+  cell.plan.min_duration = Millis(50);
+  cell.plan.max_duration = Millis(200);
+  cell.options.rounds = 3;
+  cell.options.round_length = Millis(200);
+  cell.options.drain = Millis(1200);
+  return cell;
+}
+
+TEST(ConcurrentIsolationTest, TwoConcurrentClustersMatchSerialRuns) {
+  const ChaosCell raft_cell = IsolationCell(raft::Protocol::kRaft, 5);
+  const ChaosCell nb_cell = IsolationCell(raft::Protocol::kNbRaft, 5);
+
+  // Serial oracle: each scenario alone on this thread.
+  ChaosRunner serial_raft(raft_cell.config, raft_cell.plan,
+                          raft_cell.options);
+  const ChaosReport raft_alone = serial_raft.Run();
+  ChaosRunner serial_nb(nb_cell.config, nb_cell.plan, nb_cell.options);
+  const ChaosReport nb_alone = serial_nb.Run();
+  ASSERT_TRUE(raft_alone.ok()) << raft_alone.Summary();
+  ASSERT_TRUE(nb_alone.ok()) << nb_alone.Summary();
+
+  // The same two scenarios, genuinely concurrent on two raw threads
+  // (below the scheduler, so this pins the substrate itself).
+  ChaosReport raft_concurrent;
+  ChaosReport nb_concurrent;
+  std::thread t1([&] {
+    ChaosRunner runner(raft_cell.config, raft_cell.plan, raft_cell.options);
+    raft_concurrent = runner.Run();
+  });
+  std::thread t2([&] {
+    ChaosRunner runner(nb_cell.config, nb_cell.plan, nb_cell.options);
+    nb_concurrent = runner.Run();
+  });
+  t1.join();
+  t2.join();
+
+  EXPECT_EQ(ChaosReportHash(raft_alone), ChaosReportHash(raft_concurrent));
+  EXPECT_EQ(ChaosReportHash(nb_alone), ChaosReportHash(nb_concurrent));
+  EXPECT_EQ(raft_alone.committed_prefix_hash,
+            raft_concurrent.committed_prefix_hash);
+  EXPECT_EQ(nb_alone.committed_prefix_hash,
+            nb_concurrent.committed_prefix_hash);
+  EXPECT_EQ(raft_alone.fault_fingerprint, raft_concurrent.fault_fingerprint);
+  EXPECT_EQ(nb_alone.fault_fingerprint, nb_concurrent.fault_fingerprint);
+  EXPECT_EQ(raft_alone.sim_events, raft_concurrent.sim_events);
+  EXPECT_EQ(nb_alone.sim_events, nb_concurrent.sim_events);
+}
+
+TEST(ConcurrentIsolationTest, LogClockIsThreadLocal) {
+  // A substrate created on another thread installs its clock on THAT
+  // thread only; this thread's hook must stay untouched throughout, and
+  // the worker's hook must be gone once its cluster dies (so a later
+  // substrate on a reused worker thread installs its own).
+  ASSERT_FALSE(HasLogClock());
+  bool worker_saw_clock = false;
+  bool worker_clock_cleared = false;
+  std::thread t([&] {
+    {
+      harness::ClusterConfig config;
+      config.num_nodes = 3;
+      config.num_clients = 1;
+      config.client_max_requests = 1;
+      harness::Cluster cluster(config);
+      worker_saw_clock = HasLogClock();
+    }
+    worker_clock_cleared = !HasLogClock();
+  });
+  // Main thread can install and own its own clock concurrently.
+  SetLogClock([]() { return int64_t{123}; });
+  t.join();
+  EXPECT_TRUE(worker_saw_clock);
+  EXPECT_TRUE(worker_clock_cleared);
+  EXPECT_TRUE(HasLogClock());
+  ClearLogClock();
+  EXPECT_FALSE(HasLogClock());
+}
+
+TEST(ConcurrentIsolationTest, SchedulerMatrixMatchesSerialHashes) {
+  // Four cells (2 protocols x 2 seeds) through the scheduler at four
+  // workers vs the plain serial loop, compared cell by cell.
+  std::vector<ChaosCell> cells;
+  for (const raft::Protocol protocol :
+       {raft::Protocol::kRaft, raft::Protocol::kNbRaft}) {
+    for (const uint64_t seed : {2u, 9u}) {
+      cells.push_back(IsolationCell(protocol, seed));
+    }
+  }
+  std::vector<uint64_t> serial_hashes;
+  for (const ChaosCell& cell : cells) {
+    ChaosRunner runner(cell.config, cell.plan, cell.options);
+    serial_hashes.push_back(ChaosReportHash(runner.Run()));
+  }
+  const ChaosSweepOutcome outcome = RunChaosSweep(cells, /*workers=*/4);
+  ASSERT_EQ(outcome.reports.size(), cells.size());
+  EXPECT_TRUE(outcome.ok()) << outcome.sweep.Summary();
+  for (size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(outcome.sweep.results[i].output.fingerprint, serial_hashes[i])
+        << cells[i].name;
+  }
+}
+
+}  // namespace
+}  // namespace nbraft::chaos

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Compare a fresh bench_sim_kernel report against the committed baseline.
+"""Compare fresh bench reports against the committed baseline.
 
 Exits non-zero if any workload's events_per_sec falls below --floor times
 the baseline. The workloads run a fixed seed for a fixed virtual-time span,
@@ -7,14 +7,26 @@ so event counts are deterministic and only wall time varies with the
 machine; the floor is deliberately loose so the check catches accidental
 algorithmic regressions in the kernel, not runner noise.
 
-Usage: check_perf_smoke.py BASELINE.json FRESH.json [--floor 0.5]
+Multiple FRESH files are unioned by workload name (later files win on
+collisions) — so one committed baseline can gate several benches at once,
+e.g. BENCH_sim_kernel.json carrying both the kernel workloads and the
+sweep_scale_w<N> rows produced by bench_sweep_scale.
+
+Usage: check_perf_smoke.py BASELINE.json FRESH.json [FRESH2.json ...]
+       [--floor 0.5]
        [--check-events]  (only when both reports used the same span/mode)
        [--history FILE]  (append one JSONL record per run for trending)
+       [--baseline-update PATH]  (rewrite PATH with the baseline's
+           workloads replaced by the fresh measurements, stamped with
+           host/date/commit provenance; exits 0 without gating)
 """
 
 import argparse
+import datetime
 import json
 import os
+import socket
+import subprocess
 import sys
 import time
 
@@ -22,13 +34,58 @@ import time
 def load(path):
     with open(path) as f:
         data = json.load(f)
-    return {w["name"]: w for w in data["workloads"]}
+    return data, {w["name"]: w for w in data["workloads"]}
+
+
+def provenance():
+    commit = ""
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=False,
+        ).stdout.strip()
+    except OSError:
+        pass
+    return {
+        "host": socket.gethostname(),
+        "date": datetime.date.today().isoformat(),
+        "commit": os.environ.get("GITHUB_SHA", "")[:12] or commit,
+        "nproc": os.cpu_count(),
+    }
+
+
+def update_baseline(path, base_doc, base, fresh):
+    """Rewrite the baseline with fresh numbers, keeping workload order.
+
+    Baseline workloads keep their position and are overwritten by the
+    fresh measurement of the same name; fresh workloads the baseline has
+    never seen are appended, so a new bench's rows land in the committed
+    file on the first --baseline-update after wiring it up.
+    """
+    merged = []
+    for w in base_doc["workloads"]:
+        merged.append(fresh.get(w["name"], w))
+    for name, w in fresh.items():
+        if name not in base:
+            merged.append(w)
+    out = dict(base_doc)
+    out["workloads"] = merged
+    # JSON has no comments; a provenance field keeps the "where did these
+    # numbers come from" answer inside the committed artifact itself.
+    out["comment"] = provenance()
+    with open(path, "w") as f:
+        json.dump(out, f, indent=2)
+        f.write("\n")
+    print(f"baseline {path} updated: {len(merged)} workloads, "
+          f"provenance {out['comment']}")
 
 
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("baseline")
-    parser.add_argument("fresh")
+    parser.add_argument("fresh", nargs="+")
     parser.add_argument("--floor", type=float, default=0.5)
     parser.add_argument(
         "--check-events",
@@ -41,10 +98,23 @@ def main():
         help="append a JSONL record (per-workload ev/s + ratio vs baseline) "
         "so CI can archive a bench history across commits",
     )
+    parser.add_argument(
+        "--baseline-update",
+        metavar="PATH",
+        help="instead of gating, rewrite PATH with the fresh measurements "
+        "(union of all FRESH files) plus host/date/commit provenance",
+    )
     args = parser.parse_args()
 
-    base = load(args.baseline)
-    fresh = load(args.fresh)
+    base_doc, base = load(args.baseline)
+    fresh = {}
+    for path in args.fresh:
+        fresh.update(load(path)[1])
+
+    if args.baseline_update:
+        update_baseline(args.baseline_update, base_doc, base, fresh)
+        sys.exit(0)
+
     failed = False
     history = []
     for name, b in base.items():
