@@ -18,6 +18,7 @@ const char* FaultKindName(FaultKind kind) {
     case FaultKind::kDisruptiveServer: return "disruptive_server";
     case FaultKind::kVoteWithholder: return "vote_withholder";
     case FaultKind::kElectionStorm: return "election_storm";
+    case FaultKind::kMembershipChurn: return "membership_churn";
   }
   return "unknown";
 }

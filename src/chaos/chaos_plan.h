@@ -34,6 +34,12 @@ enum class FaultKind : uint8_t {
   kVoteWithholder,    ///< One node refuses every vote/pre-vote request.
   kElectionStorm,     ///< Repeatedly isolate whoever is currently leader,
                       ///< forcing back-to-back elections.
+  kMembershipChurn,   ///< Remove a non-leader voter from its group's
+                      ///< configuration (joint consensus), then add the host
+                      ///< back as a learner when the fault heals — recovery
+                      ///< catch-up re-promotes it. Needs an elastic cluster
+                      ///< (ClusterConfig::initial_voters > 0); not in the
+                      ///< default mix (fingerprint-pinned).
 };
 
 const char* FaultKindName(FaultKind kind);

@@ -39,6 +39,30 @@ ChaosRunner::ChaosRunner(harness::ClusterConfig config, ChaosPlan plan,
   if (!options_.postmortem_dir.empty()) config_.journal = true;
 }
 
+void ChaosRunner::RunMembershipActions(int round) {
+  std::vector<MembershipAction> still_pending;
+  for (const MembershipAction& action : pending_membership_) {
+    if (action.round > round) {
+      still_pending.push_back(action);
+      continue;
+    }
+    bool applied = false;
+    switch (action.kind) {
+      case MembershipAction::Kind::kAdd:
+        applied = cluster_->AddNode(action.group, action.host);
+        break;
+      case MembershipAction::Kind::kRemove:
+        applied = cluster_->RemoveNode(action.group, action.host);
+        break;
+      case MembershipAction::Kind::kTransfer:
+        applied = cluster_->TransferLeadership(action.group, action.host);
+        break;
+    }
+    if (!applied) still_pending.push_back(action);
+  }
+  pending_membership_ = std::move(still_pending);
+}
+
 bool ChaosRunner::AnyViolations() const {
   for (const auto& oracle : oracles_) {
     if (!oracle->ok()) return true;
@@ -96,8 +120,10 @@ ChaosReport ChaosRunner::Run() {
   cluster_->AwaitLeader(options_.leader_wait);
   cluster_->StartClients();
   nemesis_->Start();
+  pending_membership_ = options_.membership_plan;
 
   for (int round = 0; round < options_.rounds; ++round) {
+    RunMembershipActions(round);
     cluster_->RunFor(options_.round_length);
     if (mid_run_hook_) mid_run_hook_(cluster_.get(), round);
     for (auto& oracle : oracles_) oracle->CheckMidRun();
@@ -110,7 +136,34 @@ ChaosReport ChaosRunner::Run() {
   nemesis_->Stop();
   nemesis_->HealAll();
   cluster_->AwaitLeader(options_.leader_wait);
+  // One final boundary: scripted actions that kept failing mid-fault get a
+  // healed cluster to land on, with the whole drain to commit.
+  RunMembershipActions(options_.rounds);
   cluster_->RunFor(options_.drain);
+  // Membership settle: changes are serialized (one joint window at a
+  // time), so scripted actions that collided with an in-flight change —
+  // or a joint window a heal-time re-add opened late — get bounded extra
+  // boundaries to land and close before the final audit. A cluster with
+  // nothing pending exits immediately, so fixed-roster runs are
+  // untouched; a genuinely wedged change still surfaces as a pending
+  // action count and an open joint at quiescence.
+  for (int settle = 0; settle < options_.settle_rounds; ++settle) {
+    bool in_flight = !pending_membership_.empty();
+    for (int g = 0; g < cluster_->num_groups(); ++g) {
+      raft::RaftNode* lead = cluster_->leader(g);
+      if (lead == nullptr) {
+        // Only elastic clusters wait out a missing leader here; a fixed
+        // roster keeps its historical quiescence point bit-for-bit.
+        if (config_.initial_voters > 0) in_flight = true;
+      } else if (lead->membership()->active() &&
+                 lead->membership()->ChangeInFlight()) {
+        in_flight = true;
+      }
+    }
+    if (!in_flight) break;
+    RunMembershipActions(options_.rounds);
+    cluster_->RunFor(options_.settle_slice);
+  }
   for (auto& oracle : oracles_) oracle->CheckFinal();
   MaybeDumpPostmortem();
 
@@ -130,6 +183,7 @@ ChaosReport ChaosRunner::Run() {
   }
   report.postmortem_jsonl = postmortem_jsonl_;
   report.postmortem_timeline = postmortem_timeline_;
+  report.membership_actions_pending = pending_membership_.size();
 
   const harness::ClusterStats stats = cluster_->Collect();
   report.requests_issued = stats.requests_issued;
@@ -144,6 +198,9 @@ ChaosReport ChaosRunner::Run() {
       report.prevotes_rejected += ns.prevotes_rejected;
       report.leader_depositions += ns.leader_depositions;
       report.checkquorum_stepdowns += ns.checkquorum_stepdowns;
+      report.config_changes += ns.config_changes;
+      report.learners_promoted += ns.learners_promoted;
+      report.transfers += ns.transfers;
       if (!node->crashed()) {
         report.max_term = std::max(
             report.max_term, static_cast<uint64_t>(node->current_term()));

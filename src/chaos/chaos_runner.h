@@ -50,6 +50,14 @@ struct ChaosReport {
   /// feeds the sweep scheduler's aggregate ev/s accounting.
   uint64_t sim_events = 0;
 
+  // Membership aggregates (summed over all nodes; nonzero only on elastic
+  // runs). The membership chaos sweep reads these.
+  uint64_t config_changes = 0;
+  uint64_t learners_promoted = 0;
+  uint64_t transfers = 0;
+  /// Scripted membership actions that never applied (ran out of retries).
+  size_t membership_actions_pending = 0;
+
   /// Paths of the automatic flight-recorder dump, written the moment the
   /// oracle first reported a violation (empty when the run was clean or no
   /// postmortem_dir was configured).
@@ -67,6 +75,24 @@ struct ChaosReport {
 /// and runs the full safety oracle against the final state.
 class ChaosRunner {
  public:
+  /// One scripted membership change, executed at a round boundary (before
+  /// that round's faults run). An action that fails — leaderless group,
+  /// another change in flight — is retried at every later boundary,
+  /// including one final boundary after HealAll, then counted in
+  /// ChaosReport::membership_actions_pending if it never landed. Requires
+  /// an elastic cluster (ClusterConfig::initial_voters > 0).
+  struct MembershipAction {
+    enum class Kind {
+      kAdd,       ///< Cluster::AddNode(group, host): learner join + catch-up.
+      kRemove,    ///< Cluster::RemoveNode(group, host): joint-consensus exit.
+      kTransfer,  ///< Cluster::TransferLeadership(group, host): TimeoutNow.
+    };
+    int round = 0;  ///< First boundary at which to attempt the action.
+    Kind kind = Kind::kAdd;
+    int group = 0;
+    int host = 0;
+  };
+
   struct Options {
     int rounds = 6;
     SimDuration round_length = Millis(250);
@@ -87,6 +113,19 @@ class ChaosRunner {
     bool expect_zero_depositions = false;
     /// Bound on live-max-term minus last-led-term; < 0 disables.
     int64_t max_term_inflation = -1;
+
+    /// Scripted elastic-membership schedule (see MembershipAction). Runs
+    /// interleaved with — and unsynchronized against — the fault plan,
+    /// which is the point: config changes must stay safe mid-fault.
+    std::vector<MembershipAction> membership_plan;
+
+    /// Post-drain membership settle: while scripted actions are still
+    /// pending or a joint window is open (changes serialize, so a retry
+    /// must wait out its predecessor's commit), up to settle_rounds extra
+    /// boundaries of settle_slice each run before the final audit. A run
+    /// with nothing in flight skips the loop entirely.
+    int settle_rounds = 20;
+    SimDuration settle_slice = Millis(200);
   };
 
   ChaosRunner(harness::ClusterConfig config, ChaosPlan plan,
@@ -113,6 +152,10 @@ class ChaosRunner {
   }
 
  private:
+  /// Attempts every scheduled membership action due at boundary `round`;
+  /// failures stay pending for the next boundary.
+  void RunMembershipActions(int round);
+
   /// Dumps the journal once, the first time the oracle holds violations.
   void MaybeDumpPostmortem();
 
@@ -129,6 +172,7 @@ class ChaosRunner {
   /// its own group's intra-group safety invariants.
   std::vector<std::unique_ptr<SafetyOracle>> oracles_;
   std::function<void(harness::Cluster*, int round)> mid_run_hook_;
+  std::vector<MembershipAction> pending_membership_;
   std::string postmortem_jsonl_;
   std::string postmortem_timeline_;
   bool ran_ = false;

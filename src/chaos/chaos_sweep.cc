@@ -41,6 +41,10 @@ uint64_t ChaosReportHash(const ChaosReport& report) {
   MixU64(&h, report.leader_depositions);
   MixU64(&h, report.checkquorum_stepdowns);
   MixU64(&h, report.max_term);
+  MixU64(&h, report.config_changes);
+  MixU64(&h, report.learners_promoted);
+  MixU64(&h, report.transfers);
+  MixU64(&h, report.membership_actions_pending);
   MixU64(&h, static_cast<uint64_t>(report.final_commit_index));
   MixU64(&h, report.committed_prefix_hash);
   MixU64(&h, report.sim_events);

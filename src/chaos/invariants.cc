@@ -162,7 +162,21 @@ void SafetyOracle::CheckFinal() {
     }
   }
 
+  // Membership safety at quiescence: the final leader must hold the vote
+  // under its own active configuration. A self-removing leader may keep
+  // leading only until the final config commits, which the drain outlasts;
+  // a leader outside its own voter set past that point means a removed
+  // node's vote decided an election.
+  if (leader->membership()->active() && !leader->membership()->SelfIsVoter()) {
+    AddViolation(Tag() + "membership: final leader " +
+                 std::to_string(leader->id()) +
+                 " is not a voter in its own configuration " +
+                 leader->membership()->config().Encode());
+  }
+
   // Committed request ids: union over every live node's committed prefix.
+  // Config entries carry the kConfigClientId sentinel, not a client
+  // request id, and are excluded from every id set below.
   std::set<uint64_t> committed_ids;
   for (int n = 0; n < cluster_->num_nodes(); ++n) {
     const raft::RaftNode* node = cluster_->node(group_, n);
@@ -172,12 +186,20 @@ void SafetyOracle::CheckFinal() {
         std::min(node->commit_index(), nlog.LastIndex());
     for (storage::LogIndex i = nlog.FirstIndex(); i <= upto; ++i) {
       const auto& e = nlog.AtUnchecked(i);
-      if (e.client_id != net::kInvalidNode) committed_ids.insert(e.request_id);
+      if (e.client_id != net::kInvalidNode &&
+          e.client_id != raft::kConfigClientId) {
+        committed_ids.insert(e.request_id);
+      }
     }
   }
 
-  // Per-node full-log id sets, for the live-quorum presence check.
-  const int quorum = cluster_->num_nodes() / 2 + 1;
+  // Per-node full-log id sets, for the live-quorum presence check. An
+  // elastic cluster's host count includes unstarted spares and removed
+  // nodes; durability is owed to a majority of the *current* voters.
+  int quorum = cluster_->num_nodes() / 2 + 1;
+  if (leader->membership()->active()) {
+    quorum = leader->membership()->CountQuorum();
+  }
   std::vector<std::set<uint64_t>> node_ids(
       static_cast<size_t>(cluster_->num_nodes()));
   for (int n = 0; n < cluster_->num_nodes(); ++n) {
@@ -187,7 +209,8 @@ void SafetyOracle::CheckFinal() {
     for (storage::LogIndex i = nlog.FirstIndex(); i <= nlog.LastIndex();
          ++i) {
       const auto& e = nlog.AtUnchecked(i);
-      if (e.client_id != net::kInvalidNode) {
+      if (e.client_id != net::kInvalidNode &&
+          e.client_id != raft::kConfigClientId) {
         node_ids[static_cast<size_t>(n)].insert(e.request_id);
       }
     }

@@ -34,6 +34,13 @@ namespace nbraft::chaos {
 ///    durably stored — via a strong accept, a counted self-vote or a
 ///    remembered vote grant) must sit inside its fsynced prefix. Checked
 ///    from the cluster crash observer, before the node's memory is wiped.
+///  - Membership safety (elastic runs): election safety spans configuration
+///    boundaries (the leader-per-term history never resets), committed
+///    entries survive config changes (leader completeness + the acked-write
+///    audit, with the quorum taken from the final voter roster rather than
+///    the physical host count), and the final leader holds the vote under
+///    its own active configuration — a leader outside its own voter set at
+///    quiescence means a removed node's vote decided an election.
 ///  - Term accounting (always on): every term value above the initial one
 ///    is minted by exactly one StartElection bump, so the max current_term
 ///    of any live node can never exceed the sum of terms_started across

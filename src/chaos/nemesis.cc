@@ -41,6 +41,8 @@ const char* InstantName(FaultKind kind, bool heal) {
     case FaultKind::kVoteWithholder:
     case FaultKind::kElectionStorm:
       return obs::names::kChaosAdversary;
+    case FaultKind::kMembershipChurn:
+      return obs::names::kChaosFault;
   }
   return obs::names::kChaosFault;
 }
@@ -134,6 +136,9 @@ void Nemesis::InjectOne() {
     case FaultKind::kElectionStorm:
       InjectElectionStorm(duration);
       break;
+    case FaultKind::kMembershipChurn:
+      InjectMembershipChurn(duration);
+      break;
   }
 }
 
@@ -170,7 +175,11 @@ void Nemesis::Record(FaultKind kind, bool heal, net::NodeId a, net::NodeId b,
 net::NodeId Nemesis::PickUpNode() {
   std::vector<net::NodeId> up;
   for (int i = 0; i < cluster_->num_nodes(); ++i) {
-    if (!cluster_->node(i)->crashed()) up.push_back(i);
+    // Elastic clusters keep spare hosts unstarted; faulting them is a
+    // no-op, so they are not in the draw (fixed rosters start everyone).
+    if (cluster_->node(i)->started() && !cluster_->node(i)->crashed()) {
+      up.push_back(i);
+    }
   }
   if (up.empty()) return net::kInvalidNode;
   return up[static_cast<size_t>(rng_.NextBounded(up.size()))];
@@ -179,7 +188,9 @@ net::NodeId Nemesis::PickUpNode() {
 bool Nemesis::PickUpPair(net::NodeId* a, net::NodeId* b) {
   std::vector<net::NodeId> up;
   for (int i = 0; i < cluster_->num_nodes(); ++i) {
-    if (!cluster_->node(i)->crashed()) up.push_back(i);
+    if (cluster_->node(i)->started() && !cluster_->node(i)->crashed()) {
+      up.push_back(i);
+    }
   }
   if (up.size() < 2) return false;
   const size_t ia = static_cast<size_t>(rng_.NextBounded(up.size()));
@@ -407,7 +418,10 @@ bool Nemesis::InjectDisruptiveServer(SimDuration duration) {
   if (leader == nullptr) return false;
   std::vector<net::NodeId> eligible;
   for (int i = 0; i < cluster_->num_nodes(); ++i) {
-    if (i == leader->id() || cluster_->node(i)->crashed()) continue;
+    if (i == leader->id() || !cluster_->node(i)->started() ||
+        cluster_->node(i)->crashed()) {
+      continue;
+    }
     const auto already = [i](const ActiveIsolation& iso) {
       return iso.victim == i;
     };
@@ -506,6 +520,70 @@ bool Nemesis::InjectElectionStorm(SimDuration duration) {
   return true;
 }
 
+bool Nemesis::InjectMembershipChurn(SimDuration duration) {
+  // Shrink-then-regrow: drop a non-leader voter out of a random group's
+  // configuration via joint consensus, then add the host back as a learner
+  // when the fault heals — the leader's recovery STM drives catch-up and
+  // re-promotion to voter.
+  if (cluster_->config().initial_voters <= 0) return false;
+  const int group = static_cast<int>(
+      rng_.NextBounded(static_cast<size_t>(cluster_->num_groups())));
+  raft::RaftNode* leader = cluster_->leader(group);
+  if (leader == nullptr || !leader->membership()->active()) return false;
+  if (leader->membership()->ChangeInFlight()) return false;
+  const raft::Configuration& config = leader->membership()->config();
+  // Never shrink below 3 voters: removing from a 2-voter roster leaves a
+  // singleton quorum, and the point of this fault is churn, not collapse.
+  if (config.voters.size() < 3) return false;
+  std::vector<int> eligible;
+  for (int i = 0; i < cluster_->num_nodes(); ++i) {
+    raft::RaftNode* replica = cluster_->node(group, i);
+    if (!replica->started() || replica->crashed()) continue;
+    if (replica->id() == leader->id()) continue;
+    if (!config.IsVoter(replica->id())) continue;
+    const auto pending = [group, i](const ActiveChurn& c) {
+      return c.group == group && c.host == i;
+    };
+    if (std::find_if(active_churn_.begin(), active_churn_.end(), pending) !=
+        active_churn_.end()) {
+      continue;
+    }
+    eligible.push_back(i);
+  }
+  if (eligible.empty()) return false;
+  const int victim =
+      eligible[static_cast<size_t>(rng_.NextBounded(eligible.size()))];
+  if (!cluster_->RemoveNode(group, victim)) return false;
+  const uint64_t id = next_cut_id_++;
+  active_churn_.push_back({id, group, victim});
+  Record(FaultKind::kMembershipChurn, /*heal=*/false, victim, group, duration);
+  cluster_->sim()->After(duration,
+                         [this, id]() { ReaddChurned(id, /*attempts_left=*/16); });
+  return true;
+}
+
+void Nemesis::ReaddChurned(uint64_t id, int attempts_left) {
+  auto it = std::find_if(active_churn_.begin(), active_churn_.end(),
+                         [id](const ActiveChurn& c) { return c.id == id; });
+  if (it == active_churn_.end()) return;  // HealAll got there first.
+  if (cluster_->AddNode(it->group, it->host)) {
+    Record(FaultKind::kMembershipChurn, /*heal=*/true, it->host, it->group, 0);
+    active_churn_.erase(it);
+    return;
+  }
+  if (attempts_left <= 1) {
+    // Leaderless too long or changes kept colliding; the roster stays one
+    // voter smaller, which is degraded but safe.
+    Record(FaultKind::kMembershipChurn, /*heal=*/true, it->host, it->group,
+           -1);
+    active_churn_.erase(it);
+    return;
+  }
+  cluster_->sim()->After(Millis(50), [this, id, attempts_left]() {
+    ReaddChurned(id, attempts_left - 1);
+  });
+}
+
 void Nemesis::HealAll() {
   for (net::NodeId victim : crashed_) {
     cluster_->RestartNode(victim);
@@ -564,6 +642,15 @@ void Nemesis::HealAll() {
            0);
   }
   active_disk_stall_.clear();
+  for (const ActiveChurn& churn : active_churn_) {
+    // Best-effort re-add: the runner's post-heal AwaitLeader + drain give
+    // the proposal room to land; failure leaves a smaller, still-safe
+    // roster (param -1 marks the give-up, as in ReaddChurned).
+    const bool ok = cluster_->AddNode(churn.group, churn.host);
+    Record(FaultKind::kMembershipChurn, /*heal=*/true, churn.host,
+           churn.group, ok ? 0 : -1);
+  }
+  active_churn_.clear();
 }
 
 }  // namespace nbraft::chaos

@@ -69,6 +69,13 @@ class Nemesis {
   bool InjectDisruptiveServer(SimDuration duration);
   bool InjectVoteWithholder(SimDuration duration);
   bool InjectElectionStorm(SimDuration duration);
+  // Membership-level fault (elastic clusters only).
+  bool InjectMembershipChurn(SimDuration duration);
+  /// Heal half of kMembershipChurn: adds the removed host back as a
+  /// learner, retrying while the group is leaderless or another change is
+  /// in flight. Gives up (recording the heal with param -1) after
+  /// `attempts_left` tries — the roster just stays one voter smaller.
+  void ReaddChurned(uint64_t id, int attempts_left);
 
   /// Cuts (or restores) every link between `victim` and the other
   /// replicas — full isolation, the adversaries' shared primitive.
@@ -118,6 +125,14 @@ class Nemesis {
   std::vector<ActiveIsolation> active_isolations_;
   /// Per-node outstanding vote-withholder effects (refcounted like skew).
   std::unordered_map<net::NodeId, int> active_withhold_;
+
+  /// Hosts churned out of a group's configuration and not yet re-added.
+  struct ActiveChurn {
+    uint64_t id;
+    int group;
+    int host;
+  };
+  std::vector<ActiveChurn> active_churn_;
 
   std::vector<FaultRecord> records_;
 };

@@ -52,6 +52,12 @@ Cluster::Cluster(ClusterConfig config)
   options.snapshot_keep_tail = config_.snapshot_keep_tail;
   options.wal_dir = config_.wal_dir;
   options.disk = config_.disk;
+  if (config_.promotion_lag >= 0) {
+    options.membership.promotion_lag = config_.promotion_lag;
+  }
+  if (config_.recovery_batch >= 0) {
+    options.membership.recovery_max_entries_per_round = config_.recovery_batch;
+  }
   options.backend_factory = config_.backend_factory;
   if (config_.profile == SystemProfile::kRatis) {
     // Ratis holds a heavier lock during indexing (paper Sec. II-F), moving
@@ -108,6 +114,23 @@ Cluster::Cluster(ClusterConfig config)
           [this, g](storage::Term term, net::NodeId id) {
             router_->ObserveLeader(g, id, term);
           });
+    }
+  }
+  if (config_.initial_voters > 0) {
+    // A node leaving the configuration must not keep routing traffic: any
+    // replica observing a roster that no longer knows the hinted leader
+    // drops the hint (its term watermark stays, so stale re-observations
+    // of the removed node cannot resurrect it).
+    for (int g = 0; g < num_groups(); ++g) {
+      for (int r = 0; r < config_.num_nodes; ++r) {
+        groups_[static_cast<size_t>(g)]->node(r)->add_config_observer(
+            [this, g](const raft::Configuration& cfg) {
+              const net::NodeId hint = router_->LeaderHint(g);
+              if (hint != net::kInvalidNode && !cfg.Knows(hint)) {
+                router_->InvalidateIfLeaderIs(g, hint);
+              }
+            });
+      }
     }
   }
 
@@ -363,8 +386,11 @@ void Cluster::Start() {
   // placement spreads initial leaders across hosts (group 0 -> node 0,
   // exactly the historical single-group bootstrap).
   for (int g = 0; g < num_groups(); ++g) {
+    // Elastic mode: only the initial voters are running — bootstrap among
+    // them (fixed roster: all num_nodes hosts, the historical behavior).
+    const int started = groups_[static_cast<size_t>(g)]->initial_started();
     raft::RaftNode* first = groups_[static_cast<size_t>(g)]->node(
-        shard_map_.BootstrapLeaderReplica(g, config_.num_nodes));
+        shard_map_.BootstrapLeaderReplica(g, started));
     sim()->After(Millis(1), [first]() { first->TriggerElection(); });
   }
 }
@@ -394,7 +420,10 @@ void Cluster::CrashNode(int i) {
   // Audit observers see pre-crash state for every co-resident replica
   // before any of them is wiped.
   for (const auto& observer : crash_observers_) observer(i);
-  for (auto& group : groups_) group->node(i)->Crash();
+  // Never-started replicas (elastic spares) have nothing to crash.
+  for (auto& group : groups_) {
+    if (group->node(i)->started()) group->node(i)->Crash();
+  }
   // Leader hints pointing at this host are now dead ends.
   for (int g = 0; g < num_groups(); ++g) {
     const net::NodeId hint = router_->LeaderHint(g);
@@ -406,7 +435,11 @@ void Cluster::CrashNode(int i) {
 }
 
 void Cluster::RestartNode(int i) {
-  for (auto& group : groups_) group->node(i)->Restart();
+  for (auto& group : groups_) {
+    if (group->node(i)->started() && group->node(i)->crashed()) {
+      group->node(i)->Restart();
+    }
+  }
 }
 
 int Cluster::CrashLeader() { return CrashLeader(0); }
@@ -425,6 +458,48 @@ int Cluster::CrashLeader(int group) {
 
 void Cluster::StopAllClients() {
   for (auto& group : groups_) group->StopClients();
+}
+
+bool Cluster::AddNode(int g, int i) {
+  GroupRuntime* grp = groups_[static_cast<size_t>(g)].get();
+  grp->StartReplica(i);  // Idempotent; the proposal below may still fail.
+  raft::RaftNode* lead = grp->leader();
+  if (lead == nullptr || !lead->membership()->active()) return false;
+  return lead->membership()->ProposeAddLearner(grp->Endpoint(i));
+}
+
+bool Cluster::RemoveNode(int g, int i) {
+  GroupRuntime* grp = groups_[static_cast<size_t>(g)].get();
+  raft::RaftNode* lead = grp->leader();
+  if (lead == nullptr || !lead->membership()->active()) return false;
+  const net::NodeId target = grp->Endpoint(i);
+  if (lead->id() == target) {
+    // Hand leadership to another live voter first; the caller retries the
+    // removal once the transfer lands (self-removal through the joint
+    // change works too, but an orderly hand-off keeps the group available
+    // through the shrink).
+    for (int r = 0; r < grp->num_nodes(); ++r) {
+      if (r == i) continue;
+      raft::RaftNode* peer = grp->node(r);
+      if (!peer->started() || peer->crashed()) continue;
+      if (!lead->membership()->IsVoter(grp->Endpoint(r))) continue;
+      lead->election()->TransferLeadership(grp->Endpoint(r));
+      return false;
+    }
+    return false;
+  }
+  return lead->membership()->ProposeRemove(target);
+}
+
+bool Cluster::TransferLeadership(int g, int i) {
+  GroupRuntime* grp = groups_[static_cast<size_t>(g)].get();
+  raft::RaftNode* lead = grp->leader();
+  if (lead == nullptr) return false;
+  const net::NodeId target = grp->Endpoint(i);
+  if (lead->id() == target) return false;  // Already leads.
+  raft::RaftNode* node = grp->node(i);
+  if (!node->started() || node->crashed()) return false;
+  return lead->election()->TransferLeadership(target);
 }
 
 void Cluster::SetTimerSkewAt(int i, double skew) {

@@ -89,6 +89,30 @@ class Cluster {
   /// leader and clients together).
   void StopAllClients();
 
+  // ---- Elastic membership (requires ClusterConfig::initial_voters > 0) --
+
+  /// Starts host `i`'s replica of group `g` (if not yet running) and asks
+  /// the group's leader to add it as a learner; the leader's recovery
+  /// state machine then drives catch-up and (by default) promotion to
+  /// voter. Returns false when the group has no leader, membership is
+  /// dormant, or another change is still in flight — retry later.
+  bool AddNode(int g, int i);
+  bool AddNode(int i) { return AddNode(0, i); }
+
+  /// Removes host `i`'s replica from group `g`'s configuration (joint
+  /// consensus for voters, a plain entry for learners). Removing the
+  /// sitting leader transfers leadership away instead and returns false —
+  /// retry once the new leader is seated. Returns false likewise with no
+  /// leader or a change in flight.
+  bool RemoveNode(int g, int i);
+  bool RemoveNode(int i) { return RemoveNode(0, i); }
+
+  /// Asks group `g`'s leader to hand leadership to host `i`'s replica
+  /// (TimeoutNow). Returns false with no leader, an ineligible target, or
+  /// when `i` already leads.
+  bool TransferLeadership(int g, int i);
+  bool TransferLeadership(int i) { return TransferLeadership(0, i); }
+
   // ---- Host-scoped chaos faults (all co-resident replicas) ----
 
   /// Election-timer skew on every replica of host `i`.

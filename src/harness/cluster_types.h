@@ -37,6 +37,27 @@ struct ClusterConfig {
   /// ShardMap hash salt (series/key -> group placement).
   uint64_t shard_salt = 0;
 
+  /// Dynamic membership (elastic scale-out). 0 (the default) keeps the
+  /// membership engine dormant: all `num_nodes` hosts start as a fixed
+  /// voter roster, bit-identical to the historical cluster. > 0 activates
+  /// joint-consensus membership on every replica: the first
+  /// `initial_voters` hosts start as voters and the rest are constructed
+  /// (same rng draw sequence) but left unstarted until Cluster::AddNode
+  /// brings them in as learners.
+  int initial_voters = 0;
+
+  /// Learner promotion-lag override for elastic clusters; < 0 keeps the
+  /// MembershipOptions default. The WEAK_ACCEPT x learner-lag study
+  /// sweeps this to trade promotion latency against the amount of tail
+  /// the joint change must finish replicating.
+  int64_t promotion_lag = -1;
+
+  /// Catch-up throttle override (max entries per recovery round); < 0
+  /// keeps the MembershipOptions default. A joining learner only
+  /// converges when this bandwidth exceeds the ingest rate, so elastic
+  /// benches provision it above the offered load.
+  int recovery_batch = -1;
+
   raft::Protocol protocol = raft::Protocol::kRaft;
   int window_size = 10000;     ///< Paper default for NB variants.
   size_t payload_size = 4096;  ///< Paper default 4 KB.

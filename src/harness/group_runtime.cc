@@ -25,7 +25,9 @@ GroupRuntime::GroupRuntime(Substrate* substrate, const ClusterConfig& config,
                            int group, const raft::RaftOptions& base_options,
                            const raft::RaftClient::Options& client_options,
                            const ShardMap& shard_map)
-    : substrate_(substrate), group_(group) {
+    : substrate_(substrate),
+      group_(group),
+      initial_voters_(config.initial_voters) {
   const int N = config.num_nodes;
   for (int r = 0; r < N; ++r) {
     server_ids_.push_back(ReplicaEndpoint(group_, N, r));
@@ -40,6 +42,19 @@ GroupRuntime::GroupRuntime(Substrate* substrate, const ClusterConfig& config,
     }
   }
 
+  // Elastic mode: every replica bootstraps the same initial voter roster
+  // (the first `initial_voters` hosts); later hosts join as learners via
+  // Cluster::AddNode. Empty (the default) keeps membership dormant.
+  std::string initial_config;
+  if (initial_voters_ > 0) {
+    raft::Configuration cfg;
+    const int voters = std::min(initial_voters_, N);
+    for (int r = 0; r < voters; ++r) {
+      cfg.voters.push_back(server_ids_[static_cast<size_t>(r)]);
+    }
+    initial_config = cfg.Encode();
+  }
+
   for (int r = 0; r < N; ++r) {
     std::vector<net::NodeId> peers;
     for (int j = 0; j < N; ++j) {
@@ -47,6 +62,7 @@ GroupRuntime::GroupRuntime(Substrate* substrate, const ClusterConfig& config,
     }
     raft::RaftOptions options = base_options;
     options.group_id = group_;
+    options.membership.initial_config = initial_config;
     options.shared_cpu = substrate_->host_cpu(r);
     options.disk.shared_io_lane = substrate_->host_io_lane(r);
     auto node = std::make_unique<raft::RaftNode>(
@@ -106,8 +122,21 @@ int GroupRuntime::ReplicaOf(net::NodeId endpoint) const {
   return -1;
 }
 
+int GroupRuntime::initial_started() const {
+  if (initial_voters_ <= 0) return num_nodes();
+  return std::min(initial_voters_, num_nodes());
+}
+
+bool GroupRuntime::StartReplica(int r) {
+  raft::RaftNode* node = nodes_[static_cast<size_t>(r)].get();
+  if (node->started()) return false;
+  node->Start();
+  return true;
+}
+
 void GroupRuntime::StartNodes() {
-  for (auto& node : nodes_) node->Start();
+  const int start = initial_started();
+  for (int r = 0; r < start; ++r) nodes_[static_cast<size_t>(r)]->Start();
 }
 
 void GroupRuntime::StartClients() {
@@ -225,7 +254,10 @@ uint64_t GroupRuntime::CountUniqueRequestsInLog(int replica) const {
   std::set<uint64_t> ids;
   for (storage::LogIndex i = log.FirstIndex(); i <= log.LastIndex(); ++i) {
     const auto& e = log.AtUnchecked(i);
-    if (e.client_id != net::kInvalidNode) ids.insert(e.request_id);
+    if (e.client_id != net::kInvalidNode &&
+        e.client_id != raft::kConfigClientId) {
+      ids.insert(e.request_id);
+    }
   }
   return ids.size();
 }

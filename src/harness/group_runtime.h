@@ -69,6 +69,20 @@ class GroupRuntime {
   /// Replica ordinal of a leader endpoint of this group, or -1.
   int ReplicaOf(net::NodeId endpoint) const;
 
+  /// Endpoint id of replica `r` (this group's slice of the id space).
+  net::NodeId Endpoint(int r) const {
+    return server_ids_[static_cast<size_t>(r)];
+  }
+
+  /// Replicas started by StartNodes(): all of them in fixed-roster mode,
+  /// the first `initial_voters` with elastic membership (the rest wait
+  /// for Cluster::AddNode).
+  int initial_started() const;
+
+  /// Starts replica `r` if it is not running yet (elastic scale-out).
+  /// Returns false when it was already started.
+  bool StartReplica(int r);
+
   void StartNodes();
   void StartClients();
   void StopClients();
@@ -89,6 +103,8 @@ class GroupRuntime {
  private:
   Substrate* substrate_;
   const int group_;
+  /// ClusterConfig::initial_voters (0 = fixed roster, start everything).
+  const int initial_voters_;
   std::vector<net::NodeId> server_ids_;
   std::vector<std::unique_ptr<raft::RaftNode>> nodes_;
   std::vector<std::unique_ptr<raft::RaftClient>> clients_;

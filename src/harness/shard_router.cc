@@ -41,6 +41,12 @@ void ShardRouter::InvalidateLeader(int group) {
   ++hints_invalidated_;
 }
 
+void ShardRouter::InvalidateIfLeaderIs(int group, net::NodeId node) {
+  if (node == net::kInvalidNode) return;
+  if (hints_[static_cast<size_t>(group)].leader != node) return;
+  InvalidateLeader(group);
+}
+
 std::vector<ShardRouter::Move> ShardRouter::PlanRebalance(
     const std::vector<int>& leader_node, int num_nodes) {
   std::vector<Move> moves;

@@ -67,6 +67,13 @@ class ShardRouter {
   /// the deposed leader cannot resurrect the hint.
   void InvalidateLeader(int group);
 
+  /// Drops the hint for `group` only when it currently points at `node` —
+  /// the membership hook: a node leaving the configuration must stop
+  /// receiving routed traffic, but a hint already pointing elsewhere is
+  /// fresher than the removal and survives. Keeps the term watermark like
+  /// InvalidateLeader.
+  void InvalidateIfLeaderIs(int group, net::NodeId node);
+
   // ---- Leader placement ----
 
   /// Deterministic greedy balancing: given each group's current leader

@@ -42,8 +42,7 @@ std::vector<storage::LogIndex> VoteList::AddStrongUpTo(
   for (auto& [index, tuple] : tuples_) {
     if (index > last_index) break;
     tuple.strong.insert(node);
-    if (tuple.term == current_term &&
-        static_cast<int>(tuple.strong.size()) >= tuple.required) {
+    if (tuple.term == current_term && StrongSatisfied(tuple)) {
       commit_up_to = index;
     }
   }
@@ -61,8 +60,7 @@ std::vector<storage::LogIndex> VoteList::PopCommittable(
   while (!tuples_.empty()) {
     const auto& [index, tuple] = *tuples_.begin();
     if (index > up_to) break;
-    if (tuple.term == current_term &&
-        static_cast<int>(tuple.strong.size()) < tuple.required) {
+    if (tuple.term == current_term && !StrongSatisfied(tuple)) {
       break;
     }
     committed.push_back(index);
@@ -80,8 +78,7 @@ std::vector<storage::LogIndex> VoteList::CollectCommittable(
     storage::Term current_term) {
   storage::LogIndex commit_up_to = -1;
   for (const auto& [index, tuple] : tuples_) {
-    if (tuple.term == current_term &&
-        static_cast<int>(tuple.strong.size()) >= tuple.required) {
+    if (tuple.term == current_term && StrongSatisfied(tuple)) {
       commit_up_to = index;
     }
   }

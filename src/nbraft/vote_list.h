@@ -88,13 +88,28 @@ class VoteList {
     return tuples_.empty() ? -1 : tuples_.begin()->first;
   }
 
+  /// Overrides the count-based commit rule with a set-based one (dynamic
+  /// membership: a joint configuration needs majorities of both voter
+  /// generations, which no single count can express). Unset (the
+  /// default), commit stays `strong.size() >= required` exactly as
+  /// before. Weak-accept client notification keeps the count rule either
+  /// way — it is a latency signal, not a safety decision.
+  using CommitCheck = std::function<bool(const Tuple&)>;
+  void set_commit_check(CommitCheck check) { commit_check_ = std::move(check); }
+
  private:
+  bool StrongSatisfied(const Tuple& tuple) const {
+    if (commit_check_) return commit_check_(tuple);
+    return static_cast<int>(tuple.strong.size()) >= tuple.required;
+  }
+
   /// Removes the committable prefix given the highest satisfied
   /// current-term index has been identified.
   std::vector<storage::LogIndex> PopCommittable(storage::LogIndex up_to,
                                                 storage::Term current_term);
 
   std::map<storage::LogIndex, Tuple> tuples_;
+  CommitCheck commit_check_;
 };
 
 }  // namespace nbraft::raft

@@ -49,6 +49,8 @@ const char* JournalRpcName(JournalRpc rpc) {
       return "read";
     case JournalRpc::kReadResp:
       return "read_resp";
+    case JournalRpc::kTimeoutNow:
+      return "timeout_now";
     case JournalRpc::kUnknown:
       break;
   }
@@ -111,6 +113,20 @@ const char* Journal::KindName(JournalEventKind kind) {
       return "chaos.fault_heal";
     case JournalEventKind::kViolation:
       return "chaos.invariant_violate";
+    case JournalEventKind::kConfigPropose:
+      return "membership.config_propose";
+    case JournalEventKind::kConfigJoint:
+      return "membership.joint_enter";
+    case JournalEventKind::kConfigCommit:
+      return "membership.config_commit";
+    case JournalEventKind::kLearnerAdd:
+      return "membership.learner_add";
+    case JournalEventKind::kLearnerPromote:
+      return "membership.learner_promote";
+    case JournalEventKind::kTransferStart:
+      return "membership.transfer_start";
+    case JournalEventKind::kTransferDone:
+      return "membership.transfer_done";
     case JournalEventKind::kNumKinds:
       break;
   }
@@ -259,8 +275,10 @@ std::string Journal::FormatEvent(const JournalEvent& e,
   line += name_of(e.node) + ": ";
   switch (e.kind) {
     case JournalEventKind::kRoleChange: {
-      const char* role = e.a == 2 ? "leader" : e.a == 1 ? "candidate"
-                                                        : "follower";
+      const char* role = e.a == 3   ? "learner"
+                         : e.a == 2 ? "leader"
+                         : e.a == 1 ? "candidate"
+                                    : "follower";
       line += "role -> " + std::string(role) + " (term " +
               std::to_string(e.b) + ")";
       break;
@@ -365,6 +383,33 @@ std::string Journal::FormatEvent(const JournalEvent& e,
       break;
     case JournalEventKind::kViolation:
       line += "!!! INVARIANT VIOLATION #" + std::to_string(e.a) + " !!!";
+      break;
+    case JournalEventKind::kConfigPropose:
+      line += std::string("proposes ") + (e.b != 0 ? "joint " : "") +
+              "config at idx " + std::to_string(e.a);
+      break;
+    case JournalEventKind::kConfigJoint:
+      line += "enters joint config at idx " + std::to_string(e.a) + " (" +
+              std::to_string(e.b) + " new voters)";
+      break;
+    case JournalEventKind::kConfigCommit:
+      line += "config committed at idx " + std::to_string(e.a) + " (" +
+              std::to_string(e.b) + " voters)";
+      break;
+    case JournalEventKind::kLearnerAdd:
+      line += "adds learner " + name_of(e.peer) + " at idx " +
+              std::to_string(e.a);
+      break;
+    case JournalEventKind::kLearnerPromote:
+      line += "promotes learner " + name_of(e.peer) + " at idx " +
+              std::to_string(e.a);
+      break;
+    case JournalEventKind::kTransferStart:
+      line += "transfers leadership to " + name_of(e.peer) + ", term " +
+              std::to_string(e.a);
+      break;
+    case JournalEventKind::kTransferDone:
+      line += "leadership transfer complete, term " + std::to_string(e.a);
       break;
     case JournalEventKind::kNumKinds:
       line += "?";

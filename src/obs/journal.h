@@ -50,6 +50,14 @@ enum class JournalEventKind : uint8_t {
   kNemesisFault,  ///< a = FaultKind, b = param; peer = second victim.
   kNemesisHeal,   ///< a = FaultKind, b = param.
   kViolation,     ///< a = violation ordinal (oracle's running count).
+  // membership: dynamic reconfiguration (joint consensus + learners).
+  kConfigPropose,   ///< a = config entry index, b = 1 when joint.
+  kConfigJoint,     ///< a = joint entry index, b = |C_new|.
+  kConfigCommit,    ///< a = config entry index, b = |voters|.
+  kLearnerAdd,      ///< peer = learner, a = config entry index.
+  kLearnerPromote,  ///< peer = learner, a = joint entry index.
+  kTransferStart,   ///< peer = target, a = term.
+  kTransferDone,    ///< a = term of the transferred leadership.
   kNumKinds
 };
 
@@ -69,6 +77,7 @@ enum class JournalRpc : int8_t {
   kInstallSnapshotResp,
   kRead,
   kReadResp,
+  kTimeoutNow,
 };
 
 const char* JournalRpcName(JournalRpc rpc);

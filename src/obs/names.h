@@ -14,7 +14,7 @@ namespace nbraft::obs::names {
 ///     subsystem.noun_verb[.nodeN]
 ///
 /// where `subsystem` is one of {net, raft, election, storage, client,
-/// chaos, sim}
+/// chaos, sim, membership}
 /// and the optional `.nodeN` suffix scopes a per-replica series. The
 /// constants below are the single source of truth: call sites reference
 /// them instead of re-typing string literals, and the conformance test
@@ -56,6 +56,15 @@ inline constexpr char kChaosFault[] = "chaos.fault_inject";
 /// election storm) — attacks on the protocol itself rather than the
 /// environment.
 inline constexpr char kChaosAdversary[] = "chaos.adversary_inject";
+
+// ---- Membership events (dynamic reconfiguration journal kinds) ----
+inline constexpr char kConfigPropose[] = "membership.config_propose";
+inline constexpr char kConfigJoint[] = "membership.joint_enter";
+inline constexpr char kConfigCommit[] = "membership.config_commit";
+inline constexpr char kLearnerAdd[] = "membership.learner_add";
+inline constexpr char kLearnerPromote[] = "membership.learner_promote";
+inline constexpr char kTransferStart[] = "membership.transfer_start";
+inline constexpr char kTransferDone[] = "membership.transfer_done";
 
 // ---- Registry counters ----
 inline constexpr char kChaosFaultsInjected[] = "chaos.faults_injected";
@@ -99,7 +108,10 @@ inline constexpr const char* kAllNames[] = {
     kDispatcherQueueDepth, kRpcsInflight,
     kNicBytesSent,       kBarriersPending,
     kReplicationLag,     kCpuQueueDepth,
-    kIoQueueDepth,
+    kIoQueueDepth,       kConfigPropose,
+    kConfigJoint,        kConfigCommit,
+    kLearnerAdd,         kLearnerPromote,
+    kTransferStart,      kTransferDone,
 };
 
 inline constexpr size_t kAllNamesCount =

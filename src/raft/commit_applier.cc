@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "raft/membership.h"
 #include "raft/replication_pipeline.h"
 
 namespace nbraft::raft {
@@ -54,7 +55,13 @@ void CommitApplier::CommitIndices(
     }
     ctx_->pipeline()->ReleaseFragments(index);
   }
-  if (!indices.empty()) ApplyReadyEntries();
+  if (indices.empty()) return;
+  if (MembershipEngine* m = ctx_->membership(); m != nullptr && m->active()) {
+    // Committed config entries take their cluster-level effect here (the
+    // joint -> final hand-off, leader self-removal step-down).
+    m->OnCommitAdvanced(core.commit_index);
+  }
+  ApplyReadyEntries();
 }
 
 void CommitApplier::ApplyReadyEntries() {
@@ -67,12 +74,20 @@ void CommitApplier::ApplyReadyEntries() {
     storage::LogEntry entry = std::move(entry_or).value();
 
     // Fragments cannot be executed (no full command bytes): CRaft gives up
-    // follower reads. The apply index still advances.
+    // follower reads. The apply index still advances. Config entries are
+    // cluster metadata, not state-machine commands — their payload is the
+    // encoded roster and must never reach Apply().
     SimDuration cost = 0;
-    if (!entry.IsFragment() && !entry.payload.empty()) {
+    if (!entry.IsFragment() && !entry.payload.empty() &&
+        entry.client_id != kConfigClientId) {
       cost = ctx_->mutable_state_machine()->Apply(entry);
     }
-    if (ctx_->options().release_applied_payloads) {
+    // Config entries keep their payload: a learner joining later catches
+    // up by re-reading the log tail, and an encoded roster that was
+    // released to save memory would replicate as an undecodable blank.
+    // They are rare and tiny, so the memory bound is unaffected.
+    if (ctx_->options().release_applied_payloads &&
+        entry.client_id != kConfigClientId) {
       ctx_->log().ReleasePayloadAt(index);
     }
 
@@ -91,7 +106,8 @@ void CommitApplier::ApplyReadyEntries() {
           }
           ctx_->TracePhase(metrics::Phase::kApply, ctx_->Now() - cost,
                            ctx_->Now(), term, index, request_id);
-          if (c.role == Role::kLeader && client != net::kInvalidNode) {
+          if (c.role == Role::kLeader && client != net::kInvalidNode &&
+              client != kConfigClientId) {
             ClientResponse cresp;
             cresp.state = AcceptState::kStrongAccept;
             cresp.request_id = request_id;
@@ -139,7 +155,8 @@ void CommitApplier::FailPendingClientEntries(storage::Term new_term,
   while (!vote_list_.empty()) {
     const storage::LogIndex index = vote_list_.FrontIndex();
     const auto e = ctx_->log().At(index);
-    if (e.ok() && e->client_id != net::kInvalidNode) {
+    if (e.ok() && e->client_id != net::kInvalidNode &&
+        e->client_id != kConfigClientId) {
       ClientResponse cresp;
       cresp.state = AcceptState::kLeaderChanged;
       cresp.request_id = e->request_id;

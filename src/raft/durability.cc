@@ -79,6 +79,16 @@ void DurabilityCoordinator::PersistCompact(storage::LogIndex upto) {
   AfterAppend(log_->AppendCompact(upto), marker.EncodedSize());
 }
 
+void DurabilityCoordinator::PersistConfig(const std::string& encoded,
+                                          storage::LogIndex at) {
+  if (log_ == nullptr) return;
+  storage::LogEntry marker;
+  marker.index = storage::DurableLog::kConfigMarker;
+  marker.term = at;
+  marker.payload = nbraft::Buffer(encoded);
+  AfterAppend(log_->AppendConfig(encoded, at), marker.EncodedSize());
+}
+
 void DurabilityCoordinator::AfterAppend(const Status& appended,
                                         size_t encoded_size) {
   if (!appended.ok()) {

@@ -59,6 +59,7 @@ class DurabilityCoordinator {
   void PersistSnapshot(storage::LogIndex index, storage::Term term,
                        const nbraft::Buffer& data, bool installed);
   void PersistCompact(storage::LogIndex upto);
+  void PersistConfig(const std::string& encoded, storage::LogIndex at);
 
   /// Runs `fn` once everything persisted so far is covered by a completed
   /// fsync — inline when it already is.

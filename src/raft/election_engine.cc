@@ -6,13 +6,32 @@
 #include "obs/names.h"
 #include "raft/commit_applier.h"
 #include "raft/follower_ingress.h"
+#include "raft/membership.h"
+#include "raft/recovery_stm.h"
 #include "raft/replication_pipeline.h"
 
 namespace nbraft::raft {
 
+bool ElectionEngine::VoteQuorumReached(const std::set<net::NodeId>& votes) {
+  MembershipEngine* m = ctx_->membership();
+  if (m != nullptr && m->active()) return m->QuorumSatisfied(votes);
+  return static_cast<int>(votes.size()) >= ctx_->quorum();
+}
+
+bool ElectionEngine::IsPassive() {
+  MembershipEngine* m = ctx_->membership();
+  return m != nullptr && m->active() && !m->SelfIsVoter();
+}
+
 void ElectionEngine::ArmElectionTimer() {
   sim::Simulator* sim = ctx_->simulator();
   sim->Cancel(election_timer_);
+  if (IsPassive()) {
+    // A learner (or a node voted out of the config) never campaigns: the
+    // timer stays disarmed until a config change restores its vote.
+    election_timer_ = sim::kInvalidEventId;
+    return;
+  }
   const SimDuration base = ctx_->options().election_timeout;
   // Jitter is drawn per arming (never cached per node): each retry gets a
   // fresh draw from [base, 2*base), which is what breaks split-vote /
@@ -51,6 +70,7 @@ void ElectionEngine::OnCrash() {
   AbortPreVote();
   CancelCheckQuorumTimer();
   last_leader_contact_ = 0;
+  transfer_pending_ = false;
 }
 
 bool ElectionEngine::LeaseHeld() const {
@@ -65,6 +85,7 @@ bool ElectionEngine::LeaseHeld() const {
 
 void ElectionEngine::StartPreVote() {
   CoreState& core = ctx_->core();
+  if (IsPassive()) return;
   if (core.heal_quarantine) {
     // Same sit-out as StartElection: a corruption-truncated log must not
     // seek leadership, not even tentatively.
@@ -85,7 +106,7 @@ void ElectionEngine::StartPreVote() {
     j->Record(obs::JournalEventKind::kPreVoteStart, ctx_->id(), -1,
               static_cast<int64_t>(prevote_term_));
   }
-  if (static_cast<int>(prevotes_received_.size()) >= ctx_->quorum()) {
+  if (VoteQuorumReached(prevotes_received_)) {
     AbortPreVote();
     StartElection();
     return;
@@ -106,6 +127,7 @@ void ElectionEngine::StartPreVote() {
 
 void ElectionEngine::StartElection() {
   CoreState& core = ctx_->core();
+  if (IsPassive()) return;
   if (core.heal_quarantine) {
     // A corruption-truncated log must not seek leadership: it may be
     // missing committed entries, and electing it (or splitting votes with
@@ -140,7 +162,7 @@ void ElectionEngine::StartElection() {
               static_cast<int64_t>(core.current_term));
   }
 
-  if (static_cast<int>(votes_received_.size()) >= ctx_->quorum()) {
+  if (VoteQuorumReached(votes_received_)) {
     BecomeLeader();
     return;
   }
@@ -293,13 +315,18 @@ void ElectionEngine::HandleVoteResponse(RequestVoteResponse resp) {
     return;
   }
   if (resp.pre_vote) {
+    // A candidate whose election stalled (votes lease-rejected, quorum
+    // never formed) re-canvasses from its timer, so a canvass may
+    // legitimately be in flight in either role; only the stale-term check
+    // decides validity. Gating on follower here would drop every grant a
+    // stuck candidate receives and wedge it at its current term forever.
     if (!prevote_in_progress_ || !resp.granted ||
-        core.role != Role::kFollower ||
+        (core.role != Role::kFollower && core.role != Role::kCandidate) ||
         prevote_term_ != core.current_term + 1) {
       return;  // Stale canvass (term moved on) or a plain rejection.
     }
     prevotes_received_.insert(resp.from);
-    if (static_cast<int>(prevotes_received_.size()) >= ctx_->quorum()) {
+    if (VoteQuorumReached(prevotes_received_)) {
       AbortPreVote();
       StartElection();
     }
@@ -310,9 +337,41 @@ void ElectionEngine::HandleVoteResponse(RequestVoteResponse resp) {
     return;
   }
   votes_received_.insert(resp.from);
-  if (static_cast<int>(votes_received_.size()) >= ctx_->quorum()) {
+  if (VoteQuorumReached(votes_received_)) {
     BecomeLeader();
   }
+}
+
+bool ElectionEngine::TransferLeadership(net::NodeId target) {
+  CoreState& core = ctx_->core();
+  if (core.role != Role::kLeader || target == ctx_->id()) return false;
+  MembershipEngine* m = ctx_->membership();
+  if (m != nullptr && m->active() && !m->IsVoter(target)) return false;
+  ++ctx_->stats().transfers;
+  NBRAFT_LOG(Info) << "node " << ctx_->id()
+                   << " transfers leadership to node " << target << ", term "
+                   << core.current_term;
+  if (obs::Journal* j = ctx_->journal(); j != nullptr) {
+    j->Record(obs::JournalEventKind::kTransferStart, ctx_->id(),
+              static_cast<int32_t>(target),
+              static_cast<int64_t>(core.current_term));
+  }
+  TimeoutNowRequest req;
+  req.term = core.current_term;
+  req.leader = ctx_->id();
+  ctx_->SendTo(target, req.WireSize(), req);
+  return true;
+}
+
+void ElectionEngine::HandleTimeoutNow(const TimeoutNowRequest& req) {
+  CoreState& core = ctx_->core();
+  if (req.term < core.current_term || core.role == Role::kLeader) return;
+  if (core.heal_quarantine || IsPassive()) return;
+  // An explicit leader instruction: campaign immediately, bypassing both
+  // the randomized timeout and the PreVote canvass. The term bump deposes
+  // the old leader the moment our vote request reaches it.
+  transfer_pending_ = true;
+  StartElection();
 }
 
 void ElectionEngine::ArmCheckQuorumTimer() {
@@ -383,7 +442,12 @@ void ElectionEngine::BecomeLeader() {
     j->Record(obs::JournalEventKind::kRoleChange, ctx_->id(), -1,
               static_cast<int64_t>(Role::kLeader),
               static_cast<int64_t>(core.current_term));
+    if (transfer_pending_) {
+      j->Record(obs::JournalEventKind::kTransferDone, ctx_->id(), -1,
+                static_cast<int64_t>(core.current_term));
+    }
   }
+  transfer_pending_ = false;
   for (const LeaderObserver& observer : leader_observers_) {
     observer(core.current_term, ctx_->id());
   }
@@ -435,18 +499,32 @@ void ElectionEngine::BecomeLeader() {
   }
   ctx_->applier()->OnLeaderAppended(noop.index);
   ctx_->pipeline()->ReplicateEntry(noop);
-  if (ctx_->peer_ids().empty() && ctx_->DurabilityInstant()) {
+  MembershipEngine* m = ctx_->membership();
+  const bool solo_quorum = (m != nullptr && m->active())
+                               ? m->QuorumSatisfied({ctx_->id()})
+                               : ctx_->peer_ids().empty();
+  if (solo_quorum && ctx_->DurabilityInstant()) {
     ctx_->applier()->CommitIndices(
         vote_list.AddStrongUpTo(noop.index, ctx_->id(), core.current_term));
   }
 
   ctx_->pipeline()->BroadcastHeartbeat();
+
+  // Resume catch-up for any learners the committed config already names:
+  // recovery tracking is leader-side soft state, so a new leader rebuilds
+  // it from the configuration.
+  if (m != nullptr && m->active() && ctx_->recovery() != nullptr) {
+    for (net::NodeId learner : m->config().learners) {
+      if (learner != ctx_->id()) ctx_->recovery()->StartRecovery(learner);
+    }
+  }
 }
 
 void ElectionEngine::StepDown(storage::Term term, net::NodeId leader) {
   CoreState& core = ctx_->core();
   const bool was_leader = core.role == Role::kLeader;
-  const bool role_changes = core.role != Role::kFollower;
+  const Role new_role = IsPassive() ? Role::kLearner : Role::kFollower;
+  const bool role_changes = core.role != new_role;
   const storage::Term old_term = core.current_term;
   if (was_leader && term > old_term) {
     // A live leader forced down by a higher term — the deposition the
@@ -462,7 +540,7 @@ void ElectionEngine::StepDown(storage::Term term, net::NodeId leader) {
     }
     if (role_changes) {
       j->Record(obs::JournalEventKind::kRoleChange, ctx_->id(), -1,
-                static_cast<int64_t>(Role::kFollower),
+                static_cast<int64_t>(new_role),
                 static_cast<int64_t>(std::max(term, old_term)));
     }
   }
@@ -476,15 +554,17 @@ void ElectionEngine::StepDown(storage::Term term, net::NodeId leader) {
     ctx_->pipeline()->ResetLeaderState();
     ctx_->applier()->ResetLeaderState();
     CancelCheckQuorumTimer();
+    if (ctx_->recovery() != nullptr) ctx_->recovery()->StopAll();
   }
   if (term > core.current_term) {
     core.current_term = term;
     core.voted_for = net::kInvalidNode;
     ctx_->PersistHardState();
   }
-  core.role = Role::kFollower;
+  core.role = new_role;
   core.leader = leader;
   votes_received_.clear();
+  transfer_pending_ = false;
   AbortPreVote();
   ArmElectionTimer();
 }
@@ -492,7 +572,8 @@ void ElectionEngine::StepDown(storage::Term term, net::NodeId leader) {
 void ElectionEngine::NoteLeaderContact(storage::Term term,
                                        net::NodeId leader) {
   CoreState& core = ctx_->core();
-  if (term > core.current_term || core.role != Role::kFollower) {
+  if (term > core.current_term ||
+      (core.role != Role::kFollower && core.role != Role::kLearner)) {
     StepDown(term, leader);
   }
   core.leader = leader;

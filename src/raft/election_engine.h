@@ -57,6 +57,17 @@ class ElectionEngine {
   void HandleRequestVote(RequestVoteRequest req);
   void HandleVoteResponse(RequestVoteResponse resp);
 
+  /// Leadership transfer (graceful drain): sends TimeoutNow to `target`,
+  /// which campaigns immediately and deposes this leader with its higher
+  /// term. Returns false when this node is not the leader or the target
+  /// is not an eligible voter.
+  bool TransferLeadership(net::NodeId target);
+
+  /// Target side of TransferLeadership: campaign now, skipping both the
+  /// election timeout and any PreVote canvass (the transfer is an explicit
+  /// leader instruction, so the disruptive-server shield does not apply).
+  void HandleTimeoutNow(const TimeoutNowRequest& req);
+
   /// Reverts to follower in `term` (> current steps the term forward),
   /// failing pending client entries and resetting the leader-side engines
   /// when this node was the leader.
@@ -99,6 +110,14 @@ class ElectionEngine {
  private:
   void BecomeLeader();
   void StartPreVote();
+  /// Whether `votes` decides the election under the active configuration:
+  /// joint configs need majorities of both voter generations (votes from
+  /// removed nodes and learners are filtered out), fixed rosters keep the
+  /// plain count >= quorum rule.
+  bool VoteQuorumReached(const std::set<net::NodeId>& votes);
+  /// True while this node holds no vote in the active configuration
+  /// (learner, or removed): it neither campaigns nor arms election timers.
+  bool IsPassive();
   void HandlePreVoteRequest(const RequestVoteRequest& req);
   void AbortPreVote() {
     prevote_in_progress_ = false;
@@ -129,6 +148,10 @@ class ElectionEngine {
   sim::EventId check_quorum_timer_ = sim::kInvalidEventId;
 
   bool withhold_votes_ = false;
+
+  /// Set when a TimeoutNow told this node to campaign: the next
+  /// BecomeLeader journals the transfer as completed.
+  bool transfer_pending_ = false;
 };
 
 }  // namespace nbraft::raft

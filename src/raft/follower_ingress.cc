@@ -7,8 +7,22 @@
 #include "obs/names.h"
 #include "raft/commit_applier.h"
 #include "raft/election_engine.h"
+#include "raft/membership.h"
 
 namespace nbraft::raft {
+namespace {
+
+/// A configuration entry takes effect the moment it is appended — on
+/// followers exactly as on the leader (Raft Sec. 6: a server always uses
+/// the latest configuration in its log).
+void NoteConfigAppended(NodeContext* ctx, const storage::LogEntry& entry) {
+  if (entry.client_id != kConfigClientId) return;
+  if (MembershipEngine* m = ctx->membership(); m != nullptr && m->active()) {
+    m->OnConfigAppended(entry);
+  }
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Window trace adapter
@@ -228,6 +242,12 @@ void FollowerIngress::ProcessEntry(const AppendEntriesRequest& req,
 
   if (diff <= ctx_->options().window_size) {
     // Sec. III-A2: cache in the sliding window, reply WEAK_ACCEPT.
+    if (core.role == Role::kLearner) {
+      // The WEAK_ACCEPT × catch-up hazard under study: a learner's window
+      // frontier runs ahead of its contiguous durable prefix by `diff`.
+      ctx_->stats().learner_gap_max = std::max<uint64_t>(
+          ctx_->stats().learner_gap_max, static_cast<uint64_t>(diff));
+    }
     recv_time_[entry.index] = received_at;
     window_.Insert(entry);
     ctx_->log_lock_lane()->Consume(ctx_->options().costs.window_insert_cost);
@@ -254,6 +274,7 @@ SimDuration FollowerIngress::AppendChained(storage::LogEntry entry,
   const SimDuration cost = FollowerAppendCost(entry);
   ctx_->PersistEntry(entry);
   const storage::LogIndex index = entry.index;
+  NoteConfigAppended(ctx_, entry);
   ctx_->log().Append(std::move(entry));
   ++ctx_->stats().entries_appended;
   recv_time_.erase(index);
@@ -276,6 +297,7 @@ SimDuration FollowerIngress::FlushWindowPrefix() {
     }
     cost += FollowerAppendCost(e);
     ctx_->PersistEntry(e);
+    NoteConfigAppended(ctx_, e);
     log.Append(std::move(e));
     ++ctx_->stats().entries_appended;
   }
@@ -394,6 +416,7 @@ void FollowerIngress::AppendAndFlush(const AppendEntriesRequest& req,
 
   SimDuration cost = FollowerAppendCost(entry);
   ctx_->PersistEntry(entry);
+  NoteConfigAppended(ctx_, entry);
   log.Append(std::move(entry));
   ++ctx_->stats().entries_appended;
   recv_time_.erase(req.entry.index);
@@ -581,6 +604,19 @@ void FollowerIngress::HandleInstallSnapshot(InstallSnapshotRequest req) {
   held_entries_.clear();
   recv_time_.clear();
   ++ctx_->stats().snapshots_installed;
+  if (!req.config.empty()) {
+    // The snapshot carries the roster in effect at its last index — the
+    // only way a fresh learner bootstrapped by snapshot learns who else
+    // exists.
+    if (MembershipEngine* m = ctx_->membership();
+        m != nullptr && m->active()) {
+      Configuration cfg;
+      if (Configuration::Decode(req.config, &cfg)) {
+        m->InstallRecovered(cfg, req.last_included_index);
+        ctx_->PersistConfig(cfg.Encode(), req.last_included_index);
+      }
+    }
+  }
   if (core.heal_quarantine && core.commit_index >= core.heal_target) {
     // The installed snapshot covers the lost committed prefix.
     ctx_->ClearHealQuarantine();

@@ -109,8 +109,12 @@ struct InstallSnapshotRequest {
   storage::LogIndex last_included_index = 0;
   storage::Term last_included_term = 0;
   std::string data;  ///< StateMachine::Snapshot() bytes.
+  /// Encoded Configuration in effect at last_included_index (dynamic
+  /// membership only; a fresh learner bootstrapped by snapshot must learn
+  /// the roster too). Empty on fixed rosters — and then wire-free.
+  std::string config;
 
-  size_t WireSize() const { return data.size() + 96; }
+  size_t WireSize() const { return data.size() + config.size() + 96; }
 };
 
 struct InstallSnapshotResponse {
@@ -144,6 +148,17 @@ struct ClientResponse {
   net::NodeId leader_hint = net::kInvalidNode;
 
   size_t WireSize() const { return 64; }
+};
+
+/// Leader -> chosen successor: leadership transfer (graceful drain). The
+/// target skips the election timeout (and any PreVote canvass) and
+/// campaigns immediately; with an up-to-date target the handoff completes
+/// in one round trip of vote traffic.
+struct TimeoutNowRequest {
+  storage::Term term = 0;
+  net::NodeId leader = net::kInvalidNode;
+
+  size_t WireSize() const { return 48; }
 };
 
 /// Follower-read query (supported by Raft/NB-Raft, not by CRaft variants —

@@ -1,0 +1,13 @@
+#include "raft/node_context.h"
+
+#include "raft/membership.h"
+
+namespace nbraft::raft {
+
+int NodeContext::quorum() {
+  MembershipEngine* m = membership();
+  if (m != nullptr && m->active()) return m->CountQuorum();
+  return cluster_size() / 2 + 1;
+}
+
+}  // namespace nbraft::raft

@@ -24,6 +24,8 @@ class ElectionEngine;
 class ReplicationPipeline;
 class FollowerIngress;
 class CommitApplier;
+class MembershipEngine;
+class RecoveryStm;
 
 /// The consensus core state every engine reads and mutates. Owned by the
 /// router (RaftNode); the engines access it through NodeContext::core() so
@@ -89,6 +91,12 @@ class NodeContext {
   /// is not journaled — every hook is then a single branch. Non-pure so
   /// engine-level mocks don't have to implement it.
   virtual obs::Journal* journal() const { return nullptr; }
+  /// The dynamic-membership engine, or nullptr (the default, same
+  /// contract as journal()): every membership hook guards on it being
+  /// present *and* active, so fixed-roster behavior is untouched.
+  virtual MembershipEngine* membership() { return nullptr; }
+  /// The learner catch-up state machine (leader side), or nullptr.
+  virtual RecoveryStm* recovery() { return nullptr; }
   virtual tsdb::StateMachine* mutable_state_machine() = 0;
 
   // ---- Modelled CPU lanes ----
@@ -114,6 +122,14 @@ class NodeContext {
   virtual void PersistSnapshot(storage::LogIndex index, storage::Term term,
                                const std::string& data, bool installed) = 0;
   virtual void PersistCompact(storage::LogIndex upto) = 0;
+  /// Records the active configuration as a durable marker (last wins on
+  /// recovery). Only called with dynamic membership active; the default
+  /// no-op keeps engine-level mocks and fixed rosters untouched.
+  virtual void PersistConfig(const std::string& encoded,
+                             storage::LogIndex at) {
+    (void)encoded;
+    (void)at;
+  }
 
   // ---- Durability barrier ----
   /// True when persistence completes inline without consuming virtual
@@ -154,7 +170,11 @@ class NodeContext {
   int cluster_size() const {
     return static_cast<int>(peer_ids().size()) + 1;
   }
-  int quorum() const { return cluster_size() / 2 + 1; }
+  /// Count-based majority. Fixed rosters: (peers + 1) / 2 + 1, exactly as
+  /// always. With dynamic membership active it delegates to the live
+  /// configuration (the larger generation's majority during a joint
+  /// window); set-based joint decisions use MembershipEngine directly.
+  int quorum();  // Defined in node_context.cc (needs MembershipEngine).
 };
 
 /// Cost helper shared by the engines' KiB-proportional CPU charges.

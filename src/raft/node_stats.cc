@@ -34,6 +34,10 @@ std::string NodeStats::ToJson() const {
   out += counter("snapshots_taken", snapshots_taken);
   out += counter("snapshots_sent", snapshots_sent);
   out += counter("snapshots_installed", snapshots_installed);
+  out += counter("config_changes", config_changes);
+  out += counter("learners_promoted", learners_promoted);
+  out += counter("transfers", transfers);
+  out += counter("learner_gap_max", learner_gap_max);
   out += counter("fsyncs_completed", fsyncs_completed);
   out += counter("disk_bytes_written", disk_bytes_written);
   out += counter("storage_failures", storage_failures);

@@ -60,6 +60,15 @@ struct NodeStats {
   uint64_t snapshots_sent = 0;
   uint64_t snapshots_installed = 0;
 
+  // Dynamic membership (zero on fixed rosters — the dormant default).
+  uint64_t config_changes = 0;     ///< Final (non-joint) configs committed.
+  uint64_t learners_promoted = 0;  ///< Learner -> voter promotions proposed.
+  uint64_t transfers = 0;          ///< Leadership transfers initiated.
+  /// Largest window gap (frontier - contiguous durable prefix) observed
+  /// while this node was a learner: the WEAK_ACCEPT × catch-up hazard the
+  /// recovery STM's promotion rule must see through.
+  uint64_t learner_gap_max = 0;
+
   // Durable storage (non-zero only with a real WAL or a simulated disk).
   uint64_t fsyncs_completed = 0;
   uint64_t disk_bytes_written = 0;  ///< Encoded record bytes staged.

@@ -41,6 +41,9 @@ obs::JournalRpc DecodeRpc(const net::PayloadRef& payload) {
   if (payload.Get<ReadResponse>() != nullptr) {
     return obs::JournalRpc::kReadResp;
   }
+  if (payload.Get<TimeoutNowRequest>() != nullptr) {
+    return obs::JournalRpc::kTimeoutNow;
+  }
   return obs::JournalRpc::kUnknown;
 }
 
@@ -82,6 +85,8 @@ RaftNode::RaftNode(sim::Simulator* sim, net::SimNetwork* network,
   pipeline_ = std::make_unique<ReplicationPipeline>(this);
   ingress_ = std::make_unique<FollowerIngress>(this);
   applier_ = std::make_unique<CommitApplier>(this);
+  membership_ = std::make_unique<MembershipEngine>(this);
+  recovery_ = std::make_unique<RecoveryStm>(this);
 }
 
 RaftNode::~RaftNode() = default;
@@ -89,6 +94,7 @@ RaftNode::~RaftNode() = default;
 void RaftNode::Start() {
   NBRAFT_CHECK(!started_);
   started_ = true;
+  BootstrapMembership();
   if (!options_.wal_dir.empty()) {
     RecoverFromWal();
   } else if (options_.disk.enabled) {
@@ -121,6 +127,7 @@ void RaftNode::Crash() {
   pipeline_->ResetLeaderState();
   ingress_->OnCrash();
   applier_->ResetLeaderState();
+  recovery_->StopAll();
   core_.role = Role::kFollower;
   core_.leader = net::kInvalidNode;
   if (durable_ != nullptr) {
@@ -147,6 +154,7 @@ void RaftNode::Crash() {
     core_.heal_target = 0;
     storage_failure_pending_ = false;
     state_machine_->Reset();
+    membership_->Reset();
     // Power loss on the simulated disk: un-fsynced records tear off.
     if (disk_ != nullptr) disk_->Crash();
   }
@@ -159,6 +167,10 @@ void RaftNode::Restart() {
   }
   core_.crashed = false;
   ++core_.epoch;
+  // Durable-mode crashes wiped the volatile membership state; re-bootstrap
+  // before recovery so recovered config markers land on an active engine
+  // (and win over the construction-time roster).
+  BootstrapMembership();
   if (!options_.wal_dir.empty()) {
     RecoverFromWal();
   } else if (disk_ != nullptr) {
@@ -172,6 +184,15 @@ void RaftNode::Restart() {
 void RaftNode::TriggerElection() {
   if (core_.crashed) return;
   election_->StartElection();
+}
+
+void RaftNode::BootstrapMembership() {
+  if (membership_->active()) return;  // Modelled-durability crash kept it.
+  if (options_.membership.initial_config.empty()) return;
+  Configuration cfg;
+  NBRAFT_CHECK(Configuration::Decode(options_.membership.initial_config, &cfg))
+      << "bad initial_config: " << options_.membership.initial_config;
+  membership_->Bootstrap(cfg);
 }
 
 // ---------------------------------------------------------------------------
@@ -235,6 +256,8 @@ void RaftNode::HandleMessage(net::Message&& msg) {
     pipeline_->HandleInstallSnapshotResponse(*isr);
   } else if (auto* rr = msg.payload.Get<ReadRequest>()) {
     HandleReadRequest(*rr);
+  } else if (auto* tn = msg.payload.Get<TimeoutNowRequest>()) {
+    election_->HandleTimeoutNow(*tn);
   } else {
     NBRAFT_LOG(Warn) << "node " << id_ << ": unknown message type";
   }
@@ -311,6 +334,11 @@ void RaftNode::PersistTruncate(storage::LogIndex from_index) {
   core_.strong_ack_frontier =
       std::min(core_.strong_ack_frontier, from_index - 1);
   durability_->PersistTruncate(from_index);
+  if (membership_->active()) {
+    // A truncated suffix takes its configuration entries with it: roll
+    // back to the roster in effect before the cut.
+    membership_->OnTruncated(from_index);
+  }
 }
 
 void RaftNode::PersistHardState() {
@@ -324,6 +352,11 @@ void RaftNode::PersistSnapshot(storage::LogIndex index, storage::Term term,
 
 void RaftNode::PersistCompact(storage::LogIndex upto) {
   durability_->PersistCompact(upto);
+}
+
+void RaftNode::PersistConfig(const std::string& encoded,
+                             storage::LogIndex at) {
+  durability_->PersistConfig(encoded, at);
 }
 
 storage::LogIndex RaftNode::DurableEntryFrontier() const {
@@ -408,6 +441,14 @@ void RaftNode::ApplyRecovered(storage::DurableLog::RecoveredState&& recovered) {
     // Conservative floor; RecoverFromDisk raises it to the repaired
     // image's exact pre-cut durable frontier.
     core_.heal_target = std::max(core_.heal_target, log_.LastIndex());
+  }
+  if (!recovered.config.empty() && membership_->active()) {
+    // The recovered configuration marker supersedes the construction-time
+    // bootstrap roster (Restart re-bootstrapped just before recovery).
+    Configuration cfg;
+    if (Configuration::Decode(recovered.config, &cfg)) {
+      membership_->InstallRecovered(cfg, recovered.config_index);
+    }
   }
   ++stats_.recoveries;
   if (journal_ != nullptr) {

@@ -14,8 +14,10 @@
 #include "raft/durability.h"
 #include "raft/election_engine.h"
 #include "raft/follower_ingress.h"
+#include "raft/membership.h"
 #include "raft/node_context.h"
 #include "raft/node_stats.h"
+#include "raft/recovery_stm.h"
 #include "raft/replication_pipeline.h"
 #include "raft/types.h"
 #include "sim/cpu_executor.h"
@@ -66,6 +68,10 @@ class RaftNode : public NodeContext {
   /// Forces an immediate election (tests / harness bootstrap).
   void TriggerElection();
 
+  /// True between Start() and destruction (elastic harness: nodes that are
+  /// constructed but never started take no part in the cluster).
+  bool started() const { return started_; }
+
   // ---- Introspection ----
   net::NodeId id() const override { return id_; }
   Role role() const { return core_.role; }
@@ -115,6 +121,12 @@ class RaftNode : public NodeContext {
   /// Historical name; appends like add_leader_observer.
   void set_leader_observer(LeaderObserver observer) {
     election_->add_leader_observer(std::move(observer));
+  }
+
+  /// Registers a configuration-change callback (multicast — the shard
+  /// router listens to invalidate stale leader hints for removed nodes).
+  void add_config_observer(MembershipEngine::ConfigObserver observer) {
+    membership_->add_config_observer(std::move(observer));
   }
 
   /// Multiplies the randomized election timeout (chaos clock skew; 1.0 =
@@ -190,10 +202,19 @@ class RaftNode : public NodeContext {
   ReplicationPipeline* pipeline() override { return pipeline_.get(); }
   FollowerIngress* ingress() override { return ingress_.get(); }
   CommitApplier* applier() override { return applier_.get(); }
+  MembershipEngine* membership() override { return membership_.get(); }
+  RecoveryStm* recovery() override { return recovery_.get(); }
+  void PersistConfig(const std::string& encoded,
+                     storage::LogIndex at) override;
 
  private:
   // ---- Message plumbing ----
   void HandleMessage(net::Message&& msg);
+
+  // ---- Membership ----
+  /// Activates the membership engine from options' initial_config (no-op
+  /// when unset — the dormant fixed-roster default — or already active).
+  void BootstrapMembership();
 
   // ---- Reads ----
   void HandleReadRequest(ReadRequest req);
@@ -253,6 +274,10 @@ class RaftNode : public NodeContext {
   std::unique_ptr<ReplicationPipeline> pipeline_;
   std::unique_ptr<FollowerIngress> ingress_;
   std::unique_ptr<CommitApplier> applier_;
+  /// Dynamic membership (always constructed, dormant until Bootstrap).
+  std::unique_ptr<MembershipEngine> membership_;
+  /// Leader-side learner catch-up state machine.
+  std::unique_ptr<RecoveryStm> recovery_;
 };
 
 }  // namespace nbraft::raft

@@ -8,8 +8,15 @@
 #include "obs/names.h"
 #include "raft/commit_applier.h"
 #include "raft/election_engine.h"
+#include "raft/membership.h"
+#include "raft/recovery_stm.h"
 
 namespace nbraft::raft {
+
+bool ReplicationPipeline::KnowsPeer(net::NodeId peer) {
+  MembershipEngine* m = ctx_->membership();
+  return m == nullptr || !m->active() || m->Knows(peer);
+}
 
 // ---------------------------------------------------------------------------
 // Client request path
@@ -174,9 +181,14 @@ void ReplicationPipeline::IndexAndReplicate(ClientRequest req) {
     ReplicateEntry(entry);
   }
 
-  // Single-node cluster: the leader's own append is the whole quorum (with
-  // a simulated disk the deferred self-vote above commits it instead).
-  if (ctx_->peer_ids().empty() && ctx_->DurabilityInstant()) {
+  // Single-node cluster (or solo-voter config): the leader's own append is
+  // the whole quorum (with a simulated disk the deferred self-vote above
+  // commits it instead).
+  MembershipEngine* m = ctx_->membership();
+  const bool solo_quorum = (m != nullptr && m->active())
+                               ? m->QuorumSatisfied({ctx_->id()})
+                               : ctx_->peer_ids().empty();
+  if (solo_quorum && ctx_->DurabilityInstant()) {
     const auto committed = ctx_->applier()->vote_list().AddStrongUpTo(
         entry.index, ctx_->id(), core.current_term);
     ctx_->applier()->CommitIndices(committed);
@@ -222,6 +234,7 @@ void ReplicationPipeline::ReplicateEntry(const storage::LogEntry& entry) {
 
 void ReplicationPipeline::EnqueueForPeer(net::NodeId peer,
                                          storage::LogIndex index) {
+  if (!KnowsPeer(peer)) return;  // Removed from the active config.
   PeerState& ps = peer_state_[peer];
   if (ps.queue.count(index) > 0 || ps.in_flight.count(index) > 0) return;
   ps.queue.emplace(index, ctx_->Now());
@@ -432,7 +445,8 @@ void ReplicationPipeline::HandleAppendResponse(AppendEntriesResponse resp) {
         // A living quorum has received the entry: unblock the client
         // (Sec. III-B2).
         const auto e = log.At(resp.entry_index);
-        if (e.ok() && e->client_id != net::kInvalidNode) {
+        if (e.ok() && e->client_id != net::kInvalidNode &&
+            e->client_id != kConfigClientId) {
           ClientResponse cresp;
           cresp.state = AcceptState::kWeakAccept;
           cresp.request_id = e->request_id;
@@ -459,6 +473,12 @@ void ReplicationPipeline::HandleAppendResponse(AppendEntriesResponse resp) {
         break;
       }
       ps.mismatch_probe = -1;
+      if (ctx_->recovery() != nullptr) {
+        // A covering strong ack is exactly a contiguous durable prefix —
+        // the only progress signal the catch-up STM trusts (weak accepts
+        // may hide sliding-window holes).
+        ctx_->recovery()->OnProgress(resp.from, resp.last_index);
+      }
       // t_ack starts at the first strong accept covering an index.
       ctx_->applier()->NoteFirstStrongUpTo(resp.last_index);
       const auto committed = ctx_->applier()->vote_list().AddStrongUpTo(
@@ -500,6 +520,11 @@ void ReplicationPipeline::MaybeCatchUpPeer(net::NodeId peer,
   if (follower_last != ps.last_reported) {
     ps.last_reported = follower_last;
     ps.last_advance_at = ctx_->Now();
+  }
+  if (ctx_->recovery() != nullptr && ctx_->recovery()->Tracking(peer)) {
+    // The catch-up STM feeds this peer in throttled rounds; the heartbeat
+    // catch-up path would flood straight past the throttle.
+    return;
   }
   if (follower_last >= log.LastIndex()) return;
   if (follower_last + 1 < log.FirstIndex()) {
@@ -578,6 +603,7 @@ void ReplicationPipeline::BroadcastHeartbeat() {
     }
   }
   for (net::NodeId peer : ctx_->peer_ids()) {
+    if (!KnowsPeer(peer)) continue;
     AppendEntriesRequest hb;
     hb.term = core.current_term;
     hb.leader = ctx_->id();
@@ -614,6 +640,10 @@ void ReplicationPipeline::SendInstallSnapshot(net::NodeId peer) {
   req.last_included_index = core.snapshot_index;
   req.last_included_term = core.snapshot_term;
   req.data = core.snapshot_data;
+  if (MembershipEngine* m = ctx_->membership(); m != nullptr && m->active()) {
+    // A snapshot-bootstrapped learner must learn the roster too.
+    req.config = m->config().Encode();
+  }
 
   const uint64_t rpc_id = req.rpc_id;
   const uint64_t epoch = core.epoch;
@@ -648,6 +678,9 @@ void ReplicationPipeline::HandleInstallSnapshotResponse(
   PeerState& ps = peer_state_[resp.from];
   ps.snapshot_in_flight = false;
   ps.last_response_at = ctx_->Now();
+  if (resp.installed && ctx_->recovery() != nullptr) {
+    ctx_->recovery()->OnProgress(resp.from, resp.last_index);
+  }
   // Continue with log entries from wherever the follower now stands.
   MaybeCatchUpPeer(resp.from, resp.last_index);
   TryDispatch(resp.from);
@@ -714,7 +747,7 @@ bool ReplicationPipeline::IsPeerAlive(net::NodeId peer) const {
          3 * ctx_->options().heartbeat_interval;
 }
 
-int ReplicationPipeline::RequiredStrong(bool fragmented, int k) const {
+int ReplicationPipeline::RequiredStrong(bool fragmented, int k) {
   const int n = ctx_->cluster_size();
   const int f = (n - 1) / 2;
   const int dead = n - AliveNodes();

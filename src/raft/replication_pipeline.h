@@ -75,7 +75,7 @@ class ReplicationPipeline {
   /// after `since` (CheckQuorum: the leader counts these + itself against
   /// the quorum once per election timeout).
   int PeersRespondedSince(SimTime since) const;
-  int RequiredStrong(bool fragmented, int k) const;
+  int RequiredStrong(bool fragmented, int k);
   int EffectiveKBucket() const;
   const std::unordered_map<storage::LogIndex, int>& fragment_required()
       const {
@@ -120,6 +120,9 @@ class ReplicationPipeline {
   void SendAppendRpc(net::NodeId peer,
                      std::vector<storage::LogIndex> batch);
   void OnRpcTimeout(uint64_t rpc_id);
+  /// False only when dynamic membership is active and `peer` is outside
+  /// the active configuration (removed nodes get no replication traffic).
+  bool KnowsPeer(net::NodeId peer);
 
   NodeContext* ctx_;
   std::map<net::NodeId, PeerState> peer_state_;

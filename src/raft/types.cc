@@ -10,6 +10,8 @@ std::string_view RoleName(Role role) {
       return "candidate";
     case Role::kLeader:
       return "leader";
+    case Role::kLearner:
+      return "learner";
   }
   return "?";
 }

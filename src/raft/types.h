@@ -19,8 +19,12 @@ class CpuExecutor;
 
 namespace nbraft::raft {
 
-/// Raft role of a node.
-enum class Role { kFollower, kCandidate, kLeader };
+/// Raft role of a node. kLearner is the passive membership role (dynamic
+/// membership only): the node replicates the log but never campaigns,
+/// never arms an election timer, and never counts toward any quorum —
+/// both catch-up learners and nodes removed from the configuration sit
+/// here. Fixed-roster clusters only ever see the first three.
+enum class Role { kFollower, kCandidate, kLeader, kLearner };
 
 std::string_view RoleName(Role role);
 
@@ -123,6 +127,27 @@ struct DiskOptions {
   /// for the host's media bandwidth and fsync serialization). Null (the
   /// default) gives the disk its own lane.
   sim::CpuExecutor* shared_io_lane = nullptr;
+};
+
+/// Dynamic-membership configuration. Dormant (and behavior-fingerprint
+/// invisible) while `initial_config` is empty: the roster is then fixed
+/// at construction as peers + self, exactly as before.
+struct MembershipOptions {
+  /// Encoded initial Configuration (see raft/membership.h). Empty (the
+  /// default) keeps dynamic membership off entirely.
+  std::string initial_config;
+  /// Learner promotion threshold: eligible once its contiguous durable
+  /// prefix is within this many entries of the leader's last index.
+  int64_t promotion_lag = 16;
+  /// Recovery throttle: max log entries enqueued per recovery round.
+  int recovery_max_entries_per_round = 32;
+  /// Cadence of recovery rounds while the learner makes progress.
+  SimDuration recovery_interval = Millis(10);
+  /// Capped exponential backoff for rounds that observe no progress.
+  SimDuration recovery_backoff_base = Millis(20);
+  SimDuration recovery_backoff_cap = Millis(500);
+  /// Leader auto-proposes promotion once a learner is caught up.
+  bool auto_promote = true;
 };
 
 /// Per-node protocol configuration. A single RaftNode implements every
@@ -229,6 +254,10 @@ struct RaftOptions {
 
   /// Simulated durable disk (ignored when wal_dir is set).
   DiskOptions disk;
+
+  /// Dynamic membership (joint consensus + learner recovery). Dormant by
+  /// default.
+  MembershipOptions membership;
 
   /// Test hook: builds the node's durable-log backend instead of the
   /// wal_dir / disk selection above (e.g. an injected failing backend for

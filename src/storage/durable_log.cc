@@ -59,6 +59,14 @@ Status DurableLog::AppendSnapshot(LogIndex index, Term term,
   return backend_->Append(marker);
 }
 
+Status DurableLog::AppendConfig(const std::string& encoded, LogIndex at) {
+  LogEntry marker;
+  marker.index = kConfigMarker;
+  marker.term = at;  // Payload slot for the effective index.
+  marker.payload = nbraft::Buffer(encoded);
+  return backend_->Append(marker);
+}
+
 void DurableLog::Sync(std::function<void(Status)> done) {
   backend_->Sync(std::move(done));
 }
@@ -96,6 +104,12 @@ void DurableLog::FoldRecord(LogEntry entry, RecoveredState* out) {
       }
       return;
     }
+    case kConfigMarker:
+      // Last-writer-wins: rollbacks re-stage the supplanted roster, so the
+      // final marker in the stream is the configuration in effect.
+      out->config = entry.payload.str();
+      out->config_index = entry.term;
+      return;
     default:
       out->log.Append(std::move(entry));
       return;

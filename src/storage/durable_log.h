@@ -48,6 +48,7 @@ class DurableLog {
   static constexpr LogIndex kHardStateMarker = -2;
   static constexpr LogIndex kCompactMarker = -3;
   static constexpr LogIndex kSnapshotMarker = -4;
+  static constexpr LogIndex kConfigMarker = -5;
 
   struct HardState {
     Term term = 0;
@@ -70,6 +71,11 @@ class DurableLog {
     /// the node lost durable suffix state and must heal from the leader
     /// before participating in elections again.
     size_t corrupt_dropped_records = 0;
+    /// Latest cluster configuration marker (dynamic membership): the
+    /// encoded roster and the log index at which it took effect. Empty
+    /// when the stream carries no config records (fixed-roster clusters).
+    std::string config;
+    LogIndex config_index = 0;
   };
 
   DurableLog() = default;
@@ -107,6 +113,11 @@ class DurableLog {
   /// locally (which leaves the log to a following compact record).
   Status AppendSnapshot(LogIndex index, Term term,
                         const nbraft::Buffer& data, bool installed);
+
+  /// Stages a cluster-configuration change: the canonical encoded roster
+  /// plus the log index at which it took effect. Recovery keeps the last
+  /// one in the stream (rollbacks re-stage the supplanted roster).
+  Status AppendConfig(const std::string& encoded, LogIndex at);
 
   /// Forwards a durability barrier to the backend.
   void Sync(std::function<void(Status)> done);

@@ -153,6 +153,33 @@ TEST(ShardRouterTest, InvalidationKeepsTermWatermark) {
   EXPECT_EQ(router.LeaderHint(1), 3);
 }
 
+TEST(ShardRouterTest, MembershipRemovalInvalidatesOnlyMatchingHints) {
+  const ShardMap map(2, 0);
+  ShardRouter router(&map);
+  router.ObserveLeader(0, 5, /*term=*/6);
+  router.ObserveLeader(1, 8, /*term=*/3);
+
+  // Node 5 leaves group 0's configuration: its hint must drop so routed
+  // traffic stops landing on the removed node.
+  router.InvalidateIfLeaderIs(0, 5);
+  EXPECT_EQ(router.LeaderHint(0), net::kInvalidNode);
+  EXPECT_EQ(router.hints_invalidated(), 1u);
+
+  // A hint already pointing elsewhere is fresher than the removal and
+  // survives — and a cold hint is a no-op, not a double count.
+  router.InvalidateIfLeaderIs(1, 5);
+  EXPECT_EQ(router.LeaderHint(1), 8);
+  router.InvalidateIfLeaderIs(0, 5);
+  EXPECT_EQ(router.hints_invalidated(), 1u);
+
+  // The term watermark survives, exactly like InvalidateLeader: a stale
+  // echo of the removed leader cannot resurrect the hint.
+  router.ObserveLeader(0, 5, /*term=*/4);
+  EXPECT_EQ(router.LeaderHint(0), net::kInvalidNode);
+  router.ObserveLeader(0, 2, /*term=*/7);
+  EXPECT_EQ(router.LeaderHint(0), 2);
+}
+
 TEST(ShardRouterTest, RebalancePlanEvensOutLeaders) {
   // 6 groups, all leaders piled on node 0 of 3.
   const std::vector<int> placement = {0, 0, 0, 0, 0, 0};

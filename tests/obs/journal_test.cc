@@ -34,10 +34,9 @@ std::string TempPath(const std::string& name) {
 // ---- Naming scheme conformance -------------------------------------------
 
 bool FollowsScheme(const std::string& name) {
-  static constexpr const char* kSubsystems[] = {"net.",      "raft.",
-                                                "election.", "storage.",
-                                                "client.",   "chaos.",
-                                                "sim."};
+  static constexpr const char* kSubsystems[] = {
+      "net.",    "raft.",  "election.",  "storage.",
+      "client.", "chaos.", "sim.",       "membership."};
   bool prefixed = false;
   for (const char* p : kSubsystems) {
     if (name.rfind(p, 0) == 0) prefixed = true;
@@ -101,6 +100,20 @@ TEST(NamingSchemeTest, JournalAndTracerShareVocabulary) {
                names::kLeaseReject);
   EXPECT_STREQ(Journal::KindName(JournalEventKind::kQuorumLost),
                names::kQuorumLost);
+  EXPECT_STREQ(Journal::KindName(JournalEventKind::kConfigPropose),
+               names::kConfigPropose);
+  EXPECT_STREQ(Journal::KindName(JournalEventKind::kConfigJoint),
+               names::kConfigJoint);
+  EXPECT_STREQ(Journal::KindName(JournalEventKind::kConfigCommit),
+               names::kConfigCommit);
+  EXPECT_STREQ(Journal::KindName(JournalEventKind::kLearnerAdd),
+               names::kLearnerAdd);
+  EXPECT_STREQ(Journal::KindName(JournalEventKind::kLearnerPromote),
+               names::kLearnerPromote);
+  EXPECT_STREQ(Journal::KindName(JournalEventKind::kTransferStart),
+               names::kTransferStart);
+  EXPECT_STREQ(Journal::KindName(JournalEventKind::kTransferDone),
+               names::kTransferDone);
 }
 
 // ---- Ring behavior -------------------------------------------------------

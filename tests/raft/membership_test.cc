@@ -1,0 +1,214 @@
+// MembershipEngine in isolation on the mock context: canonical
+// Configuration encoding, joint-consensus quorum semantics (votes from
+// removed nodes and learners never decide anything), the config-entry
+// append/commit/rollback lifecycle, and ReconcileSelfRole's passive
+// learner handling.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "raft/membership.h"
+#include "sim/simulator.h"
+#include "tests/raft/mock_node_context.h"
+
+namespace nbraft::raft {
+namespace {
+
+using raft_test::MockNodeContext;
+
+RaftOptions MembershipTestOptions() {
+  RaftOptions options;
+  options.election_timeout = Millis(150);
+  return options;
+}
+
+Configuration Roster(std::vector<net::NodeId> voters,
+                     std::vector<net::NodeId> learners = {}) {
+  Configuration config;
+  config.voters = std::move(voters);
+  config.learners = std::move(learners);
+  config.Normalize();
+  return config;
+}
+
+TEST(ConfigurationTest, EncodeDecodeRoundTripIsCanonical) {
+  Configuration config;
+  config.voters = {2, 0, 1, 1};  // Unsorted with a duplicate.
+  config.new_voters = {4, 3};
+  config.learners = {5};
+  config.Normalize();
+  EXPECT_EQ(config.Encode(), "v=0,1,2;n=3,4;l=5");
+
+  Configuration decoded;
+  ASSERT_TRUE(Configuration::Decode(config.Encode(), &decoded));
+  EXPECT_EQ(decoded, config);
+
+  // Empty sections survive the round trip (a non-joint, learnerless
+  // roster is the common case).
+  const Configuration plain = Roster({0, 1, 2});
+  EXPECT_EQ(plain.Encode(), "v=0,1,2;n=;l=");
+  ASSERT_TRUE(Configuration::Decode(plain.Encode(), &decoded));
+  EXPECT_EQ(decoded, plain);
+
+  EXPECT_FALSE(Configuration::Decode("", &decoded));
+  EXPECT_FALSE(Configuration::Decode("v=0,1,2", &decoded));
+  EXPECT_FALSE(Configuration::Decode("v=0,x;n=;l=", &decoded));
+}
+
+TEST(ConfigurationTest, RoleQueries) {
+  Configuration config;
+  config.voters = {0, 1, 2};
+  config.new_voters = {1, 2, 3};
+  config.learners = {4};
+  EXPECT_TRUE(config.joint());
+  EXPECT_TRUE(config.IsVoter(0));   // Old generation only.
+  EXPECT_TRUE(config.IsVoter(3));   // New generation only.
+  EXPECT_FALSE(config.IsVoter(4));  // Learner.
+  EXPECT_TRUE(config.IsLearner(4));
+  EXPECT_TRUE(config.Knows(4));
+  EXPECT_FALSE(config.Knows(9));
+  EXPECT_EQ(config.OthersKnown(0), 4);  // 1, 2, 3, 4.
+}
+
+TEST(MembershipEngineTest, JointQuorumNeedsBothGenerations) {
+  sim::Simulator sim(7);
+  MockNodeContext ctx(&sim, /*id=*/0, {1, 2, 3, 4}, MembershipTestOptions());
+  MembershipEngine* membership = ctx.membership();
+  Configuration joint;
+  joint.voters = {0, 1, 2};
+  joint.new_voters = {2, 3, 4};
+  membership->Bootstrap(joint);
+
+  // Majority of C_old alone is not enough...
+  EXPECT_FALSE(membership->QuorumSatisfied({0, 1}));
+  // ...nor is a majority of C_new alone...
+  EXPECT_FALSE(membership->QuorumSatisfied({3, 4}));
+  // ...both together decide.
+  EXPECT_TRUE(membership->QuorumSatisfied({0, 1, 3, 4}));
+  EXPECT_TRUE(membership->QuorumSatisfied({1, 2, 3}));  // 2 spans both.
+  // The count-based rule is the larger generation's majority.
+  EXPECT_EQ(membership->CountQuorum(), 2);
+}
+
+TEST(MembershipEngineTest, NonVoterAcksNeverDecide) {
+  sim::Simulator sim(7);
+  MockNodeContext ctx(&sim, /*id=*/0, {1, 2, 3, 4}, MembershipTestOptions());
+  MembershipEngine* membership = ctx.membership();
+  membership->Bootstrap(Roster({0, 1, 2}, /*learners=*/{3}));
+
+  // A removed/unknown node (9) and a learner (3) contribute nothing: the
+  // invariant behind "no vote from a removed node decides an election".
+  EXPECT_FALSE(membership->QuorumSatisfied({0, 9}));
+  EXPECT_FALSE(membership->QuorumSatisfied({0, 3}));
+  EXPECT_TRUE(membership->QuorumSatisfied({0, 1}));
+}
+
+TEST(MembershipEngineTest, ReconcileSelfRoleParksNonVotersAsLearners) {
+  sim::Simulator sim(7);
+  MockNodeContext ctx(&sim, /*id=*/5, {0, 1, 2}, MembershipTestOptions());
+  MembershipEngine* membership = ctx.membership();
+
+  // Bootstrapping a roster that does not include this node (a spare host
+  // started before its AddLearner entry lands) parks it passive.
+  membership->Bootstrap(Roster({0, 1, 2}));
+  EXPECT_EQ(ctx.core().role, Role::kLearner);
+
+  // Gaining the vote (recovered config from a later entry) reactivates it.
+  membership->InstallRecovered(Roster({0, 1, 2, 5}), /*at=*/10);
+  EXPECT_EQ(ctx.core().role, Role::kFollower);
+}
+
+TEST(MembershipEngineTest, AddLearnerAppendsConfigEntryAndStartsRecovery) {
+  sim::Simulator sim(7);
+  MockNodeContext ctx(&sim, /*id=*/0, {1, 2, 3}, MembershipTestOptions());
+  MembershipEngine* membership = ctx.membership();
+  membership->Bootstrap(Roster({0, 1, 2}));
+  ctx.MakeLeader(/*term=*/1);
+
+  ASSERT_TRUE(membership->ProposeAddLearner(3));
+  EXPECT_TRUE(membership->IsLearner(3));
+  const storage::LogEntry& entry = ctx.log().AtUnchecked(ctx.log().LastIndex());
+  EXPECT_EQ(entry.client_id, kConfigClientId);
+  Configuration decoded;
+  ASSERT_TRUE(Configuration::Decode(entry.payload.view(), &decoded));
+  EXPECT_EQ(decoded, membership->config());
+  // The new roster was persisted as a durable marker at its entry index.
+  ASSERT_FALSE(ctx.persisted_configs.empty());
+  EXPECT_EQ(ctx.persisted_configs.back().second, entry.index);
+  // The leader's recovery STM took the learner on.
+  EXPECT_TRUE(ctx.recovery()->Tracking(3));
+
+  // One change at a time: the next proposal waits for the commit.
+  EXPECT_TRUE(membership->ChangeInFlight());
+  EXPECT_FALSE(membership->ProposeAddLearner(4));
+  ctx.core().commit_index = entry.index;
+  membership->OnCommitAdvanced(entry.index);
+  EXPECT_FALSE(membership->ChangeInFlight());
+  EXPECT_EQ(ctx.stats().config_changes, 1u);
+}
+
+TEST(MembershipEngineTest, PromotionRunsJointThenFinalConfig) {
+  sim::Simulator sim(7);
+  MockNodeContext ctx(&sim, /*id=*/0, {1, 2, 3}, MembershipTestOptions());
+  MembershipEngine* membership = ctx.membership();
+  membership->Bootstrap(Roster({0, 1, 2}, /*learners=*/{3}));
+  ctx.MakeLeader(/*term=*/1);
+
+  ASSERT_TRUE(membership->ProposePromote(3));
+  EXPECT_TRUE(membership->config().joint());
+  EXPECT_TRUE(membership->IsVoter(3));  // Effective at append time.
+  EXPECT_EQ(ctx.stats().learners_promoted, 1u);
+  const storage::LogIndex joint_index = ctx.log().LastIndex();
+
+  // Committing C_old,new makes the leader append plain C_new (deferred one
+  // simulator event so it never reenters the commit path).
+  ctx.core().commit_index = joint_index;
+  membership->OnCommitAdvanced(joint_index);
+  sim.RunUntil(sim.Now() + Millis(1));  // Drains the After(0) deferral only.
+  EXPECT_FALSE(membership->config().joint());
+  EXPECT_TRUE(membership->config().IsVoter(3));
+  EXPECT_FALSE(membership->config().IsLearner(3));
+  const storage::LogIndex final_index = ctx.log().LastIndex();
+  EXPECT_EQ(final_index, joint_index + 1);
+
+  ctx.core().commit_index = final_index;
+  membership->OnCommitAdvanced(final_index);
+  EXPECT_FALSE(membership->ChangeInFlight());
+  EXPECT_EQ(ctx.stats().config_changes, 1u);  // Joint windows count once.
+}
+
+TEST(MembershipEngineTest, TruncationRollsConfigurationBack) {
+  sim::Simulator sim(7);
+  MockNodeContext ctx(&sim, /*id=*/0, {1, 2, 3}, MembershipTestOptions());
+  MembershipEngine* membership = ctx.membership();
+  const Configuration initial = Roster({0, 1, 2});
+  membership->Bootstrap(initial);
+  ctx.MakeLeader(/*term=*/1);
+
+  ASSERT_TRUE(membership->ProposeAddLearner(3));
+  const storage::LogIndex entry_index = ctx.log().LastIndex();
+  ASSERT_TRUE(membership->Knows(3));
+
+  // A conflicting suffix from a new leader truncates the entry: the
+  // supplanted roster comes back and is re-persisted (last marker wins).
+  membership->OnTruncated(entry_index);
+  EXPECT_EQ(membership->config(), initial);
+  EXPECT_EQ(membership->config_index(), 0);
+  EXPECT_FALSE(membership->Knows(3));
+  ASSERT_FALSE(ctx.persisted_configs.empty());
+  EXPECT_EQ(ctx.persisted_configs.back().first, initial.Encode());
+}
+
+TEST(MembershipEngineTest, RemoveNeverEmptiesTheRoster) {
+  sim::Simulator sim(7);
+  MockNodeContext ctx(&sim, /*id=*/0, {1, 2}, MembershipTestOptions());
+  MembershipEngine* membership = ctx.membership();
+  membership->Bootstrap(Roster({0}));
+  ctx.MakeLeader(/*term=*/1);
+  EXPECT_FALSE(membership->ProposeRemove(0));
+  EXPECT_TRUE(membership->SelfIsVoter());
+}
+
+}  // namespace
+}  // namespace nbraft::raft

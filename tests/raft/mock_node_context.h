@@ -2,6 +2,7 @@
 #define NBRAFT_TESTS_RAFT_MOCK_NODE_CONTEXT_H_
 
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -10,8 +11,10 @@
 #include "raft/commit_applier.h"
 #include "raft/election_engine.h"
 #include "raft/follower_ingress.h"
+#include "raft/membership.h"
 #include "raft/messages.h"
 #include "raft/node_context.h"
+#include "raft/recovery_stm.h"
 #include "raft/replication_pipeline.h"
 #include "sim/cpu_executor.h"
 #include "sim/simulator.h"
@@ -49,6 +52,9 @@ class MockNodeContext : public raft::NodeContext {
     pipeline_ = std::make_unique<raft::ReplicationPipeline>(this);
     ingress_ = std::make_unique<raft::FollowerIngress>(this);
     applier_ = std::make_unique<raft::CommitApplier>(this);
+    // Dormant until a test calls membership()->Bootstrap(...).
+    membership_ = std::make_unique<raft::MembershipEngine>(this);
+    recovery_ = std::make_unique<raft::RecoveryStm>(this);
   }
 
   // ---- NodeContext ----
@@ -75,8 +81,14 @@ class MockNodeContext : public raft::NodeContext {
   void SendTo(net::NodeId to, size_t bytes, net::PayloadRef payload) override {
     sent.push_back(SentMessage{to, bytes, std::move(payload)});
   }
+  raft::MembershipEngine* membership() override { return membership_.get(); }
+  raft::RecoveryStm* recovery() override { return recovery_.get(); }
   void PersistEntry(const storage::LogEntry&) override {}
   void PersistTruncate(storage::LogIndex) override {}
+  void PersistConfig(const std::string& encoded,
+                     storage::LogIndex at) override {
+    persisted_configs.emplace_back(encoded, at);
+  }
   void PersistHardState() override {}
   void PersistSnapshot(storage::LogIndex, storage::Term, const std::string&,
                        bool) override {}
@@ -129,6 +141,8 @@ class MockNodeContext : public raft::NodeContext {
   }
 
   std::vector<SentMessage> sent;
+  /// Every PersistConfig call, in order (encoded roster, effective index).
+  std::vector<std::pair<std::string, storage::LogIndex>> persisted_configs;
 
  private:
   sim::Simulator* sim_;
@@ -148,6 +162,8 @@ class MockNodeContext : public raft::NodeContext {
   std::unique_ptr<raft::ReplicationPipeline> pipeline_;
   std::unique_ptr<raft::FollowerIngress> ingress_;
   std::unique_ptr<raft::CommitApplier> applier_;
+  std::unique_ptr<raft::MembershipEngine> membership_;
+  std::unique_ptr<raft::RecoveryStm> recovery_;
 };
 
 }  // namespace nbraft::raft_test
